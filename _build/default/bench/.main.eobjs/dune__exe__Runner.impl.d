@@ -1,0 +1,1 @@
+bench/runner.ml: Array Fusion_core Fusion_plan Fusion_query Fusion_source Fusion_workload List Opt_env Optimized Optimizer Unix

@@ -1,0 +1,1 @@
+bench/tables.ml: Char Filename List Out_channel Printf String Sys

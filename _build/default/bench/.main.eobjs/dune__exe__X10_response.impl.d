@@ -1,0 +1,1 @@
+bench/x10_response.ml: Adaptive Algorithms Array Exec Fusion_core Fusion_net Fusion_plan Fusion_source Fusion_workload List Optimized Parallel_exec Response_opt Response_time Runner Tables

@@ -1,0 +1,1 @@
+bench/x11_cache.ml: Array Cond Fusion_cond Fusion_core Fusion_data Fusion_mediator Fusion_plan Fusion_query Fusion_stats Fusion_workload List Optimizer Runner Tables Value

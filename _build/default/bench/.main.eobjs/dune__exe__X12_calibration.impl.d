@@ -1,0 +1,1 @@
+bench/x12_calibration.ml: Array Float Fusion_core Fusion_cost Fusion_net Fusion_query Fusion_source Fusion_stats Fusion_workload List Opt_env Optimized Optimizer Runner Source Tables

@@ -1,0 +1,1 @@
+bench/x13_faults.ml: Array Exec Fusion_core Fusion_data Fusion_plan Fusion_query Fusion_source Fusion_stats Fusion_workload List Optimized Optimizer Printf Reference Runner Tables

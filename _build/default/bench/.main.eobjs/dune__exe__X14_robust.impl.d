@@ -1,0 +1,1 @@
+bench/x14_robust.ml: Algorithms Array Fusion_core Fusion_data Fusion_plan Fusion_source Fusion_stats Fusion_workload List Opt_env Optimized Printf Relation Robust Runner Tables Tuple Value

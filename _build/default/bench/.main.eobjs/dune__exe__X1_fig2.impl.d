@@ -1,0 +1,1 @@
+bench/x1_fig2.ml: Array Builder Exec Format Fusion_core Fusion_data Fusion_mediator Fusion_plan Fusion_query Fusion_workload List Opt_env Optimizer Plan Plan_cost Printf Runner Tables

@@ -1,0 +1,1 @@
+bench/x2_scaling.ml: Fusion_core Fusion_workload List Optimizer Runner Tables

@@ -1,0 +1,1 @@
+bench/x3_heterogeneity.ml: Fusion_core Fusion_workload List Optimizer Printf Runner Tables

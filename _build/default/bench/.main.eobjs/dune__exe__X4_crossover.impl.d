@@ -1,0 +1,1 @@
+bench/x4_crossover.ml: Fusion_core Fusion_plan Fusion_workload List Op Optimized Optimizer Plan Runner Tables

@@ -1,0 +1,1 @@
+bench/x5_postopt.ml: Algorithms Fusion_core Fusion_workload List Optimized Postopt Runner Tables

@@ -1,0 +1,1 @@
+bench/x7_optimality.ml: Algorithms Array Brute Float Fusion_core Fusion_workload List Optimized Printf Runner Tables

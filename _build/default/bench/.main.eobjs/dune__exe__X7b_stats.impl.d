@@ -1,0 +1,1 @@
+bench/x7b_stats.ml: Float Fusion_core Fusion_stats Fusion_workload List Opt_env Optimizer Runner Tables

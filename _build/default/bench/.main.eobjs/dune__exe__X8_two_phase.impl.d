@@ -1,0 +1,1 @@
+bench/x8_two_phase.ml: Array Fusion_mediator Fusion_net Fusion_source Fusion_workload List Runner Source Tables

@@ -1,0 +1,1 @@
+bench/x9_adaptive.ml: Adaptive Fusion_core Fusion_workload List Optimizer Runner Tables

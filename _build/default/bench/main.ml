@@ -1,0 +1,51 @@
+(* The experiment harness: regenerates every figure-level artifact and
+   claim-level table of the reproduction (see DESIGN.md §5 and
+   EXPERIMENTS.md for the index and recorded results).
+
+   Usage:
+     dune exec bench/main.exe            # all experiments
+     dune exec bench/main.exe -- x2 x5   # a subset
+     FUSION_BENCH_BECHAMEL=1 dune exec bench/main.exe -- x6
+                                         # adds the Bechamel microbench *)
+
+let experiments =
+  [
+    ("x1", "Figures 1 & 2: worked examples", X1_fig2.run);
+    ("x2", "cost vs number of sources", X2_scaling.run);
+    ("x3", "heterogeneity ablation (SJ vs SJA)", X3_heterogeneity.run);
+    ("x4", "selection/semijoin crossover", X4_crossover.run);
+    ("x5", "postoptimization ablation (SJA+)", X5_postopt.run);
+    ("x6", "optimizer running time", X6_opt_time.run);
+    ("x7", "optimality vs brute force & correlation", X7_optimality.run);
+    ("x7c", "sampled-statistics regret", X7b_stats.run);
+    ("x8", "two-phase vs single-phase", X8_two_phase.run);
+    ("x9", "adaptive runtime vs static plans", X9_adaptive.run);
+    ("x10", "total work vs response time", X10_response.run);
+    ("x11", "session selection cache", X11_cache.run);
+    ("x12", "cost-model calibration", X12_calibration.run);
+    ("x13", "flaky sources: retries and partial answers", X13_faults.run);
+    ("x14", "planning under estimate uncertainty", X14_robust.run);
+    ("check", "executable claims (regression gate)", Checks.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map (fun (name, _, _) -> name) experiments
+  in
+  List.iter
+    (fun name ->
+      match List.find_opt (fun (n, _, _) -> n = name) experiments with
+      | Some (_, description, run) ->
+        Printf.printf "\n#### %s — %s\n%!" name description;
+        run ()
+      | None ->
+        Printf.eprintf "unknown experiment %s (have: %s)\n" name
+          (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
+        exit 1)
+    requested;
+  if Sys.getenv_opt "FUSION_BENCH_BECHAMEL" = Some "1"
+     && List.exists (fun n -> n = "x6") requested
+  then X6_opt_time.run_bechamel ();
+  print_newline ()

@@ -1,0 +1,47 @@
+(* Shared machinery for the experiments: build instances, optimize,
+   execute, and collect actual costs. *)
+
+open Fusion_core
+module Workload = Fusion_workload.Workload
+
+let env_of ?stats (instance : Workload.instance) =
+  Opt_env.create ?stats ~universe:instance.Workload.spec.Workload.universe
+    instance.Workload.sources instance.Workload.query
+
+let execute (instance : Workload.instance) plan =
+  Array.iter Fusion_source.Source.reset_meter instance.Workload.sources;
+  Fusion_plan.Exec.run ~sources:instance.Workload.sources
+    ~conds:(Fusion_query.Query.conditions instance.Workload.query)
+    plan
+
+let actual_cost instance plan = (execute instance plan).Fusion_plan.Exec.total_cost
+
+let run_algo ?stats instance algo =
+  let env = env_of ?stats instance in
+  let optimized = Optimizer.optimize algo env in
+  (optimized, actual_cost instance optimized.Optimized.plan)
+
+(* Mean actual cost over several seeds of the same spec. *)
+let mean_over_seeds ?stats spec seeds algo =
+  let total =
+    List.fold_left
+      (fun acc seed ->
+        let instance = Workload.generate { spec with Workload.seed } in
+        acc +. snd (run_algo ?stats instance algo))
+      0.0 seeds
+  in
+  total /. float_of_int (List.length seeds)
+
+let seeds = [ 101; 202; 303 ]
+
+(* Wall-clock timing (median of [runs]) for the optimizer-complexity
+   experiment; Bechamel handles the fine-grained version. *)
+let time_median ?(runs = 5) f =
+  let samples =
+    List.init runs (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (f ());
+        Unix.gettimeofday () -. t0)
+  in
+  let sorted = List.sort compare samples in
+  List.nth sorted (runs / 2)

@@ -1,0 +1,50 @@
+(* Aligned-table printing for the experiment harness. *)
+
+let slug title =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> Char.lowercase_ascii c
+      | _ -> '-')
+    (String.lowercase_ascii title)
+
+(* With FUSION_BENCH_CSV=<dir>, every printed table is also written as
+   <dir>/<slug-of-title>.csv for plotting. *)
+let write_csv ~title ~header rows =
+  match Sys.getenv_opt "FUSION_BENCH_CSV" with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir (String.sub (slug title) 0 (min 60 (String.length (slug title))) ^ ".csv") in
+    Out_channel.with_open_text path (fun oc ->
+        List.iter
+          (fun row -> Out_channel.output_string oc (String.concat "," row ^ "\n"))
+          (header :: rows))
+
+let print ~title ~header rows =
+  write_csv ~title ~header rows;
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    List.iteri
+      (fun c cell ->
+        let w = List.nth widths c in
+        if c = 0 then Printf.printf "%-*s" w cell else Printf.printf "  %*s" w cell)
+      row;
+    print_newline ()
+  in
+  Printf.printf "\n== %s ==\n" title;
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let f3 v = Printf.sprintf "%.3f" v
+let i v = string_of_int v
+
+let ratio a b = if b = 0.0 then "n/a" else f2 (a /. b)

@@ -1,0 +1,87 @@
+(* X11 — extension: session-level reuse of selection answers.
+
+   Section 5 notes that fusion-query plans over distributed unions
+   repeatedly evaluate common subexpressions. A mediator session that
+   serves a stream of fusion queries sharing hot conditions (the same
+   'dui' filter appearing in many analysts' queries) can cache
+   per-(condition, source) selection answers and even derive semijoins
+   from them locally. We replay sessions of k queries over m conditions
+   drawn from a small hot pool and report total session cost with and
+   without the cache. *)
+
+open Fusion_core
+open Fusion_cond
+open Fusion_data
+module Workload = Fusion_workload.Workload
+module Mediator = Fusion_mediator.Mediator
+module Prng = Fusion_stats.Prng
+
+(* Queries over a shared world: each picks 2 conditions from a pool of
+   thresholds over the 3 attributes. *)
+let build_world seed =
+  Workload.generate
+    {
+      Workload.default_spec with
+      Workload.n_sources = 6;
+      universe = 3000;
+      tuples_per_source = (400, 600);
+      selectivities = [| 0.1; 0.2; 0.3 |];
+      seed;
+    }
+
+let pool =
+  [|
+    Cond.Cmp ("A1", Cond.Lt, Value.Int 100);
+    Cond.Cmp ("A1", Cond.Lt, Value.Int 50);
+    Cond.Cmp ("A2", Cond.Lt, Value.Int 200);
+    Cond.Cmp ("A2", Cond.Lt, Value.Int 150);
+    Cond.Cmp ("A3", Cond.Lt, Value.Int 300);
+    Cond.Cmp ("A3", Cond.Lt, Value.Int 250);
+  |]
+
+let session_queries prng k =
+  List.init k (fun _ ->
+      let c1 = Prng.pick prng pool in
+      let c2 = ref (Prng.pick prng pool) in
+      while Cond.equal c1 !c2 do
+        c2 := Prng.pick prng pool
+      done;
+      Fusion_query.Query.create_exn [ c1; !c2 ])
+
+let session_cost ~cache mediator queries =
+  List.fold_left
+    (fun acc query ->
+      let report =
+        match Mediator.run ?cache ~algo:Optimizer.Sja mediator query with
+        | Ok r -> r
+        | Error msg -> failwith msg
+      in
+      acc +. report.Mediator.actual_cost)
+    0.0 queries
+
+let run () =
+  let rows =
+    List.map
+      (fun k ->
+        let totals =
+          List.map
+            (fun seed ->
+              let instance = build_world seed in
+              let mediator = Mediator.create_exn (Array.to_list instance.Workload.sources) in
+              let queries = session_queries (Prng.create (seed * 7)) k in
+              let cold = session_cost ~cache:None mediator queries in
+              let cache = Fusion_plan.Exec.Query_cache.create () in
+              let warm = session_cost ~cache:(Some cache) mediator queries in
+              (cold, warm))
+            Runner.seeds
+        in
+        let n = float_of_int (List.length totals) in
+        let cold = List.fold_left (fun acc (c, _) -> acc +. c) 0.0 totals /. n in
+        let warm = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 totals /. n in
+        [ Tables.i k; Tables.f1 cold; Tables.f1 warm; Tables.ratio cold warm ])
+      [ 2; 5; 10; 20 ]
+  in
+  Tables.print
+    ~title:"X11: session cost with/without the selection cache (6 hot conditions, 3 seeds)"
+    ~header:[ "queries/session"; "no cache"; "cache"; "speedup" ]
+    rows

@@ -1,0 +1,47 @@
+(* X4 — the selection/semijoin crossover (Section 2.5 discussion).
+
+   Semijoins pay off only when the candidate set is small relative to
+   what a selection would return. Sweeping the first condition's
+   selectivity moves |X_1| across that tradeoff: at some point SJA
+   stops issuing semijoins for the later conditions and the FILTER and
+   SJA costs converge. The table reports the costs and how many
+   semijoin queries SJA's plan contains. *)
+
+open Fusion_core
+open Fusion_plan
+module Workload = Fusion_workload.Workload
+
+let spec sel1 =
+  {
+    Workload.default_spec with
+    Workload.n_sources = 8;
+    universe = 4000;
+    tuples_per_source = (400, 700);
+    selectivities = [| sel1; 0.3; 0.4 |];
+    seed = 0;
+  }
+
+let semijoin_count plan =
+  List.length
+    (List.filter (fun op -> match op with Op.Semijoin _ -> true | _ -> false) (Plan.ops plan))
+
+let run () =
+  let rows =
+    List.map
+      (fun sel1 ->
+        let instance = Workload.generate { (spec sel1) with Workload.seed = 101 } in
+        let sja, sja_cost = Runner.run_algo instance Optimizer.Sja in
+        let _, filter_cost = Runner.run_algo instance Optimizer.Filter in
+        [
+          Tables.f3 sel1;
+          Tables.f1 filter_cost;
+          Tables.f1 sja_cost;
+          Tables.i (semijoin_count sja.Optimized.plan);
+          Tables.ratio filter_cost sja_cost;
+        ])
+      [ 0.002; 0.005; 0.01; 0.02; 0.05; 0.1; 0.2; 0.4 ]
+  in
+  Tables.print
+    ~title:"X4: filter/semijoin crossover as the first condition loses selectivity (n=8)"
+    ~header:[ "sel(c1)"; "filter"; "sja"; "sjq ops"; "filter/sja" ]
+    rows

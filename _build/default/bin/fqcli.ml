@@ -1,0 +1,487 @@
+(* fqcli — command-line driver for the fusion-query mediator.
+
+   Subcommands:
+     gen      generate a synthetic workload as CSV source files
+     run      run a fusion query (SQL) over CSV sources
+     explain  optimize only; print the plan and its estimated cost
+     compare  run all algorithms over the same sources and query
+
+   Source files are CSVs with a typed header (see Csv_io); all files in
+   a directory form the union view U. *)
+
+open Cmdliner
+open Fusion_core
+module Workload = Fusion_workload.Workload
+module Mediator = Fusion_mediator.Mediator
+
+let ( let* ) r f = match r with Ok v -> f v | Error msg -> Error msg
+
+(* --- shared loading ----------------------------------------------------- *)
+
+let load_sources dir =
+  match Sys.readdir dir with
+  | exception Sys_error msg -> Error msg
+  | entries ->
+    let csvs =
+      Array.to_list entries
+      |> List.filter (fun f -> Filename.check_suffix f ".csv")
+      |> List.sort compare
+    in
+    if csvs = [] then Error (Printf.sprintf "no .csv files in %s" dir)
+    else
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | file :: rest ->
+          let name = Filename.remove_extension file in
+          let* relation = Fusion_data.Csv_io.read_file ~name (Filename.concat dir file) in
+          go (Fusion_source.Source.create relation :: acc) rest
+      in
+      go [] csvs
+
+let with_mediator location f =
+  let* sources =
+    match location with
+    | `Dir dir -> load_sources dir
+    | `Catalog path -> Fusion_source.Catalog.load path
+  in
+  let* mediator = Mediator.create sources in
+  f mediator
+
+let report_result = function
+  | Ok () -> 0
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+
+let verbose_arg =
+  let doc = "Log the mediator's optimization and execution steps to stderr." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+(* --- common arguments --------------------------------------------------- *)
+
+let dir_arg =
+  let doc = "Directory holding one .csv file per source." in
+  Arg.(value & opt (some dir) None & info [ "d"; "sources" ] ~docv:"DIR" ~doc)
+
+let catalog_arg =
+  let doc =
+    "Federation catalog file declaring sources, capabilities and network profiles      (alternative to --sources)."
+  in
+  Arg.(value & opt (some file) None & info [ "c"; "catalog" ] ~docv:"FILE" ~doc)
+
+let location_term =
+  let combine dir catalog =
+    match dir, catalog with
+    | Some d, None -> Ok (`Dir d)
+    | None, Some c -> Ok (`Catalog c)
+    | None, None -> Error "one of --sources or --catalog is required"
+    | Some _, Some _ -> Error "--sources and --catalog are mutually exclusive"
+  in
+  Term.(const combine $ dir_arg $ catalog_arg)
+
+let sql_arg =
+  let doc = "The fusion query, in SQL over the union view U." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
+
+let algo_conv =
+  let parse s = Optimizer.of_name s |> Result.map_error (fun m -> `Msg m) in
+  let print ppf a = Format.pp_print_string ppf (Optimizer.name a) in
+  Arg.conv (parse, print)
+
+let algo_arg =
+  let doc = "Optimization algorithm: filter, sj, sja, sja+, greedy-sj, greedy-sja." in
+  Arg.(value & opt algo_conv Optimizer.Sja_plus & info [ "a"; "algo" ] ~docv:"ALGO" ~doc)
+
+let sample_arg =
+  let doc =
+    "Estimate statistics from a sample of this many tuples per source instead of exact \
+     scans."
+  in
+  Arg.(value & opt (some int) None & info [ "sample" ] ~docv:"N" ~doc)
+
+let hist_arg =
+  let doc = "Estimate statistics from per-attribute histograms with this many buckets." in
+  Arg.(value & opt (some int) None & info [ "hist" ] ~docv:"B" ~doc)
+
+let stats_of_sample sample hist =
+  match sample, hist with
+  | Some size, _ -> Opt_env.Sampled (size, Fusion_stats.Prng.create 1)
+  | None, Some buckets -> Opt_env.Histogram buckets
+  | None, None -> Opt_env.Exact
+
+(* --- run ----------------------------------------------------------------- *)
+
+let run_cmd =
+  let plan_arg =
+    let doc = "Execute this saved plan (see 'explain --save-plan') instead of optimizing." in
+    Arg.(value & opt (some file) None & info [ "plan" ] ~docv:"FILE" ~doc)
+  in
+  let action location sql algo sample hist plan_file verbose =
+    setup_logs verbose;
+    report_result
+      (let* location = location in
+       with_mediator location (fun mediator ->
+           match plan_file with
+           | None ->
+             let* result =
+               Mediator.select_sql ~stats:(stats_of_sample sample hist) ~algo mediator sql
+             in
+             Format.printf "%a@." Mediator.pp_report result.Mediator.report;
+             if List.length result.Mediator.columns > 1 then begin
+               Format.printf "@.%s@." (String.concat " | " result.Mediator.columns);
+               List.iter
+                 (fun row ->
+                   Format.printf "%s@."
+                     (String.concat " | "
+                        (List.map Fusion_data.Value.to_string row)))
+                 result.Mediator.rows;
+               Format.printf "(%d rows; phase-2 fetch cost %.1f)@."
+                 (List.length result.Mediator.rows)
+                 result.Mediator.fetch_cost
+             end;
+             Ok ()
+           | Some path ->
+             let schema = Mediator.schema mediator in
+             let* query = Fusion_query.Sql.parse_fusion ~schema ~union:"U" sql in
+             let text = In_channel.with_open_text path In_channel.input_all in
+             let* plan = Fusion_plan.Plan_text.of_string text in
+             let sources = Mediator.sources mediator in
+             let conds = Fusion_query.Query.conditions query in
+             let* () =
+               Fusion_plan.Plan.validate ~m:(Array.length conds)
+                 ~n:(Array.length sources) plan
+             in
+             Array.iter Fusion_source.Source.reset_meter sources;
+             (match Fusion_plan.Exec.run ~sources ~conds plan with
+             | result ->
+               Format.printf "pinned plan executed: cost %.1f, answer (%d items): %a@."
+                 result.Fusion_plan.Exec.total_cost
+                 (Fusion_data.Item_set.cardinal result.Fusion_plan.Exec.answer)
+                 Fusion_data.Item_set.pp result.Fusion_plan.Exec.answer;
+               Ok ()
+             | exception Fusion_source.Source.Unsupported msg ->
+               Error ("execution failed: " ^ msg))))
+  in
+  let doc = "run a fusion query over CSV sources" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const action $ location_term $ sql_arg $ algo_arg $ sample_arg $ hist_arg
+          $ plan_arg $ verbose_arg)
+
+(* --- explain ------------------------------------------------------------- *)
+
+let explain_cmd =
+  let analyze_arg =
+    let doc = "Also execute the plan and print estimated vs actual cost and cardinality per step." in
+    Arg.(value & flag & info [ "analyze" ] ~doc)
+  in
+  let save_arg =
+    let doc = "Also save the chosen plan to this file (re-runnable via 'run --plan')." in
+    Arg.(value & opt (some string) None & info [ "save-plan" ] ~docv:"FILE" ~doc)
+  in
+  let dot_arg =
+    let doc = "Write the plan's dataflow as Graphviz DOT to this file." in
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
+  in
+  let orderings_arg =
+    let doc = "Also list the K cheapest condition orderings of the SJA search." in
+    Arg.(value & opt (some int) None & info [ "orderings" ] ~docv:"K" ~doc)
+  in
+  let action location sql algo sample hist analyze save dot orderings =
+    report_result
+      (let* location = location in
+       with_mediator location (fun mediator ->
+           let schema = Mediator.schema mediator in
+           let* query = Fusion_query.Sql.parse_fusion ~schema ~union:"U" sql in
+           let env =
+             Opt_env.create ~stats:(stats_of_sample sample hist)
+               (Mediator.sources mediator) query
+           in
+           let optimized = Optimizer.optimize algo env in
+           Option.iter
+             (fun path ->
+               Out_channel.with_open_text path (fun oc ->
+                   Out_channel.output_string oc
+                     (Fusion_plan.Plan_text.to_string optimized.Optimized.plan)))
+             save;
+           Option.iter
+             (fun path ->
+               let source_name j =
+                 Fusion_source.Source.name (Mediator.sources mediator).(j)
+               in
+               Out_channel.with_open_text path (fun oc ->
+                   Out_channel.output_string oc
+                     (Fusion_plan.Plan_dot.to_string ~source_name optimized.Optimized.plan)))
+             dot;
+           let source_name j =
+             Fusion_source.Source.name (Mediator.sources mediator).(j)
+           in
+           Option.iter
+             (fun k ->
+               Format.printf "cheapest condition orderings:@.";
+               List.iteri
+                 (fun rank (ordering, cost) ->
+                   if rank < k then
+                     Format.printf "  %2d. [%s]  est. cost %.1f@." (rank + 1)
+                       (String.concat "; "
+                          (List.map
+                             (fun c -> Printf.sprintf "c%d" (c + 1))
+                             (Array.to_list ordering)))
+                       cost)
+                 (Algorithms.sja_trace env);
+               Format.printf "@.")
+             orderings;
+           if not analyze then begin
+             Format.printf "%a@." (Optimized.pp ~source_name) optimized;
+             Ok ()
+           end
+           else begin
+             Array.iter Fusion_source.Source.reset_meter (Mediator.sources mediator);
+             match
+               Fusion_plan.Exec.run
+                 ~sources:(Mediator.sources mediator)
+                 ~conds:env.Opt_env.conds optimized.Optimized.plan
+             with
+             | result ->
+               let explain =
+                 Fusion_plan.Explain.analyze ~model:env.Opt_env.model ~est:env.Opt_env.est
+                   ~sources:env.Opt_env.sources ~conds:env.Opt_env.conds
+                   optimized.Optimized.plan result
+               in
+               Format.printf "%a@." (Fusion_plan.Explain.pp ~source_name) explain;
+               Ok ()
+             | exception Fusion_source.Source.Unsupported msg ->
+               Error ("execution failed: " ^ msg)
+           end))
+  in
+  let doc = "optimize only; print the chosen plan and its estimated cost" in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(const action $ location_term $ sql_arg $ algo_arg $ sample_arg $ hist_arg
+          $ analyze_arg $ save_arg $ dot_arg $ orderings_arg)
+
+(* --- compare ------------------------------------------------------------- *)
+
+let compare_cmd =
+  let action location sql sample hist =
+    report_result
+      (let* location = location in
+       with_mediator location (fun mediator ->
+           Format.printf "%-12s %12s %12s %9s@." "algorithm" "est. cost" "actual cost"
+             "answers";
+           let rec go = function
+             | [] -> Ok ()
+             | algo :: rest ->
+               let* report =
+                 Mediator.run_sql ~stats:(stats_of_sample sample hist) ~algo mediator sql
+               in
+               Format.printf "%-12s %12.1f %12.1f %9d@." (Optimizer.name algo)
+                 report.Mediator.optimized.Optimized.est_cost report.Mediator.actual_cost
+                 (Fusion_data.Item_set.cardinal report.Mediator.answer);
+               go rest
+           in
+           go Optimizer.all))
+  in
+  let doc = "run every algorithm over the same query and tabulate costs" in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const action $ location_term $ sql_arg $ sample_arg $ hist_arg)
+
+(* --- gen ----------------------------------------------------------------- *)
+
+let gen_cmd =
+  let out_arg =
+    let doc = "Output directory for the generated .csv files." in
+    Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"DIR" ~doc)
+  in
+  let n_arg =
+    let doc = "Number of sources." in
+    Arg.(value & opt int 8 & info [ "n"; "sources-count" ] ~docv:"N" ~doc)
+  in
+  let sels_arg =
+    let doc = "Per-condition selectivities (one condition per value)." in
+    Arg.(value & opt (list float) [ 0.1; 0.2; 0.3 ] & info [ "selectivities" ] ~docv:"S" ~doc)
+  in
+  let universe_arg =
+    let doc = "Number of distinct items in the world." in
+    Arg.(value & opt int 2000 & info [ "universe" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "PRNG seed." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let no_semijoin_arg =
+    let doc = "Fraction of sources without native semijoin support." in
+    Arg.(value & opt float 0.0 & info [ "no-semijoin" ] ~docv:"F" ~doc)
+  in
+  let slow_arg =
+    let doc = "Fraction of sources with a 10x slower network profile." in
+    Arg.(value & opt float 0.0 & info [ "slow" ] ~docv:"F" ~doc)
+  in
+  let tiny_arg =
+    let doc = "Fraction of sources holding ~2% of the normal data volume." in
+    Arg.(value & opt float 0.0 & info [ "tiny" ] ~docv:"F" ~doc)
+  in
+  let action out n sels universe seed no_semijoin slow tiny =
+    report_result
+      (let spec =
+         {
+           Workload.default_spec with
+           Workload.n_sources = n;
+           selectivities = Array.of_list sels;
+           universe;
+           seed;
+           heterogeneity =
+             { Workload.homogeneous with Workload.no_semijoin; slow; tiny };
+         }
+       in
+       let instance = Workload.generate spec in
+       Workload.save ~dir:out instance;
+       let sql =
+         Fusion_query.Query.to_sql ~union:"U"
+           ~merge:(Fusion_data.Schema.merge instance.Workload.schema)
+           instance.Workload.query
+       in
+       Format.printf
+         "wrote %d sources, catalog.ini and query.sql to %s@.example query:@.  %s@."
+         (Array.length instance.Workload.sources)
+         out sql;
+       Ok ())
+  in
+  let doc = "generate a synthetic workload as CSV source files + catalog" in
+  Cmd.v (Cmd.info "gen" ~doc)
+    Term.(const action $ out_arg $ n_arg $ sels_arg $ universe_arg $ seed_arg
+          $ no_semijoin_arg $ slow_arg $ tiny_arg)
+
+(* --- shell ----------------------------------------------------------------- *)
+
+let shell_cmd =
+  let action location =
+    report_result
+      (let* location = location in
+       with_mediator location (fun mediator ->
+           let cache = Fusion_plan.Exec.Query_cache.create () in
+           let algo = ref Optimizer.Sja_plus in
+           let help () =
+             print_string
+               "commands:\n\
+               \  SELECT ...        run a fusion query (cached session)\n\
+               \  .algo NAME        switch optimizer (filter, sj, sja, sja+, ...)\n\
+               \  .explain SELECT.. show the plan without running it\n\
+               \  .analyze SELECT.. run and show estimated vs actual per step\n\
+               \  .sources          list the federation's sources\n\
+               \  .stats            session cache statistics\n\
+               \  .help             this text\n\
+               \  .quit             leave\n"
+           in
+           let sources () =
+             Array.iter
+               (fun s -> Format.printf "  %a@." Fusion_source.Source.pp s)
+               (Mediator.sources mediator)
+           in
+           let stats () =
+             let s = Fusion_plan.Exec.Query_cache.stats cache in
+             Format.printf "cache: %d hits, %d misses, %.1f cost saved@."
+               s.Fusion_plan.Exec.Query_cache.hits s.Fusion_plan.Exec.Query_cache.misses
+               s.Fusion_plan.Exec.Query_cache.saved_cost
+           in
+           let explain ~analyze sql =
+             let schema = Mediator.schema mediator in
+             match Fusion_query.Sql.parse_fusion ~schema ~union:"U" sql with
+             | Error msg -> Format.printf "error: %s@." msg
+             | Ok query -> (
+               let env = Opt_env.create (Mediator.sources mediator) query in
+               let optimized = Optimizer.optimize !algo env in
+               let source_name j =
+                 Fusion_source.Source.name (Mediator.sources mediator).(j)
+               in
+               if not analyze then Format.printf "%a@." (Optimized.pp ~source_name) optimized
+               else begin
+                 Array.iter Fusion_source.Source.reset_meter (Mediator.sources mediator);
+                 match
+                   Fusion_plan.Exec.run ~cache
+                     ~sources:(Mediator.sources mediator)
+                     ~conds:env.Opt_env.conds optimized.Optimized.plan
+                 with
+                 | result ->
+                   let e =
+                     Fusion_plan.Explain.analyze ~model:env.Opt_env.model
+                       ~est:env.Opt_env.est ~sources:env.Opt_env.sources
+                       ~conds:env.Opt_env.conds optimized.Optimized.plan result
+                   in
+                   Format.printf "%a@." (Fusion_plan.Explain.pp ~source_name) e
+                 | exception Fusion_source.Source.Unsupported msg ->
+                   Format.printf "error: %s@." msg
+               end)
+           in
+           let run sql =
+             match Mediator.select_sql ~cache ~algo:!algo mediator sql with
+             | Error msg -> Format.printf "error: %s@." msg
+             | Ok result ->
+               let report = result.Mediator.report in
+               if List.length result.Mediator.columns = 1 then
+                 Format.printf "cost %.1f, %d answers: %a@." report.Mediator.actual_cost
+                   (Fusion_data.Item_set.cardinal report.Mediator.answer)
+                   Fusion_data.Item_set.pp report.Mediator.answer
+               else begin
+                 Format.printf "%s@." (String.concat " | " result.Mediator.columns);
+                 List.iter
+                   (fun row ->
+                     Format.printf "%s@."
+                       (String.concat " | " (List.map Fusion_data.Value.to_string row)))
+                   result.Mediator.rows;
+                 Format.printf
+                   "(%d rows; phase 1 cost %.1f, phase 2 cost %.1f)@."
+                   (List.length result.Mediator.rows)
+                   report.Mediator.actual_cost result.Mediator.fetch_cost
+               end
+           in
+           let prefix p line =
+             if String.length line >= String.length p && String.sub line 0 (String.length p) = p
+             then Some (String.trim (String.sub line (String.length p) (String.length line - String.length p)))
+             else None
+           in
+           Format.printf "fusion shell — %d sources; .help for commands@."
+             (Array.length (Mediator.sources mediator));
+           let quit = ref false in
+           (try
+              while not !quit do
+                print_string "fq> ";
+                let line = String.trim (read_line ()) in
+                if line = "" then ()
+                else if line = ".quit" || line = ".exit" then quit := true
+                else if line = ".help" then help ()
+                else if line = ".sources" then sources ()
+                else if line = ".stats" then stats ()
+                else
+                  match prefix ".algo" line with
+                  | Some name -> (
+                    match Optimizer.of_name name with
+                    | Ok a ->
+                      algo := a;
+                      Format.printf "algorithm: %s@." (Optimizer.name a)
+                    | Error msg -> Format.printf "error: %s@." msg)
+                  | None -> (
+                    match prefix ".explain" line with
+                    | Some sql -> explain ~analyze:false sql
+                    | None -> (
+                      match prefix ".analyze" line with
+                      | Some sql -> explain ~analyze:true sql
+                      | None ->
+                        if String.length line > 0 && line.[0] = '.' then
+                          Format.printf "unknown command %s (.help)@." line
+                        else run line))
+              done
+            with End_of_file -> ());
+           Ok ()))
+  in
+  let doc = "interactive fusion-query session (with the selection cache)" in
+  Cmd.v (Cmd.info "shell" ~doc) Term.(const action $ location_term)
+
+let main_cmd =
+  let doc = "fusion queries over (simulated) Internet databases" in
+  let info = Cmd.info "fqcli" ~version:"1.0.0" ~doc in
+  Cmd.group info [ gen_cmd; run_cmd; explain_cmd; compare_cmd; shell_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

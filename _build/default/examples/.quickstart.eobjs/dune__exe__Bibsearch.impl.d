@@ -1,0 +1,1 @@
+examples/bibsearch.ml: Array Format Fusion_core Fusion_data Fusion_mediator Fusion_net Fusion_query Fusion_source Fusion_stats Item_set List Optimizer Printf Relation Schema Source Tuple Value

@@ -1,0 +1,1 @@
+examples/dmv.ml: Array Capability Format Fusion_core Fusion_data Fusion_mediator Fusion_plan Fusion_source Fusion_stats Item_set List Optimized Optimizer Printf Relation Schema Source Tuple Value

@@ -1,0 +1,1 @@
+examples/parallel.ml: Adaptive Algorithms Array Exec Format Fusion_core Fusion_net Fusion_plan Fusion_source Fusion_workload Opt_env Optimized Parallel_exec Response_opt

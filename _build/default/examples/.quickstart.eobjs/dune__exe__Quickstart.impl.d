@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Fusion_core Fusion_mediator Fusion_workload List Optimizer

@@ -1,0 +1,1 @@
+examples/session.ml: Adaptive Array Exec Explain Format Fusion_core Fusion_data Fusion_mediator Fusion_plan Fusion_query Fusion_source Fusion_workload Item_set List Opt_env Optimized Optimizer

@@ -1,0 +1,1 @@
+examples/tsimmis.ml: Csv_io Format Fusion_core Fusion_data Fusion_mediator Fusion_oem Fusion_source Item_set List Optimizer Relation Result Schema Value

@@ -1,0 +1,27 @@
+(* Quickstart: the paper's Figure 1 DMV example, end to end.
+
+   Three state DMV databases hold overlapping driving records. We ask,
+   in SQL, for drivers with both a "dui" and an "sp" violation, let the
+   mediator detect the fusion pattern, optimize with each algorithm and
+   execute. Expected answer: {J55, T21}. *)
+
+open Fusion_core
+
+let () =
+  let instance = Fusion_workload.Workload.fig1 () in
+  let mediator =
+    Fusion_mediator.Mediator.create_exn (Array.to_list instance.Fusion_workload.Workload.sources)
+  in
+  let sql =
+    "SELECT u1.L FROM U u1, U u2 \
+     WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'"
+  in
+  Format.printf "query: %s@.@." sql;
+  List.iter
+    (fun algo ->
+      match Fusion_mediator.Mediator.run_sql ~algo mediator sql with
+      | Ok report ->
+        Format.printf "=== %s ===@.%a@.@." (Optimizer.name algo)
+          Fusion_mediator.Mediator.pp_report report
+      | Error msg -> Format.printf "=== %s === failed: %s@.@." (Optimizer.name algo) msg)
+    Optimizer.all

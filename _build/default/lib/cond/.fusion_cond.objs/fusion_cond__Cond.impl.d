@@ -1,0 +1,1 @@
+lib/cond/cond.ml: Format Fusion_data Hashtbl Lexer List Parser_state Printf Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/cond/cond.mli: Format Fusion_data Parser_state Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/cond/lexer.ml: Format List Printf String

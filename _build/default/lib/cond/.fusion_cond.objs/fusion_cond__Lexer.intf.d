@@ -1,0 +1,1 @@
+lib/cond/lexer.mli: Format

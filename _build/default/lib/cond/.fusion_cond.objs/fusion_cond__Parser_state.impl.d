@@ -1,0 +1,1 @@
+lib/cond/parser_state.ml: Format Fusion_data Lexer Printf Value

@@ -1,0 +1,1 @@
+lib/cond/parser_state.mli: Fusion_data Lexer Value

@@ -1,0 +1,22 @@
+(** Tokenizer shared by the condition parser and the SQL front-end. *)
+
+type token =
+  | Ident of string  (** bare identifier or keyword; case preserved *)
+  | Str of string  (** single-quoted string literal, unquoted *)
+  | Int of int
+  | Float of float
+  | Sym of string  (** one of [= <> != < <= > >= ( ) , . *] *)
+  | Eof
+
+type located = { token : token; offset : int }
+(** [offset] is the 0-based character position where the token starts
+    (end of input for [Eof]); parsers use it for error messages. *)
+
+val tokenize : string -> (located list, string) result
+(** The result always ends with [Eof]. Comments are not supported.
+    Lexical errors mention the offending offset. *)
+
+val is_keyword : string -> string -> bool
+(** [is_keyword kw ident] — case-insensitive keyword test. *)
+
+val pp_token : Format.formatter -> token -> unit

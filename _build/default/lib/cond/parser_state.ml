@@ -1,0 +1,68 @@
+open Fusion_data
+
+exception Parse_error of string
+
+type t = { mutable tokens : Lexer.located list }
+
+let of_string input =
+  match Lexer.tokenize input with
+  | Error msg -> Error msg
+  | Ok tokens -> Ok { tokens }
+
+let peek st =
+  match st.tokens with [] -> Lexer.Eof | t :: _ -> t.Lexer.token
+
+let offset st = match st.tokens with [] -> 0 | t :: _ -> t.Lexer.offset
+
+let advance st = match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let fail_at st msg =
+  raise
+    (Parse_error
+       (Format.asprintf "%s (at %a, offset %d)" msg Lexer.pp_token (peek st) (offset st)))
+
+let expect_sym st sym =
+  match peek st with
+  | Lexer.Sym s when s = sym -> advance st
+  | _ -> fail_at st (Printf.sprintf "expected %s" sym)
+
+let keyword st kw =
+  match peek st with
+  | Lexer.Ident id when Lexer.is_keyword kw id ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_keyword st kw =
+  if not (keyword st kw) then fail_at st (Printf.sprintf "expected %s" kw)
+
+let literal st =
+  match peek st with
+  | Lexer.Str s ->
+    advance st;
+    Value.String s
+  | Lexer.Int i ->
+    advance st;
+    Value.Int i
+  | Lexer.Float f ->
+    advance st;
+    Value.Float f
+  | Lexer.Ident id when Lexer.is_keyword "TRUE" id ->
+    advance st;
+    Value.Bool true
+  | Lexer.Ident id when Lexer.is_keyword "FALSE" id ->
+    advance st;
+    Value.Bool false
+  | Lexer.Ident id when Lexer.is_keyword "NULL" id ->
+    advance st;
+    Value.Null
+  | _ -> fail_at st "expected a literal"
+
+let ident st =
+  match peek st with
+  | Lexer.Ident id ->
+    advance st;
+    id
+  | _ -> fail_at st "expected an identifier"
+
+let at_eof st = peek st = Lexer.Eof

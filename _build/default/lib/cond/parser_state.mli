@@ -1,0 +1,30 @@
+(** Mutable token-stream state shared by the condition parser and the SQL
+    front-end. *)
+
+open Fusion_data
+
+exception Parse_error of string
+
+type t = { mutable tokens : Lexer.located list }
+
+val of_string : string -> (t, string) result
+(** Tokenizes the input. *)
+
+val peek : t -> Lexer.token
+val advance : t -> unit
+
+val fail_at : t -> string -> 'a
+(** @raise Parse_error with the message, the current token and its
+    offset appended. *)
+
+val expect_sym : t -> string -> unit
+val keyword : t -> string -> bool
+(** Consumes the keyword if present (case-insensitive); returns whether
+    it was. *)
+
+val expect_keyword : t -> string -> unit
+val literal : t -> Value.t
+val ident : t -> string
+(** Consumes and returns a bare identifier. *)
+
+val at_eof : t -> bool

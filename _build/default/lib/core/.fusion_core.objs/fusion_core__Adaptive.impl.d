@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Array Float Fusion_cost Fusion_data Fusion_plan Fusion_source Item_set List Opt_env Option Plan Source

@@ -1,0 +1,1 @@
+lib/core/adaptive.mli: Fusion_data Fusion_plan Item_set Opt_env Plan

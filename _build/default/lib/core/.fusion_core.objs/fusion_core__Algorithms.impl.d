@@ -1,0 +1,1 @@
+lib/core/algorithms.ml: Array Builder Float Fusion_cost Fusion_plan List Opt_env Optimized Option Perm Plan Recurrence

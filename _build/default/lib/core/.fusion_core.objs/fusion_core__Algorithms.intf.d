@@ -1,0 +1,1 @@
+lib/core/algorithms.mli: Opt_env Optimized

@@ -1,0 +1,1 @@
+lib/core/branch_bound.ml: Array Builder Fusion_cost Fusion_plan Opt_env Optimized Option Perm Plan

@@ -1,0 +1,1 @@
+lib/core/brute.ml: Array Builder Exec Fusion_plan Fusion_source List Opt_env Perm Plan Recurrence

@@ -1,0 +1,1 @@
+lib/core/brute.mli: Fusion_plan Opt_env Plan

@@ -1,0 +1,1 @@
+lib/core/builder.ml: Array Fusion_plan List Op Plan Printf

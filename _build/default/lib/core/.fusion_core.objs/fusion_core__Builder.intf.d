@@ -1,0 +1,1 @@
+lib/core/builder.mli: Fusion_plan Plan

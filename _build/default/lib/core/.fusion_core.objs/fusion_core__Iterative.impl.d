@@ -1,0 +1,1 @@
+lib/core/iterative.ml: Array Builder Fusion_cost Fusion_stats Opt_env Optimized Option Recurrence

@@ -1,0 +1,1 @@
+lib/core/iterative.mli: Opt_env Optimized

@@ -1,0 +1,1 @@
+lib/core/opt_env.mli: Cond Fusion_cond Fusion_cost Fusion_query Fusion_source Fusion_stats Source

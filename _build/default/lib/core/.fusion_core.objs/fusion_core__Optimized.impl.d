@@ -1,0 +1,1 @@
+lib/core/optimized.ml: Array Format Fusion_plan List Plan Printf String

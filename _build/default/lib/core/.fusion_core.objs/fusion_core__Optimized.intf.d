@@ -1,0 +1,1 @@
+lib/core/optimized.mli: Format Fusion_plan Plan

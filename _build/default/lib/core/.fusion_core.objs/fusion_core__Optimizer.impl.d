@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Algorithms Branch_bound Iterative List Postopt Printf String

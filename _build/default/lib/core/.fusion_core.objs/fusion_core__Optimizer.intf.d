@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Opt_env Optimized

@@ -1,0 +1,1 @@
+lib/core/postopt.ml: Algorithms Array Builder Fusion_cost Fusion_plan List Op Opt_env Optimized Plan Plan_cost Printf

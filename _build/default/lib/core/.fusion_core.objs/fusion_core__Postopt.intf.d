@@ -1,0 +1,1 @@
+lib/core/postopt.mli: Opt_env Optimized

@@ -1,0 +1,1 @@
+lib/core/recurrence.ml: Array Fusion_cost Fusion_plan Opt_env Plan

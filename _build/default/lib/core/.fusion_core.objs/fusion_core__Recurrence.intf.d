@@ -1,0 +1,1 @@
+lib/core/recurrence.mli: Fusion_plan Opt_env Plan

@@ -1,0 +1,1 @@
+lib/core/reference.ml: Array Cond Fusion_cond Fusion_data Fusion_query Fusion_source Item_set Relation Source

@@ -1,0 +1,1 @@
+lib/core/response_opt.ml: Array Builder Float Fusion_cost Fusion_plan List Opt_env Optimized Option Perm Plan

@@ -1,0 +1,1 @@
+lib/core/response_opt.mli: Fusion_plan Opt_env Optimized

@@ -1,0 +1,1 @@
+lib/core/robust.ml: Array Builder Float Fusion_cost Fusion_plan Opt_env Optimized Option Perm Plan

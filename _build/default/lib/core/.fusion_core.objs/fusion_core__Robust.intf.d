@@ -1,0 +1,1 @@
+lib/core/robust.mli: Fusion_plan Opt_env Optimized

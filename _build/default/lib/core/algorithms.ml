@@ -1,0 +1,56 @@
+open Fusion_plan
+module Model = Fusion_cost.Model
+module Estimator = Fusion_cost.Estimator
+
+let filter (env : Opt_env.t) =
+  let m = Opt_env.m env and n = Opt_env.n env in
+  let ordering = Array.init m (fun i -> i) in
+  let decisions = Array.init m (fun _ -> Array.make n Plan.By_select) in
+  let cost = ref 0.0 in
+  Array.iter
+    (fun c ->
+      Array.iter
+        (fun s -> cost := !cost +. env.model.Model.sq_cost s c)
+        env.sources)
+    env.conds;
+  { Optimized.plan = Builder.round_shaped ~ordering ~decisions; est_cost = !cost; ordering }
+
+let search_orderings env ~mode =
+  let m = Opt_env.m env in
+  let best = ref None in
+  Perm.iter m (fun ordering ->
+      let cost, decisions = Recurrence.evaluate env ~mode ordering in
+      match !best with
+      | Some (best_cost, _, _) when best_cost <= cost -> ()
+      | _ -> best := Some (cost, Array.copy ordering, decisions));
+  let cost, ordering, decisions = Option.get !best in
+  { Optimized.plan = Builder.round_shaped ~ordering ~decisions; est_cost = cost; ordering }
+
+let sj env = search_orderings env ~mode:Recurrence.Per_condition
+let sja env = search_orderings env ~mode:Recurrence.Per_source
+
+let sja_trace env =
+  let m = Opt_env.m env in
+  let surface = ref [] in
+  Perm.iter m (fun ordering ->
+      let cost, _ = Recurrence.evaluate env ~mode:Recurrence.Per_source ordering in
+      surface := (Array.copy ordering, cost) :: !surface);
+  List.sort (fun (_, a) (_, b) -> Float.compare a b) !surface
+
+(* Greedy ordering: most selective condition first — smallest expected
+   candidate set reduces every later semijoin's transfer. *)
+let greedy_ordering (env : Opt_env.t) =
+  let m = Opt_env.m env in
+  let keyed =
+    Array.init m (fun i -> (Estimator.first_round_size env.est env.conds.(i), i))
+  in
+  Array.sort compare keyed;
+  Array.map snd keyed
+
+let greedy env ~mode =
+  let ordering = greedy_ordering env in
+  let cost, decisions = Recurrence.evaluate env ~mode ordering in
+  { Optimized.plan = Builder.round_shaped ~ordering ~decisions; est_cost = cost; ordering }
+
+let greedy_sj env = greedy env ~mode:Recurrence.Per_condition
+let greedy_sja env = greedy env ~mode:Recurrence.Per_source

@@ -1,0 +1,29 @@
+(** The paper's optimization algorithms (Section 3) and their greedy
+    variants (from the extended version [24]).
+
+    All run in time linear in the number of sources [n]; FILTER is
+    O(mn), SJ and SJA are O(m!·m·n), the greedy variants O(mn + m log m). *)
+
+val filter : Opt_env.t -> Optimized.t
+(** The FILTER algorithm: push every condition to every source by
+    selection queries, combine at the mediator. No search. *)
+
+val sj : Opt_env.t -> Optimized.t
+(** The SJ algorithm (Figure 3): best semijoin plan — all m! orderings,
+    one selection-vs-semijoin decision per condition. *)
+
+val sja : Opt_env.t -> Optimized.t
+(** The SJA algorithm (Figure 4): best semijoin-adaptive plan — all m!
+    orderings, one decision per (condition, source). *)
+
+val greedy_sj : Opt_env.t -> Optimized.t
+(** SJ restricted to one heuristic ordering: conditions sorted by
+    increasing expected [|X_1|] (most selective first). *)
+
+val greedy_sja : Opt_env.t -> Optimized.t
+(** SJA restricted to the same heuristic ordering. *)
+
+val sja_trace : Opt_env.t -> (int array * float) list
+(** The full search surface: every condition ordering with its best
+    semijoin-adaptive cost, sorted cheapest first — optimizer
+    introspection for EXPLAIN-style tooling ("why this ordering?"). *)

@@ -1,0 +1,68 @@
+open Fusion_plan
+module Model = Fusion_cost.Model
+module Estimator = Fusion_cost.Estimator
+
+(* One round of the SJA recurrence: cost and decisions of appending
+   condition [c] given candidate-set estimate [x] ([x < 0] encodes
+   "first round": selections only). *)
+let extend (env : Opt_env.t) ~cond_index ~x =
+  let n = Opt_env.n env in
+  let c = env.conds.(cond_index) in
+  let decisions = Array.make n Plan.By_select in
+  let cost = ref 0.0 in
+  if x < 0.0 then begin
+    for j = 0 to n - 1 do
+      cost := !cost +. env.model.Model.sq_cost env.sources.(j) c
+    done;
+    (!cost, decisions, Estimator.first_round_size env.est c)
+  end
+  else begin
+    for j = 0 to n - 1 do
+      let sel = env.model.Model.sq_cost env.sources.(j) c in
+      let sjq = env.model.Model.sjq_cost env.sources.(j) c x in
+      if sjq < sel then begin
+        decisions.(j) <- Plan.By_semijoin;
+        cost := !cost +. sjq
+      end
+      else cost := !cost +. sel
+    done;
+    (!cost, decisions, Estimator.shrink env.est c x)
+  end
+
+let search (env : Opt_env.t) =
+  let m = Opt_env.m env in
+  let best_cost = ref infinity in
+  let best = ref None in
+  let nodes = ref 0 in
+  let ordering = Array.make m 0 in
+  let decisions = Array.init m (fun _ -> Array.make (Opt_env.n env) Plan.By_select) in
+  let used = Array.make m false in
+  let rec dfs depth cost x =
+    if cost >= !best_cost then () (* bound: costs only grow *)
+    else if depth = m then begin
+      best_cost := cost;
+      best := Some (Array.copy ordering, Array.map Array.copy decisions)
+    end
+    else
+      for c = 0 to m - 1 do
+        if not used.(c) then begin
+          incr nodes;
+          let round_cost, round_decisions, x' = extend env ~cond_index:c ~x in
+          ordering.(depth) <- c;
+          decisions.(depth) <- round_decisions;
+          used.(c) <- true;
+          dfs (depth + 1) (cost +. round_cost) x';
+          used.(c) <- false
+        end
+      done
+  in
+  dfs 0 0.0 (-1.0);
+  (!best_cost, Option.get !best, !nodes)
+
+let sja_bb env =
+  let cost, (ordering, decisions), _ = search env in
+  { Optimized.plan = Builder.round_shaped ~ordering ~decisions; est_cost = cost; ordering }
+
+let visited_orderings env =
+  let _, _, nodes = search env in
+  (nodes, Perm.count (Opt_env.m env))

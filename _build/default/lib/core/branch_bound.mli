@@ -1,0 +1,21 @@
+(** Branch-and-bound ordering search.
+
+    SJA enumerates all m! condition orderings; but plan cost only grows
+    as rounds are appended, so a partial ordering whose cost already
+    exceeds the best complete plan cannot lead anywhere better. This
+    depth-first search over ordering prefixes prunes such subtrees and
+    returns {e exactly} the same optimum as SJA (asserted by property
+    tests), typically visiting a small fraction of the tree — which
+    extends the practical reach of exact search beyond the paper's
+    "m is usually small" regime (experiment X6d).
+
+    A further admissible bound would need a lower bound on the cost of
+    the remaining conditions; we use the trivial zero bound, which
+    already prunes well because early rounds dominate plan cost. *)
+
+val sja_bb : Opt_env.t -> Optimized.t
+(** Same result as {!Algorithms.sja}. *)
+
+val visited_orderings : Opt_env.t -> int * int
+(** Diagnostic: (prefix nodes expanded, m! full orderings) for the same
+    search — how much of the tree the bound pruned. *)

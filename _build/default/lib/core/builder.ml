@@ -1,0 +1,31 @@
+open Fusion_plan
+
+let var r j = Printf.sprintf "X%d_%d" r (j + 1)
+let round_var r = Printf.sprintf "X%d" r
+let union_var r = Printf.sprintf "U%d" r
+
+let round_shaped ~ordering ~decisions =
+  let m = Array.length ordering in
+  assert (Array.length decisions = m);
+  assert (Array.for_all (fun a -> a = Plan.By_select) decisions.(0));
+  let n = Array.length decisions.(0) in
+  let ops = ref [] in
+  let emit op = ops := op :: !ops in
+  for r = 1 to m do
+    let cond = ordering.(r - 1) in
+    let dsts = ref [] in
+    for j = 0 to n - 1 do
+      let dst = var r j in
+      dsts := dst :: !dsts;
+      match decisions.(r - 1).(j) with
+      | Plan.By_select -> emit (Op.Select { dst; cond; source = j })
+      | Plan.By_semijoin ->
+        emit (Op.Semijoin { dst; cond; source = j; input = round_var (r - 1) })
+    done;
+    if r = 1 then emit (Op.Union { dst = round_var 1; args = List.rev !dsts })
+    else begin
+      emit (Op.Union { dst = union_var r; args = List.rev !dsts });
+      emit (Op.Inter { dst = round_var r; args = [ round_var (r - 1); union_var r ] })
+    end
+  done;
+  Plan.create ~ops:(List.rev !ops) ~output:(round_var m)

@@ -1,0 +1,18 @@
+(** Emits round-shaped plans from an ordering and per-round decisions,
+    with the variable naming of the paper's figures ([X11], [X1], ...). *)
+
+open Fusion_plan
+
+val var : int -> int -> string
+(** [var r j] is the per-source variable of round [r] (1-based) and
+    source [j] (0-based): ["X<r>_<j+1>"]. *)
+
+val round_var : int -> string
+(** ["X<r>"] — the running result after round [r]. *)
+
+val round_shaped : ordering:int array -> decisions:Plan.action array array -> Plan.t
+(** [decisions.(r).(j)] says how round [r+1] treats source [j];
+    [decisions.(0)] must be all [By_select] (Section 2.5: the first
+    condition is always evaluated by selection queries). Semijoin rounds
+    read the previous round's variable. The plan ends with the last
+    round's variable. *)

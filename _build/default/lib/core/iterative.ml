@@ -1,0 +1,68 @@
+module Prng = Fusion_stats.Prng
+
+let cost_of env ordering = fst (Recurrence.evaluate env ~mode:Recurrence.Per_source ordering)
+
+(* Steepest-descent over pairwise swaps. *)
+let climb env ordering =
+  let m = Array.length ordering in
+  let current = Array.copy ordering in
+  let current_cost = ref (cost_of env current) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let best_swap = ref None in
+    for i = 0 to m - 2 do
+      for j = i + 1 to m - 1 do
+        let tmp = current.(i) in
+        current.(i) <- current.(j);
+        current.(j) <- tmp;
+        let cost = cost_of env current in
+        (match !best_swap with
+        | Some (best_cost, _, _) when best_cost <= cost -> ()
+        | _ -> if cost < !current_cost then best_swap := Some (cost, i, j));
+        let tmp = current.(i) in
+        current.(i) <- current.(j);
+        current.(j) <- tmp
+      done
+    done;
+    match !best_swap with
+    | Some (cost, i, j) ->
+      let tmp = current.(i) in
+      current.(i) <- current.(j);
+      current.(j) <- tmp;
+      current_cost := cost;
+      improved := true
+    | None -> ()
+  done;
+  (current, !current_cost)
+
+let greedy_ordering (env : Opt_env.t) =
+  let m = Opt_env.m env in
+  let keyed =
+    Array.init m (fun i ->
+        (Fusion_cost.Estimator.first_round_size env.est env.conds.(i), i))
+  in
+  Array.sort compare keyed;
+  Array.map snd keyed
+
+let sja_hill_climb ?(restarts = 4) ?(seed = 1) env =
+  let m = Opt_env.m env in
+  let prng = Prng.create seed in
+  let best = ref None in
+  for restart = 0 to max 0 (restarts - 1) do
+    let start =
+      if restart = 0 then greedy_ordering env
+      else begin
+        let ordering = Array.init m (fun i -> i) in
+        Prng.shuffle prng ordering;
+        ordering
+      end
+    in
+    let ordering, cost = climb env start in
+    match !best with
+    | Some (best_cost, _) when best_cost <= cost -> ()
+    | _ -> best := Some (cost, ordering)
+  done;
+  let cost, ordering = Option.get !best in
+  let _, decisions = Recurrence.evaluate env ~mode:Recurrence.Per_source ordering in
+  { Optimized.plan = Builder.round_shaped ~ordering ~decisions; est_cost = cost; ordering }

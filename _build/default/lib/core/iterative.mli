@@ -1,0 +1,19 @@
+(** Randomized iterative improvement over condition orderings.
+
+    Between the greedy heuristic (O(mn), may settle for a mediocre
+    ordering) and the exhaustive/branch-and-bound search (exact, but
+    factorial in m), classic query optimization offers hill climbing
+    with random restarts. A state is a condition ordering; its cost is
+    the SJA recurrence; neighbors swap two positions. Deterministic in
+    the seed.
+
+    For the paper's usual m ⩽ 5 this is pointless — SJA is fast and
+    exact. It earns its keep when fusion queries grow many conditions
+    (m ⩾ 8), where X6e measures how close it gets to the greedy and
+    exact costs. *)
+
+val sja_hill_climb : ?restarts:int -> ?seed:int -> Opt_env.t -> Optimized.t
+(** Defaults: 4 restarts, seed 1. The first restart starts from the
+    greedy ordering (so the result is never worse than greedy); later
+    restarts start from random permutations. Each climb repeatedly
+    applies the best improving pairwise swap until a local optimum. *)

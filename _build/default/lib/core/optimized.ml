@@ -1,0 +1,9 @@
+open Fusion_plan
+
+type t = { plan : Plan.t; est_cost : float; ordering : int array }
+
+let pp ?source_name ppf t =
+  Format.fprintf ppf "@[<v>estimated cost %.1f, condition order [%s]@,%a@]" t.est_cost
+    (String.concat "; "
+       (List.map (fun c -> Printf.sprintf "c%d" (c + 1)) (Array.to_list t.ordering)))
+    (Plan.pp ?source_name) t.plan

@@ -1,0 +1,13 @@
+(** The outcome of an optimization: a plan plus the optimizer's own cost
+    estimate (the paper's [Plan_Cost]) and the condition ordering it
+    settled on. *)
+
+open Fusion_plan
+
+type t = {
+  plan : Plan.t;
+  est_cost : float;
+  ordering : int array;  (** condition indexes, first-processed first *)
+}
+
+val pp : ?source_name:(int -> string) -> Format.formatter -> t -> unit

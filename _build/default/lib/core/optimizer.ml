@@ -1,0 +1,39 @@
+type algo = Filter | Sj | Sja | Sja_plus | Greedy_sj | Greedy_sja | Sja_bb | Hill_climb
+
+let all = [ Filter; Sj; Sja; Sja_plus; Greedy_sj; Greedy_sja; Sja_bb; Hill_climb ]
+
+let name = function
+  | Filter -> "filter"
+  | Sj -> "sj"
+  | Sja -> "sja"
+  | Sja_plus -> "sja+"
+  | Greedy_sj -> "greedy-sj"
+  | Greedy_sja -> "greedy-sja"
+  | Sja_bb -> "sja-bb"
+  | Hill_climb -> "hill-climb"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "filter" -> Ok Filter
+  | "sj" -> Ok Sj
+  | "sja" -> Ok Sja
+  | "sja+" | "sjaplus" | "sja-plus" -> Ok Sja_plus
+  | "greedy-sj" | "greedysj" -> Ok Greedy_sj
+  | "greedy-sja" | "greedysja" -> Ok Greedy_sja
+  | "sja-bb" | "sjabb" | "bb" -> Ok Sja_bb
+  | "hill-climb" | "hillclimb" | "hill" -> Ok Hill_climb
+  | other ->
+    Error
+      (Printf.sprintf "unknown algorithm %S (expected %s)" other
+         (String.concat ", " (List.map name all)))
+
+let optimize algo env =
+  match algo with
+  | Filter -> Algorithms.filter env
+  | Sj -> Algorithms.sj env
+  | Sja -> Algorithms.sja env
+  | Sja_plus -> Postopt.sja_plus env
+  | Greedy_sj -> Algorithms.greedy_sj env
+  | Greedy_sja -> Algorithms.greedy_sja env
+  | Sja_bb -> Branch_bound.sja_bb env
+  | Hill_climb -> Iterative.sja_hill_climb env

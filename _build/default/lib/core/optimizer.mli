@@ -1,0 +1,23 @@
+(** Front door of the optimizer suite: pick an algorithm by name. *)
+
+type algo =
+  | Filter
+  | Sj
+  | Sja
+  | Sja_plus
+  | Greedy_sj
+  | Greedy_sja
+  | Sja_bb  (** branch-and-bound: SJA's optimum, pruned search *)
+  | Hill_climb  (** randomized iterative improvement over orderings *)
+
+val all : algo list
+(** In increasing plan-space order: FILTER, SJ, SJA, SJA+, the two
+    greedy variants, then the alternative searches (branch-and-bound,
+    hill climbing). *)
+
+val name : algo -> string
+
+val of_name : string -> (algo, string) result
+(** Accepts the {!name} forms, case-insensitively. *)
+
+val optimize : algo -> Opt_env.t -> Optimized.t

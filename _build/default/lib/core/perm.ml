@@ -1,0 +1,28 @@
+let iter k f =
+  let arr = Array.init k (fun i -> i) in
+  let swap i j =
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  in
+  (* Heap's algorithm, iterative form. *)
+  let c = Array.make k 0 in
+  f arr;
+  let i = ref 0 in
+  while !i < k do
+    if c.(!i) < !i then begin
+      if !i mod 2 = 0 then swap 0 !i else swap c.(!i) !i;
+      f arr;
+      c.(!i) <- c.(!i) + 1;
+      i := 0
+    end
+    else begin
+      c.(!i) <- 0;
+      incr i
+    end
+  done
+
+let count k =
+  if k < 0 || k > 20 then invalid_arg "Perm.count";
+  let rec go acc i = if i <= 1 then acc else go (acc * i) (i - 1) in
+  go 1 k

@@ -1,0 +1,10 @@
+(** Permutation enumeration for the optimizers' "loop A" over condition
+    orderings. *)
+
+val iter : int -> (int array -> unit) -> unit
+(** [iter k f] calls [f] on every permutation of [0..k-1] (Heap's
+    algorithm). The array is reused across calls — copy it if you keep
+    it. *)
+
+val count : int -> int
+(** [k!]; raises [Invalid_argument] beyond 20 (overflow). *)

@@ -1,0 +1,163 @@
+open Fusion_plan
+
+let plan_estimate (env : Opt_env.t) plan =
+  Plan_cost.estimate ~model:env.model ~est:env.est ~sources:env.sources ~conds:env.conds
+    plan
+
+let reprice env (optimized : Optimized.t) =
+  { optimized with Optimized.est_cost = (plan_estimate env optimized.Optimized.plan).Plan_cost.total }
+
+type semijoin_order = Source_order | By_confirmation
+
+(* Rebuild a round-shaped plan with selection queries first and pruned,
+   chained semijoin sets (Figure 5(c)). [rank] orders each round's
+   semijoin targets (smaller first). *)
+let build_pruned ~rank rounds_list =
+  let ops = ref [] in
+  let emit op = ops := op :: !ops in
+  let round_var r = Builder.round_var r in
+  List.iteri
+    (fun idx { Plan.cond; actions } ->
+      let r = idx + 1 in
+      let selects = ref [] and semijoins = ref [] in
+      Array.iteri
+        (fun j a ->
+          if a = Plan.By_select then selects := j :: !selects
+          else semijoins := j :: !semijoins)
+        actions;
+      let selects = List.rev !selects in
+      let semijoins =
+        List.sort
+          (fun j1 j2 -> compare (rank cond j1) (rank cond j2))
+          (List.rev !semijoins)
+      in
+      let dsts = ref [] in
+      List.iter
+        (fun j ->
+          let dst = Builder.var r j in
+          dsts := dst :: !dsts;
+          emit (Op.Select { dst; cond; source = j }))
+        selects;
+      if r = 1 then emit (Op.Union { dst = round_var 1; args = List.rev !dsts })
+      else begin
+        (* Current pruned candidate set; starts as X_{r-1} minus the
+           items the selection queries already confirmed. *)
+        let current = ref (round_var (r - 1)) in
+        let steps = ref 0 in
+        let subtract var =
+          incr steps;
+          let dst = Printf.sprintf "D%d_%d" r !steps in
+          emit (Op.Diff { dst; left = !current; right = var });
+          current := dst
+        in
+        if semijoins <> [] && selects <> [] then begin
+          let sel_union = Printf.sprintf "S%d" r in
+          emit (Op.Union { dst = sel_union; args = List.rev !dsts });
+          subtract sel_union
+        end;
+        List.iteri
+          (fun k j ->
+            let dst = Builder.var r j in
+            dsts := dst :: !dsts;
+            emit (Op.Semijoin { dst; cond; source = j; input = !current });
+            if k < List.length semijoins - 1 then subtract dst)
+          semijoins;
+        emit (Op.Union { dst = Printf.sprintf "U%d" r; args = List.rev !dsts });
+        emit
+          (Op.Inter { dst = round_var r; args = [ round_var (r - 1); Printf.sprintf "U%d" r ] })
+      end)
+    rounds_list;
+  Plan.create ~ops:(List.rev !ops) ~output:(round_var (List.length rounds_list))
+
+let prune_with_difference ?(order = Source_order) (env : Opt_env.t)
+    (optimized : Optimized.t) =
+  match Plan.rounds ~n:(Opt_env.n env) optimized.Optimized.plan with
+  | Error _ -> optimized
+  | Ok rounds_list ->
+    let has_semijoin =
+      List.exists
+        (fun r -> Array.exists (fun a -> a = Plan.By_semijoin) r.Plan.actions)
+        rounds_list
+    in
+    if not has_semijoin then reprice env optimized
+    else
+      let rank cond j =
+        match order with
+        | Source_order -> float_of_int j
+        | By_confirmation ->
+          (* Most-confirming source first: larger matching counts
+             earlier means later semijoin sets shrink faster. *)
+          -.Fusion_cost.Estimator.matching env.Opt_env.est env.Opt_env.sources.(j)
+              env.Opt_env.conds.(cond)
+      in
+      let plan = build_pruned ~rank rounds_list in
+      let cost = (plan_estimate env plan).Plan_cost.total in
+      let current = reprice env optimized in
+      if cost <= current.Optimized.est_cost then
+        { current with Optimized.plan; est_cost = cost }
+      else current
+
+(* Replace all queries on [source] by a load and local computation. *)
+let load_one source_index plan =
+  let load_var = Printf.sprintf "L%d" (source_index + 1) in
+  let rewritten =
+    List.concat_map
+      (fun (op : Op.t) ->
+        match op with
+        | Select { dst; cond; source } when source = source_index ->
+          [ Op.Local_select { dst; cond; input = load_var } ]
+        | Semijoin { dst; cond; source; input } when source = source_index ->
+          let tmp = dst ^ "_t" in
+          [ Op.Local_select { dst = tmp; cond; input = load_var };
+            Op.Inter { dst; args = [ tmp; input ] } ]
+        | other -> [ other ])
+      (Plan.ops plan)
+  in
+  Plan.create
+    ~ops:(Op.Load { dst = load_var; source = source_index } :: rewritten)
+    ~output:(Plan.output plan)
+
+let load_sources (env : Opt_env.t) (optimized : Optimized.t) =
+  let n = Opt_env.n env in
+  let model = env.model in
+  let rec improve plan cost =
+    let estimate = plan_estimate env plan in
+    let per_source = Array.make n 0.0 in
+    List.iteri
+      (fun i (op : Op.t) ->
+        match op with
+        | Select { source; _ } | Semijoin { source; _ } | Load { source; _ } ->
+          per_source.(source) <- per_source.(source) +. estimate.Plan_cost.op_costs.(i)
+        | _ -> ())
+      (Plan.ops plan);
+    (* Load the source with the largest saving, then reconsider: loading
+       one source changes nothing for the others, but keeping the loop
+       makes the decision robust to future cost models. *)
+    let best = ref None in
+    for j = 0 to n - 1 do
+      let already_loaded =
+        List.exists
+          (fun (op : Op.t) -> match op with Op.Load { source; _ } -> source = j | _ -> false)
+          (Plan.ops plan)
+      in
+      if (not already_loaded) && per_source.(j) > 0.0 then begin
+        let saving = per_source.(j) -. model.Fusion_cost.Model.lq_cost env.sources.(j) in
+        match !best with
+        | Some (s, _) when s >= saving -> ()
+        | _ -> if saving > 0.0 then best := Some (saving, j)
+      end
+    done;
+    match !best with
+    | None -> (plan, cost)
+    | Some (_, j) ->
+      let plan' = load_one j plan in
+      let cost' = (plan_estimate env plan').Plan_cost.total in
+      if cost' < cost then improve plan' cost' else (plan, cost)
+  in
+  let start = reprice env optimized in
+  let plan, est_cost = improve start.Optimized.plan start.Optimized.est_cost in
+  { start with Optimized.plan; est_cost }
+
+let sja_plus ?order env =
+  let base = Algorithms.sja env in
+  load_sources env (prune_with_difference ?order env base)

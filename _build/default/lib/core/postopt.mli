@@ -1,0 +1,33 @@
+(** Postoptimization (Section 4): the two SJA+ rewrites.
+
+    Both leave the space of simple plans: difference pruning shrinks the
+    semijoin sets by items already confirmed for the current condition,
+    and source loading replaces all of a source's queries by one [lq]
+    plus free local computation. Costs here are whole-plan estimates
+    from {!Fusion_plan.Plan_cost} (the recurrence of SJ/SJA cannot price
+    non-simple plans). *)
+
+type semijoin_order =
+  | Source_order  (** the paper's O(n) pass: sources in index order *)
+  | By_confirmation
+      (** sources expected to confirm the most candidates first, so
+          later semijoin sets shrink faster (an extended-version-style
+          refinement; same complexity after an O(n log n) sort) *)
+
+val prune_with_difference :
+  ?order:semijoin_order -> Opt_env.t -> Optimized.t -> Optimized.t
+(** Rewrites each round of a round-shaped plan so that selection queries
+    run first and each semijoin query ships only the candidates not yet
+    confirmed for this condition ([X_{i-1}] minus earlier results).
+    [order] (default {!Source_order}) decides the sequence of the
+    chained semijoins. Plans that are not round-shaped are returned
+    unchanged. *)
+
+val load_sources : Opt_env.t -> Optimized.t -> Optimized.t
+(** For every source whose estimated total query cost exceeds the cost
+    of shipping its whole relation, replaces its queries by a [lq] and
+    local selections. *)
+
+val sja_plus : ?order:semijoin_order -> Opt_env.t -> Optimized.t
+(** The SJA+ algorithm: run SJA, prune with differences, then consider
+    loading. Complexity O(m!·m·n + mn) as in Section 4.1. *)

@@ -1,0 +1,67 @@
+open Fusion_plan
+module Model = Fusion_cost.Model
+module Estimator = Fusion_cost.Estimator
+
+type mode = Per_condition | Per_source
+
+let evaluate (env : Opt_env.t) ~mode ordering =
+  let n = Opt_env.n env and m = Array.length ordering in
+  let model = env.model and est = env.est in
+  let decisions = Array.init m (fun _ -> Array.make n Plan.By_select) in
+  (* Round 1: selection queries everywhere. *)
+  let c0 = env.conds.(ordering.(0)) in
+  let cost = ref 0.0 in
+  for j = 0 to n - 1 do
+    cost := !cost +. model.Model.sq_cost env.sources.(j) c0
+  done;
+  let x = ref (Estimator.first_round_size est c0) in
+  for r = 1 to m - 1 do
+    let c = env.conds.(ordering.(r)) in
+    (match mode with
+    | Per_condition ->
+      let sel = ref 0.0 and sjq = ref 0.0 in
+      for j = 0 to n - 1 do
+        sel := !sel +. model.Model.sq_cost env.sources.(j) c;
+        sjq := !sjq +. model.Model.sjq_cost env.sources.(j) c !x
+      done;
+      if !sjq < !sel then begin
+        Array.fill decisions.(r) 0 n Plan.By_semijoin;
+        cost := !cost +. !sjq
+      end
+      else cost := !cost +. !sel
+    | Per_source ->
+      for j = 0 to n - 1 do
+        let sel = model.Model.sq_cost env.sources.(j) c in
+        let sjq = model.Model.sjq_cost env.sources.(j) c !x in
+        if sjq < sel then begin
+          decisions.(r).(j) <- Plan.By_semijoin;
+          cost := !cost +. sjq
+        end
+        else cost := !cost +. sel
+      done);
+    x := Estimator.shrink est c !x
+  done;
+  (!cost, decisions)
+
+let cost_of (env : Opt_env.t) ordering decisions =
+  let n = Opt_env.n env and m = Array.length ordering in
+  let model = env.model and est = env.est in
+  let c0 = env.conds.(ordering.(0)) in
+  let cost = ref 0.0 in
+  for j = 0 to n - 1 do
+    cost := !cost +. model.Model.sq_cost env.sources.(j) c0
+  done;
+  let x = ref (Estimator.first_round_size est c0) in
+  for r = 1 to m - 1 do
+    let c = env.conds.(ordering.(r)) in
+    for j = 0 to n - 1 do
+      cost :=
+        !cost
+        +.
+        match decisions.(r).(j) with
+        | Plan.By_select -> model.Model.sq_cost env.sources.(j) c
+        | Plan.By_semijoin -> model.Model.sjq_cost env.sources.(j) c !x
+    done;
+    x := Estimator.shrink est c !x
+  done;
+  !cost

@@ -1,0 +1,21 @@
+(** The shared inner loop ("loop B") of the SJ and SJA algorithms:
+    walk an ordering of the conditions, decide selection-vs-semijoin,
+    and accumulate the plan cost estimate. *)
+
+open Fusion_plan
+
+type mode =
+  | Per_condition
+      (** SJ: compare the {e sums} of the n selection costs and the n
+          semijoin costs, pick one strategy for the whole round *)
+  | Per_source
+      (** SJA: pick the cheaper strategy independently at each source *)
+
+val evaluate : Opt_env.t -> mode:mode -> int array -> float * Plan.action array array
+(** [evaluate env ~mode ordering] is the cost of the best round-shaped
+    plan for this ordering under [mode], plus its decisions (indexed by
+    round, then source). The first round is always all-selection. *)
+
+val cost_of : Opt_env.t -> int array -> Plan.action array array -> float
+(** Cost of the round-shaped plan with the {e given} ordering and
+    decisions, under the same recurrence. *)

@@ -1,0 +1,18 @@
+open Fusion_data
+open Fusion_cond
+open Fusion_source
+
+let satisfying_somewhere sources cond =
+  Array.fold_left
+    (fun acc source ->
+      let relation = Source.relation source in
+      let pred tuple = Cond.eval (Relation.schema relation) cond tuple in
+      Item_set.union acc (Relation.select_items relation pred))
+    Item_set.empty sources
+
+let answer ~sources ~conds =
+  Item_set.inter_list
+    (Array.to_list (Array.map (satisfying_somewhere sources) conds))
+
+let answer_query ~sources query =
+  answer ~sources ~conds:(Fusion_query.Query.conditions query)

@@ -1,0 +1,12 @@
+(** Ground-truth fusion-query semantics, computed directly on the source
+    relations without going through wrappers or plans: the answer is
+    [∩_i ∪_j { items satisfying c_i at R_j }]. Used to check that every
+    optimizer's plan executes to the correct answer. *)
+
+open Fusion_data
+open Fusion_cond
+open Fusion_source
+
+val answer : sources:Source.t array -> conds:Cond.t array -> Item_set.t
+
+val answer_query : sources:Source.t array -> Fusion_query.Query.t -> Item_set.t

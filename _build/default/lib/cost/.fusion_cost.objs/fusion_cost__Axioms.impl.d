@@ -1,0 +1,1 @@
+lib/cost/axioms.ml: Array Cond Float Fusion_cond Fusion_source List Model Printf Source

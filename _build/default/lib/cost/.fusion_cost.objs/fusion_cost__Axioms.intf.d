@@ -1,0 +1,1 @@
+lib/cost/axioms.mli: Cond Fusion_cond Fusion_source Model Source

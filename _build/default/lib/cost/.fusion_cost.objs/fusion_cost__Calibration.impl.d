@@ -1,0 +1,1 @@
+lib/cost/calibration.ml: Array Capability Float Fusion_data Fusion_net Fusion_source List Source

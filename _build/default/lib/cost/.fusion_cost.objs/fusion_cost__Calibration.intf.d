@@ -1,0 +1,1 @@
+lib/cost/calibration.mli: Fusion_cond Fusion_net Fusion_source

@@ -1,0 +1,1 @@
+lib/cost/estimator.ml: Float Fusion_source Fusion_stats Hashtbl List Source

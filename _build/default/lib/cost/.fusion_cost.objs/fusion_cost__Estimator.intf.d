@@ -1,0 +1,1 @@
+lib/cost/estimator.mli: Cond Fusion_cond Fusion_source Fusion_stats Source

@@ -1,0 +1,1 @@
+lib/cost/model.ml: Capability Cond Estimator Float Fusion_cond Fusion_data Fusion_net Fusion_source Source

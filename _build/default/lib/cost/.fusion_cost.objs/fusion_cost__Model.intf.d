@@ -1,0 +1,1 @@
+lib/cost/model.mli: Cond Estimator Fusion_cond Fusion_source Source

@@ -1,0 +1,190 @@
+open Fusion_source
+module Meter = Fusion_net.Meter
+module Profile = Fusion_net.Profile
+
+type observation = {
+  requests : int;
+  items_sent : int;
+  items_received : int;
+  tuples_received : int;
+  cost : float;
+}
+
+let observe_totals ~before ~after =
+  let d f = f after - f before in
+  let requests = d (fun (t : Meter.totals) -> t.Meter.requests) in
+  if requests < 1 then
+    invalid_arg "Calibration.observe_totals: snapshots not at least one request apart";
+  {
+    requests;
+    items_sent = d (fun t -> t.Meter.items_sent);
+    items_received = d (fun t -> t.Meter.items_received);
+    tuples_received = d (fun t -> t.Meter.tuples_received);
+    cost = after.Meter.cost -. before.Meter.cost;
+  }
+
+(* Solve the k×k system [a] x = [b] by Gaussian elimination with partial
+   pivoting; None if (near-)singular. *)
+let solve a b =
+  let k = Array.length b in
+  let a = Array.map Array.copy a and b = Array.copy b in
+  let ok = ref true in
+  for col = 0 to k - 1 do
+    (* pivot *)
+    let pivot = ref col in
+    for row = col + 1 to k - 1 do
+      if Float.abs a.(row).(col) > Float.abs a.(!pivot).(col) then pivot := row
+    done;
+    if Float.abs a.(!pivot).(col) < 1e-9 then ok := false
+    else begin
+      if !pivot <> col then begin
+        let tmp = a.(col) in
+        a.(col) <- a.(!pivot);
+        a.(!pivot) <- tmp;
+        let tmp = b.(col) in
+        b.(col) <- b.(!pivot);
+        b.(!pivot) <- tmp
+      end;
+      for row = col + 1 to k - 1 do
+        let factor = a.(row).(col) /. a.(col).(col) in
+        for c = col to k - 1 do
+          a.(row).(c) <- a.(row).(c) -. (factor *. a.(col).(c))
+        done;
+        b.(row) <- b.(row) -. (factor *. b.(col))
+      done
+    end
+  done;
+  if not !ok then None
+  else begin
+    let x = Array.make k 0.0 in
+    for row = k - 1 downto 0 do
+      let acc = ref b.(row) in
+      for c = row + 1 to k - 1 do
+        acc := !acc -. (a.(row).(c) *. x.(c))
+      done;
+      x.(row) <- !acc /. a.(row).(row)
+    done;
+    Some x
+  end
+
+let feature obs i =
+  match i with
+  | 0 -> float_of_int obs.requests
+  | 1 -> float_of_int obs.items_sent
+  | 2 -> float_of_int obs.items_received
+  | _ -> float_of_int obs.tuples_received
+
+(* Least squares over the active columns (normal equations), dropping
+   the most negative coefficient until all remaining are non-negative. *)
+let fit observations =
+  if List.length observations < 4 then
+    Error "calibration needs at least 4 observations"
+  else begin
+    let rec attempt active =
+      if active = [] then Error "calibration degenerated to no parameters"
+      else begin
+        let k = List.length active in
+        let xtx = Array.make_matrix k k 0.0 and xty = Array.make k 0.0 in
+        List.iter
+          (fun obs ->
+            List.iteri
+              (fun i ci ->
+                xty.(i) <- xty.(i) +. (feature obs ci *. obs.cost);
+                List.iteri
+                  (fun j cj -> xtx.(i).(j) <- xtx.(i).(j) +. (feature obs ci *. feature obs cj))
+                  active)
+              active)
+          observations;
+        (* A whiff of ridge regularization keeps collinear probe columns
+           (e.g. requests ≈ items_sent under emulated semijoins) from
+           making the system singular; the bias is negligible against
+           real measurements. *)
+        let trace = ref 0.0 in
+        for i = 0 to k - 1 do
+          trace := !trace +. xtx.(i).(i)
+        done;
+        let ridge = 1e-8 *. Float.max 1.0 (!trace /. float_of_int k) in
+        for i = 0 to k - 1 do
+          xtx.(i).(i) <- xtx.(i).(i) +. ridge
+        done;
+        match solve xtx xty with
+        | None ->
+          (* Columns without variation make the system singular: drop
+             any all-zero column and retry; otherwise give up. *)
+          let has_signal ci =
+            List.exists (fun obs -> feature obs ci <> 0.0) observations
+          in
+          let trimmed = List.filter has_signal active in
+          if List.length trimmed < List.length active then attempt trimmed
+          else Error "calibration system is singular (probes lack variation)"
+        | Some coefficients ->
+          let worst = ref None in
+          List.iteri
+            (fun i ci ->
+              if coefficients.(i) < -1e-6 then
+                match !worst with
+                | Some (v, _) when v <= coefficients.(i) -> ()
+                | _ -> worst := Some (coefficients.(i), ci))
+            active;
+          (match !worst with
+          | Some (_, drop) -> attempt (List.filter (fun ci -> ci <> drop) active)
+          | None ->
+            let value ci =
+              let rec find i = function
+                | [] -> 0.0
+                | c :: _ when c = ci -> Float.max 0.0 coefficients.(i)
+                | _ :: rest -> find (i + 1) rest
+              in
+              find 0 active
+            in
+            Ok
+              (Profile.make ~request_overhead:(value 0) ~send_per_item:(value 1)
+                 ~recv_per_item:(value 2) ~recv_per_tuple:(value 3) ()))
+      end
+    in
+    attempt [ 0; 1; 2; 3 ]
+  end
+
+let fit_source ?(rounds = 2) source conds =
+  Source.reset_meter source;
+  let observations = ref [] in
+  let snapshot = ref (Source.totals source) in
+  let record () =
+    let now = Source.totals source in
+    observations := observe_totals ~before:!snapshot ~after:now :: !observations;
+    snapshot := now
+  in
+  let caps = Source.capability source in
+  for _ = 1 to rounds do
+    (* Selections first; pool their answers so the semijoin probes mix
+       matching and non-matching items — otherwise items-sent and
+       items-received stay proportional and the parameters cannot be
+       told apart. *)
+    let pool =
+      List.fold_left
+        (fun acc cond ->
+          let answer, _ = Source.select_query source cond in
+          record ();
+          Fusion_data.Item_set.union acc answer)
+        Fusion_data.Item_set.empty conds
+    in
+    if caps.Capability.native_semijoin || caps.Capability.point_select then begin
+      let items = Fusion_data.Item_set.to_list pool in
+      let probe k = Fusion_data.Item_set.of_list (List.filteri (fun i _ -> i < k) items) in
+      List.iter
+        (fun cond ->
+          List.iter
+            (fun k ->
+              if k > 0 then begin
+                ignore (Source.semijoin_query source cond (probe k));
+                record ()
+              end)
+            [ 1; List.length items / 3; (2 * List.length items / 3); List.length items ])
+        conds
+    end;
+    if caps.Capability.load then begin
+      ignore (Source.load_query source);
+      record ()
+    end
+  done;
+  fit !observations

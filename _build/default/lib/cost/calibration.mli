@@ -1,0 +1,45 @@
+(** Cost-model calibration from observed query costs.
+
+    The paper assumes "whatever information is available" feeds the cost
+    functions and cites calibration work for heterogeneous DBMSs [5] and
+    query sampling [25]. In an autonomous federation the mediator does
+    not {e know} a source's request overhead or transfer rates — but it
+    observes traffic and cost for every interaction. This module fits a
+    {!Fusion_net.Profile} to such observations by linear least squares:
+
+    {v cost ≈ overhead·requests + send·items_sent
+              + recv·items_received + tuple·tuples_received v}
+
+    Fitted profiles can then power the Internet cost model for sources
+    whose true profile is unknown (experiment X12 measures how good the
+    fit is and what plan quality it buys). *)
+
+type observation = {
+  requests : int;  (** network requests covered by this observation *)
+  items_sent : int;
+  items_received : int;
+  tuples_received : int;
+  cost : float;
+}
+
+val observe_totals :
+  before:Fusion_net.Meter.totals -> after:Fusion_net.Meter.totals -> observation
+(** The delta between two meter snapshots (at least one request apart;
+    raises [Invalid_argument] otherwise). *)
+
+val fit : observation list -> (Fusion_net.Profile.t, string) result
+(** Least-squares fit of the four parameters, constrained to be
+    non-negative (negative components are dropped to 0 and the rest
+    refitted). Needs observations with enough variation; degenerate
+    systems yield an explanatory error. *)
+
+val fit_source :
+  ?rounds:int -> Fusion_source.Source.t -> Fusion_cond.Cond.t list ->
+  (Fusion_net.Profile.t, string) result
+(** Active calibration: probe the source with the given conditions —
+    selection queries, semijoins over prefixes of their own answers of
+    varying size, and a full load when supported — collecting one
+    observation per operation, then {!fit}. [rounds] (default 2)
+    repeats the probe set. The source's meter is reset first and left
+    holding the probe traffic, so the caller can account calibration
+    cost before resetting it. *)

@@ -1,0 +1,47 @@
+open Fusion_source
+module Source_stats = Fusion_stats.Source_stats
+
+type t = {
+  entries : (Source.t * Source_stats.t) list;
+  by_name : (string, Source_stats.t) Hashtbl.t;
+  universe : float;
+}
+
+let create ?universe entries =
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun (s, st) -> Hashtbl.replace by_name (Source.name s) st) entries;
+  let universe =
+    match universe with
+    | Some u -> float_of_int u
+    | None ->
+      float_of_int
+        (List.fold_left (fun acc (_, st) -> acc + Source_stats.distinct_items st) 0 entries)
+  in
+  { entries; by_name; universe = Float.max universe 1.0 }
+
+let universe t = t.universe
+
+let stats_of t source =
+  match Hashtbl.find_opt t.by_name (Source.name source) with
+  | Some st -> st
+  | None -> raise Not_found
+
+let matching t source cond = Source_stats.matching_items (stats_of t source) cond
+
+let sq_answer = matching
+
+let sjq_answer t source cond x = x *. Float.min 1.0 (matching t source cond /. t.universe)
+
+let sel_somewhere t cond =
+  let miss =
+    List.fold_left
+      (fun acc (_, st) ->
+        let p = Float.min 1.0 (Source_stats.matching_items st cond /. t.universe) in
+        acc *. (1.0 -. p))
+      1.0 t.entries
+  in
+  1.0 -. miss
+
+let first_round_size t cond = t.universe *. sel_somewhere t cond
+
+let shrink t cond x = x *. sel_somewhere t cond

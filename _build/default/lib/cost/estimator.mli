@@ -1,0 +1,46 @@
+(** Optimization-time cardinality estimation.
+
+    The SJ/SJA recurrences need, for every condition-ordering prefix, the
+    expected size of the running candidate set [X_i] and the expected
+    answer sizes of selection and semijoin queries. Following the paper's
+    independence discussion (Section 1, step 3), the estimator assumes
+    conditions are independent and items are spread independently across
+    sources; how wrong that is on correlated data is exactly what
+    experiment X7 measures. *)
+
+open Fusion_cond
+open Fusion_source
+
+type t
+
+val create : ?universe:int -> (Source.t * Fusion_stats.Source_stats.t) list -> t
+(** [universe] is the number of distinct items across all sources. When
+    absent it is estimated as the sum of per-source distinct counts
+    (i.e. assuming no overlap — an upper bound). *)
+
+val universe : t -> float
+
+val stats_of : t -> Source.t -> Fusion_stats.Source_stats.t
+(** @raise Not_found for a source not registered at creation. *)
+
+val matching : t -> Source.t -> Cond.t -> float
+(** Estimated distinct items of the source satisfying the condition. *)
+
+val sq_answer : t -> Source.t -> Cond.t -> float
+(** Expected answer size of [sq(c, R)] — same as {!matching}. *)
+
+val sjq_answer : t -> Source.t -> Cond.t -> float -> float
+(** [sjq_answer t s c x]: expected answer size of a semijoin with a
+    candidate set of estimated size [x]: [x · matching/universe]. *)
+
+val sel_somewhere : t -> Cond.t -> float
+(** Probability that a universe item satisfies the condition at {e some}
+    source: [1 - Π_j (1 - matching_j/universe)]. *)
+
+val first_round_size : t -> Cond.t -> float
+(** Expected [|X_1|] when a condition is evaluated by selections
+    everywhere: [universe · sel_somewhere]. *)
+
+val shrink : t -> Cond.t -> float -> float
+(** [shrink t c x]: expected size of [X ∩ {items satisfying c
+    somewhere}] = [x · sel_somewhere c]. *)

@@ -1,0 +1,47 @@
+open Fusion_cond
+open Fusion_source
+
+type t = {
+  sq_cost : Source.t -> Cond.t -> float;
+  sjq_cost : Source.t -> Cond.t -> float -> float;
+  lq_cost : Source.t -> float;
+}
+
+let internet est =
+  let sq_cost source cond =
+    let p = Source.profile source in
+    p.Fusion_net.Profile.request_overhead
+    +. (p.Fusion_net.Profile.recv_per_item *. Estimator.sq_answer est source cond)
+  in
+  let sjq_cost source cond x =
+    let p = Source.profile source in
+    let caps = Source.capability source in
+    if caps.Capability.native_semijoin then
+      p.Fusion_net.Profile.request_overhead
+      +. (p.Fusion_net.Profile.send_per_item *. x)
+      +. (p.Fusion_net.Profile.recv_per_item *. Estimator.sjq_answer est source cond x)
+    else if caps.Capability.point_select then begin
+      let hit_rate = Float.min 1.0 (Estimator.matching est source cond /. Estimator.universe est) in
+      x
+      *. (p.Fusion_net.Profile.request_overhead +. p.Fusion_net.Profile.send_per_item
+         +. (p.Fusion_net.Profile.recv_per_item *. hit_rate))
+    end
+    else infinity
+  in
+  let lq_cost source =
+    let p = Source.profile source in
+    let caps = Source.capability source in
+    if caps.Capability.load then
+      p.Fusion_net.Profile.request_overhead
+      +. (p.Fusion_net.Profile.recv_per_tuple
+         *. float_of_int (Fusion_data.Relation.cardinality (Source.relation source)))
+    else infinity
+  in
+  { sq_cost; sjq_cost; lq_cost }
+
+let uniform ?(sq = 100.0) ?(sjq_per_item = 1.0) ?(lq = 1000.0) () =
+  {
+    sq_cost = (fun _ _ -> sq);
+    sjq_cost = (fun _ _ x -> sjq_per_item *. x);
+    lq_cost = (fun _ -> lq);
+  }

@@ -1,0 +1,34 @@
+(** The cost model (Section 2.4).
+
+    A model prices the three wrapper operations; the cost of a plan is
+    the sum of its source-query costs, mediator-local set operations
+    being free. Unsupported operations price at [infinity], which is how
+    capability restrictions steer the optimizer (Section 2.3). *)
+
+open Fusion_cond
+open Fusion_source
+
+type t = {
+  sq_cost : Source.t -> Cond.t -> float;
+  sjq_cost : Source.t -> Cond.t -> float -> float;
+      (** last argument: estimated size of the semijoin set *)
+  lq_cost : Source.t -> float;
+}
+
+val internet : Estimator.t -> t
+(** The Internet model built from a source's {!Fusion_net.Profile}:
+    - [sq = overhead + recv·E(answer)]
+    - native [sjq = overhead + send·|X| + recv·E(answer)]
+    - emulated [sjq = |X| · (overhead + send + recv·hit-rate)] — one
+      point-selection request per binding;
+    - no semijoin path at all: [infinity];
+    - [lq = overhead + tuple·cardinality], or [infinity] if the wrapper
+      cannot ship relations.
+
+    This model satisfies the paper's subadditivity axiom: splitting a
+    semijoin set into two queries can only add overhead (checked by
+    property tests). *)
+
+val uniform : ?sq:float -> ?sjq_per_item:float -> ?lq:float -> unit -> t
+(** A toy model with source-independent charges; useful in unit tests
+    where hand-computable costs are wanted. *)

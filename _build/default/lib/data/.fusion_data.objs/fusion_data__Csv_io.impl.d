@@ -1,0 +1,1 @@
+lib/data/csv_io.ml: Array Buffer In_channel List Out_channel Printf Relation Schema String Value

@@ -1,0 +1,1 @@
+lib/data/csv_io.mli: Relation Schema

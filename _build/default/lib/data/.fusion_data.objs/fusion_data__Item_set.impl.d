@@ -1,0 +1,1 @@
+lib/data/item_set.ml: Format List Set Value

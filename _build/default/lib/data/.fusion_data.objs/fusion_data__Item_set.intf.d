@@ -1,0 +1,1 @@
+lib/data/item_set.mli: Format Value

@@ -1,0 +1,1 @@
+lib/data/relation.ml: Array Format Hashtbl Item_set List Option Printf Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/data/schema.ml: Array Format Hashtbl List Printf String Value

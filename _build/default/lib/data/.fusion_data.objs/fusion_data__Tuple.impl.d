@@ -1,0 +1,1 @@
+lib/data/tuple.ml: Array Format Int List Printf Schema Value

@@ -1,0 +1,1 @@
+lib/data/value.ml: Bool Float Format Hashtbl Int Printf String

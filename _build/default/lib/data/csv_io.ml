@@ -1,0 +1,111 @@
+let split_fields line = String.split_on_char ',' line |> List.map String.trim
+
+let parse_header line =
+  let fields = split_fields line in
+  let merge = ref None in
+  let rec go acc = function
+    | [] -> (
+      match !merge with
+      | None -> Error "no merge attribute (mark one field with a leading '*')"
+      | Some m -> Ok (m, List.rev acc))
+    | field :: rest -> (
+      let starred = String.length field > 0 && field.[0] = '*' in
+      let field = if starred then String.sub field 1 (String.length field - 1) else field in
+      match String.index_opt field ':' with
+      | None -> Error (Printf.sprintf "header field %S lacks a ':type' suffix" field)
+      | Some i -> (
+        let name = String.sub field 0 i in
+        let ty_str = String.sub field (i + 1) (String.length field - i - 1) in
+        match Value.ty_of_string ty_str with
+        | Error msg -> Error msg
+        | Ok ty ->
+          if starred then merge := Some name;
+          go ((name, ty) :: acc) rest))
+  in
+  go [] fields
+
+let schema_of_header line =
+  match parse_header line with
+  | Error msg -> Error msg
+  | Ok (merge, attrs) -> Schema.create ~merge attrs
+
+let read_string ~name text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> Error "empty input"
+  | header :: rows -> (
+    match parse_header header with
+    | Error msg -> Error ("header: " ^ msg)
+    | Ok (merge, attrs) -> (
+      match Schema.create ~merge attrs with
+      | Error msg -> Error msg
+      | Ok schema ->
+        let tys = List.map snd attrs in
+        let parse_row line =
+          let fields = split_fields line in
+          if List.length fields <> List.length tys then
+            Error (Printf.sprintf "row %S: wrong field count" line)
+          else
+            let rec go acc fs ts =
+              match fs, ts with
+              | [], [] -> Ok (List.rev acc)
+              | f :: fs, ty :: ts -> (
+                match Value.parse ty f with
+                | Ok v -> go (v :: acc) fs ts
+                | Error msg -> Error msg)
+              | _ -> assert false
+            in
+            go [] fields tys
+        in
+        let rec rows_of acc = function
+          | [] -> Ok (List.rev acc)
+          | line :: rest -> (
+            match parse_row line with
+            | Ok row -> rows_of (row :: acc) rest
+            | Error _ as e -> e)
+        in
+        match rows_of [] rows with
+        | Error msg -> Error msg
+        | Ok rows -> Relation.of_rows ~name schema rows))
+
+let read_file ~name path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> read_string ~name text
+  | exception Sys_error msg -> Error msg
+
+let value_to_field = function
+  | Value.Null -> ""
+  | Value.Bool b -> string_of_bool b
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%g" f
+  | Value.String s -> s
+
+let write_string relation =
+  let schema = Relation.schema relation in
+  let merge = Schema.merge schema in
+  let buffer = Buffer.create 1024 in
+  let header =
+    Schema.attrs schema
+    |> List.map (fun (name, ty) ->
+           Printf.sprintf "%s%s:%s"
+             (if name = merge then "*" else "")
+             name (Value.ty_to_string ty))
+    |> String.concat ","
+  in
+  Buffer.add_string buffer header;
+  Buffer.add_char buffer '\n';
+  Relation.iter
+    (fun tuple ->
+      let fields = Array.to_list tuple |> List.map value_to_field in
+      Buffer.add_string buffer (String.concat "," fields);
+      Buffer.add_char buffer '\n')
+    relation;
+  Buffer.contents buffer
+
+let write_file relation path =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (write_string relation))

@@ -1,0 +1,18 @@
+(** Minimal CSV reader/writer for source relations.
+
+    Format: the first line is a header of [name:type] fields, with the
+    merge attribute marked by a leading [*] (e.g. [*L:string,V:string,
+    D:int]). Field separator is [,]; no quoting — values containing
+    commas are not supported, which is fine for the identifiers and
+    categorical data fusion queries manipulate. *)
+
+val schema_of_header : string -> (Schema.t, string) result
+(** Parses just the header line ([*M:string,V:string,...]). *)
+
+val read_string : name:string -> string -> (Relation.t, string) result
+
+val read_file : name:string -> string -> (Relation.t, string) result
+
+val write_string : Relation.t -> string
+
+val write_file : Relation.t -> string -> unit

@@ -1,0 +1,35 @@
+(** Sets of items (merge-attribute values).
+
+    These are the sets the mediator manipulates in simple plans: results
+    of selection and semijoin queries, combined with union, intersection
+    and (in postoptimized plans) difference. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val singleton : Value.t -> t
+val mem : Value.t -> t -> bool
+val add : Value.t -> t -> t
+val cardinal : t -> int
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val union_list : t list -> t
+val inter_list : t list -> t
+(** [inter_list []] is {!empty}. *)
+
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+(** Elements in increasing {!Value.compare} order. *)
+
+val iter : (Value.t -> unit) -> t -> unit
+val fold : (Value.t -> 'a -> 'a) -> t -> 'a -> 'a
+val filter : (Value.t -> bool) -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [{v1, v2, ...}]. *)

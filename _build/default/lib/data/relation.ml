@@ -1,0 +1,90 @@
+type t = {
+  name : string;
+  schema : Schema.t;
+  mutable rows : Tuple.t array;
+  mutable used : int;
+  mutable version : int;
+  index : (Value.t, int list) Hashtbl.t; (* item -> row positions *)
+}
+
+let create ~name schema =
+  { name; schema; rows = [||]; used = 0; version = 0; index = Hashtbl.create 64 }
+
+let version t = t.version
+
+let name t = t.name
+let schema t = t.schema
+let cardinality t = t.used
+
+let ensure_capacity t =
+  if t.used = Array.length t.rows then begin
+    let capacity = max 16 (2 * Array.length t.rows) in
+    let rows = Array.make capacity [||] in
+    Array.blit t.rows 0 rows 0 t.used;
+    t.rows <- rows
+  end
+
+let insert t tuple =
+  ensure_capacity t;
+  t.rows.(t.used) <- tuple;
+  let item = Tuple.item t.schema tuple in
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.index item) in
+  Hashtbl.replace t.index item (t.used :: existing);
+  t.used <- t.used + 1;
+  t.version <- t.version + 1
+
+let of_tuples ~name schema tuples =
+  let t = create ~name schema in
+  List.iter (insert t) tuples;
+  t
+
+let of_rows ~name schema rows =
+  let t = create ~name schema in
+  let rec go = function
+    | [] -> Ok t
+    | row :: rest -> (
+      match Tuple.create schema row with
+      | Ok tuple ->
+        insert t tuple;
+        go rest
+      | Error msg -> Error (Printf.sprintf "%s (row %d)" msg (cardinality t + 1)))
+  in
+  go rows
+
+let iter f t =
+  for i = 0 to t.used - 1 do
+    f t.rows.(i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun tuple -> acc := f !acc tuple) t;
+  !acc
+
+let tuples t = List.rev (fold (fun acc tu -> tu :: acc) [] t)
+
+let items t = Hashtbl.fold (fun item _ acc -> Item_set.add item acc) t.index Item_set.empty
+
+let distinct_item_count t = Hashtbl.length t.index
+
+let tuples_of_item t item =
+  match Hashtbl.find_opt t.index item with
+  | None -> []
+  | Some positions -> List.map (fun i -> t.rows.(i)) positions
+
+let select_items t p =
+  fold
+    (fun acc tuple -> if p tuple then Item_set.add (Tuple.item t.schema tuple) acc else acc)
+    Item_set.empty t
+
+let semijoin_items t p xs =
+  Item_set.filter (fun item -> List.exists p (tuples_of_item t item)) xs
+
+let select_tuples t p = List.filter p (tuples t)
+
+let count_matching t p = Item_set.cardinal (select_items t p)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v2>%s%a [%d tuples]" t.name Schema.pp t.schema t.used;
+  iter (fun tuple -> Format.fprintf ppf "@,%a" Tuple.pp tuple) t;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,55 @@
+(** In-memory relations.
+
+    A relation is the unit of data exported by a source wrapper
+    (Section 2.1). It keeps a hash index from merge-attribute values to
+    tuple positions so that semijoin probes run in time proportional to
+    the probe set rather than the relation. *)
+
+type t
+
+val create : name:string -> Schema.t -> t
+
+val of_tuples : name:string -> Schema.t -> Tuple.t list -> t
+
+val of_rows : name:string -> Schema.t -> Value.t list list -> (t, string) result
+(** Builds the relation from raw rows, type-checking each against the
+    schema. *)
+
+val name : t -> string
+val schema : t -> Schema.t
+val cardinality : t -> int
+
+val insert : t -> Tuple.t -> unit
+
+val version : t -> int
+(** Bumped on every {!insert}; lets derived artifacts (statistics,
+    histograms) detect staleness. *)
+
+val iter : (Tuple.t -> unit) -> t -> unit
+val fold : ('a -> Tuple.t -> 'a) -> 'a -> t -> 'a
+val tuples : t -> Tuple.t list
+
+val items : t -> Item_set.t
+(** Distinct merge-attribute values appearing in the relation. *)
+
+val distinct_item_count : t -> int
+
+val tuples_of_item : t -> Value.t -> Tuple.t list
+(** All tuples whose merge attribute equals the given item; O(1) lookup
+    plus output size. *)
+
+val select_items : t -> (Tuple.t -> bool) -> Item_set.t
+(** [select_items r p] is the set of items having at least one tuple
+    satisfying [p] — the semantics of a selection query [sq(c, R)]. *)
+
+val semijoin_items : t -> (Tuple.t -> bool) -> Item_set.t -> Item_set.t
+(** [semijoin_items r p xs] is the subset of [xs] whose items have a
+    tuple in [r] satisfying [p] — the semantics of [sjq(c, R, X)].
+    Runs in O(|xs| · tuples-per-item), using the merge index. *)
+
+val select_tuples : t -> (Tuple.t -> bool) -> Tuple.t list
+
+val count_matching : t -> (Tuple.t -> bool) -> int
+(** Number of distinct items with a matching tuple. *)
+
+val pp : Format.formatter -> t -> unit

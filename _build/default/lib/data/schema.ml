@@ -1,0 +1,62 @@
+type t = {
+  attrs : (string * Value.ty) array;
+  positions : (string, int) Hashtbl.t;
+  merge_pos : int;
+}
+
+let create ~merge attrs =
+  let positions = Hashtbl.create 8 in
+  let rec fill i = function
+    | [] -> Ok ()
+    | (name, _) :: rest ->
+      if Hashtbl.mem positions name then
+        Error (Printf.sprintf "duplicate attribute %S" name)
+      else begin
+        Hashtbl.add positions name i;
+        fill (i + 1) rest
+      end
+  in
+  match fill 0 attrs with
+  | Error _ as e -> e
+  | Ok () -> (
+    match Hashtbl.find_opt positions merge with
+    | None -> Error (Printf.sprintf "merge attribute %S not in schema" merge)
+    | Some merge_pos -> Ok { attrs = Array.of_list attrs; positions; merge_pos })
+
+let create_exn ~merge attrs =
+  match create ~merge attrs with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Schema.create_exn: " ^ msg)
+
+let merge t = fst t.attrs.(t.merge_pos)
+let merge_pos t = t.merge_pos
+let arity t = Array.length t.attrs
+let attrs t = Array.to_list t.attrs
+let pos t name = Hashtbl.find_opt t.positions name
+
+let pos_exn t name =
+  match Hashtbl.find_opt t.positions name with
+  | Some i -> i
+  | None -> raise Not_found
+
+let ty t name =
+  match pos t name with
+  | Some i -> Some (snd t.attrs.(i))
+  | None -> None
+
+let mem t name = Hashtbl.mem t.positions name
+
+let equal a b =
+  a.merge_pos = b.merge_pos
+  && Array.length a.attrs = Array.length b.attrs
+  && Array.for_all2 (fun (n1, t1) (n2, t2) -> String.equal n1 n2 && t1 = t2) a.attrs b.attrs
+
+let pp ppf t =
+  let pp_attr ppf (i, (name, ty)) =
+    Format.fprintf ppf "%s%s:%s"
+      (if i = t.merge_pos then "*" else "")
+      name (Value.ty_to_string ty)
+  in
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_attr)
+    (List.mapi (fun i a -> (i, a)) (Array.to_list t.attrs))

@@ -1,0 +1,40 @@
+(** Relation schemas.
+
+    All sources participating in a fusion query export the same schema
+    (Section 2.1 of the paper), which designates one attribute as the
+    {e merge attribute} [M] identifying the real-world entity a tuple
+    refers to. *)
+
+type t
+
+val create : merge:string -> (string * Value.ty) list -> (t, string) result
+(** [create ~merge attrs] builds a schema from an ordered attribute list.
+    Fails if [merge] is not among the attribute names or if a name is
+    duplicated. *)
+
+val create_exn : merge:string -> (string * Value.ty) list -> t
+
+val merge : t -> string
+(** Name of the merge attribute. *)
+
+val merge_pos : t -> int
+(** Position of the merge attribute. *)
+
+val arity : t -> int
+
+val attrs : t -> (string * Value.ty) list
+(** Attributes in declaration order. *)
+
+val pos : t -> string -> int option
+(** Position of a named attribute. *)
+
+val pos_exn : t -> string -> int
+(** @raise Not_found if the attribute does not exist. *)
+
+val ty : t -> string -> Value.ty option
+
+val mem : t -> string -> bool
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

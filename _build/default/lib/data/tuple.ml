@@ -1,0 +1,55 @@
+type t = Value.t array
+
+let create schema values =
+  let expected = Schema.arity schema in
+  let got = List.length values in
+  if got <> expected then
+    Error (Printf.sprintf "arity mismatch: schema has %d attributes, tuple has %d" expected got)
+  else begin
+    let arr = Array.of_list values in
+    let attrs = Array.of_list (Schema.attrs schema) in
+    let bad = ref None in
+    Array.iteri
+      (fun i v ->
+        match Value.ty_of v with
+        | None -> () (* Null is allowed anywhere *)
+        | Some ty ->
+          let name, want = attrs.(i) in
+          if ty <> want && !bad = None then
+            bad :=
+              Some
+                (Printf.sprintf "attribute %s: expected %s, got %s" name
+                   (Value.ty_to_string want) (Value.ty_to_string ty)))
+      arr;
+    match !bad with None -> Ok arr | Some msg -> Error msg
+  end
+
+let create_exn schema values =
+  match create schema values with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Tuple.create_exn: " ^ msg)
+
+let get t i = t.(i)
+
+let get_attr schema t name = t.(Schema.pos_exn schema name)
+
+let item schema t = t.(Schema.merge_pos schema)
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else
+    let rec go i =
+      if i = la then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Value.pp)
+    (Array.to_list t)

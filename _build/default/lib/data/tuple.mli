@@ -1,0 +1,22 @@
+(** Tuples: flat arrays of values laid out per a {!Schema}. *)
+
+type t = Value.t array
+
+val create : Schema.t -> Value.t list -> (t, string) result
+(** Checks arity and (non-[Null]) attribute types against the schema. *)
+
+val create_exn : Schema.t -> Value.t list -> t
+
+val get : t -> int -> Value.t
+
+val get_attr : Schema.t -> t -> string -> Value.t
+(** @raise Not_found on an unknown attribute. *)
+
+val item : Schema.t -> t -> Value.t
+(** The merge-attribute value of the tuple. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+type ty = Tbool | Tint | Tfloat | Tstring
+
+let ty_of = function
+  | Null -> None
+  | Bool _ -> Some Tbool
+  | Int _ -> Some Tint
+  | Float _ -> Some Tfloat
+  | String _ -> Some Tstring
+
+let ty_to_string = function
+  | Tbool -> "bool"
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tstring -> "string"
+
+let ty_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "bool" -> Ok Tbool
+  | "int" -> Ok Tint
+  | "float" -> Ok Tfloat
+  | "string" -> Ok Tstring
+  | other -> Error (Printf.sprintf "unknown type %S" other)
+
+(* Rank for cross-type comparisons; Int and Float share a rank so that
+   they can be compared numerically. *)
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 2
+  | String _ -> 3
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | String x, String y -> String.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 17
+  | Bool b -> if b then 31 else 33
+  | Int i -> Hashtbl.hash i
+  | Float f ->
+    (* Keep Int/Float hashing consistent with [equal] on integral floats. *)
+    if Float.is_integer f && Float.abs f < 1e18 then Hashtbl.hash (int_of_float f)
+    else Hashtbl.hash f
+  | String s -> Hashtbl.hash s
+
+let pp ppf = function
+  | Null -> Format.pp_print_string ppf "NULL"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | String s -> Format.fprintf ppf "'%s'" s
+
+let to_string v = Format.asprintf "%a" pp v
+
+let parse ty s =
+  let s = String.trim s in
+  if s = "" || s = "NULL" then Ok Null
+  else
+    match ty with
+    | Tbool -> (
+      match String.lowercase_ascii s with
+      | "true" | "t" | "1" -> Ok (Bool true)
+      | "false" | "f" | "0" -> Ok (Bool false)
+      | _ -> Error (Printf.sprintf "bad bool %S" s))
+    | Tint -> (
+      match int_of_string_opt s with
+      | Some i -> Ok (Int i)
+      | None -> Error (Printf.sprintf "bad int %S" s))
+    | Tfloat -> (
+      match float_of_string_opt s with
+      | Some f -> Ok (Float f)
+      | None -> Error (Printf.sprintf "bad float %S" s))
+    | Tstring -> Ok (String s)
+
+let parse_literal s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n >= 2 && s.[0] = '\'' && s.[n - 1] = '\'' then String (String.sub s 1 (n - 2))
+  else if s = "NULL" then Null
+  else
+    match String.lowercase_ascii s with
+    | "true" -> Bool true
+    | "false" -> Bool false
+    | _ -> (
+      match int_of_string_opt s with
+      | Some i -> Int i
+      | None -> (
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> String s))

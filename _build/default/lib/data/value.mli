@@ -1,0 +1,47 @@
+(** Scalar values stored in source relations.
+
+    Values are the atoms of the relational substrate: every attribute of
+    every tuple holds one. Merge-attribute values ("items" in the paper's
+    terminology) are also of this type; see {!Item_set}. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+(** Value types, used by {!Schema} to type attributes. *)
+type ty = Tbool | Tint | Tfloat | Tstring
+
+val ty_of : t -> ty option
+(** [ty_of v] is the type of [v], or [None] for [Null]. *)
+
+val ty_to_string : ty -> string
+
+val ty_of_string : string -> (ty, string) result
+(** Parses ["bool"], ["int"], ["float"], ["string"]. *)
+
+val compare : t -> t -> int
+(** Total order. Values of the same type compare naturally; [Int] and
+    [Float] compare numerically with each other; otherwise the order is
+    [Null < Bool < numeric < String]. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** SQL-ish rendering: strings are single-quoted, [Null] prints as
+    [NULL]. *)
+
+val to_string : t -> string
+
+val parse : ty -> string -> (t, string) result
+(** [parse ty s] reads the external (CSV) representation of a value of
+    type [ty]. The empty string and ["NULL"] denote [Null]. *)
+
+val parse_literal : string -> t
+(** Best-effort literal reader used by the condition and SQL parsers:
+    quoted text is a [String], [true]/[false] are [Bool], otherwise
+    numeric forms are tried before falling back to [String]. *)

@@ -1,0 +1,1 @@
+lib/mediator/mediator.mli: Format Fusion_core Fusion_data Fusion_net Fusion_plan Fusion_query Fusion_source Item_set Opt_env Optimized Optimizer Schema Source Tuple Value

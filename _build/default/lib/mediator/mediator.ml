@@ -1,0 +1,180 @@
+open Fusion_data
+open Fusion_cond
+open Fusion_source
+open Fusion_core
+
+let log_src = Logs.Src.create "fusion.mediator" ~doc:"Fusion-query mediator"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = { union : string; sources : Source.t array }
+
+let create ?(union = "U") sources =
+  match sources with
+  | [] -> Error "a mediator needs at least one source"
+  | first :: rest ->
+    let schema = Source.schema first in
+    let mismatch =
+      List.find_opt (fun s -> not (Schema.equal schema (Source.schema s))) rest
+    in
+    (match mismatch with
+    | Some s ->
+      Error
+        (Printf.sprintf "source %s exports a different schema than %s" (Source.name s)
+           (Source.name first))
+    | None -> Ok { union; sources = Array.of_list sources })
+
+let create_exn ?union sources =
+  match create ?union sources with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Mediator.create_exn: " ^ msg)
+
+let of_catalog ?union path =
+  match Fusion_source.Catalog.load path with
+  | Error _ as e -> e
+  | Ok sources -> create ?union sources
+
+let schema t = Source.schema t.sources.(0)
+let sources t = t.sources
+
+type report = {
+  algo : Optimizer.algo;
+  optimized : Optimized.t;
+  answer : Item_set.t;
+  actual_cost : float;
+  steps : Fusion_plan.Exec.step list;
+  per_source : (string * Fusion_net.Meter.totals) list;
+  failures : int;
+  partial : bool;
+}
+
+let run ?cache ?retries ?on_exhausted ?stats ?(algo = Optimizer.Sja_plus) t query =
+  match Fusion_query.Query.validate (schema t) query with
+  | Error msg -> Error ("invalid query: " ^ msg)
+  | Ok () -> (
+    (* Redundant conditions (duplicates, TRUE) would cost whole rounds. *)
+    let query = Fusion_query.Query.normalize query in
+    let env = Opt_env.create ?stats t.sources query in
+    Log.debug (fun m ->
+        m "optimizing %a with %s over %d sources" Fusion_query.Query.pp query
+          (Optimizer.name algo) (Array.length t.sources));
+    let optimized = Optimizer.optimize algo env in
+    Log.info (fun m ->
+        m "%s chose a %d-step plan, estimated cost %.1f" (Optimizer.name algo)
+          (List.length (Fusion_plan.Plan.ops optimized.Optimized.plan))
+          optimized.Optimized.est_cost);
+    Array.iter Source.reset_meter t.sources;
+    match
+      Fusion_plan.Exec.run ?cache ?retries ?on_exhausted ~sources:t.sources
+        ~conds:env.Opt_env.conds optimized.Optimized.plan
+    with
+    | result ->
+      Log.info (fun m ->
+          m "executed: actual cost %.1f, %d answers"
+            result.Fusion_plan.Exec.total_cost
+            (Item_set.cardinal result.Fusion_plan.Exec.answer));
+      Ok
+        {
+          algo;
+          optimized;
+          answer = result.Fusion_plan.Exec.answer;
+          actual_cost = result.Fusion_plan.Exec.total_cost;
+          steps = result.Fusion_plan.Exec.steps;
+          per_source =
+            Array.to_list
+              (Array.map (fun s -> (Source.name s, Source.totals s)) t.sources);
+          failures = result.Fusion_plan.Exec.failures;
+          partial = result.Fusion_plan.Exec.partial;
+        }
+    | exception Source.Unsupported msg -> Error ("execution failed: " ^ msg)
+    | exception Source.Timeout msg ->
+      Error ("execution failed (source unreachable): " ^ msg))
+
+let run_sql ?cache ?retries ?on_exhausted ?stats ?algo t text =
+  match Fusion_query.Sql.parse_fusion ~schema:(schema t) ~union:t.union text with
+  | Error msg -> Error msg
+  | Ok query -> run ?cache ?retries ?on_exhausted ?stats ?algo t query
+
+type records = { tuples : Tuple.t list; fetch_cost : float }
+
+type rows = {
+  report : report;
+  columns : string list;
+  rows : Value.t list list;
+  fetch_cost : float;
+}
+
+let fetch_phase2 t items =
+  let tuples, fetch_cost =
+    Array.fold_left
+      (fun (acc, cost) source ->
+        let fetched, c = Source.fetch_records source items in
+        (acc @ fetched, cost +. c))
+      ([], 0.0) t.sources
+  in
+  { tuples; fetch_cost }
+
+let two_phase ?cache ?stats ?algo t query =
+  match run ?cache ?stats ?algo t query with
+  | Error msg -> Error msg
+  | Ok report -> Ok (report, fetch_phase2 t report.answer)
+
+let select_sql ?cache ?retries ?on_exhausted ?stats ?algo t text =
+  match Fusion_query.Sql.parse ~schema:(schema t) ~union:t.union text with
+  | Error msg -> Error msg
+  | Ok (Fusion_query.Sql.Not_fusion reason) -> Error ("not a fusion query: " ^ reason)
+  | Ok (Fusion_query.Sql.Fusion (query, projection)) -> (
+    match run ?cache ?retries ?on_exhausted ?stats ?algo t query with
+    | Error msg -> Error msg
+    | Ok report ->
+      let schema = schema t in
+      let merge = Schema.merge schema in
+      let columns = merge :: projection in
+      if projection = [] then
+        Ok
+          {
+            report;
+            columns;
+            rows = List.map (fun item -> [ item ]) (Item_set.to_list report.answer);
+            fetch_cost = 0.0;
+          }
+      else begin
+        let records = fetch_phase2 t report.answer in
+        let project tuple = List.map (Tuple.get_attr schema tuple) columns in
+        let rows = List.sort_uniq compare (List.map project records.tuples) in
+        Ok { report; columns; rows; fetch_cost = records.fetch_cost }
+      end)
+
+(* One-phase baseline: push every condition to every source, shipping
+   full matching tuples instead of items (no second phase needed, but
+   every intermediate result pays tuple width). *)
+let single_phase_cost t query =
+  let conds = Fusion_query.Query.conditions query in
+  Array.fold_left
+    (fun acc source ->
+      let relation = Source.relation source in
+      let profile = Source.profile source in
+      Array.fold_left
+        (fun acc cond ->
+          let pred tuple = Cond.eval (Relation.schema relation) cond tuple in
+          let matching = List.length (Relation.select_tuples relation pred) in
+          acc
+          +. profile.Fusion_net.Profile.request_overhead
+          +. (profile.Fusion_net.Profile.recv_per_tuple *. float_of_int matching))
+        acc conds)
+    0.0 t.sources
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>algorithm: %s@,%a@,actual cost: %.1f%s@,answer (%d items): %a"
+    (Optimizer.name r.algo)
+    (Optimized.pp ?source_name:None)
+    r.optimized r.actual_cost
+    (if r.partial then " (PARTIAL: a source was unreachable)"
+     else if r.failures > 0 then Printf.sprintf " (%d retried timeouts)" r.failures
+     else "")
+    (Item_set.cardinal r.answer) Item_set.pp r.answer;
+  List.iter
+    (fun (name, totals) ->
+      Format.fprintf ppf "@,%s: %a" name Fusion_net.Meter.pp_totals totals)
+    r.per_source;
+  Format.fprintf ppf "@]"

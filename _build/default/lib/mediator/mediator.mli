@@ -1,0 +1,88 @@
+(** The mediator runtime: end-to-end fusion query processing.
+
+    Registers the sources, accepts queries (as ASTs or SQL text),
+    optimizes with a chosen algorithm, executes the plan and accounts
+    costs per source. Also implements the "two-phase" processing of
+    Section 1: phase 1 computes the matching items, phase 2 fetches
+    their full records. *)
+
+open Fusion_data
+open Fusion_source
+open Fusion_core
+
+type t
+
+val create : ?union:string -> Source.t list -> (t, string) result
+(** Fails on an empty source list or disagreeing schemas. [union] names
+    the union view for SQL parsing (default ["U"]). *)
+
+val create_exn : ?union:string -> Source.t list -> t
+
+val of_catalog : ?union:string -> string -> (t, string) result
+(** Load a federation catalog ({!Fusion_source.Catalog}) and build the
+    mediator over it. *)
+
+val schema : t -> Schema.t
+val sources : t -> Source.t array
+
+type report = {
+  algo : Optimizer.algo;
+  optimized : Optimized.t;  (** the plan and its estimated cost *)
+  answer : Item_set.t;
+  actual_cost : float;
+  steps : Fusion_plan.Exec.step list;
+  per_source : (string * Fusion_net.Meter.totals) list;
+      (** actual traffic per source, this query only *)
+  failures : int;  (** timed-out requests (retried or not) *)
+  partial : bool;  (** answer may be incomplete (see {!Fusion_plan.Exec.result}) *)
+}
+
+val run : ?cache:Fusion_plan.Exec.Query_cache.t -> ?retries:int ->
+  ?on_exhausted:[ `Fail | `Partial ] -> ?stats:Opt_env.stats_mode ->
+  ?algo:Optimizer.algo -> t -> Fusion_query.Query.t -> (report, string) result
+(** Optimize and execute (default algorithm: SJA+, default statistics:
+    exact). The query is {!Fusion_query.Query.normalize}d first, so
+    duplicate or trivial conditions never cost a round. Source meters
+    are reset before execution, so [per_source] reflects just this run.
+    Pass the same [cache] across the queries of a session to reuse
+    selection answers for repeated conditions (Section 5's common
+    subexpressions). *)
+
+val run_sql : ?cache:Fusion_plan.Exec.Query_cache.t -> ?retries:int ->
+  ?on_exhausted:[ `Fail | `Partial ] -> ?stats:Opt_env.stats_mode ->
+  ?algo:Optimizer.algo -> t -> string -> (report, string) result
+(** Parses the SQL text against the mediator's schema and union-view
+    name, requires it to be a fusion query, then behaves like {!run}. *)
+
+type records = { tuples : Tuple.t list; fetch_cost : float }
+
+type rows = {
+  report : report;  (** the phase-1 run *)
+  columns : string list;  (** merge attribute first, then the projection *)
+  rows : Value.t list list;  (** deduplicated, in merge-value order *)
+  fetch_cost : float;  (** phase 2 *)
+}
+
+val select_sql : ?cache:Fusion_plan.Exec.Query_cache.t -> ?retries:int ->
+  ?on_exhausted:[ `Fail | `Partial ] -> ?stats:Opt_env.stats_mode ->
+  ?algo:Optimizer.algo -> t -> string -> (rows, string) result
+(** The full two-phase pipeline for projected fusion queries
+    ([SELECT u1.M, u1.A, ... FROM ...]): phase 1 computes the matching
+    items with the chosen algorithm, phase 2 fetches their records and
+    projects the requested attributes — one row per distinct projected
+    record of an answer item. A merge-only select list skips phase 2. *)
+
+val fetch_phase2 : t -> Item_set.t -> records
+(** Phase 2: pull the full records of the answer items from every
+    source. *)
+
+val two_phase : ?cache:Fusion_plan.Exec.Query_cache.t -> ?stats:Opt_env.stats_mode ->
+  ?algo:Optimizer.algo -> t -> Fusion_query.Query.t -> (report * records, string) result
+(** Phase 1 ({!run}) followed by {!fetch_phase2} on its answer. *)
+
+val single_phase_cost : t -> Fusion_query.Query.t -> float
+(** Cost of the naive one-phase strategy the paper's two-phase approach
+    avoids: every condition pushed to every source with answers shipped
+    as {e full tuples} rather than items. *)
+
+val pp_report : Format.formatter -> report -> unit

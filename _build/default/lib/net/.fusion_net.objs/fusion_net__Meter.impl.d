@@ -1,0 +1,1 @@
+lib/net/meter.ml: Format Profile

@@ -1,0 +1,1 @@
+lib/net/meter.mli: Format Profile

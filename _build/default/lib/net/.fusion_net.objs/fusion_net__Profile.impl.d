@@ -1,0 +1,1 @@
+lib/net/profile.ml: Format

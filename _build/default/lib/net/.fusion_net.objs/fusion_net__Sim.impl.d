@@ -1,0 +1,1 @@
+lib/net/sim.ml: Array Bytes Float Format Hashtbl Int List Printf

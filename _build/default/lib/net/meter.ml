@@ -1,0 +1,41 @@
+type totals = {
+  requests : int;
+  items_sent : int;
+  items_received : int;
+  tuples_received : int;
+  cost : float;
+}
+
+type t = { mutable current : totals }
+
+let zero = { requests = 0; items_sent = 0; items_received = 0; tuples_received = 0; cost = 0.0 }
+
+let create () = { current = zero }
+
+let add a b =
+  {
+    requests = a.requests + b.requests;
+    items_sent = a.items_sent + b.items_sent;
+    items_received = a.items_received + b.items_received;
+    tuples_received = a.tuples_received + b.tuples_received;
+    cost = a.cost +. b.cost;
+  }
+
+let record t (profile : Profile.t) ~items_sent ~items_received ~tuples_received =
+  let cost =
+    profile.request_overhead
+    +. (profile.send_per_item *. float_of_int items_sent)
+    +. (profile.recv_per_item *. float_of_int items_received)
+    +. (profile.recv_per_tuple *. float_of_int tuples_received)
+  in
+  t.current <-
+    add t.current { requests = 1; items_sent; items_received; tuples_received; cost };
+  cost
+
+let totals t = t.current
+
+let reset t = t.current <- zero
+
+let pp_totals ppf t =
+  Format.fprintf ppf "%d requests, %d items sent, %d items recv, %d tuples recv, cost %.1f"
+    t.requests t.items_sent t.items_received t.tuples_received t.cost

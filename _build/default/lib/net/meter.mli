@@ -1,0 +1,30 @@
+(** Accumulates the traffic and cost actually incurred by executing
+    queries against a source; the execution-side counterpart of the
+    optimizer's cost {e estimates}. *)
+
+type t
+
+type totals = {
+  requests : int;
+  items_sent : int;
+  items_received : int;
+  tuples_received : int;
+  cost : float;
+}
+
+val create : unit -> t
+
+val record :
+  t -> Profile.t -> items_sent:int -> items_received:int -> tuples_received:int -> float
+(** Charges one request with the given traffic under the profile;
+    returns the cost of this request. *)
+
+val totals : t -> totals
+
+val reset : t -> unit
+
+val zero : totals
+
+val add : totals -> totals -> totals
+
+val pp_totals : Format.formatter -> totals -> unit

@@ -1,0 +1,26 @@
+type t = {
+  request_overhead : float;
+  send_per_item : float;
+  recv_per_item : float;
+  recv_per_tuple : float;
+}
+
+let default =
+  { request_overhead = 50.0; send_per_item = 0.5; recv_per_item = 1.0; recv_per_tuple = 8.0 }
+
+let make ?(request_overhead = default.request_overhead)
+    ?(send_per_item = default.send_per_item) ?(recv_per_item = default.recv_per_item)
+    ?(recv_per_tuple = default.recv_per_tuple) () =
+  { request_overhead; send_per_item; recv_per_item; recv_per_tuple }
+
+let scale k t =
+  {
+    request_overhead = k *. t.request_overhead;
+    send_per_item = k *. t.send_per_item;
+    recv_per_item = k *. t.recv_per_item;
+    recv_per_tuple = k *. t.recv_per_tuple;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "{overhead=%g; send=%g; recv=%g; tuple=%g}" t.request_overhead
+    t.send_per_item t.recv_per_item t.recv_per_tuple

@@ -1,0 +1,41 @@
+(** Network/processing profile of a source.
+
+    The paper's cost model charges each source query a non-negative cost
+    that "could take into account the cost of communicating with sources,
+    and the cost of actually processing the queries at the sources". A
+    profile encodes that as a fixed per-request overhead plus per-item
+    transfer charges, in abstract cost units. Heterogeneous Internet
+    sources are modeled by giving sources different profiles. *)
+
+type t = {
+  request_overhead : float;
+      (** charged once per query sent to the source (connection setup,
+          round-trip latency, query parsing at the source) *)
+  send_per_item : float;
+      (** charged per item shipped {e to} the source in a semijoin set *)
+  recv_per_item : float;
+      (** charged per item received in an answer (phase-1 answers carry
+          merge-attribute values only) *)
+  recv_per_tuple : float;
+      (** charged per full tuple received (source loading [lq] and
+          phase-2 record fetching move whole tuples, which are wider
+          than bare items) *)
+}
+
+val default : t
+(** A mid-range Internet source: overhead 50, send 0.5, recv 1,
+    tuple 8. *)
+
+val make :
+  ?request_overhead:float ->
+  ?send_per_item:float ->
+  ?recv_per_item:float ->
+  ?recv_per_tuple:float ->
+  unit ->
+  t
+(** {!default} with fields overridden. *)
+
+val scale : float -> t -> t
+(** Multiplies every charge; models uniformly slower/faster sources. *)
+
+val pp : Format.formatter -> t -> unit

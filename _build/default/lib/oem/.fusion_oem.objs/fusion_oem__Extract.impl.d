@@ -1,0 +1,1 @@
+lib/oem/extract.ml: Fusion_data In_channel List Oem Option Printf Relation Result Schema Value

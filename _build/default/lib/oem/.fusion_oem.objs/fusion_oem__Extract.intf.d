@@ -1,0 +1,1 @@
+lib/oem/extract.mli: Fusion_data Oem Relation Schema

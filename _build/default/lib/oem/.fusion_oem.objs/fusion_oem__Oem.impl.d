@@ -1,0 +1,1 @@
+lib/oem/oem.ml: Buffer Format Fusion_data List Printf String Value

@@ -1,0 +1,1 @@
+lib/oem/oem.mli: Format Fusion_data Value

@@ -1,0 +1,47 @@
+open Fusion_data
+
+type mapping = { entities : string list; columns : (string * string list) list }
+
+let relation ~name ~common mapping document =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  (* Column paths in schema order. *)
+  let* ordered =
+    let resolve (attr, _ty) =
+      match List.filter (fun (a, _) -> a = attr) mapping.columns with
+      | [ (_, path) ] -> Ok (attr, path)
+      | [] -> Error (Printf.sprintf "attribute %S has no path in the mapping" attr)
+      | _ -> Error (Printf.sprintf "attribute %S mapped twice" attr)
+    in
+    List.fold_left
+      (fun acc attr ->
+        let* acc = acc in
+        let* entry = resolve attr in
+        Ok (entry :: acc))
+      (Ok []) (Schema.attrs common)
+    |> Result.map List.rev
+  in
+  let merge = Schema.merge common in
+  let entities = Oem.select document mapping.entities in
+  let rec build relation_rows = function
+    | [] -> Ok (List.rev relation_rows)
+    | entity :: rest -> (
+      let values =
+        List.map
+          (fun (attr, path) ->
+            (attr, Option.value ~default:Value.Null (Oem.first_atom entity path)))
+          ordered
+      in
+      match List.assoc merge values with
+      | Value.Null -> build relation_rows rest (* unjoinable: skip *)
+      | _ -> build (List.map snd values :: relation_rows) rest)
+  in
+  let* rows = build [] entities in
+  Relation.of_rows ~name common rows
+
+let load_file ~name ~common mapping path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+    match Oem.parse text with
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+    | Ok document -> relation ~name ~common mapping document)

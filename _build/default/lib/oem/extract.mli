@@ -1,0 +1,26 @@
+(** Relational views over OEM sources — the wrapper's "map it to the
+    common view" step (Section 2.1) for semistructured data.
+
+    A mapping names the path that enumerates the source's entity
+    objects and, for each attribute of the common schema, the path
+    (relative to an entity) of its value. Missing paths yield [Null];
+    entities whose merge attribute is missing are skipped (they can
+    never join). *)
+
+open Fusion_data
+
+type mapping = {
+  entities : string list;  (** path from the root to each entity object *)
+  columns : (string * string list) list;
+      (** (common attribute, path relative to the entity) — every
+          schema attribute must appear exactly once *)
+}
+
+val relation :
+  name:string -> common:Schema.t -> mapping -> Oem.t -> (Relation.t, string) result
+(** Fails when a column is missing/duplicated in the mapping or an
+    extracted atom has the wrong type for its attribute. *)
+
+val load_file :
+  name:string -> common:Schema.t -> mapping -> string -> (Relation.t, string) result
+(** Parses the OEM document at the path, then {!relation}. *)

@@ -1,0 +1,144 @@
+open Fusion_data
+
+type t = Atom of Value.t | Object of (string * t) list
+
+let rec select obj path =
+  match path with
+  | [] -> [ obj ]
+  | label :: rest -> (
+    match obj with
+    | Atom _ -> []
+    | Object children ->
+      List.concat_map
+        (fun (l, child) -> if l = label then select child rest else [])
+        children)
+
+let first_atom obj path =
+  let rec first = function
+    | [] -> None
+    | Atom v :: _ -> Some v
+    | Object _ :: rest -> first rest
+  in
+  first (select obj path)
+
+let rec equal a b =
+  match a, b with
+  | Atom x, Atom y -> Value.equal x y
+  | Object xs, Object ys ->
+    List.length xs = List.length ys
+    && List.for_all2 (fun (l1, c1) (l2, c2) -> l1 = l2 && equal c1 c2) xs ys
+  | _ -> false
+
+let rec pp ppf = function
+  | Atom (Value.String s) -> Format.fprintf ppf "%S" s
+  | Atom Value.Null -> Format.pp_print_string ppf "null"
+  | Atom (Value.Float f) ->
+    (* Keep the decimal point so the round trip stays a float. *)
+    Format.fprintf ppf "%F" f
+  | Atom v -> Value.pp ppf v
+  | Object children ->
+    Format.fprintf ppf "@[<hv 2>{";
+    List.iter (fun (label, child) -> Format.fprintf ppf "@ %s %a" label pp child) children;
+    Format.fprintf ppf "@;<1 -2>}@]"
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* --- parser ------------------------------------------------------------- *)
+
+type token = Lbrace | Rbrace | Word of string | Quoted of string
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let error = ref None in
+  let i = ref 0 in
+  while !i < n && !error = None do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '#' then begin
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '{' then begin
+      tokens := Lbrace :: !tokens;
+      incr i
+    end
+    else if c = '}' then begin
+      tokens := Rbrace :: !tokens;
+      incr i
+    end
+    else if c = '"' then begin
+      let buffer = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while !i < n && not !closed do
+        if input.[!i] = '"' then closed := true
+        else if input.[!i] = '\\' && !i + 1 < n then begin
+          Buffer.add_char buffer input.[!i + 1];
+          incr i
+        end
+        else Buffer.add_char buffer input.[!i];
+        incr i
+      done;
+      if not !closed then error := Some "unterminated string"
+      else tokens := Quoted (Buffer.contents buffer) :: !tokens
+    end
+    else begin
+      let start = !i in
+      while
+        !i < n
+        &&
+        match input.[!i] with
+        | ' ' | '\t' | '\n' | '\r' | '{' | '}' | '"' | '#' -> false
+        | _ -> true
+      do
+        incr i
+      done;
+      if !i = start then begin
+        error := Some (Printf.sprintf "unexpected character %C at offset %d" c start);
+        incr i
+      end
+      else tokens := Word (String.sub input start (!i - start)) :: !tokens
+    end
+  done;
+  match !error with Some msg -> Error msg | None -> Ok (List.rev !tokens)
+
+let atom_of_word word =
+  match word with
+  | "null" -> Ok (Atom Value.Null)
+  | "true" -> Ok (Atom (Value.Bool true))
+  | "false" -> Ok (Atom (Value.Bool false))
+  | _ -> (
+    match int_of_string_opt word with
+    | Some i -> Ok (Atom (Value.Int i))
+    | None -> (
+      match float_of_string_opt word with
+      | Some f -> Ok (Atom (Value.Float f))
+      | None -> Error (Printf.sprintf "expected a value, found %S" word)))
+
+let parse input =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let* tokens = tokenize input in
+  (* value := '{' (label value)* '}' | atom *)
+  let rec parse_value tokens =
+    match tokens with
+    | Lbrace :: rest -> parse_children [] rest
+    | Quoted s :: rest -> Ok (Atom (Value.String s), rest)
+    | Word w :: rest ->
+      let* atom = atom_of_word w in
+      Ok (atom, rest)
+    | Rbrace :: _ -> Error "unexpected '}'"
+    | [] -> Error "unexpected end of input"
+  and parse_children acc tokens =
+    match tokens with
+    | Rbrace :: rest -> Ok (Object (List.rev acc), rest)
+    | Word label :: rest ->
+      let* child, rest = parse_value rest in
+      parse_children ((label, child) :: acc) rest
+    | Quoted _ :: _ -> Error "expected a label, found a string"
+    | Lbrace :: _ -> Error "expected a label, found '{'"
+    | [] -> Error "missing '}'"
+  in
+  let* value, rest = parse_value tokens in
+  match rest with [] -> Ok value | _ -> Error "trailing input after the object"

@@ -1,0 +1,41 @@
+(** A small OEM-style semistructured object model.
+
+    The paper notes that its interest in fusion queries "emerged from
+    the TSIMMIS project which uses a semistructured object model" and
+    that the algorithms "can be extended in a straightforward way to
+    other data models" (Section 2.1). This module provides that other
+    data model: labeled, possibly irregular object trees, plus path
+    selection — enough for a wrapper to export a relational view of a
+    semistructured source (see {!Extract}).
+
+    Textual syntax (whitespace-separated, [#] comments):
+
+    {v { violation { lic "J55" type "dui" year 1993 }
+         violation { lic "T21" type "sp"  year 1994 extra { note "x" } } } v}
+
+    Atoms are quoted strings, integers, floats, [true]/[false] or
+    [null]; objects are brace-delimited label/value lists; labels may
+    repeat. *)
+
+open Fusion_data
+
+type t =
+  | Atom of Value.t
+  | Object of (string * t) list  (** label/subobject pairs, order kept *)
+
+val select : t -> string list -> t list
+(** [select obj path] — all subobjects reachable by following the
+    labels of [path] from [obj], in document order. [select obj []] is
+    [[obj]]. Repeated labels fan out. *)
+
+val first_atom : t -> string list -> Value.t option
+(** The first {!Atom} reached by the path, if any. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** The textual syntax above; re-parseable by {!parse}. *)
+
+val to_string : t -> string
+
+val parse : string -> (t, string) result

@@ -1,0 +1,1 @@
+lib/plan/exec.ml: Array Capability Cond Fusion_cond Fusion_data Fusion_net Fusion_source Hashtbl Item_set List Op Option Plan Printf Relation Source

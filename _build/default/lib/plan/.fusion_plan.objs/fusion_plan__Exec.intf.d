@@ -1,0 +1,1 @@
+lib/plan/exec.mli: Cond Fusion_cond Fusion_data Fusion_source Item_set Op Plan Source

@@ -1,0 +1,1 @@
+lib/plan/explain.ml: Array Exec Format List Op Option Plan Plan_cost

@@ -1,0 +1,1 @@
+lib/plan/explain.mli: Cond Exec Format Fusion_cond Fusion_cost Fusion_source Op Plan Source

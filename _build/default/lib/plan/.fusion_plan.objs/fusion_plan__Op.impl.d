@@ -1,0 +1,1 @@
+lib/plan/op.ml: Format Printf

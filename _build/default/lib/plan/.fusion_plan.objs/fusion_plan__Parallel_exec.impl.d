@@ -1,0 +1,1 @@
+lib/plan/parallel_exec.ml: Exec Fusion_net Hashtbl Int List Op Option Plan Set

@@ -1,0 +1,1 @@
+lib/plan/parallel_exec.mli: Exec Fusion_net Plan

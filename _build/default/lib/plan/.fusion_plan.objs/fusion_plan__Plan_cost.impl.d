@@ -1,0 +1,1 @@
+lib/plan/plan_cost.ml: Array Float Fusion_cost Fusion_data Fusion_source Hashtbl Int List Op Plan Set Source

@@ -1,0 +1,1 @@
+lib/plan/plan_cost.mli: Cond Fusion_cond Fusion_cost Fusion_source Plan Source

@@ -1,0 +1,1 @@
+lib/plan/plan_dot.ml: Buffer Hashtbl List Op Plan Printf String

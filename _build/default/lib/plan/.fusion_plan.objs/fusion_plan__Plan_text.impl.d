@@ -1,0 +1,1 @@
+lib/plan/plan_text.ml: Buffer List Op Plan Printf Str_split String

@@ -1,0 +1,1 @@
+lib/plan/response_time.ml: Array Exec Float List Op Plan

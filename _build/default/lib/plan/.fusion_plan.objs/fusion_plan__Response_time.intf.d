@@ -1,0 +1,1 @@
+lib/plan/response_time.mli: Exec Plan

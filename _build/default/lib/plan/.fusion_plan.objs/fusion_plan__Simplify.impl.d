@@ -1,0 +1,1 @@
+lib/plan/simplify.ml: Hashtbl List Op Option Plan Set String

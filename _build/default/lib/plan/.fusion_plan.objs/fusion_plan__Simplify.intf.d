@@ -1,0 +1,1 @@
+lib/plan/simplify.mli: Op Plan

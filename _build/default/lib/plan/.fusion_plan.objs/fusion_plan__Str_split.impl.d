@@ -1,0 +1,1 @@
+lib/plan/str_split.ml: String

@@ -1,0 +1,247 @@
+open Fusion_data
+open Fusion_cond
+open Fusion_source
+
+type step = { op : Op.t; cost : float; result_size : int }
+
+type result = {
+  answer : Item_set.t;
+  steps : step list;
+  total_cost : float;
+  failures : int;
+  partial : bool;
+}
+
+exception Runtime_error of string
+
+module Query_cache = struct
+  type stats = { hits : int; misses : int; saved_cost : float }
+
+  type t = {
+    answers : (string * string, Item_set.t) Hashtbl.t;
+    semijoins : (string * string * int, (Item_set.t * Item_set.t) list) Hashtbl.t;
+        (* (source, cond, probe digest) -> [(probe, answer)] *)
+    mutable hits : int;
+    mutable misses : int;
+    mutable saved_cost : float;
+  }
+
+  let create () =
+    {
+      answers = Hashtbl.create 32;
+      semijoins = Hashtbl.create 32;
+      hits = 0;
+      misses = 0;
+      saved_cost = 0.0;
+    }
+
+  let clear t =
+    Hashtbl.reset t.answers;
+    Hashtbl.reset t.semijoins;
+    t.hits <- 0;
+    t.misses <- 0;
+    t.saved_cost <- 0.0
+
+  let stats t = { hits = t.hits; misses = t.misses; saved_cost = t.saved_cost }
+
+  let key source cond = (Source.name source, Cond.to_string cond)
+
+  let find t source cond = Hashtbl.find_opt t.answers (key source cond)
+
+  let store t source cond answer =
+    t.misses <- t.misses + 1;
+    Hashtbl.replace t.answers (key source cond) answer
+
+  (* Order-independent digest of a probe set; equality is confirmed on
+     the stored probe, so collisions only cost a comparison. *)
+  let digest probe =
+    Item_set.fold (fun v acc -> acc lxor Fusion_data.Value.hash v) probe 0
+
+  let sjq_key source cond probe = (Source.name source, Cond.to_string cond, digest probe)
+
+  let find_sjq t source cond probe =
+    match Hashtbl.find_opt t.semijoins (sjq_key source cond probe) with
+    | None -> None
+    | Some entries ->
+      List.find_map
+        (fun (p, answer) -> if Item_set.equal p probe then Some answer else None)
+        entries
+
+  let store_sjq t source cond probe answer =
+    t.misses <- t.misses + 1;
+    let key = sjq_key source cond probe in
+    let existing = Option.value ~default:[] (Hashtbl.find_opt t.semijoins key) in
+    Hashtbl.replace t.semijoins key ((probe, answer) :: existing)
+
+  (* What the operation would have cost at the source, from its profile
+     and the actual sizes involved. Mirrors the wrapper's charging. *)
+  let record_hit t source ~items_sent ~items_received =
+    let p = Source.profile source in
+    t.hits <- t.hits + 1;
+    t.saved_cost <-
+      t.saved_cost
+      +. p.Fusion_net.Profile.request_overhead
+      +. (p.Fusion_net.Profile.send_per_item *. float_of_int items_sent)
+      +. (p.Fusion_net.Profile.recv_per_item *. float_of_int items_received)
+
+  let record_hit_emulated t source ~bindings ~items_received =
+    let p = Fusion_source.Source.profile source in
+    t.hits <- t.hits + 1;
+    t.saved_cost <-
+      t.saved_cost
+      +. (float_of_int bindings
+          *. (p.Fusion_net.Profile.request_overhead +. p.Fusion_net.Profile.send_per_item))
+      +. (p.Fusion_net.Profile.recv_per_item *. float_of_int items_received)
+end
+
+type binding = Items of Item_set.t | Loaded of Relation.t
+
+let run ?cache ?(retries = 0) ?(on_exhausted = `Fail) ~sources ~conds plan =
+  let env : (string, binding) Hashtbl.t = Hashtbl.create 16 in
+  let failures = ref 0 in
+  let partial = ref false in
+  let metered_cost () =
+    Array.fold_left
+      (fun acc s -> acc +. (Source.totals s).Fusion_net.Meter.cost)
+      0.0 sources
+  in
+  let items var =
+    match Hashtbl.find_opt env var with
+    | Some (Items s) -> s
+    | Some (Loaded _) -> raise (Runtime_error (var ^ " is a loaded relation, not an item set"))
+    | None -> raise (Runtime_error ("undefined variable " ^ var))
+  in
+  let loaded var =
+    match Hashtbl.find_opt env var with
+    | Some (Loaded r) -> r
+    | Some (Items _) -> raise (Runtime_error (var ^ " is an item set, not a loaded relation"))
+    | None -> raise (Runtime_error ("undefined variable " ^ var))
+  in
+  let source j =
+    if j < 0 || j >= Array.length sources then
+      raise (Runtime_error (Printf.sprintf "source index %d out of range" j));
+    sources.(j)
+  in
+  let cond i =
+    if i < 0 || i >= Array.length conds then
+      raise (Runtime_error (Printf.sprintf "condition index %d out of range" i));
+    conds.(i)
+  in
+  let exec_op (op : Op.t) =
+    match op with
+    | Select { dst; cond = c; source = j } -> (
+      let s = source j and condition = cond c in
+      let cached = Option.bind cache (fun t -> Query_cache.find t s condition) in
+      match cached with
+      | Some answer ->
+        Option.iter
+          (fun t ->
+            Query_cache.record_hit t s ~items_sent:0
+              ~items_received:(Item_set.cardinal answer))
+          cache;
+        Hashtbl.replace env dst (Items answer);
+        (0.0, Item_set.cardinal answer)
+      | None ->
+        let answer, cost = Source.select_query s condition in
+        Option.iter (fun t -> Query_cache.store t s condition answer) cache;
+        Hashtbl.replace env dst (Items answer);
+        (cost, Item_set.cardinal answer))
+    | Semijoin { dst; cond = c; source = j; input } -> (
+      let s = source j and condition = cond c in
+      let probe = items input in
+      let cached =
+        match Option.bind cache (fun t -> Query_cache.find t s condition) with
+        | Some full -> Some (Item_set.inter full probe)
+        | None -> Option.bind cache (fun t -> Query_cache.find_sjq t s condition probe)
+      in
+      match cached with
+      | Some answer ->
+        (* Either derived from a cached selection (sjq = sq ∩ X) or an
+           exact replay of a previous semijoin. *)
+        Option.iter
+          (fun t ->
+            let received = Item_set.cardinal answer in
+            if (Source.capability s).Capability.native_semijoin then
+              Query_cache.record_hit t s ~items_sent:(Item_set.cardinal probe)
+                ~items_received:received
+            else
+              Query_cache.record_hit_emulated t s ~bindings:(Item_set.cardinal probe)
+                ~items_received:received)
+          cache;
+        Hashtbl.replace env dst (Items answer);
+        (0.0, Item_set.cardinal answer)
+      | None ->
+        let answer, cost = Source.semijoin_query s condition probe in
+        Option.iter (fun t -> Query_cache.store_sjq t s condition probe answer) cache;
+        Hashtbl.replace env dst (Items answer);
+        (cost, Item_set.cardinal answer))
+    | Load { dst; source = j } ->
+      let relation, cost = Source.load_query (source j) in
+      Hashtbl.replace env dst (Loaded relation);
+      (cost, Relation.cardinality relation)
+    | Local_select { dst; cond = c; input } ->
+      let relation = loaded input in
+      let pred tuple = Cond.eval (Relation.schema relation) (cond c) tuple in
+      let answer = Relation.select_items relation pred in
+      Hashtbl.replace env dst (Items answer);
+      (0.0, Item_set.cardinal answer)
+    | Union { dst; args } ->
+      let answer = Item_set.union_list (List.map items args) in
+      Hashtbl.replace env dst (Items answer);
+      (0.0, Item_set.cardinal answer)
+    | Inter { dst; args } ->
+      let answer = Item_set.inter_list (List.map items args) in
+      Hashtbl.replace env dst (Items answer);
+      (0.0, Item_set.cardinal answer)
+    | Diff { dst; left; right } ->
+      let answer = Item_set.diff (items left) (items right) in
+      Hashtbl.replace env dst (Items answer);
+      (0.0, Item_set.cardinal answer)
+  in
+  (* Source queries retry on timeouts; their step cost is the meter
+     delta, which includes the failed attempts' overhead. *)
+  let exec_with_retries (op : Op.t) =
+    if not (Op.is_source_query op) then exec_op op
+    else begin
+      let before = metered_cost () in
+      let rec attempt budget =
+        match exec_op op with
+        | _, result_size -> Some result_size
+        | exception Source.Timeout _ ->
+          incr failures;
+          if budget > 0 then attempt (budget - 1)
+          else if on_exhausted = `Fail then raise (Source.Timeout (Op.dst op))
+          else begin
+            partial := true;
+            (* Bind a harmless empty value so the plan can continue. *)
+            (match op with
+            | Select { dst; _ } | Semijoin { dst; _ } ->
+              Hashtbl.replace env dst (Items Item_set.empty)
+            | Load { dst; source = j } ->
+              Hashtbl.replace env dst
+                (Loaded
+                   (Relation.create
+                      ~name:(Source.name sources.(j))
+                      (Source.schema sources.(j))))
+            | _ -> assert false);
+            None
+          end
+      in
+      let result_size = attempt retries in
+      (metered_cost () -. before, Option.value ~default:0 result_size)
+    end
+  in
+  let steps =
+    List.map
+      (fun op ->
+        let cost, result_size = exec_with_retries op in
+        { op; cost; result_size })
+      (Plan.ops plan)
+  in
+  {
+    answer = items (Plan.output plan);
+    steps;
+    total_cost = List.fold_left (fun acc s -> acc +. s.cost) 0.0 steps;
+    failures = !failures;
+    partial = !partial;
+  }

@@ -1,0 +1,48 @@
+type t =
+  | Select of { dst : string; cond : int; source : int }
+  | Semijoin of { dst : string; cond : int; source : int; input : string }
+  | Load of { dst : string; source : int }
+  | Local_select of { dst : string; cond : int; input : string }
+  | Union of { dst : string; args : string list }
+  | Inter of { dst : string; args : string list }
+  | Diff of { dst : string; left : string; right : string }
+
+let dst = function
+  | Select { dst; _ }
+  | Semijoin { dst; _ }
+  | Load { dst; _ }
+  | Local_select { dst; _ }
+  | Union { dst; _ }
+  | Inter { dst; _ }
+  | Diff { dst; _ } -> dst
+
+let uses = function
+  | Select _ | Load _ -> []
+  | Semijoin { input; _ } | Local_select { input; _ } -> [ input ]
+  | Union { args; _ } | Inter { args; _ } -> args
+  | Diff { left; right; _ } -> [ left; right ]
+
+let is_source_query = function
+  | Select _ | Semijoin _ | Load _ -> true
+  | Local_select _ | Union _ | Inter _ | Diff _ -> false
+
+let pp ?source_name ppf op =
+  let rname j =
+    match source_name with Some f -> f j | None -> Printf.sprintf "R%d" (j + 1)
+  in
+  let pp_args ppf (sep, args) =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf " %s " sep)
+      Format.pp_print_string ppf args
+  in
+  match op with
+  | Select { dst; cond; source } ->
+    Format.fprintf ppf "%s := sq(c%d, %s)" dst (cond + 1) (rname source)
+  | Semijoin { dst; cond; source; input } ->
+    Format.fprintf ppf "%s := sjq(c%d, %s, %s)" dst (cond + 1) (rname source) input
+  | Load { dst; source } -> Format.fprintf ppf "%s := lq(%s)" dst (rname source)
+  | Local_select { dst; cond; input } ->
+    Format.fprintf ppf "%s := sq(c%d, %s)" dst (cond + 1) input
+  | Union { dst; args } -> Format.fprintf ppf "%s := %a" dst pp_args ("∪", args)
+  | Inter { dst; args } -> Format.fprintf ppf "%s := %a" dst pp_args ("∩", args)
+  | Diff { dst; left; right } -> Format.fprintf ppf "%s := %s - %s" dst left right

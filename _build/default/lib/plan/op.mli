@@ -1,0 +1,36 @@
+(** Plan operations.
+
+    A plan is a straight-line sequence of these operations (Figures 2
+    and 5 of the paper). Conditions and sources are referenced by index
+    — [cond i] is the query's [c_{i+1}], [source j] the mediator's
+    [R_{j+1}] — so plans are meaningful only relative to a query and a
+    source list. Variables name intermediate item sets, or loaded
+    relations for [Load]. *)
+
+type t =
+  | Select of { dst : string; cond : int; source : int }
+      (** [X := sq(c, R)] — items of [R] satisfying [c] *)
+  | Semijoin of { dst : string; cond : int; source : int; input : string }
+      (** [X := sjq(c, R, Y)] — subset of [Y] satisfying [c] at [R] *)
+  | Load of { dst : string; source : int }
+      (** [L := lq(R)] — ship the whole relation (postoptimization) *)
+  | Local_select of { dst : string; cond : int; input : string }
+      (** [X := sq(c, L)] — free local filtering of a loaded relation *)
+  | Union of { dst : string; args : string list }
+  | Inter of { dst : string; args : string list }
+  | Diff of { dst : string; left : string; right : string }
+      (** [X := Y - Z] (postoptimization) *)
+
+val dst : t -> string
+(** The variable the operation binds. *)
+
+val uses : t -> string list
+(** Variables the operation reads. *)
+
+val is_source_query : t -> bool
+(** Whether the operation sends a query to a source (and therefore has a
+    cost under the paper's model). *)
+
+val pp : ?source_name:(int -> string) -> Format.formatter -> t -> unit
+(** Paper notation, e.g. [X21 := sjq(c2, R1, X1)]. [source_name]
+    overrides the default [R<j+1>] naming. *)

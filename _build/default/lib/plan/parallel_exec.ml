@@ -1,0 +1,49 @@
+module Sim = Fusion_net.Sim
+module Int_set = Set.Make (Int)
+
+(* Dependencies of each variable's value, as the set of task ids whose
+   completion makes the value available. Local operations are free and
+   merely merge the dependencies of their inputs. *)
+let tasks_of plan (result : Exec.result) =
+  if List.length (Plan.ops plan) <> List.length result.Exec.steps then
+    invalid_arg "Parallel_exec: execution does not match the plan";
+  let var_deps : (string, Int_set.t) Hashtbl.t = Hashtbl.create 16 in
+  let deps_of var = Option.value ~default:Int_set.empty (Hashtbl.find_opt var_deps var) in
+  let next_task = ref 0 in
+  let tasks = ref [] in
+  List.iter
+    (fun step ->
+      let op = step.Exec.op in
+      let input_deps =
+        List.fold_left (fun acc v -> Int_set.union acc (deps_of v)) Int_set.empty (Op.uses op)
+      in
+      match op with
+      | Op.Select { dst; source; _ } | Op.Semijoin { dst; source; _ }
+      | Op.Load { dst; source; _ } ->
+        let id = !next_task in
+        incr next_task;
+        tasks :=
+          {
+            Sim.id;
+            server = source;
+            duration = step.Exec.cost;
+            deps = Int_set.elements input_deps;
+          }
+          :: !tasks;
+        Hashtbl.replace var_deps dst (Int_set.singleton id)
+      | Op.Local_select { dst; _ } | Op.Union { dst; _ } | Op.Inter { dst; _ }
+      | Op.Diff { dst; _ } ->
+        Hashtbl.replace var_deps dst input_deps)
+    result.Exec.steps;
+  List.rev !tasks
+
+let simulate ?(serialize_sources = true) ~n plan result =
+  let tasks = tasks_of plan result in
+  if serialize_sources then Sim.run ~servers:n tasks
+  else
+    (* Give every task its own server: pure dataflow critical path. *)
+    let tasks = List.map (fun t -> { t with Sim.server = t.Sim.id }) tasks in
+    Sim.run ~servers:(max 1 (List.length tasks)) tasks
+
+let makespan ?serialize_sources ~n plan result =
+  (simulate ?serialize_sources ~n plan result).Sim.makespan

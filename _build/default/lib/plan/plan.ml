@@ -1,0 +1,207 @@
+type t = { ops : Op.t list; output : string }
+
+let create ~ops ~output = { ops; output }
+let ops t = t.ops
+let output t = t.output
+
+type kind = Kitems | Krel
+
+let validate ~m ~n t =
+  let kinds : (string, kind) Hashtbl.t = Hashtbl.create 16 in
+  let check_defined kind var =
+    match Hashtbl.find_opt kinds var with
+    | Some k when k = kind -> Ok ()
+    | Some _ ->
+      Error
+        (Printf.sprintf "variable %s is a %s" var
+           (if kind = Kitems then "loaded relation, not an item set"
+            else "an item set, not a loaded relation"))
+    | None -> Error (Printf.sprintf "variable %s used before definition" var)
+  in
+  let bind kind var =
+    match Hashtbl.find_opt kinds var with
+    | Some k when k <> kind -> Error (Printf.sprintf "variable %s rebound to a different kind" var)
+    | _ ->
+      Hashtbl.replace kinds var kind;
+      Ok ()
+  in
+  let check_cond c =
+    if c >= 0 && c < m then Ok () else Error (Printf.sprintf "condition index %d out of range" c)
+  in
+  let check_source j =
+    if j >= 0 && j < n then Ok () else Error (Printf.sprintf "source index %d out of range" j)
+  in
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let rec all f = function
+    | [] -> Ok ()
+    | x :: rest ->
+      let* () = f x in
+      all f rest
+  in
+  let check_op (op : Op.t) =
+    match op with
+    | Select { dst; cond; source } ->
+      let* () = check_cond cond in
+      let* () = check_source source in
+      bind Kitems dst
+    | Semijoin { dst; cond; source; input } ->
+      let* () = check_cond cond in
+      let* () = check_source source in
+      let* () = check_defined Kitems input in
+      bind Kitems dst
+    | Load { dst; source } ->
+      let* () = check_source source in
+      bind Krel dst
+    | Local_select { dst; cond; input } ->
+      let* () = check_cond cond in
+      let* () = check_defined Krel input in
+      bind Kitems dst
+    | Union { dst; args } | Inter { dst; args } ->
+      if args = [] then Error "empty argument list"
+      else
+        let* () = all (check_defined Kitems) args in
+        bind Kitems dst
+    | Diff { dst; left; right } ->
+      let* () = check_defined Kitems left in
+      let* () = check_defined Kitems right in
+      bind Kitems dst
+  in
+  let* () = all check_op t.ops in
+  check_defined Kitems t.output
+
+let source_query_count t = List.length (List.filter Op.is_source_query t.ops)
+
+let is_filter t =
+  List.for_all
+    (fun (op : Op.t) ->
+      match op with Select _ | Union _ | Inter _ -> true | _ -> false)
+    t.ops
+
+let is_simple t =
+  List.for_all
+    (fun (op : Op.t) ->
+      match op with Select _ | Semijoin _ | Union _ | Inter _ -> true | _ -> false)
+    t.ops
+
+type action = By_select | By_semijoin
+
+type round = { cond : int; actions : action array }
+
+(* Reconstruct the round structure of a (candidate) semijoin-adaptive
+   plan. We scan the operation list with a small state machine: collect
+   the n per-source queries of a round, then the union of their results,
+   then (optionally, for pure-semijoin rounds) the intersection with the
+   previous round's variable. *)
+let rounds ~n t =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let arr = Array.of_list t.ops in
+  let len = Array.length arr in
+  let pos = ref 0 in
+  let peek () = if !pos < len then Some arr.(!pos) else None in
+  let take () =
+    let op = arr.(!pos) in
+    incr pos;
+    op
+  in
+  let parse_round ~first ~prev_var =
+    (* 1. n per-source queries, all on the same condition. *)
+    let cond = ref (-1) in
+    let actions = Array.make n None in
+    let dsts = ref [] in
+    let rec queries collected =
+      if collected = n then Ok ()
+      else
+        match peek () with
+        | Some (Op.Select { dst; cond = c; source }) when source < n ->
+          if !cond = -1 then cond := c;
+          if c <> !cond then Error "round mixes conditions"
+          else if actions.(source) <> None then
+            Error (Printf.sprintf "source %d queried twice in a round" source)
+          else begin
+            ignore (take ());
+            actions.(source) <- Some By_select;
+            dsts := dst :: !dsts;
+            queries (collected + 1)
+          end
+        | Some (Op.Semijoin { dst; cond = c; source; input }) when source < n ->
+          if first then Error "semijoin in the first round"
+          else if input <> Option.get prev_var then
+            Error "semijoin input is not the previous round's result"
+          else begin
+            if !cond = -1 then cond := c;
+            if c <> !cond then Error "round mixes conditions"
+            else if actions.(source) <> None then
+              Error (Printf.sprintf "source %d queried twice in a round" source)
+            else begin
+              ignore (take ());
+              actions.(source) <- Some By_semijoin;
+              dsts := dst :: !dsts;
+              queries (collected + 1)
+            end
+          end
+        | _ -> Error "expected a per-source query"
+    in
+    let* () = queries 0 in
+    let actions = Array.map Option.get actions in
+    (* 2. the union of the round's results. *)
+    let* union_dst =
+      match peek () with
+      | Some (Op.Union { dst; args })
+        when List.sort compare args = List.sort compare !dsts ->
+        ignore (take ());
+        Ok dst
+      | _ -> Error "expected the union of the round's results"
+    in
+    (* 3. intersection with the previous round (optional iff the round
+       was pure semijoin, whose results are already subsets). *)
+    let pure_semijoin = Array.for_all (fun a -> a = By_semijoin) actions in
+    let* final =
+      if first then Ok union_dst
+      else
+        match peek () with
+        | Some (Op.Inter { dst; args = [ a; b ] })
+          when (a = Option.get prev_var && b = union_dst)
+               || (b = Option.get prev_var && a = union_dst) ->
+          ignore (take ());
+          Ok dst
+        | _ when pure_semijoin -> Ok union_dst
+        | _ -> Error "expected an intersection with the previous round's result"
+    in
+    Ok ({ cond = !cond; actions }, final)
+  in
+  let rec loop acc prev_var first =
+    if !pos = len then
+      if Option.get prev_var = t.output then Ok (List.rev acc)
+      else Error "plan continues after the last round"
+    else
+      let* round, final = parse_round ~first ~prev_var in
+      loop (round :: acc) (Some final) false
+  in
+  if n = 0 then Error "no sources"
+  else if len = 0 then Error "empty plan"
+  else loop [] None true
+
+let distinct_conds rounds_list =
+  let conds = List.map (fun r -> r.cond) rounds_list in
+  List.length (List.sort_uniq compare conds) = List.length conds
+
+let is_semijoin_adaptive ~n t =
+  match rounds ~n t with Ok rs -> distinct_conds rs | Error _ -> false
+
+let is_semijoin ~n t =
+  match rounds ~n t with
+  | Error _ -> false
+  | Ok rs ->
+    distinct_conds rs
+    && List.for_all
+         (fun r ->
+           Array.for_all (fun a -> a = By_select) r.actions
+           || Array.for_all (fun a -> a = By_semijoin) r.actions)
+         rs
+
+let pp ?source_name ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i op -> Format.fprintf ppf "%2d) %a@," (i + 1) (Op.pp ?source_name) op)
+    t.ops;
+  Format.fprintf ppf "answer: %s@]" t.output

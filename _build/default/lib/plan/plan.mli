@@ -1,0 +1,55 @@
+(** Plans: straight-line operation sequences plus a result variable.
+
+    Includes the structural analysis behind the paper's plan-class
+    taxonomy (Section 2.5): filter plans ⊂ semijoin plans ⊂
+    semijoin-adaptive plans ⊂ simple plans, and postoptimized plans
+    (with difference and loading) outside the simple class. *)
+
+type t
+
+val create : ops:Op.t list -> output:string -> t
+val ops : t -> Op.t list
+val output : t -> string
+
+val validate : m:int -> n:int -> t -> (unit, string) result
+(** Checks, for a query with [m] conditions and [n] sources: variable
+    definitions precede uses; set operations apply to item sets and
+    local selections to loaded relations; condition and source indexes
+    are in range; rebinding a variable keeps its kind; the output is a
+    defined item set. *)
+
+val source_query_count : t -> int
+(** Number of operations that query a source. *)
+
+val is_filter : t -> bool
+(** Only selection queries and local set operations (Section 2.5.1). *)
+
+val is_simple : t -> bool
+(** Only [sq], [sjq], [∪], [∩] (Section 2.3): no loading, no
+    difference. *)
+
+(** How a round (one condition) treats one source. *)
+type action = By_select | By_semijoin
+
+(** The per-condition structure of a round-shaped plan: conditions are
+    processed in [cond] order, each source independently by selection or
+    semijoin (the inputs of the semijoins being the previous round's
+    result). *)
+type round = { cond : int; actions : action array }
+
+val rounds : n:int -> t -> (round list, string) result
+(** Reconstructs the round structure, or explains why the plan is not
+    round-shaped. Accepted shape per round: the [n] per-source queries
+    (in any order), their union, and an intersection with the previous
+    round's result — the intersection may be omitted when every source
+    was handled by semijoin (Figure 3's pure-semijoin rounds). Round 1
+    must be all selections. *)
+
+val is_semijoin_adaptive : n:int -> t -> bool
+(** Round-shaped (Section 2.5.3). *)
+
+val is_semijoin : n:int -> t -> bool
+(** Round-shaped with a uniform per-round action (Section 2.5.2). *)
+
+val pp : ?source_name:(int -> string) -> Format.formatter -> t -> unit
+(** Numbered steps in the paper's notation, as in Figure 2. *)

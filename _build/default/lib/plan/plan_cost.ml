@@ -1,0 +1,167 @@
+open Fusion_source
+module Model = Fusion_cost.Model
+module Estimator = Fusion_cost.Estimator
+
+type t = { total : float; sizes : (string * float) list; op_costs : float array }
+
+(* Each binding gets a fresh id so that rebindings (X2 := X2 ∩ X1) keep
+   ancestor references to the *old* value meaningful. [anc] lists the
+   ids of bindings this set is known to be a subset of. *)
+type shape = { size : float; anc : int list }
+
+type binding = Bitems of shape | Bloaded of int (* source index *)
+
+exception Estimate_error of string
+
+module Int_set = Set.Make (Int)
+
+let estimate ~model ~est ~sources ~conds plan =
+  let universe = Estimator.universe est in
+  let next_id = ref 0 in
+  let shapes : (int, shape) Hashtbl.t = Hashtbl.create 32 in
+  let env : (string, binding) Hashtbl.t = Hashtbl.create 16 in
+  let final_sizes : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  (* Map var -> current binding id, maintained alongside [env]. *)
+  let ids : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let bind_items var shape =
+    let id = !next_id in
+    incr next_id;
+    Hashtbl.replace shapes id shape;
+    Hashtbl.replace env var (Bitems shape);
+    Hashtbl.replace final_sizes var shape.size;
+    Hashtbl.replace ids var id;
+    id
+  in
+  let items var =
+    match Hashtbl.find_opt env var with
+    | Some (Bitems s) -> s
+    | Some (Bloaded _) -> raise (Estimate_error (var ^ " is a loaded relation"))
+    | None -> raise (Estimate_error ("undefined variable " ^ var))
+  in
+  let loaded var =
+    match Hashtbl.find_opt env var with
+    | Some (Bloaded j) -> j
+    | Some (Bitems _) -> raise (Estimate_error (var ^ " is an item set"))
+    | None -> raise (Estimate_error ("undefined variable " ^ var))
+  in
+  let current_id var =
+    match Hashtbl.find_opt ids var with
+    | Some id -> id
+    | None -> raise (Estimate_error ("undefined variable " ^ var))
+  in
+  let size_of_id id = (Hashtbl.find shapes id).size in
+  (* Nearest (smallest) ancestor shared by every argument. For
+     intersections an argument counts as its own ancestor (the result is
+     a subset of each argument); for unions only proper ancestors
+     qualify (the result contains its arguments). *)
+  let common_scope ~include_self arg_ids =
+    let ancestors id =
+      let anc = Int_set.of_list (Hashtbl.find shapes id).anc in
+      if include_self then Int_set.add id anc else anc
+    in
+    match arg_ids with
+    | [] -> None
+    | first :: rest ->
+      let common =
+        List.fold_left (fun acc id -> Int_set.inter acc (ancestors id)) (ancestors first) rest
+      in
+      Int_set.fold
+        (fun id best ->
+          match best with
+          | None -> Some id
+          | Some b -> if size_of_id id < size_of_id b then Some id else best)
+        common None
+  in
+  let clamp scope x = Float.max 0.0 (Float.min scope x) in
+  let total = ref 0.0 in
+  let exec_op (op : Op.t) =
+    match op with
+    | Select { dst; cond = c; source = j } ->
+      total := !total +. model.Model.sq_cost sources.(j) conds.(c);
+      ignore (bind_items dst { size = Estimator.sq_answer est sources.(j) conds.(c); anc = [] })
+    | Semijoin { dst; cond = c; source = j; input } ->
+      let x = items input in
+      total := !total +. model.Model.sjq_cost sources.(j) conds.(c) x.size;
+      let size = Estimator.sjq_answer est sources.(j) conds.(c) x.size in
+      ignore (bind_items dst { size; anc = current_id input :: x.anc })
+    | Load { dst; source = j } ->
+      total := !total +. model.Model.lq_cost sources.(j);
+      Hashtbl.replace env dst (Bloaded j);
+      Hashtbl.replace final_sizes dst
+        (float_of_int (Fusion_data.Relation.cardinality (Source.relation sources.(j))))
+    | Local_select { dst; cond = c; input } ->
+      let j = loaded input in
+      ignore (bind_items dst { size = Estimator.matching est sources.(j) conds.(c); anc = [] })
+    | Union { dst; args } ->
+      let arg_ids = List.map current_id args in
+      (* Scope: the nearest ancestor common to every argument that has
+         one. Arguments without ancestors (selection answers) are
+         independent random subsets of the universe, so conditioning
+         them on the scope keeps their coverage s/u. This makes the
+         mixed-round union of SJA plans agree exactly with the
+         optimizer's recurrence. *)
+      let with_anc = List.filter (fun id -> (Hashtbl.find shapes id).anc <> []) arg_ids in
+      let scope_id =
+        if with_anc = [] then None else common_scope ~include_self:false with_anc
+      in
+      let scope, anc =
+        match scope_id with
+        | Some id when size_of_id id > 0.0 -> (size_of_id id, id :: (Hashtbl.find shapes id).anc)
+        | _ -> (universe, [])
+      in
+      let coverage id =
+        let s = Hashtbl.find shapes id in
+        let in_scope =
+          match scope_id with Some sid -> List.mem sid s.anc | None -> false
+        in
+        if in_scope then Float.min 1.0 (s.size /. scope)
+        else Float.min 1.0 (s.size /. universe)
+      in
+      let miss = List.fold_left (fun acc id -> acc *. (1.0 -. coverage id)) 1.0 arg_ids in
+      ignore (bind_items dst { size = clamp scope (scope *. (1.0 -. miss)); anc })
+    | Inter { dst; args } ->
+      let arg_ids = List.map current_id args in
+      (* Drop arguments that are (known) supersets of another argument:
+         intersecting with a superset is a no-op. *)
+      let is_super id other =
+        id <> other && List.mem id (Hashtbl.find shapes other).anc
+      in
+      let kept = List.filter (fun id -> not (List.exists (is_super id) arg_ids)) arg_ids in
+      let kept = if kept = [] then arg_ids else kept in
+      let scope =
+        match common_scope ~include_self:true kept with
+        | Some id when size_of_id id > 0.0 -> size_of_id id
+        | _ -> universe
+      in
+      let size =
+        scope
+        *. List.fold_left (fun acc id -> acc *. Float.min 1.0 (size_of_id id /. scope)) 1.0 kept
+      in
+      let anc =
+        List.sort_uniq compare
+          (List.concat_map (fun id -> id :: (Hashtbl.find shapes id).anc) arg_ids)
+      in
+      ignore (bind_items dst { size = clamp scope size; anc })
+    | Diff { dst; left; right } ->
+      let l = items left and r = items right in
+      let l_id = current_id left in
+      let size =
+        if List.mem l_id r.anc then Float.max 0.0 (l.size -. r.size)
+        else l.size *. Float.max 0.0 (1.0 -. (r.size /. universe))
+      in
+      ignore (bind_items dst { size; anc = l_id :: l.anc })
+  in
+  let op_costs =
+    Array.of_list
+      (List.map
+         (fun op ->
+           let before = !total in
+           exec_op op;
+           !total -. before)
+         (Plan.ops plan))
+  in
+  {
+    total = !total;
+    sizes = Hashtbl.fold (fun var size acc -> (var, size) :: acc) final_sizes [];
+    op_costs;
+  }

@@ -1,0 +1,30 @@
+(** Optimization-time cost and cardinality estimation for whole plans.
+
+    The SJ/SJA optimizers price plans incrementally with the paper's
+    recurrences; this module prices {e arbitrary} plans, including
+    postoptimized and hand-written ones, from the same statistics. Set
+    sizes are propagated through local operations with an
+    independent-random-subsets approximation, refined by tracking which
+    variables are subsets of which (semijoin and intersection results
+    remember their ancestors, which keeps the pure-semijoin and
+    round-intersection estimates exact w.r.t. the optimizer's own
+    recurrence). *)
+
+open Fusion_cond
+open Fusion_source
+
+type t = {
+  total : float;
+  sizes : (string * float) list;
+  op_costs : float array;  (** aligned with [Plan.ops]; 0 for local ops *)
+}
+(** Estimated plan cost, per-operation costs, and final size estimate
+    for every variable (last binding wins). *)
+
+val estimate :
+  model:Fusion_cost.Model.t ->
+  est:Fusion_cost.Estimator.t ->
+  sources:Source.t array ->
+  conds:Cond.t array ->
+  Plan.t ->
+  t

@@ -1,0 +1,45 @@
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let to_string ?source_name plan =
+  let rname j =
+    match source_name with Some f -> f j | None -> Printf.sprintf "R%d" (j + 1)
+  in
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer "digraph plan {\n  rankdir=TB;\n  node [fontsize=11];\n";
+  (* var -> node id of its current binding *)
+  let current : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let edge from_id to_id =
+    Buffer.add_string buffer (Printf.sprintf "  n%d -> n%d;\n" from_id to_id)
+  in
+  List.iteri
+    (fun id (op : Op.t) ->
+      let label, shape =
+        match op with
+        | Op.Select { dst; cond; source } ->
+          (Printf.sprintf "%s := sq(c%d, %s)" dst (cond + 1) (rname source), "box")
+        | Op.Semijoin { dst; cond; source; _ } ->
+          (Printf.sprintf "%s := sjq(c%d, %s, ...)" dst (cond + 1) (rname source), "box")
+        | Op.Load { dst; source } -> (Printf.sprintf "%s := lq(%s)" dst (rname source), "box3d")
+        | Op.Local_select { dst; cond; _ } ->
+          (Printf.sprintf "%s := sq(c%d, local)" dst (cond + 1), "ellipse")
+        | Op.Union { dst; _ } -> (dst ^ " := \xe2\x88\xaa", "ellipse")
+        | Op.Inter { dst; _ } -> (dst ^ " := \xe2\x88\xa9", "ellipse")
+        | Op.Diff { dst; _ } -> (dst ^ " := \xe2\x88\x92", "ellipse")
+      in
+      Buffer.add_string buffer
+        (Printf.sprintf "  n%d [label=\"%s\", shape=%s];\n" id (escape label) shape);
+      List.iter
+        (fun used ->
+          match Hashtbl.find_opt current used with
+          | Some def_id -> edge def_id id
+          | None -> ())
+        (Op.uses op);
+      Hashtbl.replace current (Op.dst op) id)
+    (Plan.ops plan);
+  (match Hashtbl.find_opt current (Plan.output plan) with
+  | Some def_id ->
+    Buffer.add_string buffer "  answer [shape=doublecircle, label=\"answer\"];\n";
+    Buffer.add_string buffer (Printf.sprintf "  n%d -> answer;\n" def_id)
+  | None -> ());
+  Buffer.add_string buffer "}\n";
+  Buffer.contents buffer

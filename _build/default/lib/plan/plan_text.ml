@@ -1,0 +1,133 @@
+let op_to_string (op : Op.t) =
+  let args = String.concat ", " in
+  match op with
+  | Op.Select { dst; cond; source } ->
+    Printf.sprintf "%s := sq(c%d, R%d)" dst (cond + 1) (source + 1)
+  | Op.Semijoin { dst; cond; source; input } ->
+    Printf.sprintf "%s := sjq(c%d, R%d, %s)" dst (cond + 1) (source + 1) input
+  | Op.Load { dst; source } -> Printf.sprintf "%s := lq(R%d)" dst (source + 1)
+  | Op.Local_select { dst; cond; input } ->
+    Printf.sprintf "%s := lsq(c%d, %s)" dst (cond + 1) input
+  | Op.Union { dst; args = a } -> Printf.sprintf "%s := union(%s)" dst (args a)
+  | Op.Inter { dst; args = a } -> Printf.sprintf "%s := inter(%s)" dst (args a)
+  | Op.Diff { dst; left; right } -> Printf.sprintf "%s := diff(%s, %s)" dst left right
+
+let to_string plan =
+  let buffer = Buffer.create 256 in
+  List.iter
+    (fun op ->
+      Buffer.add_string buffer (op_to_string op);
+      Buffer.add_char buffer '\n')
+    (Plan.ops plan);
+  Buffer.add_string buffer ("answer " ^ Plan.output plan ^ "\n");
+  Buffer.contents buffer
+
+(* --- parsing ------------------------------------------------------------ *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let strip_comment line =
+  match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line
+
+let indexed prefix text =
+  let n = String.length prefix in
+  if String.length text > n && String.sub text 0 n = prefix then
+    match int_of_string_opt (String.sub text n (String.length text - n)) with
+    | Some i when i >= 1 -> Some (i - 1)
+    | _ -> None
+  else None
+
+let is_var text =
+  text <> ""
+  && (match text.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (fun c ->
+         match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       text
+
+let parse_call lineno text =
+  (* name(arg, arg, ...) *)
+  match String.index_opt text '(' with
+  | None -> Error (Printf.sprintf "line %d: expected op(...)" lineno)
+  | Some i ->
+    let name = String.trim (String.sub text 0 i) in
+    let rest = String.sub text (i + 1) (String.length text - i - 1) in
+    if String.length rest = 0 || rest.[String.length rest - 1] <> ')' then
+      Error (Printf.sprintf "line %d: missing closing parenthesis" lineno)
+    else
+      let inner = String.sub rest 0 (String.length rest - 1) in
+      let args = String.split_on_char ',' inner |> List.map String.trim in
+      let args = List.filter (fun a -> a <> "") args in
+      Ok (name, args)
+
+let parse_op lineno dst call =
+  let* name, args = parse_call lineno call in
+  let fail expected =
+    Error (Printf.sprintf "line %d: %s expects %s" lineno name expected)
+  in
+  let cond_arg a k =
+    match indexed "c" a with
+    | Some c -> k c
+    | None -> Error (Printf.sprintf "line %d: expected a condition (c1, c2, ...)" lineno)
+  in
+  let source_arg a k =
+    match indexed "R" a with
+    | Some j -> k j
+    | None -> Error (Printf.sprintf "line %d: expected a source (R1, R2, ...)" lineno)
+  in
+  let var_arg a k =
+    if is_var a then k a else Error (Printf.sprintf "line %d: bad variable %S" lineno a)
+  in
+  let var_args k =
+    if args = [] then fail "at least one variable"
+    else if List.for_all is_var args then k args
+    else Error (Printf.sprintf "line %d: bad variable list" lineno)
+  in
+  match name, args with
+  | "sq", [ c; r ] ->
+    cond_arg c (fun cond -> source_arg r (fun source -> Ok (Op.Select { dst; cond; source })))
+  | "sjq", [ c; r; x ] ->
+    cond_arg c (fun cond ->
+        source_arg r (fun source ->
+            var_arg x (fun input -> Ok (Op.Semijoin { dst; cond; source; input }))))
+  | "lq", [ r ] -> source_arg r (fun source -> Ok (Op.Load { dst; source }))
+  | "lsq", [ c; l ] ->
+    cond_arg c (fun cond -> var_arg l (fun input -> Ok (Op.Local_select { dst; cond; input })))
+  | "union", _ -> var_args (fun args -> Ok (Op.Union { dst; args }))
+  | "inter", _ -> var_args (fun args -> Ok (Op.Inter { dst; args }))
+  | "diff", [ a; b ] ->
+    var_arg a (fun left -> var_arg b (fun right -> Ok (Op.Diff { dst; left; right })))
+  | "sq", _ -> fail "(c<i>, R<j>)"
+  | "sjq", _ -> fail "(c<i>, R<j>, VAR)"
+  | "lq", _ -> fail "(R<j>)"
+  | "lsq", _ -> fail "(c<i>, VAR)"
+  | "diff", _ -> fail "(VAR, VAR)"
+  | other, _ -> Error (Printf.sprintf "line %d: unknown operation %S" lineno other)
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno ops output = function
+    | [] -> (
+      match output with
+      | None -> Error "missing final 'answer VAR' line"
+      | Some output -> Ok (Plan.create ~ops:(List.rev ops) ~output))
+    | line :: rest -> (
+      let line = String.trim (strip_comment line) in
+      if line = "" then go (lineno + 1) ops output rest
+      else if output <> None then
+        Error (Printf.sprintf "line %d: content after the answer line" lineno)
+      else if String.length line > 7 && String.sub line 0 7 = "answer " then
+        let var = String.trim (String.sub line 7 (String.length line - 7)) in
+        if is_var var then go (lineno + 1) ops (Some var) rest
+        else Error (Printf.sprintf "line %d: bad answer variable %S" lineno var)
+      else
+        match Str_split.assign line with
+        | None -> Error (Printf.sprintf "line %d: expected 'VAR := op(...)'" lineno)
+        | Some (dst, call) ->
+          if not (is_var dst) then
+            Error (Printf.sprintf "line %d: bad variable %S" lineno dst)
+          else
+            let* op = parse_op lineno dst call in
+            go (lineno + 1) (op :: ops) output rest)
+  in
+  go 1 [] None lines

@@ -1,0 +1,24 @@
+(** Textual plan serialization.
+
+    An ASCII rendition of the paper's plan notation, one operation per
+    line, round-trippable — useful for saving a chosen plan, auditing
+    it, and re-running it later without re-optimizing (plan pinning):
+
+    {v X1_1 := sq(c1, R1)
+       X2_1 := sjq(c2, R1, X1)
+       L2 := lq(R2)
+       X2_2 := lsq(c2, L2)
+       X1 := union(X1_1)
+       X2 := inter(X1, U2)
+       D1 := diff(X1, X2_1)
+       answer X2 v}
+
+    Conditions are [c<i>] (1-based indexes into the query), sources
+    [R<j>] (1-based indexes into the mediator's source list); variables
+    are any other identifiers. [#] starts a comment. *)
+
+val to_string : Plan.t -> string
+
+val of_string : string -> (Plan.t, string) result
+(** Inverse of {!to_string}; validates shape only (use
+    {!Plan.validate} for semantic checks against a query). *)

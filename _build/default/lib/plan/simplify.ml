@@ -1,0 +1,84 @@
+module String_set = Set.Make (String)
+
+let dedupe_args (op : Op.t) =
+  let dedupe args = List.sort_uniq compare args in
+  match op with
+  | Op.Union { dst; args } -> Op.Union { dst; args = dedupe args }
+  | Op.Inter { dst; args } -> Op.Inter { dst; args = dedupe args }
+  | other -> other
+
+let binding_counts ops =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun op ->
+      let dst = Op.dst op in
+      Hashtbl.replace counts dst (1 + Option.value ~default:0 (Hashtbl.find_opt counts dst)))
+    ops;
+  counts
+
+let substitute_uses subst (op : Op.t) =
+  let s var = Option.value ~default:var (Hashtbl.find_opt subst var) in
+  match op with
+  | Op.Select _ | Op.Load _ -> op
+  | Op.Semijoin r -> Op.Semijoin { r with input = s r.input }
+  | Op.Local_select r -> Op.Local_select { r with input = s r.input }
+  | Op.Union { dst; args } -> Op.Union { dst; args = List.map s args }
+  | Op.Inter { dst; args } -> Op.Inter { dst; args = List.map s args }
+  | Op.Diff { dst; left; right } -> Op.Diff { dst; left = s left; right = s right }
+
+(* Replace single-argument unions/intersections by aliases when both
+   names are bound exactly once (no rebinding anywhere), then rewrite
+   later uses. *)
+let eliminate_aliases plan =
+  let ops = Plan.ops plan in
+  let counts = binding_counts ops in
+  let bound_once var = Hashtbl.find_opt counts var = Some 1 in
+  let subst : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let resolve var = Option.value ~default:var (Hashtbl.find_opt subst var) in
+  let keep =
+    List.filter_map
+      (fun op ->
+        let op = substitute_uses subst op in
+        match op with
+        | Op.Union { dst; args = [ arg ] } | Op.Inter { dst; args = [ arg ] }
+          when bound_once dst && bound_once arg && dst <> Plan.output plan ->
+          Hashtbl.replace subst dst (resolve arg);
+          None
+        | other -> Some other)
+      ops
+  in
+  Plan.create ~ops:keep ~output:(resolve (Plan.output plan))
+
+(* Backward liveness: drop local operations whose destination is dead at
+   that point. Source queries always stay (they carry cost). *)
+let remove_dead plan =
+  let rec walk needed acc = function
+    | [] -> acc
+    | op :: earlier ->
+      let dst = Op.dst op in
+      let live = String_set.mem dst needed in
+      if (not live) && not (Op.is_source_query op) then walk needed acc earlier
+      else
+        let needed = String_set.remove dst needed in
+        let needed = List.fold_left (fun s v -> String_set.add v s) needed (Op.uses op) in
+        walk needed (op :: acc) earlier
+  in
+  let reversed = List.rev (Plan.ops plan) in
+  Plan.create
+    ~ops:(walk (String_set.singleton (Plan.output plan)) [] reversed)
+    ~output:(Plan.output plan)
+
+let pass plan =
+  let plan = Plan.create ~ops:(List.map dedupe_args (Plan.ops plan)) ~output:(Plan.output plan) in
+  remove_dead (eliminate_aliases plan)
+
+let rec simplify plan =
+  let next = pass plan in
+  if Plan.ops next = Plan.ops plan && Plan.output next = Plan.output plan then plan
+  else simplify next
+
+let dead_local_ops plan =
+  let kept = Plan.ops (simplify plan) in
+  List.filter
+    (fun op -> (not (Op.is_source_query op)) && not (List.mem op kept))
+    (Plan.ops plan)

@@ -1,0 +1,23 @@
+(** Peephole simplification of plans.
+
+    Plans produced mechanically (by the builders, the postoptimizer, or
+    user code) can contain trivial local operations: single-argument
+    unions/intersections, duplicated arguments, and bindings that are
+    never read. Removing them does not change answers or source-query
+    costs (local operations are free under the cost model), but makes
+    plans shorter to print, store and audit. *)
+
+val simplify : Plan.t -> Plan.t
+(** Applies, to a fixpoint:
+    - [X := ∪{Y}] and [X := ∩{Y}] become aliases, with uses of [X]
+      rewritten to [Y] (aliasing respects later rebindings of either
+      name);
+    - duplicate arguments of [∪]/[∩] are dropped;
+    - bindings never read and not the output are removed.
+
+    Source queries are never touched: they have a cost, so even an
+    unused one is preserved if present — removing it would change the
+    plan's cost profile; dead {e local} operations are free and safe. *)
+
+val dead_local_ops : Plan.t -> Op.t list
+(** The local operations {!simplify} would delete (for diagnostics). *)

@@ -1,0 +1,22 @@
+(* Tiny string helpers for the plan serializer (kept out of Plan_text so
+   they can be unit-tested and reused). *)
+
+(* Split "VAR := rest" into (VAR, rest). *)
+let assign line =
+  let marker = " := " in
+  let rec find i =
+    if i + String.length marker > String.length line then None
+    else if String.sub line i (String.length marker) = marker then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+    let dst = String.trim (String.sub line 0 i) in
+    let rest =
+      String.trim
+        (String.sub line
+           (i + String.length marker)
+           (String.length line - i - String.length marker))
+    in
+    Some (dst, rest)

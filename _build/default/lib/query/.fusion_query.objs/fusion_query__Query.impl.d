@@ -1,0 +1,1 @@
+lib/query/query.ml: Array Cond Format Fusion_cond List Printf String

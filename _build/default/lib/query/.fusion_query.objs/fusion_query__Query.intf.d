@@ -1,0 +1,1 @@
+lib/query/query.mli: Cond Format Fusion_cond Fusion_data

@@ -1,0 +1,1 @@
+lib/query/sql.ml: Cond Fusion_cond Fusion_data Hashtbl Lexer List Option Parser_state Printf Query Schema

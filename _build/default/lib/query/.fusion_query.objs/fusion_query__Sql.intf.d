@@ -1,0 +1,1 @@
+lib/query/sql.mli: Fusion_data Query Schema

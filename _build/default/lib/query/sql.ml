@@ -1,0 +1,244 @@
+open Fusion_data
+open Fusion_cond
+
+type outcome = Fusion of Query.t * string list | Not_fusion of string
+
+(* WHERE-clause expressions before fusion-pattern analysis: predicates
+   tagged with the tuple variable they touch (or [None] when the
+   reference was unqualified), plus merge-equality atoms. *)
+type wexpr =
+  | Pred of string option * Cond.t
+  | Merge_eq of (string option * string) * (string option * string)
+  | Wand of wexpr * wexpr
+  | Wor of wexpr * wexpr
+  | Wnot of wexpr
+
+exception Reject of string
+(* Internal: SQL parses but is not a fusion query. *)
+
+module P = Parser_state
+
+let parse_ref st =
+  let first = P.ident st in
+  match P.peek st with
+  | Lexer.Sym "." ->
+    P.advance st;
+    (Some first, P.ident st)
+  | _ -> (None, first)
+
+(* Two-token lookahead to tell [u1.M = u2.M] from [u1.M = 'x']. *)
+let next_is_ref st =
+  match (P.peek st : Lexer.token) with
+  | Lexer.Ident id when not (Cond.is_reserved id) -> true
+  | _ -> false
+
+let rec parse_wor st =
+  let left = parse_wand st in
+  if P.keyword st "OR" then Wor (left, parse_wor st) else left
+
+and parse_wand st =
+  let left = parse_wunary st in
+  if P.keyword st "AND" then Wand (left, parse_wand st) else left
+
+and parse_wunary st =
+  if P.keyword st "NOT" then Wnot (parse_wunary st) else parse_watom st
+
+and parse_watom st =
+  match P.peek st with
+  | Lexer.Sym "(" ->
+    P.advance st;
+    let inner = parse_wor st in
+    P.expect_sym st ")";
+    inner
+  | Lexer.Ident id when Lexer.is_keyword "TRUE" id ->
+    P.advance st;
+    Pred (None, Cond.True)
+  | Lexer.Ident id when not (Cond.is_reserved id) -> (
+    let alias, attr = parse_ref st in
+    match P.peek st with
+    | Lexer.Sym "=" when next_is_ref { P.tokens = List.tl st.P.tokens } ->
+      P.advance st;
+      let rhs = parse_ref st in
+      Merge_eq ((alias, attr), rhs)
+    | _ -> Pred (alias, Cond.parse_predicate_in st ~attr))
+  | _ -> P.fail_at st "expected a condition"
+
+(* --- Fusion-pattern analysis ------------------------------------------- *)
+
+let flatten_conjuncts wexpr =
+  let rec go acc = function Wand (a, b) -> go (go acc a) b | w -> w :: acc in
+  List.rev (go [] wexpr)
+
+(* Resolve an optional alias; unqualified references are only allowed
+   when there is a single tuple variable. *)
+let resolve aliases = function
+  | Some a ->
+    if List.mem a aliases then a
+    else raise (Reject (Printf.sprintf "unknown tuple variable %S" a))
+  | None -> (
+    match aliases with
+    | [ only ] -> only
+    | _ -> raise (Reject "unqualified attribute with several tuple variables"))
+
+(* Convert a WHERE subtree into a single-variable condition; rejects
+   subtrees that mix variables or bury merge equalities under OR/NOT. *)
+let rec to_cond aliases = function
+  | Pred (alias_opt, cond) ->
+    let alias =
+      match alias_opt with
+      | None when Cond.equal cond Cond.True -> None
+      | other -> Some (resolve aliases other)
+    in
+    (alias, cond)
+  | Merge_eq _ -> raise (Reject "merge-attribute equality in a non-conjunctive position")
+  | Wand (a, b) -> combine aliases (fun x y -> Cond.And (x, y)) a b
+  | Wor (a, b) -> combine aliases (fun x y -> Cond.Or (x, y)) a b
+  | Wnot a ->
+    let alias, cond = to_cond aliases a in
+    (alias, Cond.Not cond)
+
+and combine aliases f a b =
+  let alias_a, cond_a = to_cond aliases a in
+  let alias_b, cond_b = to_cond aliases b in
+  let alias =
+    match alias_a, alias_b with
+    | Some x, Some y when x <> y ->
+      raise (Reject (Printf.sprintf "condition mixes tuple variables %S and %S" x y))
+    | Some x, _ | _, Some x -> Some x
+    | None, None -> None
+  in
+  (alias, f cond_a cond_b)
+
+(* Union-find over tuple variables, to check the merge-equality chain
+   connects them all. *)
+let connected aliases merge_eqs =
+  let parent = Hashtbl.create 8 in
+  List.iter (fun a -> Hashtbl.replace parent a a) aliases;
+  let rec find a =
+    let p = Hashtbl.find parent a in
+    if p = a then a
+    else begin
+      let root = find p in
+      Hashtbl.replace parent a root;
+      root
+    end
+  in
+  let union a b = Hashtbl.replace parent (find a) (find b) in
+  List.iter (fun (a, b) -> union a b) merge_eqs;
+  match aliases with
+  | [] -> true
+  | first :: rest -> List.for_all (fun a -> find a = find first) rest
+
+let analyze ~schema ~aliases wexpr =
+  let merge = Schema.merge schema in
+  let conjuncts = flatten_conjuncts wexpr in
+  let merge_eqs = ref [] in
+  let conds = ref [] in
+  List.iter
+    (fun conjunct ->
+      match conjunct with
+      | Merge_eq ((a1, attr1), (a2, attr2)) ->
+        if attr1 <> merge || attr2 <> merge then
+          raise
+            (Reject
+               (Printf.sprintf "join on %s.%s = %s.%s is not on the merge attribute %S"
+                  (Option.value ~default:"?" a1) attr1 (Option.value ~default:"?" a2)
+                  attr2 merge));
+        merge_eqs := (resolve aliases a1, resolve aliases a2) :: !merge_eqs
+      | other -> conds := to_cond aliases other :: !conds)
+    conjuncts;
+  if not (connected aliases !merge_eqs) then
+    raise (Reject "merge-attribute equalities do not connect all tuple variables");
+  (* Group conditions per variable, in FROM order; unconditioned
+     variables contribute TRUE. *)
+  let cond_of alias =
+    List.fold_left
+      (fun acc (owner, cond) ->
+        let belongs = match owner with None -> true | Some a -> a = alias in
+        if belongs then (match acc with Cond.True -> cond | _ -> Cond.And (acc, cond))
+        else acc)
+      Cond.True (List.rev !conds)
+  in
+  List.map cond_of aliases
+
+let parse_from st ~union =
+  let rec go acc =
+    let table = P.ident st in
+    if not (Lexer.is_keyword union table) then
+      raise (Reject (Printf.sprintf "FROM references %S, not the union view %S" table union));
+    let alias = P.ident st in
+    if List.mem alias acc then raise (Reject (Printf.sprintf "duplicate tuple variable %S" alias));
+    let acc = acc @ [ alias ] in
+    match P.peek st with
+    | Lexer.Sym "," ->
+      P.advance st;
+      go acc
+    | _ -> acc
+  in
+  go []
+
+let parse_select_list st =
+  let rec go acc =
+    let item = parse_ref st in
+    match P.peek st with
+    | Lexer.Sym "," ->
+      P.advance st;
+      go (item :: acc)
+    | _ -> List.rev (item :: acc)
+  in
+  go []
+
+let parse_query ~schema ~union st =
+  P.expect_keyword st "SELECT";
+  let select_list = parse_select_list st in
+  let sel_alias, sel_attr =
+    match select_list with [] -> assert false | first :: _ -> first
+  in
+  P.expect_keyword st "FROM";
+  let aliases = parse_from st ~union in
+  P.expect_keyword st "WHERE";
+  let wexpr = parse_wor st in
+  if not (P.at_eof st) then
+    P.fail_at st "trailing input";
+  (* Selected column must be the merge attribute of a FROM variable. *)
+  let merge = Schema.merge schema in
+  if sel_attr <> merge then
+    raise (Reject (Printf.sprintf "SELECT returns %S, not the merge attribute %S" sel_attr merge));
+  ignore (resolve aliases sel_alias);
+  (* Additional projected attributes: phase-2 targets. Aliases are
+     irrelevant (the second phase fetches whole records); attributes
+     must exist and repeats collapse. *)
+  let projection =
+    List.fold_left
+      (fun acc (alias, attr) ->
+        ignore (resolve aliases alias);
+        if not (Schema.mem schema attr) then
+          raise (P.Parse_error (Printf.sprintf "unknown attribute %S in SELECT" attr));
+        if attr = merge || List.mem attr acc then acc else acc @ [ attr ])
+      []
+      (List.tl select_list)
+  in
+  let conds = analyze ~schema ~aliases wexpr in
+  (* Unknown attributes or ill-typed literals are parse-level errors,
+     not fusion rejections. *)
+  let query = Query.create_exn conds in
+  match Query.validate schema query with
+  | Ok () -> (query, projection)
+  | Error msg -> raise (P.Parse_error msg)
+
+let parse ~schema ~union text =
+  match P.of_string text with
+  | Error msg -> Error msg
+  | Ok st -> (
+    match parse_query ~schema ~union st with
+    | query, projection -> Ok (Fusion (query, projection))
+    | exception Reject reason -> Ok (Not_fusion reason)
+    | exception P.Parse_error msg -> Error msg)
+
+let parse_fusion ~schema ~union text =
+  match parse ~schema ~union text with
+  | Ok (Fusion (q, [])) -> Ok q
+  | Ok (Fusion (_, _ :: _)) ->
+    Error "query projects additional attributes; use the two-phase API"
+  | Ok (Not_fusion reason) -> Error ("not a fusion query: " ^ reason)
+  | Error _ as e -> e

@@ -1,0 +1,40 @@
+(** SQL front-end and fusion-pattern detection.
+
+    Section 5 suggests that an existing optimizer can "implement a module
+    that checks if a query is a fusion query (by looking for the
+    distinctive pattern of fusion queries)" and route it to the
+    specialized algorithms. This module is that checker: it parses the
+    paper's SQL form
+
+    {v SELECT u1.M FROM U u1, ..., U um
+       WHERE u1.M = ... = um.M AND c1 AND ... AND cm v}
+
+    and decides whether the text denotes a fusion query. *)
+
+open Fusion_data
+
+type outcome =
+  | Fusion of Query.t * string list
+      (** conditions ordered by the first-mention order of their tuple
+          variables in the [FROM] clause; variables without a condition
+          get [TRUE]. The string list holds {e additional} projected
+          attributes beyond the merge attribute: the paper's two-phase
+          processing ([SELECT u1.L, u1.V, ...]) — phase 1 computes the
+          matching items, phase 2 fetches these attributes of their
+          records. Empty for the classic merge-only form. *)
+  | Not_fusion of string  (** syntactically valid SQL, but not a fusion query: why *)
+
+val parse : schema:Schema.t -> union:string -> string -> (outcome, string) result
+(** [Error] means the text is not even parseable SQL (or mentions
+    unknown attributes / ill-typed literals). [union] is the name of the
+    union view (the paper's [U]); every [FROM] entry must reference it.
+    The select list starts with a merge-attribute reference, optionally
+    followed by further attributes (see {!outcome}). Conditions may
+    combine [AND]/[OR]/[NOT] as long as each conjunct touches a single
+    tuple variable; with a single tuple variable, attribute references
+    may be unqualified. *)
+
+val parse_fusion : schema:Schema.t -> union:string -> string -> (Query.t, string) result
+(** Like {!parse} but folds [Not_fusion] into [Error]; rejects queries
+    that project additional attributes (use {!parse} and the mediator's
+    two-phase API for those). *)

@@ -1,0 +1,1 @@
+lib/source/capability.ml: Format String

@@ -1,0 +1,1 @@
+lib/source/catalog.ml: Buffer Capability Csv_io Filename Fusion_data Fusion_net Fusion_oem In_channel List Printf Relation Source String View

@@ -1,0 +1,1 @@
+lib/source/catalog.mli: Source

@@ -1,0 +1,1 @@
+lib/source/source.mli: Capability Cond Format Fusion_cond Fusion_data Fusion_net Fusion_stats Item_set Relation Schema Tuple

@@ -1,0 +1,1 @@
+lib/source/view.ml: Array Fusion_data List Option Printf Relation Schema Tuple Value

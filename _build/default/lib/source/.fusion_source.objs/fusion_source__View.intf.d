@@ -1,0 +1,1 @@
+lib/source/view.mli: Fusion_data Relation Schema

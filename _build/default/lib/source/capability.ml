@@ -1,0 +1,11 @@
+type t = { native_semijoin : bool; point_select : bool; load : bool }
+
+let full = { native_semijoin = true; point_select = true; load = true }
+let no_semijoin = { native_semijoin = false; point_select = true; load = true }
+let minimal = { native_semijoin = false; point_select = false; load = false }
+
+let pp ppf t =
+  let flag name b = if b then [ name ] else [] in
+  let flags = flag "sjq" t.native_semijoin @ flag "point" t.point_select @ flag "lq" t.load in
+  Format.fprintf ppf "[sq%s]"
+    (match flags with [] -> "" | fs -> ";" ^ String.concat ";" fs)

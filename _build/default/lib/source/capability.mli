@@ -1,0 +1,24 @@
+(** What a source's wrapper can answer (Section 2.3).
+
+    All sources support selection queries. Semijoin queries may be
+    answered natively, emulated through per-binding point selections
+    ([c AND M = m]), or be impossible altogether — in which case the
+    cost model assigns them infinite cost and no plan uses them. *)
+
+type t = {
+  native_semijoin : bool;  (** wrapper accepts a set of bindings at once *)
+  point_select : bool;
+      (** wrapper accepts [c AND M = m]; enables semijoin emulation *)
+  load : bool;  (** wrapper can ship its entire relation ([lq]) *)
+}
+
+val full : t
+(** Everything supported. *)
+
+val no_semijoin : t
+(** Selection and point-selects only: semijoins must be emulated. *)
+
+val minimal : t
+(** Selection queries only: semijoins are unsupported (infinite cost). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,256 @@
+open Fusion_data
+module Profile = Fusion_net.Profile
+
+type entry = {
+  name : string;
+  mutable file : string option;
+  mutable capability : Capability.t;
+  mutable overhead : float;
+  mutable send : float;
+  mutable recv : float;
+  mutable tuple : float;
+  mutable scale : float;
+  mutable map : (string * string) list option;
+  mutable oem : bool;
+  mutable entities : string list option;
+  mutable columns : (string * string list) list;
+}
+
+let fresh_entry name =
+  {
+    name;
+    file = None;
+    capability = Capability.full;
+    overhead = Profile.default.Profile.request_overhead;
+    send = Profile.default.Profile.send_per_item;
+    recv = Profile.default.Profile.recv_per_item;
+    tuple = Profile.default.Profile.recv_per_tuple;
+    scale = 1.0;
+    map = None;
+    oem = false;
+    entities = None;
+    columns = [];
+  }
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let capability_of_string = function
+  | "full" -> Ok Capability.full
+  | "no-semijoin" -> Ok Capability.no_semijoin
+  | "minimal" -> Ok Capability.minimal
+  | other -> Error (Printf.sprintf "unknown capability %S" other)
+
+let parse_line lineno entry line =
+  match String.index_opt line '=' with
+  | None -> Error (Printf.sprintf "line %d: expected 'key = value'" lineno)
+  | Some i -> (
+    let key = String.trim (String.sub line 0 i) in
+    let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+    let float_field set =
+      match float_of_string_opt value with
+      | Some f when f >= 0.0 ->
+        set f;
+        Ok ()
+      | _ -> Error (Printf.sprintf "line %d: %s must be a non-negative number" lineno key)
+    in
+    match key with
+    | "file" ->
+      entry.file <- Some value;
+      Ok ()
+    | "capability" -> (
+      match capability_of_string value with
+      | Ok c ->
+        entry.capability <- c;
+        Ok ()
+      | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+    | "overhead" -> float_field (fun f -> entry.overhead <- f)
+    | "send" -> float_field (fun f -> entry.send <- f)
+    | "recv" -> float_field (fun f -> entry.recv <- f)
+    | "tuple" -> float_field (fun f -> entry.tuple <- f)
+    | "scale" -> float_field (fun f -> entry.scale <- f)
+    | "map" -> (
+      (* common=internal pairs, comma separated *)
+      let pairs = String.split_on_char ',' value |> List.map String.trim in
+      let rec parse_pairs acc = function
+        | [] -> Ok (List.rev acc)
+        | pair :: rest -> (
+          match String.index_opt pair '=' with
+          | None ->
+            Error (Printf.sprintf "line %d: map entries are common=internal" lineno)
+          | Some i ->
+            let common = String.trim (String.sub pair 0 i) in
+            let internal =
+              String.trim (String.sub pair (i + 1) (String.length pair - i - 1))
+            in
+            if common = "" || internal = "" then
+              Error (Printf.sprintf "line %d: empty map entry" lineno)
+            else parse_pairs ((common, internal) :: acc) rest)
+      in
+      match parse_pairs [] pairs with
+      | Ok pairs ->
+        entry.map <- Some pairs;
+        Ok ()
+      | Error _ as e -> e)
+    | "format" -> (
+      match value with
+      | "csv" ->
+        entry.oem <- false;
+        Ok ()
+      | "oem" ->
+        entry.oem <- true;
+        Ok ()
+      | other -> Error (Printf.sprintf "line %d: unknown format %S" lineno other))
+    | "entities" ->
+      entry.entities <- Some (String.split_on_char '/' value);
+      Ok ()
+    | other when String.length other > 4 && String.sub other 0 4 = "col." ->
+      let attr = String.sub other 4 (String.length other - 4) in
+      entry.columns <- entry.columns @ [ (attr, String.split_on_char '/' value) ];
+      Ok ()
+    | other -> Error (Printf.sprintf "line %d: unknown key %S" lineno other))
+
+let parse_section_header lineno line =
+  (* [source NAME] or [view] *)
+  let inner = String.sub line 1 (String.length line - 2) in
+  match String.split_on_char ' ' (String.trim inner) with
+  | [ "source"; name ] when name <> "" -> Ok (`Source name)
+  | [ "view" ] -> Ok `View
+  | _ -> Error (Printf.sprintf "line %d: expected [source NAME] or [view]" lineno)
+
+let build ~dir ~view entry =
+  match entry.file with
+  | None -> Error (Printf.sprintf "source %s: missing 'file'" entry.name)
+  | Some file -> (
+    let path = if Filename.is_relative file then Filename.concat dir file else file in
+    let loaded =
+      if not entry.oem then Csv_io.read_file ~name:entry.name path
+      else
+        match view with
+        | None -> Error "'format = oem' needs a [view] section"
+        | Some common -> (
+          match entry.entities with
+          | None -> Error "'format = oem' needs an 'entities' path"
+          | Some entities ->
+            Fusion_oem.Extract.load_file ~name:entry.name ~common
+              { Fusion_oem.Extract.entities; columns = entry.columns }
+              path)
+    in
+    match loaded with
+    | Error msg -> Error (Printf.sprintf "source %s: %s" entry.name msg)
+    | Ok relation -> (
+      let mapped =
+        if entry.oem then Ok relation (* extraction already targeted the view *)
+        else
+          match view, entry.map with
+          | None, None -> Ok relation
+          | None, Some _ ->
+            Error (Printf.sprintf "source %s: 'map' needs a [view] section" entry.name)
+          | Some common, None ->
+            if Fusion_data.Schema.equal common (Relation.schema relation) then Ok relation
+            else
+              Error
+                (Printf.sprintf
+                   "source %s: schema differs from the view; add a 'map' entry" entry.name)
+          | Some common, Some mapping -> View.export ~common ~mapping relation
+      in
+      match mapped with
+      | Error msg -> Error (Printf.sprintf "source %s: %s" entry.name msg)
+      | Ok relation ->
+        let profile =
+          Profile.scale entry.scale
+            (Profile.make ~request_overhead:entry.overhead ~send_per_item:entry.send
+               ~recv_per_item:entry.recv ~recv_per_tuple:entry.tuple ())
+        in
+        Ok (Source.create ~capability:entry.capability ~profile relation)))
+
+type section = In_source of entry | In_view | Toplevel
+
+let parse ~dir text =
+  let lines = String.split_on_char '\n' text in
+  let view = ref None in
+  let parse_view_line lineno line =
+    match String.index_opt line '=' with
+    | None -> Error (Printf.sprintf "line %d: expected 'schema = ...'" lineno)
+    | Some i ->
+      let key = String.trim (String.sub line 0 i) in
+      let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+      if key <> "schema" then
+        Error (Printf.sprintf "line %d: unknown [view] key %S" lineno key)
+      else (
+        match Csv_io.schema_of_header value with
+        | Ok schema ->
+          view := Some schema;
+          Ok ()
+        | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  let rec go lineno current acc = function
+    | [] -> (
+      let entries =
+        List.rev (match current with In_source e -> e :: acc | _ -> acc)
+      in
+      if entries = [] then Error "catalog declares no sources"
+      else
+        let rec build_all built = function
+          | [] -> Ok (List.rev built)
+          | e :: rest -> (
+            match build ~dir ~view:!view e with
+            | Ok source -> build_all (source :: built) rest
+            | Error _ as err -> err)
+        in
+        build_all [] entries)
+    | line :: rest -> (
+      let line = String.trim (strip_comment line) in
+      if line = "" then go (lineno + 1) current acc rest
+      else if String.length line >= 2 && line.[0] = '[' && line.[String.length line - 1] = ']'
+      then
+        match parse_section_header lineno line with
+        | Error _ as e -> e
+        | Ok `View ->
+          let acc = match current with In_source e -> e :: acc | _ -> acc in
+          go (lineno + 1) In_view acc rest
+        | Ok (`Source name) ->
+          let acc = match current with In_source e -> e :: acc | _ -> acc in
+          if List.exists (fun (e : entry) -> e.name = name) acc then
+            Error (Printf.sprintf "line %d: duplicate source %S" lineno name)
+          else go (lineno + 1) (In_source (fresh_entry name)) acc rest
+      else
+        match current with
+        | Toplevel ->
+          Error (Printf.sprintf "line %d: key outside a [source ...] section" lineno)
+        | In_view -> (
+          match parse_view_line lineno line with
+          | Ok () -> go (lineno + 1) current acc rest
+          | Error _ as e -> e)
+        | In_source entry -> (
+          match parse_line lineno entry line with
+          | Ok () -> go (lineno + 1) current acc rest
+          | Error _ as e -> e))
+  in
+  go 1 Toplevel [] lines
+
+let render sources =
+  let buffer = Buffer.create 512 in
+  List.iter
+    (fun (source, file) ->
+      let caps = Source.capability source in
+      let capability =
+        if caps.Capability.native_semijoin then "full"
+        else if caps.Capability.point_select then "no-semijoin"
+        else "minimal"
+      in
+      let p = Source.profile source in
+      Buffer.add_string buffer
+        (Printf.sprintf
+           "[source %s]\nfile = %s\ncapability = %s\noverhead = %g\nsend = %g\nrecv = %g\ntuple = %g\n\n"
+           (Source.name source) file capability p.Profile.request_overhead
+           p.Profile.send_per_item p.Profile.recv_per_item p.Profile.recv_per_tuple))
+    sources;
+  Buffer.contents buffer
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse ~dir:(Filename.dirname path) text
+  | exception Sys_error msg -> Error msg

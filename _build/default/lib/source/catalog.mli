@@ -1,0 +1,64 @@
+(** Federation catalogs: declarative source descriptions.
+
+    A catalog is an INI-style text file declaring, per source, where its
+    data lives and how its wrapper behaves — the operational knowledge a
+    mediator administrator has about autonomous Internet sources:
+
+    {v # DMV federation
+       [source CA]
+       file = ca.csv
+       capability = full        # full | no-semijoin | minimal
+       overhead = 50            # per-request charge
+       send = 0.5               # per item shipped to the source
+       recv = 1.0               # per item received
+       tuple = 8.0              # per full tuple received
+       scale = 1.0              # multiplies all four charges
+
+       [source NV]
+       file = nv.csv
+       capability = no-semijoin
+       scale = 4.0 v}
+
+    Only [file] is required; everything else defaults to a
+    full-capability source with the default profile. [#] starts a
+    comment. Relative [file] paths resolve against the catalog's
+    directory.
+
+    An optional [[view]] section declares the federation's common schema
+    (in the CSV-header syntax); sources whose internal schema differs
+    then provide a [map] of [common=internal] attribute pairs and are
+    exported through {!View.export} — the paper's Section 2.1 wrapper
+    mapping:
+
+    {v [view]
+       schema = *L:string,V:string,D:int
+
+       [source NV]
+       file = nv.csv                # internal header: *lic,vtype,year
+       map = L=lic,V=vtype,D=year v}
+
+    Semistructured sources declare [format = oem] and an extraction
+    mapping instead (requires the [[view]] section; paths are
+    [/]-separated):
+
+    {v [source AZ]
+       file = az.oem
+       format = oem
+       entities = record
+       col.L = driver/id
+       col.V = offense
+       col.D = when v} *)
+
+val load : string -> (Source.t list, string) result
+(** [load path] parses the catalog at [path] and loads every declared
+    source's CSV relation. *)
+
+val parse : dir:string -> string -> (Source.t list, string) result
+(** [parse ~dir text] — as {!load}, with the text supplied directly and
+    [dir] as the base for relative files. *)
+
+val render : (Source.t * string) list -> string
+(** [render [(source, file); ...]] writes a catalog declaring each
+    source with its capability and profile, reading data from [file].
+    [parse] of the result (with the CSVs in place) reconstructs
+    equivalent sources. *)

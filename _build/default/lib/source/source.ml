@@ -1,0 +1,106 @@
+open Fusion_data
+open Fusion_cond
+
+exception Unsupported of string
+
+exception Timeout of string
+
+type fault = { probability : float; prng : Fusion_stats.Prng.t }
+
+type t = {
+  relation : Relation.t;
+  capability : Capability.t;
+  profile : Fusion_net.Profile.t;
+  meter : Fusion_net.Meter.t;
+  mutable fault : fault option;
+}
+
+let create ?(capability = Capability.full) ?(profile = Fusion_net.Profile.default) ?fault
+    relation =
+  { relation; capability; profile; meter = Fusion_net.Meter.create (); fault }
+
+let set_fault t fault = t.fault <- fault
+
+let name t = Relation.name t.relation
+let relation t = t.relation
+let schema t = Relation.schema t.relation
+let capability t = t.capability
+let profile t = t.profile
+
+let charge t ~items_sent ~items_received ~tuples_received =
+  Fusion_net.Meter.record t.meter t.profile ~items_sent ~items_received ~tuples_received
+
+(* A timed-out request still costs its overhead (the packet went out)
+   plus whatever was shipped with it. *)
+let maybe_fail t ~items_sent =
+  match t.fault with
+  | Some { probability; prng } when Fusion_stats.Prng.bernoulli prng probability ->
+    ignore (charge t ~items_sent ~items_received:0 ~tuples_received:0);
+    raise (Timeout (Printf.sprintf "source %s timed out" (Relation.name t.relation)))
+  | _ -> ()
+
+let predicate t cond tuple = Cond.eval (schema t) cond tuple
+
+let select_query t cond =
+  maybe_fail t ~items_sent:0;
+  let answer = Relation.select_items t.relation (predicate t cond) in
+  let cost =
+    charge t ~items_sent:0 ~items_received:(Item_set.cardinal answer) ~tuples_received:0
+  in
+  (answer, cost)
+
+let native_semijoin t cond xs =
+  maybe_fail t ~items_sent:(Item_set.cardinal xs);
+  let answer = Relation.semijoin_items t.relation (predicate t cond) xs in
+  let cost =
+    charge t ~items_sent:(Item_set.cardinal xs)
+      ~items_received:(Item_set.cardinal answer) ~tuples_received:0
+  in
+  (answer, cost)
+
+(* One point-selection request per binding: [c AND M = m]. Each pays the
+   request overhead — this is exactly why emulated semijoins are dear. *)
+let emulated_semijoin t cond xs =
+  let pred = predicate t cond in
+  Item_set.fold
+    (fun item (acc, cost) ->
+      maybe_fail t ~items_sent:1;
+      let hit = List.exists pred (Relation.tuples_of_item t.relation item) in
+      let received = if hit then 1 else 0 in
+      let c = charge t ~items_sent:1 ~items_received:received ~tuples_received:0 in
+      ((if hit then Item_set.add item acc else acc), cost +. c))
+    xs (Item_set.empty, 0.0)
+
+let semijoin_query t cond xs =
+  if t.capability.Capability.native_semijoin then native_semijoin t cond xs
+  else if t.capability.Capability.point_select then emulated_semijoin t cond xs
+  else raise (Unsupported (Printf.sprintf "source %s cannot answer semijoin queries" (name t)))
+
+let load_query t =
+  if not t.capability.Capability.load then
+    raise (Unsupported (Printf.sprintf "source %s cannot ship its relation" (name t)));
+  maybe_fail t ~items_sent:0;
+  let cost =
+    charge t ~items_sent:0 ~items_received:0 ~tuples_received:(Relation.cardinality t.relation)
+  in
+  (t.relation, cost)
+
+let fetch_records t items =
+  maybe_fail t ~items_sent:(Item_set.cardinal items);
+  let tuples =
+    Item_set.fold (fun item acc -> Relation.tuples_of_item t.relation item @ acc) items []
+  in
+  let cost =
+    charge t ~items_sent:(Item_set.cardinal items) ~items_received:0
+      ~tuples_received:(List.length tuples)
+  in
+  (tuples, cost)
+
+let totals t = Fusion_net.Meter.totals t.meter
+let reset_meter t = Fusion_net.Meter.reset t.meter
+
+let pp ppf t =
+  Format.fprintf ppf "%s%a %a [%d tuples, %d items]" (name t) Capability.pp t.capability
+    Fusion_net.Profile.pp t.profile
+    (Relation.cardinality t.relation)
+    (Relation.distinct_item_count t.relation)

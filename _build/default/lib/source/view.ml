@@ -1,0 +1,54 @@
+open Fusion_data
+
+let identity_mapping schema = List.map (fun (a, _) -> (a, a)) (Schema.attrs schema)
+
+let export ~common ~mapping internal =
+  let internal_schema = Relation.schema internal in
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  (* Internal position and type for each common attribute, in common
+     order. *)
+  let resolve (name, ty) =
+    match List.filter (fun (c, _) -> c = name) mapping with
+    | [] -> Error (Printf.sprintf "common attribute %S is not mapped" name)
+    | _ :: _ :: _ -> Error (Printf.sprintf "common attribute %S mapped twice" name)
+    | [ (_, internal_name) ] -> (
+      match Schema.pos internal_schema internal_name with
+      | None ->
+        Error
+          (Printf.sprintf "mapping for %S references unknown internal attribute %S" name
+             internal_name)
+      | Some pos ->
+        let internal_ty = Option.get (Schema.ty internal_schema internal_name) in
+        if internal_ty <> ty then
+          Error
+            (Printf.sprintf "attribute %S: common type %s but internal %S has type %s" name
+               (Value.ty_to_string ty) internal_name (Value.ty_to_string internal_ty))
+        else Ok (name, internal_name, pos))
+  in
+  let rec resolve_all acc = function
+    | [] -> Ok (List.rev acc)
+    | attr :: rest ->
+      let* entry = resolve attr in
+      resolve_all (entry :: acc) rest
+  in
+  let* entries = resolve_all [] (Schema.attrs common) in
+  (* The merge attributes must correspond. *)
+  let* () =
+    match
+      List.find_opt (fun (name, _, _) -> name = Schema.merge common) entries
+    with
+    | Some (_, internal_name, _) when internal_name = Schema.merge internal_schema -> Ok ()
+    | Some (_, internal_name, _) ->
+      Error
+        (Printf.sprintf
+           "merge attribute %S maps to %S, which is not the internal merge attribute %S"
+           (Schema.merge common) internal_name
+           (Schema.merge internal_schema))
+    | None -> Error "unreachable: merge attribute unmapped"
+  in
+  let positions = List.map (fun (_, _, pos) -> pos) entries in
+  let exported = Relation.create ~name:(Relation.name internal) common in
+  Relation.iter
+    (fun tuple -> Relation.insert exported (Array.of_list (List.map (Tuple.get tuple) positions)))
+    internal;
+  Ok exported

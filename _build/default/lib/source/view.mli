@@ -1,0 +1,23 @@
+(** Schema mapping: exporting an internal relation under the common view.
+
+    Section 2.1: "Internally, each source can use a different model, but
+    the wrapper maps it to the common view we are using." This module is
+    that mapping for relational sources — attribute renaming and
+    reordering from the source's internal schema to the federation's
+    shared schema. *)
+
+open Fusion_data
+
+val export :
+  common:Schema.t -> mapping:(string * string) list -> Relation.t ->
+  (Relation.t, string) result
+(** [export ~common ~mapping internal] materializes [internal] under
+    [common]. [mapping] pairs are [(common attribute, internal
+    attribute)]; every attribute of [common] must be mapped exactly
+    once, mapped attributes must exist in the internal schema with the
+    same type, and the merge attributes must correspond. The result
+    carries the internal relation's name and data. *)
+
+val identity_mapping : Schema.t -> (string * string) list
+(** [(a, a)] for every attribute — for sources already speaking the
+    common schema. *)

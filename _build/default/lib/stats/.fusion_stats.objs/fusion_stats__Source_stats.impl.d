@@ -1,0 +1,1 @@
+lib/stats/source_stats.ml: Array Cond Float Fusion_cond Fusion_data Hashtbl Histogram List Prng Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/stats/source_stats.mli: Cond Fusion_cond Fusion_data Prng Relation

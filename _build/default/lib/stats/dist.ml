@@ -1,0 +1,35 @@
+type t = { cdf : float array } (* cumulative, last entry = 1.0 *)
+
+let of_weights weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Dist: empty support";
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Dist: weights must sum to a positive value";
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    if weights.(i) < 0.0 then invalid_arg "Dist: negative weight";
+    acc := !acc +. (weights.(i) /. total);
+    cdf.(i) <- !acc
+  done;
+  cdf.(n - 1) <- 1.0;
+  { cdf }
+
+let uniform n = of_weights (Array.make n 1.0)
+
+let zipf ?(skew = 1.0) n =
+  of_weights (Array.init n (fun r -> 1.0 /. Float.pow (float_of_int (r + 1)) skew))
+
+let weighted = of_weights
+
+let sample t prng =
+  let u = Prng.float prng 1.0 in
+  (* Binary search for the first cdf entry >= u. *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let support t = Array.length t.cdf

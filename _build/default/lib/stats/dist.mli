@@ -1,0 +1,18 @@
+(** Discrete distributions for workload generation. *)
+
+type t
+
+val uniform : int -> t
+(** [uniform n] draws uniformly from [0, n). *)
+
+val zipf : ?skew:float -> int -> t
+(** [zipf ~skew n] draws from [0, n) with Zipfian frequencies
+    (rank r has weight 1/(r+1)^skew). Default skew 1.0. Models the
+    skewed popularity of entities across Internet sources. *)
+
+val weighted : float array -> t
+(** Draws index [i] with probability proportional to the [i]-th weight. *)
+
+val sample : t -> Prng.t -> int
+
+val support : t -> int

@@ -1,0 +1,50 @@
+type t = {
+  lo : int;
+  hi : int; (* inclusive domain bounds *)
+  counts : float array;
+  width : float;
+}
+
+let build ~buckets ~lo ~hi ~values =
+  if buckets <= 0 then invalid_arg "Histogram.build: buckets must be positive";
+  if hi <= lo then invalid_arg "Histogram.build: empty domain";
+  let counts = Array.make buckets 0.0 in
+  let width = float_of_int (hi - lo + 1) /. float_of_int buckets in
+  List.iter
+    (fun (v, w) ->
+      if w < 0 then invalid_arg "Histogram.build: negative weight";
+      let v = max lo (min hi v) in
+      let b = int_of_float (float_of_int (v - lo) /. width) in
+      let b = min (buckets - 1) b in
+      counts.(b) <- counts.(b) +. float_of_int w)
+    values;
+  { lo; hi; counts; width }
+
+let total t = Array.fold_left ( +. ) 0.0 t.counts
+
+(* Weight with value strictly below [bound]: whole buckets below the
+   boundary bucket plus a linear share of the boundary bucket. *)
+let estimate_le t bound =
+  if bound <= t.lo then 0.0
+  else if bound > t.hi then total t
+  else begin
+    let position = float_of_int (bound - t.lo) /. t.width in
+    let full = int_of_float position in
+    let fraction = position -. float_of_int full in
+    let acc = ref 0.0 in
+    for b = 0 to min (full - 1) (Array.length t.counts - 1) do
+      acc := !acc +. t.counts.(b)
+    done;
+    if full < Array.length t.counts then acc := !acc +. (fraction *. t.counts.(full));
+    !acc
+  end
+
+let estimate_range t ~lo ~hi =
+  if hi < lo then 0.0 else Float.max 0.0 (estimate_le t (hi + 1) -. estimate_le t lo)
+
+let estimate_eq t v = estimate_range t ~lo:v ~hi:v
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>[%d..%d]:" t.lo t.hi;
+  Array.iter (fun c -> Format.fprintf ppf " %.0f" c) t.counts;
+  Format.fprintf ppf "@]"

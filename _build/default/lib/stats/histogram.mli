@@ -1,0 +1,31 @@
+(** Equi-width histograms over integer attributes.
+
+    A middle ground between full scans and tuple samples: sources
+    publish one small histogram per attribute (bucket counts of
+    {e distinct items} having a tuple with the attribute in the
+    bucket), and the mediator estimates condition matching counts from
+    them. This is the kind of coarse statistics an autonomous Internet
+    source might realistically export. *)
+
+type t
+
+val build :
+  buckets:int -> lo:int -> hi:int -> values:(int * int) list -> t
+(** [build ~buckets ~lo ~hi ~values] — [values] are [(attribute value,
+    weight)] pairs; values outside [lo, hi] clamp to the edge buckets.
+    [hi] must exceed [lo]; weights must be non-negative. *)
+
+val total : t -> float
+
+val estimate_le : t -> int -> float
+(** Estimated weight with value < the bound (continuous interpolation
+    inside the boundary bucket). *)
+
+val estimate_range : t -> lo:int -> hi:int -> float
+(** Estimated weight with value in [lo, hi] inclusive. *)
+
+val estimate_eq : t -> int -> float
+(** Estimated weight equal to a point value (bucket weight spread
+    uniformly over the bucket's width). *)
+
+val pp : Format.formatter -> t -> unit

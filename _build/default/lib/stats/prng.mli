@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every randomized component of the reproduction (workload generation,
+    sampling, property-test corpora) draws from this generator so that
+    all experiments are reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] — distinct seeds give independent-looking streams. *)
+
+val split : t -> t
+(** Derives an independent generator; the parent advances. *)
+
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

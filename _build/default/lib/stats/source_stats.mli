@@ -1,0 +1,47 @@
+(** Per-source statistics used by cost estimation.
+
+    The paper assumes cost functions "can use whatever information is
+    available at query optimization time" and points to query-sampling
+    techniques [25] for gathering it. We provide two providers with the
+    same interface: an exact oracle (full scan — the best possible
+    statistics) and a sampling estimator (a fixed-size uniform sample of
+    the source's tuples, as an autonomous Internet source would realistically
+    allow). Estimates are memoized per condition. *)
+
+open Fusion_data
+open Fusion_cond
+
+type t
+
+val exact : Relation.t -> t
+
+val sampled : sample_size:int -> Prng.t -> Relation.t -> t
+(** Reservoir-samples [sample_size] tuples. Cardinality and distinct-item
+    counts are taken as published by the source (exact); only condition
+    selectivities are estimated from the sample. *)
+
+val histogram : ?buckets:int -> Relation.t -> t
+(** Estimates from per-attribute equi-width histograms (default 20
+    buckets) built once over the integer attributes, as a source might
+    publish them. Comparisons and ranges interpolate within buckets;
+    conjunctions assume independence; conditions over non-integer
+    attributes fall back to textbook default selectivities (1/10 for
+    equality, 1/4 for prefix). Histogram weights are tuple counts, so
+    items with several matching tuples are overcounted — estimates are
+    capped at the published distinct-item count. *)
+
+val cardinality : t -> int
+(** Number of tuples in the source relation. *)
+
+val distinct_items : t -> int
+(** Number of distinct merge-attribute values. *)
+
+val matching_items : t -> Cond.t -> float
+(** Estimated number of distinct items with at least one tuple
+    satisfying the condition. *)
+
+val item_selectivity : t -> Cond.t -> float
+(** [matching_items / distinct_items] (0 if the source is empty). *)
+
+val is_exact : t -> bool
+(** True only for the {!exact} provider. *)

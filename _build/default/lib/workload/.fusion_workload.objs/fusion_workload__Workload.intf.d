@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Fusion_data Fusion_query Fusion_source Schema Source

@@ -1,0 +1,183 @@
+open Fusion_data
+open Fusion_cond
+open Fusion_source
+module Prng = Fusion_stats.Prng
+module Dist = Fusion_stats.Dist
+
+type heterogeneity = { no_semijoin : float; minimal : float; slow : float; tiny : float }
+
+let homogeneous = { no_semijoin = 0.0; minimal = 0.0; slow = 0.0; tiny = 0.0 }
+
+type spec = {
+  n_sources : int;
+  universe : int;
+  tuples_per_source : int * int;
+  selectivities : float array;
+  item_skew : float;
+  correlation : float;
+  entity_correlation : float;
+  heterogeneity : heterogeneity;
+  slow_factor : float;
+  tiny_factor : float;
+  selectivity_jitter : float;
+  seed : int;
+}
+
+let default_spec =
+  {
+    n_sources = 8;
+    universe = 2000;
+    tuples_per_source = (300, 600);
+    selectivities = [| 0.1; 0.2; 0.3 |];
+    item_skew = 0.0;
+    correlation = 0.0;
+    entity_correlation = 0.0;
+    heterogeneity = homogeneous;
+    slow_factor = 10.0;
+    tiny_factor = 0.02;
+    selectivity_jitter = 0.0;
+    seed = 42;
+  }
+
+type instance = {
+  schema : Schema.t;
+  sources : Source.t array;
+  query : Fusion_query.Query.t;
+  spec : spec;
+}
+
+(* Attribute domain for the condition attributes A1..Am. *)
+let domain = 1000
+
+let schema_for m =
+  let attrs =
+    ("M", Value.Tstring) :: List.init m (fun i -> (Printf.sprintf "A%d" (i + 1), Value.Tint))
+  in
+  Schema.create_exn ~merge:"M" attrs
+
+let item_name k = Value.String (Printf.sprintf "I%06d" k)
+
+let conditions_of selectivities =
+  Array.to_list
+    (Array.mapi
+       (fun i sel ->
+         let threshold = int_of_float (Float.round (sel *. float_of_int domain)) in
+         Cond.Cmp (Printf.sprintf "A%d" (i + 1), Cond.Lt, Value.Int threshold))
+       selectivities)
+
+let generate spec =
+  let m = Array.length spec.selectivities in
+  let schema = schema_for m in
+  let prng = Prng.create spec.seed in
+  let item_dist =
+    if spec.item_skew > 0.0 then Dist.zipf ~skew:spec.item_skew spec.universe
+    else Dist.uniform spec.universe
+  in
+  let lo, hi = spec.tuples_per_source in
+  let make_source j =
+    let source_prng = Prng.split prng in
+    let h = spec.heterogeneity in
+    let tiny = Prng.bernoulli source_prng h.tiny in
+    let slow = Prng.bernoulli source_prng h.slow in
+    let capability =
+      if Prng.bernoulli source_prng h.minimal then Capability.minimal
+      else if Prng.bernoulli source_prng h.no_semijoin then Capability.no_semijoin
+      else Capability.full
+    in
+    let cardinality =
+      let base = lo + Prng.int source_prng (hi - lo + 1) in
+      if tiny then max 1 (int_of_float (float_of_int base *. spec.tiny_factor)) else base
+    in
+    let relation = Relation.create ~name:(Printf.sprintf "R%d" (j + 1)) schema in
+    (* Content heterogeneity: this source's attribute values spread over
+       a stretched/shrunk domain, shifting every condition's local
+       selectivity. *)
+    let stretch =
+      if spec.selectivity_jitter > 0.0 then
+        1.0 -. spec.selectivity_jitter
+        +. Prng.float source_prng (2.0 *. spec.selectivity_jitter)
+      else 1.0
+    in
+    let draw_attr prng = int_of_float (float_of_int (Prng.int prng domain) *. stretch) in
+    for _ = 1 to cardinality do
+      let item_index = Dist.sample item_dist source_prng in
+      let item = item_name item_index in
+      let attr_values = Array.make m 0 in
+      for i = 0 to m - 1 do
+        attr_values.(i) <-
+          (if i > 0 && Prng.bernoulli source_prng spec.correlation then attr_values.(i - 1)
+           else if Prng.bernoulli source_prng spec.entity_correlation then
+             (* The entity's own value for this attribute: every source
+                observing the entity reports the same thing. *)
+             Prng.int (Prng.create ((item_index * 8191) + i)) domain
+           else draw_attr source_prng)
+      done;
+      let values = item :: List.map (fun v -> Value.Int v) (Array.to_list attr_values) in
+      Relation.insert relation (Tuple.create_exn schema values)
+    done;
+    let profile =
+      if slow then Fusion_net.Profile.scale spec.slow_factor Fusion_net.Profile.default
+      else Fusion_net.Profile.default
+    in
+    Source.create ~capability ~profile relation
+  in
+  {
+    schema;
+    sources = Array.init spec.n_sources make_source;
+    query = Fusion_query.Query.create_exn (conditions_of spec.selectivities);
+    spec;
+  }
+
+let save ~dir instance =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let entries =
+    Array.to_list
+      (Array.map
+         (fun source ->
+           let relation = Source.relation source in
+           let file = Relation.name relation ^ ".csv" in
+           Csv_io.write_file relation (Filename.concat dir file);
+           (source, file))
+         instance.sources)
+  in
+  Out_channel.with_open_text (Filename.concat dir "catalog.ini") (fun oc ->
+      Out_channel.output_string oc (Fusion_source.Catalog.render entries));
+  Out_channel.with_open_text (Filename.concat dir "query.sql") (fun oc ->
+      Out_channel.output_string oc
+        (Fusion_query.Query.to_sql ~union:"U" ~merge:(Schema.merge instance.schema)
+           instance.query);
+      Out_channel.output_char oc '\n')
+
+let fig1 () =
+  let schema =
+    Schema.create_exn ~merge:"L"
+      [ ("L", Value.Tstring); ("V", Value.Tstring); ("D", Value.Tint) ]
+  in
+  let row l v d = [ Value.String l; Value.String v; Value.Int d ] in
+  let relation name rows =
+    match Relation.of_rows ~name schema rows with
+    | Ok r -> r
+    | Error msg -> invalid_arg msg
+  in
+  let r1 =
+    relation "R1" [ row "J55" "dui" 1993; row "T21" "sp" 1994; row "T80" "dui" 1993 ]
+  in
+  let r2 =
+    relation "R2" [ row "T21" "dui" 1996; row "J55" "sp" 1996; row "T11" "sp" 1993 ]
+  in
+  let r3 =
+    relation "R3" [ row "T21" "sp" 1993; row "S07" "sp" 1996; row "S07" "sp" 1993 ]
+  in
+  let query =
+    Fusion_query.Query.create_exn
+      [
+        Cond.Cmp ("V", Cond.Eq, Value.String "dui");
+        Cond.Cmp ("V", Cond.Eq, Value.String "sp");
+      ]
+  in
+  {
+    schema;
+    sources = Array.map Source.create [| r1; r2; r3 |];
+    query;
+    spec = { default_spec with n_sources = 3; selectivities = [| 0.5; 0.5 |] };
+  }

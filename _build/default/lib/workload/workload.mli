@@ -1,0 +1,84 @@
+(** Synthetic fusion-query workloads.
+
+    Generates worlds of autonomous, overlapping sources with controlled
+    cardinalities, per-condition selectivities, inter-condition
+    correlation, and heterogeneous capabilities/network profiles — the
+    knobs the paper's discussion turns on (autonomy and overlap in
+    Section 1, heterogeneity in Section 2.5, dependence of conditions in
+    Section 3). Everything is deterministic in the seed. *)
+
+open Fusion_data
+open Fusion_source
+
+(** Fractions of sources with degraded capabilities or profiles; the
+    remainder are full-capability, default-profile sources. Fractions
+    apply independently (a source can be both slow and semijoin-less). *)
+type heterogeneity = {
+  no_semijoin : float;  (** no native semijoin: emulation via point selects *)
+  minimal : float;  (** selection queries only (semijoin impossible) *)
+  slow : float;  (** all network charges scaled by [slow_factor] *)
+  tiny : float;  (** cardinality scaled down to [tiny_factor] *)
+}
+
+val homogeneous : heterogeneity
+(** All sources full-capability and identical. *)
+
+type spec = {
+  n_sources : int;
+  universe : int;  (** distinct items in the world *)
+  tuples_per_source : int * int;  (** inclusive range *)
+  selectivities : float array;
+      (** one entry per condition: fraction of the attribute domain the
+          condition accepts *)
+  item_skew : float;  (** 0 = uniform item popularity; >0 = Zipf skew *)
+  correlation : float;
+      (** probability that a tuple's attribute [A_{i+1}] copies [A_i],
+          correlating the conditions; 0 = independent *)
+  entity_correlation : float;
+      (** probability that an attribute value is determined by the
+          entity itself (the same driver has the same record wherever
+          she appears) rather than drawn per tuple; 1 makes the set of
+          items matching a condition identical across the sources that
+          hold them — the high-overlap regime of the paper's
+          motivation *)
+  heterogeneity : heterogeneity;
+  slow_factor : float;
+  tiny_factor : float;
+  selectivity_jitter : float;
+      (** per-source variation of condition selectivity: each source
+          draws its attribute values from a domain stretched by a factor
+          uniform in [1-j, 1+j], so the same threshold matches a
+          different fraction at every source (content heterogeneity);
+          0 = identical distributions everywhere *)
+  seed : int;
+}
+
+val default_spec : spec
+(** 8 sources, universe 2000, 300–600 tuples each, 3 conditions with
+    selectivities 0.1/0.2/0.3, uniform items, independent conditions,
+    homogeneous sources, seed 42. *)
+
+type instance = {
+  schema : Schema.t;
+  sources : Source.t array;
+  query : Fusion_query.Query.t;
+  spec : spec;
+}
+
+val generate : spec -> instance
+(** The schema is [*M:string, A1..Am:int]; condition [c_i] is
+    [A_i < threshold_i] with thresholds chosen from the selectivities
+    over the attribute domain [0, 1000). *)
+
+val save : dir:string -> instance -> unit
+(** Writes the instance as one CSV per source plus a [catalog.ini]
+    declaring each source's capability and network profile, so that
+    generated federations (including heterogeneous ones) survive a
+    round trip through {!Fusion_source.Catalog.load}. Creates [dir] if
+    needed. A [query.sql] file holds the instance's query. *)
+
+val fig1 : unit -> instance
+(** The paper's Figure 1 DMV instance: three state databases with
+    license (merge), violation and date attributes, and the query
+    "drivers with both a dui and a sp violation". Its answer is
+    {e {J55, T21}}. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Cond Fusion_cond Fusion_data Fusion_plan Fusion_query Fusion_source Fusion_workload Item_set List Printf QCheck2 QCheck_alcotest Relation Schema Source String Value

@@ -1,0 +1,1 @@
+test/test_cond.ml: Alcotest Char Cond Fusion_cond Fusion_data Helpers List QCheck2 String Tuple Value

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Csv_io Fusion_data Helpers Item_set List Printf QCheck2 Relation Schema Tuple Value

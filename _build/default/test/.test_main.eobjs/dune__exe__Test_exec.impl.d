@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Exec Fusion_core Fusion_data Fusion_net Fusion_plan Fusion_query Fusion_source Fusion_workload Helpers Item_set List Op Plan Printf

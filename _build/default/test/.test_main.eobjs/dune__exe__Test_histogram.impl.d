@@ -1,0 +1,1 @@
+test/test_histogram.ml: Alcotest Cond Fusion_cond Fusion_core Fusion_data Fusion_plan Fusion_stats Fusion_workload Helpers List Printf Value

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Format Fusion_cond Fusion_net Helpers List Option Str_find

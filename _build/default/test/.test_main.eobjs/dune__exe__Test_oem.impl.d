@@ -1,0 +1,1 @@
+test/test_oem.ml: Alcotest Array Filename Fun Fusion_data Fusion_mediator Fusion_oem Fusion_source Helpers List Out_channel QCheck2 Relation Schema Sys Tuple Value

@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Array Format Fusion_core Fusion_plan Fusion_stats Helpers List Op Plan Printf QCheck2 String

@@ -1,0 +1,1 @@
+test/test_plan_cost.ml: Alcotest Algorithms Array Float Fusion_core Fusion_plan Fusion_workload Helpers List Op Opt_env Optimized Optimizer Plan Plan_cost QCheck2

@@ -1,0 +1,1 @@
+test/test_plan_text.ml: Alcotest Exec Float Fusion_core Fusion_data Fusion_plan Fusion_workload Helpers List Op Opt_env Optimized Optimizer Plan Plan_text QCheck2

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Cond Fusion_cond Fusion_data Fusion_query Helpers List Option QCheck2 Schema String Value

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Exec Float Fusion_core Fusion_net Fusion_plan Fusion_workload Helpers List Op Opt_env Optimized Optimizer Parallel_exec Plan Printf Response_time

@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Array Exec Float Fusion_core Fusion_data Fusion_plan Fusion_query Fusion_workload Helpers Item_set List Op Opt_env Optimized Optimizer Plan QCheck2 Simplify

@@ -1,0 +1,1 @@
+test/test_source.ml: Alcotest Capability Cond Format Fusion_cond Fusion_data Fusion_net Fusion_source Helpers Item_set List Option Relation Source Str_find String Value

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Cond Fusion_cond Fusion_data Fusion_stats Helpers List Printf Relation Tuple Value

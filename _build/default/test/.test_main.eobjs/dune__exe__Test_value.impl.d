@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Fusion_data Helpers Printf QCheck2 Value

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Capability Fusion_cond Fusion_core Fusion_data Fusion_net Fusion_query Fusion_source Fusion_workload Helpers Item_set Printf Relation Schema Source

@@ -1,0 +1,10 @@
+(* Substring search helper for test assertions. *)
+
+let find_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i =
+    if i + n > h then None
+    else if String.sub haystack i n = needle then Some i
+    else go (i + 1)
+  in
+  if n = 0 then Some 0 else go 0

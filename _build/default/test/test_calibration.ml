@@ -1,0 +1,190 @@
+(* Cost-model calibration: least-squares recovery of source profiles. *)
+
+open Fusion_cond
+open Fusion_data
+open Fusion_source
+module Calibration = Fusion_cost.Calibration
+module Profile = Fusion_net.Profile
+module Meter = Fusion_net.Meter
+
+let synthetic_observations profile specs =
+  List.map
+    (fun (requests, items_sent, items_received, tuples_received) ->
+      {
+        Calibration.requests;
+        items_sent;
+        items_received;
+        tuples_received;
+        cost =
+          (profile.Profile.request_overhead *. float_of_int requests)
+          +. (profile.Profile.send_per_item *. float_of_int items_sent)
+          +. (profile.Profile.recv_per_item *. float_of_int items_received)
+          +. (profile.Profile.recv_per_tuple *. float_of_int tuples_received);
+      })
+    specs
+
+let check_profile ?(tolerance = 0.01) expected actual =
+  let field name f =
+    Alcotest.(check (float (tolerance *. (1.0 +. f expected))))
+      name (f expected) (f actual)
+  in
+  field "overhead" (fun p -> p.Profile.request_overhead);
+  field "send" (fun p -> p.Profile.send_per_item);
+  field "recv" (fun p -> p.Profile.recv_per_item);
+  field "tuple" (fun p -> p.Profile.recv_per_tuple)
+
+let test_fit_recovers_exact_profile () =
+  let profile =
+    Profile.make ~request_overhead:35.0 ~send_per_item:0.7 ~recv_per_item:1.4
+      ~recv_per_tuple:9.0 ()
+  in
+  let observations =
+    synthetic_observations profile
+      [
+        (1, 0, 10, 0); (1, 20, 4, 0); (1, 0, 0, 50); (2, 5, 5, 5);
+        (1, 40, 12, 0); (3, 0, 30, 10); (1, 7, 0, 0);
+      ]
+  in
+  let fitted = Helpers.check_ok (Calibration.fit observations) in
+  check_profile profile fitted
+
+let test_fit_clamps_to_nonnegative () =
+  (* Costs depend only on requests; other coefficients must come out 0,
+     not negative noise. *)
+  let observations =
+    List.map
+      (fun (r, s) ->
+        { Calibration.requests = r; items_sent = s; items_received = s;
+          tuples_received = 0; cost = 10.0 *. float_of_int r })
+      [ (1, 3); (2, 1); (1, 7); (3, 2); (2, 9) ]
+  in
+  let fitted = Helpers.check_ok (Calibration.fit observations) in
+  Alcotest.(check (float 0.01)) "overhead" 10.0 fitted.Profile.request_overhead;
+  Alcotest.(check bool) "others non-negative" true
+    (fitted.Profile.send_per_item >= 0.0
+    && fitted.Profile.recv_per_item >= 0.0
+    && fitted.Profile.recv_per_tuple >= 0.0)
+
+let test_fit_errors () =
+  ignore (Helpers.check_err "too few" (Calibration.fit []));
+  (* No variation at all: singular. *)
+  let same =
+    List.init 6 (fun _ ->
+        { Calibration.requests = 1; items_sent = 1; items_received = 1;
+          tuples_received = 1; cost = 5.0 })
+  in
+  (* Identical rows still fit (rank 1 after trimming) or error — either
+     way it must not produce a negative profile. *)
+  match Calibration.fit same with
+  | Error _ -> ()
+  | Ok p ->
+    Alcotest.(check bool) "non-negative" true
+      (p.Profile.request_overhead >= 0.0 && p.Profile.send_per_item >= 0.0)
+
+let test_observe_totals () =
+  let before = Meter.zero in
+  let after =
+    { Meter.requests = 2; items_sent = 5; items_received = 3; tuples_received = 0;
+      cost = 42.0 }
+  in
+  let obs = Calibration.observe_totals ~before ~after in
+  Alcotest.(check int) "requests" 2 obs.Calibration.requests;
+  Alcotest.(check (float 0.001)) "cost" 42.0 obs.Calibration.cost;
+  Alcotest.check_raises "no request"
+    (Invalid_argument "Calibration.observe_totals: snapshots not at least one request apart")
+    (fun () -> ignore (Calibration.observe_totals ~before ~after:before))
+
+let probe_conditions =
+  [ Cond.Cmp ("A", Cond.Lt, Value.Int 5); Cond.Cmp ("A", Cond.Ge, Value.Int 5) ]
+
+let big_relation () =
+  Helpers.abc_relation
+    (List.init 60 (fun i -> Helpers.abc_row (Printf.sprintf "k%02d" i) (i mod 10) "x"))
+
+let test_fit_source_native () =
+  let truth =
+    Profile.make ~request_overhead:80.0 ~send_per_item:0.4 ~recv_per_item:2.0
+      ~recv_per_tuple:12.0 ()
+  in
+  let source = Source.create ~profile:truth (big_relation ()) in
+  let fitted = Helpers.check_ok (Calibration.fit_source source probe_conditions) in
+  check_profile ~tolerance:0.05 truth fitted;
+  (* The meter holds the probe traffic for cost accounting. *)
+  Alcotest.(check bool) "probe traffic metered" true
+    ((Source.totals source).Meter.requests > 0)
+
+let test_fit_source_emulated () =
+  (* Under emulation every semijoin binding is its own request, so
+     overhead and send_per_item are indistinguishable (requests ≡ items
+     sent); the fit cannot recover the parameters individually but must
+     still PREDICT costs. *)
+  let truth = Profile.make ~request_overhead:25.0 ~recv_per_item:1.5 () in
+  let source =
+    Source.create ~capability:Capability.no_semijoin ~profile:truth (big_relation ())
+  in
+  let fitted = Helpers.check_ok (Calibration.fit_source source probe_conditions) in
+  let predict (p : Profile.t) ~requests ~sent ~received =
+    (p.Profile.request_overhead *. float_of_int requests)
+    +. (p.Profile.send_per_item *. float_of_int sent)
+    +. (p.Profile.recv_per_item *. float_of_int received)
+  in
+  (* A selection (1 request, no bindings) and an emulated 20-binding
+     semijoin with ~10 hits. *)
+  List.iter
+    (fun (requests, sent, received) ->
+      let want = predict truth ~requests ~sent ~received in
+      let got = predict fitted ~requests ~sent ~received in
+      Alcotest.(check bool)
+        (Printf.sprintf "predicts %.1f (got %.1f)" want got)
+        true
+        (Float.abs (got -. want) <= 0.05 *. want))
+    [ (1, 0, 30); (20, 20, 10); (5, 5, 2) ]
+
+let test_calibrated_model_drives_optimizer () =
+  (* Replace every source's known profile by a freshly calibrated clone
+     and check the optimizer picks an equally good plan. *)
+  let instance =
+    Fusion_workload.Workload.generate
+      { Fusion_workload.Workload.default_spec with seed = 61 }
+  in
+  let sources = instance.Fusion_workload.Workload.sources in
+  let conds =
+    Array.to_list (Fusion_query.Query.conditions instance.Fusion_workload.Workload.query)
+  in
+  let recalibrated =
+    Array.map
+      (fun s ->
+        let fitted = Helpers.check_ok (Calibration.fit_source s conds) in
+        Source.create ~capability:(Source.capability s) ~profile:fitted
+          (Source.relation s))
+      sources
+  in
+  let run srcs =
+    let env =
+      Fusion_core.Opt_env.create ~universe:instance.Fusion_workload.Workload.spec.Fusion_workload.Workload.universe
+        srcs instance.Fusion_workload.Workload.query
+    in
+    Fusion_core.Optimizer.optimize Fusion_core.Optimizer.Sja env
+  in
+  let true_plan = run sources and calibrated_plan = run recalibrated in
+  (* Execute both plans against the TRUE sources; the calibrated plan
+     must be competitive (within 5%). *)
+  let cost plan = (Helpers.execute_plan instance plan).Fusion_plan.Exec.total_cost in
+  let true_cost = cost true_plan.Fusion_core.Optimized.plan in
+  let calibrated_cost = cost calibrated_plan.Fusion_core.Optimized.plan in
+  Alcotest.(check bool)
+    (Printf.sprintf "calibrated %.1f vs true %.1f" calibrated_cost true_cost)
+    true
+    (calibrated_cost <= true_cost *. 1.05 +. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "fit recovers an exact profile" `Quick test_fit_recovers_exact_profile;
+    Alcotest.test_case "fit clamps to non-negative" `Quick test_fit_clamps_to_nonnegative;
+    Alcotest.test_case "fit error handling" `Quick test_fit_errors;
+    Alcotest.test_case "observe_totals" `Quick test_observe_totals;
+    Alcotest.test_case "active calibration, native source" `Quick test_fit_source_native;
+    Alcotest.test_case "active calibration, emulated source" `Quick test_fit_source_emulated;
+    Alcotest.test_case "calibrated model drives the optimizer" `Quick
+      test_calibrated_model_drives_optimizer;
+  ]

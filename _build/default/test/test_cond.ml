@@ -1,0 +1,204 @@
+(* Condition language: evaluation, validation, parsing, printing. *)
+
+open Fusion_data
+open Fusion_cond
+
+let schema = Helpers.abc_schema
+let tuple m a b = Tuple.create_exn schema (Helpers.abc_row m a b)
+let ev c t = Cond.eval schema c t
+
+let test_eval_comparisons () =
+  let t = tuple "k" 5 "hello" in
+  Alcotest.(check bool) "eq true" true (ev (Cmp ("A", Eq, Int 5)) t);
+  Alcotest.(check bool) "eq false" false (ev (Cmp ("A", Eq, Int 6)) t);
+  Alcotest.(check bool) "ne" true (ev (Cmp ("A", Ne, Int 6)) t);
+  Alcotest.(check bool) "lt" true (ev (Cmp ("A", Lt, Int 6)) t);
+  Alcotest.(check bool) "le edge" true (ev (Cmp ("A", Le, Int 5)) t);
+  Alcotest.(check bool) "gt" false (ev (Cmp ("A", Gt, Int 5)) t);
+  Alcotest.(check bool) "ge edge" true (ev (Cmp ("A", Ge, Int 5)) t);
+  Alcotest.(check bool) "string eq" true (ev (Cmp ("B", Eq, String "hello")) t)
+
+let test_eval_range_and_membership () =
+  let t = tuple "k" 5 "hello" in
+  Alcotest.(check bool) "between inside" true (ev (Between ("A", Int 1, Int 9)) t);
+  Alcotest.(check bool) "between lower edge" true (ev (Between ("A", Int 5, Int 9)) t);
+  Alcotest.(check bool) "between outside" false (ev (Between ("A", Int 6, Int 9)) t);
+  Alcotest.(check bool) "in hit" true (ev (In_list ("A", [ Int 1; Int 5 ])) t);
+  Alcotest.(check bool) "in miss" false (ev (In_list ("A", [ Int 1; Int 2 ])) t);
+  Alcotest.(check bool) "prefix hit" true (ev (Prefix ("B", "hel")) t);
+  Alcotest.(check bool) "prefix empty" true (ev (Prefix ("B", "")) t);
+  Alcotest.(check bool) "prefix miss" false (ev (Prefix ("B", "world")) t);
+  Alcotest.(check bool) "prefix on int is false" false (ev (Prefix ("A", "5")) t)
+
+let test_eval_boolean () =
+  let t = tuple "k" 5 "hello" in
+  let a_is_5 = Cond.Cmp ("A", Eq, Int 5) in
+  let b_is_x = Cond.Cmp ("B", Eq, String "x") in
+  Alcotest.(check bool) "and" false (ev (And (a_is_5, b_is_x)) t);
+  Alcotest.(check bool) "or" true (ev (Or (a_is_5, b_is_x)) t);
+  Alcotest.(check bool) "not" true (ev (Not b_is_x) t);
+  Alcotest.(check bool) "true" true (ev True t)
+
+let test_eval_null_semantics () =
+  let t = Tuple.create_exn schema [ String "k"; Null; String "b" ] in
+  Alcotest.(check bool) "cmp null false" false (ev (Cmp ("A", Eq, Int 5)) t);
+  Alcotest.(check bool) "ne null false too" false (ev (Cmp ("A", Ne, Int 5)) t);
+  Alcotest.(check bool) "between null false" false (ev (Between ("A", Int 0, Int 9)) t);
+  Alcotest.(check bool) "not lifts" true (ev (Not (Cmp ("A", Eq, Int 5))) t)
+
+let test_is_null () =
+  let with_null = Tuple.create_exn schema [ String "k"; Null; String "b" ] in
+  let without = tuple "k" 5 "b" in
+  Alcotest.(check bool) "null matches" true (ev (Is_null "A") with_null);
+  Alcotest.(check bool) "non-null doesn't" false (ev (Is_null "A") without);
+  Alcotest.(check bool) "not null" true (ev (Not (Is_null "A")) without);
+  let parse_is s = Helpers.check_ok (Cond.parse s) in
+  Alcotest.check Helpers.cond "parse IS NULL" (Is_null "A") (parse_is "A IS NULL");
+  Alcotest.check Helpers.cond "parse IS NOT NULL" (Not (Is_null "A"))
+    (parse_is "A is not null");
+  Alcotest.(check string) "prints" "A IS NULL" (Cond.to_string (Is_null "A"));
+  Helpers.check_ok (Cond.validate schema (Is_null "B"));
+  ignore (Helpers.check_err "unknown attr" (Cond.validate schema (Is_null "Z")))
+
+let test_attrs () =
+  let c = Cond.And (Cmp ("A", Eq, Int 1), Or (Cmp ("B", Eq, String "x"), Cmp ("A", Lt, Int 9))) in
+  Alcotest.(check (list string)) "attrs dedup in order" [ "A"; "B" ] (Cond.attrs c)
+
+let test_validate () =
+  Helpers.check_ok (Cond.validate schema (Cmp ("A", Lt, Int 3)));
+  Helpers.check_ok (Cond.validate schema (Cmp ("A", Lt, Float 3.5)));
+  ignore (Helpers.check_err "unknown attr" (Cond.validate schema (Cmp ("Z", Eq, Int 1))));
+  ignore
+    (Helpers.check_err "type clash" (Cond.validate schema (Cmp ("A", Eq, String "x"))));
+  ignore (Helpers.check_err "like on int" (Cond.validate schema (Prefix ("A", "x"))));
+  Helpers.check_ok (Cond.validate schema (In_list ("B", [ String "x"; String "y" ])))
+
+let test_simplify () =
+  Alcotest.check Helpers.cond "and true" (Cmp ("A", Eq, Int 1))
+    (Cond.simplify (And (True, Cmp ("A", Eq, Int 1))));
+  Alcotest.check Helpers.cond "or true" True (Cond.simplify (Or (Cmp ("A", Eq, Int 1), True)));
+  Alcotest.check Helpers.cond "double negation" (Cmp ("A", Eq, Int 1))
+    (Cond.simplify (Not (Not (Cmp ("A", Eq, Int 1)))))
+
+let parse_ok s = Helpers.check_ok (Cond.parse s)
+
+let test_parse_basic () =
+  Alcotest.check Helpers.cond "eq" (Cmp ("A", Eq, Int 3)) (parse_ok "A = 3");
+  Alcotest.check Helpers.cond "ne both spellings" (Cmp ("A", Ne, Int 3)) (parse_ok "A != 3");
+  Alcotest.check Helpers.cond "string" (Cmp ("B", Eq, String "hi")) (parse_ok "B = 'hi'");
+  Alcotest.check Helpers.cond "between"
+    (Between ("A", Int 1, Int 5))
+    (parse_ok "A BETWEEN 1 AND 5");
+  Alcotest.check Helpers.cond "in" (In_list ("A", [ Int 1; Int 2 ])) (parse_ok "A IN (1, 2)");
+  Alcotest.check Helpers.cond "like" (Prefix ("B", "he")) (parse_ok "B LIKE 'he%'");
+  Alcotest.check Helpers.cond "negative number" (Cmp ("A", Gt, Int (-2))) (parse_ok "A > -2")
+
+let test_parse_boolean_structure () =
+  (* AND binds tighter than OR; NOT tighter than AND. *)
+  Alcotest.check Helpers.cond "precedence"
+    (Or (Cmp ("A", Eq, Int 1), And (Cmp ("A", Eq, Int 2), Cmp ("B", Eq, String "x"))))
+    (parse_ok "A = 1 OR A = 2 AND B = 'x'");
+  Alcotest.check Helpers.cond "parens"
+    (And (Or (Cmp ("A", Eq, Int 1), Cmp ("A", Eq, Int 2)), Cmp ("B", Eq, String "x")))
+    (parse_ok "(A = 1 OR A = 2) AND B = 'x'");
+  Alcotest.check Helpers.cond "not"
+    (Not (Cmp ("A", Eq, Int 1)))
+    (parse_ok "NOT A = 1");
+  Alcotest.check Helpers.cond "keywords case-insensitive"
+    (And (True, Cmp ("A", Eq, Int 1)))
+    (parse_ok "true and A = 1")
+
+let test_parse_errors () =
+  ignore (Helpers.check_err "dangling" (Cond.parse "A ="));
+  ignore (Helpers.check_err "trailing" (Cond.parse "A = 1 B"));
+  ignore (Helpers.check_err "bad like" (Cond.parse "B LIKE 'a%b%'"));
+  ignore (Helpers.check_err "unterminated string" (Cond.parse "B = 'oops"));
+  ignore (Helpers.check_err "empty" (Cond.parse ""))
+
+(* Random condition generator over the abc schema. *)
+let cond_gen : Cond.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let cmp = oneofl [ Cond.Eq; Ne; Lt; Le; Gt; Ge ] in
+  let leaf =
+    oneof
+      [
+        return Cond.True;
+        map2 (fun op v -> Cond.Cmp ("A", op, Value.Int v)) cmp (int_range (-5) 10);
+        map2
+          (fun lo len -> Cond.Between ("A", Value.Int lo, Value.Int (lo + len)))
+          (int_range (-5) 5) (int_range 0 8);
+        map (fun vs -> Cond.In_list ("A", List.map (fun v -> Value.Int v) vs))
+          (list_size (int_range 1 4) (int_range 0 9));
+        map (fun s -> Cond.Prefix ("B", s)) (string_size ~gen:(char_range 'a' 'c') (int_range 0 2));
+        return (Cond.Is_null "A");
+        map2 (fun op s -> Cond.Cmp ("B", op, Value.String s)) cmp
+          (string_size ~gen:(char_range 'a' 'c') (int_range 0 3));
+      ]
+  in
+  let rec tree depth =
+    if depth = 0 then leaf
+    else
+      oneof
+        [
+          leaf;
+          map2 (fun a b -> Cond.And (a, b)) (tree (depth - 1)) (tree (depth - 1));
+          map2 (fun a b -> Cond.Or (a, b)) (tree (depth - 1)) (tree (depth - 1));
+          map (fun a -> Cond.Not a) (tree (depth - 1));
+        ]
+  in
+  tree 3
+
+let tuple_gen =
+  QCheck2.Gen.(
+    map2
+      (fun a b -> tuple "k" a (String.init (min 3 b) (fun i -> Char.chr (97 + ((b + i) mod 3)))))
+      (int_range (-5) 10) (int_range 0 5))
+
+let qcheck_round_trip =
+  Helpers.qtest ~count:300 "pp/parse round trip preserves semantics" cond_gen
+    Cond.to_string (fun c ->
+      match Cond.parse (Cond.to_string c) with
+      | Error msg -> QCheck2.Test.fail_reportf "re-parse failed: %s" msg
+      | Ok c' -> Cond.equal c c' || true (* equality can differ on assoc; check semantics *))
+
+let qcheck_round_trip_semantics =
+  Helpers.qtest ~count:300 "re-parsed condition evaluates identically"
+    QCheck2.Gen.(pair cond_gen tuple_gen)
+    (fun (c, _) -> Cond.to_string c)
+    (fun (c, t) ->
+      match Cond.parse (Cond.to_string c) with
+      | Error msg -> QCheck2.Test.fail_reportf "re-parse failed: %s" msg
+      | Ok c' -> ev c t = ev c' t)
+
+let qcheck_simplify_preserves =
+  Helpers.qtest ~count:300 "simplify preserves evaluation"
+    QCheck2.Gen.(pair cond_gen tuple_gen)
+    (fun (c, _) -> Cond.to_string c)
+    (fun (c, t) -> ev c t = ev (Cond.simplify c) t)
+
+let qcheck_de_morgan =
+  Helpers.qtest ~count:300 "De Morgan laws hold under eval"
+    QCheck2.Gen.(triple cond_gen cond_gen tuple_gen)
+    (fun (a, b, _) -> Cond.to_string (And (a, b)))
+    (fun (a, b, t) ->
+      ev (Not (And (a, b))) t = ev (Or (Not a, Not b)) t
+      && ev (Not (Or (a, b))) t = ev (And (Not a, Not b)) t)
+
+let suite =
+  [
+    Alcotest.test_case "comparisons" `Quick test_eval_comparisons;
+    Alcotest.test_case "ranges and membership" `Quick test_eval_range_and_membership;
+    Alcotest.test_case "boolean combinators" `Quick test_eval_boolean;
+    Alcotest.test_case "null semantics" `Quick test_eval_null_semantics;
+    Alcotest.test_case "IS NULL predicate" `Quick test_is_null;
+    Alcotest.test_case "attribute collection" `Quick test_attrs;
+    Alcotest.test_case "validation" `Quick test_validate;
+    Alcotest.test_case "simplification" `Quick test_simplify;
+    Alcotest.test_case "parse predicates" `Quick test_parse_basic;
+    Alcotest.test_case "parse boolean structure" `Quick test_parse_boolean_structure;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    qcheck_round_trip;
+    qcheck_round_trip_semantics;
+    qcheck_simplify_preserves;
+    qcheck_de_morgan;
+  ]

@@ -1,0 +1,175 @@
+(* Estimator and cost models, including the paper's cost-model axioms
+   (Section 2.4): non-negative costs and subadditivity of semijoins. *)
+
+open Fusion_data
+open Fusion_cond
+open Fusion_source
+module Estimator = Fusion_cost.Estimator
+module Model = Fusion_cost.Model
+module Source_stats = Fusion_stats.Source_stats
+module Profile = Fusion_net.Profile
+
+let source ?capability ?profile rows =
+  Source.create ?capability ?profile (Helpers.abc_relation rows)
+
+let rows_k lo hi a = List.init (hi - lo + 1) (fun i -> Helpers.abc_row (Printf.sprintf "k%03d" (lo + i)) a "x")
+
+let with_est ?universe source_list =
+  let entries = List.map (fun s -> (s, Source_stats.exact (Source.relation s))) source_list in
+  Estimator.create ?universe entries
+
+let small = Cond.Cmp ("A", Cond.Lt, Value.Int 5)
+
+let test_universe_default_is_sum () =
+  let s1 = source (rows_k 0 9 1) and s2 = source (rows_k 5 14 1) in
+  let est = with_est [ s1; s2 ] in
+  (* Default assumes no overlap: 10 + 10. *)
+  Alcotest.(check (float 0.001)) "sum of distinct" 20.0 (Estimator.universe est)
+
+let test_universe_override () =
+  let s1 = source (rows_k 0 9 1) in
+  let est = with_est ~universe:100 [ s1 ] in
+  Alcotest.(check (float 0.001)) "explicit" 100.0 (Estimator.universe est)
+
+let test_matching_and_sq_answer () =
+  let s = source (rows_k 0 9 1 @ rows_k 10 19 9) in
+  let est = with_est [ s ] in
+  Alcotest.(check (float 0.001)) "only A=1 rows match" 10.0 (Estimator.matching est s small);
+  Alcotest.(check (float 0.001)) "sq answer = matching" 10.0 (Estimator.sq_answer est s small)
+
+let test_sjq_answer_scales_with_probe () =
+  let s = source (rows_k 0 9 1 @ rows_k 10 19 9) in
+  let est = with_est ~universe:40 [ s ] in
+  (* hit rate = 10/40 *)
+  Alcotest.(check (float 0.001)) "half probe" 5.0 (Estimator.sjq_answer est s small 20.0)
+
+let test_sel_somewhere_combines_sources () =
+  let s1 = source (rows_k 0 9 1) and s2 = source (rows_k 10 19 1) in
+  let est = with_est ~universe:40 [ s1; s2 ] in
+  (* each source covers 10/40; 1 - (1-0.25)^2 = 0.4375 *)
+  Alcotest.(check (float 0.001)) "independent union" 0.4375 (Estimator.sel_somewhere est small);
+  Alcotest.(check (float 0.001)) "first round size" 17.5 (Estimator.first_round_size est small);
+  Alcotest.(check (float 0.001)) "shrink" 8.75 (Estimator.shrink est small 20.0)
+
+let test_internet_model_sq () =
+  let profile = Profile.make ~request_overhead:10.0 ~recv_per_item:2.0 () in
+  let s = source ~profile (rows_k 0 9 1) in
+  let est = with_est [ s ] in
+  let model = Model.internet est in
+  Alcotest.(check (float 0.001)) "overhead + 2*10" 30.0 (model.Model.sq_cost s small)
+
+let test_internet_model_sjq_native_vs_emulated () =
+  let profile =
+    Profile.make ~request_overhead:10.0 ~send_per_item:1.0 ~recv_per_item:1.0 ()
+  in
+  let native = source ~profile (rows_k 0 9 1) in
+  let emulated = source ~capability:Capability.no_semijoin ~profile (rows_k 0 9 1) in
+  let minimal = source ~capability:Capability.minimal ~profile (rows_k 0 9 1) in
+  let est = with_est ~universe:20 [ native; emulated; minimal ] in
+  let model = Model.internet est in
+  (* native: 10 + 8 + 8*(10/20) = 22 *)
+  Alcotest.(check (float 0.001)) "native" 22.0 (model.Model.sjq_cost native small 8.0);
+  (* emulated: 8 * (10 + 1 + 0.5) = 92 *)
+  Alcotest.(check (float 0.001)) "emulated" 92.0 (model.Model.sjq_cost emulated small 8.0);
+  Alcotest.(check bool) "unsupported is infinite" true
+    (model.Model.sjq_cost minimal small 8.0 = infinity)
+
+let test_internet_model_lq () =
+  let profile = Profile.make ~request_overhead:10.0 ~recv_per_tuple:3.0 () in
+  let s = source ~profile (rows_k 0 9 1) in
+  let no_load = source ~capability:Capability.minimal ~profile (rows_k 0 9 1) in
+  let est = with_est [ s; no_load ] in
+  let model = Model.internet est in
+  Alcotest.(check (float 0.001)) "10 + 3*10" 40.0 (model.Model.lq_cost s);
+  Alcotest.(check bool) "unsupported" true (model.Model.lq_cost no_load = infinity)
+
+let test_uniform_model () =
+  let s = source (rows_k 0 3 1) in
+  let model = Model.uniform ~sq:7.0 ~sjq_per_item:2.0 ~lq:99.0 () in
+  Alcotest.(check (float 0.001)) "sq" 7.0 (model.Model.sq_cost s small);
+  Alcotest.(check (float 0.001)) "sjq" 12.0 (model.Model.sjq_cost s small 6.0);
+  Alcotest.(check (float 0.001)) "lq" 99.0 (model.Model.lq_cost s)
+
+(* The subadditivity axiom: cost(sjq over X∪Y) ≤ cost over X + cost
+   over Y, for disjoint splits (sizes add). Checked over random profiles,
+   capabilities and split points. *)
+let qcheck_subadditivity =
+  Helpers.qtest ~count:200 "semijoin cost is subadditive in the probe set"
+    QCheck2.Gen.(
+      tup5 (float_range 0.0 100.0) (float_range 0.0 5.0) (float_range 0.0 5.0)
+        (pair (float_range 0.0 500.0) (float_range 0.0 500.0))
+        bool)
+    (fun (o, snd_, rcv, (x, y), native) ->
+      Printf.sprintf "overhead=%.1f send=%.2f recv=%.2f x=%.1f y=%.1f native=%b" o snd_ rcv x
+        y native)
+    (fun (overhead, send, recv, (x, y), native) ->
+      let profile =
+        Profile.make ~request_overhead:overhead ~send_per_item:send ~recv_per_item:recv ()
+      in
+      let capability = if native then Capability.full else Capability.no_semijoin in
+      let s = source ~capability ~profile (rows_k 0 9 1) in
+      let est = with_est ~universe:30 [ s ] in
+      let model = Model.internet est in
+      let c = model.Model.sjq_cost s small in
+      c (x +. y) <= c x +. c y +. 1e-9)
+
+let qcheck_costs_nonnegative =
+  Helpers.qtest ~count:100 "all costs are non-negative" Helpers.spec_gen Helpers.spec_print
+    (fun spec ->
+      let instance = Fusion_workload.Workload.generate spec in
+      let env =
+        Fusion_core.Opt_env.create instance.Fusion_workload.Workload.sources
+          instance.Fusion_workload.Workload.query
+      in
+      let model = env.Fusion_core.Opt_env.model in
+      Array.for_all
+        (fun s ->
+          Array.for_all
+            (fun c ->
+              model.Model.sq_cost s c >= 0.0
+              && model.Model.sjq_cost s c 10.0 >= 0.0
+              && model.Model.lq_cost s >= 0.0)
+            env.Fusion_core.Opt_env.conds)
+        env.Fusion_core.Opt_env.sources)
+
+let test_sampled_estimator_close_to_exact () =
+  let spec =
+    { Fusion_workload.Workload.default_spec with n_sources = 3; seed = 5 }
+  in
+  let instance = Fusion_workload.Workload.generate spec in
+  let sources = instance.Fusion_workload.Workload.sources in
+  let cond = Fusion_query.Query.condition instance.Fusion_workload.Workload.query 0 in
+  let exact = with_est (Array.to_list sources) in
+  let sampled =
+    Estimator.create
+      (Array.to_list
+         (Array.map
+            (fun s ->
+              (s, Source_stats.sampled ~sample_size:150 (Fusion_stats.Prng.create 1) (Source.relation s)))
+            sources))
+  in
+  let e = Estimator.matching exact sources.(0) cond in
+  let s = Estimator.matching sampled sources.(0) cond in
+  Alcotest.(check bool)
+    (Printf.sprintf "within 2x (exact %.1f, sampled %.1f)" e s)
+    true
+    (s > e /. 2.0 && s < e *. 2.0 +. 10.0)
+
+let suite =
+  [
+    Alcotest.test_case "default universe sums distincts" `Quick test_universe_default_is_sum;
+    Alcotest.test_case "universe override" `Quick test_universe_override;
+    Alcotest.test_case "matching / sq answer" `Quick test_matching_and_sq_answer;
+    Alcotest.test_case "sjq answer scales with probe" `Quick test_sjq_answer_scales_with_probe;
+    Alcotest.test_case "sel_somewhere combines sources" `Quick
+      test_sel_somewhere_combines_sources;
+    Alcotest.test_case "internet model sq" `Quick test_internet_model_sq;
+    Alcotest.test_case "internet model sjq native/emulated/unsupported" `Quick
+      test_internet_model_sjq_native_vs_emulated;
+    Alcotest.test_case "internet model lq" `Quick test_internet_model_lq;
+    Alcotest.test_case "uniform model" `Quick test_uniform_model;
+    qcheck_subadditivity;
+    qcheck_costs_nonnegative;
+    Alcotest.test_case "sampled estimator close to exact" `Quick
+      test_sampled_estimator_close_to_exact;
+  ]

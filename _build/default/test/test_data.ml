@@ -1,0 +1,195 @@
+(* Schema, Tuple, Item_set, Relation and CSV round-trips. *)
+
+open Fusion_data
+
+let test_schema_create () =
+  let schema = Helpers.abc_schema in
+  Alcotest.(check string) "merge" "M" (Schema.merge schema);
+  Alcotest.(check int) "merge pos" 0 (Schema.merge_pos schema);
+  Alcotest.(check int) "arity" 3 (Schema.arity schema);
+  Alcotest.(check (option int)) "pos A" (Some 1) (Schema.pos schema "A");
+  Alcotest.(check (option int)) "pos unknown" None (Schema.pos schema "Z");
+  Alcotest.(check bool) "mem" true (Schema.mem schema "B")
+
+let test_schema_errors () =
+  ignore
+    (Helpers.check_err "missing merge"
+       (Schema.create ~merge:"X" [ ("M", Value.Tstring) ]));
+  ignore
+    (Helpers.check_err "duplicate"
+       (Schema.create ~merge:"M" [ ("M", Value.Tstring); ("M", Value.Tint) ]))
+
+let test_schema_equal () =
+  let s1 = Schema.create_exn ~merge:"M" [ ("M", Value.Tstring); ("A", Value.Tint) ] in
+  let s2 = Schema.create_exn ~merge:"M" [ ("M", Value.Tstring); ("A", Value.Tint) ] in
+  let s3 = Schema.create_exn ~merge:"M" [ ("M", Value.Tstring); ("A", Value.Tfloat) ] in
+  Alcotest.(check bool) "equal" true (Schema.equal s1 s2);
+  Alcotest.(check bool) "not equal" false (Schema.equal s1 s3)
+
+let test_tuple_create () =
+  let t = Tuple.create_exn Helpers.abc_schema (Helpers.abc_row "k1" 5 "x") in
+  Alcotest.check Helpers.value "get 0" (String "k1") (Tuple.get t 0);
+  Alcotest.check Helpers.value "by attr" (Int 5) (Tuple.get_attr Helpers.abc_schema t "A");
+  Alcotest.check Helpers.value "item" (String "k1") (Tuple.item Helpers.abc_schema t)
+
+let test_tuple_type_errors () =
+  ignore
+    (Helpers.check_err "arity"
+       (Tuple.create Helpers.abc_schema [ Value.String "k" ]));
+  ignore
+    (Helpers.check_err "type"
+       (Tuple.create Helpers.abc_schema
+          [ Value.String "k"; Value.String "not an int"; Value.String "b" ]));
+  (* Nulls are allowed in any position. *)
+  ignore
+    (Helpers.check_ok
+       (Tuple.create Helpers.abc_schema [ Value.String "k"; Value.Null; Value.Null ]))
+
+let test_item_set_ops () =
+  let s1 = Helpers.items_of_strings [ "a"; "b"; "c" ] in
+  let s2 = Helpers.items_of_strings [ "b"; "c"; "d" ] in
+  Alcotest.check Helpers.item_set "union"
+    (Helpers.items_of_strings [ "a"; "b"; "c"; "d" ])
+    (Item_set.union s1 s2);
+  Alcotest.check Helpers.item_set "inter"
+    (Helpers.items_of_strings [ "b"; "c" ])
+    (Item_set.inter s1 s2);
+  Alcotest.check Helpers.item_set "diff"
+    (Helpers.items_of_strings [ "a" ])
+    (Item_set.diff s1 s2);
+  Alcotest.(check int) "cardinal" 3 (Item_set.cardinal s1);
+  Alcotest.check Helpers.item_set "inter_list empty" Item_set.empty (Item_set.inter_list []);
+  Alcotest.check Helpers.item_set "union_list"
+    (Helpers.items_of_strings [ "a"; "b"; "c"; "d" ])
+    (Item_set.union_list [ s1; s2; Item_set.empty ])
+
+let test_relation_basics () =
+  let r =
+    Helpers.abc_relation
+      [
+        Helpers.abc_row "k1" 1 "x";
+        Helpers.abc_row "k2" 2 "y";
+        Helpers.abc_row "k1" 3 "z";
+      ]
+  in
+  Alcotest.(check int) "cardinality" 3 (Relation.cardinality r);
+  Alcotest.(check int) "distinct items" 2 (Relation.distinct_item_count r);
+  Alcotest.check Helpers.item_set "items"
+    (Helpers.items_of_strings [ "k1"; "k2" ])
+    (Relation.items r);
+  Alcotest.(check int) "tuples of k1" 2
+    (List.length (Relation.tuples_of_item r (String "k1")));
+  Alcotest.(check int) "tuples of missing" 0
+    (List.length (Relation.tuples_of_item r (String "zz")))
+
+let test_relation_select_semijoin () =
+  let r =
+    Helpers.abc_relation
+      [
+        Helpers.abc_row "k1" 1 "x";
+        Helpers.abc_row "k2" 5 "y";
+        Helpers.abc_row "k3" 9 "x";
+        Helpers.abc_row "k1" 7 "y";
+      ]
+  in
+  let p tuple = Tuple.get_attr Helpers.abc_schema tuple "A" = Value.Int 1 in
+  Alcotest.check Helpers.item_set "select" (Helpers.items_of_strings [ "k1" ])
+    (Relation.select_items r p);
+  let big tuple =
+    match Tuple.get_attr Helpers.abc_schema tuple "A" with
+    | Value.Int a -> a >= 5
+    | _ -> false
+  in
+  (* k1 qualifies through its second tuple (A=7). *)
+  Alcotest.check Helpers.item_set "semijoin"
+    (Helpers.items_of_strings [ "k1"; "k2" ])
+    (Relation.semijoin_items r big (Helpers.items_of_strings [ "k1"; "k2"; "zz" ]));
+  Alcotest.(check int) "count_matching distinct" 3 (Relation.count_matching r big)
+
+let test_relation_semijoin_vs_naive =
+  Helpers.qtest ~count:100 "semijoin_items agrees with select∩probe"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 40)
+           (triple (int_range 0 9) (int_range 0 9) (string_size (int_range 1 2))))
+        (list_size (int_range 0 10) (int_range 0 9)))
+    (fun (rows, probe) ->
+      Printf.sprintf "%d rows, %d probes" (List.length rows) (List.length probe))
+    (fun (rows, probe) ->
+      let r =
+        Helpers.abc_relation
+          (List.map (fun (k, a, b) -> Helpers.abc_row (Printf.sprintf "k%d" k) a b) rows)
+      in
+      let probe_set =
+        Item_set.of_list (List.map (fun k -> Value.String (Printf.sprintf "k%d" k)) probe)
+      in
+      let p tuple =
+        match Tuple.get_attr Helpers.abc_schema tuple "A" with
+        | Value.Int a -> a < 5
+        | _ -> false
+      in
+      Item_set.equal
+        (Relation.semijoin_items r p probe_set)
+        (Item_set.inter (Relation.select_items r p) probe_set))
+
+let test_csv_round_trip () =
+  let r =
+    Helpers.abc_relation
+      [ Helpers.abc_row "k1" 1 "x"; Helpers.abc_row "k2" 2 "hello world" ]
+  in
+  let text = Csv_io.write_string r in
+  let r' = Helpers.check_ok (Csv_io.read_string ~name:"R" text) in
+  Alcotest.(check bool) "schema survives" true
+    (Schema.equal (Relation.schema r) (Relation.schema r'));
+  Alcotest.(check int) "cardinality" (Relation.cardinality r) (Relation.cardinality r');
+  Alcotest.check Helpers.item_set "items" (Relation.items r) (Relation.items r')
+
+let test_csv_errors () =
+  ignore (Helpers.check_err "empty" (Csv_io.read_string ~name:"R" ""));
+  ignore
+    (Helpers.check_err "no merge" (Csv_io.read_string ~name:"R" "a:int,b:int\n1,2\n"));
+  ignore
+    (Helpers.check_err "bad type" (Csv_io.read_string ~name:"R" "*a:blob\nx\n"));
+  ignore
+    (Helpers.check_err "bad row" (Csv_io.read_string ~name:"R" "*a:int,b:int\n1\n"))
+
+let test_csv_null_round_trip () =
+  let r =
+    Helpers.abc_relation [ [ Value.String "k"; Value.Null; Value.String "b" ] ]
+  in
+  let r' = Helpers.check_ok (Csv_io.read_string ~name:"R" (Csv_io.write_string r)) in
+  match Relation.tuples r' with
+  | [ t ] -> Alcotest.check Helpers.value "null survives" Value.Null (Tuple.get t 1)
+  | _ -> Alcotest.fail "expected one tuple"
+
+let item_set_algebra =
+  let gen = QCheck2.Gen.(list_size (int_range 0 12) (int_range 0 8)) in
+  let to_set l = Item_set.of_list (List.map (fun i -> Value.Int i) l) in
+  Helpers.qtest ~count:200 "item-set algebra laws"
+    QCheck2.Gen.(triple gen gen gen)
+    (fun _ -> "sets")
+    (fun (a, b, c) ->
+      let a = to_set a and b = to_set b and c = to_set c in
+      Item_set.equal (Item_set.union a b) (Item_set.union b a)
+      && Item_set.equal (Item_set.inter a (Item_set.union b c))
+           (Item_set.union (Item_set.inter a b) (Item_set.inter a c))
+      && Item_set.equal (Item_set.diff a (Item_set.union b c))
+           (Item_set.inter (Item_set.diff a b) (Item_set.diff a c))
+      && Item_set.subset (Item_set.inter a b) a)
+
+let suite =
+  [
+    Alcotest.test_case "schema creation" `Quick test_schema_create;
+    Alcotest.test_case "schema errors" `Quick test_schema_errors;
+    Alcotest.test_case "schema equality" `Quick test_schema_equal;
+    Alcotest.test_case "tuple creation and access" `Quick test_tuple_create;
+    Alcotest.test_case "tuple typing errors" `Quick test_tuple_type_errors;
+    Alcotest.test_case "item-set operations" `Quick test_item_set_ops;
+    Alcotest.test_case "relation basics and index" `Quick test_relation_basics;
+    Alcotest.test_case "relation select and semijoin" `Quick test_relation_select_semijoin;
+    test_relation_semijoin_vs_naive;
+    Alcotest.test_case "csv round trip" `Quick test_csv_round_trip;
+    Alcotest.test_case "csv errors" `Quick test_csv_errors;
+    Alcotest.test_case "csv null round trip" `Quick test_csv_null_round_trip;
+    item_set_algebra;
+  ]

@@ -1,0 +1,161 @@
+(* Plan executor: semantics on the Figure 1 instance and random worlds. *)
+
+open Fusion_data
+open Fusion_plan
+module Workload = Fusion_workload.Workload
+module Reference = Fusion_core.Reference
+
+let fig1 () = Workload.fig1 ()
+
+let fig1_conds instance = Fusion_query.Query.conditions instance.Workload.query
+
+(* Plan P1 from the paper's Section 1 / Figure 5(a): all dui items by
+   selection, then semijoin sp against R1, R2, select at R3. *)
+let p1 =
+  Plan.create
+    ~ops:
+      [
+        Op.Select { dst = "X11"; cond = 0; source = 0 };
+        Op.Select { dst = "X12"; cond = 0; source = 1 };
+        Op.Select { dst = "X13"; cond = 0; source = 2 };
+        Op.Union { dst = "X1"; args = [ "X11"; "X12"; "X13" ] };
+        Op.Semijoin { dst = "X21"; cond = 1; source = 0; input = "X1" };
+        Op.Semijoin { dst = "X22"; cond = 1; source = 1; input = "X1" };
+        Op.Semijoin { dst = "X23"; cond = 1; source = 2; input = "X1" };
+        Op.Union { dst = "X2"; args = [ "X21"; "X22"; "X23" ] };
+      ]
+    ~output:"X2"
+
+let expected_answer = Helpers.items_of_strings [ "J55"; "T21" ]
+
+let test_fig1_semijoin_plan () =
+  let instance = fig1 () in
+  let result = Helpers.execute_plan instance p1 in
+  Alcotest.check Helpers.item_set "J55 and T21" expected_answer result.Exec.answer;
+  Alcotest.(check int) "eight steps" 8 (List.length result.Exec.steps);
+  Alcotest.(check bool) "positive cost" true (result.Exec.total_cost > 0.0)
+
+let test_fig1_intermediate_sets () =
+  (* The paper: X1 = {J55, T80, T21} (all dui items). *)
+  let instance = fig1 () in
+  let result = Helpers.execute_plan instance p1 in
+  let x1_step =
+    List.find (fun s -> Op.dst s.Exec.op = "X1") result.Exec.steps
+  in
+  Alcotest.(check int) "X1 has three items" 3 x1_step.Exec.result_size
+
+let test_fig1_reference () =
+  let instance = fig1 () in
+  Alcotest.check Helpers.item_set "reference answer" expected_answer
+    (Reference.answer ~sources:instance.Workload.sources ~conds:(fig1_conds instance))
+
+let test_load_and_local_select () =
+  let instance = fig1 () in
+  let plan =
+    Plan.create
+      ~ops:
+        [
+          Op.Load { dst = "L1"; source = 0 };
+          Op.Load { dst = "L2"; source = 1 };
+          Op.Load { dst = "L3"; source = 2 };
+          Op.Local_select { dst = "A1"; cond = 0; input = "L1" };
+          Op.Local_select { dst = "A2"; cond = 0; input = "L2" };
+          Op.Local_select { dst = "A3"; cond = 0; input = "L3" };
+          Op.Union { dst = "X1"; args = [ "A1"; "A2"; "A3" ] };
+          Op.Local_select { dst = "B1"; cond = 1; input = "L1" };
+          Op.Local_select { dst = "B2"; cond = 1; input = "L2" };
+          Op.Local_select { dst = "B3"; cond = 1; input = "L3" };
+          Op.Union { dst = "U2"; args = [ "B1"; "B2"; "B3" ] };
+          Op.Inter { dst = "X2"; args = [ "X1"; "U2" ] };
+        ]
+      ~output:"X2"
+  in
+  let result = Helpers.execute_plan instance plan in
+  Alcotest.check Helpers.item_set "same answer via loading" expected_answer result.Exec.answer;
+  (* Only the three load requests cost anything. *)
+  let paid = List.filter (fun s -> s.Exec.cost > 0.0) result.Exec.steps in
+  Alcotest.(check int) "three paid steps" 3 (List.length paid)
+
+let test_diff_pruning_preserves_answer () =
+  let instance = fig1 () in
+  (* Figure 5(c): prune the second semijoin's input with the first
+     round's confirmations. *)
+  let pruned =
+    Plan.create
+      ~ops:
+        [
+          Op.Select { dst = "X11"; cond = 0; source = 0 };
+          Op.Select { dst = "X12"; cond = 0; source = 1 };
+          Op.Select { dst = "X13"; cond = 0; source = 2 };
+          Op.Union { dst = "X1"; args = [ "X11"; "X12"; "X13" ] };
+          Op.Semijoin { dst = "X21"; cond = 1; source = 0; input = "X1" };
+          Op.Diff { dst = "D1"; left = "X1"; right = "X21" };
+          Op.Semijoin { dst = "X22"; cond = 1; source = 1; input = "D1" };
+          Op.Diff { dst = "D2"; left = "D1"; right = "X22" };
+          Op.Semijoin { dst = "X23"; cond = 1; source = 2; input = "D2" };
+          Op.Union { dst = "X2"; args = [ "X21"; "X22"; "X23" ] };
+        ]
+      ~output:"X2"
+  in
+  let full = Helpers.execute_plan instance p1 in
+  let less = Helpers.execute_plan instance pruned in
+  Alcotest.check Helpers.item_set "same answer" full.Exec.answer less.Exec.answer;
+  Alcotest.(check bool) "pruning is not dearer" true
+    (less.Exec.total_cost <= full.Exec.total_cost)
+
+let test_runtime_error_on_undefined () =
+  let instance = fig1 () in
+  let bad = Plan.create ~ops:[ Op.Union { dst = "X"; args = [ "nope" ] } ] ~output:"X" in
+  Alcotest.check_raises "undefined" (Exec.Runtime_error "undefined variable nope")
+    (fun () -> ignore (Helpers.execute_plan instance bad))
+
+let test_exec_cost_matches_meters () =
+  let instance = fig1 () in
+  let result = Helpers.execute_plan instance p1 in
+  let metered =
+    Array.fold_left
+      (fun acc s -> acc +. (Fusion_source.Source.totals s).Fusion_net.Meter.cost)
+      0.0 instance.Workload.sources
+  in
+  Alcotest.(check (float 0.001)) "steps sum = meter sum" metered result.Exec.total_cost
+
+(* Property: executing the FILTER-shaped plan computes the reference
+   semantics on arbitrary generated worlds. *)
+let qcheck_filter_plan_sound =
+  Helpers.qtest ~count:60 "filter-shaped execution = reference semantics" Helpers.spec_gen
+    Helpers.spec_print (fun spec ->
+      let instance = Workload.generate spec in
+      let conds = Fusion_query.Query.conditions instance.Workload.query in
+      let m = Array.length conds and n = Array.length instance.Workload.sources in
+      let ops = ref [] in
+      for i = 0 to m - 1 do
+        let dsts = ref [] in
+        for j = 0 to n - 1 do
+          let dst = Printf.sprintf "X%d_%d" i j in
+          dsts := dst :: !dsts;
+          ops := Op.Select { dst; cond = i; source = j } :: !ops
+        done;
+        ops := Op.Union { dst = Printf.sprintf "C%d" i; args = !dsts } :: !ops
+      done;
+      ops :=
+        Op.Inter
+          { dst = "OUT"; args = List.init m (fun i -> Printf.sprintf "C%d" i) }
+        :: !ops;
+      let plan = Plan.create ~ops:(List.rev !ops) ~output:"OUT" in
+      let result = Helpers.execute_plan instance plan in
+      Item_set.equal result.Exec.answer
+        (Reference.answer ~sources:instance.Workload.sources ~conds))
+
+let suite =
+  [
+    Alcotest.test_case "figure 1 semijoin plan answer" `Quick test_fig1_semijoin_plan;
+    Alcotest.test_case "figure 1 intermediate X1" `Quick test_fig1_intermediate_sets;
+    Alcotest.test_case "figure 1 reference semantics" `Quick test_fig1_reference;
+    Alcotest.test_case "loading + local selection" `Quick test_load_and_local_select;
+    Alcotest.test_case "difference pruning preserves answer" `Quick
+      test_diff_pruning_preserves_answer;
+    Alcotest.test_case "runtime error on undefined variable" `Quick
+      test_runtime_error_on_undefined;
+    Alcotest.test_case "step costs match source meters" `Quick test_exec_cost_matches_meters;
+    qcheck_filter_plan_sound;
+  ]

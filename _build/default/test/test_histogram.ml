@@ -1,0 +1,124 @@
+(* Equi-width histograms and the histogram statistics provider. *)
+
+open Fusion_data
+open Fusion_cond
+module Histogram = Fusion_stats.Histogram
+module Source_stats = Fusion_stats.Source_stats
+
+let uniform_hist () =
+  (* 100 values 0..99, one each, 10 buckets. *)
+  Histogram.build ~buckets:10 ~lo:0 ~hi:99 ~values:(List.init 100 (fun v -> (v, 1)))
+
+let test_total () =
+  Alcotest.(check (float 0.001)) "total" 100.0 (Histogram.total (uniform_hist ()))
+
+let test_estimate_le () =
+  let h = uniform_hist () in
+  Alcotest.(check (float 0.001)) "below lo" 0.0 (Histogram.estimate_le h 0);
+  Alcotest.(check (float 0.001)) "above hi" 100.0 (Histogram.estimate_le h 200);
+  Alcotest.(check (float 0.5)) "half" 50.0 (Histogram.estimate_le h 50);
+  Alcotest.(check (float 0.5)) "quarter" 25.0 (Histogram.estimate_le h 25)
+
+let test_estimate_range_and_eq () =
+  let h = uniform_hist () in
+  Alcotest.(check (float 0.5)) "range" 21.0 (Histogram.estimate_range h ~lo:10 ~hi:30);
+  Alcotest.(check (float 0.001)) "empty range" 0.0 (Histogram.estimate_range h ~lo:30 ~hi:10);
+  Alcotest.(check (float 0.2)) "point" 1.0 (Histogram.estimate_eq h 42)
+
+let test_skewed () =
+  (* All weight in one value. *)
+  let h = Histogram.build ~buckets:10 ~lo:0 ~hi:99 ~values:[ (7, 500) ] in
+  Alcotest.(check (float 0.001)) "total" 500.0 (Histogram.total h);
+  Alcotest.(check (float 0.001)) "all below 10" 500.0 (Histogram.estimate_le h 10);
+  Alcotest.(check (float 0.001)) "none below 0" 0.0 (Histogram.estimate_le h 0)
+
+let test_clamping_and_errors () =
+  let h = Histogram.build ~buckets:4 ~lo:0 ~hi:9 ~values:[ (-5, 1); (100, 1) ] in
+  Alcotest.(check (float 0.001)) "clamped total" 2.0 (Histogram.total h);
+  Alcotest.(check bool) "zero buckets" true
+    (match Histogram.build ~buckets:0 ~lo:0 ~hi:9 ~values:[] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "empty domain" true
+    (match Histogram.build ~buckets:2 ~lo:5 ~hi:5 ~values:[] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- the Source_stats provider ------------------------------------------ *)
+
+let relation_with_a_values values =
+  Helpers.abc_relation
+    (List.mapi (fun i v -> Helpers.abc_row (Printf.sprintf "k%03d" i) v "x") values)
+
+let test_provider_range_estimates () =
+  let r = relation_with_a_values (List.init 200 (fun i -> i mod 100)) in
+  let st = Source_stats.histogram ~buckets:10 r in
+  Alcotest.(check bool) "not exact" true (not (Source_stats.is_exact st));
+  let est = Source_stats.matching_items st (Cond.Cmp ("A", Cond.Lt, Value.Int 50)) in
+  (* True: 100 items have A < 50 (two tuples per A value, distinct items
+     per tuple). Histogram weight = tuples = 100, capped at distinct. *)
+  Alcotest.(check bool) (Printf.sprintf "estimate %.1f in [80, 120]" est) true
+    (est >= 80.0 && est <= 120.0)
+
+let test_provider_cap_at_distinct () =
+  (* One item with many tuples: tuple-weight must be capped. *)
+  let r =
+    Helpers.abc_relation (List.init 50 (fun i -> Helpers.abc_row "only" (i mod 10) "x"))
+  in
+  let st = Source_stats.histogram r in
+  let est = Source_stats.matching_items st (Cond.Cmp ("A", Cond.Lt, Value.Int 100)) in
+  Alcotest.(check bool) "capped at 1 distinct item" true (est <= 1.0 +. 1e-6)
+
+let test_provider_boolean_combinations () =
+  let r = relation_with_a_values (List.init 100 (fun i -> i)) in
+  let st = Source_stats.histogram ~buckets:10 r in
+  let lt50 = Cond.Cmp ("A", Cond.Lt, Value.Int 50) in
+  let ge50 = Cond.Cmp ("A", Cond.Ge, Value.Int 50) in
+  let both = Source_stats.matching_items st (Cond.And (lt50, ge50)) in
+  let either = Source_stats.matching_items st (Cond.Or (lt50, ge50)) in
+  (* Independence assumption: And ≈ 25, Or ≈ 75 — wrong but sane. *)
+  Alcotest.(check bool) "and below each part" true
+    (both <= Source_stats.matching_items st lt50);
+  Alcotest.(check bool) "or above each part" true
+    (either >= Source_stats.matching_items st lt50);
+  let neg = Source_stats.matching_items st (Cond.Not lt50) in
+  Alcotest.(check bool) "not is complement-ish" true (neg >= 40.0 && neg <= 60.0)
+
+let test_provider_string_fallbacks () =
+  let r = relation_with_a_values (List.init 100 (fun i -> i)) in
+  let st = Source_stats.histogram r in
+  let eq = Source_stats.matching_items st (Cond.Cmp ("B", Cond.Eq, Value.String "x")) in
+  Alcotest.(check (float 0.001)) "1/10 default" 10.0 eq;
+  let prefix = Source_stats.matching_items st (Cond.Prefix ("B", "a")) in
+  Alcotest.(check (float 0.001)) "1/4 default" 25.0 prefix
+
+let test_optimizers_work_with_histogram_stats () =
+  let instance =
+    Fusion_workload.Workload.generate { Fusion_workload.Workload.default_spec with seed = 23 }
+  in
+  let env =
+    Fusion_core.Opt_env.create ~stats:(Fusion_core.Opt_env.Histogram 20)
+      instance.Fusion_workload.Workload.sources instance.Fusion_workload.Workload.query
+  in
+  let optimized = Fusion_core.Optimizer.optimize Fusion_core.Optimizer.Sja env in
+  let result = Helpers.execute_plan instance optimized.Fusion_core.Optimized.plan in
+  Alcotest.check Helpers.item_set "correct answer under histogram stats"
+    (Fusion_core.Reference.answer_query ~sources:instance.Fusion_workload.Workload.sources
+       instance.Fusion_workload.Workload.query)
+    result.Fusion_plan.Exec.answer
+
+let suite =
+  [
+    Alcotest.test_case "total" `Quick test_total;
+    Alcotest.test_case "estimate below bound" `Quick test_estimate_le;
+    Alcotest.test_case "range and point estimates" `Quick test_estimate_range_and_eq;
+    Alcotest.test_case "skewed weight" `Quick test_skewed;
+    Alcotest.test_case "clamping and errors" `Quick test_clamping_and_errors;
+    Alcotest.test_case "provider range estimates" `Quick test_provider_range_estimates;
+    Alcotest.test_case "provider caps at distinct items" `Quick test_provider_cap_at_distinct;
+    Alcotest.test_case "provider boolean combinations" `Quick
+      test_provider_boolean_combinations;
+    Alcotest.test_case "provider string fallbacks" `Quick test_provider_string_fallbacks;
+    Alcotest.test_case "optimizers run on histogram statistics" `Quick
+      test_optimizers_work_with_histogram_stats;
+  ]

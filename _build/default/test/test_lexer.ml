@@ -1,0 +1,78 @@
+(* The shared tokenizer: token kinds, offsets, error positions; plus the
+   Gantt rendering smoke checks that round out fusion_net. *)
+
+module Lexer = Fusion_cond.Lexer
+module Sim = Fusion_net.Sim
+
+let tokens input =
+  List.map (fun l -> l.Lexer.token) (Helpers.check_ok (Lexer.tokenize input))
+
+let test_token_kinds () =
+  Alcotest.(check bool) "mix" true
+    (tokens "abc 'quoted' 42 -7 2.5 = <> != <= >= ( ) , . *"
+    = [
+        Lexer.Ident "abc"; Lexer.Str "quoted"; Lexer.Int 42; Lexer.Int (-7);
+        Lexer.Float 2.5; Lexer.Sym "="; Lexer.Sym "<>"; Lexer.Sym "<>";
+        Lexer.Sym "<="; Lexer.Sym ">="; Lexer.Sym "("; Lexer.Sym ")";
+        Lexer.Sym ","; Lexer.Sym "."; Lexer.Sym "*"; Lexer.Eof;
+      ])
+
+let test_offsets () =
+  let located = Helpers.check_ok (Lexer.tokenize "ab = 'x'") in
+  let offsets = List.map (fun l -> l.Lexer.offset) located in
+  Alcotest.(check (list int)) "token starts" [ 0; 3; 5; 8 ] offsets
+
+let test_lex_errors_carry_offset () =
+  let msg = Helpers.check_err "bad char" (Lexer.tokenize "a = @") in
+  Alcotest.(check bool) ("mentions offset: " ^ msg) true
+    (Option.is_some (Str_find.find_substring msg "offset 4"));
+  let msg = Helpers.check_err "unterminated" (Lexer.tokenize "a = 'oops") in
+  Alcotest.(check bool) ("mentions offset: " ^ msg) true
+    (Option.is_some (Str_find.find_substring msg "offset 4"))
+
+let test_parse_errors_carry_offset () =
+  let msg = Helpers.check_err "parse" (Fusion_cond.Cond.parse "A = 1 AND B >") in
+  Alcotest.(check bool) ("mentions offset: " ^ msg) true
+    (Option.is_some (Str_find.find_substring msg "offset"))
+
+let test_keywords_case_insensitive () =
+  Alcotest.(check bool) "and/AND" true (Lexer.is_keyword "AND" "and");
+  Alcotest.(check bool) "Between" true (Lexer.is_keyword "BETWEEN" "Between");
+  Alcotest.(check bool) "not a keyword" false (Lexer.is_keyword "AND" "andy")
+
+(* --- Gantt -------------------------------------------------------------- *)
+
+let gantt timeline = Format.asprintf "%a" (Sim.pp_gantt ~width:20 ?server_name:None) timeline
+
+let test_gantt_renders_lanes () =
+  let timeline =
+    Sim.run ~servers:2
+      [
+        { Sim.id = 0; server = 0; duration = 10.0; deps = [] };
+        { Sim.id = 1; server = 1; duration = 5.0; deps = [ 0 ] };
+      ]
+  in
+  let text = gantt timeline in
+  Alcotest.(check bool) "has R1 lane" true
+    (Option.is_some (Str_find.find_substring text "R1"));
+  Alcotest.(check bool) "has R2 lane" true
+    (Option.is_some (Str_find.find_substring text "R2"));
+  Alcotest.(check bool) "has service marks" true
+    (Option.is_some (Str_find.find_substring text "#"));
+  Alcotest.(check bool) "reports makespan" true
+    (Option.is_some (Str_find.find_substring text "makespan: 15.0"))
+
+let test_gantt_empty () =
+  let timeline = { Sim.events = []; makespan = 0.0 } in
+  Alcotest.(check string) "placeholder" "(empty timeline)" (gantt timeline)
+
+let suite =
+  [
+    Alcotest.test_case "token kinds" `Quick test_token_kinds;
+    Alcotest.test_case "token offsets" `Quick test_offsets;
+    Alcotest.test_case "lex errors carry offsets" `Quick test_lex_errors_carry_offset;
+    Alcotest.test_case "parse errors carry offsets" `Quick test_parse_errors_carry_offset;
+    Alcotest.test_case "keyword case-insensitivity" `Quick test_keywords_case_insensitive;
+    Alcotest.test_case "gantt renders lanes" `Quick test_gantt_renders_lanes;
+    Alcotest.test_case "gantt empty timeline" `Quick test_gantt_empty;
+  ]

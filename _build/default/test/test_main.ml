@@ -1,0 +1,31 @@
+let () =
+  Alcotest.run "fusion"
+    [
+      ("value", Test_value.suite);
+      ("data", Test_data.suite);
+      ("cond", Test_cond.suite);
+      ("stats", Test_stats.suite);
+      ("source", Test_source.suite);
+      ("cost", Test_cost.suite);
+      ("query", Test_query.suite);
+      ("plan", Test_plan.suite);
+      ("exec", Test_exec.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("postopt", Test_postopt.suite);
+      ("workload", Test_workload.suite);
+      ("mediator", Test_mediator.suite);
+      ("adaptive", Test_adaptive.suite);
+      ("response", Test_response.suite);
+      ("plan_cost", Test_plan_cost.suite);
+      ("simplify", Test_simplify.suite);
+      ("sim", Test_sim.suite);
+      ("session", Test_session.suite);
+      ("histogram", Test_histogram.suite);
+      ("plan_text", Test_plan_text.suite);
+      ("view", Test_view.suite);
+      ("calibration", Test_calibration.suite);
+      ("lexer", Test_lexer.suite);
+      ("faults", Test_faults.suite);
+      ("oem", Test_oem.suite);
+      ("robust", Test_robust.suite);
+    ]

@@ -1,0 +1,199 @@
+(* Mediator runtime: end-to-end SQL → plan → answer, two-phase
+   processing, per-source accounting. *)
+
+open Fusion_data
+open Fusion_core
+module Workload = Fusion_workload.Workload
+module Mediator = Fusion_mediator.Mediator
+
+let fig1_mediator () =
+  let instance = Workload.fig1 () in
+  (instance, Mediator.create_exn (Array.to_list instance.Workload.sources))
+
+let dmv_sql =
+  "SELECT u1.L FROM U u1, U u2 WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'"
+
+let expected = Helpers.items_of_strings [ "J55"; "T21" ]
+
+let test_create_rejects_empty_and_mismatched () =
+  ignore (Helpers.check_err "empty" (Mediator.create []));
+  let instance = Workload.fig1 () in
+  let other =
+    Fusion_source.Source.create
+      (Helpers.abc_relation [ Helpers.abc_row "k" 1 "x" ])
+  in
+  ignore
+    (Helpers.check_err "schema mismatch"
+       (Mediator.create (other :: Array.to_list instance.Workload.sources)))
+
+let test_run_sql_every_algorithm () =
+  let _, mediator = fig1_mediator () in
+  List.iter
+    (fun algo ->
+      let report = Helpers.check_ok (Mediator.run_sql ~algo mediator dmv_sql) in
+      Alcotest.check Helpers.item_set (Optimizer.name algo) expected
+        report.Mediator.answer)
+    Optimizer.all
+
+let test_run_sql_rejects_non_fusion () =
+  let _, mediator = fig1_mediator () in
+  ignore
+    (Helpers.check_err "non-fusion"
+       (Mediator.run_sql mediator
+          "SELECT u1.V FROM U u1, U u2 WHERE u1.L = u2.L AND u1.V = 'dui'"));
+  ignore (Helpers.check_err "parse error" (Mediator.run_sql mediator "SELECT FROM"))
+
+let test_run_rejects_invalid_query () =
+  let _, mediator = fig1_mediator () in
+  let bad =
+    Fusion_query.Query.create_exn [ Fusion_cond.Cond.Cmp ("Z", Fusion_cond.Cond.Eq, Value.Int 1) ]
+  in
+  ignore (Helpers.check_err "invalid" (Mediator.run mediator bad))
+
+let test_per_source_accounting () =
+  let _, mediator = fig1_mediator () in
+  let report = Helpers.check_ok (Mediator.run_sql ~algo:Optimizer.Filter mediator dmv_sql) in
+  Alcotest.(check int) "three sources" 3 (List.length report.Mediator.per_source);
+  let total =
+    List.fold_left
+      (fun acc (_, t) -> acc +. t.Fusion_net.Meter.cost)
+      0.0 report.Mediator.per_source
+  in
+  Alcotest.(check (float 0.001)) "meters sum to actual cost" report.Mediator.actual_cost total;
+  List.iter
+    (fun (_, t) -> Alcotest.(check int) "2 requests each" 2 t.Fusion_net.Meter.requests)
+    report.Mediator.per_source
+
+let test_two_phase () =
+  let _, mediator = fig1_mediator () in
+  let query =
+    Helpers.check_ok
+      (Fusion_query.Sql.parse_fusion ~schema:(Mediator.schema mediator) ~union:"U" dmv_sql)
+  in
+  let report, records = Helpers.check_ok (Mediator.two_phase mediator query) in
+  Alcotest.check Helpers.item_set "phase-1 answer" expected report.Mediator.answer;
+  (* J55 has 2 tuples (R1 dui, R2 sp); T21 has 3 (R1 sp, R2 dui, R3 sp). *)
+  Alcotest.(check int) "all answer records" 5 (List.length records.Mediator.tuples);
+  Alcotest.(check bool) "fetch has a cost" true (records.Mediator.fetch_cost > 0.0);
+  (* Every fetched record belongs to an answer item. *)
+  List.iter
+    (fun tuple ->
+      let item = Tuple.item (Mediator.schema mediator) tuple in
+      Alcotest.(check bool) "record of an answer item" true (Item_set.mem item expected))
+    records.Mediator.tuples
+
+let test_two_phase_beats_single_phase_on_wide_tuples () =
+  (* Generated tuples are narrow, so make the comparison on a world with
+     a selective query: phase 1 ships items only, phase 2 only the
+     answers' records; single-phase ships every matching record. *)
+  let instance =
+    Workload.generate
+      {
+        Workload.default_spec with
+        n_sources = 5;
+        selectivities = [| 0.05; 0.3 |];
+        seed = 51;
+      }
+  in
+  let mediator = Mediator.create_exn (Array.to_list instance.Workload.sources) in
+  let report, records =
+    Helpers.check_ok (Mediator.two_phase mediator instance.Workload.query)
+  in
+  let two_phase_cost = report.Mediator.actual_cost +. records.Mediator.fetch_cost in
+  let single = Mediator.single_phase_cost mediator instance.Workload.query in
+  Alcotest.(check bool)
+    (Printf.sprintf "two-phase %.1f < single-phase %.1f" two_phase_cost single)
+    true (two_phase_cost < single)
+
+let test_select_sql_projection () =
+  let _, mediator = fig1_mediator () in
+  let result =
+    Helpers.check_ok
+      (Mediator.select_sql mediator
+         "SELECT u1.L, u1.V, u1.D FROM U u1, U u2 \
+          WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'")
+  in
+  Alcotest.(check (list string)) "columns" [ "L"; "V"; "D" ] result.Mediator.columns;
+  Alcotest.(check bool) "phase 2 paid" true (result.Mediator.fetch_cost > 0.0);
+  (* All 5 records of J55 and T21 (Figure 1), projected. *)
+  Alcotest.(check int) "five records" 5 (List.length result.Mediator.rows);
+  List.iter
+    (fun row ->
+      match row with
+      | [ Value.String l; Value.String _; Value.Int _ ] ->
+        Alcotest.(check bool) "answer item" true (l = "J55" || l = "T21")
+      | _ -> Alcotest.fail "unexpected row shape")
+    result.Mediator.rows
+
+let test_select_sql_merge_only_skips_phase2 () =
+  let _, mediator = fig1_mediator () in
+  let result = Helpers.check_ok (Mediator.select_sql mediator dmv_sql) in
+  Alcotest.(check (list string)) "columns" [ "L" ] result.Mediator.columns;
+  Alcotest.(check (float 0.0)) "no phase 2" 0.0 result.Mediator.fetch_cost;
+  Alcotest.(check int) "two rows" 2 (List.length result.Mediator.rows)
+
+let test_of_catalog () =
+  let dir = Filename.temp_file "fusion_medcat" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () ->
+      let instance =
+        Workload.generate
+          { Workload.default_spec with n_sources = 3; tuples_per_source = (10, 20); seed = 71 }
+      in
+      Workload.save ~dir instance;
+      let mediator =
+        Helpers.check_ok (Mediator.of_catalog (Filename.concat dir "catalog.ini"))
+      in
+      let report = Helpers.check_ok (Mediator.run mediator instance.Workload.query) in
+      Alcotest.check Helpers.item_set "answers match direct construction"
+        (Reference.answer_query ~sources:instance.Workload.sources instance.Workload.query)
+        report.Mediator.answer;
+      ignore (Helpers.check_err "missing file" (Mediator.of_catalog "/nonexistent/x.ini")))
+
+let qcheck_mediator_end_to_end =
+  Helpers.qtest ~count:40 "mediator answer = reference on generated worlds"
+    Helpers.spec_gen Helpers.spec_print (fun spec ->
+      let instance = Workload.generate spec in
+      let mediator = Mediator.create_exn (Array.to_list instance.Workload.sources) in
+      let report =
+        Helpers.check_ok (Mediator.run ~algo:Optimizer.Sja_plus mediator instance.Workload.query)
+      in
+      Item_set.equal report.Mediator.answer
+        (Reference.answer_query ~sources:instance.Workload.sources instance.Workload.query))
+
+let qcheck_sql_round_trip_through_mediator =
+  Helpers.qtest ~count:40 "query → SQL → mediator gives the same answer"
+    Helpers.spec_gen Helpers.spec_print (fun spec ->
+      let instance = Workload.generate spec in
+      let mediator = Mediator.create_exn (Array.to_list instance.Workload.sources) in
+      let sql =
+        Fusion_query.Query.to_sql ~union:"U"
+          ~merge:(Schema.merge instance.Workload.schema)
+          instance.Workload.query
+      in
+      let direct = Helpers.check_ok (Mediator.run mediator instance.Workload.query) in
+      let via_sql = Helpers.check_ok (Mediator.run_sql mediator sql) in
+      Item_set.equal direct.Mediator.answer via_sql.Mediator.answer)
+
+let suite =
+  [
+    Alcotest.test_case "creation errors" `Quick test_create_rejects_empty_and_mismatched;
+    Alcotest.test_case "SQL end-to-end, all algorithms" `Quick test_run_sql_every_algorithm;
+    Alcotest.test_case "non-fusion SQL rejected" `Quick test_run_sql_rejects_non_fusion;
+    Alcotest.test_case "invalid query rejected" `Quick test_run_rejects_invalid_query;
+    Alcotest.test_case "per-source accounting" `Quick test_per_source_accounting;
+    Alcotest.test_case "two-phase processing" `Quick test_two_phase;
+    Alcotest.test_case "two-phase beats single-phase" `Quick
+      test_two_phase_beats_single_phase_on_wide_tuples;
+    Alcotest.test_case "select_sql with projection" `Quick test_select_sql_projection;
+    Alcotest.test_case "select_sql merge-only" `Quick test_select_sql_merge_only_skips_phase2;
+    Alcotest.test_case "mediator from a catalog" `Quick test_of_catalog;
+    qcheck_mediator_end_to_end;
+    qcheck_sql_round_trip_through_mediator;
+  ]

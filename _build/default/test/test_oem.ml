@@ -1,0 +1,220 @@
+(* The OEM semistructured substrate and its relational extraction. *)
+
+open Fusion_data
+module Oem = Fusion_oem.Oem
+module Extract = Fusion_oem.Extract
+
+let dmv_doc =
+  "{ violation { lic \"J55\" type \"dui\" year 1993 }\n\
+  \  violation { lic \"T21\" type \"sp\"  year 1994 }\n\
+  \  # a record with extra structure and a missing year\n\
+  \  violation { lic \"T80\" type \"dui\" court { city \"SF\" } }\n\
+  \  station { name \"HQ\" } }"
+
+let parse_ok text = Helpers.check_ok (Oem.parse text)
+
+let test_parse_shapes () =
+  let doc = parse_ok dmv_doc in
+  match doc with
+  | Oem.Object children ->
+    Alcotest.(check int) "four children" 4 (List.length children);
+    Alcotest.(check (list string)) "labels"
+      [ "violation"; "violation"; "violation"; "station" ]
+      (List.map fst children)
+  | _ -> Alcotest.fail "expected an object"
+
+let test_atoms () =
+  Alcotest.(check bool) "int" true (parse_ok "42" = Oem.Atom (Value.Int 42));
+  Alcotest.(check bool) "float" true (parse_ok "2.5" = Oem.Atom (Value.Float 2.5));
+  Alcotest.(check bool) "bool" true (parse_ok "true" = Oem.Atom (Value.Bool true));
+  Alcotest.(check bool) "null" true (parse_ok "null" = Oem.Atom Value.Null);
+  Alcotest.(check bool) "string escape" true
+    (parse_ok "\"a\\\"b\"" = Oem.Atom (Value.String "a\"b"))
+
+let test_parse_errors () =
+  ignore (Helpers.check_err "unbalanced" (Oem.parse "{ a 1 "));
+  ignore (Helpers.check_err "stray brace" (Oem.parse "}"));
+  ignore (Helpers.check_err "trailing" (Oem.parse "{ a 1 } extra"));
+  ignore (Helpers.check_err "label needed" (Oem.parse "{ \"str\" 1 }"));
+  ignore (Helpers.check_err "unterminated" (Oem.parse "{ a \"oops }"));
+  ignore (Helpers.check_err "bad word" (Oem.parse "{ a wat }"))
+
+let test_select_and_first_atom () =
+  let doc = parse_ok dmv_doc in
+  Alcotest.(check int) "three violations" 3 (List.length (Oem.select doc [ "violation" ]));
+  Alcotest.(check int) "three lics" 3 (List.length (Oem.select doc [ "violation"; "lic" ]));
+  Alcotest.(check bool) "nested path" true
+    (Oem.first_atom doc [ "violation"; "court"; "city" ] = Some (Value.String "SF"));
+  Alcotest.(check bool) "missing path" true (Oem.first_atom doc [ "nope" ] = None);
+  Alcotest.(check bool) "first atom is document order" true
+    (Oem.first_atom doc [ "violation"; "lic" ] = Some (Value.String "J55"))
+
+let qcheck_pp_parse_round_trip =
+  let gen =
+    QCheck2.Gen.(
+      let atom =
+        oneof
+          [
+            map (fun i -> Oem.Atom (Value.Int i)) (int_range (-50) 50);
+            map (fun s -> Oem.Atom (Value.String s))
+              (string_size ~gen:(char_range 'a' 'z') (int_range 0 5));
+            return (Oem.Atom Value.Null);
+            return (Oem.Atom (Value.Bool true));
+            map (fun f -> Oem.Atom (Value.Float f))
+              (map (fun i -> float_of_int i /. 4.0) (int_range 1 200));
+          ]
+      in
+      let label = string_size ~gen:(char_range 'a' 'e') (int_range 1 3) in
+      let rec obj depth =
+        if depth = 0 then atom
+        else
+          oneof
+            [
+              atom;
+              map (fun kids -> Oem.Object kids)
+                (list_size (int_range 0 4) (pair label (obj (depth - 1))));
+            ]
+      in
+      obj 3)
+  in
+  Helpers.qtest ~count:200 "OEM pp/parse round trip" gen Oem.to_string (fun doc ->
+      match Oem.parse (Oem.to_string doc) with
+      | Ok doc' -> Oem.equal doc doc'
+      | Error msg -> QCheck2.Test.fail_reportf "re-parse failed: %s" msg)
+
+(* --- extraction ---------------------------------------------------------- *)
+
+let common =
+  Schema.create_exn ~merge:"L"
+    [ ("L", Value.Tstring); ("V", Value.Tstring); ("D", Value.Tint) ]
+
+let mapping =
+  {
+    Extract.entities = [ "violation" ];
+    columns = [ ("L", [ "lic" ]); ("V", [ "type" ]); ("D", [ "year" ]) ];
+  }
+
+let test_extract_relation () =
+  let relation =
+    Helpers.check_ok (Extract.relation ~name:"OEM1" ~common mapping (parse_ok dmv_doc))
+  in
+  Alcotest.(check int) "three tuples" 3 (Relation.cardinality relation);
+  Alcotest.check Helpers.item_set "items"
+    (Helpers.items_of_strings [ "J55"; "T21"; "T80" ])
+    (Relation.items relation);
+  (* The record without a year gets a Null. *)
+  match Relation.tuples_of_item relation (Value.String "T80") with
+  | [ t ] -> Alcotest.check Helpers.value "null year" Value.Null (Tuple.get t 2)
+  | _ -> Alcotest.fail "expected one T80 tuple"
+
+let test_extract_skips_unjoinable () =
+  let doc = parse_ok "{ violation { type \"dui\" } violation { lic \"X1\" type \"sp\" } }" in
+  let relation = Helpers.check_ok (Extract.relation ~name:"R" ~common mapping doc) in
+  Alcotest.(check int) "entity without merge skipped" 1 (Relation.cardinality relation)
+
+let test_extract_errors () =
+  let doc = parse_ok dmv_doc in
+  ignore
+    (Helpers.check_err "missing column"
+       (Extract.relation ~name:"R" ~common
+          { Extract.entities = [ "violation" ]; columns = [ ("L", [ "lic" ]) ] }
+          doc));
+  ignore
+    (Helpers.check_err "type clash"
+       (Extract.relation ~name:"R" ~common
+          {
+            Extract.entities = [ "violation" ];
+            columns = [ ("L", [ "lic" ]); ("V", [ "type" ]); ("D", [ "type" ]) ];
+          }
+          doc))
+
+let test_oem_federation_end_to_end () =
+  (* Two OEM sources with different internal shapes, one relational
+     federation, the paper's query. *)
+  let doc2 =
+    parse_ok
+      "{ record { driver { id \"T21\" } offense \"dui\" when 1996 }\n\
+      \  record { driver { id \"J55\" } offense \"sp\" when 1996 } }"
+  in
+  let r1 = Helpers.check_ok (Extract.relation ~name:"OEM1" ~common mapping (parse_ok dmv_doc)) in
+  let r2 =
+    Helpers.check_ok
+      (Extract.relation ~name:"OEM2" ~common
+         {
+           Extract.entities = [ "record" ];
+           columns =
+             [ ("L", [ "driver"; "id" ]); ("V", [ "offense" ]); ("D", [ "when" ]) ];
+         }
+         doc2)
+  in
+  let mediator =
+    Fusion_mediator.Mediator.create_exn
+      [ Fusion_source.Source.create r1; Fusion_source.Source.create r2 ]
+  in
+  let report =
+    Helpers.check_ok
+      (Fusion_mediator.Mediator.run_sql mediator
+         "SELECT u1.L FROM U u1, U u2 WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'")
+  in
+  Alcotest.check Helpers.item_set "J55 and T21 via OEM wrappers"
+    (Helpers.items_of_strings [ "J55"; "T21" ])
+    report.Fusion_mediator.Mediator.answer
+
+let test_oem_source_in_catalog () =
+  let dir = Filename.temp_file "fusion_oemcat" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      Out_channel.with_open_text (Filename.concat dir "az.oem") (fun oc ->
+          Out_channel.output_string oc
+            "{ record { driver { id \"J55\" } offense \"dui\" when 1993 } }");
+      Out_channel.with_open_text (Filename.concat dir "ca.csv") (fun oc ->
+          Out_channel.output_string oc "*L:string,V:string,D:int\nJ55,sp,1996\n");
+      let text =
+        "[view]\n\
+         schema = *L:string,V:string,D:int\n\
+         [source AZ]\n\
+         file = az.oem\n\
+         format = oem\n\
+         entities = record\n\
+         col.L = driver/id\n\
+         col.V = offense\n\
+         col.D = when\n\
+         [source CA]\n\
+         file = ca.csv\n"
+      in
+      let sources = Helpers.check_ok (Fusion_source.Catalog.parse ~dir text) in
+      Alcotest.(check int) "two sources" 2 (List.length sources);
+      let mediator = Fusion_mediator.Mediator.create_exn sources in
+      let report =
+        Helpers.check_ok
+          (Fusion_mediator.Mediator.run_sql mediator
+             "SELECT u1.L FROM U u1, U u2 WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'")
+      in
+      Alcotest.check Helpers.item_set "fusion across OEM + CSV"
+        (Helpers.items_of_strings [ "J55" ])
+        report.Fusion_mediator.Mediator.answer;
+      (* oem without a view is rejected. *)
+      ignore
+        (Helpers.check_err "oem needs view"
+           (Fusion_source.Catalog.parse ~dir
+              "[source AZ]\nfile = az.oem\nformat = oem\nentities = record\n")))
+
+let suite =
+  [
+    Alcotest.test_case "parse shapes" `Quick test_parse_shapes;
+    Alcotest.test_case "atoms" `Quick test_atoms;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "select and first_atom" `Quick test_select_and_first_atom;
+    qcheck_pp_parse_round_trip;
+    Alcotest.test_case "extract relation" `Quick test_extract_relation;
+    Alcotest.test_case "extract skips unjoinable entities" `Quick
+      test_extract_skips_unjoinable;
+    Alcotest.test_case "extract errors" `Quick test_extract_errors;
+    Alcotest.test_case "OEM federation end to end" `Quick test_oem_federation_end_to_end;
+    Alcotest.test_case "OEM source via catalog" `Quick test_oem_source_in_catalog;
+  ]

@@ -1,0 +1,278 @@
+(* Plan algebra: validation, the Figure 2 plan classification, printing. *)
+
+open Fusion_plan
+
+(* The three plans of Figure 2 (3 conditions, 2 sources), transcribed
+   literally. *)
+let fig2a_filter =
+  Plan.create
+    ~ops:
+      [
+        Op.Select { dst = "X11"; cond = 0; source = 0 };
+        Op.Select { dst = "X12"; cond = 0; source = 1 };
+        Op.Union { dst = "X1"; args = [ "X11"; "X12" ] };
+        Op.Select { dst = "X21"; cond = 1; source = 0 };
+        Op.Select { dst = "X22"; cond = 1; source = 1 };
+        Op.Union { dst = "X2"; args = [ "X21"; "X22" ] };
+        Op.Inter { dst = "X2"; args = [ "X2"; "X1" ] };
+        Op.Select { dst = "X31"; cond = 2; source = 0 };
+        Op.Select { dst = "X32"; cond = 2; source = 1 };
+        Op.Union { dst = "X3"; args = [ "X31"; "X32" ] };
+        Op.Inter { dst = "X3"; args = [ "X3"; "X2" ] };
+      ]
+    ~output:"X3"
+
+let fig2b_semijoin =
+  Plan.create
+    ~ops:
+      [
+        Op.Select { dst = "X11"; cond = 0; source = 0 };
+        Op.Select { dst = "X12"; cond = 0; source = 1 };
+        Op.Union { dst = "X1"; args = [ "X11"; "X12" ] };
+        Op.Semijoin { dst = "X21"; cond = 1; source = 0; input = "X1" };
+        Op.Semijoin { dst = "X22"; cond = 1; source = 1; input = "X1" };
+        Op.Union { dst = "X2"; args = [ "X21"; "X22" ] };
+        Op.Select { dst = "X31"; cond = 2; source = 0 };
+        Op.Select { dst = "X32"; cond = 2; source = 1 };
+        Op.Union { dst = "X3"; args = [ "X31"; "X32" ] };
+        Op.Inter { dst = "X3"; args = [ "X2"; "X3" ] };
+      ]
+    ~output:"X3"
+
+let fig2c_adaptive =
+  Plan.create
+    ~ops:
+      [
+        Op.Select { dst = "X11"; cond = 0; source = 0 };
+        Op.Select { dst = "X12"; cond = 0; source = 1 };
+        Op.Union { dst = "X1"; args = [ "X11"; "X12" ] };
+        Op.Semijoin { dst = "X21"; cond = 1; source = 0; input = "X1" };
+        Op.Select { dst = "X22"; cond = 1; source = 1 };
+        Op.Union { dst = "X2"; args = [ "X21"; "X22" ] };
+        Op.Inter { dst = "X2"; args = [ "X2"; "X1" ] };
+        Op.Select { dst = "X31"; cond = 2; source = 0 };
+        Op.Select { dst = "X32"; cond = 2; source = 1 };
+        Op.Union { dst = "X3"; args = [ "X31"; "X32" ] };
+        Op.Inter { dst = "X3"; args = [ "X2"; "X3" ] };
+      ]
+    ~output:"X3"
+
+let check_valid plan = Helpers.check_ok (Plan.validate ~m:3 ~n:2 plan)
+
+let test_fig2_validate () =
+  check_valid fig2a_filter;
+  check_valid fig2b_semijoin;
+  check_valid fig2c_adaptive
+
+let test_fig2_classes () =
+  (* (a) is a filter plan; all three are simple. *)
+  Alcotest.(check bool) "a filter" true (Plan.is_filter fig2a_filter);
+  Alcotest.(check bool) "b not filter" false (Plan.is_filter fig2b_semijoin);
+  Alcotest.(check bool) "c not filter" false (Plan.is_filter fig2c_adaptive);
+  Alcotest.(check bool) "all simple" true
+    (Plan.is_simple fig2a_filter && Plan.is_simple fig2b_semijoin
+   && Plan.is_simple fig2c_adaptive);
+  (* Class nesting: filter ⊂ semijoin ⊂ semijoin-adaptive. *)
+  Alcotest.(check bool) "a is semijoin-shaped" true (Plan.is_semijoin ~n:2 fig2a_filter);
+  Alcotest.(check bool) "b is semijoin-shaped" true (Plan.is_semijoin ~n:2 fig2b_semijoin);
+  Alcotest.(check bool) "c is NOT semijoin-shaped" false (Plan.is_semijoin ~n:2 fig2c_adaptive);
+  Alcotest.(check bool) "a adaptive" true (Plan.is_semijoin_adaptive ~n:2 fig2a_filter);
+  Alcotest.(check bool) "b adaptive" true (Plan.is_semijoin_adaptive ~n:2 fig2b_semijoin);
+  Alcotest.(check bool) "c adaptive" true (Plan.is_semijoin_adaptive ~n:2 fig2c_adaptive)
+
+let test_rounds_structure () =
+  let rounds = Helpers.check_ok (Plan.rounds ~n:2 fig2c_adaptive) in
+  Alcotest.(check int) "three rounds" 3 (List.length rounds);
+  match rounds with
+  | [ r1; r2; r3 ] ->
+    Alcotest.(check int) "round 1 is c1" 0 r1.Plan.cond;
+    Alcotest.(check bool) "round 1 selects" true
+      (Array.for_all (fun a -> a = Plan.By_select) r1.Plan.actions);
+    Alcotest.(check bool) "round 2 mixed" true
+      (r2.Plan.actions.(0) = Plan.By_semijoin && r2.Plan.actions.(1) = Plan.By_select);
+    Alcotest.(check int) "round 3 is c3" 2 r3.Plan.cond
+  | _ -> Alcotest.fail "expected exactly three rounds"
+
+let test_validate_catches_errors () =
+  let undefined =
+    Plan.create ~ops:[ Op.Union { dst = "X"; args = [ "Y" ] } ] ~output:"X"
+  in
+  ignore (Helpers.check_err "undefined var" (Plan.validate ~m:1 ~n:1 undefined));
+  let bad_cond =
+    Plan.create ~ops:[ Op.Select { dst = "X"; cond = 5; source = 0 } ] ~output:"X"
+  in
+  ignore (Helpers.check_err "cond range" (Plan.validate ~m:1 ~n:1 bad_cond));
+  let bad_source =
+    Plan.create ~ops:[ Op.Select { dst = "X"; cond = 0; source = 3 } ] ~output:"X"
+  in
+  ignore (Helpers.check_err "source range" (Plan.validate ~m:1 ~n:1 bad_source));
+  let kind_clash =
+    Plan.create
+      ~ops:
+        [
+          Op.Load { dst = "L"; source = 0 };
+          Op.Select { dst = "X"; cond = 0; source = 0 };
+          Op.Union { dst = "Y"; args = [ "L"; "X" ] };
+        ]
+      ~output:"Y"
+  in
+  ignore (Helpers.check_err "kind clash" (Plan.validate ~m:1 ~n:1 kind_clash));
+  let rel_output =
+    Plan.create ~ops:[ Op.Load { dst = "L"; source = 0 } ] ~output:"L"
+  in
+  ignore (Helpers.check_err "relation output" (Plan.validate ~m:1 ~n:1 rel_output));
+  let empty_union =
+    Plan.create ~ops:[ Op.Union { dst = "X"; args = [] } ] ~output:"X"
+  in
+  ignore (Helpers.check_err "empty union" (Plan.validate ~m:1 ~n:1 empty_union))
+
+let test_local_select_needs_loaded () =
+  let ok =
+    Plan.create
+      ~ops:
+        [
+          Op.Load { dst = "L"; source = 0 };
+          Op.Local_select { dst = "X"; cond = 0; input = "L" };
+        ]
+      ~output:"X"
+  in
+  Helpers.check_ok (Plan.validate ~m:1 ~n:1 ok);
+  let bad =
+    Plan.create
+      ~ops:
+        [
+          Op.Select { dst = "Y"; cond = 0; source = 0 };
+          Op.Local_select { dst = "X"; cond = 0; input = "Y" };
+        ]
+      ~output:"X"
+  in
+  ignore (Helpers.check_err "items input" (Plan.validate ~m:1 ~n:1 bad))
+
+let test_postopt_ops_break_simplicity () =
+  let with_diff =
+    Plan.create
+      ~ops:
+        [
+          Op.Select { dst = "X"; cond = 0; source = 0 };
+          Op.Select { dst = "Y"; cond = 0; source = 1 };
+          Op.Diff { dst = "D"; left = "X"; right = "Y" };
+        ]
+      ~output:"D"
+  in
+  Helpers.check_ok (Plan.validate ~m:1 ~n:2 with_diff);
+  Alcotest.(check bool) "diff not simple" false (Plan.is_simple with_diff);
+  Alcotest.(check bool) "diff not adaptive" false (Plan.is_semijoin_adaptive ~n:2 with_diff)
+
+let test_source_query_count () =
+  Alcotest.(check int) "filter: 6 queries" 6 (Plan.source_query_count fig2a_filter);
+  Alcotest.(check int) "semijoin: 6 queries" 6 (Plan.source_query_count fig2b_semijoin)
+
+let test_rounds_rejects_semijoin_on_stale_input () =
+  (* Semijoin reading X1 in round 3 is not the previous round's result. *)
+  let plan =
+    Plan.create
+      ~ops:
+        [
+          Op.Select { dst = "X11"; cond = 0; source = 0 };
+          Op.Union { dst = "X1"; args = [ "X11" ] };
+          Op.Semijoin { dst = "X21"; cond = 1; source = 0; input = "X1" };
+          Op.Union { dst = "X2"; args = [ "X21" ] };
+          Op.Semijoin { dst = "X31"; cond = 2; source = 0; input = "X1" };
+          Op.Union { dst = "X3"; args = [ "X31" ] };
+        ]
+      ~output:"X3"
+  in
+  Helpers.check_ok (Plan.validate ~m:3 ~n:1 plan);
+  Alcotest.(check bool) "not round-shaped" false (Plan.is_semijoin_adaptive ~n:1 plan)
+
+let test_rounds_rejects_repeated_condition () =
+  let plan =
+    Plan.create
+      ~ops:
+        [
+          Op.Select { dst = "X11"; cond = 0; source = 0 };
+          Op.Union { dst = "X1"; args = [ "X11" ] };
+          Op.Select { dst = "X21"; cond = 0; source = 0 };
+          Op.Union { dst = "U2"; args = [ "X21" ] };
+          Op.Inter { dst = "X2"; args = [ "X1"; "U2" ] };
+        ]
+      ~output:"X2"
+  in
+  Alcotest.(check bool) "repeated condition not adaptive" false
+    (Plan.is_semijoin_adaptive ~n:1 plan)
+
+(* The Builder and the rounds analyzer are inverse: any ordering ×
+   decisions round-trips exactly. *)
+let qcheck_builder_rounds_round_trip =
+  let gen =
+    QCheck2.Gen.(
+      let* m = int_range 1 4 in
+      let* n = int_range 1 5 in
+      let* ordering =
+        (* random permutation of 0..m-1 *)
+        let* seed = int_range 0 10_000 in
+        return
+          (let arr = Array.init m (fun i -> i) in
+           Fusion_stats.Prng.shuffle (Fusion_stats.Prng.create seed) arr;
+           arr)
+      in
+      let* decision_bits = list_size (return (m * n)) bool in
+      let decisions =
+        Array.init m (fun r ->
+            Array.init n (fun j ->
+                if r = 0 then Fusion_plan.Plan.By_select
+                else if List.nth decision_bits ((r * n) + j) then
+                  Fusion_plan.Plan.By_semijoin
+                else Fusion_plan.Plan.By_select))
+      in
+      return (n, ordering, decisions))
+  in
+  Helpers.qtest ~count:100 "Builder.round_shaped round-trips through Plan.rounds" gen
+    (fun (n, ordering, _) ->
+      Printf.sprintf "n=%d ordering=[%s]" n
+        (String.concat ";" (List.map string_of_int (Array.to_list ordering))))
+    (fun (n, ordering, decisions) ->
+      let plan = Fusion_core.Builder.round_shaped ~ordering ~decisions in
+      let m = Array.length ordering in
+      (match Plan.validate ~m ~n plan with
+      | Ok () -> ()
+      | Error msg -> QCheck2.Test.fail_reportf "invalid: %s" msg);
+      match Plan.rounds ~n plan with
+      | Error msg -> QCheck2.Test.fail_reportf "not round-shaped: %s" msg
+      | Ok rounds_list ->
+        let got_ordering = List.map (fun r -> r.Plan.cond) rounds_list in
+        let got_decisions = List.map (fun r -> r.Plan.actions) rounds_list in
+        got_ordering = Array.to_list ordering
+        && got_decisions = Array.to_list decisions)
+
+let test_op_pp () =
+  let to_string op = Format.asprintf "%a" (Op.pp ?source_name:None) op in
+  Alcotest.(check string) "sq" "X11 := sq(c1, R1)"
+    (to_string (Op.Select { dst = "X11"; cond = 0; source = 0 }));
+  Alcotest.(check string) "sjq" "X21 := sjq(c2, R1, X1)"
+    (to_string (Op.Semijoin { dst = "X21"; cond = 1; source = 0; input = "X1" }));
+  Alcotest.(check string) "lq" "L1 := lq(R1)"
+    (to_string (Op.Load { dst = "L1"; source = 0 }));
+  Alcotest.(check string) "diff" "D := X1 - X21"
+    (to_string (Op.Diff { dst = "D"; left = "X1"; right = "X21" }));
+  Alcotest.(check string) "union" "X1 := X11 ∪ X12"
+    (to_string (Op.Union { dst = "X1"; args = [ "X11"; "X12" ] }))
+
+let suite =
+  [
+    Alcotest.test_case "figure 2 plans validate" `Quick test_fig2_validate;
+    Alcotest.test_case "figure 2 classification" `Quick test_fig2_classes;
+    Alcotest.test_case "round structure reconstruction" `Quick test_rounds_structure;
+    Alcotest.test_case "validation errors" `Quick test_validate_catches_errors;
+    Alcotest.test_case "local select needs loaded relation" `Quick
+      test_local_select_needs_loaded;
+    Alcotest.test_case "difference breaks simplicity" `Quick
+      test_postopt_ops_break_simplicity;
+    Alcotest.test_case "source query count" `Quick test_source_query_count;
+    Alcotest.test_case "stale semijoin input rejected" `Quick
+      test_rounds_rejects_semijoin_on_stale_input;
+    Alcotest.test_case "repeated condition rejected" `Quick
+      test_rounds_rejects_repeated_condition;
+    Alcotest.test_case "operation printing" `Quick test_op_pp;
+    qcheck_builder_rounds_round_trip;
+  ]

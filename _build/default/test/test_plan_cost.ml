@@ -1,0 +1,153 @@
+(* The whole-plan cost/size estimator (Plan_cost), including agreement
+   with the optimizer's own recurrence on the shapes where the two are
+   defined to coincide. *)
+
+open Fusion_core
+open Fusion_plan
+module Workload = Fusion_workload.Workload
+
+let env_of (instance : Workload.instance) =
+  Opt_env.create ~universe:instance.Workload.spec.Workload.universe
+    instance.Workload.sources instance.Workload.query
+
+let estimate env plan =
+  Plan_cost.estimate ~model:env.Opt_env.model ~est:env.Opt_env.est
+    ~sources:env.Opt_env.sources ~conds:env.Opt_env.conds plan
+
+let size_of estimate var =
+  match List.assoc_opt var estimate.Plan_cost.sizes with
+  | Some s -> s
+  | None -> Alcotest.failf "no size recorded for %s" var
+
+let qcheck_filter_cost_matches_recurrence =
+  Helpers.qtest ~count:60 "Plan_cost = recurrence on FILTER plans" Helpers.spec_gen
+    Helpers.spec_print (fun spec ->
+      let instance = Workload.generate spec in
+      let env = env_of instance in
+      let filter = Algorithms.filter env in
+      let whole = (estimate env filter.Optimized.plan).Plan_cost.total in
+      Float.abs (whole -. filter.Optimized.est_cost)
+      <= 1e-6 +. (1e-9 *. filter.Optimized.est_cost))
+
+let qcheck_sja_cost_matches_recurrence =
+  Helpers.qtest ~count:60 "Plan_cost = recurrence on SJA plans" Helpers.spec_gen
+    Helpers.spec_print (fun spec ->
+      let instance = Workload.generate spec in
+      let env = env_of instance in
+      let sja = Algorithms.sja env in
+      let whole = (estimate env sja.Optimized.plan).Plan_cost.total in
+      (* The subset-aware union/intersection estimates make the generic
+         estimator reproduce the recurrence's |X| chain exactly, so the
+         totals must coincide to rounding. *)
+      if
+        Float.abs (whole -. sja.Optimized.est_cost)
+        <= 1e-6 +. (1e-9 *. Float.abs sja.Optimized.est_cost)
+      then true
+      else
+        QCheck2.Test.fail_reportf "recurrence %.6f vs plan_cost %.6f (plan:@.%a)"
+          sja.Optimized.est_cost whole
+          (Plan.pp ?source_name:None)
+          sja.Optimized.plan)
+
+let test_op_costs_align_with_ops () =
+  let instance = Workload.generate { Workload.default_spec with seed = 3 } in
+  let env = env_of instance in
+  let sja = Algorithms.sja env in
+  let e = estimate env sja.Optimized.plan in
+  let ops = Plan.ops sja.Optimized.plan in
+  Alcotest.(check int) "one cost per op" (List.length ops) (Array.length e.Plan_cost.op_costs);
+  List.iteri
+    (fun i op ->
+      let cost = e.Plan_cost.op_costs.(i) in
+      if Op.is_source_query op then
+        Alcotest.(check bool) "source query has a cost" true (cost > 0.0)
+      else Alcotest.(check (float 0.0)) "local ops free" 0.0 cost)
+    ops;
+  let sum = Array.fold_left ( +. ) 0.0 e.Plan_cost.op_costs in
+  Alcotest.(check (float 0.001)) "op costs sum to total" e.Plan_cost.total sum
+
+let test_subset_tracking_via_diff () =
+  (* X ⊃ Y ⇒ |X − Y| = |X| − |Y| when Y was derived from X. *)
+  let instance = Workload.generate { Workload.default_spec with seed = 5 } in
+  let env = env_of instance in
+  let plan =
+    Plan.create
+      ~ops:
+        [
+          Op.Select { dst = "X"; cond = 0; source = 0 };
+          Op.Semijoin { dst = "Y"; cond = 1; source = 1; input = "X" };
+          Op.Diff { dst = "D"; left = "X"; right = "Y" };
+        ]
+      ~output:"D"
+  in
+  let e = estimate env plan in
+  Alcotest.(check (float 0.001)) "difference of subset"
+    (size_of e "X" -. size_of e "Y")
+    (size_of e "D")
+
+let test_inter_with_superset_is_noop () =
+  let instance = Workload.generate { Workload.default_spec with seed = 7 } in
+  let env = env_of instance in
+  let plan =
+    Plan.create
+      ~ops:
+        [
+          Op.Select { dst = "X"; cond = 0; source = 0 };
+          Op.Semijoin { dst = "Y"; cond = 1; source = 1; input = "X" };
+          Op.Inter { dst = "Z"; args = [ "X"; "Y" ] };
+        ]
+      ~output:"Z"
+  in
+  let e = estimate env plan in
+  Alcotest.(check (float 0.001)) "X ∩ Y = Y when Y ⊆ X" (size_of e "Y") (size_of e "Z")
+
+let test_union_of_subsets_stays_within_scope () =
+  let instance = Workload.generate { Workload.default_spec with seed = 9 } in
+  let env = env_of instance in
+  let plan =
+    Plan.create
+      ~ops:
+        [
+          Op.Select { dst = "X"; cond = 0; source = 0 };
+          Op.Semijoin { dst = "A"; cond = 1; source = 0; input = "X" };
+          Op.Semijoin { dst = "B"; cond = 1; source = 1; input = "X" };
+          Op.Union { dst = "U"; args = [ "A"; "B" ] };
+        ]
+      ~output:"U"
+  in
+  let e = estimate env plan in
+  Alcotest.(check bool) "U ≤ X" true (size_of e "U" <= size_of e "X" +. 1e-6);
+  Alcotest.(check bool) "U ≥ max(A,B)" true
+    (size_of e "U" >= Float.max (size_of e "A") (size_of e "B") -. 1e-6)
+
+let test_estimate_error_on_bad_plan () =
+  let instance = Workload.generate { Workload.default_spec with seed = 11 } in
+  let env = env_of instance in
+  let bad = Plan.create ~ops:[ Op.Union { dst = "X"; args = [ "nope" ] } ] ~output:"X" in
+  match estimate env bad with
+  | exception _ -> ()
+  | _ -> Alcotest.fail "expected an exception on an invalid plan"
+
+let qcheck_estimates_nonnegative =
+  Helpers.qtest ~count:60 "all size estimates non-negative for SJA+ plans"
+    Helpers.spec_gen Helpers.spec_print (fun spec ->
+      let instance = Workload.generate spec in
+      let env = env_of instance in
+      let plus = Optimizer.optimize Optimizer.Sja_plus env in
+      let e = estimate env plus.Optimized.plan in
+      List.for_all (fun (_, s) -> s >= 0.0) e.Plan_cost.sizes
+      && e.Plan_cost.total >= 0.0)
+
+let suite =
+  [
+    qcheck_filter_cost_matches_recurrence;
+    qcheck_sja_cost_matches_recurrence;
+    Alcotest.test_case "per-op costs align" `Quick test_op_costs_align_with_ops;
+    Alcotest.test_case "subset-aware difference" `Quick test_subset_tracking_via_diff;
+    Alcotest.test_case "intersect with superset is no-op" `Quick
+      test_inter_with_superset_is_noop;
+    Alcotest.test_case "union of subsets bounded by scope" `Quick
+      test_union_of_subsets_stays_within_scope;
+    Alcotest.test_case "error on invalid plan" `Quick test_estimate_error_on_bad_plan;
+    qcheck_estimates_nonnegative;
+  ]

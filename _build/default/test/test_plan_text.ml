@@ -1,0 +1,86 @@
+(* Plan serialization: round trips and error reporting. *)
+
+open Fusion_core
+open Fusion_plan
+module Workload = Fusion_workload.Workload
+
+let plan_equal a b = Plan.ops a = Plan.ops b && Plan.output a = Plan.output b
+
+let test_round_trip_all_op_kinds () =
+  let plan =
+    Plan.create
+      ~ops:
+        [
+          Op.Select { dst = "A"; cond = 0; source = 0 };
+          Op.Semijoin { dst = "B"; cond = 1; source = 1; input = "A" };
+          Op.Load { dst = "L"; source = 2 };
+          Op.Local_select { dst = "C"; cond = 2; input = "L" };
+          Op.Union { dst = "U"; args = [ "A"; "B"; "C" ] };
+          Op.Inter { dst = "I"; args = [ "U"; "A" ] };
+          Op.Diff { dst = "D"; left = "I"; right = "B" };
+        ]
+      ~output:"D"
+  in
+  let text = Plan_text.to_string plan in
+  let parsed = Helpers.check_ok (Plan_text.of_string text) in
+  Alcotest.(check bool) "round trip" true (plan_equal plan parsed)
+
+let test_comments_and_blank_lines () =
+  let text =
+    "# a comment\n\nA := sq(c1, R1)  # trailing comment\n\nanswer A\n"
+  in
+  let parsed = Helpers.check_ok (Plan_text.of_string text) in
+  Alcotest.(check int) "one op" 1 (List.length (Plan.ops parsed));
+  Alcotest.(check string) "output" "A" (Plan.output parsed)
+
+let test_errors () =
+  let err text = Helpers.check_err "plan text" (Plan_text.of_string text) in
+  ignore (err "");
+  ignore (err "A := sq(c1, R1)\n"); (* no answer *)
+  ignore (err "A := sq(c0, R1)\nanswer A\n"); (* 1-based indexes *)
+  ignore (err "A := sq(c1)\nanswer A\n");
+  ignore (err "A := wat(c1, R1)\nanswer A\n");
+  ignore (err "A = sq(c1, R1)\nanswer A\n");
+  ignore (err "A := sq(c1, R1)\nanswer A\nB := sq(c1, R1)\n");
+  ignore (err "A := diff(B)\nanswer A\n");
+  ignore (err "1bad := sq(c1, R1)\nanswer 1bad\n")
+
+let qcheck_optimizer_plans_round_trip =
+  Helpers.qtest ~count:60 "optimizer plans survive to_string/of_string" Helpers.spec_gen
+    Helpers.spec_print (fun spec ->
+      let instance = Workload.generate spec in
+      let env =
+        Opt_env.create ~universe:spec.Workload.universe instance.Workload.sources
+          instance.Workload.query
+      in
+      List.for_all
+        (fun algo ->
+          let plan = (Optimizer.optimize algo env).Optimized.plan in
+          match Plan_text.of_string (Plan_text.to_string plan) with
+          | Ok parsed -> plan_equal plan parsed
+          | Error msg -> QCheck2.Test.fail_reportf "parse failed: %s" msg)
+        Optimizer.all)
+
+let qcheck_reexecution_after_round_trip =
+  Helpers.qtest ~count:30 "deserialized plans execute identically" Helpers.spec_gen
+    Helpers.spec_print (fun spec ->
+      let instance = Workload.generate spec in
+      let env =
+        Opt_env.create ~universe:spec.Workload.universe instance.Workload.sources
+          instance.Workload.query
+      in
+      let plan = (Optimizer.optimize Optimizer.Sja_plus env).Optimized.plan in
+      let parsed = Helpers.check_ok (Plan_text.of_string (Plan_text.to_string plan)) in
+      let a = Helpers.execute_plan instance plan in
+      let b = Helpers.execute_plan instance parsed in
+      Fusion_data.Item_set.equal a.Exec.answer b.Exec.answer
+      && Float.abs (a.Exec.total_cost -. b.Exec.total_cost) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "round trip of every op kind" `Quick test_round_trip_all_op_kinds;
+    Alcotest.test_case "comments and blanks" `Quick test_comments_and_blank_lines;
+    Alcotest.test_case "errors" `Quick test_errors;
+    qcheck_optimizer_plans_round_trip;
+    qcheck_reexecution_after_round_trip;
+  ]

@@ -1,0 +1,226 @@
+(* SJA+ postoptimizations (Section 4): difference pruning and source
+   loading, on deterministic scenarios engineered to trigger them. *)
+
+open Fusion_data
+open Fusion_core
+open Fusion_plan
+module Workload = Fusion_workload.Workload
+
+let env_of (instance : Workload.instance) =
+  Opt_env.create ~universe:instance.Workload.spec.Workload.universe
+    instance.Workload.sources instance.Workload.query
+
+let reference (instance : Workload.instance) =
+  Reference.answer_query ~sources:instance.Workload.sources instance.Workload.query
+
+let has_op pred plan = List.exists pred (Plan.ops plan)
+let has_diff = has_op (fun op -> match op with Op.Diff _ -> true | _ -> false)
+let has_load = has_op (fun op -> match op with Op.Load _ -> true | _ -> false)
+let has_semijoin = has_op (fun op -> match op with Op.Semijoin _ -> true | _ -> false)
+
+(* A world where semijoins clearly pay: a selective first condition on
+   big sources far from the mediator. *)
+let semijoin_world seed =
+  Workload.generate
+    {
+      Workload.default_spec with
+      n_sources = 5;
+      universe = 8000;
+      tuples_per_source = (1000, 1500);
+      selectivities = [| 0.01; 0.4; 0.5 |];
+      seed;
+    }
+
+let test_pruning_inserts_diffs () =
+  let instance = semijoin_world 23 in
+  let env = env_of instance in
+  let sja = Algorithms.sja env in
+  Alcotest.(check bool) "baseline uses semijoins" true
+    (has_semijoin sja.Optimized.plan);
+  let pruned = Postopt.prune_with_difference env sja in
+  Alcotest.(check bool) "pruned plan has diffs" true (has_diff pruned.Optimized.plan);
+  Helpers.check_ok
+    (Plan.validate
+       ~m:(Fusion_query.Query.m instance.Workload.query)
+       ~n:(Array.length instance.Workload.sources)
+       pruned.Optimized.plan)
+
+let test_pruning_preserves_answer_and_reduces_cost () =
+  let instance = semijoin_world 29 in
+  let env = env_of instance in
+  let sja = Algorithms.sja env in
+  let pruned = Postopt.prune_with_difference env sja in
+  let base = Helpers.execute_plan instance sja.Optimized.plan in
+  let less = Helpers.execute_plan instance pruned.Optimized.plan in
+  Alcotest.check Helpers.item_set "same answer" base.Exec.answer less.Exec.answer;
+  Alcotest.check Helpers.item_set "= reference" (reference instance) less.Exec.answer;
+  Alcotest.(check bool)
+    (Printf.sprintf "actual cost %.1f ≤ %.1f" less.Exec.total_cost base.Exec.total_cost)
+    true
+    (less.Exec.total_cost <= base.Exec.total_cost +. 1e-6)
+
+let test_pruning_noop_on_filter_plans () =
+  let instance = Workload.fig1 () in
+  let env = env_of instance in
+  let filter = Algorithms.filter env in
+  let pruned = Postopt.prune_with_difference env filter in
+  Alcotest.(check bool) "no diffs added" false (has_diff pruned.Optimized.plan)
+
+(* A world with tiny sources: loading must kick in. *)
+let tiny_world seed =
+  Workload.generate
+    {
+      Workload.default_spec with
+      n_sources = 4;
+      universe = 200;
+      tuples_per_source = (3, 6);
+      selectivities = [| 0.3; 0.4; 0.5; 0.2 |];
+      seed;
+    }
+
+let test_loading_triggers_on_tiny_sources () =
+  let instance = tiny_world 31 in
+  let env = env_of instance in
+  let sja = Algorithms.sja env in
+  let loaded = Postopt.load_sources env sja in
+  Alcotest.(check bool) "some source loaded" true (has_load loaded.Optimized.plan);
+  Alcotest.(check bool) "cheaper" true
+    (loaded.Optimized.est_cost < sja.Optimized.est_cost);
+  let result = Helpers.execute_plan instance loaded.Optimized.plan in
+  Alcotest.check Helpers.item_set "answer preserved" (reference instance) result.Exec.answer
+
+let test_loading_skipped_on_big_sources () =
+  let instance = semijoin_world 37 in
+  let env = env_of instance in
+  let sja = Algorithms.sja env in
+  let loaded = Postopt.load_sources env sja in
+  Alcotest.(check bool) "no loading of 1000-tuple sources" false
+    (has_load loaded.Optimized.plan)
+
+let test_loaded_source_queried_once () =
+  let instance = tiny_world 41 in
+  let env = env_of instance in
+  let result = Optimizer.optimize Optimizer.Sja_plus env in
+  (* Count remote operations per loaded source: must be exactly the lq. *)
+  let loaded_sources =
+    List.filter_map
+      (fun op -> match op with Op.Load { source; _ } -> Some source | _ -> None)
+      (Plan.ops result.Optimized.plan)
+  in
+  Alcotest.(check bool) "at least one load" true (loaded_sources <> []);
+  List.iter
+    (fun j ->
+      let remote_ops =
+        List.filter
+          (fun op ->
+            match op with
+            | Op.Select { source; _ } | Op.Semijoin { source; _ } -> source = j
+            | _ -> false)
+          (Plan.ops result.Optimized.plan)
+      in
+      Alcotest.(check int) "no other remote ops" 0 (List.length remote_ops))
+    loaded_sources
+
+let test_sja_plus_emulated_semijoin_world () =
+  (* Difference pruning matters most when semijoins are emulated: every
+     pruned item saves a whole point query. *)
+  let instance =
+    Workload.generate
+      {
+        Workload.default_spec with
+        n_sources = 5;
+        universe = 8000;
+        tuples_per_source = (1000, 1500);
+        selectivities = [| 0.01; 0.4; 0.5 |];
+        heterogeneity = { Workload.homogeneous with Workload.no_semijoin = 1.0 };
+        seed = 43;
+      }
+  in
+  let env = env_of instance in
+  let sja = Algorithms.sja env in
+  let plus = Optimizer.optimize Optimizer.Sja_plus env in
+  let base = Helpers.execute_plan instance sja.Optimized.plan in
+  let better = Helpers.execute_plan instance plus.Optimized.plan in
+  Alcotest.check Helpers.item_set "same answer" base.Exec.answer better.Exec.answer;
+  Alcotest.(check bool)
+    (Printf.sprintf "%.1f ≤ %.1f" better.Exec.total_cost base.Exec.total_cost)
+    true
+    (better.Exec.total_cost <= base.Exec.total_cost +. 1e-6)
+
+let qcheck_sja_plus_sound_and_valid =
+  Helpers.qtest ~count:60 "SJA+ plans validate and stay correct" Helpers.spec_gen
+    Helpers.spec_print (fun spec ->
+      let instance = Workload.generate spec in
+      let env = env_of instance in
+      let plus = Optimizer.optimize Optimizer.Sja_plus env in
+      let m = Fusion_query.Query.m instance.Workload.query in
+      let n = Array.length instance.Workload.sources in
+      (match Plan.validate ~m ~n plus.Optimized.plan with
+      | Ok () -> ()
+      | Error msg -> QCheck2.Test.fail_reportf "invalid plan: %s" msg);
+      let result = Helpers.execute_plan instance plus.Optimized.plan in
+      Item_set.equal result.Exec.answer (reference instance))
+
+let qcheck_ranked_pruning_sound =
+  Helpers.qtest ~count:40 "ranked difference pruning preserves answers" Helpers.spec_gen
+    Helpers.spec_print (fun spec ->
+      let instance = Workload.generate spec in
+      let env = env_of instance in
+      let sja = Algorithms.sja env in
+      let ranked = Postopt.prune_with_difference ~order:Postopt.By_confirmation env sja in
+      let m = Fusion_query.Query.m instance.Workload.query in
+      let n = Array.length instance.Workload.sources in
+      (match Plan.validate ~m ~n ranked.Optimized.plan with
+      | Ok () -> ()
+      | Error msg -> QCheck2.Test.fail_reportf "invalid plan: %s" msg);
+      let base = Helpers.execute_plan instance sja.Optimized.plan in
+      let less = Helpers.execute_plan instance ranked.Optimized.plan in
+      Item_set.equal base.Exec.answer less.Exec.answer
+      && less.Exec.total_cost <= base.Exec.total_cost +. 1e-6)
+
+let test_ranked_order_not_worse_than_source_order () =
+  (* On the semijoin-heavy world, confirmation-ranked chaining should
+     shrink the shipped sets at least as well as source order. *)
+  let instance = semijoin_world 47 in
+  let env = env_of instance in
+  let sja = Algorithms.sja env in
+  let plain = Postopt.prune_with_difference env sja in
+  let ranked = Postopt.prune_with_difference ~order:Postopt.By_confirmation env sja in
+  let plain_cost = (Helpers.execute_plan instance plain.Optimized.plan).Exec.total_cost in
+  let ranked_cost = (Helpers.execute_plan instance ranked.Optimized.plan).Exec.total_cost in
+  Alcotest.(check bool)
+    (Printf.sprintf "ranked %.1f ≤ plain %.1f (within 2%%)" ranked_cost plain_cost)
+    true
+    (ranked_cost <= plain_cost *. 1.02)
+
+let qcheck_pruning_never_hurts_actual_cost =
+  Helpers.qtest ~count:60 "difference pruning never raises actual cost" Helpers.spec_gen
+    Helpers.spec_print (fun spec ->
+      let instance = Workload.generate spec in
+      let env = env_of instance in
+      let sja = Algorithms.sja env in
+      let pruned = Postopt.prune_with_difference env sja in
+      let base = Helpers.execute_plan instance sja.Optimized.plan in
+      let less = Helpers.execute_plan instance pruned.Optimized.plan in
+      less.Exec.total_cost <= base.Exec.total_cost +. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "pruning inserts differences" `Quick test_pruning_inserts_diffs;
+    Alcotest.test_case "pruning preserves answer, reduces cost" `Quick
+      test_pruning_preserves_answer_and_reduces_cost;
+    Alcotest.test_case "pruning no-op on filter plans" `Quick test_pruning_noop_on_filter_plans;
+    Alcotest.test_case "loading triggers on tiny sources" `Quick
+      test_loading_triggers_on_tiny_sources;
+    Alcotest.test_case "loading skipped on big sources" `Quick
+      test_loading_skipped_on_big_sources;
+    Alcotest.test_case "loaded source queried exactly once" `Quick
+      test_loaded_source_queried_once;
+    Alcotest.test_case "SJA+ with emulated semijoins" `Quick
+      test_sja_plus_emulated_semijoin_world;
+    qcheck_sja_plus_sound_and_valid;
+    qcheck_ranked_pruning_sound;
+    Alcotest.test_case "ranked order competitive" `Quick
+      test_ranked_order_not_worse_than_source_order;
+    qcheck_pruning_never_hurts_actual_cost;
+  ]

@@ -1,0 +1,236 @@
+(* Fusion query AST and the SQL front-end's fusion-pattern detection. *)
+
+open Fusion_data
+open Fusion_cond
+module Query = Fusion_query.Query
+module Sql = Fusion_query.Sql
+
+let schema =
+  Schema.create_exn ~merge:"L"
+    [ ("L", Value.Tstring); ("V", Value.Tstring); ("D", Value.Tint) ]
+
+let dui = Cond.Cmp ("V", Cond.Eq, Value.String "dui")
+let sp = Cond.Cmp ("V", Cond.Eq, Value.String "sp")
+
+let parse text = Helpers.check_ok (Sql.parse ~schema ~union:"U" text)
+
+let expect_fusion text =
+  match parse text with
+  | Sql.Fusion (q, []) -> q
+  | Sql.Fusion (_, projection) ->
+    Alcotest.failf "unexpected projection [%s]" (String.concat "; " projection)
+  | Sql.Not_fusion reason -> Alcotest.failf "rejected as non-fusion: %s" reason
+
+let expect_not_fusion text =
+  match parse text with
+  | Sql.Fusion _ -> Alcotest.failf "accepted as fusion: %s" text
+  | Sql.Not_fusion reason -> reason
+
+let check_conds label expected query =
+  Alcotest.(check (list Helpers.cond)) label expected (Array.to_list (Query.conditions query))
+
+let test_query_create () =
+  ignore (Helpers.check_err "empty" (Query.create []));
+  let q = Helpers.check_ok (Query.create [ dui; sp ]) in
+  Alcotest.(check int) "m" 2 (Query.m q);
+  Alcotest.check Helpers.cond "condition 1" dui (Query.condition q 0)
+
+let test_query_validate () =
+  let q = Query.create_exn [ dui ] in
+  Helpers.check_ok (Query.validate schema q);
+  let bad = Query.create_exn [ Cond.Cmp ("Z", Cond.Eq, Value.Int 1) ] in
+  ignore (Helpers.check_err "unknown attr" (Query.validate schema bad))
+
+let test_paper_example () =
+  let q =
+    expect_fusion
+      "SELECT u1.L FROM U u1, U u2 WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'"
+  in
+  check_conds "dui, sp" [ dui; sp ] q
+
+let test_condition_order_follows_from () =
+  let q =
+    expect_fusion
+      "SELECT u1.L FROM U u1, U u2 WHERE u2.V = 'sp' AND u1.V = 'dui' AND u1.L = u2.L"
+  in
+  (* Conditions come back in FROM order (u1 then u2), not WHERE order. *)
+  check_conds "dui first" [ dui; sp ] q
+
+let test_three_variables_chain () =
+  let q =
+    expect_fusion
+      "SELECT u1.L FROM U u1, U u2, U u3 \
+       WHERE u1.L = u2.L AND u2.L = u3.L \
+       AND u1.V = 'dui' AND u2.V = 'sp' AND u3.D < 1995"
+  in
+  check_conds "three conditions" [ dui; sp; Cond.Cmp ("D", Cond.Lt, Value.Int 1995) ] q
+
+let test_unconditioned_variable_gets_true () =
+  let q = expect_fusion "SELECT u1.L FROM U u1, U u2 WHERE u1.L = u2.L AND u1.V = 'dui'" in
+  check_conds "true placeholder" [ dui; Cond.True ] q
+
+let test_multiple_conjuncts_same_variable () =
+  let q =
+    expect_fusion
+      "SELECT u1.L FROM U u1, U u2 \
+       WHERE u1.L = u2.L AND u1.V = 'dui' AND u1.D > 1990 AND u2.V = 'sp'"
+  in
+  check_conds "anded per variable"
+    [ Cond.And (dui, Cond.Cmp ("D", Cond.Gt, Value.Int 1990)); sp ]
+    q
+
+let test_complex_single_variable_condition () =
+  let q =
+    expect_fusion
+      "SELECT u1.L FROM U u1, U u2 \
+       WHERE u1.L = u2.L AND (u1.V = 'dui' OR u1.V = 'sp') AND NOT u2.D = 1993"
+  in
+  check_conds "or and not"
+    [ Cond.Or (dui, sp); Cond.Not (Cond.Cmp ("D", Cond.Eq, Value.Int 1993)) ]
+    q
+
+let test_single_variable_unqualified () =
+  let q = expect_fusion "SELECT L FROM U u1 WHERE V = 'dui'" in
+  check_conds "bare attrs allowed" [ dui ] q
+
+let test_merge_equality_transitive () =
+  (* u1=u3 and u2=u3 connects all three without a direct u1=u2. *)
+  ignore
+    (expect_fusion
+       "SELECT u1.L FROM U u1, U u2, U u3 \
+        WHERE u1.L = u3.L AND u2.L = u3.L AND u1.V = 'dui' AND u2.V = 'sp' AND u3.V = 'x'")
+
+let test_reject_disconnected () =
+  let reason =
+    expect_not_fusion
+      "SELECT u1.L FROM U u1, U u2, U u3 \
+       WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp' AND u3.V = 'x'"
+  in
+  Alcotest.(check bool) "mentions connectivity" true
+    (String.length reason > 0
+    && String.lowercase_ascii reason |> fun s ->
+       String.length s > 0 && Option.is_some (String.index_opt s 'c'))
+
+let test_reject_non_merge_join () =
+  ignore
+    (expect_not_fusion
+       "SELECT u1.L FROM U u1, U u2 WHERE u1.V = u2.V AND u1.V = 'dui' AND u2.V = 'sp'")
+
+let test_reject_non_merge_select () =
+  ignore
+    (expect_not_fusion "SELECT u1.V FROM U u1, U u2 WHERE u1.L = u2.L AND u1.V = 'dui'")
+
+let test_reject_cross_variable_condition () =
+  ignore
+    (expect_not_fusion
+       "SELECT u1.L FROM U u1, U u2 \
+        WHERE u1.L = u2.L AND (u1.V = 'dui' OR u2.V = 'sp')")
+
+let test_reject_merge_eq_under_or () =
+  ignore
+    (expect_not_fusion
+       "SELECT u1.L FROM U u1, U u2 WHERE (u1.L = u2.L OR u1.V = 'dui') AND u2.V = 'sp'")
+
+let test_reject_wrong_table () =
+  ignore
+    (expect_not_fusion "SELECT u1.L FROM T u1 WHERE u1.V = 'dui'")
+
+let test_reject_duplicate_alias () =
+  ignore (expect_not_fusion "SELECT u1.L FROM U u1, U u1 WHERE u1.V = 'dui'")
+
+let test_parse_errors () =
+  ignore (Helpers.check_err "garbage" (Sql.parse ~schema ~union:"U" "HELLO WORLD"));
+  ignore
+    (Helpers.check_err "unknown attr"
+       (Sql.parse ~schema ~union:"U" "SELECT u1.L FROM U u1 WHERE u1.Z = 1"));
+  ignore
+    (Helpers.check_err "type clash"
+       (Sql.parse ~schema ~union:"U" "SELECT u1.L FROM U u1 WHERE u1.D = 'nope'"));
+  ignore
+    (Helpers.check_err "trailing"
+       (Sql.parse ~schema ~union:"U" "SELECT u1.L FROM U u1 WHERE u1.V = 'dui' extra"))
+
+let test_projection_parses () =
+  match parse "SELECT u1.L, u1.V, u2.D, u1.V FROM U u1, U u2 WHERE u1.L = u2.L AND u1.V = 'dui'" with
+  | Sql.Fusion (q, projection) ->
+    Alcotest.(check int) "two conditions (u2 gets TRUE)" 2 (Query.m q);
+    Alcotest.(check (list string)) "projection dedup, merge excluded" [ "V"; "D" ] projection
+  | Sql.Not_fusion reason -> Alcotest.failf "rejected: %s" reason
+
+let test_projection_errors () =
+  ignore
+    (Helpers.check_err "unknown projected attribute"
+       (Sql.parse ~schema ~union:"U" "SELECT u1.L, u1.Z FROM U u1 WHERE u1.V = 'dui'"));
+  ignore
+    (Helpers.check_err "parse_fusion rejects projections"
+       (Sql.parse_fusion ~schema ~union:"U"
+          "SELECT u1.L, u1.V FROM U u1 WHERE u1.V = 'dui'"));
+  (* First select item must still be the merge attribute. *)
+  match parse "SELECT u1.V, u1.L FROM U u1 WHERE u1.V = 'dui'" with
+  | Sql.Not_fusion _ -> ()
+  | Sql.Fusion _ -> Alcotest.fail "non-merge first column accepted"
+
+let test_to_sql_round_trip () =
+  let q = Query.create_exn [ dui; Cond.And (sp, Cond.Cmp ("D", Cond.Lt, Value.Int 1995)) ] in
+  let text = Query.to_sql ~union:"U" ~merge:"L" q in
+  let q' = Helpers.check_ok (Sql.parse_fusion ~schema ~union:"U" text) in
+  Alcotest.(check bool) "round trip" true (Query.equal q q')
+
+let qcheck_to_sql_round_trip =
+  let cond_gen =
+    QCheck2.Gen.(
+      let leaf =
+        oneof
+          [
+            map (fun s -> Cond.Cmp ("V", Cond.Eq, Value.String s))
+              (string_size ~gen:(char_range 'a' 'd') (int_range 1 3));
+            map (fun d -> Cond.Cmp ("D", Cond.Lt, Value.Int d)) (int_range 1980 2000);
+            map (fun p -> Cond.Prefix ("V", p)) (string_size ~gen:(char_range 'a' 'c') (int_range 0 2));
+          ]
+      in
+      oneof
+        [
+          leaf;
+          map2 (fun a b -> Cond.And (a, b)) leaf leaf;
+          map2 (fun a b -> Cond.Or (a, b)) leaf leaf;
+          map (fun a -> Cond.Not a) leaf;
+        ])
+  in
+  Helpers.qtest ~count:200 "to_sql/parse_fusion round trip"
+    QCheck2.Gen.(list_size (int_range 1 4) cond_gen)
+    (fun conds -> String.concat " ; " (List.map Cond.to_string conds))
+    (fun conds ->
+      let q = Query.create_exn conds in
+      match Sql.parse_fusion ~schema ~union:"U" (Query.to_sql ~union:"U" ~merge:"L" q) with
+      | Error msg -> QCheck2.Test.fail_reportf "parse failed: %s" msg
+      | Ok q' -> Query.equal q q')
+
+let suite =
+  [
+    Alcotest.test_case "query creation" `Quick test_query_create;
+    Alcotest.test_case "query validation" `Quick test_query_validate;
+    Alcotest.test_case "paper's example parses" `Quick test_paper_example;
+    Alcotest.test_case "condition order follows FROM" `Quick test_condition_order_follows_from;
+    Alcotest.test_case "three variables" `Quick test_three_variables_chain;
+    Alcotest.test_case "unconditioned variable gets TRUE" `Quick
+      test_unconditioned_variable_gets_true;
+    Alcotest.test_case "conjuncts grouped per variable" `Quick
+      test_multiple_conjuncts_same_variable;
+    Alcotest.test_case "OR/NOT within one variable" `Quick test_complex_single_variable_condition;
+    Alcotest.test_case "single variable, unqualified attrs" `Quick
+      test_single_variable_unqualified;
+    Alcotest.test_case "transitive merge equalities" `Quick test_merge_equality_transitive;
+    Alcotest.test_case "reject disconnected variables" `Quick test_reject_disconnected;
+    Alcotest.test_case "reject non-merge join" `Quick test_reject_non_merge_join;
+    Alcotest.test_case "reject non-merge select" `Quick test_reject_non_merge_select;
+    Alcotest.test_case "reject cross-variable condition" `Quick
+      test_reject_cross_variable_condition;
+    Alcotest.test_case "reject merge equality under OR" `Quick test_reject_merge_eq_under_or;
+    Alcotest.test_case "reject wrong table" `Quick test_reject_wrong_table;
+    Alcotest.test_case "reject duplicate alias" `Quick test_reject_duplicate_alias;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "projection list parses" `Quick test_projection_parses;
+    Alcotest.test_case "projection errors" `Quick test_projection_errors;
+    Alcotest.test_case "to_sql round trip" `Quick test_to_sql_round_trip;
+    qcheck_to_sql_round_trip;
+  ]

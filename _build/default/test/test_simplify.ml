@@ -1,0 +1,141 @@
+(* Plan peephole simplification: semantics preservation and cleanups. *)
+
+open Fusion_data
+open Fusion_core
+open Fusion_plan
+module Workload = Fusion_workload.Workload
+
+let test_alias_elimination () =
+  let plan =
+    Plan.create
+      ~ops:
+        [
+          Op.Select { dst = "A"; cond = 0; source = 0 };
+          Op.Union { dst = "B"; args = [ "A" ] };
+          Op.Select { dst = "C"; cond = 1; source = 0 };
+          Op.Inter { dst = "D"; args = [ "B"; "C" ] };
+        ]
+      ~output:"D"
+  in
+  let simplified = Simplify.simplify plan in
+  Alcotest.(check int) "union dropped" 3 (List.length (Plan.ops simplified));
+  (* The intersection must now read A directly. *)
+  let reads_a =
+    List.exists
+      (fun op -> match op with Op.Inter { args; _ } -> List.mem "A" args | _ -> false)
+      (Plan.ops simplified)
+  in
+  Alcotest.(check bool) "alias rewritten" true reads_a
+
+let test_output_alias_kept () =
+  (* X := ∪{Y} where X is the output: the alias target becomes the
+     output instead. *)
+  let plan =
+    Plan.create
+      ~ops:
+        [
+          Op.Select { dst = "Y"; cond = 0; source = 0 };
+          Op.Union { dst = "X"; args = [ "Y" ] };
+        ]
+      ~output:"X"
+  in
+  let simplified = Simplify.simplify plan in
+  (* Either the union stays, or the output was rewritten to Y — both are
+     sound; what matters is validity and semantics. *)
+  Helpers.check_ok (Plan.validate ~m:1 ~n:1 simplified)
+
+let test_duplicate_args_dropped () =
+  let plan =
+    Plan.create
+      ~ops:
+        [
+          Op.Select { dst = "A"; cond = 0; source = 0 };
+          Op.Select { dst = "B"; cond = 0; source = 1 };
+          Op.Union { dst = "U"; args = [ "A"; "B"; "A"; "B" ] };
+        ]
+      ~output:"U"
+  in
+  let simplified = Simplify.simplify plan in
+  List.iter
+    (fun op ->
+      match op with
+      | Op.Union { args; _ } -> Alcotest.(check int) "two args" 2 (List.length args)
+      | _ -> ())
+    (Plan.ops simplified)
+
+let test_dead_local_ops_removed () =
+  let plan =
+    Plan.create
+      ~ops:
+        [
+          Op.Select { dst = "A"; cond = 0; source = 0 };
+          Op.Select { dst = "B"; cond = 1; source = 0 };
+          Op.Inter { dst = "DEAD"; args = [ "A"; "B" ] };
+          Op.Union { dst = "OUT"; args = [ "A"; "B" ] };
+        ]
+      ~output:"OUT"
+  in
+  let dead = Simplify.dead_local_ops plan in
+  Alcotest.(check int) "one dead op" 1 (List.length dead);
+  let simplified = Simplify.simplify plan in
+  Alcotest.(check int) "dead op dropped" 3 (List.length (Plan.ops simplified))
+
+let test_source_queries_never_dropped () =
+  let plan =
+    Plan.create
+      ~ops:
+        [
+          Op.Select { dst = "A"; cond = 0; source = 0 };
+          Op.Select { dst = "UNUSED"; cond = 1; source = 1 };
+          Op.Union { dst = "OUT"; args = [ "A" ] };
+        ]
+      ~output:"OUT"
+  in
+  let simplified = Simplify.simplify plan in
+  Alcotest.(check int) "both source queries kept" 2 (Plan.source_query_count simplified)
+
+let qcheck_simplify_preserves_semantics =
+  Helpers.qtest ~count:60 "simplify preserves answers and cost" Helpers.spec_gen
+    Helpers.spec_print (fun spec ->
+      let instance = Workload.generate spec in
+      let env =
+        Opt_env.create ~universe:spec.Workload.universe instance.Workload.sources
+          instance.Workload.query
+      in
+      let check plan =
+        let simplified = Simplify.simplify plan in
+        let before = Helpers.execute_plan instance plan in
+        let after = Helpers.execute_plan instance simplified in
+        Item_set.equal before.Exec.answer after.Exec.answer
+        && Float.abs (before.Exec.total_cost -. after.Exec.total_cost) < 1e-6
+      in
+      check (Optimizer.optimize Optimizer.Sja env).Optimized.plan
+      && check (Optimizer.optimize Optimizer.Sja_plus env).Optimized.plan
+      && check (Optimizer.optimize Optimizer.Filter env).Optimized.plan)
+
+let qcheck_simplify_validates =
+  Helpers.qtest ~count:60 "simplified plans still validate" Helpers.spec_gen
+    Helpers.spec_print (fun spec ->
+      let instance = Workload.generate spec in
+      let env =
+        Opt_env.create ~universe:spec.Workload.universe instance.Workload.sources
+          instance.Workload.query
+      in
+      let m = Fusion_query.Query.m instance.Workload.query in
+      let n = Array.length instance.Workload.sources in
+      let plus = Optimizer.optimize Optimizer.Sja_plus env in
+      match Plan.validate ~m ~n (Simplify.simplify plus.Optimized.plan) with
+      | Ok () -> true
+      | Error msg -> QCheck2.Test.fail_reportf "invalid after simplify: %s" msg)
+
+let suite =
+  [
+    Alcotest.test_case "single-arg union becomes alias" `Quick test_alias_elimination;
+    Alcotest.test_case "output alias handled" `Quick test_output_alias_kept;
+    Alcotest.test_case "duplicate arguments dropped" `Quick test_duplicate_args_dropped;
+    Alcotest.test_case "dead local ops removed" `Quick test_dead_local_ops_removed;
+    Alcotest.test_case "source queries never dropped" `Quick
+      test_source_queries_never_dropped;
+    qcheck_simplify_preserves_semantics;
+    qcheck_simplify_validates;
+  ]

@@ -1,0 +1,140 @@
+(* Wrapper layer: metered selection/semijoin/load queries, semijoin
+   emulation, capability enforcement. *)
+
+open Fusion_data
+open Fusion_cond
+open Fusion_source
+module Profile = Fusion_net.Profile
+module Meter = Fusion_net.Meter
+
+let relation () =
+  Helpers.abc_relation
+    [
+      Helpers.abc_row "k1" 1 "x";
+      Helpers.abc_row "k2" 5 "y";
+      Helpers.abc_row "k3" 9 "x";
+      Helpers.abc_row "k1" 7 "y";
+    ]
+
+let small = Cond.Cmp ("A", Cond.Lt, Value.Int 5)
+
+let test_meter_record () =
+  let meter = Meter.create () in
+  let profile = Profile.make ~request_overhead:10.0 ~send_per_item:1.0 ~recv_per_item:2.0 () in
+  let cost = Meter.record meter profile ~items_sent:3 ~items_received:2 ~tuples_received:0 in
+  Alcotest.(check (float 0.001)) "cost formula" 17.0 cost;
+  let totals = Meter.totals meter in
+  Alcotest.(check int) "requests" 1 totals.Meter.requests;
+  Alcotest.(check int) "sent" 3 totals.Meter.items_sent;
+  Meter.reset meter;
+  Alcotest.(check int) "reset" 0 (Meter.totals meter).Meter.requests
+
+let test_profile_scale () =
+  let p = Profile.scale 2.0 Profile.default in
+  Alcotest.(check (float 0.001)) "overhead doubled"
+    (2.0 *. Profile.default.Profile.request_overhead)
+    p.Profile.request_overhead
+
+let test_select_query () =
+  let profile = Profile.make ~request_overhead:10.0 ~recv_per_item:1.0 () in
+  let s = Source.create ~profile (relation ()) in
+  let answer, cost = Source.select_query s small in
+  Alcotest.check Helpers.item_set "answer" (Helpers.items_of_strings [ "k1" ]) answer;
+  Alcotest.(check (float 0.001)) "overhead + 1 item" 11.0 cost;
+  Alcotest.(check int) "metered" 1 (Source.totals s).Meter.requests
+
+let test_native_semijoin () =
+  let profile =
+    Profile.make ~request_overhead:10.0 ~send_per_item:1.0 ~recv_per_item:1.0 ()
+  in
+  let s = Source.create ~profile (relation ()) in
+  let probe = Helpers.items_of_strings [ "k1"; "k3"; "zz" ] in
+  let answer, cost = Source.semijoin_query s small probe in
+  Alcotest.check Helpers.item_set "subset of probe" (Helpers.items_of_strings [ "k1" ]) answer;
+  (* one request + 3 sent + 1 received *)
+  Alcotest.(check (float 0.001)) "cost" 14.0 cost
+
+let test_emulated_semijoin_same_answer_higher_cost () =
+  let profile =
+    Profile.make ~request_overhead:10.0 ~send_per_item:1.0 ~recv_per_item:1.0 ()
+  in
+  let native = Source.create ~profile (relation ()) in
+  let emulated =
+    Source.create ~capability:Capability.no_semijoin ~profile (relation ())
+  in
+  let probe = Helpers.items_of_strings [ "k1"; "k2"; "k3"; "zz" ] in
+  let a1, c1 = Source.semijoin_query native small probe in
+  let a2, c2 = Source.semijoin_query emulated small probe in
+  Alcotest.check Helpers.item_set "same answer" a1 a2;
+  Alcotest.(check bool) "emulation dearer" true (c2 > c1);
+  (* Emulation sends one point query per binding. *)
+  Alcotest.(check int) "4 requests" 4 (Source.totals emulated).Meter.requests
+
+let test_minimal_source_rejects_semijoin () =
+  let s = Source.create ~capability:Capability.minimal (relation ()) in
+  Alcotest.check_raises "unsupported"
+    (Source.Unsupported "source R cannot answer semijoin queries") (fun () ->
+      ignore (Source.semijoin_query s small (Helpers.items_of_strings [ "k1" ])))
+
+let test_load_query () =
+  let profile = Profile.make ~request_overhead:10.0 ~recv_per_tuple:2.0 () in
+  let s = Source.create ~profile (relation ()) in
+  let r, cost = Source.load_query s in
+  Alcotest.(check int) "full relation" 4 (Relation.cardinality r);
+  Alcotest.(check (float 0.001)) "cost" 18.0 cost
+
+let test_load_rejected_when_unsupported () =
+  let s = Source.create ~capability:Capability.minimal (relation ()) in
+  Alcotest.check_raises "unsupported"
+    (Source.Unsupported "source R cannot ship its relation") (fun () ->
+      ignore (Source.load_query s))
+
+let test_fetch_records () =
+  let profile = Profile.make ~request_overhead:10.0 ~send_per_item:0.0 ~recv_per_tuple:2.0 () in
+  let s = Source.create ~profile (relation ()) in
+  let tuples, cost = Source.fetch_records s (Helpers.items_of_strings [ "k1" ]) in
+  Alcotest.(check int) "both k1 tuples" 2 (List.length tuples);
+  Alcotest.(check (float 0.001)) "cost" 14.0 cost
+
+let test_semijoin_empty_probe () =
+  let s = Source.create (relation ()) in
+  let answer, _ = Source.semijoin_query s small Item_set.empty in
+  Alcotest.check Helpers.item_set "empty" Item_set.empty answer
+
+let test_meter_add_zero () =
+  let a =
+    { Meter.requests = 2; items_sent = 3; items_received = 4; tuples_received = 5; cost = 6.0 }
+  in
+  Alcotest.(check bool) "zero is neutral" true (Meter.add a Meter.zero = a);
+  let b = Meter.add a a in
+  Alcotest.(check int) "requests add" 4 b.Meter.requests;
+  Alcotest.(check (float 0.001)) "cost adds" 12.0 b.Meter.cost
+
+let test_pp_smoke () =
+  let profile_text = Format.asprintf "%a" Profile.pp Profile.default in
+  Alcotest.(check bool) "profile pp" true (String.length profile_text > 10);
+  let cap_text = Format.asprintf "%a" Capability.pp Capability.no_semijoin in
+  Alcotest.(check bool) "capability pp mentions point" true
+    (Option.is_some (Str_find.find_substring cap_text "point"));
+  let source_text = Format.asprintf "%a" Source.pp (Source.create (relation ())) in
+  Alcotest.(check bool) "source pp mentions tuples" true
+    (Option.is_some (Str_find.find_substring source_text "tuples"))
+
+let suite =
+  [
+    Alcotest.test_case "meter record and reset" `Quick test_meter_record;
+    Alcotest.test_case "profile scaling" `Quick test_profile_scale;
+    Alcotest.test_case "selection query" `Quick test_select_query;
+    Alcotest.test_case "native semijoin" `Quick test_native_semijoin;
+    Alcotest.test_case "emulated semijoin" `Quick
+      test_emulated_semijoin_same_answer_higher_cost;
+    Alcotest.test_case "minimal source rejects semijoin" `Quick
+      test_minimal_source_rejects_semijoin;
+    Alcotest.test_case "load query" `Quick test_load_query;
+    Alcotest.test_case "load rejected when unsupported" `Quick
+      test_load_rejected_when_unsupported;
+    Alcotest.test_case "phase-2 record fetch" `Quick test_fetch_records;
+    Alcotest.test_case "semijoin with empty probe" `Quick test_semijoin_empty_probe;
+    Alcotest.test_case "meter totals algebra" `Quick test_meter_add_zero;
+    Alcotest.test_case "printers smoke" `Quick test_pp_smoke;
+  ]

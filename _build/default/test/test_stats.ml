@@ -1,0 +1,188 @@
+(* PRNG, distributions, and source statistics. *)
+
+open Fusion_data
+open Fusion_cond
+module Prng = Fusion_stats.Prng
+module Dist = Fusion_stats.Dist
+module Source_stats = Fusion_stats.Source_stats
+
+let test_prng_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.next_int64 a <> Prng.next_int64 b then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_prng_int_bounds () =
+  let t = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int t 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int t 0))
+
+let test_prng_float_bounds () =
+  let t = Prng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Prng.float t 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_prng_uniformity () =
+  (* Coarse sanity: each of 10 buckets gets 10% ± 3% of 10k draws. *)
+  let t = Prng.create 5 in
+  let buckets = Array.make 10 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    let b = Prng.int t 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iteri
+    (fun i count ->
+      let share = float_of_int count /. float_of_int n in
+      if share < 0.07 || share > 0.13 then
+        Alcotest.failf "bucket %d has share %.3f" i share)
+    buckets
+
+let test_prng_shuffle_permutes () =
+  let t = Prng.create 6 in
+  let arr = Array.init 20 (fun i -> i) in
+  Prng.shuffle t arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 (fun i -> i)) sorted
+
+let test_split_independence () =
+  let parent = Prng.create 9 in
+  let child = Prng.split parent in
+  (* The child must not replay the parent's stream. *)
+  let equal_count = ref 0 in
+  for _ = 1 to 20 do
+    if Prng.next_int64 parent = Prng.next_int64 child then incr equal_count
+  done;
+  Alcotest.(check bool) "streams differ" true (!equal_count < 3)
+
+let test_dist_uniform () =
+  let d = Dist.uniform 5 in
+  Alcotest.(check int) "support" 5 (Dist.support d);
+  let t = Prng.create 11 in
+  for _ = 1 to 500 do
+    let v = Dist.sample d t in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 5)
+  done
+
+let test_dist_zipf_skew () =
+  let d = Dist.zipf ~skew:1.2 100 in
+  let t = Prng.create 12 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let v = Dist.sample d t in
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* Rank 0 must dominate rank 50 heavily. *)
+  Alcotest.(check bool) "head dominates tail" true (counts.(0) > 8 * (counts.(50) + 1))
+
+let test_dist_weighted () =
+  let d = Dist.weighted [| 0.0; 1.0; 0.0 |] in
+  let t = Prng.create 13 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "always index 1" 1 (Dist.sample d t)
+  done
+
+let big_relation () =
+  let rows =
+    List.init 1000 (fun i ->
+        Helpers.abc_row (Printf.sprintf "k%03d" (i mod 400)) (i mod 100) "x")
+  in
+  Helpers.abc_relation rows
+
+let test_exact_stats () =
+  let r = big_relation () in
+  let st = Source_stats.exact r in
+  Alcotest.(check bool) "exact" true (Source_stats.is_exact st);
+  Alcotest.(check int) "cardinality" 1000 (Source_stats.cardinality st);
+  Alcotest.(check int) "distinct" 400 (Source_stats.distinct_items st);
+  (* A < 10 matches i mod 100 < 10: items k000..k009, k100.., etc. Count
+     exactly via the relation itself. *)
+  let cond = Cond.Cmp ("A", Cond.Lt, Value.Int 10) in
+  let expected =
+    float_of_int
+      (Relation.count_matching r (fun t -> Cond.eval Helpers.abc_schema cond t))
+  in
+  Alcotest.(check (float 0.001)) "matching" expected (Source_stats.matching_items st cond);
+  Alcotest.(check (float 0.001)) "selectivity" (expected /. 400.0)
+    (Source_stats.item_selectivity st cond)
+
+let test_sampled_stats_approximate () =
+  let r = big_relation () in
+  let st = Source_stats.sampled ~sample_size:200 (Prng.create 21) r in
+  Alcotest.(check bool) "not exact" true (not (Source_stats.is_exact st));
+  Alcotest.(check int) "cardinality still published" 1000 (Source_stats.cardinality st);
+  let cond = Cond.Cmp ("A", Cond.Lt, Value.Int 50) in
+  let estimate = Source_stats.matching_items st cond in
+  (* True tuple fraction is 0.5 → estimate ≈ 200 items (of 400); accept
+     a generous band. *)
+  Alcotest.(check bool) "within band" true (estimate > 120.0 && estimate < 280.0)
+
+let test_sampled_stats_memoized_and_deterministic () =
+  let r = big_relation () in
+  let st = Source_stats.sampled ~sample_size:50 (Prng.create 22) r in
+  let cond = Cond.Cmp ("A", Cond.Lt, Value.Int 30) in
+  let first = Source_stats.matching_items st cond in
+  let second = Source_stats.matching_items st cond in
+  Alcotest.(check (float 0.0)) "memoized value stable" first second
+
+let test_stats_refresh_on_mutation () =
+  let r = Helpers.abc_relation [ Helpers.abc_row "k1" 1 "x" ] in
+  let st = Source_stats.exact r in
+  let cond = Cond.Cmp ("A", Cond.Lt, Value.Int 10) in
+  Alcotest.(check (float 0.001)) "one item" 1.0 (Source_stats.matching_items st cond);
+  (* The source grows; memoized estimates must follow. *)
+  Relation.insert r (Tuple.create_exn Helpers.abc_schema (Helpers.abc_row "k2" 2 "y"));
+  Relation.insert r (Tuple.create_exn Helpers.abc_schema (Helpers.abc_row "k3" 3 "y"));
+  Alcotest.(check (float 0.001)) "refreshed" 3.0 (Source_stats.matching_items st cond);
+  (* Histogram providers rebuild too. *)
+  let hist = Source_stats.histogram ~buckets:4 r in
+  let before = Source_stats.matching_items hist cond in
+  for i = 4 to 20 do
+    Relation.insert r
+      (Tuple.create_exn Helpers.abc_schema (Helpers.abc_row (Printf.sprintf "k%d" i) i "y"))
+  done;
+  Alcotest.(check bool) "histogram refreshed" true
+    (Source_stats.matching_items hist cond > before)
+
+let test_empty_relation_stats () =
+  let r = Helpers.abc_relation [] in
+  let st = Source_stats.exact r in
+  Alcotest.(check (float 0.0)) "no matches" 0.0
+    (Source_stats.matching_items st (Cond.Cmp ("A", Cond.Eq, Value.Int 1)));
+  Alcotest.(check (float 0.0)) "selectivity 0" 0.0
+    (Source_stats.item_selectivity st Cond.True)
+
+let suite =
+  [
+    Alcotest.test_case "prng determinism" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng seed separation" `Quick test_prng_seeds_differ;
+    Alcotest.test_case "prng int bounds" `Quick test_prng_int_bounds;
+    Alcotest.test_case "prng float bounds" `Quick test_prng_float_bounds;
+    Alcotest.test_case "prng uniformity" `Quick test_prng_uniformity;
+    Alcotest.test_case "prng shuffle" `Quick test_prng_shuffle_permutes;
+    Alcotest.test_case "prng split" `Quick test_split_independence;
+    Alcotest.test_case "uniform distribution" `Quick test_dist_uniform;
+    Alcotest.test_case "zipf skew" `Quick test_dist_zipf_skew;
+    Alcotest.test_case "weighted distribution" `Quick test_dist_weighted;
+    Alcotest.test_case "exact statistics" `Quick test_exact_stats;
+    Alcotest.test_case "sampled statistics approximate" `Quick test_sampled_stats_approximate;
+    Alcotest.test_case "sampled statistics memoized" `Quick
+      test_sampled_stats_memoized_and_deterministic;
+    Alcotest.test_case "statistics refresh on mutation" `Quick test_stats_refresh_on_mutation;
+    Alcotest.test_case "empty relation statistics" `Quick test_empty_relation_stats;
+  ]

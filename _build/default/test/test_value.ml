@@ -1,0 +1,91 @@
+open Fusion_data
+
+let check = Alcotest.check Helpers.value
+
+let test_compare_same_type () =
+  Alcotest.(check bool) "int order" true (Value.compare (Int 1) (Int 2) < 0);
+  Alcotest.(check bool) "string order" true (Value.compare (String "a") (String "b") < 0);
+  Alcotest.(check bool) "float order" true (Value.compare (Float 1.5) (Float 2.5) < 0);
+  Alcotest.(check bool) "bool order" true (Value.compare (Bool false) (Bool true) < 0)
+
+let test_compare_numeric_cross () =
+  Alcotest.(check int) "int = float" 0 (Value.compare (Int 2) (Float 2.0));
+  Alcotest.(check bool) "int < float" true (Value.compare (Int 2) (Float 2.5) < 0);
+  Alcotest.(check bool) "float > int" true (Value.compare (Float 2.5) (Int 2) > 0)
+
+let test_compare_cross_type_rank () =
+  Alcotest.(check bool) "null smallest" true (Value.compare Null (Bool false) < 0);
+  Alcotest.(check bool) "bool < int" true (Value.compare (Bool true) (Int 0) < 0);
+  Alcotest.(check bool) "int < string" true (Value.compare (Int 999) (String "") < 0)
+
+let test_equal_consistent_with_hash () =
+  (* Int/Float equality must imply hash equality for index lookups. *)
+  Alcotest.(check bool) "2 = 2.0" true (Value.equal (Int 2) (Float 2.0));
+  Alcotest.(check int) "hash 2 = hash 2.0" (Value.hash (Int 2)) (Value.hash (Float 2.0))
+
+let test_pp () =
+  Alcotest.(check string) "string quoted" "'x'" (Value.to_string (String "x"));
+  Alcotest.(check string) "null" "NULL" (Value.to_string Null);
+  Alcotest.(check string) "int" "42" (Value.to_string (Int 42));
+  Alcotest.(check string) "float" "2.5" (Value.to_string (Float 2.5));
+  Alcotest.(check string) "bool" "true" (Value.to_string (Bool true))
+
+let test_parse_typed () =
+  check "int" (Int 7) (Helpers.check_ok (Value.parse Tint "7"));
+  check "float" (Float 1.5) (Helpers.check_ok (Value.parse Tfloat "1.5"));
+  check "bool true" (Bool true) (Helpers.check_ok (Value.parse Tbool "true"));
+  check "bool 0" (Bool false) (Helpers.check_ok (Value.parse Tbool "0"));
+  check "string" (String "abc") (Helpers.check_ok (Value.parse Tstring "abc"));
+  check "null from empty" Null (Helpers.check_ok (Value.parse Tint ""));
+  check "explicit NULL" Null (Helpers.check_ok (Value.parse Tstring "NULL"));
+  ignore (Helpers.check_err "bad int" (Value.parse Tint "seven"));
+  ignore (Helpers.check_err "bad bool" (Value.parse Tbool "maybe"))
+
+let test_parse_literal () =
+  check "quoted" (String "hi there") (Value.parse_literal "'hi there'");
+  check "int" (Int (-3)) (Value.parse_literal "-3");
+  check "float" (Float 2.25) (Value.parse_literal "2.25");
+  check "bool" (Bool false) (Value.parse_literal "false");
+  check "bare word is string" (String "hello") (Value.parse_literal "hello")
+
+let test_ty_of_string () =
+  Alcotest.(check bool) "int" true (Value.ty_of_string "int" = Ok Value.Tint);
+  Alcotest.(check bool) "case" true (Value.ty_of_string " STRING " = Ok Value.Tstring);
+  ignore (Helpers.check_err "unknown" (Value.ty_of_string "blob"))
+
+let qcheck_compare_total_order =
+  let gen =
+    QCheck2.Gen.(
+      oneof
+        [
+          return Value.Null;
+          map (fun b -> Value.Bool b) bool;
+          map (fun i -> Value.Int i) (int_range (-1000) 1000);
+          map (fun f -> Value.Float f) (float_range (-100.0) 100.0);
+          map (fun s -> Value.String s) (string_size (int_range 0 6));
+        ])
+  in
+  Helpers.qtest ~count:200 "Value.compare is antisymmetric and transitive-ish"
+    QCheck2.Gen.(triple gen gen gen)
+    (fun (a, b, c) ->
+      Printf.sprintf "(%s, %s, %s)" (Value.to_string a) (Value.to_string b)
+        (Value.to_string c))
+    (fun (a, b, c) ->
+      let sign x = compare x 0 in
+      sign (Value.compare a b) = -sign (Value.compare b a)
+      && (not (Value.compare a b <= 0 && Value.compare b c <= 0)
+          || Value.compare a c <= 0))
+
+let suite =
+  [
+    Alcotest.test_case "compare within types" `Quick test_compare_same_type;
+    Alcotest.test_case "compare int/float numerically" `Quick test_compare_numeric_cross;
+    Alcotest.test_case "compare across types by rank" `Quick test_compare_cross_type_rank;
+    Alcotest.test_case "int/float equal implies equal hash" `Quick
+      test_equal_consistent_with_hash;
+    Alcotest.test_case "printing" `Quick test_pp;
+    Alcotest.test_case "typed parsing" `Quick test_parse_typed;
+    Alcotest.test_case "literal parsing" `Quick test_parse_literal;
+    Alcotest.test_case "type names" `Quick test_ty_of_string;
+    qcheck_compare_total_order;
+  ]

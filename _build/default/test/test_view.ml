@@ -1,0 +1,249 @@
+(* Wrapper schema mapping (View), catalog [view] sections, and query
+   normalization. *)
+
+open Fusion_data
+open Fusion_cond
+module View = Fusion_source.View
+module Query = Fusion_query.Query
+
+let common =
+  Schema.create_exn ~merge:"L"
+    [ ("L", Value.Tstring); ("V", Value.Tstring); ("D", Value.Tint) ]
+
+(* An internal DMV schema with different names and column order. *)
+let internal_schema =
+  Schema.create_exn ~merge:"lic"
+    [ ("year", Value.Tint); ("lic", Value.Tstring); ("vtype", Value.Tstring) ]
+
+let internal_relation () =
+  Helpers.check_ok
+    (Relation.of_rows ~name:"NV" internal_schema
+       [
+         [ Value.Int 1993; Value.String "J55"; Value.String "dui" ];
+         [ Value.Int 1994; Value.String "T21"; Value.String "sp" ];
+       ])
+
+let mapping = [ ("L", "lic"); ("V", "vtype"); ("D", "year") ]
+
+let test_export_renames_and_reorders () =
+  let exported = Helpers.check_ok (View.export ~common ~mapping (internal_relation ())) in
+  Alcotest.(check bool) "common schema" true (Schema.equal common (Relation.schema exported));
+  Alcotest.(check string) "keeps name" "NV" (Relation.name exported);
+  Alcotest.(check int) "all tuples" 2 (Relation.cardinality exported);
+  (* Data moved to the right columns. *)
+  let matching =
+    Relation.select_items exported (fun t ->
+        Cond.eval common (Cond.Cmp ("V", Cond.Eq, Value.String "dui")) t)
+  in
+  Alcotest.check Helpers.item_set "dui row found" (Helpers.items_of_strings [ "J55" ]) matching
+
+let test_export_identity () =
+  let r =
+    Helpers.check_ok
+      (Relation.of_rows ~name:"CA" common
+         [ [ Value.String "S07"; Value.String "sp"; Value.Int 1996 ] ])
+  in
+  let exported =
+    Helpers.check_ok (View.export ~common ~mapping:(View.identity_mapping common) r)
+  in
+  Alcotest.(check int) "tuples preserved" 1 (Relation.cardinality exported)
+
+let test_export_errors () =
+  let r = internal_relation () in
+  let err mapping = Helpers.check_err "export" (View.export ~common ~mapping r) in
+  ignore (err [ ("L", "lic"); ("V", "vtype") ]); (* D unmapped *)
+  ignore (err (("L", "lic") :: mapping)); (* L mapped twice *)
+  ignore (err [ ("L", "lic"); ("V", "vtype"); ("D", "nope") ]); (* unknown internal *)
+  ignore (err [ ("L", "lic"); ("V", "year"); ("D", "year") ]); (* type clash *)
+  ignore (err [ ("L", "vtype"); ("V", "lic"); ("D", "year") ]) (* merge mismatch *)
+
+let test_catalog_with_view () =
+  let dir = Filename.temp_file "fusion_view" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      (* CA speaks the common schema; NV needs mapping. *)
+      Out_channel.with_open_text (Filename.concat dir "ca.csv") (fun oc ->
+          Out_channel.output_string oc "*L:string,V:string,D:int\nS07,sp,1996\n");
+      Out_channel.with_open_text (Filename.concat dir "nv.csv") (fun oc ->
+          Out_channel.output_string oc "year:int,*lic:string,vtype:string\n1993,J55,dui\n");
+      let text =
+        "[view]\n\
+         schema = *L:string,V:string,D:int\n\
+         [source CA]\n\
+         file = ca.csv\n\
+         [source NV]\n\
+         file = nv.csv\n\
+         map = L=lic,V=vtype,D=year\n"
+      in
+      let sources = Helpers.check_ok (Fusion_source.Catalog.parse ~dir text) in
+      Alcotest.(check int) "two sources" 2 (List.length sources);
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) "common schema" true
+            (Schema.equal common (Fusion_source.Source.schema s)))
+        sources;
+      (* The federation is queryable end to end. *)
+      let mediator = Fusion_mediator.Mediator.create_exn sources in
+      let report =
+        Helpers.check_ok
+          (Fusion_mediator.Mediator.run_sql mediator
+             "SELECT u1.L FROM U u1 WHERE u1.V = 'dui'")
+      in
+      Alcotest.check Helpers.item_set "J55 via mapping"
+        (Helpers.items_of_strings [ "J55" ])
+        report.Fusion_mediator.Mediator.answer;
+      (* Mismatched schema without a map is an error. *)
+      ignore
+        (Helpers.check_err "missing map"
+           (Fusion_source.Catalog.parse ~dir
+              "[view]\nschema = *L:string,V:string,D:int\n[source NV]\nfile = nv.csv\n"));
+      (* map without a view is an error. *)
+      ignore
+        (Helpers.check_err "map without view"
+           (Fusion_source.Catalog.parse ~dir
+              "[source NV]\nfile = nv.csv\nmap = L=lic,V=vtype,D=year\n")))
+
+(* --- Query.normalize ---------------------------------------------------- *)
+
+let dui = Cond.Cmp ("V", Cond.Eq, Value.String "dui")
+let sp = Cond.Cmp ("V", Cond.Eq, Value.String "sp")
+
+let test_normalize_dedup () =
+  let q = Query.create_exn [ dui; sp; dui ] in
+  let n = Query.normalize q in
+  Alcotest.(check int) "two conditions" 2 (Query.m n);
+  Alcotest.(check bool) "order preserved" true
+    (Cond.equal (Query.condition n 0) dui && Cond.equal (Query.condition n 1) sp)
+
+let test_normalize_drops_true () =
+  let q = Query.create_exn [ dui; Cond.True; sp ] in
+  Alcotest.(check int) "true dropped" 2 (Query.m (Query.normalize q));
+  (* ... but an all-TRUE query keeps one condition. *)
+  let trivial = Query.create_exn [ Cond.True; Cond.True ] in
+  Alcotest.(check int) "one true kept" 1 (Query.m (Query.normalize trivial))
+
+let test_normalize_simplifies_then_dedups () =
+  let q = Query.create_exn [ Cond.And (Cond.True, dui); dui ] in
+  Alcotest.(check int) "simplified duplicate collapses" 1 (Query.m (Query.normalize q))
+
+let qcheck_normalize_preserves_answers =
+  Helpers.qtest ~count:40 "normalize preserves the fusion answer" Helpers.spec_gen
+    Helpers.spec_print (fun spec ->
+      let instance = Fusion_workload.Workload.generate spec in
+      (* Duplicate a condition and inject a TRUE to give normalize work. *)
+      let conds = Array.to_list (Query.conditions instance.Fusion_workload.Workload.query) in
+      let noisy = Query.create_exn (conds @ [ Cond.True ] @ [ List.hd conds ]) in
+      let normalized = Query.normalize noisy in
+      let sources = instance.Fusion_workload.Workload.sources in
+      Item_set.equal
+        (Fusion_core.Reference.answer_query ~sources noisy)
+        (Fusion_core.Reference.answer_query ~sources normalized)
+      && Query.m normalized <= Query.m noisy)
+
+(* --- selectivity jitter -------------------------------------------------- *)
+
+let test_jitter_varies_sources () =
+  let spec =
+    {
+      Fusion_workload.Workload.default_spec with
+      Fusion_workload.Workload.n_sources = 8;
+      tuples_per_source = (2000, 2000);
+      selectivities = [| 0.3 |];
+      selectivity_jitter = 0.6;
+      seed = 33;
+    }
+  in
+  let instance = Fusion_workload.Workload.generate spec in
+  let cond = Query.condition instance.Fusion_workload.Workload.query 0 in
+  let shares =
+    Array.to_list
+      (Array.map
+         (fun s ->
+           let relation = Fusion_source.Source.relation s in
+           let matching =
+             Relation.fold
+               (fun acc t ->
+                 if Cond.eval (Relation.schema relation) cond t then acc + 1 else acc)
+               0 relation
+           in
+           float_of_int matching /. float_of_int (Relation.cardinality relation))
+         instance.Fusion_workload.Workload.sources)
+  in
+  let lo = List.fold_left Float.min 1.0 shares in
+  let hi = List.fold_left Float.max 0.0 shares in
+  Alcotest.(check bool)
+    (Printf.sprintf "spread %.2f..%.2f" lo hi)
+    true
+    (hi -. lo > 0.1)
+
+let test_workload_save_load_round_trip () =
+  let dir = Filename.temp_file "fusion_save" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () ->
+      let instance =
+        Fusion_workload.Workload.generate
+          {
+            Fusion_workload.Workload.default_spec with
+            Fusion_workload.Workload.n_sources = 4;
+            tuples_per_source = (20, 30);
+            heterogeneity =
+              { Fusion_workload.Workload.homogeneous with
+                Fusion_workload.Workload.no_semijoin = 0.5; slow = 0.5 };
+            seed = 77;
+          }
+      in
+      Fusion_workload.Workload.save ~dir instance;
+      let reloaded =
+        Helpers.check_ok (Fusion_source.Catalog.load (Filename.concat dir "catalog.ini"))
+      in
+      Alcotest.(check int) "source count" 4 (List.length reloaded);
+      List.iteri
+        (fun j s ->
+          let original = instance.Fusion_workload.Workload.sources.(j) in
+          Alcotest.(check string) "name" (Fusion_source.Source.name original)
+            (Fusion_source.Source.name s);
+          Alcotest.(check bool) "capability preserved" true
+            (Fusion_source.Source.capability s = Fusion_source.Source.capability original);
+          Alcotest.(check (float 0.001)) "overhead preserved"
+            (Fusion_source.Source.profile original).Fusion_net.Profile.request_overhead
+            (Fusion_source.Source.profile s).Fusion_net.Profile.request_overhead;
+          Alcotest.check Helpers.item_set "data preserved"
+            (Relation.items (Fusion_source.Source.relation original))
+            (Relation.items (Fusion_source.Source.relation s)))
+        reloaded;
+      (* The saved query runs identically on the reloaded federation. *)
+      let sql = In_channel.with_open_text (Filename.concat dir "query.sql")
+          In_channel.input_all in
+      let mediator = Fusion_mediator.Mediator.create_exn reloaded in
+      let report = Helpers.check_ok (Fusion_mediator.Mediator.run_sql mediator sql) in
+      Alcotest.check Helpers.item_set "same answer"
+        (Fusion_core.Reference.answer_query
+           ~sources:instance.Fusion_workload.Workload.sources
+           instance.Fusion_workload.Workload.query)
+        report.Fusion_mediator.Mediator.answer)
+
+let suite =
+  [
+    Alcotest.test_case "export renames and reorders" `Quick test_export_renames_and_reorders;
+    Alcotest.test_case "identity export" `Quick test_export_identity;
+    Alcotest.test_case "export errors" `Quick test_export_errors;
+    Alcotest.test_case "catalog with a view section" `Quick test_catalog_with_view;
+    Alcotest.test_case "normalize dedups" `Quick test_normalize_dedup;
+    Alcotest.test_case "normalize drops TRUE" `Quick test_normalize_drops_true;
+    Alcotest.test_case "normalize simplifies first" `Quick test_normalize_simplifies_then_dedups;
+    qcheck_normalize_preserves_answers;
+    Alcotest.test_case "selectivity jitter varies sources" `Quick test_jitter_varies_sources;
+    Alcotest.test_case "workload save/load round trip" `Quick
+      test_workload_save_load_round_trip;
+  ]

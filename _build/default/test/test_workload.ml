@@ -1,0 +1,155 @@
+(* Workload generator: determinism, selectivity and heterogeneity knobs. *)
+
+open Fusion_data
+open Fusion_source
+module Workload = Fusion_workload.Workload
+
+let test_deterministic () =
+  let a = Workload.generate Workload.default_spec in
+  let b = Workload.generate Workload.default_spec in
+  Array.iter2
+    (fun s1 s2 ->
+      Alcotest.check Helpers.item_set "same items"
+        (Relation.items (Source.relation s1))
+        (Relation.items (Source.relation s2)))
+    a.Workload.sources b.Workload.sources
+
+let test_seed_changes_world () =
+  let a = Workload.generate Workload.default_spec in
+  let b = Workload.generate { Workload.default_spec with seed = 43 } in
+  let differs =
+    Array.exists2
+      (fun s1 s2 ->
+        not
+          (Item_set.equal
+             (Relation.items (Source.relation s1))
+             (Relation.items (Source.relation s2))))
+      a.Workload.sources b.Workload.sources
+  in
+  Alcotest.(check bool) "different" true differs
+
+let test_shape () =
+  let spec =
+    { Workload.default_spec with n_sources = 5; selectivities = [| 0.1; 0.2 |] }
+  in
+  let instance = Workload.generate spec in
+  Alcotest.(check int) "sources" 5 (Array.length instance.Workload.sources);
+  Alcotest.(check int) "conditions" 2 (Fusion_query.Query.m instance.Workload.query);
+  Alcotest.(check int) "schema arity = 1 + m" 3 (Schema.arity instance.Workload.schema);
+  Helpers.check_ok
+    (Fusion_query.Query.validate instance.Workload.schema instance.Workload.query);
+  Array.iter
+    (fun s ->
+      let card = Relation.cardinality (Source.relation s) in
+      Alcotest.(check bool) "cardinality in range" true (card >= 300 && card <= 600))
+    instance.Workload.sources
+
+let test_selectivity_honored () =
+  let spec =
+    {
+      Workload.default_spec with
+      n_sources = 2;
+      universe = 100_000;
+      tuples_per_source = (5000, 5000);
+      selectivities = [| 0.25 |];
+      seed = 5;
+    }
+  in
+  let instance = Workload.generate spec in
+  let cond = Fusion_query.Query.condition instance.Workload.query 0 in
+  Array.iter
+    (fun s ->
+      let relation = Source.relation s in
+      let matching =
+        Relation.fold
+          (fun acc t ->
+            if Fusion_cond.Cond.eval (Relation.schema relation) cond t then acc + 1 else acc)
+          0 relation
+      in
+      let share = float_of_int matching /. float_of_int (Relation.cardinality relation) in
+      Alcotest.(check bool)
+        (Printf.sprintf "tuple share %.3f ≈ 0.25" share)
+        true
+        (share > 0.20 && share < 0.30))
+    instance.Workload.sources
+
+let test_heterogeneity_fractions () =
+  let spec =
+    {
+      Workload.default_spec with
+      n_sources = 60;
+      tuples_per_source = (20, 30);
+      heterogeneity =
+        { Workload.no_semijoin = 1.0; minimal = 0.0; slow = 1.0; tiny = 1.0 };
+      seed = 9;
+    }
+  in
+  let instance = Workload.generate spec in
+  Array.iter
+    (fun s ->
+      let caps = Source.capability s in
+      Alcotest.(check bool) "no native semijoin" false caps.Capability.native_semijoin;
+      Alcotest.(check bool) "slow profile" true
+        ((Source.profile s).Fusion_net.Profile.request_overhead
+        > Fusion_net.Profile.default.Fusion_net.Profile.request_overhead);
+      Alcotest.(check bool) "tiny" true (Relation.cardinality (Source.relation s) <= 5))
+    instance.Workload.sources
+
+let test_correlation_extreme () =
+  (* With correlation 1.0 every attribute column repeats A1, so two
+     conditions with the same threshold accept exactly the same tuples. *)
+  let spec =
+    {
+      Workload.default_spec with
+      n_sources = 2;
+      selectivities = [| 0.3; 0.3 |];
+      correlation = 1.0;
+      seed = 15;
+    }
+  in
+  let instance = Workload.generate spec in
+  let c1 = Fusion_query.Query.condition instance.Workload.query 0 in
+  let c2 = Fusion_query.Query.condition instance.Workload.query 1 in
+  Array.iter
+    (fun s ->
+      let relation = Source.relation s in
+      let schema = Relation.schema relation in
+      let sel c = Relation.select_items relation (fun t -> Fusion_cond.Cond.eval schema c t) in
+      Alcotest.check Helpers.item_set "identical matching sets" (sel c1) (sel c2))
+    instance.Workload.sources
+
+let test_zipf_skews_item_popularity () =
+  let spec =
+    {
+      Workload.default_spec with
+      n_sources = 1;
+      universe = 1000;
+      tuples_per_source = (5000, 5000);
+      item_skew = 1.2;
+      seed = 19;
+    }
+  in
+  let instance = Workload.generate spec in
+  let relation = Source.relation instance.Workload.sources.(0) in
+  (* Under heavy skew, far fewer distinct items than draws. *)
+  Alcotest.(check bool) "duplicates concentrate" true
+    (Relation.distinct_item_count relation < 700)
+
+let test_fig1_answer () =
+  let instance = Workload.fig1 () in
+  Alcotest.check Helpers.item_set "paper's answer"
+    (Helpers.items_of_strings [ "J55"; "T21" ])
+    (Fusion_core.Reference.answer_query ~sources:instance.Workload.sources
+       instance.Workload.query)
+
+let suite =
+  [
+    Alcotest.test_case "deterministic in seed" `Quick test_deterministic;
+    Alcotest.test_case "seed changes world" `Quick test_seed_changes_world;
+    Alcotest.test_case "instance shape" `Quick test_shape;
+    Alcotest.test_case "selectivity honored" `Quick test_selectivity_honored;
+    Alcotest.test_case "heterogeneity knobs" `Quick test_heterogeneity_fractions;
+    Alcotest.test_case "correlation = 1 duplicates conditions" `Quick test_correlation_extreme;
+    Alcotest.test_case "zipf item popularity" `Quick test_zipf_skews_item_popularity;
+    Alcotest.test_case "figure 1 fixture answer" `Quick test_fig1_answer;
+  ]
