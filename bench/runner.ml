@@ -8,11 +8,41 @@ let env_of ?stats (instance : Workload.instance) =
   Opt_env.create ?stats ~universe:instance.Workload.spec.Workload.universe
     instance.Workload.sources instance.Workload.query
 
+(* When FUSION_TRACE_DIR is set, every [execute] also records a span
+   trace and appends it (numbered) under that directory, so experiment
+   output can be correlated with per-request traces after the fact. *)
+let trace_dir = Sys.getenv_opt "FUSION_TRACE_DIR"
+let trace_seq = ref 0
+
 let execute (instance : Workload.instance) plan =
-  Array.iter Fusion_source.Source.reset_meter instance.Workload.sources;
-  Fusion_plan.Exec.run ~sources:instance.Workload.sources
-    ~conds:(Fusion_query.Query.conditions instance.Workload.query)
-    plan
+  let go () =
+    Array.iter Fusion_source.Source.reset_meter instance.Workload.sources;
+    Fusion_plan.Exec.run ~sources:instance.Workload.sources
+      ~conds:(Fusion_query.Query.conditions instance.Workload.query)
+      plan
+  in
+  match trace_dir with
+  | None -> go ()
+  | Some dir ->
+    let collector = Fusion_obs.Trace.create () in
+    let result = Fusion_obs.Trace.with_collector collector go in
+    incr trace_seq;
+    let path = Filename.concat dir (Printf.sprintf "exec-%04d.jsonl" !trace_seq) in
+    (try Fusion_obs.Jsonl.write_file path (Fusion_obs.Trace.spans collector)
+     with Sys_error msg -> Printf.eprintf "trace: %s\n%!" msg);
+    result
+
+(* Trace one execution explicitly, regardless of FUSION_TRACE_DIR. *)
+let execute_traced (instance : Workload.instance) plan =
+  let collector = Fusion_obs.Trace.create () in
+  let result =
+    Fusion_obs.Trace.with_collector collector (fun () ->
+        Array.iter Fusion_source.Source.reset_meter instance.Workload.sources;
+        Fusion_plan.Exec.run ~sources:instance.Workload.sources
+          ~conds:(Fusion_query.Query.conditions instance.Workload.query)
+          plan)
+  in
+  (result, Fusion_obs.Trace.spans collector)
 
 let actual_cost instance plan = (execute instance plan).Fusion_plan.Exec.total_cost
 
@@ -20,6 +50,12 @@ let run_algo ?stats instance algo =
   let env = env_of ?stats instance in
   let optimized = Optimizer.optimize algo env in
   (optimized, actual_cost instance optimized.Optimized.plan)
+
+let run_algo_traced ?stats instance algo =
+  let env = env_of ?stats instance in
+  let optimized = Optimizer.optimize algo env in
+  let result, spans = execute_traced instance optimized.Optimized.plan in
+  (optimized, result, spans)
 
 (* Mean actual cost over several seeds of the same spec. *)
 let mean_over_seeds ?stats spec seeds algo =

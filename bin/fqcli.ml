@@ -57,6 +57,30 @@ let verbose_arg =
   let doc = "Log the mediator's optimization and execution steps to stderr." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+(* Run [f] with a fresh trace collector and metrics registry installed,
+   then dump both to [path] as JSON lines (parseable back with
+   [Fusion_obs.Jsonl.parse]). *)
+let with_tracing trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    let collector = Fusion_obs.Trace.create () in
+    let registry = Fusion_obs.Metrics.create () in
+    let result =
+      Fusion_obs.Trace.with_collector collector (fun () ->
+          Fusion_obs.Metrics.with_registry registry f)
+    in
+    let spans = Fusion_obs.Trace.spans collector in
+    (* The run itself already succeeded; losing the trace file is worth
+       a warning, not a crash. *)
+    (try
+       Fusion_obs.Jsonl.write_file path
+         ~metrics:(Fusion_obs.Metrics.snapshot registry)
+         spans;
+       Format.eprintf "trace: %d spans written to %s@." (List.length spans) path
+     with Sys_error msg -> Format.eprintf "trace: cannot write %s: %s@." path msg);
+    result
+
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
@@ -120,11 +144,19 @@ let run_cmd =
     let doc = "Execute this saved plan (see 'explain --save-plan') instead of optimizing." in
     Arg.(value & opt (some file) None & info [ "plan" ] ~docv:"FILE" ~doc)
   in
-  let action location sql algo sample hist plan_file verbose =
+  let trace_arg =
+    let doc =
+      "Record a structured trace of the run (spans for optimizer phases, plan steps \
+       and source requests, plus metrics) and write it to this file as JSON lines."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let action location sql algo sample hist plan_file trace verbose =
     setup_logs verbose;
     report_result
       (let* location = location in
        with_mediator location (fun mediator ->
+           with_tracing trace (fun () ->
            match plan_file with
            | None ->
              let* result =
@@ -164,12 +196,12 @@ let run_cmd =
                  Fusion_data.Item_set.pp result.Fusion_plan.Exec.answer;
                Ok ()
              | exception Fusion_source.Source.Unsupported msg ->
-               Error ("execution failed: " ^ msg))))
+               Error ("execution failed: " ^ msg)))))
   in
   let doc = "run a fusion query over CSV sources" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const action $ location_term $ sql_arg $ algo_arg $ sample_arg $ hist_arg
-          $ plan_arg $ verbose_arg)
+          $ plan_arg $ trace_arg $ verbose_arg)
 
 (* --- explain ------------------------------------------------------------- *)
 

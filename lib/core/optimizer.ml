@@ -27,13 +27,29 @@ let of_name s =
       (Printf.sprintf "unknown algorithm %S (expected %s)" other
          (String.concat ", " (List.map name all)))
 
+module Trace = Fusion_obs.Trace
+
 let optimize algo env =
-  match algo with
-  | Filter -> Algorithms.filter env
-  | Sj -> Algorithms.sj env
-  | Sja -> Algorithms.sja env
-  | Sja_plus -> Postopt.sja_plus env
-  | Greedy_sj -> Algorithms.greedy_sj env
-  | Greedy_sja -> Algorithms.greedy_sja env
-  | Sja_bb -> Branch_bound.sja_bb env
-  | Hill_climb -> Iterative.sja_hill_climb env
+  Trace.span Trace.Optimize (name algo) (fun ctx ->
+      let optimized =
+        match algo with
+        | Filter -> Algorithms.filter env
+        | Sj -> Algorithms.sj env
+        | Sja -> Algorithms.sja env
+        | Sja_plus -> Postopt.sja_plus env
+        | Greedy_sj -> Algorithms.greedy_sj env
+        | Greedy_sja -> Algorithms.greedy_sja env
+        | Sja_bb -> Branch_bound.sja_bb env
+        | Hill_climb -> Iterative.sja_hill_climb env
+      in
+      if Trace.active ctx then
+        Trace.attrs ctx
+          [
+            ("algo", Trace.Str (name algo));
+            ("conds", Trace.Int (Opt_env.m env));
+            ("sources", Trace.Int (Opt_env.n env));
+            ( "plan_ops",
+              Trace.Int (List.length (Fusion_plan.Plan.ops optimized.Optimized.plan)) );
+            ("est_cost", Trace.Float optimized.Optimized.est_cost);
+          ];
+      optimized)

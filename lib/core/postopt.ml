@@ -158,6 +158,53 @@ let load_sources (env : Opt_env.t) (optimized : Optimized.t) =
   let plan, est_cost = improve start.Optimized.plan start.Optimized.est_cost in
   { start with Optimized.plan; est_cost }
 
+module Trace = Fusion_obs.Trace
+
+(* The SJA search enumerates every condition ordering. *)
+let orderings_considered m =
+  let rec fact n = if n <= 1 then 1 else n * fact (n - 1) in
+  fact m
+
 let sja_plus ?order env =
-  let base = Algorithms.sja env in
-  load_sources env (prune_with_difference ?order env base)
+  let base =
+    Trace.span Trace.Postopt "sja" (fun ctx ->
+        let base = Algorithms.sja env in
+        if Trace.active ctx then
+          Trace.attrs ctx
+            [
+              ("candidates", Trace.Int (orderings_considered (Opt_env.m env)));
+              ("est_cost", Trace.Float base.Optimized.est_cost);
+            ];
+        base)
+  in
+  let pruned =
+    Trace.span Trace.Postopt "prune_with_difference" (fun ctx ->
+        let pruned = prune_with_difference ?order env base in
+        if Trace.active ctx then
+          Trace.attrs ctx
+            [
+              ("est_cost", Trace.Float pruned.Optimized.est_cost);
+              ( "semijoins",
+                Trace.Int
+                  (List.length
+                     (List.filter
+                        (fun (op : Op.t) ->
+                          match op with Op.Semijoin _ -> true | _ -> false)
+                        (Plan.ops pruned.Optimized.plan))) );
+            ];
+        pruned)
+  in
+  Trace.span Trace.Postopt "load_sources" (fun ctx ->
+      let final = load_sources env pruned in
+      if Trace.active ctx then
+        Trace.attrs ctx
+          [
+            ("est_cost", Trace.Float final.Optimized.est_cost);
+            ( "loads",
+              Trace.Int
+                (List.length
+                   (List.filter
+                      (fun (op : Op.t) -> match op with Op.Load _ -> true | _ -> false)
+                      (Plan.ops final.Optimized.plan))) );
+          ];
+      final)

@@ -1,7 +1,47 @@
-let split_fields line = String.split_on_char ',' line |> List.map String.trim
+(* Split a line on commas, honoring "..." quoting: a quoted field keeps
+   commas and leading/trailing whitespace verbatim, and a doubled quote
+   inside one is a literal quote. Returns each field with a flag saying
+   whether it was quoted — the row parser needs it to tell the empty
+   string from NULL. Unquoted fields are trimmed, as before. *)
+let split_fields line =
+  let fields = ref [] in
+  let buffer = Buffer.create 16 in
+  let quoted = ref false in
+  let in_quotes = ref false in
+  let n = String.length line in
+  let flush () =
+    let raw = Buffer.contents buffer in
+    fields := (if !quoted then (raw, true) else (String.trim raw, false)) :: !fields;
+    Buffer.clear buffer;
+    quoted := false
+  in
+  let i = ref 0 in
+  while !i < n do
+    (let c = line.[!i] in
+     if !in_quotes then
+       if c = '"' then
+         if !i + 1 < n && line.[!i + 1] = '"' then begin
+           Buffer.add_char buffer '"';
+           incr i
+         end
+         else in_quotes := false
+       else Buffer.add_char buffer c
+     else
+       match c with
+       | '"' when String.trim (Buffer.contents buffer) = "" ->
+         (* An opening quote (nothing but whitespace before it). *)
+         Buffer.clear buffer;
+         in_quotes := true;
+         quoted := true
+       | ',' -> flush ()
+       | c -> Buffer.add_char buffer c);
+    incr i
+  done;
+  flush ();
+  List.rev !fields
 
 let parse_header line =
-  let fields = split_fields line in
+  let fields = List.map fst (split_fields line) in
   let merge = ref None in
   let rec go acc = function
     | [] -> (
@@ -53,10 +93,17 @@ let read_string ~name text =
             let rec go acc fs ts =
               match fs, ts with
               | [], [] -> Ok (List.rev acc)
-              | f :: fs, ty :: ts -> (
-                match Value.parse ty f with
-                | Ok v -> go (v :: acc) fs ts
-                | Error msg -> Error msg)
+              | (f, was_quoted) :: fs, ty :: ts -> (
+                (* A quoted string field is taken verbatim: unlike
+                   {!Value.parse}, quoting preserves whitespace and lets
+                   [""] and ["NULL"] mean the literal strings rather
+                   than a null. *)
+                if was_quoted && ty = Value.Tstring then
+                  go (Value.String f :: acc) fs ts
+                else
+                  match Value.parse ty f with
+                  | Ok v -> go (v :: acc) fs ts
+                  | Error msg -> Error msg)
               | _ -> assert false
             in
             go [] fields tys
@@ -77,12 +124,32 @@ let read_file ~name path =
   | text -> read_string ~name text
   | exception Sys_error msg -> Error msg
 
+(* Quote a string field whenever parsing it back unquoted would change
+   it: separators and quotes, whitespace that trimming would eat, and
+   the [""] / ["NULL"] spellings of null. Embedded newlines still can't
+   round-trip (the reader is line-based), so they get quoted here but
+   rejected on read. A null stays a bare empty field. *)
+let needs_quoting s =
+  s = "" || s = "NULL" || s <> String.trim s
+  || String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let quote_field s =
+  let buffer = Buffer.create (String.length s + 2) in
+  Buffer.add_char buffer '"';
+  String.iter
+    (fun c ->
+      if c = '"' then Buffer.add_string buffer "\"\""
+      else Buffer.add_char buffer c)
+    s;
+  Buffer.add_char buffer '"';
+  Buffer.contents buffer
+
 let value_to_field = function
   | Value.Null -> ""
   | Value.Bool b -> string_of_bool b
   | Value.Int i -> string_of_int i
   | Value.Float f -> Printf.sprintf "%g" f
-  | Value.String s -> s
+  | Value.String s -> if needs_quoting s then quote_field s else s
 
 let write_string relation =
   let schema = Relation.schema relation in

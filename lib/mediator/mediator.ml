@@ -2,6 +2,8 @@ open Fusion_data
 open Fusion_cond
 open Fusion_source
 open Fusion_core
+module Trace = Fusion_obs.Trace
+module Metrics = Fusion_obs.Metrics
 
 let log_src = Logs.Src.create "fusion.mediator" ~doc:"Fusion-query mediator"
 
@@ -46,9 +48,12 @@ type report = {
   per_source : (string * Fusion_net.Meter.totals) list;
   failures : int;
   partial : bool;
+  trace : Trace.span list;
+      (* The spans recorded during this run ([]) when tracing is off);
+         the root is the run's [Trace.Run] span. *)
 }
 
-let run ?cache ?retries ?on_exhausted ?stats ?(algo = Optimizer.Sja_plus) t query =
+let run_body ?cache ?retries ?on_exhausted ?stats ~algo ~ctx t query =
   match Fusion_query.Query.validate (schema t) query with
   | Error msg -> Error ("invalid query: " ^ msg)
   | Ok () -> (
@@ -73,6 +78,20 @@ let run ?cache ?retries ?on_exhausted ?stats ?(algo = Optimizer.Sja_plus) t quer
           m "executed: actual cost %.1f, %d answers"
             result.Fusion_plan.Exec.total_cost
             (Item_set.cardinal result.Fusion_plan.Exec.answer));
+      if Trace.active ctx then
+        Trace.attrs ctx
+          [
+            ("est_cost", Trace.Float optimized.Optimized.est_cost);
+            ("actual_cost", Trace.Float result.Fusion_plan.Exec.total_cost);
+            ("answers", Trace.Int (Item_set.cardinal result.Fusion_plan.Exec.answer));
+          ];
+      Metrics.record (fun r ->
+          let labels = [ ("algo", Optimizer.name algo) ] in
+          Metrics.incr r ~labels "fusion_runs_total";
+          Metrics.incr r ~labels "fusion_run_cost_total"
+            ~by:result.Fusion_plan.Exec.total_cost;
+          Metrics.observe r ~labels "fusion_answer_size"
+            (Item_set.cardinal result.Fusion_plan.Exec.answer));
       Ok
         {
           algo;
@@ -85,15 +104,40 @@ let run ?cache ?retries ?on_exhausted ?stats ?(algo = Optimizer.Sja_plus) t quer
               (Array.map (fun s -> (Source.name s, Source.totals s)) t.sources);
           failures = result.Fusion_plan.Exec.failures;
           partial = result.Fusion_plan.Exec.partial;
+          trace = [];
         }
     | exception Source.Unsupported msg -> Error ("execution failed: " ^ msg)
     | exception Source.Timeout msg ->
       Error ("execution failed (source unreachable): " ^ msg))
 
-let run_sql ?cache ?retries ?on_exhausted ?stats ?algo t text =
+(* [?trace] installs a collector for the duration of the run (on top of
+   any process-wide one); either way, the spans the run produced come
+   back in [report.trace], with the [Run] span as the root. *)
+let run ?trace ?cache ?retries ?on_exhausted ?stats ?(algo = Optimizer.Sja_plus) t query
+    =
+  let go () =
+    let marked = Option.map (fun c -> (c, Trace.mark c)) (Trace.installed ()) in
+    let result =
+      Trace.span Trace.Run "mediator.run" (fun ctx ->
+          if Trace.active ctx then
+            Trace.attrs ctx
+              [
+                ("algo", Trace.Str (Optimizer.name algo));
+                ("sources", Trace.Int (Array.length t.sources));
+                ("query", Trace.Str (Format.asprintf "%a" Fusion_query.Query.pp query));
+              ];
+          run_body ?cache ?retries ?on_exhausted ?stats ~algo ~ctx t query)
+    in
+    match result, marked with
+    | Ok report, Some (c, m) -> Ok { report with trace = Trace.spans_since c m }
+    | _ -> result
+  in
+  match trace with Some c -> Trace.with_collector c go | None -> go ()
+
+let run_sql ?trace ?cache ?retries ?on_exhausted ?stats ?algo t text =
   match Fusion_query.Sql.parse_fusion ~schema:(schema t) ~union:t.union text with
   | Error msg -> Error msg
-  | Ok query -> run ?cache ?retries ?on_exhausted ?stats ?algo t query
+  | Ok query -> run ?trace ?cache ?retries ?on_exhausted ?stats ?algo t query
 
 type records = { tuples : Tuple.t list; fetch_cost : float }
 
@@ -114,17 +158,17 @@ let fetch_phase2 t items =
   in
   { tuples; fetch_cost }
 
-let two_phase ?cache ?stats ?algo t query =
-  match run ?cache ?stats ?algo t query with
+let two_phase ?trace ?cache ?stats ?algo t query =
+  match run ?trace ?cache ?stats ?algo t query with
   | Error msg -> Error msg
   | Ok report -> Ok (report, fetch_phase2 t report.answer)
 
-let select_sql ?cache ?retries ?on_exhausted ?stats ?algo t text =
+let select_sql ?trace ?cache ?retries ?on_exhausted ?stats ?algo t text =
   match Fusion_query.Sql.parse ~schema:(schema t) ~union:t.union text with
   | Error msg -> Error msg
   | Ok (Fusion_query.Sql.Not_fusion reason) -> Error ("not a fusion query: " ^ reason)
   | Ok (Fusion_query.Sql.Fusion (query, projection)) -> (
-    match run ?cache ?retries ?on_exhausted ?stats ?algo t query with
+    match run ?trace ?cache ?retries ?on_exhausted ?stats ?algo t query with
     | Error msg -> Error msg
     | Ok report ->
       let schema = schema t in

@@ -35,10 +35,13 @@ type report = {
       (** actual traffic per source, this query only *)
   failures : int;  (** timed-out requests (retried or not) *)
   partial : bool;  (** answer may be incomplete (see {!Fusion_plan.Exec.result}) *)
+  trace : Fusion_obs.Trace.span list;
+      (** the spans this run recorded, rooted at its
+          [mediator.run] span; [[]] when tracing is off *)
 }
 
-val run : ?cache:Fusion_plan.Exec.Query_cache.t -> ?retries:int ->
-  ?on_exhausted:[ `Fail | `Partial ] -> ?stats:Opt_env.stats_mode ->
+val run : ?trace:Fusion_obs.Trace.collector -> ?cache:Fusion_plan.Exec.Query_cache.t ->
+  ?retries:int -> ?on_exhausted:[ `Fail | `Partial ] -> ?stats:Opt_env.stats_mode ->
   ?algo:Optimizer.algo -> t -> Fusion_query.Query.t -> (report, string) result
 (** Optimize and execute (default algorithm: SJA+, default statistics:
     exact). The query is {!Fusion_query.Query.normalize}d first, so
@@ -46,10 +49,12 @@ val run : ?cache:Fusion_plan.Exec.Query_cache.t -> ?retries:int ->
     are reset before execution, so [per_source] reflects just this run.
     Pass the same [cache] across the queries of a session to reuse
     selection answers for repeated conditions (Section 5's common
-    subexpressions). *)
+    subexpressions). [trace] installs a span collector for the
+    duration of the run; with or without it, whatever collector is
+    active fills [report.trace]. *)
 
-val run_sql : ?cache:Fusion_plan.Exec.Query_cache.t -> ?retries:int ->
-  ?on_exhausted:[ `Fail | `Partial ] -> ?stats:Opt_env.stats_mode ->
+val run_sql : ?trace:Fusion_obs.Trace.collector -> ?cache:Fusion_plan.Exec.Query_cache.t ->
+  ?retries:int -> ?on_exhausted:[ `Fail | `Partial ] -> ?stats:Opt_env.stats_mode ->
   ?algo:Optimizer.algo -> t -> string -> (report, string) result
 (** Parses the SQL text against the mediator's schema and union-view
     name, requires it to be a fusion query, then behaves like {!run}. *)
@@ -63,7 +68,8 @@ type rows = {
   fetch_cost : float;  (** phase 2 *)
 }
 
-val select_sql : ?cache:Fusion_plan.Exec.Query_cache.t -> ?retries:int ->
+val select_sql : ?trace:Fusion_obs.Trace.collector ->
+  ?cache:Fusion_plan.Exec.Query_cache.t -> ?retries:int ->
   ?on_exhausted:[ `Fail | `Partial ] -> ?stats:Opt_env.stats_mode ->
   ?algo:Optimizer.algo -> t -> string -> (rows, string) result
 (** The full two-phase pipeline for projected fusion queries
@@ -76,7 +82,8 @@ val fetch_phase2 : t -> Item_set.t -> records
 (** Phase 2: pull the full records of the answer items from every
     source. *)
 
-val two_phase : ?cache:Fusion_plan.Exec.Query_cache.t -> ?stats:Opt_env.stats_mode ->
+val two_phase : ?trace:Fusion_obs.Trace.collector ->
+  ?cache:Fusion_plan.Exec.Query_cache.t -> ?stats:Opt_env.stats_mode ->
   ?algo:Optimizer.algo -> t -> Fusion_query.Query.t -> (report * records, string) result
 (** Phase 1 ({!run}) followed by {!fetch_phase2} on its answer. *)
 

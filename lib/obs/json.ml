@@ -1,0 +1,249 @@
+(* A minimal JSON codec for the JSONL exporter — the toolchain has no
+   JSON library baked in, and the exporter only needs exact round-trips
+   of its own output.
+
+   Numbers keep the int/float distinction: floats always print with a
+   '.', 'e' or leading '-'+digits+'.' so the parser can tell them apart,
+   and use %.17g so every finite double survives a round trip. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- printing ------------------------------------------------------------ *)
+
+let escape_string buffer s =
+  Buffer.add_char buffer '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | '\b' -> Buffer.add_string buffer "\\b"
+      | '\012' -> Buffer.add_string buffer "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.add_char buffer '"'
+
+let float_to_string f =
+  if Float.is_nan f then invalid_arg "Json: nan is not representable"
+  else if f = Float.infinity || f = Float.neg_infinity then
+    invalid_arg "Json: infinity is not representable"
+  else
+    let s = Printf.sprintf "%.17g" f in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s else s ^ ".0"
+
+let rec write buffer = function
+  | Null -> Buffer.add_string buffer "null"
+  | Bool b -> Buffer.add_string buffer (string_of_bool b)
+  | Int i -> Buffer.add_string buffer (string_of_int i)
+  | Float f -> Buffer.add_string buffer (float_to_string f)
+  | Str s -> escape_string buffer s
+  | List items ->
+    Buffer.add_char buffer '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buffer ',';
+        write buffer item)
+      items;
+    Buffer.add_char buffer ']'
+  | Obj fields ->
+    Buffer.add_char buffer '{';
+    List.iteri
+      (fun i (key, value) ->
+        if i > 0 then Buffer.add_char buffer ',';
+        escape_string buffer key;
+        Buffer.add_char buffer ':';
+        write buffer value)
+      fields;
+    Buffer.add_char buffer '}'
+
+let to_string json =
+  let buffer = Buffer.create 256 in
+  write buffer json;
+  Buffer.contents buffer
+
+(* --- parsing ------------------------------------------------------------- *)
+
+exception Parse_error of string
+
+let of_string text =
+  let pos = ref 0 in
+  let len = String.length text in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < len then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < len
+      && match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word value =
+    let n = String.length word in
+    if !pos + n <= len && String.sub text !pos n = word then begin
+      pos := !pos + n;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buffer = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then fail "unterminated string"
+      else
+        match text.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (if !pos >= len then fail "unterminated escape"
+           else
+             match text.[!pos] with
+             | '"' -> Buffer.add_char buffer '"'; advance ()
+             | '\\' -> Buffer.add_char buffer '\\'; advance ()
+             | '/' -> Buffer.add_char buffer '/'; advance ()
+             | 'n' -> Buffer.add_char buffer '\n'; advance ()
+             | 'r' -> Buffer.add_char buffer '\r'; advance ()
+             | 't' -> Buffer.add_char buffer '\t'; advance ()
+             | 'b' -> Buffer.add_char buffer '\b'; advance ()
+             | 'f' -> Buffer.add_char buffer '\012'; advance ()
+             | 'u' ->
+               advance ();
+               if !pos + 4 > len then fail "truncated \\u escape";
+               let hex = String.sub text !pos 4 in
+               (match int_of_string_opt ("0x" ^ hex) with
+               | None -> fail "bad \\u escape"
+               | Some code ->
+                 pos := !pos + 4;
+                 (* Only the codepoints our printer emits (< 0x20) plus
+                    the Latin-1 range; enough for round-tripping. *)
+                 if code < 0x80 then Buffer.add_char buffer (Char.chr code)
+                 else if code < 0x800 then begin
+                   Buffer.add_char buffer (Char.chr (0xC0 lor (code lsr 6)));
+                   Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+                 end
+                 else begin
+                   Buffer.add_char buffer (Char.chr (0xE0 lor (code lsr 12)));
+                   Buffer.add_char buffer (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                   Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+                 end)
+             | c -> fail (Printf.sprintf "bad escape \\%c" c));
+          go ()
+        | c ->
+          Buffer.add_char buffer c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buffer
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < len && is_num_char text.[!pos] do
+      advance ()
+    done;
+    let s = String.sub text start (!pos - start) in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "bad number %S" s)
+    else
+      match int_of_string_opt s with
+      | Some i -> Int i
+      | None -> fail (Printf.sprintf "bad number %S" s)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let value = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((key, value) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((key, value) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec items acc =
+          let value = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (value :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (value :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        List (items [])
+      end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  match parse_value () with
+  | value ->
+    skip_ws ();
+    if !pos <> len then Error (Printf.sprintf "trailing input at offset %d" !pos)
+    else Ok value
+  | exception Parse_error msg -> Error msg
+
+(* --- accessors ----------------------------------------------------------- *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+let to_str = function Str s -> Some s | _ -> None

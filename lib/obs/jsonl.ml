@@ -1,0 +1,228 @@
+(* JSON-lines export of traces and metrics, and the inverse parser.
+   One JSON object per line, discriminated by a "type" field:
+
+     {"type":"span","id":0,"parent":null,"kind":"run","name":"mediator.run",...}
+     {"type":"metric","name":"fusion_requests_total","labels":{...},"metric":"counter","value":12.0}
+
+   Export followed by parse reproduces the spans and samples exactly
+   (structural equality), which the test suite relies on. *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+(* --- spans --------------------------------------------------------------- *)
+
+let attr_to_json : Trace.attr -> Json.t = function
+  | Trace.Str s -> Json.Str s
+  | Trace.Int i -> Json.Int i
+  | Trace.Float f -> Json.Float f
+  | Trace.Bool b -> Json.Bool b
+
+let attr_of_json : Json.t -> (Trace.attr, string) result = function
+  | Json.Str s -> Ok (Trace.Str s)
+  | Json.Int i -> Ok (Trace.Int i)
+  | Json.Float f -> Ok (Trace.Float f)
+  | Json.Bool b -> Ok (Trace.Bool b)
+  | _ -> Error "attribute must be a string, number or bool"
+
+let span_to_json (s : Trace.span) =
+  Json.Obj
+    [
+      ("type", Json.Str "span");
+      ("id", Json.Int s.Trace.id);
+      ("parent", match s.Trace.parent with None -> Json.Null | Some p -> Json.Int p);
+      ("kind", Json.Str (Trace.kind_to_string s.Trace.kind));
+      ("name", Json.Str s.Trace.name);
+      ("start_cost", Json.Float s.Trace.start_cost);
+      ("finish_cost", Json.Float s.Trace.finish_cost);
+      ("start_wall", Json.Float s.Trace.start_wall);
+      ("finish_wall", Json.Float s.Trace.finish_wall);
+      ("attrs", Json.Obj (List.map (fun (k, v) -> (k, attr_to_json v)) s.Trace.attrs));
+    ]
+
+let field json name =
+  match Json.member name json with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let int_field json name =
+  let* v = field json name in
+  match Json.to_int v with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "field %S is not an int" name)
+
+let float_field json name =
+  let* v = field json name in
+  match v with
+  | Json.Float f -> Ok f
+  | _ -> Error (Printf.sprintf "field %S is not a float" name)
+
+let str_field json name =
+  let* v = field json name in
+  match Json.to_str v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S is not a string" name)
+
+let span_of_json json =
+  let* id = int_field json "id" in
+  let* parent =
+    match Json.member "parent" json with
+    | Some Json.Null | None -> Ok None
+    | Some (Json.Int p) -> Ok (Some p)
+    | Some _ -> Error "field \"parent\" is not an int or null"
+  in
+  let* kind = Result.map Trace.kind_of_string (str_field json "kind") in
+  let* name = str_field json "name" in
+  let* start_cost = float_field json "start_cost" in
+  let* finish_cost = float_field json "finish_cost" in
+  let* start_wall = float_field json "start_wall" in
+  let* finish_wall = float_field json "finish_wall" in
+  let* attrs =
+    match Json.member "attrs" json with
+    | Some (Json.Obj fields) ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          let* a = attr_of_json v in
+          Ok ((k, a) :: acc))
+        (Ok []) fields
+      |> Result.map List.rev
+    | Some _ -> Error "field \"attrs\" is not an object"
+    | None -> Ok []
+  in
+  Ok
+    {
+      Trace.id;
+      parent;
+      kind;
+      name;
+      start_cost;
+      finish_cost;
+      start_wall;
+      finish_wall;
+      attrs;
+    }
+
+(* --- metric samples ------------------------------------------------------ *)
+
+let sample_to_json (s : Metrics.sample) =
+  let labels = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.Metrics.labels) in
+  let common = [ ("type", Json.Str "metric"); ("name", Json.Str s.Metrics.name); ("labels", labels) ] in
+  match s.Metrics.value with
+  | Metrics.Vcounter v ->
+    Json.Obj (common @ [ ("metric", Json.Str "counter"); ("value", Json.Float v) ])
+  | Metrics.Vgauge v ->
+    Json.Obj (common @ [ ("metric", Json.Str "gauge"); ("value", Json.Float v) ])
+  | Metrics.Vhist h ->
+    let lo, hi = Fusion_stats.Histogram.bounds h in
+    Json.Obj
+      (common
+      @ [
+          ("metric", Json.Str "histogram");
+          ("lo", Json.Int lo);
+          ("hi", Json.Int hi);
+          ( "counts",
+            Json.List
+              (Array.to_list
+                 (Array.map (fun c -> Json.Float c) (Fusion_stats.Histogram.counts h))) );
+        ])
+
+let sample_of_json json =
+  let* name = str_field json "name" in
+  let* labels =
+    match Json.member "labels" json with
+    | Some (Json.Obj fields) ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          match Json.to_str v with
+          | Some s -> Ok ((k, s) :: acc)
+          | None -> Error "label values must be strings")
+        (Ok []) fields
+      |> Result.map List.rev
+    | Some _ -> Error "field \"labels\" is not an object"
+    | None -> Ok []
+  in
+  let* metric = str_field json "metric" in
+  let* value =
+    match metric with
+    | "counter" ->
+      let* v = float_field json "value" in
+      Ok (Metrics.Vcounter v)
+    | "gauge" ->
+      let* v = float_field json "value" in
+      Ok (Metrics.Vgauge v)
+    | "histogram" ->
+      let* lo = int_field json "lo" in
+      let* hi = int_field json "hi" in
+      let* counts =
+        match Json.member "counts" json with
+        | Some (Json.List items) ->
+          List.fold_left
+            (fun acc item ->
+              let* acc = acc in
+              match Json.to_float item with
+              | Some f -> Ok (f :: acc)
+              | None -> Error "histogram counts must be numbers")
+            (Ok []) items
+          |> Result.map (fun l -> Array.of_list (List.rev l))
+        | _ -> Error "field \"counts\" is not a list"
+      in
+      if Array.length counts = 0 then Error "histogram has no buckets"
+      else if hi <= lo then Error "histogram has an empty domain"
+      else Ok (Metrics.Vhist (Fusion_stats.Histogram.of_counts ~lo ~hi ~counts))
+    | other -> Error (Printf.sprintf "unknown metric kind %S" other)
+  in
+  Ok { Metrics.name; labels; value }
+
+(* --- lines --------------------------------------------------------------- *)
+
+type line = Span of Trace.span | Sample of Metrics.sample
+
+let line_to_string = function
+  | Span s -> Json.to_string (span_to_json s)
+  | Sample s -> Json.to_string (sample_to_json s)
+
+let line_of_string text =
+  let* json = Json.of_string text in
+  let* ty = str_field json "type" in
+  match ty with
+  | "span" -> Result.map (fun s -> Span s) (span_of_json json)
+  | "metric" -> Result.map (fun s -> Sample s) (sample_of_json json)
+  | other -> Error (Printf.sprintf "unknown line type %S" other)
+
+let export ?(metrics = []) spans =
+  let buffer = Buffer.create 4096 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buffer (line_to_string (Span s));
+      Buffer.add_char buffer '\n')
+    spans;
+  List.iter
+    (fun s ->
+      Buffer.add_string buffer (line_to_string (Sample s));
+      Buffer.add_char buffer '\n')
+    metrics;
+  Buffer.contents buffer
+
+let parse text =
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+  in
+  let rec go spans samples = function
+    | [] -> Ok (List.rev spans, List.rev samples)
+    | line :: rest -> (
+      match line_of_string line with
+      | Ok (Span s) -> go (s :: spans) samples rest
+      | Ok (Sample s) -> go spans (s :: samples) rest
+      | Error msg -> Error (Printf.sprintf "%s in line %S" msg line))
+  in
+  go [] [] lines
+
+let write_file path ?metrics spans =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (export ?metrics spans))
+
+let read_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,108 @@
+(* A small labeled-series metrics registry: counters, gauges, and
+   histograms. Histogram snapshots reuse [Fusion_stats.Histogram] so
+   downstream consumers (estimators, reports) read one format.
+
+   Like tracing, a process-wide registry can be installed; instrumented
+   code records through [installed ()] and pays a single option match
+   when metrics are off. *)
+
+type labels = (string * string) list
+
+(* Labels are a set; sort once so {a=1,b=2} and {b=2,a=1} are the same
+   series. *)
+let normalize labels = List.sort compare labels
+
+type hist_spec = { lo : int; hi : int; buckets : int }
+
+let default_hist_spec = { lo = 0; hi = 4095; buckets = 16 }
+
+type series =
+  | Counter of float ref
+  | Gauge of float ref
+  | Hist of { spec : hist_spec; mutable values : (int * int) list }
+
+type t = {
+  table : (string * labels, series) Hashtbl.t;
+  mutable order : (string * labels) list; (* registration order, newest first *)
+}
+
+let create () = { table = Hashtbl.create 32; order = [] }
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.order <- []
+
+let series t name labels make =
+  let key = (name, normalize labels) in
+  match Hashtbl.find_opt t.table key with
+  | Some s -> s
+  | None ->
+    let s = make () in
+    Hashtbl.replace t.table key s;
+    t.order <- key :: t.order;
+    s
+
+let incr t ?(labels = []) ?(by = 1.0) name =
+  match series t name labels (fun () -> Counter (ref 0.0)) with
+  | Counter r -> r := !r +. by
+  | _ -> invalid_arg (Printf.sprintf "Metrics.incr: %s is not a counter" name)
+
+let gauge t ?(labels = []) name value =
+  match series t name labels (fun () -> Gauge (ref 0.0)) with
+  | Gauge r -> r := value
+  | _ -> invalid_arg (Printf.sprintf "Metrics.gauge: %s is not a gauge" name)
+
+let observe t ?(labels = []) ?(spec = default_hist_spec) name value =
+  match series t name labels (fun () -> Hist { spec; values = [] }) with
+  | Hist h -> h.values <- (value, 1) :: h.values
+  | _ -> invalid_arg (Printf.sprintf "Metrics.observe: %s is not a histogram" name)
+
+type value =
+  | Vcounter of float
+  | Vgauge of float
+  | Vhist of Fusion_stats.Histogram.t
+
+type sample = { name : string; labels : labels; value : value }
+
+let snapshot t =
+  List.rev_map
+    (fun ((name, labels) as key) ->
+      let value =
+        match Hashtbl.find t.table key with
+        | Counter r -> Vcounter !r
+        | Gauge r -> Vgauge !r
+        | Hist { spec; values } ->
+          Vhist
+            (Fusion_stats.Histogram.build ~buckets:spec.buckets ~lo:spec.lo
+               ~hi:spec.hi ~values)
+      in
+      { name; labels; value })
+    t.order
+
+(* --- the process-wide default registry ----------------------------------- *)
+
+let installed_ref : t option ref = ref None
+
+let install r = installed_ref := Some r
+let uninstall () = installed_ref := None
+let installed () = !installed_ref
+
+let with_registry r f =
+  let saved = !installed_ref in
+  installed_ref := Some r;
+  Fun.protect ~finally:(fun () -> installed_ref := saved) f
+
+(* Record into the installed registry, if any. *)
+let record f = match !installed_ref with None -> () | Some r -> f r
+
+let pp_sample ppf s =
+  let labels ppf = function
+    | [] -> ()
+    | kvs ->
+      Format.fprintf ppf "{%s}"
+        (String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) kvs))
+  in
+  match s.value with
+  | Vcounter v -> Format.fprintf ppf "%s%a %g" s.name labels s.labels v
+  | Vgauge v -> Format.fprintf ppf "%s%a %g" s.name labels s.labels v
+  | Vhist h -> Format.fprintf ppf "%s%a %a" s.name labels s.labels Fusion_stats.Histogram.pp h

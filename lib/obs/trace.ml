@@ -1,0 +1,181 @@
+(* Structured tracing: spans with parent links, cost-unit and wall-clock
+   bounds, and key/value attributes. A process-wide collector can be
+   installed (for the CLI's --trace) or swapped locally (for tests); when
+   none is installed every entry point is a no-op, so instrumented code
+   pays nothing beyond one closure call.
+
+   Cost units mirror the simulated network meter: instrumentation calls
+   [charge] with the meter's cost delta, and every span snapshots the
+   collector's running total at open and close. Summing [cost] over the
+   source-request spans of a run therefore reproduces the run's actual
+   cost exactly. *)
+
+type attr = Str of string | Int of int | Float of float | Bool of bool
+
+let pp_attr ppf = function
+  | Str s -> Format.fprintf ppf "%S" s
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Bool b -> Format.pp_print_bool ppf b
+
+(* Span taxonomy (see docs/TOUR.md "Observability"):
+   [Run] the mediator's root span; [Optimize] one optimizer invocation;
+   [Postopt] a post-optimization phase; [Step] one executed plan
+   operation; [Request] one logical source query (sq/sjq/lq/fetch);
+   [Phase] anything else, named. *)
+type kind = Run | Optimize | Postopt | Step | Request | Phase of string
+
+let kind_to_string = function
+  | Run -> "run"
+  | Optimize -> "optimize"
+  | Postopt -> "postopt"
+  | Step -> "step"
+  | Request -> "request"
+  | Phase s -> s
+
+let kind_of_string = function
+  | "run" -> Run
+  | "optimize" -> Optimize
+  | "postopt" -> Postopt
+  | "step" -> Step
+  | "request" -> Request
+  | s -> Phase s
+
+type span = {
+  id : int;
+  parent : int option;
+  kind : kind;
+  name : string;
+  start_cost : float;
+  finish_cost : float;
+  start_wall : float;
+  finish_wall : float;
+  attrs : (string * attr) list;
+}
+
+let cost s = s.finish_cost -. s.start_cost
+
+type open_span = {
+  o_id : int;
+  o_parent : int option;
+  o_kind : kind;
+  o_name : string;
+  o_start_cost : float;
+  o_start_wall : float;
+  mutable o_attrs : (string * attr) list; (* newest first *)
+}
+
+type collector = {
+  clock : unit -> float;
+  mutable next_id : int;
+  mutable cost_now : float;
+  mutable stack : open_span list;
+  mutable finished : span list; (* newest first *)
+}
+
+let create ?(clock = Sys.time) () =
+  { clock; next_id = 0; cost_now = 0.0; stack = []; finished = [] }
+
+let reset c =
+  c.next_id <- 0;
+  c.cost_now <- 0.0;
+  c.stack <- [];
+  c.finished <- []
+
+let spans c = List.rev c.finished
+
+(* [mark]/[spans_since] bracket a region: ids are monotone, so the spans
+   of everything opened after [mark] are exactly those with id >= it. *)
+let mark c = c.next_id
+let spans_since c m = List.filter (fun s -> s.id >= m) (spans c)
+
+(* --- the process-wide default collector --------------------------------- *)
+
+let installed_ref : collector option ref = ref None
+
+let install c = installed_ref := Some c
+let uninstall () = installed_ref := None
+let installed () = !installed_ref
+let enabled () = !installed_ref <> None
+
+let with_collector c f =
+  let saved = !installed_ref in
+  installed_ref := Some c;
+  Fun.protect ~finally:(fun () -> installed_ref := saved) f
+
+(* --- recording ----------------------------------------------------------- *)
+
+(* A [ctx] is the live handle instrumented code writes through; [None]
+   when tracing is off, so every write below is a cheap pattern match. *)
+type ctx = (collector * open_span) option
+
+let active : ctx -> bool = Option.is_some
+
+let attr (ctx : ctx) key value =
+  match ctx with
+  | None -> ()
+  | Some (_, o) -> o.o_attrs <- (key, value) :: o.o_attrs
+
+let attrs ctx kvs = List.iter (fun (k, v) -> attr ctx k v) kvs
+
+let charge (ctx : ctx) delta =
+  match ctx with None -> () | Some (c, _) -> c.cost_now <- c.cost_now +. delta
+
+let finish c o =
+  let span =
+    {
+      id = o.o_id;
+      parent = o.o_parent;
+      kind = o.o_kind;
+      name = o.o_name;
+      start_cost = o.o_start_cost;
+      finish_cost = c.cost_now;
+      start_wall = o.o_start_wall;
+      finish_wall = c.clock ();
+      attrs = List.rev o.o_attrs;
+    }
+  in
+  (match c.stack with
+  | top :: rest when top == o -> c.stack <- rest
+  | _ ->
+    (* An exception unwound past nested spans: drop anything opened
+       above [o] as well (their Fun.protect already finished them). *)
+    c.stack <- List.filter (fun x -> not (x == o)) c.stack);
+  c.finished <- span :: c.finished
+
+let span ?(attrs = []) kind name f =
+  match !installed_ref with
+  | None -> f None
+  | Some c ->
+    let parent = match c.stack with [] -> None | top :: _ -> Some top.o_id in
+    let o =
+      {
+        o_id = c.next_id;
+        o_parent = parent;
+        o_kind = kind;
+        o_name = name;
+        o_start_cost = c.cost_now;
+        o_start_wall = c.clock ();
+        o_attrs = List.rev attrs;
+      }
+    in
+    c.next_id <- c.next_id + 1;
+    c.stack <- o :: c.stack;
+    Fun.protect ~finally:(fun () -> finish c o) (fun () -> f (Some (c, o)))
+
+(* --- inspection helpers -------------------------------------------------- *)
+
+let find_attr s key = List.assoc_opt key s.attrs
+
+let children trace id = List.filter (fun s -> s.parent = Some id) trace
+
+let roots trace = List.filter (fun s -> s.parent = None) trace
+
+let pp_span ppf s =
+  Format.fprintf ppf "@[<h>#%d%s %s/%s cost %g wall %g%a@]" s.id
+    (match s.parent with None -> "" | Some p -> Printf.sprintf "<-#%d" p)
+    (kind_to_string s.kind) s.name (cost s)
+    (s.finish_wall -. s.start_wall)
+    (fun ppf attrs ->
+      List.iter (fun (k, v) -> Format.fprintf ppf " %s=%a" k pp_attr v) attrs)
+    s.attrs

@@ -1,6 +1,8 @@
 open Fusion_data
 open Fusion_cond
 open Fusion_source
+module Trace = Fusion_obs.Trace
+module Metrics = Fusion_obs.Metrics
 
 type step = { op : Op.t; cost : float; result_size : int }
 
@@ -127,7 +129,16 @@ let run ?cache ?(retries = 0) ?(on_exhausted = `Fail) ~sources ~conds plan =
       raise (Runtime_error (Printf.sprintf "condition index %d out of range" i));
     conds.(i)
   in
-  let exec_op (op : Op.t) =
+  (* Mark a cacheable step's outcome on its span and in the metrics. *)
+  let cache_outcome ctx hit =
+    if cache <> None then begin
+      Trace.attr ctx "cache" (Trace.Str (if hit then "hit" else "miss"));
+      Metrics.record (fun r ->
+          Metrics.incr r
+            (if hit then "fusion_cache_hits_total" else "fusion_cache_misses_total"))
+    end
+  in
+  let exec_op ctx (op : Op.t) =
     match op with
     | Select { dst; cond = c; source = j } -> (
       let s = source j and condition = cond c in
@@ -139,11 +150,13 @@ let run ?cache ?(retries = 0) ?(on_exhausted = `Fail) ~sources ~conds plan =
             Query_cache.record_hit t s ~items_sent:0
               ~items_received:(Item_set.cardinal answer))
           cache;
+        cache_outcome ctx true;
         Hashtbl.replace env dst (Items answer);
         (0.0, Item_set.cardinal answer)
       | None ->
         let answer, cost = Source.select_query s condition in
         Option.iter (fun t -> Query_cache.store t s condition answer) cache;
+        cache_outcome ctx false;
         Hashtbl.replace env dst (Items answer);
         (cost, Item_set.cardinal answer))
     | Semijoin { dst; cond = c; source = j; input } -> (
@@ -168,11 +181,13 @@ let run ?cache ?(retries = 0) ?(on_exhausted = `Fail) ~sources ~conds plan =
               Query_cache.record_hit_emulated t s ~bindings:(Item_set.cardinal probe)
                 ~items_received:received)
           cache;
+        cache_outcome ctx true;
         Hashtbl.replace env dst (Items answer);
         (0.0, Item_set.cardinal answer)
       | None ->
         let answer, cost = Source.semijoin_query s condition probe in
         Option.iter (fun t -> Query_cache.store_sjq t s condition probe answer) cache;
+        cache_outcome ctx false;
         Hashtbl.replace env dst (Items answer);
         (cost, Item_set.cardinal answer))
     | Load { dst; source = j } ->
@@ -200,12 +215,12 @@ let run ?cache ?(retries = 0) ?(on_exhausted = `Fail) ~sources ~conds plan =
   in
   (* Source queries retry on timeouts; their step cost is the meter
      delta, which includes the failed attempts' overhead. *)
-  let exec_with_retries (op : Op.t) =
-    if not (Op.is_source_query op) then exec_op op
+  let exec_with_retries ctx (op : Op.t) =
+    if not (Op.is_source_query op) then exec_op ctx op
     else begin
       let before = metered_cost () in
       let rec attempt budget =
-        match exec_op op with
+        match exec_op ctx op with
         | _, result_size -> Some result_size
         | exception Source.Timeout _ ->
           incr failures;
@@ -234,7 +249,22 @@ let run ?cache ?(retries = 0) ?(on_exhausted = `Fail) ~sources ~conds plan =
   let steps =
     List.map
       (fun op ->
-        let cost, result_size = exec_with_retries op in
+        let cost, result_size =
+          Trace.span Trace.Step (Op.name op) (fun ctx ->
+              let failures_before = !failures in
+              let cost, result_size = exec_with_retries ctx op in
+              if Trace.active ctx then begin
+                Trace.attrs ctx
+                  [
+                    ("dst", Trace.Str (Op.dst op));
+                    ("cost", Trace.Float cost);
+                    ("result_size", Trace.Int result_size);
+                  ];
+                if !failures > failures_before then
+                  Trace.attr ctx "timeouts" (Trace.Int (!failures - failures_before))
+              end;
+              (cost, result_size))
+        in
         { op; cost; result_size })
       (Plan.ops plan)
   in

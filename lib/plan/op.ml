@@ -26,6 +26,16 @@ let is_source_query = function
   | Select _ | Semijoin _ | Load _ -> true
   | Local_select _ | Union _ | Inter _ | Diff _ -> false
 
+(* The operator mnemonic, as used in Plan_text and trace span names. *)
+let name = function
+  | Select _ -> "sq"
+  | Semijoin _ -> "sjq"
+  | Load _ -> "lq"
+  | Local_select _ -> "lsq"
+  | Union _ -> "union"
+  | Inter _ -> "inter"
+  | Diff _ -> "diff"
+
 let pp ?source_name ppf op =
   let rname j =
     match source_name with Some f -> f j | None -> Printf.sprintf "R%d" (j + 1)

@@ -31,6 +31,10 @@ val is_source_query : t -> bool
 (** Whether the operation sends a query to a source (and therefore has a
     cost under the paper's model). *)
 
+val name : t -> string
+(** The operator mnemonic ([sq], [sjq], [lq], [lsq], [union], [inter],
+    [diff]), as used in {!Plan_text} and trace span names. *)
+
 val pp : ?source_name:(int -> string) -> Format.formatter -> t -> unit
 (** Paper notation, e.g. [X21 := sjq(c2, R1, X1)]. [source_name]
     overrides the default [R<j+1>] naming. *)

@@ -1,5 +1,7 @@
 open Fusion_data
 open Fusion_cond
+module Trace = Fusion_obs.Trace
+module Metrics = Fusion_obs.Metrics
 
 exception Unsupported of string
 
@@ -41,13 +43,56 @@ let maybe_fail t ~items_sent =
 
 let predicate t cond tuple = Cond.eval (schema t) cond tuple
 
+(* One [Trace.Request] span per logical source query, whether or not it
+   succeeds: the span's cost and request count are meter deltas, so
+   timed-out attempts (which still pay their overhead) are attributed to
+   the span that caused them. When neither tracing nor metrics are on,
+   this is one closure call and one option match. *)
+let observed t ~op f =
+  Trace.span Trace.Request op (fun ctx ->
+      if not (Trace.active ctx || Metrics.installed () <> None) then f ctx
+      else begin
+        let before = Fusion_net.Meter.totals t.meter in
+        Fun.protect
+          ~finally:(fun () ->
+            let after = Fusion_net.Meter.totals t.meter in
+            let cost = after.Fusion_net.Meter.cost -. before.Fusion_net.Meter.cost in
+            let requests =
+              after.Fusion_net.Meter.requests - before.Fusion_net.Meter.requests
+            in
+            if Trace.active ctx then begin
+              Trace.attrs ctx
+                [
+                  ("source", Trace.Str (name t));
+                  ("requests", Trace.Int requests);
+                  ("cost", Trace.Float cost);
+                ];
+              Trace.charge ctx cost
+            end;
+            Metrics.record (fun r ->
+                let labels = [ ("source", name t); ("op", op) ] in
+                Metrics.incr r ~labels "fusion_requests_total"
+                  ~by:(float_of_int requests);
+                Metrics.incr r ~labels "fusion_request_cost_total" ~by:cost))
+          (fun () -> f ctx)
+      end)
+
 let select_query t cond =
-  maybe_fail t ~items_sent:0;
-  let answer = Relation.select_items t.relation (predicate t cond) in
-  let cost =
-    charge t ~items_sent:0 ~items_received:(Item_set.cardinal answer) ~tuples_received:0
-  in
-  (answer, cost)
+  observed t ~op:"sq" (fun ctx ->
+      maybe_fail t ~items_sent:0;
+      let answer = Relation.select_items t.relation (predicate t cond) in
+      let cost =
+        charge t ~items_sent:0 ~items_received:(Item_set.cardinal answer)
+          ~tuples_received:0
+      in
+      if Trace.active ctx then
+        Trace.attrs ctx
+          [
+            ("cond", Trace.Str (Cond.to_string cond));
+            ("items_sent", Trace.Int 0);
+            ("items_received", Trace.Int (Item_set.cardinal answer));
+          ];
+      (answer, cost))
 
 let native_semijoin t cond xs =
   maybe_fail t ~items_sent:(Item_set.cardinal xs);
@@ -72,29 +117,62 @@ let emulated_semijoin t cond xs =
     xs (Item_set.empty, 0.0)
 
 let semijoin_query t cond xs =
-  if t.capability.Capability.native_semijoin then native_semijoin t cond xs
-  else if t.capability.Capability.point_select then emulated_semijoin t cond xs
-  else raise (Unsupported (Printf.sprintf "source %s cannot answer semijoin queries" (name t)))
+  if
+    not
+      (t.capability.Capability.native_semijoin || t.capability.Capability.point_select)
+  then
+    raise (Unsupported (Printf.sprintf "source %s cannot answer semijoin queries" (name t)));
+  observed t ~op:"sjq" (fun ctx ->
+      let emulated = not t.capability.Capability.native_semijoin in
+      let answer, cost =
+        if emulated then emulated_semijoin t cond xs else native_semijoin t cond xs
+      in
+      if Trace.active ctx then
+        Trace.attrs ctx
+          [
+            ("cond", Trace.Str (Cond.to_string cond));
+            ("items_sent", Trace.Int (Item_set.cardinal xs));
+            ("items_received", Trace.Int (Item_set.cardinal answer));
+            ("emulated", Trace.Bool emulated);
+          ];
+      (answer, cost))
 
 let load_query t =
   if not t.capability.Capability.load then
     raise (Unsupported (Printf.sprintf "source %s cannot ship its relation" (name t)));
-  maybe_fail t ~items_sent:0;
-  let cost =
-    charge t ~items_sent:0 ~items_received:0 ~tuples_received:(Relation.cardinality t.relation)
-  in
-  (t.relation, cost)
+  observed t ~op:"lq" (fun ctx ->
+      maybe_fail t ~items_sent:0;
+      let cost =
+        charge t ~items_sent:0 ~items_received:0
+          ~tuples_received:(Relation.cardinality t.relation)
+      in
+      if Trace.active ctx then
+        Trace.attrs ctx
+          [
+            ("items_sent", Trace.Int 0);
+            ("tuples_received", Trace.Int (Relation.cardinality t.relation));
+          ];
+      (t.relation, cost))
 
 let fetch_records t items =
-  maybe_fail t ~items_sent:(Item_set.cardinal items);
-  let tuples =
-    Item_set.fold (fun item acc -> Relation.tuples_of_item t.relation item @ acc) items []
-  in
-  let cost =
-    charge t ~items_sent:(Item_set.cardinal items) ~items_received:0
-      ~tuples_received:(List.length tuples)
-  in
-  (tuples, cost)
+  observed t ~op:"fetch" (fun ctx ->
+      maybe_fail t ~items_sent:(Item_set.cardinal items);
+      let tuples =
+        Item_set.fold
+          (fun item acc -> Relation.tuples_of_item t.relation item @ acc)
+          items []
+      in
+      let cost =
+        charge t ~items_sent:(Item_set.cardinal items) ~items_received:0
+          ~tuples_received:(List.length tuples)
+      in
+      if Trace.active ctx then
+        Trace.attrs ctx
+          [
+            ("items_sent", Trace.Int (Item_set.cardinal items));
+            ("tuples_received", Trace.Int (List.length tuples));
+          ];
+      (tuples, cost))
 
 let totals t = Fusion_net.Meter.totals t.meter
 let reset_meter t = Fusion_net.Meter.reset t.meter

@@ -22,6 +22,19 @@ let build ~buckets ~lo ~hi ~values =
 
 let total t = Array.fold_left ( +. ) 0.0 t.counts
 
+let bounds t = (t.lo, t.hi)
+let counts t = Array.copy t.counts
+
+let of_counts ~lo ~hi ~counts =
+  if Array.length counts = 0 then invalid_arg "Histogram.of_counts: no buckets";
+  if hi <= lo then invalid_arg "Histogram.of_counts: empty domain";
+  {
+    lo;
+    hi;
+    counts = Array.copy counts;
+    width = float_of_int (hi - lo + 1) /. float_of_int (Array.length counts);
+  }
+
 (* Weight with value strictly below [bound]: whole buckets below the
    boundary bucket plus a linear share of the boundary bucket. *)
 let estimate_le t bound =

@@ -28,4 +28,14 @@ val estimate_eq : t -> int -> float
 (** Estimated weight equal to a point value (bucket weight spread
     uniformly over the bucket's width). *)
 
+val bounds : t -> int * int
+(** The inclusive [lo, hi] domain the histogram covers. *)
+
+val counts : t -> float array
+(** Per-bucket weights, in domain order (a copy; safe to mutate). *)
+
+val of_counts : lo:int -> hi:int -> counts:float array -> t
+(** Rebuild a histogram from [bounds] and [counts], e.g. when parsing a
+    serialized form. [hi] must exceed [lo]; [counts] must be non-empty. *)
+
 val pp : Format.formatter -> t -> unit

@@ -162,6 +162,77 @@ let test_csv_null_round_trip () =
   | [ t ] -> Alcotest.check Helpers.value "null survives" Value.Null (Tuple.get t 1)
   | _ -> Alcotest.fail "expected one tuple"
 
+(* Strings that defeat naive comma-splitting: separators, quotes,
+   whitespace, and the unquoted spellings of null. Each must survive a
+   write/read cycle byte-for-byte. *)
+let test_csv_quoting_round_trip () =
+  let tricky =
+    [
+      "plain";
+      "has,comma";
+      "has \"quotes\"";
+      "both, \"of\" them";
+      "  leading and trailing  ";
+      "";
+      "NULL";
+      "\"";
+      ",";
+    ]
+  in
+  let r =
+    Helpers.abc_relation
+      (List.mapi (fun i s -> Helpers.abc_row (Printf.sprintf "k%d" i) i s) tricky)
+  in
+  let text = Csv_io.write_string r in
+  let r' = Helpers.check_ok (Csv_io.read_string ~name:"R" text) in
+  Alcotest.(check int) "cardinality" (List.length tricky) (Relation.cardinality r');
+  List.iteri
+    (fun i s ->
+      match Relation.tuples_of_item r' (String (Printf.sprintf "k%d" i)) with
+      | [ t ] ->
+        Alcotest.check Helpers.value
+          (Printf.sprintf "field %d survives" i)
+          (Value.String s) (Tuple.get t 2)
+      | _ -> Alcotest.fail "expected one tuple per item")
+    tricky
+
+(* Quoted "" and "NULL" are literal strings; unquoted they are nulls. *)
+let test_csv_quoted_vs_null () =
+  let text = "*m:string,s:string\nk1,\"\"\nk2,\nk3,\"NULL\"\nk4,NULL\n" in
+  let r = Helpers.check_ok (Csv_io.read_string ~name:"R" text) in
+  let field k =
+    match Relation.tuples_of_item r (String k) with
+    | [ t ] -> Tuple.get t 1
+    | _ -> Alcotest.fail "expected one tuple"
+  in
+  Alcotest.check Helpers.value "quoted empty" (Value.String "") (field "k1");
+  Alcotest.check Helpers.value "bare empty" Value.Null (field "k2");
+  Alcotest.check Helpers.value "quoted NULL" (Value.String "NULL") (field "k3");
+  Alcotest.check Helpers.value "bare NULL" Value.Null (field "k4")
+
+(* Random strings over a hostile alphabet round-trip through CSV. *)
+let csv_string_round_trip =
+  let field_gen =
+    QCheck2.Gen.(string_size ~gen:(oneofl [ 'a'; ','; '"'; ' '; 'N' ]) (int_range 0 8))
+  in
+  Helpers.qtest ~count:200 "csv string fields round-trip"
+    QCheck2.Gen.(list_size (int_range 1 10) field_gen)
+    (fun fields -> String.concat "|" (List.map String.escaped fields))
+    (fun fields ->
+      let r =
+        Helpers.abc_relation
+          (List.mapi (fun i s -> Helpers.abc_row (Printf.sprintf "k%d" i) i s) fields)
+      in
+      match Csv_io.read_string ~name:"R" (Csv_io.write_string r) with
+      | Error _ -> false
+      | Ok r' ->
+        List.for_all
+          (fun i ->
+            match Relation.tuples_of_item r' (String (Printf.sprintf "k%d" i)) with
+            | [ t ] -> Tuple.get t 2 = Value.String (List.nth fields i)
+            | _ -> false)
+          (List.init (List.length fields) Fun.id))
+
 let item_set_algebra =
   let gen = QCheck2.Gen.(list_size (int_range 0 12) (int_range 0 8)) in
   let to_set l = Item_set.of_list (List.map (fun i -> Value.Int i) l) in
@@ -191,5 +262,8 @@ let suite =
     Alcotest.test_case "csv round trip" `Quick test_csv_round_trip;
     Alcotest.test_case "csv errors" `Quick test_csv_errors;
     Alcotest.test_case "csv null round trip" `Quick test_csv_null_round_trip;
+    Alcotest.test_case "csv quoting round trip" `Quick test_csv_quoting_round_trip;
+    Alcotest.test_case "csv quoted vs null" `Quick test_csv_quoted_vs_null;
+    csv_string_round_trip;
     item_set_algebra;
   ]

@@ -1,0 +1,75 @@
+(* Golden-output regression tests: the exact renderings of the DMV
+   example's (Figure 1) SJA+ and Filter plans through Plan_text,
+   Plan_dot and Explain. Any intentional change to these formats should
+   update the literals below — the point is that such changes are
+   explicit, reviewed diffs rather than silent drift.
+
+   The literals were generated from this very code path; regenerate by
+   printing the corresponding [to_string]/[pp] output for
+   [Workload.fig1 ()]. *)
+
+open Fusion_core
+open Fusion_plan
+module Workload = Fusion_workload.Workload
+
+let sja_plus_text = "L3 := lq(R3)\nL2 := lq(R2)\nL1 := lq(R1)\nX1_1 := lsq(c1, L1)\nX1_2 := lsq(c1, L2)\nX1_3 := lsq(c1, L3)\nX1 := union(X1_1, X1_2, X1_3)\nX2_1 := lsq(c2, L1)\nS2 := union(X2_1)\nD2_1 := diff(X1, S2)\nX2_2_t := lsq(c2, L2)\nX2_2 := inter(X2_2_t, D2_1)\nD2_2 := diff(D2_1, X2_2)\nX2_3_t := lsq(c2, L3)\nX2_3 := inter(X2_3_t, D2_2)\nU2 := union(X2_1, X2_2, X2_3)\nX2 := inter(X1, U2)\nanswer X2\n"
+
+let filter_text = "X1_1 := sq(c1, R1)\nX1_2 := sq(c1, R2)\nX1_3 := sq(c1, R3)\nX1 := union(X1_1, X1_2, X1_3)\nX2_1 := sq(c2, R1)\nX2_2 := sq(c2, R2)\nX2_3 := sq(c2, R3)\nU2 := union(X2_1, X2_2, X2_3)\nX2 := inter(X1, U2)\nanswer X2\n"
+
+let sja_plus_dot = "digraph plan {\n  rankdir=TB;\n  node [fontsize=11];\n  n0 [label=\"L3 := lq(R3)\", shape=box3d];\n  n1 [label=\"L2 := lq(R2)\", shape=box3d];\n  n2 [label=\"L1 := lq(R1)\", shape=box3d];\n  n3 [label=\"X1_1 := sq(c1, local)\", shape=ellipse];\n  n2 -> n3;\n  n4 [label=\"X1_2 := sq(c1, local)\", shape=ellipse];\n  n1 -> n4;\n  n5 [label=\"X1_3 := sq(c1, local)\", shape=ellipse];\n  n0 -> n5;\n  n6 [label=\"X1 := \226\136\170\", shape=ellipse];\n  n3 -> n6;\n  n4 -> n6;\n  n5 -> n6;\n  n7 [label=\"X2_1 := sq(c2, local)\", shape=ellipse];\n  n2 -> n7;\n  n8 [label=\"S2 := \226\136\170\", shape=ellipse];\n  n7 -> n8;\n  n9 [label=\"D2_1 := \226\136\146\", shape=ellipse];\n  n6 -> n9;\n  n8 -> n9;\n  n10 [label=\"X2_2_t := sq(c2, local)\", shape=ellipse];\n  n1 -> n10;\n  n11 [label=\"X2_2 := \226\136\169\", shape=ellipse];\n  n10 -> n11;\n  n9 -> n11;\n  n12 [label=\"D2_2 := \226\136\146\", shape=ellipse];\n  n9 -> n12;\n  n11 -> n12;\n  n13 [label=\"X2_3_t := sq(c2, local)\", shape=ellipse];\n  n0 -> n13;\n  n14 [label=\"X2_3 := \226\136\169\", shape=ellipse];\n  n13 -> n14;\n  n12 -> n14;\n  n15 [label=\"U2 := \226\136\170\", shape=ellipse];\n  n7 -> n15;\n  n11 -> n15;\n  n14 -> n15;\n  n16 [label=\"X2 := \226\136\169\", shape=ellipse];\n  n6 -> n16;\n  n15 -> n16;\n  answer [shape=doublecircle, label=\"answer\"];\n  n16 -> answer;\n}\n"
+
+let sja_plus_explain = " 1) L3 := lq(R3)                           cost     74.0 /    74.0   rows      3.0 /     3\n 2) L2 := lq(R2)                           cost     74.0 /    74.0   rows      3.0 /     3\n 3) L1 := lq(R1)                           cost     74.0 /    74.0   rows      3.0 /     3\n 4) X1_1 := sq(c1, L1)                     cost      0.0 /     0.0   rows      2.0 /     2\n 5) X1_2 := sq(c1, L2)                     cost      0.0 /     0.0   rows      1.0 /     1\n 6) X1_3 := sq(c1, L3)                     cost      0.0 /     0.0   rows      0.0 /     0\n 7) X1 := X1_1 \226\136\170 X1_2 \226\136\170 X1_3           cost      0.0 /     0.0   rows      3.0 /     3\n 8) X2_1 := sq(c2, L1)                     cost      0.0 /     0.0   rows      1.0 /     1\n 9) S2 := X2_1                             cost      0.0 /     0.0   rows      1.0 /     1\n10) D2_1 := X1 - S2                        cost      0.0 /     0.0   rows      3.0 /     2\n11) X2_2_t := sq(c2, L2)                   cost      0.0 /     0.0   rows      2.0 /     2\n12) X2_2 := X2_2_t \226\136\169 D2_1                cost      0.0 /     0.0   rows      0.0 /     1\n13) D2_2 := D2_1 - X2_2                    cost      0.0 /     0.0   rows      3.0 /     1\n14) X2_3_t := sq(c2, L3)                   cost      0.0 /     0.0   rows      2.0 /     2\n15) X2_3 := X2_3_t \226\136\169 D2_2                cost      0.0 /     0.0   rows      0.0 /     0\n16) U2 := X2_1 \226\136\170 X2_2 \226\136\170 X2_3           cost      0.0 /     0.0   rows      0.0 /     2\n17) X2 := X1 \226\136\169 U2                        cost      0.0 /     0.0   rows      0.0 /     2\ntotal                                      222.0 /   222.0"
+
+let fig1_env () =
+  let instance = Workload.fig1 () in
+  let env =
+    Opt_env.create ~universe:instance.Workload.spec.Workload.universe
+      instance.Workload.sources instance.Workload.query
+  in
+  (instance, env)
+
+let plan_of env algo = (Optimizer.optimize algo env).Optimized.plan
+
+let test_plan_text_golden () =
+  let _, env = fig1_env () in
+  Alcotest.(check string) "sja+ plan text" sja_plus_text
+    (Plan_text.to_string (plan_of env Optimizer.Sja_plus));
+  Alcotest.(check string) "filter plan text" filter_text
+    (Plan_text.to_string (plan_of env Optimizer.Filter))
+
+let test_plan_dot_golden () =
+  let _, env = fig1_env () in
+  Alcotest.(check string) "sja+ dot" sja_plus_dot
+    (Plan_dot.to_string (plan_of env Optimizer.Sja_plus))
+
+let test_explain_golden () =
+  let instance, env = fig1_env () in
+  let plan = plan_of env Optimizer.Sja_plus in
+  let result = Helpers.execute_plan instance plan in
+  let explain =
+    Explain.analyze ~model:env.Opt_env.model ~est:env.Opt_env.est
+      ~sources:env.Opt_env.sources ~conds:env.Opt_env.conds plan result
+  in
+  Alcotest.(check string) "sja+ explain" sja_plus_explain
+    (Format.asprintf "%a" (Explain.pp ?source_name:None) explain)
+
+(* The golden plan text is not just stable — it still parses back to
+   the plan it came from. *)
+let test_golden_text_reparses () =
+  let _, env = fig1_env () in
+  List.iter
+    (fun (label, text, algo) ->
+      let plan = Helpers.check_ok (Plan_text.of_string text) in
+      Alcotest.(check bool) label true (plan = plan_of env algo))
+    [
+      ("sja+ reparses", sja_plus_text, Optimizer.Sja_plus);
+      ("filter reparses", filter_text, Optimizer.Filter);
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "plan text golden" `Quick test_plan_text_golden;
+    Alcotest.test_case "plan dot golden" `Quick test_plan_dot_golden;
+    Alcotest.test_case "explain golden" `Quick test_explain_golden;
+    Alcotest.test_case "golden text reparses" `Quick test_golden_text_reparses;
+  ]

@@ -28,4 +28,7 @@ let () =
       ("faults", Test_faults.suite);
       ("oem", Test_oem.suite);
       ("robust", Test_robust.suite);
+      ("obs", Test_obs.suite);
+      ("props", Test_props.suite);
+      ("golden", Test_golden.suite);
     ]
