@@ -173,7 +173,14 @@ let check_cache () =
   let mediator = Fusion_mediator.Mediator.create_exn (Array.to_list instance.Workload.sources) in
   let cache = Exec.Query_cache.create () in
   let run () =
-    match Fusion_mediator.Mediator.run ~cache ~algo:Optimizer.Sja mediator instance.Workload.query with
+    match Fusion_mediator.Mediator.run
+      ~config:
+        {
+          Fusion_mediator.Mediator.Config.default with
+          Fusion_mediator.Mediator.Config.algo = Optimizer.Sja;
+          cache = Some cache;
+        }
+      mediator instance.Workload.query with
     | Ok r -> r.Fusion_mediator.Mediator.actual_cost
     | Error msg -> failwith msg
   in
@@ -217,8 +224,9 @@ let check_faults () =
   let plan = (Optimizer.optimize Optimizer.Sja env).Optimized.plan in
   Array.iter Fusion_source.Source.reset_meter instance.Workload.sources;
   let result =
-    Exec.run ~retries:500 ~sources:instance.Workload.sources
-      ~conds:env.Opt_env.conds plan
+    Exec.run
+      ~policy:{ Exec.retries = 500; on_exhausted = `Fail }
+      ~sources:instance.Workload.sources ~conds:env.Opt_env.conds plan
   in
   Array.iter (fun s -> Fusion_source.Source.set_fault s None) instance.Workload.sources;
   let truth =

@@ -25,6 +25,7 @@ let experiments =
     ("x12", "cost-model calibration", X12_calibration.run);
     ("x13", "flaky sources: retries and partial answers", X13_faults.run);
     ("x14", "planning under estimate uncertainty", X14_robust.run);
+    ("x15", "concurrent execution: makespan vs total work", X15_concurrency.run);
     ("check", "executable claims (regression gate)", Checks.run);
   ]
 

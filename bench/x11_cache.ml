@@ -52,7 +52,10 @@ let session_cost ~cache mediator queries =
   List.fold_left
     (fun acc query ->
       let report =
-        match Mediator.run ?cache ~algo:Optimizer.Sja mediator query with
+        match Mediator.run
+          ~config:
+            { Mediator.Config.default with Mediator.Config.algo = Optimizer.Sja; cache }
+          mediator query with
         | Ok r -> r
         | Error msg -> failwith msg
       in

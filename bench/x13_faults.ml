@@ -38,7 +38,9 @@ let run_with instance =
   let env = Runner.env_of instance in
   let plan = (Optimizer.optimize Optimizer.Sja env).Optimized.plan in
   Array.iter Source.reset_meter instance.Workload.sources;
-  Exec.run ~retries:1000 ~sources:instance.Workload.sources
+  Exec.run
+    ~policy:{ Exec.retries = 1000; on_exhausted = `Fail }
+    ~sources:instance.Workload.sources
     ~conds:(Fusion_query.Query.conditions instance.Workload.query)
     plan
 
@@ -83,7 +85,9 @@ let run () =
         let plan = (Optimizer.optimize Optimizer.Sja env).Optimized.plan in
         Array.iter Source.reset_meter instance.Workload.sources;
         let result =
-          Exec.run ~on_exhausted:`Partial ~sources:instance.Workload.sources
+          Exec.run
+            ~policy:{ Exec.retries = 0; on_exhausted = `Partial }
+            ~sources:instance.Workload.sources
             ~conds:(Fusion_query.Query.conditions instance.Workload.query)
             plan
         in

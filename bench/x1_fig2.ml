@@ -31,7 +31,13 @@ let run () =
   let fig1 = Workload.fig1 () in
   let mediator = Fusion_mediator.Mediator.create_exn (Array.to_list fig1.Workload.sources) in
   let report =
-    match Fusion_mediator.Mediator.run ~algo:Optimizer.Sja mediator fig1.Workload.query with
+    match Fusion_mediator.Mediator.run
+      ~config:
+        {
+          Fusion_mediator.Mediator.Config.default with
+          Fusion_mediator.Mediator.Config.algo = Optimizer.Sja;
+        }
+      mediator fig1.Workload.query with
     | Ok r -> r
     | Error msg -> failwith msg
   in

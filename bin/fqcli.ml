@@ -137,6 +137,22 @@ let stats_of_sample sample hist =
   | None, Some buckets -> Opt_env.Histogram buckets
   | None, None -> Opt_env.Exact
 
+let concurrency_conv =
+  let parse = function
+    | "seq" -> Ok `Seq
+    | "par" -> Ok `Par
+    | s -> Error (`Msg (Printf.sprintf "unknown concurrency %S (expected seq or par)" s))
+  in
+  let print ppf c = Format.pp_print_string ppf (match c with `Seq -> "seq" | `Par -> "par") in
+  Arg.conv (parse, print)
+
+let concurrency_arg =
+  let doc =
+    "Execution mode: $(b,seq) runs plan steps one after another, $(b,par) dispatches \
+     source queries concurrently on the simulated network and reports the makespan."
+  in
+  Arg.(value & opt concurrency_conv `Seq & info [ "concurrency" ] ~docv:"MODE" ~doc)
+
 (* --- run ----------------------------------------------------------------- *)
 
 let run_cmd =
@@ -151,7 +167,7 @@ let run_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
-  let action location sql algo sample hist plan_file trace verbose =
+  let action location sql algo sample hist concurrency plan_file trace verbose =
     setup_logs verbose;
     report_result
       (let* location = location in
@@ -159,10 +175,20 @@ let run_cmd =
            with_tracing trace (fun () ->
            match plan_file with
            | None ->
-             let* result =
-               Mediator.select_sql ~stats:(stats_of_sample sample hist) ~algo mediator sql
+             let config =
+               {
+                 Mediator.Config.default with
+                 Mediator.Config.algo;
+                 stats = stats_of_sample sample hist;
+                 concurrency;
+               }
              in
+             let* result = Mediator.select_sql ~config mediator sql in
              Format.printf "%a@." Mediator.pp_report result.Mediator.report;
+             if concurrency = `Par then
+               Format.printf "makespan: %.1f (total cost %.1f)@."
+                 result.Mediator.report.Mediator.response_time
+                 result.Mediator.report.Mediator.actual_cost;
              if List.length result.Mediator.columns > 1 then begin
                Format.printf "@.%s@." (String.concat " | " result.Mediator.columns);
                List.iter
@@ -201,7 +227,7 @@ let run_cmd =
   let doc = "run a fusion query over CSV sources" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const action $ location_term $ sql_arg $ algo_arg $ sample_arg $ hist_arg
-          $ plan_arg $ trace_arg $ verbose_arg)
+          $ concurrency_arg $ plan_arg $ trace_arg $ verbose_arg)
 
 (* --- explain ------------------------------------------------------------- *)
 
@@ -307,7 +333,14 @@ let compare_cmd =
              | [] -> Ok ()
              | algo :: rest ->
                let* report =
-                 Mediator.run_sql ~stats:(stats_of_sample sample hist) ~algo mediator sql
+                 Mediator.run_sql
+                   ~config:
+                     {
+                       Mediator.Config.default with
+                       Mediator.Config.algo;
+                       stats = stats_of_sample sample hist;
+                     }
+                   mediator sql
                in
                Format.printf "%-12s %12.1f %12.1f %9d@." (Optimizer.name algo)
                  report.Mediator.optimized.Optimized.est_cost report.Mediator.actual_cost
@@ -448,7 +481,16 @@ let shell_cmd =
                end)
            in
            let run sql =
-             match Mediator.select_sql ~cache ~algo:!algo mediator sql with
+             match
+               Mediator.select_sql
+                 ~config:
+                   {
+                     Mediator.Config.default with
+                     Mediator.Config.algo = !algo;
+                     cache = Some cache;
+                   }
+                 mediator sql
+             with
              | Error msg -> Format.printf "error: %s@." msg
              | Ok result ->
                let report = result.Mediator.report in

@@ -57,7 +57,10 @@ let () =
     | Ok q -> q
     | Error msg -> failwith msg
   in
-  match Mediator.two_phase ~algo:Optimizer.Sja_plus mediator query with
+  match Mediator.two_phase
+          ~config:
+            { Mediator.Config.default with Mediator.Config.algo = Optimizer.Sja_plus }
+          mediator query with
   | Error msg -> Format.printf "failed: %s@." msg
   | Ok (report, records) ->
     let phase1 = report.Mediator.actual_cost in

@@ -50,7 +50,13 @@ let () =
   Format.printf "%-12s %12s %12s %9s@." "algorithm" "est. cost" "actual cost" "drivers";
   List.iter
     (fun algo ->
-      match Fusion_mediator.Mediator.run_sql ~algo mediator sql with
+      match Fusion_mediator.Mediator.run_sql
+          ~config:
+            {
+              Fusion_mediator.Mediator.Config.default with
+              Fusion_mediator.Mediator.Config.algo;
+            }
+          mediator sql with
       | Ok report ->
         Format.printf "%-12s %12.1f %12.1f %9d@." (Optimizer.name algo)
           report.Fusion_mediator.Mediator.optimized.Optimized.est_cost
@@ -59,7 +65,13 @@ let () =
       | Error msg -> Format.printf "%-12s failed: %s@." (Optimizer.name algo) msg)
     Optimizer.all;
   (* Show the winning plan. *)
-  match Fusion_mediator.Mediator.run_sql ~algo:Optimizer.Sja_plus mediator sql with
+  match Fusion_mediator.Mediator.run_sql
+        ~config:
+          {
+            Fusion_mediator.Mediator.Config.default with
+            Fusion_mediator.Mediator.Config.algo = Optimizer.Sja_plus;
+          }
+        mediator sql with
   | Ok report ->
     Format.printf "@.SJA+ plan:@.%a@."
       (Fusion_plan.Plan.pp ~source_name:(fun j -> Source.name sources.(j)))

@@ -55,7 +55,13 @@ let () =
   let results =
     List.filter_map
       (fun algo ->
-        match Fusion_mediator.Mediator.run_sql ~algo mediator sql with
+        match Fusion_mediator.Mediator.run_sql
+            ~config:
+              {
+                Fusion_mediator.Mediator.Config.default with
+                Fusion_mediator.Mediator.Config.algo;
+              }
+            mediator sql with
         | Ok report ->
           Format.printf "%-12s %12.1f %12.1f@." (Optimizer.name algo)
             report.Fusion_mediator.Mediator.optimized.Optimized.est_cost

@@ -1,9 +1,9 @@
 (* Parallel execution timelines (the paper's Section 6 future work).
 
-   One slow mirror among six sources. We execute the FILTER, SJA and
-   SJA-RT plans, replay their actual per-query costs on the
-   discrete-event simulator (each source answers one query at a time)
-   and draw the Gantt chart of every plan — making the work/response
+   One slow mirror among six sources. We run the FILTER, SJA and SJA-RT
+   plans live on the concurrent executor (each source answers one query
+   at a time, queries dispatch the moment their inputs are ready) and
+   draw the Gantt chart of every plan — making the work/response
    tradeoff visible: FILTER fires everything at once and queues at the
    sources; semijoin plans serialize rounds but ship far less. *)
 
@@ -40,7 +40,6 @@ let instance_with_slow_mirror () =
 
 let () =
   let instance = instance_with_slow_mirror () in
-  let n = Array.length instance.Workload.sources in
   let env =
     Opt_env.create ~universe:instance.Workload.spec.Workload.universe
       instance.Workload.sources instance.Workload.query
@@ -48,17 +47,14 @@ let () =
   let show name optimized =
     Array.iter Source.reset_meter instance.Workload.sources;
     let result =
-      Exec.run ~sources:instance.Workload.sources ~conds:env.Opt_env.conds
+      Exec_async.run ~sources:instance.Workload.sources ~conds:env.Opt_env.conds
         optimized.Optimized.plan
     in
-    let timeline =
-      Parallel_exec.simulate ~serialize_sources:true ~n optimized.Optimized.plan result
-    in
     Format.printf "=== %s: total work %.1f, makespan %.1f ===@.%a@.@." name
-      result.Exec.total_cost timeline.Sim.makespan
+      result.Exec_async.total_cost result.Exec_async.makespan
       (Sim.pp_gantt ~width:64
          ~server_name:(fun j -> Source.name instance.Workload.sources.(j)))
-      timeline
+      result.Exec_async.timeline
   in
   show "filter" (Algorithms.filter env);
   show "sja" (Algorithms.sja env);

@@ -19,7 +19,13 @@ let () =
   Format.printf "query: %s@.@." sql;
   List.iter
     (fun algo ->
-      match Fusion_mediator.Mediator.run_sql ~algo mediator sql with
+      match Fusion_mediator.Mediator.run_sql
+          ~config:
+            {
+              Fusion_mediator.Mediator.Config.default with
+              Fusion_mediator.Mediator.Config.algo;
+            }
+          mediator sql with
       | Ok report ->
         Format.printf "=== %s ===@.%a@.@." (Optimizer.name algo)
           Fusion_mediator.Mediator.pp_report report

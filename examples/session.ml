@@ -37,7 +37,14 @@ let () =
   Format.printf "=== session with a shared cache ===@.";
   List.iteri
     (fun i sql ->
-      match Mediator.run_sql ~cache ~algo:Optimizer.Sja mediator sql with
+      match Mediator.run_sql
+          ~config:
+            {
+              Mediator.Config.default with
+              Mediator.Config.algo = Optimizer.Sja;
+              cache = Some cache;
+            }
+          mediator sql with
       | Ok report ->
         Format.printf "query %d: cost %8.1f, %3d answers@." (i + 1)
           report.Mediator.actual_cost

@@ -69,7 +69,13 @@ let () =
     "SELECT u1.L FROM U u1, U u2 WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.V = 'sp'"
   in
   Format.printf "@.query: %s@." sql;
-  match Fusion_mediator.Mediator.run_sql ~algo:Optimizer.Sja mediator sql with
+  match Fusion_mediator.Mediator.run_sql
+      ~config:
+        {
+          Fusion_mediator.Mediator.Config.default with
+          Fusion_mediator.Mediator.Config.algo = Optimizer.Sja;
+        }
+      mediator sql with
   | Ok report ->
     Format.printf "answer: %a (paper's Figure 1 answer: {J55, T21})@."
       Item_set.pp report.Fusion_mediator.Mediator.answer

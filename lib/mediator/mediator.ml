@@ -39,82 +39,149 @@ let of_catalog ?union path =
 let schema t = Source.schema t.sources.(0)
 let sources t = t.sources
 
+module Config = struct
+  type concurrency = [ `Seq | `Par ]
+
+  type t = {
+    algo : Optimizer.algo;
+    stats : Opt_env.stats_mode;
+    cache : Fusion_plan.Exec.Query_cache.t option;
+    retries : int;
+    on_exhausted : [ `Fail | `Partial ];
+    trace : Trace.collector option;
+    concurrency : concurrency;
+  }
+
+  let default =
+    {
+      algo = Optimizer.Sja_plus;
+      stats = Opt_env.Exact;
+      cache = None;
+      retries = 0;
+      on_exhausted = `Fail;
+      trace = None;
+      concurrency = `Seq;
+    }
+
+  let policy c = { Fusion_plan.Exec.retries = c.retries; on_exhausted = c.on_exhausted }
+end
+
 type report = {
   algo : Optimizer.algo;
   optimized : Optimized.t;
   answer : Item_set.t;
   actual_cost : float;
+  response_time : float;
   steps : Fusion_plan.Exec.step list;
   per_source : (string * Fusion_net.Meter.totals) list;
   failures : int;
   partial : bool;
   trace : Trace.span list;
-      (* The spans recorded during this run ([]) when tracing is off);
+      (* The spans recorded during this run ([] when tracing is off);
          the root is the run's [Trace.Run] span. *)
 }
 
-let run_body ?cache ?retries ?on_exhausted ?stats ~algo ~ctx t query =
+(* The execution-shaped slice of a report, same whichever executor
+   produced it. *)
+type execution = {
+  x_answer : Item_set.t;
+  x_steps : Fusion_plan.Exec.step list;
+  x_cost : float;
+  x_response_time : float;
+  x_failures : int;
+  x_partial : bool;
+}
+
+let run_body ~(config : Config.t) ~ctx t query =
   match Fusion_query.Query.validate (schema t) query with
   | Error msg -> Error ("invalid query: " ^ msg)
   | Ok () -> (
     (* Redundant conditions (duplicates, TRUE) would cost whole rounds. *)
     let query = Fusion_query.Query.normalize query in
-    let env = Opt_env.create ?stats t.sources query in
+    let env = Opt_env.create ~stats:config.Config.stats t.sources query in
     Log.debug (fun m ->
         m "optimizing %a with %s over %d sources" Fusion_query.Query.pp query
-          (Optimizer.name algo) (Array.length t.sources));
-    let optimized = Optimizer.optimize algo env in
+          (Optimizer.name config.Config.algo) (Array.length t.sources));
+    let optimized = Optimizer.optimize config.Config.algo env in
     Log.info (fun m ->
-        m "%s chose a %d-step plan, estimated cost %.1f" (Optimizer.name algo)
+        m "%s chose a %d-step plan, estimated cost %.1f"
+          (Optimizer.name config.Config.algo)
           (List.length (Fusion_plan.Plan.ops optimized.Optimized.plan))
           optimized.Optimized.est_cost);
     Array.iter Source.reset_meter t.sources;
-    match
-      Fusion_plan.Exec.run ?cache ?retries ?on_exhausted ~sources:t.sources
-        ~conds:env.Opt_env.conds optimized.Optimized.plan
-    with
-    | result ->
+    let cache = config.Config.cache and policy = Config.policy config in
+    let execute () =
+      match config.Config.concurrency with
+      | `Seq ->
+        let r =
+          Fusion_plan.Exec.run ?cache ~policy ~sources:t.sources
+            ~conds:env.Opt_env.conds optimized.Optimized.plan
+        in
+        {
+          x_answer = r.Fusion_plan.Exec.answer;
+          x_steps = r.Fusion_plan.Exec.steps;
+          x_cost = r.Fusion_plan.Exec.total_cost;
+          (* Sequential: the query takes as long as its total work. *)
+          x_response_time = r.Fusion_plan.Exec.total_cost;
+          x_failures = r.Fusion_plan.Exec.failures;
+          x_partial = r.Fusion_plan.Exec.partial;
+        }
+      | `Par ->
+        let r =
+          Fusion_plan.Exec_async.run ?cache ~policy ~sources:t.sources
+            ~conds:env.Opt_env.conds optimized.Optimized.plan
+        in
+        {
+          x_answer = r.Fusion_plan.Exec_async.answer;
+          x_steps = Fusion_plan.Exec_async.to_exec_steps r.Fusion_plan.Exec_async.steps;
+          x_cost = r.Fusion_plan.Exec_async.total_cost;
+          x_response_time = r.Fusion_plan.Exec_async.makespan;
+          x_failures = r.Fusion_plan.Exec_async.failures;
+          x_partial = r.Fusion_plan.Exec_async.partial;
+        }
+    in
+    match execute () with
+    | x ->
       Log.info (fun m ->
-          m "executed: actual cost %.1f, %d answers"
-            result.Fusion_plan.Exec.total_cost
-            (Item_set.cardinal result.Fusion_plan.Exec.answer));
+          m "executed: actual cost %.1f, response time %.1f, %d answers" x.x_cost
+            x.x_response_time
+            (Item_set.cardinal x.x_answer));
       if Trace.active ctx then
         Trace.attrs ctx
           [
             ("est_cost", Trace.Float optimized.Optimized.est_cost);
-            ("actual_cost", Trace.Float result.Fusion_plan.Exec.total_cost);
-            ("answers", Trace.Int (Item_set.cardinal result.Fusion_plan.Exec.answer));
+            ("actual_cost", Trace.Float x.x_cost);
+            ("response_time", Trace.Float x.x_response_time);
+            ("answers", Trace.Int (Item_set.cardinal x.x_answer));
           ];
       Metrics.record (fun r ->
-          let labels = [ ("algo", Optimizer.name algo) ] in
+          let labels = [ ("algo", Optimizer.name config.Config.algo) ] in
           Metrics.incr r ~labels "fusion_runs_total";
-          Metrics.incr r ~labels "fusion_run_cost_total"
-            ~by:result.Fusion_plan.Exec.total_cost;
-          Metrics.observe r ~labels "fusion_answer_size"
-            (Item_set.cardinal result.Fusion_plan.Exec.answer));
+          Metrics.incr r ~labels "fusion_run_cost_total" ~by:x.x_cost;
+          Metrics.observe r ~labels "fusion_answer_size" (Item_set.cardinal x.x_answer));
       Ok
         {
-          algo;
+          algo = config.Config.algo;
           optimized;
-          answer = result.Fusion_plan.Exec.answer;
-          actual_cost = result.Fusion_plan.Exec.total_cost;
-          steps = result.Fusion_plan.Exec.steps;
+          answer = x.x_answer;
+          actual_cost = x.x_cost;
+          response_time = x.x_response_time;
+          steps = x.x_steps;
           per_source =
             Array.to_list
               (Array.map (fun s -> (Source.name s, Source.totals s)) t.sources);
-          failures = result.Fusion_plan.Exec.failures;
-          partial = result.Fusion_plan.Exec.partial;
+          failures = x.x_failures;
+          partial = x.x_partial;
           trace = [];
         }
     | exception Source.Unsupported msg -> Error ("execution failed: " ^ msg)
     | exception Source.Timeout msg ->
       Error ("execution failed (source unreachable): " ^ msg))
 
-(* [?trace] installs a collector for the duration of the run (on top of
-   any process-wide one); either way, the spans the run produced come
-   back in [report.trace], with the [Run] span as the root. *)
-let run ?trace ?cache ?retries ?on_exhausted ?stats ?(algo = Optimizer.Sja_plus) t query
-    =
+(* [config.trace] installs a collector for the duration of the run (on
+   top of any process-wide one); either way, the spans the run produced
+   come back in [report.trace], with the [Run] span as the root. *)
+let run ?(config = Config.default) t query =
   let go () =
     let marked = Option.map (fun c -> (c, Trace.mark c)) (Trace.installed ()) in
     let result =
@@ -122,22 +189,24 @@ let run ?trace ?cache ?retries ?on_exhausted ?stats ?(algo = Optimizer.Sja_plus)
           if Trace.active ctx then
             Trace.attrs ctx
               [
-                ("algo", Trace.Str (Optimizer.name algo));
+                ("algo", Trace.Str (Optimizer.name config.Config.algo));
                 ("sources", Trace.Int (Array.length t.sources));
                 ("query", Trace.Str (Format.asprintf "%a" Fusion_query.Query.pp query));
               ];
-          run_body ?cache ?retries ?on_exhausted ?stats ~algo ~ctx t query)
+          run_body ~config ~ctx t query)
     in
     match result, marked with
     | Ok report, Some (c, m) -> Ok { report with trace = Trace.spans_since c m }
     | _ -> result
   in
-  match trace with Some c -> Trace.with_collector c go | None -> go ()
+  match config.Config.trace with
+  | Some c -> Trace.with_collector c go
+  | None -> go ()
 
-let run_sql ?trace ?cache ?retries ?on_exhausted ?stats ?algo t text =
+let run_sql ?config t text =
   match Fusion_query.Sql.parse_fusion ~schema:(schema t) ~union:t.union text with
   | Error msg -> Error msg
-  | Ok query -> run ?trace ?cache ?retries ?on_exhausted ?stats ?algo t query
+  | Ok query -> run ?config t query
 
 type records = { tuples : Tuple.t list; fetch_cost : float }
 
@@ -158,17 +227,17 @@ let fetch_phase2 t items =
   in
   { tuples; fetch_cost }
 
-let two_phase ?trace ?cache ?stats ?algo t query =
-  match run ?trace ?cache ?stats ?algo t query with
+let two_phase ?config t query =
+  match run ?config t query with
   | Error msg -> Error msg
   | Ok report -> Ok (report, fetch_phase2 t report.answer)
 
-let select_sql ?trace ?cache ?retries ?on_exhausted ?stats ?algo t text =
+let select_sql ?config t text =
   match Fusion_query.Sql.parse ~schema:(schema t) ~union:t.union text with
   | Error msg -> Error msg
   | Ok (Fusion_query.Sql.Not_fusion reason) -> Error ("not a fusion query: " ^ reason)
   | Ok (Fusion_query.Sql.Fusion (query, projection)) -> (
-    match run ?trace ?cache ?retries ?on_exhausted ?stats ?algo t query with
+    match run ?config t query with
     | Error msg -> Error msg
     | Ok report ->
       let schema = schema t in
@@ -209,10 +278,13 @@ let single_phase_cost t query =
     0.0 t.sources
 
 let pp_report ppf r =
-  Format.fprintf ppf "@[<v>algorithm: %s@,%a@,actual cost: %.1f%s@,answer (%d items): %a"
+  Format.fprintf ppf "@[<v>algorithm: %s@,%a@,actual cost: %.1f%s%s@,answer (%d items): %a"
     (Optimizer.name r.algo)
     (Optimized.pp ?source_name:None)
     r.optimized r.actual_cost
+    (if r.response_time < r.actual_cost then
+       Printf.sprintf " (response time %.1f)" r.response_time
+     else "")
     (if r.partial then " (PARTIAL: a source was unreachable)"
      else if r.failures > 0 then Printf.sprintf " (%d retried timeouts)" r.failures
      else "")

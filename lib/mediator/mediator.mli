@@ -25,11 +25,42 @@ val of_catalog : ?union:string -> string -> (t, string) result
 val schema : t -> Schema.t
 val sources : t -> Source.t array
 
+(** How a query is processed, in one place. Every entry point takes one
+    optional [?config]; build variations with record update:
+    [{ Config.default with Config.algo = Optimizer.Filter }]. *)
+module Config : sig
+  type concurrency =
+    [ `Seq  (** one step at a time: elapsed time = total cost *)
+    | `Par  (** live concurrent execution on {!Fusion_plan.Exec_async} *) ]
+
+  type t = {
+    algo : Optimizer.algo;  (** optimization algorithm (default SJA+) *)
+    stats : Opt_env.stats_mode;  (** statistics backing the optimizer *)
+    cache : Fusion_plan.Exec.Query_cache.t option;
+        (** session query cache, shared across runs *)
+    retries : int;  (** extra attempts per timed-out source query *)
+    on_exhausted : [ `Fail | `Partial ];  (** when retries run out *)
+    trace : Fusion_obs.Trace.collector option;
+        (** collector installed for the duration of each run *)
+    concurrency : concurrency;
+  }
+
+  val default : t
+  (** SJA+, exact statistics, no cache, no retries ([`Fail]), no
+      tracing, sequential execution. *)
+
+  val policy : t -> Fusion_plan.Exec.policy
+  (** The executor fault policy the config denotes. *)
+end
+
 type report = {
   algo : Optimizer.algo;
   optimized : Optimized.t;  (** the plan and its estimated cost *)
   answer : Item_set.t;
-  actual_cost : float;
+  actual_cost : float;  (** total work charged at the sources *)
+  response_time : float;
+      (** elapsed time on the simulated clock: equals [actual_cost]
+          under [`Seq], the concurrent makespan under [`Par] *)
   steps : Fusion_plan.Exec.step list;
   per_source : (string * Fusion_net.Meter.totals) list;
       (** actual traffic per source, this query only *)
@@ -40,22 +71,18 @@ type report = {
           [mediator.run] span; [[]] when tracing is off *)
 }
 
-val run : ?trace:Fusion_obs.Trace.collector -> ?cache:Fusion_plan.Exec.Query_cache.t ->
-  ?retries:int -> ?on_exhausted:[ `Fail | `Partial ] -> ?stats:Opt_env.stats_mode ->
-  ?algo:Optimizer.algo -> t -> Fusion_query.Query.t -> (report, string) result
-(** Optimize and execute (default algorithm: SJA+, default statistics:
-    exact). The query is {!Fusion_query.Query.normalize}d first, so
-    duplicate or trivial conditions never cost a round. Source meters
-    are reset before execution, so [per_source] reflects just this run.
-    Pass the same [cache] across the queries of a session to reuse
+val run : ?config:Config.t -> t -> Fusion_query.Query.t -> (report, string) result
+(** Optimize and execute under [config] ({!Config.default} if omitted).
+    The query is {!Fusion_query.Query.normalize}d first, so duplicate or
+    trivial conditions never cost a round. Source meters are reset
+    before execution, so [per_source] reflects just this run. Pass the
+    same [Config.cache] across the queries of a session to reuse
     selection answers for repeated conditions (Section 5's common
-    subexpressions). [trace] installs a span collector for the
+    subexpressions). [Config.trace] installs a span collector for the
     duration of the run; with or without it, whatever collector is
     active fills [report.trace]. *)
 
-val run_sql : ?trace:Fusion_obs.Trace.collector -> ?cache:Fusion_plan.Exec.Query_cache.t ->
-  ?retries:int -> ?on_exhausted:[ `Fail | `Partial ] -> ?stats:Opt_env.stats_mode ->
-  ?algo:Optimizer.algo -> t -> string -> (report, string) result
+val run_sql : ?config:Config.t -> t -> string -> (report, string) result
 (** Parses the SQL text against the mediator's schema and union-view
     name, requires it to be a fusion query, then behaves like {!run}. *)
 
@@ -68,10 +95,7 @@ type rows = {
   fetch_cost : float;  (** phase 2 *)
 }
 
-val select_sql : ?trace:Fusion_obs.Trace.collector ->
-  ?cache:Fusion_plan.Exec.Query_cache.t -> ?retries:int ->
-  ?on_exhausted:[ `Fail | `Partial ] -> ?stats:Opt_env.stats_mode ->
-  ?algo:Optimizer.algo -> t -> string -> (rows, string) result
+val select_sql : ?config:Config.t -> t -> string -> (rows, string) result
 (** The full two-phase pipeline for projected fusion queries
     ([SELECT u1.M, u1.A, ... FROM ...]): phase 1 computes the matching
     items with the chosen algorithm, phase 2 fetches their records and
@@ -82,9 +106,8 @@ val fetch_phase2 : t -> Item_set.t -> records
 (** Phase 2: pull the full records of the answer items from every
     source. *)
 
-val two_phase : ?trace:Fusion_obs.Trace.collector ->
-  ?cache:Fusion_plan.Exec.Query_cache.t -> ?stats:Opt_env.stats_mode ->
-  ?algo:Optimizer.algo -> t -> Fusion_query.Query.t -> (report * records, string) result
+val two_phase :
+  ?config:Config.t -> t -> Fusion_query.Query.t -> (report * records, string) result
 (** Phase 1 ({!run}) followed by {!fetch_phase2} on its answer. *)
 
 val single_phase_cost : t -> Fusion_query.Query.t -> float

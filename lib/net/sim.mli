@@ -38,6 +38,35 @@ val run : servers:int -> task list -> timeline
     @raise Invalid_argument on cyclic or dangling dependencies, or
     out-of-range servers. *)
 
+(** The incremental face of the simulator, for {e live} execution where
+    a task's duration is discovered only at dispatch time (the query's
+    answer determines its cost). A [Live.t] holds the same per-server
+    FIFO queueing state as {!run}; the caller is the ready-queue loop
+    and admits tasks one at a time. *)
+module Live : sig
+  type t
+
+  val create : servers:int -> t
+
+  val free_at : t -> int -> float
+  (** Next instant the server can start new work. *)
+
+  val dispatch :
+    t -> id:int -> server:int -> ready:float -> duration:float -> deps:int list ->
+    scheduled
+  (** Admits one task: it starts at [max ready (free_at server)], holds
+      the server for [duration], and its completion is recorded on the
+      timeline. [deps] is informational (the ids of the tasks whose
+      completion made this one ready). @raise Invalid_argument on an
+      out-of-range server or negative duration. *)
+
+  val busy : t -> float array
+  (** Accumulated service time per server. *)
+
+  val timeline : t -> timeline
+  (** Everything dispatched so far, in start-time order. *)
+end
+
 val pp_timeline : Format.formatter -> timeline -> unit
 
 val pp_gantt : ?width:int -> ?server_name:(int -> string) -> Format.formatter ->

@@ -98,7 +98,12 @@ end
 
 type binding = Items of Item_set.t | Loaded of Relation.t
 
-let run ?cache ?(retries = 0) ?(on_exhausted = `Fail) ~sources ~conds plan =
+type policy = { retries : int; on_exhausted : [ `Fail | `Partial ] }
+
+let default_policy = { retries = 0; on_exhausted = `Fail }
+
+let run ?cache ?(policy = default_policy) ~sources ~conds plan =
+  let { retries; on_exhausted } = policy in
   let env : (string, binding) Hashtbl.t = Hashtbl.create 16 in
   let failures = ref 0 in
   let partial = ref false in

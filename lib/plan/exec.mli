@@ -55,16 +55,43 @@ module Query_cache : sig
   }
 
   val stats : t -> stats
+
+  (** {2 Executor-internal operations}
+
+      The lookup/fill protocol shared by the sequential {!run} and the
+      concurrent {!Exec_async.run}. Not meant for application code —
+      going through these by hand desynchronizes the hit/miss
+      statistics from any executor's accounting. *)
+
+  val find : t -> Source.t -> Cond.t -> Item_set.t option
+  val store : t -> Source.t -> Cond.t -> Item_set.t -> unit
+  val find_sjq : t -> Source.t -> Cond.t -> Item_set.t -> Item_set.t option
+  val store_sjq : t -> Source.t -> Cond.t -> Item_set.t -> Item_set.t -> unit
+  val record_hit : t -> Source.t -> items_sent:int -> items_received:int -> unit
+  val record_hit_emulated : t -> Source.t -> bindings:int -> items_received:int -> unit
 end
 
+type policy = {
+  retries : int;  (** extra attempts after the first timed-out one *)
+  on_exhausted : [ `Fail | `Partial ];
+      (** what to do when the retries run out: re-raise, or bind an
+          empty result and mark the answer partial *)
+}
+(** The fault policy for sources that raise {!Source.Timeout}. Shared
+    by this sequential executor and the concurrent {!Exec_async} so the
+    two cannot drift apart. *)
+
+val default_policy : policy
+(** No retries, [`Fail]. *)
+
 val run :
-  ?cache:Query_cache.t -> ?retries:int -> ?on_exhausted:[ `Fail | `Partial ] ->
+  ?cache:Query_cache.t -> ?policy:policy ->
   sources:Source.t array -> conds:Cond.t array -> Plan.t -> result
 (** Executes the plan. With [cache], selection answers are reused as
     described above; cached steps appear in [steps] with cost 0.
 
-    Failure policy for sources that raise {!Source.Timeout}: each source
-    query is retried up to [retries] times (default 0); when retries are
-    exhausted, [`Fail] (default) re-raises while [`Partial] binds an
-    empty result and marks the answer {!result.partial}. Every attempt's
-    cost — including timed-out ones — is charged to the step. *)
+    Failure policy ([default_policy] if omitted): each source query is
+    retried up to [policy.retries] times; when retries are exhausted,
+    [`Fail] re-raises while [`Partial] binds an empty result and marks
+    the answer {!result.partial}. Every attempt's cost — including
+    timed-out ones — is charged to the step. *)

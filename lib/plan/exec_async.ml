@@ -1,0 +1,319 @@
+(* Live concurrent plan execution.
+
+   Where [Exec] runs the plan's steps one after another (total elapsed
+   time = total cost), this executor runs it on the discrete-event
+   scheduler of [Fusion_net.Sim]: every source query is dispatched the
+   moment its inputs are available, queries at different sources
+   overlap, and queries at one source queue FIFO behind each other — so
+   a slow mirror stalls only its own dependency chain.
+
+   Source queries are dispatched in plan order, which makes each
+   source's request sequence identical to the sequential executor's.
+   Answers, per-step costs and fault-injection draws therefore agree
+   exactly with [Exec.run] under the same policy; only the clock
+   bookkeeping differs. That invariant is what the async property tests
+   pin down. *)
+
+open Fusion_data
+open Fusion_cond
+open Fusion_source
+module Trace = Fusion_obs.Trace
+module Metrics = Fusion_obs.Metrics
+module Sim = Fusion_net.Sim
+module Query_cache = Exec.Query_cache
+
+type step = {
+  op : Op.t;
+  cost : float;
+  result_size : int;
+  start : float;
+  finish : float;
+  coalesced : bool;
+}
+
+type result = {
+  answer : Item_set.t;
+  steps : step list;
+  total_cost : float;
+  makespan : float;
+  busy : float array;
+  timeline : Sim.timeline;
+  failures : int;
+  partial : bool;
+}
+
+let to_exec_steps steps =
+  List.map (fun s -> { Exec.op = s.op; cost = s.cost; result_size = s.result_size }) steps
+
+type binding = Items of Item_set.t | Loaded of Relation.t
+
+let run ?cache ?(policy = Exec.default_policy) ?(deadline = infinity) ~sources ~conds
+    plan =
+  let nodes = Array.of_list (Parallel_exec.dataflow plan) in
+  let live = Sim.Live.create ~servers:(max 1 (Array.length sources)) in
+  let env : (string, binding) Hashtbl.t = Hashtbl.create 16 in
+  (* Simulated instant at which each variable's value is available. *)
+  let avail : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  (* Selection requests issued by this run: (source, condition) ->
+     (finish time, answer). A later step needing the same selection
+     while the request is still in flight joins it instead of paying
+     for a second one. *)
+  let inflight : (string * string, float * Item_set.t) Hashtbl.t = Hashtbl.create 16 in
+  let failures = ref 0 in
+  let partial = ref false in
+  let items var =
+    match Hashtbl.find_opt env var with
+    | Some (Items s) -> s
+    | Some (Loaded _) ->
+      raise (Exec.Runtime_error (var ^ " is a loaded relation, not an item set"))
+    | None -> raise (Exec.Runtime_error ("undefined variable " ^ var))
+  in
+  let loaded var =
+    match Hashtbl.find_opt env var with
+    | Some (Loaded r) -> r
+    | Some (Items _) ->
+      raise (Exec.Runtime_error (var ^ " is an item set, not a loaded relation"))
+    | None -> raise (Exec.Runtime_error ("undefined variable " ^ var))
+  in
+  let source j =
+    if j < 0 || j >= Array.length sources then
+      raise (Exec.Runtime_error (Printf.sprintf "source index %d out of range" j));
+    sources.(j)
+  in
+  let cond i =
+    if i < 0 || i >= Array.length conds then
+      raise (Exec.Runtime_error (Printf.sprintf "condition index %d out of range" i));
+    conds.(i)
+  in
+  let ready_of op =
+    List.fold_left
+      (fun acc v -> Float.max acc (Option.value ~default:0.0 (Hashtbl.find_opt avail v)))
+      0.0 (Op.uses op)
+  in
+  let bind dst value at =
+    Hashtbl.replace env dst value;
+    Hashtbl.replace avail dst at
+  in
+  let cache_outcome ctx hit =
+    if cache <> None then begin
+      Trace.attr ctx "cache" (Trace.Str (if hit then "hit" else "miss"));
+      Metrics.record (fun r ->
+          Metrics.incr r
+            (if hit then "fusion_cache_hits_total" else "fusion_cache_misses_total"))
+    end
+  in
+  (* The plan-order position of the next source query, aligned with the
+     [dataflow] nodes so timeline task ids match the replay executor's. *)
+  let sq_index = ref 0 in
+  let next_node () =
+    let id = !sq_index in
+    incr sq_index;
+    let _, _, deps = nodes.(id) in
+    (id, deps)
+  in
+  (* One logical source query, live: attempts run back to back on the
+     source until success, an exhausted retry budget, or an exhausted
+     per-query deadline. Returns the outcome (None = gave up) and the
+     total service time consumed, failed attempts included. *)
+  let attempt_query j f =
+    let s = sources.(j) in
+    let before = (Source.totals s).Fusion_net.Meter.cost in
+    let consumed () = (Source.totals s).Fusion_net.Meter.cost -. before in
+    let rec go budget =
+      match f () with
+      | v -> Some v
+      | exception Source.Timeout _ ->
+        incr failures;
+        if budget > 0 && consumed () < deadline then go (budget - 1) else None
+    in
+    let outcome = go policy.Exec.retries in
+    (outcome, consumed ())
+  in
+  let give_up op =
+    if policy.Exec.on_exhausted = `Fail then raise (Source.Timeout (Op.dst op));
+    partial := true
+  in
+  let exec_op ctx (op : Op.t) =
+    match op with
+    | Select { dst; cond = c; source = j } -> (
+      let s = source j and condition = cond c in
+      let ready = ready_of op in
+      let key = (Source.name s, Cond.to_string condition) in
+      let id, deps = next_node () in
+      match Hashtbl.find_opt inflight key with
+      | Some (finish, answer) when finish > ready ->
+        (* The same selection is in flight: share its request. *)
+        Option.iter
+          (fun t ->
+            Query_cache.record_hit t s ~items_sent:0
+              ~items_received:(Item_set.cardinal answer))
+          cache;
+        cache_outcome ctx true;
+        bind dst (Items answer) finish;
+        { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready; finish;
+          coalesced = true }
+      | _ -> (
+        match Option.bind cache (fun t -> Query_cache.find t s condition) with
+        | Some answer ->
+          Option.iter
+            (fun t ->
+              Query_cache.record_hit t s ~items_sent:0
+                ~items_received:(Item_set.cardinal answer))
+            cache;
+          cache_outcome ctx true;
+          bind dst (Items answer) ready;
+          { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready;
+            finish = ready; coalesced = false }
+        | None -> (
+          let outcome, duration =
+            attempt_query j (fun () -> fst (Source.select_query s condition))
+          in
+          match outcome with
+          | Some answer ->
+            Option.iter (fun t -> Query_cache.store t s condition answer) cache;
+            cache_outcome ctx false;
+            let ev = Sim.Live.dispatch live ~id ~server:j ~ready ~duration ~deps in
+            Hashtbl.replace inflight key (ev.Sim.finish, answer);
+            bind dst (Items answer) ev.Sim.finish;
+            { op; cost = duration; result_size = Item_set.cardinal answer;
+              start = ev.Sim.start; finish = ev.Sim.finish; coalesced = false }
+          | None ->
+            give_up op;
+            let ev = Sim.Live.dispatch live ~id ~server:j ~ready ~duration ~deps in
+            bind dst (Items Item_set.empty) ev.Sim.finish;
+            { op; cost = duration; result_size = 0; start = ev.Sim.start;
+              finish = ev.Sim.finish; coalesced = false })))
+    | Semijoin { dst; cond = c; source = j; input } -> (
+      let s = source j and condition = cond c in
+      let probe = items input in
+      let ready = ready_of op in
+      let key = (Source.name s, Cond.to_string condition) in
+      let id, deps = next_node () in
+      let record_derived_hit answer =
+        Option.iter
+          (fun t ->
+            let received = Item_set.cardinal answer in
+            if (Source.capability s).Capability.native_semijoin then
+              Query_cache.record_hit t s ~items_sent:(Item_set.cardinal probe)
+                ~items_received:received
+            else
+              Query_cache.record_hit_emulated t s ~bindings:(Item_set.cardinal probe)
+                ~items_received:received)
+          cache
+      in
+      let derived =
+        match Hashtbl.find_opt inflight key with
+        | Some (finish, full) when finish > ready ->
+          (* The selection answer being fetched is a superset: join the
+             in-flight request and intersect locally on arrival. *)
+          Some (finish, Item_set.inter full probe, true)
+        | _ -> (
+          match Option.bind cache (fun t -> Query_cache.find t s condition) with
+          | Some full -> Some (ready, Item_set.inter full probe, false)
+          | None -> (
+            match Option.bind cache (fun t -> Query_cache.find_sjq t s condition probe) with
+            | Some answer -> Some (ready, answer, false)
+            | None -> None))
+      in
+      match derived with
+      | Some (finish, answer, coalesced) ->
+        record_derived_hit answer;
+        cache_outcome ctx true;
+        bind dst (Items answer) finish;
+        { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready; finish;
+          coalesced }
+      | None -> (
+        let outcome, duration =
+          attempt_query j (fun () -> fst (Source.semijoin_query s condition probe))
+        in
+        match outcome with
+        | Some answer ->
+          Option.iter (fun t -> Query_cache.store_sjq t s condition probe answer) cache;
+          cache_outcome ctx false;
+          let ev = Sim.Live.dispatch live ~id ~server:j ~ready ~duration ~deps in
+          bind dst (Items answer) ev.Sim.finish;
+          { op; cost = duration; result_size = Item_set.cardinal answer;
+            start = ev.Sim.start; finish = ev.Sim.finish; coalesced = false }
+        | None ->
+          give_up op;
+          let ev = Sim.Live.dispatch live ~id ~server:j ~ready ~duration ~deps in
+          bind dst (Items Item_set.empty) ev.Sim.finish;
+          { op; cost = duration; result_size = 0; start = ev.Sim.start;
+            finish = ev.Sim.finish; coalesced = false }))
+    | Load { dst; source = j } -> (
+      let s = source j in
+      let ready = ready_of op in
+      let id, deps = next_node () in
+      let outcome, duration = attempt_query j (fun () -> fst (Source.load_query s)) in
+      match outcome with
+      | Some relation ->
+        let ev = Sim.Live.dispatch live ~id ~server:j ~ready ~duration ~deps in
+        bind dst (Loaded relation) ev.Sim.finish;
+        { op; cost = duration; result_size = Relation.cardinality relation;
+          start = ev.Sim.start; finish = ev.Sim.finish; coalesced = false }
+      | None ->
+        give_up op;
+        let ev = Sim.Live.dispatch live ~id ~server:j ~ready ~duration ~deps in
+        bind dst (Loaded (Relation.create ~name:(Source.name s) (Source.schema s)))
+          ev.Sim.finish;
+        { op; cost = duration; result_size = 0; start = ev.Sim.start;
+          finish = ev.Sim.finish; coalesced = false })
+    | Local_select { dst; cond = c; input } ->
+      let relation = loaded input in
+      let ready = ready_of op in
+      let pred tuple = Cond.eval (Relation.schema relation) (cond c) tuple in
+      let answer = Relation.select_items relation pred in
+      bind dst (Items answer) ready;
+      { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready;
+        finish = ready; coalesced = false }
+    | Union { dst; args } ->
+      let ready = ready_of op in
+      let answer = Item_set.union_list (List.map items args) in
+      bind dst (Items answer) ready;
+      { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready;
+        finish = ready; coalesced = false }
+    | Inter { dst; args } ->
+      let ready = ready_of op in
+      let answer = Item_set.inter_list (List.map items args) in
+      bind dst (Items answer) ready;
+      { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready;
+        finish = ready; coalesced = false }
+    | Diff { dst; left; right } ->
+      let ready = ready_of op in
+      let answer = Item_set.diff (items left) (items right) in
+      bind dst (Items answer) ready;
+      { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready;
+        finish = ready; coalesced = false }
+  in
+  let steps =
+    List.map
+      (fun op ->
+        Trace.span Trace.Step (Op.name op) (fun ctx ->
+            let failures_before = !failures in
+            let step = exec_op ctx op in
+            if Trace.active ctx then begin
+              Trace.attrs ctx
+                [
+                  ("dst", Trace.Str (Op.dst op));
+                  ("cost", Trace.Float step.cost);
+                  ("result_size", Trace.Int step.result_size);
+                  ("t_start", Trace.Float step.start);
+                  ("t_finish", Trace.Float step.finish);
+                ];
+              if step.coalesced then Trace.attr ctx "coalesced" (Trace.Bool true);
+              if !failures > failures_before then
+                Trace.attr ctx "timeouts" (Trace.Int (!failures - failures_before))
+            end;
+            step))
+      (Plan.ops plan)
+  in
+  {
+    answer = items (Plan.output plan);
+    steps;
+    total_cost = List.fold_left (fun acc s -> acc +. s.cost) 0.0 steps;
+    makespan = List.fold_left (fun acc s -> Float.max acc s.finish) 0.0 steps;
+    busy = Sim.Live.busy live;
+    timeline = Sim.Live.timeline live;
+    failures = !failures;
+    partial = !partial;
+  }

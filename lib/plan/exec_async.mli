@@ -1,0 +1,71 @@
+(** Live concurrent plan execution.
+
+    The sequential {!Exec} charges steps one after another, so a query's
+    elapsed time equals its total cost. This executor instead runs the
+    plan on the discrete-event scheduler of {!Fusion_net.Sim}: each
+    source query is dispatched the moment the source queries feeding it
+    complete, queries at different sources proceed concurrently, and
+    queries at the same source queue FIFO — a slow mirror delays only
+    the chains that depend on it. The result separates [total_cost]
+    (work, identical to the sequential executor's) from [makespan]
+    (response time on the simulated clock).
+
+    Source queries are issued in plan order, so each source sees exactly
+    the request sequence the sequential executor would send it. Answers,
+    per-step costs and fault-injection draws therefore agree with
+    {!Exec.run} under the same {!Exec.policy}; only the clock differs.
+
+    {b Request coalescing.} When a step needs a selection that an
+    earlier step has already put in flight (same source, same condition,
+    not yet finished on the simulated clock), it joins the pending
+    request instead of issuing its own: one request, one answer, shared.
+    A semijoin can join an in-flight {e selection} on its condition and
+    intersect the arriving answer with its probe set locally. Coalesced
+    steps carry cost 0 and finish when the leader's request does; with a
+    {!Exec.Query_cache} attached they are counted as hits, like a
+    cached answer would be. *)
+
+open Fusion_data
+open Fusion_cond
+open Fusion_source
+
+type step = {
+  op : Op.t;
+  cost : float;  (** actual cost (work) of the step, 0 for local/coalesced ops *)
+  result_size : int;
+  start : float;  (** when the step began on the simulated clock *)
+  finish : float;  (** when its result became available *)
+  coalesced : bool;  (** answered by joining another step's in-flight request *)
+}
+
+type result = {
+  answer : Item_set.t;
+  steps : step list;  (** in plan order *)
+  total_cost : float;  (** sum of step costs — equals the sequential executor's *)
+  makespan : float;  (** finish time of the last step: the response time *)
+  busy : float array;  (** accumulated service time per source *)
+  timeline : Fusion_net.Sim.timeline;
+      (** the dispatched source queries, for {!Fusion_net.Sim.pp_gantt} *)
+  failures : int;
+  partial : bool;
+}
+
+val to_exec_steps : step list -> Exec.step list
+(** Forgets the clock, for code that consumes the sequential step shape. *)
+
+val run :
+  ?cache:Exec.Query_cache.t ->
+  ?policy:Exec.policy ->
+  ?deadline:float ->
+  sources:Source.t array ->
+  conds:Cond.t array ->
+  Plan.t ->
+  result
+(** Executes the plan concurrently. [cache] and [policy] behave as in
+    {!Exec.run} ([Exec.default_policy] if omitted). [deadline] (default
+    [infinity]) is a per-query budget of simulated service time: once a
+    source query's attempts have consumed that much, remaining retries
+    are forfeited and the {!Exec.policy.on_exhausted} action applies —
+    time already spent is still charged.
+    @raise Exec.Runtime_error as {!Exec.run} does.
+    @raise Source.Timeout under the [`Fail] policy. *)

@@ -4,16 +4,13 @@ module Int_set = Set.Make (Int)
 (* Dependencies of each variable's value, as the set of task ids whose
    completion makes the value available. Local operations are free and
    merely merge the dependencies of their inputs. *)
-let tasks_of plan (result : Exec.result) =
-  if List.length (Plan.ops plan) <> List.length result.Exec.steps then
-    invalid_arg "Parallel_exec: execution does not match the plan";
+let dataflow plan =
   let var_deps : (string, Int_set.t) Hashtbl.t = Hashtbl.create 16 in
   let deps_of var = Option.value ~default:Int_set.empty (Hashtbl.find_opt var_deps var) in
   let next_task = ref 0 in
-  let tasks = ref [] in
+  let nodes = ref [] in
   List.iter
-    (fun step ->
-      let op = step.Exec.op in
+    (fun op ->
       let input_deps =
         List.fold_left (fun acc v -> Int_set.union acc (deps_of v)) Int_set.empty (Op.uses op)
       in
@@ -22,20 +19,24 @@ let tasks_of plan (result : Exec.result) =
       | Op.Load { dst; source; _ } ->
         let id = !next_task in
         incr next_task;
-        tasks :=
-          {
-            Sim.id;
-            server = source;
-            duration = step.Exec.cost;
-            deps = Int_set.elements input_deps;
-          }
-          :: !tasks;
+        nodes := (op, source, Int_set.elements input_deps) :: !nodes;
         Hashtbl.replace var_deps dst (Int_set.singleton id)
       | Op.Local_select { dst; _ } | Op.Union { dst; _ } | Op.Inter { dst; _ }
       | Op.Diff { dst; _ } ->
         Hashtbl.replace var_deps dst input_deps)
-    result.Exec.steps;
-  List.rev !tasks
+    (Plan.ops plan);
+  List.rev !nodes
+
+let tasks_of plan (result : Exec.result) =
+  if List.length (Plan.ops plan) <> List.length result.Exec.steps then
+    invalid_arg "Parallel_exec: execution does not match the plan";
+  let source_steps =
+    List.filter (fun s -> Op.is_source_query s.Exec.op) result.Exec.steps
+  in
+  List.mapi
+    (fun id ((_, server, deps), step) ->
+      { Sim.id; server; duration = step.Exec.cost; deps })
+    (List.combine (dataflow plan) source_steps)
 
 let simulate ?(serialize_sources = true) ~n plan result =
   let tasks = tasks_of plan result in

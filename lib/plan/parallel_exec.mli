@@ -9,9 +9,19 @@
     chains and loads — and can model autonomous sources that serve one
     query at a time. *)
 
+val dataflow : Plan.t -> (Op.t * int * int list) list
+(** The plan's source-query dependency DAG, computed from the operations
+    alone (no execution needed): one [(op, source, deps)] node per
+    source query, in operation order. Node ids are positions in this
+    list; [deps] are the ids of the source queries whose results feed
+    the node's inputs through any chain of free local operations. This
+    is the analysis both the replay below and the live
+    {!Exec_async} executor schedule from. *)
+
 val tasks_of : Plan.t -> Exec.result -> Fusion_net.Sim.task list
 (** One task per source query, in operation order; task ids are the
-    positions of the queries among the plan's source queries. *)
+    positions of the queries among the plan's source queries, durations
+    the execution's actual step costs. *)
 
 val simulate : ?serialize_sources:bool -> n:int -> Plan.t -> Exec.result ->
   Fusion_net.Sim.timeline

@@ -24,9 +24,11 @@ let sja_plan instance =
   in
   (Optimizer.optimize Optimizer.Sja env).Optimized.plan
 
-let run ?retries ?on_exhausted (instance : Workload.instance) plan =
+let run ?(retries = 0) ?(on_exhausted = `Fail) (instance : Workload.instance) plan =
   Array.iter Source.reset_meter instance.Workload.sources;
-  Exec.run ?retries ?on_exhausted ~sources:instance.Workload.sources
+  Exec.run
+    ~policy:{ Exec.retries; on_exhausted }
+    ~sources:instance.Workload.sources
     ~conds:(Fusion_query.Query.conditions instance.Workload.query)
     plan
 
@@ -89,7 +91,13 @@ let test_mediator_surfaces_failures () =
       (Option.is_some (Str_find.find_substring msg "unreachable"))
   | Ok _ -> Alcotest.fail "expected an error");
   match
-    Fusion_mediator.Mediator.run ~on_exhausted:`Partial mediator instance.Workload.query
+    Fusion_mediator.Mediator.run
+      ~config:
+        {
+          Fusion_mediator.Mediator.Config.default with
+          Fusion_mediator.Mediator.Config.on_exhausted = `Partial;
+        }
+      mediator instance.Workload.query
   with
   | Error msg -> Alcotest.fail msg
   | Ok report ->

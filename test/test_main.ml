@@ -10,6 +10,7 @@ let () =
       ("query", Test_query.suite);
       ("plan", Test_plan.suite);
       ("exec", Test_exec.suite);
+      ("async", Test_async.suite);
       ("optimizer", Test_optimizer.suite);
       ("postopt", Test_postopt.suite);
       ("workload", Test_workload.suite);

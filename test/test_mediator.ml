@@ -30,7 +30,9 @@ let test_run_sql_every_algorithm () =
   let _, mediator = fig1_mediator () in
   List.iter
     (fun algo ->
-      let report = Helpers.check_ok (Mediator.run_sql ~algo mediator dmv_sql) in
+      let report = Helpers.check_ok (Mediator.run_sql
+          ~config:{ Mediator.Config.default with Mediator.Config.algo }
+          mediator dmv_sql) in
       Alcotest.check Helpers.item_set (Optimizer.name algo) expected
         report.Mediator.answer)
     Optimizer.all
@@ -52,7 +54,9 @@ let test_run_rejects_invalid_query () =
 
 let test_per_source_accounting () =
   let _, mediator = fig1_mediator () in
-  let report = Helpers.check_ok (Mediator.run_sql ~algo:Optimizer.Filter mediator dmv_sql) in
+  let report = Helpers.check_ok (Mediator.run_sql
+      ~config:{ Mediator.Config.default with Mediator.Config.algo = Optimizer.Filter }
+      mediator dmv_sql) in
   Alcotest.(check int) "three sources" 3 (List.length report.Mediator.per_source);
   let total =
     List.fold_left
@@ -162,7 +166,10 @@ let qcheck_mediator_end_to_end =
       let instance = Workload.generate spec in
       let mediator = Mediator.create_exn (Array.to_list instance.Workload.sources) in
       let report =
-        Helpers.check_ok (Mediator.run ~algo:Optimizer.Sja_plus mediator instance.Workload.query)
+        Helpers.check_ok (Mediator.run
+          ~config:
+            { Mediator.Config.default with Mediator.Config.algo = Optimizer.Sja_plus }
+          mediator instance.Workload.query)
       in
       Item_set.equal report.Mediator.answer
         (Reference.answer_query ~sources:instance.Workload.sources instance.Workload.query))

@@ -154,7 +154,10 @@ let traced_fig1 () =
   let collector = Trace.create () in
   let report =
     Helpers.check_ok
-      (Mediator.run ~trace:collector mediator instance.Workload.query)
+      (Mediator.run
+         ~config:
+           { Mediator.Config.default with Mediator.Config.trace = Some collector }
+         mediator instance.Workload.query)
   in
   (collector, report)
 
@@ -247,7 +250,9 @@ let test_tracing_is_zero_overhead () =
     let instance = Workload.fig1 () in
     let mediator = Mediator.create_exn (Array.to_list instance.Workload.sources) in
     let trace = if traced then Some (Trace.create ()) else None in
-    Helpers.check_ok (Mediator.run ?trace mediator instance.Workload.query)
+    Helpers.check_ok (Mediator.run
+      ~config:{ Mediator.Config.default with Mediator.Config.trace }
+      mediator instance.Workload.query)
   in
   let off = run false and on = run true in
   Alcotest.(check bool) "no trace when off" true (off.Mediator.trace = []);
@@ -272,7 +277,15 @@ let test_cache_hit_miss_attrs () =
      the whole plan into loads, which never consult the cache. *)
   let run () =
     Helpers.check_ok
-      (Mediator.run ~trace:collector ~cache ~algo:Optimizer.Filter mediator
+      (Mediator.run
+         ~config:
+           {
+             Mediator.Config.default with
+             Mediator.Config.algo = Optimizer.Filter;
+             cache = Some cache;
+             trace = Some collector;
+           }
+         mediator
          instance.Workload.query)
   in
   let first = run () and second = run () in

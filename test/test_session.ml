@@ -14,8 +14,22 @@ let test_cache_second_run_free () =
   let instance = Workload.fig1 () in
   let mediator = Mediator.create_exn (Array.to_list instance.Workload.sources) in
   let cache = Cache.create () in
-  let first = Helpers.check_ok (Mediator.run_sql ~cache ~algo:Optimizer.Filter mediator dmv_sql) in
-  let second = Helpers.check_ok (Mediator.run_sql ~cache ~algo:Optimizer.Filter mediator dmv_sql) in
+  let first = Helpers.check_ok (Mediator.run_sql
+      ~config:
+        {
+          Mediator.Config.default with
+          Mediator.Config.algo = Optimizer.Filter;
+          cache = Some cache;
+        }
+      mediator dmv_sql) in
+  let second = Helpers.check_ok (Mediator.run_sql
+      ~config:
+        {
+          Mediator.Config.default with
+          Mediator.Config.algo = Optimizer.Filter;
+          cache = Some cache;
+        }
+      mediator dmv_sql) in
   Alcotest.check Helpers.item_set "same answer" first.Mediator.answer second.Mediator.answer;
   Alcotest.(check (float 0.001)) "second run free" 0.0 second.Mediator.actual_cost;
   let stats = Cache.stats cache in
@@ -28,14 +42,30 @@ let test_cache_shared_condition_across_queries () =
   let instance = Workload.fig1 () in
   let mediator = Mediator.create_exn (Array.to_list instance.Workload.sources) in
   let cache = Cache.create () in
-  ignore (Helpers.check_ok (Mediator.run_sql ~cache ~algo:Optimizer.Filter mediator dmv_sql));
+  ignore (Helpers.check_ok (Mediator.run_sql
+      ~config:
+        {
+          Mediator.Config.default with
+          Mediator.Config.algo = Optimizer.Filter;
+          cache = Some cache;
+        }
+      mediator dmv_sql));
   (* A different query sharing the dui condition. *)
   let other = "SELECT u1.L FROM U u1, U u2 WHERE u1.L = u2.L AND u1.V = 'dui' AND u2.D < 1995" in
-  let report = Helpers.check_ok (Mediator.run_sql ~cache ~algo:Optimizer.Filter mediator other) in
+  let report = Helpers.check_ok (Mediator.run_sql
+      ~config:
+        {
+          Mediator.Config.default with
+          Mediator.Config.algo = Optimizer.Filter;
+          cache = Some cache;
+        }
+      mediator other) in
   let stats = Cache.stats cache in
   Alcotest.(check int) "dui answers reused at 3 sources" 3 stats.Cache.hits;
   (* Answer must match an uncached run. *)
-  let fresh = Helpers.check_ok (Mediator.run_sql ~algo:Optimizer.Filter mediator other) in
+  let fresh = Helpers.check_ok (Mediator.run_sql
+      ~config:{ Mediator.Config.default with Mediator.Config.algo = Optimizer.Filter }
+      mediator other) in
   Alcotest.check Helpers.item_set "cached = fresh" fresh.Mediator.answer report.Mediator.answer
 
 let test_cache_serves_semijoins () =
@@ -75,12 +105,28 @@ let qcheck_cache_transparent =
       let mediator = Mediator.create_exn (Array.to_list instance.Workload.sources) in
       let cache = Cache.create () in
       let with_cache =
-        Helpers.check_ok (Mediator.run ~cache ~algo:Optimizer.Sja mediator instance.Workload.query)
+        Helpers.check_ok (Mediator.run
+          ~config:
+            {
+              Mediator.Config.default with
+              Mediator.Config.algo = Optimizer.Sja;
+              cache = Some cache;
+            }
+          mediator instance.Workload.query)
       in
       let replay =
-        Helpers.check_ok (Mediator.run ~cache ~algo:Optimizer.Sja mediator instance.Workload.query)
+        Helpers.check_ok (Mediator.run
+          ~config:
+            {
+              Mediator.Config.default with
+              Mediator.Config.algo = Optimizer.Sja;
+              cache = Some cache;
+            }
+          mediator instance.Workload.query)
       in
-      let fresh = Helpers.check_ok (Mediator.run ~algo:Optimizer.Sja mediator instance.Workload.query) in
+      let fresh = Helpers.check_ok (Mediator.run
+          ~config:{ Mediator.Config.default with Mediator.Config.algo = Optimizer.Sja }
+          mediator instance.Workload.query) in
       Item_set.equal with_cache.Mediator.answer fresh.Mediator.answer
       && Item_set.equal replay.Mediator.answer fresh.Mediator.answer
       && replay.Mediator.actual_cost <= with_cache.Mediator.actual_cost +. 1e-6)
