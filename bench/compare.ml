@@ -1,0 +1,147 @@
+(* Regression gate over two BENCH JSON files (FUSION_BENCH_JSON).
+
+   Usage: compare.exe [--tolerance F] baseline.json candidate.json
+
+   Tables are matched by title, rows by their first (label) cell, and
+   numeric cells are compared pairwise: any cell whose relative change
+   exceeds the tolerance is reported, and the exit status is non-zero
+   when at least one cell drifted. Non-numeric cells must match
+   exactly. Tables or rows present on only one side are reported as
+   structural drift (also failing): a silently vanished experiment
+   should not pass the gate. *)
+
+module J = Fusion_obs.Json
+
+let default_tolerance = 0.05
+
+type table = { title : string; header : string list; rows : string list list }
+
+let strings_of json =
+  match json with
+  | J.List items -> Some (List.filter_map J.to_str items)
+  | _ -> None
+
+let tables_of_file path =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  match J.of_string text with
+  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | Ok json -> (
+    match J.member "tables" json with
+    | Some (J.List tables) ->
+      let table json =
+        match
+          ( Option.bind (J.member "title" json) J.to_str,
+            Option.bind (J.member "header" json) strings_of,
+            J.member "rows" json )
+        with
+        | Some title, Some header, Some (J.List rows) ->
+          Some { title; header; rows = List.filter_map strings_of rows }
+        | _ -> None
+      in
+      Ok (List.filter_map table tables)
+    | _ -> Error (path ^ ": no \"tables\" array"))
+
+(* The harness prints numbers via Tables.f1/f2/f3 and string_of_int, so
+   a plain float parse recognizes exactly the numeric cells. *)
+let numeric cell = float_of_string_opt cell
+
+let drifted = ref 0
+let structural = ref 0
+
+let report fmt = Printf.printf fmt
+
+let compare_rows ~tolerance ~title ~header base cand =
+  let label row = match row with [] -> "" | first :: _ -> first in
+  List.iter
+    (fun brow ->
+      match List.find_opt (fun crow -> label crow = label brow) cand with
+      | None ->
+        incr structural;
+        report "MISSING ROW  %s / %s\n" title (label brow)
+      | Some crow ->
+        if List.length crow <> List.length brow then begin
+          incr structural;
+          report "SHAPE        %s / %s: %d vs %d cells\n" title (label brow)
+            (List.length brow) (List.length crow)
+        end
+        else
+          List.iteri
+            (fun i (b, c) ->
+              let column =
+                match List.nth_opt header i with Some h -> h | None -> string_of_int i
+              in
+              match numeric b, numeric c with
+              | Some vb, Some vc ->
+                let change =
+                  if vb = 0.0 then if vc = 0.0 then 0.0 else infinity
+                  else Float.abs (vc -. vb) /. Float.abs vb
+                in
+                if change > tolerance then begin
+                  incr drifted;
+                  report "DRIFT        %s / %s / %s: %s -> %s (%+.1f%%)\n" title
+                    (label brow) column b c
+                    (if vb = 0.0 then Float.nan else 100.0 *. ((vc /. vb) -. 1.0))
+                end
+              | _ ->
+                if b <> c then begin
+                  incr drifted;
+                  report "CHANGED      %s / %s / %s: %S -> %S\n" title (label brow)
+                    column b c
+                end)
+            (List.combine brow crow))
+    base
+
+let compare_files ~tolerance base cand =
+  List.iter
+    (fun bt ->
+      match List.find_opt (fun ct -> ct.title = bt.title) cand with
+      | None ->
+        incr structural;
+        report "MISSING TABLE  %s\n" bt.title
+      | Some ct -> compare_rows ~tolerance ~title:bt.title ~header:bt.header bt.rows ct.rows)
+    base;
+  List.iter
+    (fun ct ->
+      if not (List.exists (fun bt -> bt.title = ct.title) base) then
+        report "NEW TABLE    %s (not in baseline)\n" ct.title)
+    cand
+
+let usage () =
+  prerr_endline "usage: compare [--tolerance F] baseline.json candidate.json";
+  exit 2
+
+let () =
+  let tolerance = ref default_tolerance in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--tolerance" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some f when f >= 0.0 ->
+        tolerance := f;
+        parse rest
+      | _ -> usage ())
+    | arg :: rest ->
+      files := arg :: !files;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match List.rev !files with
+  | [ baseline; candidate ] -> (
+    match tables_of_file baseline, tables_of_file candidate with
+    | Error msg, _ | _, Error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 2
+    | Ok base, Ok cand ->
+      compare_files ~tolerance:!tolerance base cand;
+      if !drifted + !structural = 0 then begin
+        Printf.printf "OK: no drift beyond %.1f%% across %d tables\n"
+          (100.0 *. !tolerance) (List.length base);
+        exit 0
+      end
+      else begin
+        Printf.printf "FAIL: %d drifted cells, %d structural differences (tolerance %.1f%%)\n"
+          !drifted !structural (100.0 *. !tolerance);
+        exit 1
+      end)
+  | _ -> usage ()

@@ -49,4 +49,11 @@ let () =
   if Sys.getenv_opt "FUSION_BENCH_BECHAMEL" = Some "1"
      && List.exists (fun n -> n = "x6") requested
   then X6_opt_time.run_bechamel ();
+  (match Sys.getenv_opt "FUSION_BENCH_JSON" with
+  | None -> ()
+  | Some path ->
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc
+          (Fusion_obs.Json.to_string (Tables.results_json ()) ^ "\n"));
+    Printf.printf "\nBENCH JSON written to %s\n" path);
   print_newline ()

@@ -21,7 +21,27 @@ let write_csv ~title ~header rows =
           (fun row -> Out_channel.output_string oc (String.concat "," row ^ "\n"))
           (header :: rows))
 
+(* Every printed table is also recorded here; [main] writes the lot as
+   one JSON file when FUSION_BENCH_JSON=<file> is set, and
+   bench/compare.exe diffs two such files. *)
+let recorded : (string * string list * string list list) list ref = ref []
+
+let results_json () =
+  let module J = Fusion_obs.Json in
+  let table (title, header, rows) =
+    J.Obj
+      [
+        ("title", J.Str title);
+        ("header", J.List (List.map (fun h -> J.Str h) header));
+        ( "rows",
+          J.List
+            (List.map (fun row -> J.List (List.map (fun c -> J.Str c) row)) rows) );
+      ]
+  in
+  J.Obj [ ("tables", J.List (List.map table (List.rev !recorded))) ]
+
 let print ~title ~header rows =
+  recorded := (title, header, rows) :: !recorded;
   write_csv ~title ~header rows;
   let all = header :: rows in
   let cols = List.length header in

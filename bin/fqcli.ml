@@ -353,6 +353,221 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(const action $ location_term $ sql_arg $ sample_arg $ hist_arg)
 
+(* --- profile ------------------------------------------------------------- *)
+
+module Analyze = Fusion_obs.Analyze
+module Summary = Fusion_obs.Summary
+
+let profile_cmd =
+  let runs_arg =
+    let doc =
+      "Execute the query this many times and also report p50/p90/p99 latency and cost \
+       percentiles over the runs."
+    in
+    Arg.(value & opt int 1 & info [ "runs" ] ~docv:"N" ~doc)
+  in
+  let trace_arg =
+    let doc = "Also write the recorded trace to this file as JSON lines." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let chrome_arg =
+    let doc =
+      "Also write the trace in Chrome trace-event format (open in Perfetto or \
+       chrome://tracing) to this file."
+    in
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE" ~doc)
+  in
+  let gantt_arg =
+    let doc = "Also print the per-source Gantt chart of the schedule." in
+    Arg.(value & flag & info [ "gantt" ] ~doc)
+  in
+  let action location sql algo sample hist runs trace chrome gantt verbose =
+    setup_logs verbose;
+    report_result
+      (let* location = location in
+       with_mediator location (fun mediator ->
+           if runs < 1 then Error "profile: --runs must be at least 1"
+           else begin
+             let source_name j =
+               Fusion_source.Source.name (Mediator.sources mediator).(j)
+             in
+             let config collector =
+               {
+                 Mediator.Config.default with
+                 Mediator.Config.algo;
+                 stats = stats_of_sample sample hist;
+                 concurrency = `Par;
+                 trace = Some collector;
+               }
+             in
+             (* First run: the one we profile in detail. *)
+             let collector = Fusion_obs.Trace.create () in
+             let registry = Fusion_obs.Metrics.create () in
+             let* report =
+               Fusion_obs.Metrics.with_registry registry (fun () ->
+                   Mediator.run_sql ~config:(config collector) mediator sql)
+             in
+             let est = report.Mediator.optimized.Optimized.est_cost in
+             Format.printf "algorithm: %s@." (Optimizer.name report.Mediator.algo);
+             Format.printf
+               "est. cost %.1f, actual cost %.1f (drift x%.2f), makespan %.1f@." est
+               report.Mediator.actual_cost report.Mediator.cost_drift
+               report.Mediator.response_time;
+             if report.Mediator.partial then
+               Format.printf "warning: answer is partial (a source was unreachable)@.";
+             (match report.Mediator.critical_path with
+             | Some path -> Format.printf "%a@." (Analyze.pp_path ~source_name) path
+             | None -> ());
+             let* tasks = Analyze.tasks_of_spans report.Mediator.trace in
+             if tasks <> [] then begin
+               Format.printf "@.%-6s %8s %8s %6s %10s %9s@." "source" "requests" "busy"
+                 "util" "queue-wait" "on-path";
+               List.iter
+                 (fun (l : Analyze.source_load) ->
+                   Format.printf "%-6s %8d %8.1f %5.0f%% %10.1f %9.1f@."
+                     (source_name l.Analyze.server) l.Analyze.requests l.Analyze.busy
+                     (100.0 *. l.Analyze.utilization)
+                     l.Analyze.queue_wait l.Analyze.on_path)
+                 (Analyze.source_loads tasks);
+               let path = Analyze.critical_path tasks in
+               let blame title entries =
+                 if entries <> [] then begin
+                   Format.printf "@.%s@." title;
+                   List.iter
+                     (fun (b : Analyze.blame) ->
+                       Format.printf "  %-8s %8.1f  %5.1f%%  (%d hops)@." b.Analyze.key
+                         b.Analyze.busy
+                         (100.0 *. b.Analyze.share)
+                         b.Analyze.hops)
+                     entries
+                 end
+               in
+               blame "critical path by source:" (Analyze.blame_sources ~name:source_name path);
+               blame "critical path by condition:" (Analyze.blame_conds path)
+             end;
+             if gantt && tasks <> [] then
+               Format.printf "@.%a@."
+                 (fun ppf -> Fusion_net.Sim.pp_gantt ~server_name:source_name ppf)
+                 (Analyze.to_timeline tasks);
+             Option.iter
+               (fun path ->
+                 Fusion_obs.Jsonl.write_file path
+                   ~metrics:(Fusion_obs.Metrics.snapshot registry)
+                   report.Mediator.trace;
+                 Format.printf "@.trace: %d spans written to %s@."
+                   (List.length report.Mediator.trace)
+                   path)
+               trace;
+             Option.iter
+               (fun path ->
+                 Fusion_obs.Chrome.write_file path ~source_name report.Mediator.trace;
+                 Format.printf "@.chrome trace written to %s@." path)
+               chrome;
+             (* Remaining runs: aggregate percentiles and drift. *)
+             if runs <= 1 then Ok ()
+             else begin
+               let summary = Summary.create () in
+               let record (r : Mediator.report) =
+                 Summary.add summary
+                   ~plan:(Optimizer.name r.Mediator.algo)
+                   ~est_cost:r.Mediator.optimized.Optimized.est_cost
+                   ~cost:r.Mediator.actual_cost ~response_time:r.Mediator.response_time
+                   ()
+               in
+               record report;
+               let rec go i =
+                 if i >= runs then Ok ()
+                 else
+                   let c = Fusion_obs.Trace.create () in
+                   let* r = Mediator.run_sql ~config:(config c) mediator sql in
+                   record r;
+                   go (i + 1)
+               in
+               let* () = go 1 in
+               Format.printf "@.%d runs:@.%a@." runs Summary.pp summary;
+               Ok ()
+             end
+           end))
+  in
+  let doc =
+    "profile a fusion query: run it concurrently and print the critical path, \
+     per-source utilization and blame breakdown"
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const action $ location_term $ sql_arg $ algo_arg $ sample_arg $ hist_arg
+          $ runs_arg $ trace_arg $ chrome_arg $ gantt_arg $ verbose_arg)
+
+(* --- trace --------------------------------------------------------------- *)
+
+let trace_cmd =
+  let file_arg =
+    let doc = "Trace file in JSON-lines format (written by 'run --trace' or 'profile --trace')." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the converted output to this file instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let emit out text =
+    match out with
+    | None -> print_string text
+    | Some path -> Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text)
+  in
+  let cat_cmd =
+    let action file =
+      report_result
+        (let* spans, samples = Fusion_obs.Jsonl.read_file file in
+         Format.printf "%a@." Analyze.pp_tree (Analyze.tree spans);
+         if samples <> [] then begin
+           Format.printf "@.metrics:@.";
+           List.iter
+             (fun s -> Format.printf "  %a@." Fusion_obs.Metrics.pp_sample s)
+             samples
+         end;
+         Ok ())
+    in
+    let doc = "print a trace file as an indented span tree (plus its metrics)" in
+    Cmd.v (Cmd.info "cat" ~doc) Term.(const action $ file_arg)
+  in
+  let critpath_cmd =
+    let action file =
+      report_result
+        (let* spans, _ = Fusion_obs.Jsonl.read_file file in
+         let* tasks = Analyze.tasks_of_spans spans in
+         if tasks = [] then Error "no dispatched source queries in this trace (was it a `Par run?)"
+         else begin
+           Format.printf "%a@."
+             (fun ppf -> Analyze.pp_path ppf)
+             (Analyze.critical_path tasks);
+           Ok ()
+         end)
+    in
+    let doc = "recompute and print the critical path of a recorded concurrent run" in
+    Cmd.v (Cmd.info "critpath" ~doc) Term.(const action $ file_arg)
+  in
+  let chrome_cmd =
+    let action file out =
+      report_result
+        (let* spans, _ = Fusion_obs.Jsonl.read_file file in
+         emit out (Fusion_obs.Chrome.to_string spans);
+         Ok ())
+    in
+    let doc = "convert a trace file to Chrome trace-event JSON (Perfetto, chrome://tracing)" in
+    Cmd.v (Cmd.info "chrome" ~doc) Term.(const action $ file_arg $ out_arg)
+  in
+  let prom_cmd =
+    let action file out =
+      report_result
+        (let* _, samples = Fusion_obs.Jsonl.read_file file in
+         emit out (Fusion_obs.Prom.of_samples samples);
+         Ok ())
+    in
+    let doc = "export a trace file's metrics in Prometheus text-exposition format" in
+    Cmd.v (Cmd.info "prom" ~doc) Term.(const action $ file_arg $ out_arg)
+  in
+  let doc = "inspect and convert recorded trace files" in
+  Cmd.group (Cmd.info "trace" ~doc) [ cat_cmd; critpath_cmd; chrome_cmd; prom_cmd ]
+
 (* --- gen ----------------------------------------------------------------- *)
 
 let gen_cmd =
@@ -556,6 +771,7 @@ let shell_cmd =
 let main_cmd =
   let doc = "fusion queries over (simulated) Internet databases" in
   let info = Cmd.info "fqcli" ~version:"1.0.0" ~doc in
-  Cmd.group info [ gen_cmd; run_cmd; explain_cmd; compare_cmd; shell_cmd ]
+  Cmd.group info
+    [ gen_cmd; run_cmd; explain_cmd; compare_cmd; profile_cmd; trace_cmd; shell_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

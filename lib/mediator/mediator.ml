@@ -4,6 +4,7 @@ open Fusion_source
 open Fusion_core
 module Trace = Fusion_obs.Trace
 module Metrics = Fusion_obs.Metrics
+module Analyze = Fusion_obs.Analyze
 
 let log_src = Logs.Src.create "fusion.mediator" ~doc:"Fusion-query mediator"
 
@@ -76,6 +77,12 @@ type report = {
   per_source : (string * Fusion_net.Meter.totals) list;
   failures : int;
   partial : bool;
+  critical_path : Analyze.path option;
+      (* The dependency/queue chain that set the response time; [Some]
+         only under [`Par] (sequential runs have no schedule). *)
+  cost_drift : float;
+      (* actual cost / estimated cost — how honest the optimizer's cost
+         model was on this run (NaN when the estimate was 0). *)
   trace : Trace.span list;
       (* The spans recorded during this run ([] when tracing is off);
          the root is the run's [Trace.Run] span. *)
@@ -90,7 +97,30 @@ type execution = {
   x_response_time : float;
   x_failures : int;
   x_partial : bool;
+  x_critical_path : Analyze.path option;
 }
+
+(* Task labels/conditions for the critical path come from the plan's
+   dataflow nodes: timeline task ids index into [Parallel_exec.dataflow]
+   by construction (see Exec_async). *)
+let schedule_analysis plan (r : Fusion_plan.Exec_async.result) =
+  let nodes = Array.of_list (Fusion_plan.Parallel_exec.dataflow plan) in
+  let node id = if id >= 0 && id < Array.length nodes then Some nodes.(id) else None in
+  let label id =
+    match node id with
+    | Some (op, _, _) ->
+      Printf.sprintf "%s := %s" (Fusion_plan.Op.dst op) (Fusion_plan.Op.name op)
+    | None -> Printf.sprintf "task %d" id
+  in
+  let cond id =
+    match node id with
+    | Some (Fusion_plan.Op.Select { cond; _ }, _, _)
+    | Some (Fusion_plan.Op.Semijoin { cond; _ }, _, _) ->
+      Some cond
+    | _ -> None
+  in
+  Analyze.critical_path
+    (Analyze.of_timeline ~label ~cond r.Fusion_plan.Exec_async.timeline)
 
 let run_body ~(config : Config.t) ~ctx t query =
   match Fusion_query.Query.validate (schema t) query with
@@ -125,6 +155,7 @@ let run_body ~(config : Config.t) ~ctx t query =
           x_response_time = r.Fusion_plan.Exec.total_cost;
           x_failures = r.Fusion_plan.Exec.failures;
           x_partial = r.Fusion_plan.Exec.partial;
+          x_critical_path = None;
         }
       | `Par ->
         let r =
@@ -138,6 +169,7 @@ let run_body ~(config : Config.t) ~ctx t query =
           x_response_time = r.Fusion_plan.Exec_async.makespan;
           x_failures = r.Fusion_plan.Exec_async.failures;
           x_partial = r.Fusion_plan.Exec_async.partial;
+          x_critical_path = Some (schedule_analysis optimized.Optimized.plan r);
         }
     in
     match execute () with
@@ -172,6 +204,11 @@ let run_body ~(config : Config.t) ~ctx t query =
               (Array.map (fun s -> (Source.name s, Source.totals s)) t.sources);
           failures = x.x_failures;
           partial = x.x_partial;
+          critical_path = x.x_critical_path;
+          cost_drift =
+            (if optimized.Optimized.est_cost > 0.0 then
+               x.x_cost /. optimized.Optimized.est_cost
+             else Float.nan);
           trace = [];
         }
     | exception Source.Unsupported msg -> Error ("execution failed: " ^ msg)
@@ -293,4 +330,13 @@ let pp_report ppf r =
     (fun (name, totals) ->
       Format.fprintf ppf "@,%s: %a" name Fusion_net.Meter.pp_totals totals)
     r.per_source;
+  (match r.critical_path with
+  | Some path when path.Analyze.hops <> [] ->
+    let source_name j =
+      match List.nth_opt r.per_source j with
+      | Some (name, _) -> name
+      | None -> Printf.sprintf "R%d" (j + 1)
+    in
+    Format.fprintf ppf "@,%a" (Analyze.pp_path ~source_name) path
+  | _ -> ());
   Format.fprintf ppf "@]"

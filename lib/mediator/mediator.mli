@@ -66,6 +66,12 @@ type report = {
       (** actual traffic per source, this query only *)
   failures : int;  (** timed-out requests (retried or not) *)
   partial : bool;  (** answer may be incomplete (see {!Fusion_plan.Exec.result}) *)
+  critical_path : Fusion_obs.Analyze.path option;
+      (** the dependency/queue chain that set [response_time]; [Some]
+          only under [`Par] — sequential runs have no schedule *)
+  cost_drift : float;
+      (** [actual_cost /. est_cost]: how honest the optimizer's cost
+          model was on this run (NaN when the estimate was 0) *)
   trace : Fusion_obs.Trace.span list;
       (** the spans this run recorded, rooted at its
           [mediator.run] span; [[]] when tracing is off *)

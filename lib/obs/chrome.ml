@@ -1,0 +1,120 @@
+(* Chrome trace-event export: spans out, a JSON object loadable in
+   Perfetto / chrome://tracing in.
+
+   Two views of the same run land in one file, as two "processes":
+
+   - pid 0, "cost clock": every span as a complete ("X") event on the
+     collector's cumulative-cost clock. Spans nest by construction
+     (a child's [start_cost, finish_cost] lies within its parent's), so
+     this renders as the familiar flame graph of where the work went.
+
+   - pid 1, "simulated schedule": only the dispatched steps of a
+     concurrent run (spans carrying t_start/t_finish from Exec_async),
+     one thread per source, on the discrete-event clock. This is the Gantt chart —
+     queueing, overlap and the critical path are visible here.
+
+   Cost units are exported as microseconds (the trace-event format's
+   native unit); they are simulated units either way, so only relative
+   magnitudes matter. *)
+
+let cost_pid = 0
+let schedule_pid = 1
+
+let attr_to_json : Trace.attr -> Json.t = function
+  | Trace.Str s -> Json.Str s
+  | Trace.Int i -> Json.Int i
+  | Trace.Float f -> Json.Float f
+  | Trace.Bool b -> Json.Bool b
+
+let args_of (s : Trace.span) =
+  Json.Obj
+    (("span", Json.Int s.Trace.id)
+    :: (match s.Trace.parent with
+       | None -> []
+       | Some p -> [ ("parent", Json.Int p) ])
+    @ List.map (fun (k, v) -> (k, attr_to_json v)) s.Trace.attrs)
+
+let complete ~pid ~tid ~name ~cat ~ts ~dur args =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("cat", Json.Str cat);
+      ("ph", Json.Str "X");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("ts", Json.Float ts);
+      ("dur", Json.Float dur);
+      ("args", args);
+    ]
+
+let metadata ~pid ~tid ~name value =
+  Json.Obj
+    ([
+       ("name", Json.Str name);
+       ("ph", Json.Str "M");
+       ("pid", Json.Int pid);
+     ]
+    @ (match tid with None -> [] | Some t -> [ ("tid", Json.Int t) ])
+    @ [ ("args", Json.Obj [ ("name", Json.Str value) ]) ])
+
+let float_attr s key =
+  match Trace.find_attr s key with Some (Trace.Float f) -> Some f | _ -> None
+
+(* Only dispatched steps occupy a source lane; coalesced or cached
+   answers never held the source and would draw a phantom bar. *)
+let schedule_event (s : Trace.span) =
+  match s.Trace.kind, float_attr s "t_start", float_attr s "t_finish" with
+  | Trace.Step, Some t0, Some t1
+    when Trace.find_attr s "dispatched" = Some (Trace.Bool true) ->
+    let tid =
+      match Trace.find_attr s "server" with Some (Trace.Int j) -> j | _ -> 0
+    in
+    let name =
+      match Trace.find_attr s "dst" with
+      | Some (Trace.Str dst) -> Printf.sprintf "%s := %s" dst s.Trace.name
+      | _ -> s.Trace.name
+    in
+    Some
+      (tid,
+       complete ~pid:schedule_pid ~tid ~name ~cat:"schedule" ~ts:t0 ~dur:(t1 -. t0)
+         (args_of s))
+  | _ -> None
+
+let events ?(source_name = fun j -> Printf.sprintf "R%d" (j + 1)) spans =
+  let spans = List.sort (fun a b -> compare a.Trace.id b.Trace.id) spans in
+  let cost_events =
+    List.map
+      (fun s ->
+        complete ~pid:cost_pid ~tid:0 ~name:s.Trace.name
+          ~cat:(Trace.kind_to_string s.Trace.kind) ~ts:s.Trace.start_cost
+          ~dur:(Trace.cost s) (args_of s))
+      spans
+  in
+  let scheduled = List.filter_map schedule_event spans in
+  let tids = List.sort_uniq compare (List.map fst scheduled) in
+  metadata ~pid:cost_pid ~tid:None ~name:"process_name" "cost clock"
+  :: metadata ~pid:cost_pid ~tid:(Some 0) ~name:"thread_name" "spans"
+  :: (if scheduled = [] then []
+      else
+        metadata ~pid:schedule_pid ~tid:None ~name:"process_name" "simulated schedule"
+        :: List.map
+             (fun tid ->
+               metadata ~pid:schedule_pid ~tid:(Some tid) ~name:"thread_name"
+                 (source_name tid))
+             tids)
+  @ cost_events
+  @ List.map snd scheduled
+
+let of_spans ?source_name spans =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (events ?source_name spans));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let to_string ?source_name spans = Json.to_string (of_spans ?source_name spans)
+
+let write_file path ?source_name spans =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string ?source_name spans);
+      Out_channel.output_char oc '\n')

@@ -1,0 +1,20 @@
+(** Chrome trace-event export of a span trace, loadable in Perfetto or
+    chrome://tracing.
+
+    One file carries two views as two "processes": pid 0 ("cost
+    clock") has every span as a complete event on the collector's
+    cumulative-cost clock — the flame graph of where the work went;
+    pid 1 ("simulated schedule") has the dispatched steps of a
+    concurrent run, one thread per source, on the discrete-event clock
+    — the Gantt chart where queueing and the critical path are
+    visible. Cost units are exported as microseconds (the format's
+    native unit). *)
+
+val of_spans : ?source_name:(int -> string) -> Trace.span list -> Json.t
+(** The [{"traceEvents": [...]}] object. [source_name] names the
+    schedule view's threads (default [R1], [R2], ...). Spans are
+    processed in id order regardless of input order. *)
+
+val to_string : ?source_name:(int -> string) -> Trace.span list -> string
+
+val write_file : string -> ?source_name:(int -> string) -> Trace.span list -> unit

@@ -1,0 +1,34 @@
+(** A minimal JSON codec for the observability exporters — the
+    toolchain has no JSON library baked in, and the exporters only need
+    exact round-trips of their own output.
+
+    Numbers keep the int/float distinction: floats always print with a
+    ['.'], ['e'] or exponent so the parser can tell them apart, and use
+    [%.17g] so every finite double survives a round trip. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** @raise Invalid_argument on nan or infinite floats (not
+    representable in JSON). *)
+
+val of_string : string -> (t, string) result
+(** Strict: the whole input must be one JSON value. *)
+
+(** {2 Accessors} *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on anything else. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** Accepts [Int] too (widened). *)
+
+val to_str : t -> string option

@@ -1,0 +1,30 @@
+(** JSON-lines export of traces and metrics, and the inverse parser.
+    One JSON object per line, discriminated by a ["type"] field:
+
+    {v {"type":"span","id":0,"parent":null,"kind":"run",...}
+       {"type":"metric","name":"fusion_requests_total",...} v}
+
+    Export followed by parse reproduces the spans and samples exactly
+    (structural equality), which the test suite relies on. *)
+
+type line = Span of Trace.span | Sample of Metrics.sample
+
+val line_to_string : line -> string
+val line_of_string : string -> (line, string) result
+
+val span_to_json : Trace.span -> Json.t
+val span_of_json : Json.t -> (Trace.span, string) result
+
+val sample_to_json : Metrics.sample -> Json.t
+val sample_of_json : Json.t -> (Metrics.sample, string) result
+
+val export : ?metrics:Metrics.sample list -> Trace.span list -> string
+(** Spans first (in the given order), then metric samples, one JSON
+    object per line. *)
+
+val parse : string -> (Trace.span list * Metrics.sample list, string) result
+(** Blank lines are skipped; any malformed line fails the whole
+    parse. *)
+
+val write_file : string -> ?metrics:Metrics.sample list -> Trace.span list -> unit
+val read_file : string -> (Trace.span list * Metrics.sample list, string) result

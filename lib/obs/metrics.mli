@@ -1,0 +1,55 @@
+(** A small labeled-series metrics registry: counters, gauges, and
+    histograms. Histogram snapshots reuse {!Fusion_stats.Histogram} so
+    downstream consumers (estimators, reports, exporters) read one
+    format.
+
+    Like tracing, a process-wide registry can be installed;
+    instrumented code records through {!record} and pays a single
+    option match when metrics are off. *)
+
+type labels = (string * string) list
+(** A label set; key order does not matter (series are keyed on the
+    sorted form). *)
+
+type hist_spec = { lo : int; hi : int; buckets : int }
+
+val default_hist_spec : hist_spec
+(** 16 buckets over [0, 4095]. *)
+
+type t
+(** A registry; series are created on first use and keep registration
+    order. *)
+
+val create : unit -> t
+val clear : t -> unit
+
+val incr : t -> ?labels:labels -> ?by:float -> string -> unit
+(** @raise Invalid_argument if the series exists with another kind. *)
+
+val gauge : t -> ?labels:labels -> string -> float -> unit
+val observe : t -> ?labels:labels -> ?spec:hist_spec -> string -> int -> unit
+
+type value =
+  | Vcounter of float
+  | Vgauge of float
+  | Vhist of Fusion_stats.Histogram.t
+
+type sample = { name : string; labels : labels; value : value }
+
+val snapshot : t -> sample list
+(** Every series' current value, in registration order. *)
+
+(** {2 The process-wide default registry} *)
+
+val install : t -> unit
+val uninstall : unit -> unit
+val installed : unit -> t option
+
+val with_registry : t -> (unit -> 'a) -> 'a
+(** Installs the registry for the duration of the callback, restoring
+    whatever was installed before (exception-safe). *)
+
+val record : (t -> unit) -> unit
+(** Record into the installed registry, if any. *)
+
+val pp_sample : Format.formatter -> sample -> unit

@@ -1,0 +1,126 @@
+(* Prometheus text-exposition (version 0.0.4) of a Metrics snapshot.
+
+   Counters and gauges map directly; histogram series expose the
+   cumulative le-buckets Prometheus expects, built from the equi-width
+   [Fusion_stats.Histogram] counts. The _sum line is approximated from
+   bucket midpoints (the registry keeps bucketed counts, not raw
+   values) — fine for the rate/percentile arithmetic the format is
+   consumed with, and noted in the HELP line. *)
+
+let is_name_char c =
+  match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false
+
+let sanitize_name name =
+  let cleaned = String.map (fun c -> if is_name_char c then c else '_') name in
+  if cleaned = "" then "_"
+  else
+    match cleaned.[0] with
+    | '0' .. '9' -> "_" ^ cleaned
+    | _ -> cleaned
+
+let escape_label_value v =
+  let buffer = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | c -> Buffer.add_char buffer c)
+    v;
+  Buffer.contents buffer
+
+(* Prometheus floats: integral values without a fraction, everything
+   else via %g — deterministic, and what client libraries emit. *)
+let number v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let labels_text = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "%s=\"%s\"" (sanitize_name k) (escape_label_value v))
+           labels)
+    ^ "}"
+
+let add_series buffer name labels value =
+  Buffer.add_string buffer name;
+  Buffer.add_string buffer (labels_text labels);
+  Buffer.add_char buffer ' ';
+  Buffer.add_string buffer (number value);
+  Buffer.add_char buffer '\n'
+
+let add_hist buffer name labels h =
+  let lo, _hi = Fusion_stats.Histogram.bounds h in
+  let counts = Fusion_stats.Histogram.counts h in
+  let buckets = Array.length counts in
+  let width =
+    let lo', hi' = Fusion_stats.Histogram.bounds h in
+    float_of_int (hi' - lo' + 1) /. float_of_int buckets
+  in
+  let cumulative = ref 0.0 and sum = ref 0.0 in
+  Array.iteri
+    (fun b c ->
+      cumulative := !cumulative +. c;
+      sum := !sum +. (c *. (float_of_int lo +. ((float_of_int b +. 0.5) *. width)));
+      let le = float_of_int lo +. (float_of_int (b + 1) *. width) in
+      add_series buffer (name ^ "_bucket") (labels @ [ ("le", number le) ]) !cumulative)
+    counts;
+  add_series buffer (name ^ "_bucket") (labels @ [ ("le", "+Inf") ]) !cumulative;
+  add_series buffer (name ^ "_sum") labels !sum;
+  add_series buffer (name ^ "_count") labels !cumulative
+
+(* All lines of one metric family must be contiguous in the exposition;
+   re-group by name in first-appearance order. *)
+let group_by_name samples =
+  let names =
+    List.fold_left
+      (fun acc (s : Metrics.sample) ->
+        if List.mem s.Metrics.name acc then acc else s.Metrics.name :: acc)
+      [] samples
+    |> List.rev
+  in
+  List.concat_map
+    (fun name ->
+      List.filter (fun (s : Metrics.sample) -> s.Metrics.name = name) samples)
+    names
+
+let of_samples samples =
+  let samples = group_by_name samples in
+  let buffer = Buffer.create 1024 in
+  let typed : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Metrics.sample) ->
+      let name = sanitize_name s.Metrics.name in
+      (if not (Hashtbl.mem typed name) then begin
+         Hashtbl.replace typed name ();
+         let kind =
+           match s.Metrics.value with
+           | Metrics.Vcounter _ -> "counter"
+           | Metrics.Vgauge _ -> "gauge"
+           | Metrics.Vhist _ -> "histogram"
+         in
+         (match s.Metrics.value with
+         | Metrics.Vhist _ ->
+           Buffer.add_string buffer
+             (Printf.sprintf "# HELP %s bucketed values (sum approximated from bucket midpoints)\n"
+                name)
+         | _ -> ());
+         Buffer.add_string buffer (Printf.sprintf "# TYPE %s %s\n" name kind)
+       end);
+      match s.Metrics.value with
+      | Metrics.Vcounter v -> add_series buffer name s.Metrics.labels v
+      | Metrics.Vgauge v -> add_series buffer name s.Metrics.labels v
+      | Metrics.Vhist h -> add_hist buffer name s.Metrics.labels h)
+    samples;
+  Buffer.contents buffer
+
+let of_registry t = of_samples (Metrics.snapshot t)
+
+let write_file path samples =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (of_samples samples))

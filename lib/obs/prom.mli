@@ -1,0 +1,17 @@
+(** Prometheus text-exposition (format version 0.0.4) of a
+    {!Metrics} snapshot.
+
+    Counters and gauges map directly; histogram series expose the
+    cumulative [le]-buckets Prometheus expects, built from the
+    equi-width {!Fusion_stats.Histogram} counts. The [_sum] line is
+    approximated from bucket midpoints (the registry keeps bucketed
+    counts, not raw values). Metric names are sanitized to the
+    Prometheus charset; family lines are grouped per name as the format
+    requires. *)
+
+val of_samples : Metrics.sample list -> string
+
+val of_registry : Metrics.t -> string
+(** [of_samples] over {!Metrics.snapshot}. *)
+
+val write_file : string -> Metrics.sample list -> unit

@@ -1,0 +1,99 @@
+(** Structured tracing: spans with parent links, cost-unit and
+    wall-clock bounds, and key/value attributes.
+
+    A process-wide collector can be installed (for the CLI's [--trace])
+    or swapped locally (for tests); when none is installed every entry
+    point is a no-op, so instrumented code pays nothing beyond one
+    closure call.
+
+    Cost units mirror the simulated network meter: instrumentation
+    calls {!charge} with the meter's cost delta, and every span
+    snapshots the collector's running total at open and close. Summing
+    {!cost} over the source-request spans of a run therefore reproduces
+    the run's actual cost exactly. *)
+
+type attr = Str of string | Int of int | Float of float | Bool of bool
+
+val pp_attr : Format.formatter -> attr -> unit
+
+(** Span taxonomy (see docs/TOUR.md "Observability"): [Run] the
+    mediator's root span; [Optimize] one optimizer invocation;
+    [Postopt] a post-optimization phase; [Step] one executed plan
+    operation; [Request] one logical source query (sq/sjq/lq/fetch);
+    [Phase] anything else, named. *)
+type kind = Run | Optimize | Postopt | Step | Request | Phase of string
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind
+
+type span = {
+  id : int;  (** unique within a collector, in span-opening order *)
+  parent : int option;
+  kind : kind;
+  name : string;
+  start_cost : float;
+  finish_cost : float;
+  start_wall : float;
+  finish_wall : float;
+  attrs : (string * attr) list;  (** in the order they were set *)
+}
+
+val cost : span -> float
+(** The cost charged while the span was open, nested spans included. *)
+
+type collector
+(** Accumulates finished spans; create one per trace. *)
+
+val create : ?clock:(unit -> float) -> unit -> collector
+(** [clock] supplies wall-clock readings (default [Sys.time]); inject a
+    fake for deterministic tests. *)
+
+val reset : collector -> unit
+
+val spans : collector -> span list
+(** Finished spans, in finish order (children before their parents). *)
+
+val mark : collector -> int
+(** With {!spans_since}, brackets a region: ids are monotone, so the
+    spans of everything opened after [mark] are exactly those with
+    id >= it. *)
+
+val spans_since : collector -> int -> span list
+
+(** {2 The process-wide default collector} *)
+
+val install : collector -> unit
+val uninstall : unit -> unit
+val installed : unit -> collector option
+val enabled : unit -> bool
+
+val with_collector : collector -> (unit -> 'a) -> 'a
+(** Installs the collector for the duration of the callback, restoring
+    whatever was installed before (exception-safe). *)
+
+(** {2 Recording} *)
+
+type ctx
+(** The live handle instrumented code writes through; inactive when
+    tracing is off, so every write below is a cheap pattern match. *)
+
+val active : ctx -> bool
+
+val attr : ctx -> string -> attr -> unit
+val attrs : ctx -> (string * attr) list -> unit
+
+val charge : ctx -> float -> unit
+(** Adds to the collector's running cost total (attributed to every
+    currently open span). *)
+
+val span : ?attrs:(string * attr) list -> kind -> string -> (ctx -> 'a) -> 'a
+(** Runs the callback inside a new span of the installed collector (or
+    with an inactive ctx when tracing is off). The span finishes when
+    the callback returns or raises. *)
+
+(** {2 Inspection helpers} *)
+
+val find_attr : span -> string -> attr option
+val children : span list -> int -> span list
+val roots : span list -> span list
+val pp_span : Format.formatter -> span -> unit

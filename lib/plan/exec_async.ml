@@ -22,6 +22,13 @@ module Metrics = Fusion_obs.Metrics
 module Sim = Fusion_net.Sim
 module Query_cache = Exec.Query_cache
 
+(* Where a source-query step sat in the concurrent schedule: its
+   dataflow node id (see [Parallel_exec.dataflow]), serving source and
+   dependencies. [dispatched] is false when the step was answered
+   without occupying the source (cache hit, or joining an in-flight
+   request). Local operations have no schedule slot. *)
+type sched = { task : int; server : int; deps : int list; dispatched : bool }
+
 type step = {
   op : Op.t;
   cost : float;
@@ -29,6 +36,7 @@ type step = {
   start : float;
   finish : float;
   coalesced : bool;
+  sched : sched option;
 }
 
 type result = {
@@ -151,7 +159,7 @@ let run ?cache ?(policy = Exec.default_policy) ?(deadline = infinity) ~sources ~
         cache_outcome ctx true;
         bind dst (Items answer) finish;
         { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready; finish;
-          coalesced = true }
+          coalesced = true; sched = Some { task = id; server = j; deps; dispatched = false } }
       | _ -> (
         match Option.bind cache (fun t -> Query_cache.find t s condition) with
         | Some answer ->
@@ -163,7 +171,8 @@ let run ?cache ?(policy = Exec.default_policy) ?(deadline = infinity) ~sources ~
           cache_outcome ctx true;
           bind dst (Items answer) ready;
           { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready;
-            finish = ready; coalesced = false }
+            finish = ready; coalesced = false;
+            sched = Some { task = id; server = j; deps; dispatched = false } }
         | None -> (
           let outcome, duration =
             attempt_query j (fun () -> fst (Source.select_query s condition))
@@ -176,13 +185,15 @@ let run ?cache ?(policy = Exec.default_policy) ?(deadline = infinity) ~sources ~
             Hashtbl.replace inflight key (ev.Sim.finish, answer);
             bind dst (Items answer) ev.Sim.finish;
             { op; cost = duration; result_size = Item_set.cardinal answer;
-              start = ev.Sim.start; finish = ev.Sim.finish; coalesced = false }
+              start = ev.Sim.start; finish = ev.Sim.finish; coalesced = false;
+              sched = Some { task = id; server = j; deps; dispatched = true } }
           | None ->
             give_up op;
             let ev = Sim.Live.dispatch live ~id ~server:j ~ready ~duration ~deps in
             bind dst (Items Item_set.empty) ev.Sim.finish;
             { op; cost = duration; result_size = 0; start = ev.Sim.start;
-              finish = ev.Sim.finish; coalesced = false })))
+              finish = ev.Sim.finish; coalesced = false;
+              sched = Some { task = id; server = j; deps; dispatched = true } })))
     | Semijoin { dst; cond = c; source = j; input } -> (
       let s = source j and condition = cond c in
       let probe = items input in
@@ -221,7 +232,7 @@ let run ?cache ?(policy = Exec.default_policy) ?(deadline = infinity) ~sources ~
         cache_outcome ctx true;
         bind dst (Items answer) finish;
         { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready; finish;
-          coalesced }
+          coalesced; sched = Some { task = id; server = j; deps; dispatched = false } }
       | None -> (
         let outcome, duration =
           attempt_query j (fun () -> fst (Source.semijoin_query s condition probe))
@@ -233,13 +244,15 @@ let run ?cache ?(policy = Exec.default_policy) ?(deadline = infinity) ~sources ~
           let ev = Sim.Live.dispatch live ~id ~server:j ~ready ~duration ~deps in
           bind dst (Items answer) ev.Sim.finish;
           { op; cost = duration; result_size = Item_set.cardinal answer;
-            start = ev.Sim.start; finish = ev.Sim.finish; coalesced = false }
+            start = ev.Sim.start; finish = ev.Sim.finish; coalesced = false;
+            sched = Some { task = id; server = j; deps; dispatched = true } }
         | None ->
           give_up op;
           let ev = Sim.Live.dispatch live ~id ~server:j ~ready ~duration ~deps in
           bind dst (Items Item_set.empty) ev.Sim.finish;
           { op; cost = duration; result_size = 0; start = ev.Sim.start;
-            finish = ev.Sim.finish; coalesced = false }))
+            finish = ev.Sim.finish; coalesced = false;
+            sched = Some { task = id; server = j; deps; dispatched = true } }))
     | Load { dst; source = j } -> (
       let s = source j in
       let ready = ready_of op in
@@ -250,14 +263,16 @@ let run ?cache ?(policy = Exec.default_policy) ?(deadline = infinity) ~sources ~
         let ev = Sim.Live.dispatch live ~id ~server:j ~ready ~duration ~deps in
         bind dst (Loaded relation) ev.Sim.finish;
         { op; cost = duration; result_size = Relation.cardinality relation;
-          start = ev.Sim.start; finish = ev.Sim.finish; coalesced = false }
+          start = ev.Sim.start; finish = ev.Sim.finish; coalesced = false;
+          sched = Some { task = id; server = j; deps; dispatched = true } }
       | None ->
         give_up op;
         let ev = Sim.Live.dispatch live ~id ~server:j ~ready ~duration ~deps in
         bind dst (Loaded (Relation.create ~name:(Source.name s) (Source.schema s)))
           ev.Sim.finish;
         { op; cost = duration; result_size = 0; start = ev.Sim.start;
-          finish = ev.Sim.finish; coalesced = false })
+          finish = ev.Sim.finish; coalesced = false;
+          sched = Some { task = id; server = j; deps; dispatched = true } })
     | Local_select { dst; cond = c; input } ->
       let relation = loaded input in
       let ready = ready_of op in
@@ -265,25 +280,25 @@ let run ?cache ?(policy = Exec.default_policy) ?(deadline = infinity) ~sources ~
       let answer = Relation.select_items relation pred in
       bind dst (Items answer) ready;
       { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready;
-        finish = ready; coalesced = false }
+        finish = ready; coalesced = false; sched = None }
     | Union { dst; args } ->
       let ready = ready_of op in
       let answer = Item_set.union_list (List.map items args) in
       bind dst (Items answer) ready;
       { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready;
-        finish = ready; coalesced = false }
+        finish = ready; coalesced = false; sched = None }
     | Inter { dst; args } ->
       let ready = ready_of op in
       let answer = Item_set.inter_list (List.map items args) in
       bind dst (Items answer) ready;
       { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready;
-        finish = ready; coalesced = false }
+        finish = ready; coalesced = false; sched = None }
     | Diff { dst; left; right } ->
       let ready = ready_of op in
       let answer = Item_set.diff (items left) (items right) in
       bind dst (Items answer) ready;
       { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready;
-        finish = ready; coalesced = false }
+        finish = ready; coalesced = false; sched = None }
   in
   let steps =
     List.map
@@ -300,6 +315,22 @@ let run ?cache ?(policy = Exec.default_policy) ?(deadline = infinity) ~sources ~
                   ("t_start", Trace.Float step.start);
                   ("t_finish", Trace.Float step.finish);
                 ];
+              (match step.sched with
+              | Some s ->
+                Trace.attrs ctx
+                  [
+                    ("task", Trace.Int s.task);
+                    ("server", Trace.Int s.server);
+                    ("deps",
+                     Trace.Str (String.concat "," (List.map string_of_int s.deps)));
+                    ("dispatched", Trace.Bool s.dispatched);
+                  ]
+              | None -> ());
+              (match op with
+              | Select { cond = c; _ } | Semijoin { cond = c; _ }
+              | Local_select { cond = c; _ } ->
+                Trace.attr ctx "cond" (Trace.Int c)
+              | _ -> ());
               if step.coalesced then Trace.attr ctx "coalesced" (Trace.Bool true);
               if !failures > failures_before then
                 Trace.attr ctx "timeouts" (Trace.Int (!failures - failures_before))

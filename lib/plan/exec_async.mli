@@ -29,6 +29,17 @@ open Fusion_data
 open Fusion_cond
 open Fusion_source
 
+type sched = {
+  task : int;  (** dataflow node id, aligned with {!Parallel_exec.dataflow} *)
+  server : int;  (** serving source index *)
+  deps : int list;  (** dataflow node ids this query waited on *)
+  dispatched : bool;
+      (** [false] when the step was answered without occupying the
+          source: a cache hit, or joining an in-flight request *)
+}
+(** Where a source-query step sat in the concurrent schedule. Local
+    operations (union, intersection, ...) have no schedule slot. *)
+
 type step = {
   op : Op.t;
   cost : float;  (** actual cost (work) of the step, 0 for local/coalesced ops *)
@@ -36,6 +47,7 @@ type step = {
   start : float;  (** when the step began on the simulated clock *)
   finish : float;  (** when its result became available *)
   coalesced : bool;  (** answered by joining another step's in-flight request *)
+  sched : sched option;  (** schedule slot, [None] for local operations *)
 }
 
 type result = {

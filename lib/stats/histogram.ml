@@ -57,6 +57,31 @@ let estimate_range t ~lo ~hi =
 
 let estimate_eq t v = estimate_range t ~lo:v ~hi:v
 
+(* Inverse of [estimate_le]: the value below which a [q] fraction of the
+   weight lies, interpolating linearly inside the boundary bucket. *)
+let percentile t q =
+  let q = Float.max 0.0 (Float.min 1.0 q) in
+  let total = total t in
+  if total <= 0.0 then float_of_int t.lo
+  else begin
+    let target = q *. total in
+    let acc = ref 0.0 and result = ref None and b = ref 0 in
+    while !result = None && !b < Array.length t.counts do
+      let c = t.counts.(!b) in
+      if !acc +. c >= target then begin
+        let fraction = if c > 0.0 then (target -. !acc) /. c else 0.0 in
+        result := Some (float_of_int t.lo +. ((float_of_int !b +. fraction) *. t.width))
+      end
+      else begin
+        acc := !acc +. c;
+        incr b
+      end
+    done;
+    match !result with
+    | Some v -> v
+    | None -> float_of_int t.lo +. (float_of_int (Array.length t.counts) *. t.width)
+  end
+
 let pp ppf t =
   Format.fprintf ppf "@[<h>[%d..%d]:" t.lo t.hi;
   Array.iter (fun c -> Format.fprintf ppf " %.0f" c) t.counts;

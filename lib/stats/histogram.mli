@@ -28,6 +28,12 @@ val estimate_eq : t -> int -> float
 (** Estimated weight equal to a point value (bucket weight spread
     uniformly over the bucket's width). *)
 
+val percentile : t -> float -> float
+(** [percentile t q] — the value below which a [q] fraction (clamped to
+    [0, 1]) of the total weight lies, interpolating linearly inside the
+    boundary bucket; the inverse of {!estimate_le}. [lo] when the
+    histogram is empty. *)
+
 val bounds : t -> int * int
 (** The inclusive [lo, hi] domain the histogram covers. *)
 

@@ -66,10 +66,107 @@ let test_golden_text_reparses () =
       ("filter reparses", filter_text, Optimizer.Filter);
     ]
 
+(* --- exporter goldens ----------------------------------------------------
+
+   A tiny deterministic two-step trace (fixed clock, hand-set schedule
+   attributes) and metrics registry, rendered through the Chrome
+   trace-event and Prometheus exporters. As above: format changes must
+   show up as explicit diffs to these literals. *)
+
+module Trace = Fusion_obs.Trace
+module Metrics = Fusion_obs.Metrics
+module Analyze = Fusion_obs.Analyze
+
+let golden_spans () =
+  let c = Trace.create ~clock:(fun () -> 0.0) () in
+  Trace.with_collector c (fun () ->
+      Trace.span Trace.Run "mediator.run" (fun ctx ->
+          Trace.attr ctx "algo" (Trace.Str "sja+");
+          Trace.span Trace.Step "sq" (fun ctx ->
+              Trace.charge ctx 10.0;
+              Trace.attrs ctx
+                [
+                  ("dst", Trace.Str "X1");
+                  ("cost", Trace.Float 10.0);
+                  ("t_start", Trace.Float 0.0);
+                  ("t_finish", Trace.Float 10.0);
+                  ("task", Trace.Int 0);
+                  ("server", Trace.Int 0);
+                  ("deps", Trace.Str "");
+                  ("dispatched", Trace.Bool true);
+                ]);
+          Trace.span Trace.Step "sjq" (fun ctx ->
+              Trace.charge ctx 5.0;
+              Trace.attrs ctx
+                [
+                  ("dst", Trace.Str "X2");
+                  ("cost", Trace.Float 5.0);
+                  ("t_start", Trace.Float 10.0);
+                  ("t_finish", Trace.Float 15.0);
+                  ("task", Trace.Int 1);
+                  ("server", Trace.Int 1);
+                  ("deps", Trace.Str "0");
+                  ("dispatched", Trace.Bool true);
+                ])));
+  Trace.spans c
+
+let golden_registry () =
+  let r = Metrics.create () in
+  Metrics.incr r ~labels:[ ("source", "R1"); ("op", "sq") ] "fusion_requests_total";
+  Metrics.incr r ~labels:[ ("source", "R1"); ("op", "sq") ] "fusion_requests_total";
+  Metrics.incr r ~labels:[ ("source", "R2"); ("op", "sjq") ] "fusion_requests_total";
+  Metrics.gauge r "fusion_sources" 2.0;
+  Metrics.observe r ~spec:{ Metrics.lo = 0; hi = 16; buckets = 4 } "fusion_answer_size" 3;
+  Metrics.observe r ~spec:{ Metrics.lo = 0; hi = 16; buckets = 4 } "fusion_answer_size" 13;
+  r
+
+let chrome_golden = "{\"traceEvents\":[{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"cost clock\"}},{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"spans\"}},{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"simulated schedule\"}},{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"R1\"}},{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"R2\"}},{\"name\":\"mediator.run\",\"cat\":\"run\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":0.0,\"dur\":15.0,\"args\":{\"span\":0,\"algo\":\"sja+\"}},{\"name\":\"sq\",\"cat\":\"step\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":0.0,\"dur\":10.0,\"args\":{\"span\":1,\"parent\":0,\"dst\":\"X1\",\"cost\":10.0,\"t_start\":0.0,\"t_finish\":10.0,\"task\":0,\"server\":0,\"deps\":\"\",\"dispatched\":true}},{\"name\":\"sjq\",\"cat\":\"step\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":10.0,\"dur\":5.0,\"args\":{\"span\":2,\"parent\":0,\"dst\":\"X2\",\"cost\":5.0,\"t_start\":10.0,\"t_finish\":15.0,\"task\":1,\"server\":1,\"deps\":\"0\",\"dispatched\":true}},{\"name\":\"X1 := sq\",\"cat\":\"schedule\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0.0,\"dur\":10.0,\"args\":{\"span\":1,\"parent\":0,\"dst\":\"X1\",\"cost\":10.0,\"t_start\":0.0,\"t_finish\":10.0,\"task\":0,\"server\":0,\"deps\":\"\",\"dispatched\":true}},{\"name\":\"X2 := sjq\",\"cat\":\"schedule\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":10.0,\"dur\":5.0,\"args\":{\"span\":2,\"parent\":0,\"dst\":\"X2\",\"cost\":5.0,\"t_start\":10.0,\"t_finish\":15.0,\"task\":1,\"server\":1,\"deps\":\"0\",\"dispatched\":true}}],\"displayTimeUnit\":\"ms\"}"
+
+let prom_golden =
+  "# TYPE fusion_requests_total counter\n\
+   fusion_requests_total{op=\"sq\",source=\"R1\"} 2\n\
+   fusion_requests_total{op=\"sjq\",source=\"R2\"} 1\n\
+   # TYPE fusion_sources gauge\n\
+   fusion_sources 2\n\
+   # HELP fusion_answer_size bucketed values (sum approximated from bucket midpoints)\n\
+   # TYPE fusion_answer_size histogram\n\
+   fusion_answer_size_bucket{le=\"4.25\"} 1\n\
+   fusion_answer_size_bucket{le=\"8.5\"} 1\n\
+   fusion_answer_size_bucket{le=\"12.75\"} 1\n\
+   fusion_answer_size_bucket{le=\"17\"} 2\n\
+   fusion_answer_size_bucket{le=\"+Inf\"} 2\n\
+   fusion_answer_size_sum 17\n\
+   fusion_answer_size_count 2\n"
+
+let test_chrome_golden () =
+  Alcotest.(check string) "chrome trace-event json" chrome_golden
+    (Fusion_obs.Chrome.to_string (golden_spans ()))
+
+let test_prom_golden () =
+  Alcotest.(check string) "prometheus exposition" prom_golden
+    (Fusion_obs.Prom.of_registry (golden_registry ()))
+
+(* JSONL -> span tree -> flatten -> JSONL is the identity on id-sorted
+   input: ids are assigned in opening order, so the pre-order traversal
+   of the rebuilt tree re-exports byte-identically. *)
+let test_jsonl_tree_round_trip () =
+  let metrics = Metrics.snapshot (golden_registry ()) in
+  let sorted =
+    List.sort (fun a b -> compare a.Trace.id b.Trace.id) (golden_spans ())
+  in
+  let exported = Fusion_obs.Jsonl.export ~metrics sorted in
+  let spans, samples = Helpers.check_ok (Fusion_obs.Jsonl.parse exported) in
+  let rebuilt = Analyze.flatten (Analyze.tree spans) in
+  Alcotest.(check string) "round trip is the identity" exported
+    (Fusion_obs.Jsonl.export ~metrics:samples rebuilt)
+
 let suite =
   [
     Alcotest.test_case "plan text golden" `Quick test_plan_text_golden;
     Alcotest.test_case "plan dot golden" `Quick test_plan_dot_golden;
     Alcotest.test_case "explain golden" `Quick test_explain_golden;
     Alcotest.test_case "golden text reparses" `Quick test_golden_text_reparses;
+    Alcotest.test_case "chrome golden" `Quick test_chrome_golden;
+    Alcotest.test_case "prometheus golden" `Quick test_prom_golden;
+    Alcotest.test_case "jsonl tree round trip" `Quick test_jsonl_tree_round_trip;
   ]

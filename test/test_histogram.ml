@@ -25,6 +25,34 @@ let test_estimate_range_and_eq () =
   Alcotest.(check (float 0.001)) "empty range" 0.0 (Histogram.estimate_range h ~lo:30 ~hi:10);
   Alcotest.(check (float 0.2)) "point" 1.0 (Histogram.estimate_eq h 42)
 
+let test_percentile () =
+  let h = uniform_hist () in
+  (* Uniform 0..99 in 10 equi-width buckets: the inverse CDF is linear. *)
+  Alcotest.(check (float 0.5)) "p0" 0.0 (Histogram.percentile h 0.0);
+  Alcotest.(check (float 1.0)) "p50" 50.0 (Histogram.percentile h 0.5);
+  Alcotest.(check (float 1.0)) "p90" 90.0 (Histogram.percentile h 0.9);
+  Alcotest.(check (float 0.5)) "p100 = hi edge" 100.0 (Histogram.percentile h 1.0);
+  Alcotest.(check (float 0.5)) "clamped below" (Histogram.percentile h 0.0)
+    (Histogram.percentile h (-3.0));
+  (* Monotone in q. *)
+  let qs = List.init 11 (fun i -> float_of_int i /. 10.0) in
+  let ps = List.map (Histogram.percentile h) qs in
+  List.iteri
+    (fun i p ->
+      if i > 0 then
+        Alcotest.(check bool) "monotone" true (p >= List.nth ps (i - 1)))
+    ps;
+  (* All weight in one bucket: every percentile lands inside it. *)
+  let spike = Histogram.build ~buckets:10 ~lo:0 ~hi:99 ~values:[ (7, 500) ] in
+  List.iter
+    (fun q ->
+      let p = Histogram.percentile spike q in
+      Alcotest.(check bool) "inside the spike bucket" true (p >= 0.0 && p <= 10.0))
+    [ 0.1; 0.5; 0.9; 0.99 ];
+  (* Empty histogram degrades to lo. *)
+  let empty = Histogram.build ~buckets:4 ~lo:0 ~hi:10 ~values:[] in
+  Alcotest.(check (float 0.001)) "empty -> lo" 0.0 (Histogram.percentile empty 0.5)
+
 let test_skewed () =
   (* All weight in one value. *)
   let h = Histogram.build ~buckets:10 ~lo:0 ~hi:99 ~values:[ (7, 500) ] in
@@ -112,6 +140,7 @@ let suite =
     Alcotest.test_case "total" `Quick test_total;
     Alcotest.test_case "estimate below bound" `Quick test_estimate_le;
     Alcotest.test_case "range and point estimates" `Quick test_estimate_range_and_eq;
+    Alcotest.test_case "percentile inverse CDF" `Quick test_percentile;
     Alcotest.test_case "skewed weight" `Quick test_skewed;
     Alcotest.test_case "clamping and errors" `Quick test_clamping_and_errors;
     Alcotest.test_case "provider range estimates" `Quick test_provider_range_estimates;

@@ -30,6 +30,7 @@ let () =
       ("oem", Test_oem.suite);
       ("robust", Test_robust.suite);
       ("obs", Test_obs.suite);
+      ("analyze", Test_analyze.suite);
       ("props", Test_props.suite);
       ("golden", Test_golden.suite);
     ]
