@@ -97,13 +97,18 @@ let compare_files ~tolerance base cand =
       match List.find_opt (fun ct -> ct.title = bt.title) cand with
       | None ->
         incr structural;
-        report "MISSING TABLE  %s\n" bt.title
+        report "MISSING TABLE  %s (in baseline only — an experiment vanished)\n" bt.title
       | Some ct -> compare_rows ~tolerance ~title:bt.title ~header:bt.header bt.rows ct.rows)
     base;
+  (* A table on only one side fails the gate in both directions: a
+     vanished experiment and an unvetted new one are equally silent
+     regressions of coverage. *)
   List.iter
     (fun ct ->
-      if not (List.exists (fun bt -> bt.title = ct.title) base) then
-        report "NEW TABLE    %s (not in baseline)\n" ct.title)
+      if not (List.exists (fun bt -> bt.title = ct.title) base) then begin
+        incr structural;
+        report "NEW TABLE    %s (in candidate only — regenerate the baseline)\n" ct.title
+      end)
     cand
 
 let usage () =

@@ -26,6 +26,7 @@ let experiments =
     ("x13", "flaky sources: retries and partial answers", X13_faults.run);
     ("x14", "planning under estimate uncertainty", X14_robust.run);
     ("x15", "concurrent execution: makespan vs total work", X15_concurrency.run);
+    ("x16", "multi-query serving under overload", X16_load.run);
     ("check", "executable claims (regression gate)", Checks.run);
   ]
 

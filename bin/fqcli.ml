@@ -181,14 +181,42 @@ let run_cmd =
                  Mediator.Config.algo;
                  stats = stats_of_sample sample hist;
                  concurrency;
+                 (* Under --concurrency par the report's queue-wait
+                    breakdown needs span data; collect it privately
+                    unless --trace already installs a collector. *)
+                 trace =
+                   (if concurrency = `Par && trace = None then
+                      Some (Fusion_obs.Trace.create ())
+                    else None);
                }
              in
              let* result = Mediator.select_sql ~config mediator sql in
              Format.printf "%a@." Mediator.pp_report result.Mediator.report;
-             if concurrency = `Par then
+             if concurrency = `Par then begin
                Format.printf "makespan: %.1f (total cost %.1f)@."
                  result.Mediator.report.Mediator.response_time
                  result.Mediator.report.Mediator.actual_cost;
+               match
+                 Fusion_obs.Analyze.tasks_of_spans
+                   result.Mediator.report.Mediator.trace
+               with
+               | Ok tasks ->
+                 let sources = Mediator.sources mediator in
+                 let source_name j =
+                   if j >= 0 && j < Array.length sources then
+                     Fusion_source.Source.name sources.(j)
+                   else Printf.sprintf "R%d" (j + 1)
+                 in
+                 List.iter
+                   (fun (l : Fusion_obs.Analyze.source_load) ->
+                     Format.printf
+                       "  %-8s queue-wait %6.1f  (%d requests, busy %.1f)@."
+                       (source_name l.Fusion_obs.Analyze.server)
+                       l.Fusion_obs.Analyze.queue_wait
+                       l.Fusion_obs.Analyze.requests l.Fusion_obs.Analyze.busy)
+                   (Fusion_obs.Analyze.source_loads tasks)
+               | Error _ -> ()
+             end;
              if List.length result.Mediator.columns > 1 then begin
                Format.printf "@.%s@." (String.concat " | " result.Mediator.columns);
                List.iter
@@ -768,10 +796,186 @@ let shell_cmd =
   let doc = "interactive fusion-query session (with the selection cache)" in
   Cmd.v (Cmd.info "shell" ~doc) Term.(const action $ location_term)
 
+(* --- serve --------------------------------------------------------------- *)
+
+(* A seeded open-loop serving run: N random conjunctive queries arrive
+   as a Poisson stream over the shared simulated network, scheduled by
+   the chosen policy; prints per-tenant goodput/latency percentiles,
+   shed and cache statistics, and the conservation line the smoke test
+   greps for. *)
+let serve_cmd =
+  let module Serve = Fusion_serve.Server in
+  let queries_arg =
+    let doc = "Number of queries to submit." in
+    Arg.(value & opt int 200 & info [ "n"; "queries" ] ~docv:"N" ~doc)
+  in
+  let rate_arg =
+    let doc = "Poisson arrival rate (queries per simulated time unit)." in
+    Arg.(value & opt float 0.01 & info [ "rate" ] ~docv:"R" ~doc)
+  in
+  let seed_arg =
+    let doc = "PRNG seed for query generation and arrivals." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let policy_arg =
+    let doc = "Scheduling policy: fifo, priority, fair, sjf." in
+    Arg.(value & opt string "fifo" & info [ "policy" ] ~docv:"POLICY" ~doc)
+  in
+  let tenants_arg =
+    let doc = "Number of tenants queries are spread across (round-robin)." in
+    Arg.(value & opt int 3 & info [ "tenants" ] ~docv:"K" ~doc)
+  in
+  let cache_ttl_arg =
+    let doc =
+      "Replay completed answers for this long (simulated time); omitted: in-flight \
+       request coalescing only."
+    in
+    Arg.(value & opt (some float) None & info [ "cache-ttl" ] ~docv:"T" ~doc)
+  in
+  let max_inflight_arg =
+    let doc = "Admission cap on concurrently executing queries." in
+    Arg.(value & opt int 64 & info [ "max-inflight" ] ~docv:"M" ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Per-query response-time budget; arrivals that cannot meet it are shed."
+    in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"D" ~doc)
+  in
+  let prom_arg =
+    let doc = "Write the run's metrics in Prometheus exposition format to this file." in
+    Arg.(value & opt (some string) None & info [ "prom" ] ~docv:"FILE" ~doc)
+  in
+  let gantt_arg =
+    let doc = "Print the shared network's Gantt chart after the run." in
+    Arg.(value & flag & info [ "gantt" ] ~doc)
+  in
+  let action location queries rate seed policy tenants cache_ttl max_inflight deadline
+      prom gantt algo verbose =
+    setup_logs verbose;
+    report_result
+      (let* location = location in
+       let* policy =
+         match Serve.policy_of_name policy with
+         | Some p -> Ok p
+         | None ->
+           Error (Printf.sprintf "unknown policy %S (expected fifo|priority|fair|sjf)" policy)
+       in
+       if queries < 0 then Error "--queries must be non-negative"
+       else if rate <= 0.0 then Error "--rate must be positive"
+       else if tenants < 1 then Error "--tenants must be >= 1"
+       else
+         with_mediator location (fun mediator ->
+             let registry = Fusion_obs.Metrics.create () in
+             Fusion_obs.Metrics.with_registry registry (fun () ->
+                 let config = { Mediator.Config.default with Mediator.Config.algo } in
+                 let srv =
+                   Mediator.Server.create ~config ~policy ~max_inflight ?cache_ttl
+                     mediator
+                 in
+                 let prng = Fusion_stats.Prng.create seed in
+                 let schema = Mediator.schema mediator in
+                 let attrs =
+                   List.filter_map
+                     (fun (a, ty) ->
+                       if a <> Fusion_data.Schema.merge schema && ty = Fusion_data.Value.Tint
+                       then Some a
+                       else None)
+                     (Fusion_data.Schema.attrs schema)
+                   |> Array.of_list
+                 in
+                 if Array.length attrs = 0 then Error "schema has no integer attributes"
+                 else begin
+                   (* Random conjunctive queries: 1-3 range conditions on
+                      integer attributes, thresholds over the generator's
+                      default domain. *)
+                   let random_query () =
+                     let m = 1 + Fusion_stats.Prng.int prng 3 in
+                     let conds =
+                       List.init m (fun _ ->
+                           let attr = Fusion_stats.Prng.pick prng attrs in
+                           let threshold = Fusion_stats.Prng.int prng 1000 in
+                           Fusion_cond.Cond.Cmp
+                             (attr, Fusion_cond.Cond.Lt, Fusion_data.Value.Int threshold))
+                     in
+                     Fusion_query.Query.create_exn conds
+                   in
+                   let at = ref 0.0 in
+                   let submit_errors = ref 0 in
+                   for i = 0 to queries - 1 do
+                     at := !at +. Fusion_stats.Prng.exponential prng rate;
+                     let tenant = Printf.sprintf "t%d" ((i mod tenants) + 1) in
+                     let priority = i mod tenants in
+                     match
+                       Mediator.Server.submit srv ~at:!at ~tenant ~priority ?deadline
+                         (random_query ())
+                     with
+                     | Ok _ -> ()
+                     | Error _ -> incr submit_errors
+                   done;
+                   Mediator.Server.drain srv;
+                   let s = Mediator.Server.stats srv in
+                   let server = Mediator.Server.serve srv in
+                   let makespan = Serve.now server in
+                   Format.printf "policy %s: %d queries over %d tenants, makespan %.1f@."
+                     (Serve.policy_name policy) queries tenants makespan;
+                   if !submit_errors > 0 then
+                     Format.printf "(%d submissions rejected before admission)@."
+                       !submit_errors;
+                   Format.printf "%-8s %9s %9s %5s %9s %8s %8s@." "tenant" "submitted"
+                     "completed" "shed" "goodput" "p50" "p99";
+                   List.iter
+                     (fun (name, ts) ->
+                       let p =
+                         Fusion_obs.Summary.latency_percentiles ts.Serve.ts_summary
+                       in
+                       Format.printf "%-8s %9d %9d %5d %9.4f %8.1f %8.1f@." name
+                         ts.Serve.ts_submitted ts.Serve.ts_completed ts.Serve.ts_shed
+                         (if makespan > 0.0 then
+                            float_of_int ts.Serve.ts_completed /. makespan
+                          else 0.0)
+                         p.Fusion_obs.Summary.p50 p.Fusion_obs.Summary.p99)
+                     (Serve.tenants server);
+                   let shed_rate =
+                     if s.Serve.submitted > 0 then
+                       float_of_int s.Serve.shed /. float_of_int s.Serve.submitted
+                     else 0.0
+                   in
+                   Format.printf "shed rate: %.1f%%@." (100.0 *. shed_rate);
+                   Format.printf "answer cache: %a@." Fusion_plan.Answer_cache.pp_stats
+                     (Serve.cache_stats server);
+                   Format.printf "%a@." Serve.pp_stats s;
+                   if gantt then begin
+                     let sources = Mediator.sources mediator in
+                     let server_name j =
+                       if j >= 0 && j < Array.length sources then
+                         Fusion_source.Source.name sources.(j)
+                       else Printf.sprintf "R%d" (j + 1)
+                     in
+                     Format.printf "%a@."
+                       (Fusion_net.Sim.pp_gantt ?width:None ~server_name)
+                       (Serve.timeline server)
+                   end;
+                   (match prom with
+                   | Some path ->
+                     Fusion_obs.Prom.write_file path
+                       (Fusion_obs.Metrics.snapshot registry);
+                     Format.eprintf "metrics written to %s@." path
+                   | None -> ());
+                   Ok ()
+                 end)))
+  in
+  let doc = "serve a stream of fusion queries on one shared network" in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const action $ location_term $ queries_arg $ rate_arg $ seed_arg $ policy_arg
+          $ tenants_arg $ cache_ttl_arg $ max_inflight_arg $ deadline_arg $ prom_arg
+          $ gantt_arg $ algo_arg $ verbose_arg)
+
 let main_cmd =
   let doc = "fusion queries over (simulated) Internet databases" in
   let info = Cmd.info "fqcli" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ gen_cmd; run_cmd; explain_cmd; compare_cmd; profile_cmd; trace_cmd; shell_cmd ]
+    [ gen_cmd; run_cmd; explain_cmd; compare_cmd; profile_cmd; trace_cmd; shell_cmd;
+      serve_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -340,3 +340,88 @@ let pp_report ppf r =
     Format.fprintf ppf "@,%a" (Analyze.pp_path ~source_name) path
   | _ -> ());
   Format.fprintf ppf "@]"
+
+(* Serving mode: many queries multiplexed onto one shared network.
+   The mediator's contribution per submission is what [run] does up
+   front — validate, normalize, optimize — after which the job (plan,
+   conditions, cost estimate) is handed to [Fusion_serve.Server] and
+   the optimizer's estimate doubles as the scheduling/admission
+   weight. *)
+module Server = struct
+  module S = Fusion_serve.Server
+
+  type submission = { query : Fusion_query.Query.t; optimized : Optimized.t }
+
+  type nonrec t = {
+    med : t;
+    config : Config.t;
+    srv : S.t;
+    index : (int, submission) Hashtbl.t;
+  }
+
+  type outcome = {
+    o_id : int;
+    o_query : Fusion_query.Query.t;
+    o_optimized : Optimized.t;
+    o_completion : S.completion;
+  }
+
+  let create ?(config = Config.default) ?(policy = S.Fifo) ?(max_inflight = 64)
+      ?cache_ttl med =
+    {
+      med;
+      config;
+      srv =
+        S.create ~policy ~max_inflight ?cache_ttl ~exec_policy:(Config.policy config)
+          med.sources;
+      index = Hashtbl.create 32;
+    }
+
+  let serve t = t.srv
+  let mediator t = t.med
+
+  let submit t ~at ?(tenant = "default") ?(priority = 0) ?deadline query =
+    match Fusion_query.Query.validate (schema t.med) query with
+    | Error msg -> Error ("invalid query: " ^ msg)
+    | Ok () ->
+      let query = Fusion_query.Query.normalize query in
+      let env = Opt_env.create ~stats:t.config.Config.stats t.med.sources query in
+      let optimized = Optimizer.optimize t.config.Config.algo env in
+      let job =
+        {
+          S.plan = optimized.Optimized.plan;
+          conds = env.Opt_env.conds;
+          tenant;
+          priority;
+          est_cost = optimized.Optimized.est_cost;
+          deadline;
+        }
+      in
+      let id = S.submit t.srv ~at job in
+      Hashtbl.replace t.index id { query; optimized };
+      Ok id
+
+  let submit_sql t ~at ?tenant ?priority ?deadline text =
+    match Fusion_query.Sql.parse_fusion ~schema:(schema t.med) ~union:t.med.union text with
+    | Error msg -> Error msg
+    | Ok query -> submit t ~at ?tenant ?priority ?deadline query
+
+  let step t = S.step t.srv
+  let drain t = S.drain t.srv
+  let stats t = S.stats t.srv
+
+  let outcomes t =
+    List.filter_map
+      (fun (c : S.completion) ->
+        match Hashtbl.find_opt t.index c.S.c_id with
+        | Some sub ->
+          Some
+            {
+              o_id = c.S.c_id;
+              o_query = sub.query;
+              o_optimized = sub.optimized;
+              o_completion = c;
+            }
+        | None -> None)
+      (S.completions t.srv)
+end

@@ -122,3 +122,71 @@ val single_phase_cost : t -> Fusion_query.Query.t -> float
     as {e full tuples} rather than items. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+(** Serving mode: many queries multiplexed onto one shared network
+    through {!Fusion_serve.Server}. Each submission is validated,
+    normalized and optimized exactly as {!run} would ([Config.algo],
+    [Config.stats], retry policy all honored); the optimizer's cost
+    estimate becomes the job's scheduling weight ([Sjf]) and
+    admission-control signal. A single submitted query served under
+    the [Fifo] policy executes byte-identically to
+    [run ~config:{config with concurrency = `Par}]. *)
+module Server : sig
+  type mediator := t
+
+  type t
+
+  type outcome = {
+    o_id : int;
+    o_query : Fusion_query.Query.t;
+    o_optimized : Optimized.t;  (** plan and estimate chosen at submit time *)
+    o_completion : Fusion_serve.Server.completion;
+  }
+
+  val create :
+    ?config:Config.t ->
+    ?policy:Fusion_serve.Server.policy ->
+    ?max_inflight:int ->
+    ?cache_ttl:float ->
+    mediator ->
+    t
+  (** [config] drives per-submission optimization and the retry policy
+      ({!Config.default} if omitted; its [concurrency] and [trace]
+      fields are ignored — serving is always concurrent). Remaining
+      options as in {!Fusion_serve.Server.create}. *)
+
+  val submit :
+    t ->
+    at:float ->
+    ?tenant:string ->
+    ?priority:int ->
+    ?deadline:float ->
+    Fusion_query.Query.t ->
+    (int, string) result
+  (** Optimizes the query and enqueues it at simulated instant [at];
+      returns the submission id. [tenant] defaults to ["default"],
+      [priority] to 0. *)
+
+  val submit_sql :
+    t ->
+    at:float ->
+    ?tenant:string ->
+    ?priority:int ->
+    ?deadline:float ->
+    string ->
+    (int, string) result
+
+  val step : t -> bool
+  val drain : t -> unit
+  val stats : t -> Fusion_serve.Server.stats
+
+  val outcomes : t -> outcome list
+  (** Completed submissions joined with what the optimizer chose for
+      them, in completion order. *)
+
+  val serve : t -> Fusion_serve.Server.t
+  (** The underlying server, for timelines, tenant stats, sheds, and
+      cache stats. *)
+
+  val mediator : t -> mediator
+end

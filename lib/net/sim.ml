@@ -104,6 +104,12 @@ module Live = struct
 
   let free_at t server = t.free.(server)
 
+  let server_count t = t.servers
+
+  let backlog t ~at = Array.map (fun free -> Float.max 0.0 (free -. at)) t.free
+
+  let dispatched t = List.length t.events
+
   let dispatch t ~id ~server ~ready ~duration ~deps =
     if server < 0 || server >= t.servers then
       invalid_arg

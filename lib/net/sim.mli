@@ -51,6 +51,17 @@ module Live : sig
   val free_at : t -> int -> float
   (** Next instant the server can start new work. *)
 
+  val server_count : t -> int
+
+  val backlog : t -> at:float -> float array
+  (** Remaining queued service time per server as seen at instant [at]:
+      [max 0 (free_at - at)]. A serving layer reads this to predict how
+      long a request arriving now would wait — the admission-control
+      signal for load shedding. *)
+
+  val dispatched : t -> int
+  (** Number of tasks dispatched so far. *)
+
   val dispatch :
     t -> id:int -> server:int -> ready:float -> duration:float -> deps:int list ->
     scheduled

@@ -43,6 +43,9 @@ type percentiles = {
 let empty_percentiles = { p50 = 0.0; p90 = 0.0; p99 = 0.0; mean = 0.0; max = 0.0; n = 0 }
 
 let percentiles_of ~buckets values =
+  (* Non-finite observations would poison the histogram bounds and
+     every derived number; drop them rather than report NaN. *)
+  let values = List.filter Float.is_finite values in
   match values with
   | [] -> empty_percentiles
   | _ ->
@@ -54,7 +57,11 @@ let percentiles_of ~buckets values =
       Histogram.build ~buckets ~lo:0 ~hi
         ~values:(List.map (fun v -> (int_of_float (Float.round v), 1)) values)
     in
-    let p q = Float.min (Histogram.percentile h q) top in
+    let p q =
+      match Histogram.percentile_opt h q with
+      | Some v -> Float.min v top
+      | None -> 0.0 (* unreachable: [values] is non-empty *)
+    in
     { p50 = p 0.5; p90 = p 0.9; p99 = p 0.99; mean; max = top; n }
 
 let cost_percentiles t = percentiles_of ~buckets:t.buckets (List.map (fun r -> r.cost) t.runs)

@@ -1,0 +1,113 @@
+(* Cross-query answer sharing for selection queries.
+
+   Generalizes two mechanisms that used to live inside a single run of
+   the concurrent executor: the in-flight coalescer (a later step
+   needing a selection another step has already put in flight joins the
+   pending request) and the session [Exec.Query_cache] (a completed
+   answer is replayed for free). One table, keyed by
+   (source, condition), shared by however many concurrently executing
+   queries a serving layer multiplexes: the first query to need a
+   selection pays for it, everyone whose need overlaps the request in
+   (simulated) time joins it, and — when a TTL is set — everyone who
+   arrives within [ttl] after the answer materialized reuses it as a
+   slightly stale cached answer, with the staleness accounted.
+
+   [ttl = None] reproduces the executor's historical behavior exactly:
+   in-flight sharing only, completed answers are never replayed. That is
+   what keeps a lone query's execution under a serving layer
+   byte-identical to [Exec_async.run]. *)
+
+open Fusion_data
+
+type entry = { finish : float; answer : Item_set.t }
+
+type stats = {
+  lookups : int;
+  inflight_hits : int;
+  cached_hits : int;
+  expirations : int;
+  staleness_sum : float;
+  staleness_max : float;
+}
+
+type t = {
+  ttl : float option;
+  table : (string * string, entry) Hashtbl.t;
+  mutable lookups : int;
+  mutable inflight_hits : int;
+  mutable cached_hits : int;
+  mutable expirations : int;
+  mutable staleness_sum : float;
+  mutable staleness_max : float;
+}
+
+type outcome =
+  | Inflight of float * Item_set.t
+  | Cached of float * Item_set.t
+  | Miss
+
+let create ?ttl () =
+  (match ttl with
+  | Some t when t < 0.0 -> invalid_arg "Answer_cache.create: negative ttl"
+  | _ -> ());
+  {
+    ttl;
+    table = Hashtbl.create 64;
+    lookups = 0;
+    inflight_hits = 0;
+    cached_hits = 0;
+    expirations = 0;
+    staleness_sum = 0.0;
+    staleness_max = 0.0;
+  }
+
+let ttl t = t.ttl
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.lookups <- 0;
+  t.inflight_hits <- 0;
+  t.cached_hits <- 0;
+  t.expirations <- 0;
+  t.staleness_sum <- 0.0;
+  t.staleness_max <- 0.0
+
+let stats t : stats =
+  {
+    lookups = t.lookups;
+    inflight_hits = t.inflight_hits;
+    cached_hits = t.cached_hits;
+    expirations = t.expirations;
+    staleness_sum = t.staleness_sum;
+    staleness_max = t.staleness_max;
+  }
+
+let find t ~source ~cond ~ready =
+  t.lookups <- t.lookups + 1;
+  match Hashtbl.find_opt t.table (source, cond) with
+  | None -> Miss
+  | Some e when e.finish > ready ->
+    t.inflight_hits <- t.inflight_hits + 1;
+    Inflight (e.finish, e.answer)
+  | Some e -> (
+    match t.ttl with
+    | Some ttl when ready -. e.finish <= ttl ->
+      let staleness = ready -. e.finish in
+      t.cached_hits <- t.cached_hits + 1;
+      t.staleness_sum <- t.staleness_sum +. staleness;
+      t.staleness_max <- Float.max t.staleness_max staleness;
+      Cached (staleness, e.answer)
+    | _ ->
+      t.expirations <- t.expirations + 1;
+      Hashtbl.remove t.table (source, cond);
+      Miss)
+
+let note t ~source ~cond ~finish answer =
+  Hashtbl.replace t.table (source, cond) { finish; answer }
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "%d lookups: %d joined in flight, %d cached (mean staleness %.1f, max %.1f), %d expired"
+    s.lookups s.inflight_hits s.cached_hits
+    (if s.cached_hits > 0 then s.staleness_sum /. float_of_int s.cached_hits else 0.0)
+    s.staleness_max s.expirations

@@ -1,0 +1,61 @@
+(** Cross-query answer sharing for selection queries.
+
+    One table, keyed by [(source, condition)], that a serving layer
+    shares between every concurrently executing query: it generalizes
+    the in-flight request coalescer of {!Exec_async} (same selection
+    still in flight on the simulated clock → join the pending request)
+    and the session {!Exec.Query_cache} (completed answer → replay it)
+    into a single mechanism with time-to-live semantics.
+
+    A lookup at simulated instant [ready] sees one of three things:
+
+    - {!Inflight}: the request is still being served ([finish > ready]);
+      the asker joins it, pays nothing, and gets the answer at [finish].
+    - {!Cached}: the answer materialized no more than [ttl] ago; the
+      asker reuses it immediately, accepting [ready - finish] of
+      staleness (accounted in {!stats}).
+    - {!Miss}: nothing usable — issue a real request and {!note} its
+      answer when it is dispatched.
+
+    With [ttl = None] (the default) completed answers are never
+    replayed, which makes the table behave exactly like the historical
+    per-run in-flight coalescer — the configuration under which a lone
+    query served by {!Server} matches {!Exec_async.run} byte for
+    byte. *)
+
+open Fusion_data
+
+type t
+
+type stats = {
+  lookups : int;
+  inflight_hits : int;
+  cached_hits : int;
+  expirations : int;  (** entries found but older than the TTL *)
+  staleness_sum : float;
+  staleness_max : float;
+}
+
+type outcome =
+  | Inflight of float * Item_set.t  (** finish time of the shared request *)
+  | Cached of float * Item_set.t  (** staleness of the reused answer *)
+  | Miss
+
+val create : ?ttl:float -> unit -> t
+(** [ttl] is how long (in simulated time units) a completed answer may
+    be reused; omit it for in-flight sharing only.
+    @raise Invalid_argument on a negative ttl. *)
+
+val ttl : t -> float option
+
+val find : t -> source:string -> cond:string -> ready:float -> outcome
+(** Consult the table at instant [ready]. Expired entries are evicted
+    as a side effect. *)
+
+val note : t -> source:string -> cond:string -> finish:float -> Item_set.t -> unit
+(** Record a dispatched selection: its answer becomes joinable until
+    [finish] and (with a TTL) reusable until [finish + ttl]. *)
+
+val stats : t -> stats
+val clear : t -> unit
+val pp_stats : Format.formatter -> stats -> unit

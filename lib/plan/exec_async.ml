@@ -12,7 +12,15 @@
    Answers, per-step costs and fault-injection draws therefore agree
    exactly with [Exec.run] under the same policy; only the clock
    bookkeeping differs. That invariant is what the async property tests
-   pin down. *)
+   pin down.
+
+   The execution itself lives in [Engine]: an incremental cursor over
+   the plan that evaluates local operations for free and surfaces one
+   source query at a time for an external scheduler to dispatch onto a
+   (possibly shared) [Sim.Live] network. [run] is the trivial driver —
+   one private network, dispatch every request the moment it surfaces —
+   and a serving layer (lib/serve) is the interesting one: many engines,
+   one network, a scheduling policy arbitrating between them. *)
 
 open Fusion_data
 open Fusion_cond
@@ -55,296 +63,412 @@ let to_exec_steps steps =
 
 type binding = Items of Item_set.t | Loaded of Relation.t
 
-let run ?cache ?(policy = Exec.default_policy) ?(deadline = infinity) ~sources ~conds
-    plan =
-  let nodes = Array.of_list (Parallel_exec.dataflow plan) in
-  let live = Sim.Live.create ~servers:(max 1 (Array.length sources)) in
-  let env : (string, binding) Hashtbl.t = Hashtbl.create 16 in
-  (* Simulated instant at which each variable's value is available. *)
-  let avail : (string, float) Hashtbl.t = Hashtbl.create 16 in
-  (* Selection requests issued by this run: (source, condition) ->
-     (finish time, answer). A later step needing the same selection
-     while the request is still in flight joins it instead of paying
-     for a second one. *)
-  let inflight : (string * string, float * Item_set.t) Hashtbl.t = Hashtbl.create 16 in
-  let failures = ref 0 in
-  let partial = ref false in
-  let items var =
-    match Hashtbl.find_opt env var with
+module Engine = struct
+  type request = { rq_op : Op.t; rq_server : int; rq_ready : float; rq_task : int }
+
+  type t = {
+    sources : Source.t array;
+    conds : Cond.t array;
+    cache : Query_cache.t option;
+    policy : Exec.policy;
+    deadline : float;
+    answers : Answer_cache.t;
+    live : Sim.Live.t;
+    offset : int;
+    base : float;
+    nodes : (Op.t * int * int list) array;
+    env : (string, binding) Hashtbl.t;
+    (* Simulated instant at which each variable's value is available. *)
+    avail : (string, float) Hashtbl.t;
+    mutable ops : Op.t list; (* the plan suffix still to execute *)
+    mutable sq_index : int; (* plan-order position of the next source query *)
+    mutable steps : step list; (* newest first *)
+    mutable failures : int;
+    mutable partial : bool;
+    output : string;
+  }
+
+  let create ?cache ?(policy = Exec.default_policy) ?(deadline = infinity) ?answers
+      ?(offset = 0) ?(base = 0.0) ~live ~sources ~conds plan =
+    {
+      sources;
+      conds;
+      cache;
+      policy;
+      deadline;
+      answers = (match answers with Some a -> a | None -> Answer_cache.create ());
+      live;
+      offset;
+      base;
+      nodes = Array.of_list (Parallel_exec.dataflow plan);
+      env = Hashtbl.create 16;
+      avail = Hashtbl.create 16;
+      ops = Plan.ops plan;
+      sq_index = 0;
+      steps = [];
+      failures = 0;
+      partial = false;
+      output = Plan.output plan;
+    }
+
+  let items t var =
+    match Hashtbl.find_opt t.env var with
     | Some (Items s) -> s
     | Some (Loaded _) ->
       raise (Exec.Runtime_error (var ^ " is a loaded relation, not an item set"))
     | None -> raise (Exec.Runtime_error ("undefined variable " ^ var))
-  in
-  let loaded var =
-    match Hashtbl.find_opt env var with
+
+  let loaded t var =
+    match Hashtbl.find_opt t.env var with
     | Some (Loaded r) -> r
     | Some (Items _) ->
       raise (Exec.Runtime_error (var ^ " is an item set, not a loaded relation"))
     | None -> raise (Exec.Runtime_error ("undefined variable " ^ var))
-  in
-  let source j =
-    if j < 0 || j >= Array.length sources then
+
+  let source t j =
+    if j < 0 || j >= Array.length t.sources then
       raise (Exec.Runtime_error (Printf.sprintf "source index %d out of range" j));
-    sources.(j)
-  in
-  let cond i =
-    if i < 0 || i >= Array.length conds then
+    t.sources.(j)
+
+  let cond t i =
+    if i < 0 || i >= Array.length t.conds then
       raise (Exec.Runtime_error (Printf.sprintf "condition index %d out of range" i));
-    conds.(i)
-  in
-  let ready_of op =
+    t.conds.(i)
+
+  let ready_of t op =
     List.fold_left
-      (fun acc v -> Float.max acc (Option.value ~default:0.0 (Hashtbl.find_opt avail v)))
-      0.0 (Op.uses op)
-  in
-  let bind dst value at =
-    Hashtbl.replace env dst value;
-    Hashtbl.replace avail dst at
-  in
-  let cache_outcome ctx hit =
-    if cache <> None then begin
+      (fun acc v ->
+        Float.max acc (Option.value ~default:t.base (Hashtbl.find_opt t.avail v)))
+      t.base (Op.uses op)
+
+  let bind t dst value at =
+    Hashtbl.replace t.env dst value;
+    Hashtbl.replace t.avail dst at
+
+  let cache_outcome t ctx hit =
+    if t.cache <> None then begin
       Trace.attr ctx "cache" (Trace.Str (if hit then "hit" else "miss"));
       Metrics.record (fun r ->
           Metrics.incr r
             (if hit then "fusion_cache_hits_total" else "fusion_cache_misses_total"))
     end
-  in
+
   (* The plan-order position of the next source query, aligned with the
-     [dataflow] nodes so timeline task ids match the replay executor's. *)
-  let sq_index = ref 0 in
-  let next_node () =
-    let id = !sq_index in
-    incr sq_index;
-    let _, _, deps = nodes.(id) in
-    (id, deps)
-  in
+     [dataflow] nodes; ids (and the deps they reference) are shifted by
+     [offset] so timelines of many engines sharing one network never
+     collide. *)
+  let next_node t =
+    let id = t.sq_index in
+    t.sq_index <- t.sq_index + 1;
+    let _, _, deps = t.nodes.(id) in
+    (t.offset + id, List.map (fun d -> t.offset + d) deps)
+
   (* One logical source query, live: attempts run back to back on the
      source until success, an exhausted retry budget, or an exhausted
      per-query deadline. Returns the outcome (None = gave up) and the
      total service time consumed, failed attempts included. *)
-  let attempt_query j f =
-    let s = sources.(j) in
+  let attempt_query t j f =
+    let s = t.sources.(j) in
     let before = (Source.totals s).Fusion_net.Meter.cost in
     let consumed () = (Source.totals s).Fusion_net.Meter.cost -. before in
     let rec go budget =
       match f () with
       | v -> Some v
       | exception Source.Timeout _ ->
-        incr failures;
-        if budget > 0 && consumed () < deadline then go (budget - 1) else None
+        t.failures <- t.failures + 1;
+        if budget > 0 && consumed () < t.deadline then go (budget - 1) else None
     in
-    let outcome = go policy.Exec.retries in
+    let outcome = go t.policy.Exec.retries in
     (outcome, consumed ())
-  in
-  let give_up op =
-    if policy.Exec.on_exhausted = `Fail then raise (Source.Timeout (Op.dst op));
-    partial := true
-  in
-  let exec_op ctx (op : Op.t) =
+
+  let give_up t op =
+    if t.policy.Exec.on_exhausted = `Fail then raise (Source.Timeout (Op.dst op));
+    t.partial <- true
+
+  let exec_op t ctx (op : Op.t) =
     match op with
     | Select { dst; cond = c; source = j } -> (
-      let s = source j and condition = cond c in
-      let ready = ready_of op in
-      let key = (Source.name s, Cond.to_string condition) in
-      let id, deps = next_node () in
-      match Hashtbl.find_opt inflight key with
-      | Some (finish, answer) when finish > ready ->
+      let s = source t j and condition = cond t c in
+      let ready = ready_of t op in
+      let sname = Source.name s and ctext = Cond.to_string condition in
+      let id, deps = next_node t in
+      match Answer_cache.find t.answers ~source:sname ~cond:ctext ~ready with
+      | Answer_cache.Inflight (finish, answer) ->
         (* The same selection is in flight: share its request. *)
         Option.iter
-          (fun t ->
-            Query_cache.record_hit t s ~items_sent:0
+          (fun c ->
+            Query_cache.record_hit c s ~items_sent:0
               ~items_received:(Item_set.cardinal answer))
-          cache;
-        cache_outcome ctx true;
-        bind dst (Items answer) finish;
+          t.cache;
+        cache_outcome t ctx true;
+        bind t dst (Items answer) finish;
         { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready; finish;
           coalesced = true; sched = Some { task = id; server = j; deps; dispatched = false } }
-      | _ -> (
-        match Option.bind cache (fun t -> Query_cache.find t s condition) with
+      | Answer_cache.Cached (_staleness, answer) ->
+        (* A recent enough answer from another query: reuse it. *)
+        Option.iter
+          (fun c ->
+            Query_cache.record_hit c s ~items_sent:0
+              ~items_received:(Item_set.cardinal answer))
+          t.cache;
+        cache_outcome t ctx true;
+        bind t dst (Items answer) ready;
+        { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready;
+          finish = ready; coalesced = false;
+          sched = Some { task = id; server = j; deps; dispatched = false } }
+      | Answer_cache.Miss -> (
+        match Option.bind t.cache (fun c -> Query_cache.find c s condition) with
         | Some answer ->
           Option.iter
-            (fun t ->
-              Query_cache.record_hit t s ~items_sent:0
+            (fun c ->
+              Query_cache.record_hit c s ~items_sent:0
                 ~items_received:(Item_set.cardinal answer))
-            cache;
-          cache_outcome ctx true;
-          bind dst (Items answer) ready;
+            t.cache;
+          cache_outcome t ctx true;
+          bind t dst (Items answer) ready;
           { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready;
             finish = ready; coalesced = false;
             sched = Some { task = id; server = j; deps; dispatched = false } }
         | None -> (
           let outcome, duration =
-            attempt_query j (fun () -> fst (Source.select_query s condition))
+            attempt_query t j (fun () -> fst (Source.select_query s condition))
           in
           match outcome with
           | Some answer ->
-            Option.iter (fun t -> Query_cache.store t s condition answer) cache;
-            cache_outcome ctx false;
-            let ev = Sim.Live.dispatch live ~id ~server:j ~ready ~duration ~deps in
-            Hashtbl.replace inflight key (ev.Sim.finish, answer);
-            bind dst (Items answer) ev.Sim.finish;
+            Option.iter (fun c -> Query_cache.store c s condition answer) t.cache;
+            cache_outcome t ctx false;
+            let ev = Sim.Live.dispatch t.live ~id ~server:j ~ready ~duration ~deps in
+            Answer_cache.note t.answers ~source:sname ~cond:ctext
+              ~finish:ev.Sim.finish answer;
+            bind t dst (Items answer) ev.Sim.finish;
             { op; cost = duration; result_size = Item_set.cardinal answer;
               start = ev.Sim.start; finish = ev.Sim.finish; coalesced = false;
               sched = Some { task = id; server = j; deps; dispatched = true } }
           | None ->
-            give_up op;
-            let ev = Sim.Live.dispatch live ~id ~server:j ~ready ~duration ~deps in
-            bind dst (Items Item_set.empty) ev.Sim.finish;
+            give_up t op;
+            let ev = Sim.Live.dispatch t.live ~id ~server:j ~ready ~duration ~deps in
+            bind t dst (Items Item_set.empty) ev.Sim.finish;
             { op; cost = duration; result_size = 0; start = ev.Sim.start;
               finish = ev.Sim.finish; coalesced = false;
               sched = Some { task = id; server = j; deps; dispatched = true } })))
     | Semijoin { dst; cond = c; source = j; input } -> (
-      let s = source j and condition = cond c in
-      let probe = items input in
-      let ready = ready_of op in
-      let key = (Source.name s, Cond.to_string condition) in
-      let id, deps = next_node () in
+      let s = source t j and condition = cond t c in
+      let probe = items t input in
+      let ready = ready_of t op in
+      let sname = Source.name s and ctext = Cond.to_string condition in
+      let id, deps = next_node t in
       let record_derived_hit answer =
         Option.iter
-          (fun t ->
+          (fun c ->
             let received = Item_set.cardinal answer in
             if (Source.capability s).Capability.native_semijoin then
-              Query_cache.record_hit t s ~items_sent:(Item_set.cardinal probe)
+              Query_cache.record_hit c s ~items_sent:(Item_set.cardinal probe)
                 ~items_received:received
             else
-              Query_cache.record_hit_emulated t s ~bindings:(Item_set.cardinal probe)
+              Query_cache.record_hit_emulated c s ~bindings:(Item_set.cardinal probe)
                 ~items_received:received)
-          cache
+          t.cache
       in
       let derived =
-        match Hashtbl.find_opt inflight key with
-        | Some (finish, full) when finish > ready ->
+        match Answer_cache.find t.answers ~source:sname ~cond:ctext ~ready with
+        | Answer_cache.Inflight (finish, full) ->
           (* The selection answer being fetched is a superset: join the
              in-flight request and intersect locally on arrival. *)
           Some (finish, Item_set.inter full probe, true)
-        | _ -> (
-          match Option.bind cache (fun t -> Query_cache.find t s condition) with
+        | Answer_cache.Cached (_staleness, full) ->
+          Some (ready, Item_set.inter full probe, false)
+        | Answer_cache.Miss -> (
+          match Option.bind t.cache (fun c -> Query_cache.find c s condition) with
           | Some full -> Some (ready, Item_set.inter full probe, false)
           | None -> (
-            match Option.bind cache (fun t -> Query_cache.find_sjq t s condition probe) with
+            match
+              Option.bind t.cache (fun c -> Query_cache.find_sjq c s condition probe)
+            with
             | Some answer -> Some (ready, answer, false)
             | None -> None))
       in
       match derived with
       | Some (finish, answer, coalesced) ->
         record_derived_hit answer;
-        cache_outcome ctx true;
-        bind dst (Items answer) finish;
+        cache_outcome t ctx true;
+        bind t dst (Items answer) finish;
         { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready; finish;
           coalesced; sched = Some { task = id; server = j; deps; dispatched = false } }
       | None -> (
         let outcome, duration =
-          attempt_query j (fun () -> fst (Source.semijoin_query s condition probe))
+          attempt_query t j (fun () -> fst (Source.semijoin_query s condition probe))
         in
         match outcome with
         | Some answer ->
-          Option.iter (fun t -> Query_cache.store_sjq t s condition probe answer) cache;
-          cache_outcome ctx false;
-          let ev = Sim.Live.dispatch live ~id ~server:j ~ready ~duration ~deps in
-          bind dst (Items answer) ev.Sim.finish;
+          Option.iter (fun c -> Query_cache.store_sjq c s condition probe answer) t.cache;
+          cache_outcome t ctx false;
+          let ev = Sim.Live.dispatch t.live ~id ~server:j ~ready ~duration ~deps in
+          bind t dst (Items answer) ev.Sim.finish;
           { op; cost = duration; result_size = Item_set.cardinal answer;
             start = ev.Sim.start; finish = ev.Sim.finish; coalesced = false;
             sched = Some { task = id; server = j; deps; dispatched = true } }
         | None ->
-          give_up op;
-          let ev = Sim.Live.dispatch live ~id ~server:j ~ready ~duration ~deps in
-          bind dst (Items Item_set.empty) ev.Sim.finish;
+          give_up t op;
+          let ev = Sim.Live.dispatch t.live ~id ~server:j ~ready ~duration ~deps in
+          bind t dst (Items Item_set.empty) ev.Sim.finish;
           { op; cost = duration; result_size = 0; start = ev.Sim.start;
             finish = ev.Sim.finish; coalesced = false;
             sched = Some { task = id; server = j; deps; dispatched = true } }))
     | Load { dst; source = j } -> (
-      let s = source j in
-      let ready = ready_of op in
-      let id, deps = next_node () in
-      let outcome, duration = attempt_query j (fun () -> fst (Source.load_query s)) in
+      let s = source t j in
+      let ready = ready_of t op in
+      let id, deps = next_node t in
+      let outcome, duration = attempt_query t j (fun () -> fst (Source.load_query s)) in
       match outcome with
       | Some relation ->
-        let ev = Sim.Live.dispatch live ~id ~server:j ~ready ~duration ~deps in
-        bind dst (Loaded relation) ev.Sim.finish;
+        let ev = Sim.Live.dispatch t.live ~id ~server:j ~ready ~duration ~deps in
+        bind t dst (Loaded relation) ev.Sim.finish;
         { op; cost = duration; result_size = Relation.cardinality relation;
           start = ev.Sim.start; finish = ev.Sim.finish; coalesced = false;
           sched = Some { task = id; server = j; deps; dispatched = true } }
       | None ->
-        give_up op;
-        let ev = Sim.Live.dispatch live ~id ~server:j ~ready ~duration ~deps in
-        bind dst (Loaded (Relation.create ~name:(Source.name s) (Source.schema s)))
+        give_up t op;
+        let ev = Sim.Live.dispatch t.live ~id ~server:j ~ready ~duration ~deps in
+        bind t dst (Loaded (Relation.create ~name:(Source.name s) (Source.schema s)))
           ev.Sim.finish;
         { op; cost = duration; result_size = 0; start = ev.Sim.start;
           finish = ev.Sim.finish; coalesced = false;
           sched = Some { task = id; server = j; deps; dispatched = true } })
     | Local_select { dst; cond = c; input } ->
-      let relation = loaded input in
-      let ready = ready_of op in
-      let pred tuple = Cond.eval (Relation.schema relation) (cond c) tuple in
+      let relation = loaded t input in
+      let ready = ready_of t op in
+      let pred tuple = Cond.eval (Relation.schema relation) (cond t c) tuple in
       let answer = Relation.select_items relation pred in
-      bind dst (Items answer) ready;
+      bind t dst (Items answer) ready;
       { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready;
         finish = ready; coalesced = false; sched = None }
     | Union { dst; args } ->
-      let ready = ready_of op in
-      let answer = Item_set.union_list (List.map items args) in
-      bind dst (Items answer) ready;
+      let ready = ready_of t op in
+      let answer = Item_set.union_list (List.map (items t) args) in
+      bind t dst (Items answer) ready;
       { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready;
         finish = ready; coalesced = false; sched = None }
     | Inter { dst; args } ->
-      let ready = ready_of op in
-      let answer = Item_set.inter_list (List.map items args) in
-      bind dst (Items answer) ready;
+      let ready = ready_of t op in
+      let answer = Item_set.inter_list (List.map (items t) args) in
+      bind t dst (Items answer) ready;
       { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready;
         finish = ready; coalesced = false; sched = None }
     | Diff { dst; left; right } ->
-      let ready = ready_of op in
-      let answer = Item_set.diff (items left) (items right) in
-      bind dst (Items answer) ready;
+      let ready = ready_of t op in
+      let answer = Item_set.diff (items t left) (items t right) in
+      bind t dst (Items answer) ready;
       { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready;
         finish = ready; coalesced = false; sched = None }
-  in
-  let steps =
-    List.map
-      (fun op ->
-        Trace.span Trace.Step (Op.name op) (fun ctx ->
-            let failures_before = !failures in
-            let step = exec_op ctx op in
-            if Trace.active ctx then begin
+
+  let run_op t op =
+    let step =
+      Trace.span Trace.Step (Op.name op) (fun ctx ->
+          let failures_before = t.failures in
+          let step = exec_op t ctx op in
+          if Trace.active ctx then begin
+            Trace.attrs ctx
+              [
+                ("dst", Trace.Str (Op.dst op));
+                ("cost", Trace.Float step.cost);
+                ("result_size", Trace.Int step.result_size);
+                ("t_start", Trace.Float step.start);
+                ("t_finish", Trace.Float step.finish);
+              ];
+            (match step.sched with
+            | Some s ->
               Trace.attrs ctx
                 [
-                  ("dst", Trace.Str (Op.dst op));
-                  ("cost", Trace.Float step.cost);
-                  ("result_size", Trace.Int step.result_size);
-                  ("t_start", Trace.Float step.start);
-                  ("t_finish", Trace.Float step.finish);
-                ];
-              (match step.sched with
-              | Some s ->
-                Trace.attrs ctx
-                  [
-                    ("task", Trace.Int s.task);
-                    ("server", Trace.Int s.server);
-                    ("deps",
-                     Trace.Str (String.concat "," (List.map string_of_int s.deps)));
-                    ("dispatched", Trace.Bool s.dispatched);
-                  ]
-              | None -> ());
-              (match op with
-              | Select { cond = c; _ } | Semijoin { cond = c; _ }
-              | Local_select { cond = c; _ } ->
-                Trace.attr ctx "cond" (Trace.Int c)
-              | _ -> ());
-              if step.coalesced then Trace.attr ctx "coalesced" (Trace.Bool true);
-              if !failures > failures_before then
-                Trace.attr ctx "timeouts" (Trace.Int (!failures - failures_before))
-            end;
-            step))
-      (Plan.ops plan)
+                  ("task", Trace.Int s.task);
+                  ("server", Trace.Int s.server);
+                  ("deps",
+                   Trace.Str (String.concat "," (List.map string_of_int s.deps)));
+                  ("dispatched", Trace.Bool s.dispatched);
+                ]
+            | None -> ());
+            (match op with
+            | Select { cond = c; _ } | Semijoin { cond = c; _ }
+            | Local_select { cond = c; _ } ->
+              Trace.attr ctx "cond" (Trace.Int c)
+            | _ -> ());
+            if step.coalesced then Trace.attr ctx "coalesced" (Trace.Bool true);
+            if t.failures > failures_before then
+              Trace.attr ctx "timeouts" (Trace.Int (t.failures - failures_before))
+          end;
+          step)
+    in
+    t.steps <- step :: t.steps;
+    step
+
+  (* Evaluate free local operations at the head of the cursor, then
+     surface the next source query (or nothing, when the plan is done).
+     Local operations never need a scheduling decision: they cost
+     nothing and happen the instant their inputs are available. *)
+  let rec pending t =
+    match t.ops with
+    | [] -> None
+    | op :: rest ->
+      if Op.is_source_query op then
+        let server =
+          match op with
+          | Op.Select { source; _ } | Op.Semijoin { source; _ } | Op.Load { source; _ } ->
+            source
+          | _ -> assert false
+        in
+        Some
+          {
+            rq_op = op;
+            rq_server = server;
+            rq_ready = ready_of t op;
+            rq_task = t.offset + t.sq_index;
+          }
+      else begin
+        t.ops <- rest;
+        ignore (run_op t op);
+        pending t
+      end
+
+  let dispatch t =
+    match t.ops with
+    | op :: rest when Op.is_source_query op ->
+      t.ops <- rest;
+      run_op t op
+    | _ -> invalid_arg "Exec_async.Engine.dispatch: no pending source query"
+
+  let finished t = t.ops = []
+  let task_count t = Array.length t.nodes
+  let steps t = List.rev t.steps
+  let failures t = t.failures
+  let partial t = t.partial
+
+  let total_cost t = List.fold_left (fun acc s -> acc +. s.cost) 0.0 t.steps
+  let finish_time t = List.fold_left (fun acc s -> Float.max acc s.finish) t.base t.steps
+
+  let answer t =
+    if t.ops <> [] then invalid_arg "Exec_async.Engine.answer: plan not finished";
+    items t t.output
+end
+
+let run ?cache ?(policy = Exec.default_policy) ?(deadline = infinity) ~sources ~conds
+    plan =
+  let live = Sim.Live.create ~servers:(max 1 (Array.length sources)) in
+  let e = Engine.create ?cache ~policy ~deadline ~live ~sources ~conds plan in
+  let rec drive () =
+    match Engine.pending e with
+    | Some _ ->
+      ignore (Engine.dispatch e);
+      drive ()
+    | None -> ()
   in
+  drive ();
+  let steps = Engine.steps e in
   {
-    answer = items (Plan.output plan);
+    answer = Engine.answer e;
     steps;
     total_cost = List.fold_left (fun acc s -> acc +. s.cost) 0.0 steps;
     makespan = List.fold_left (fun acc s -> Float.max acc s.finish) 0.0 steps;
     busy = Sim.Live.busy live;
     timeline = Sim.Live.timeline live;
-    failures = !failures;
-    partial = !partial;
+    failures = Engine.failures e;
+    partial = Engine.partial e;
   }

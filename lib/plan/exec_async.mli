@@ -65,6 +65,79 @@ type result = {
 val to_exec_steps : step list -> Exec.step list
 (** Forgets the clock, for code that consumes the sequential step shape. *)
 
+(** The incremental face of the executor, for a serving layer that
+    multiplexes many queries onto one shared {!Fusion_net.Sim.Live}
+    network. An engine is a cursor over one plan: local operations are
+    evaluated for free the instant their inputs are available, and the
+    engine surfaces {e one} source query at a time — the next in plan
+    order — for an external scheduler to {!dispatch} when it sees fit.
+
+    Driving a single engine on a private network by dispatching each
+    request as soon as it surfaces is exactly {!run}: same answers, same
+    costs, same fault draws, same trace. That equivalence is the
+    serving layer's correctness anchor. *)
+module Engine : sig
+  type request = {
+    rq_op : Op.t;
+    rq_server : int;  (** source index the query must be served by *)
+    rq_ready : float;  (** instant its inputs are available *)
+    rq_task : int;  (** timeline task id it will be dispatched under *)
+  }
+
+  type t
+
+  val create :
+    ?cache:Exec.Query_cache.t ->
+    ?policy:Exec.policy ->
+    ?deadline:float ->
+    ?answers:Answer_cache.t ->
+    ?offset:int ->
+    ?base:float ->
+    live:Fusion_net.Sim.Live.t ->
+    sources:Source.t array ->
+    conds:Cond.t array ->
+    Plan.t ->
+    t
+  (** [answers] is the cross-query {!Answer_cache} shared with other
+      engines on the same network (a private, TTL-less one if omitted —
+      plain per-run request coalescing). [offset] shifts the engine's
+      dataflow task ids so timelines of many engines never collide.
+      [base] is the simulated instant the query was admitted: no step
+      starts before it. [cache], [policy], [deadline] as in {!run}. *)
+
+  val pending : t -> request option
+  (** Advances through local operations (evaluating them at their ready
+      times) and returns the next source query awaiting dispatch, or
+      [None] when the plan has finished. Repeated calls without an
+      intervening {!dispatch} are cheap and return the same request. *)
+
+  val dispatch : t -> step
+  (** Executes the pending source query: consults the shared answer
+      cache (join in flight / reuse cached / miss), performs the real
+      source call with retries on a miss, and occupies the shared
+      network. @raise Invalid_argument if no request is pending. *)
+
+  val finished : t -> bool
+
+  val task_count : t -> int
+  (** Number of timeline task ids the engine will use — the next
+      engine sharing the network should be created with [offset]
+      advanced by this much. *)
+
+  val steps : t -> step list
+  (** Steps executed so far, in plan order. *)
+
+  val answer : t -> Item_set.t
+  (** @raise Invalid_argument if the plan has not finished. *)
+
+  val failures : t -> int
+  val partial : t -> bool
+  val total_cost : t -> float
+
+  val finish_time : t -> float
+  (** Latest step finish so far ([base] when none executed). *)
+end
+
 val run :
   ?cache:Exec.Query_cache.t ->
   ?policy:Exec.policy ->

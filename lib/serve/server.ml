@@ -1,0 +1,381 @@
+(* Multi-query serving on one shared simulated network.
+
+   A server holds one [Sim.Live] network over a fixed source array and
+   multiplexes many fusion queries onto it. Each admitted query becomes
+   an [Exec_async.Engine] — an incremental cursor that evaluates local
+   operations for free and surfaces one source query at a time — and
+   the server's event loop is the scheduler: at every step it either
+   admits the next arrival or dispatches, among the in-flight engines'
+   pending requests, the one its policy ranks first.
+
+   The loop interleaves arrivals and dispatches in simulated-time
+   order: an arrival is admitted before any dispatch that could only
+   start after it, so admission-time signals (queue backlog) are read
+   at a consistent instant. With a single in-flight query and the
+   [Fifo] policy every surfaced request is dispatched immediately, which
+   makes the execution byte-identical to [Exec_async.run] — the
+   serving layer's correctness anchor, pinned by the equivalence test.
+
+   Admission control sheds load instead of queueing it hopelessly: a
+   submission bounces when the in-flight population is at the cap
+   ([Queue_full]) or when, for a job with a deadline, the worst-case
+   source backlog plus the optimizer's cost estimate already exceeds
+   the budget ([Deadline_unmeetable]).
+
+   Bookkeeping maintains the conservation law
+
+     submitted = queued + in_flight + completed + shed
+
+   at every step; after [drain], queued and in_flight are zero. *)
+
+open Fusion_data
+open Fusion_cond
+open Fusion_source
+module Sim = Fusion_net.Sim
+module Plan = Fusion_plan.Plan
+module Exec = Fusion_plan.Exec
+module Exec_async = Fusion_plan.Exec_async
+module Engine = Exec_async.Engine
+module Answer_cache = Fusion_plan.Answer_cache
+module Metrics = Fusion_obs.Metrics
+module Summary = Fusion_obs.Summary
+
+type policy = Fifo | Priority | Fair_share | Sjf
+
+let policy_name = function
+  | Fifo -> "fifo"
+  | Priority -> "priority"
+  | Fair_share -> "fair"
+  | Sjf -> "sjf"
+
+let policy_of_name = function
+  | "fifo" -> Some Fifo
+  | "priority" -> Some Priority
+  | "fair" | "fair_share" | "fair-share" -> Some Fair_share
+  | "sjf" -> Some Sjf
+  | _ -> None
+
+let all_policies = [ Fifo; Priority; Fair_share; Sjf ]
+
+type job = {
+  plan : Plan.t;
+  conds : Cond.t array;
+  tenant : string;
+  priority : int;
+  est_cost : float;
+  deadline : float option;
+}
+
+type shed_reason = Queue_full | Deadline_unmeetable
+
+let shed_reason_name = function
+  | Queue_full -> "queue_full"
+  | Deadline_unmeetable -> "deadline_unmeetable"
+
+type completion = {
+  c_id : int;
+  c_job : job;
+  c_submitted : float;
+  c_finished : float;
+  c_response : float;
+  c_cost : float;
+  c_answer : Item_set.t option;
+  c_failed : string option;
+  c_partial : bool;
+  c_steps : Exec_async.step list;
+}
+
+type shed = { s_id : int; s_job : job; s_at : float; s_reason : shed_reason }
+
+type stats = {
+  submitted : int;
+  queued : int;
+  in_flight : int;
+  completed : int;
+  shed : int;
+}
+
+type tenant_stats = {
+  ts_submitted : int;
+  ts_completed : int;
+  ts_shed : int;
+  ts_consumed : float;  (* service cost dispatched on the tenant's behalf *)
+  ts_summary : Summary.t;
+}
+
+type tenant = {
+  mutable tn_submitted : int;
+  mutable tn_completed : int;
+  mutable tn_shed : int;
+  mutable tn_consumed : float;
+  tn_summary : Summary.t;
+}
+
+type pending = { p_id : int; p_job : job; p_at : float }
+
+type active = { a_id : int; a_job : job; a_at : float; a_engine : Engine.t }
+
+type t = {
+  sources : Source.t array;
+  live : Sim.Live.t;
+  answers : Answer_cache.t;
+  exec_policy : Exec.policy;
+  policy : policy;
+  max_inflight : int;
+  mutable seq : int;
+  mutable task_offset : int;
+  mutable queue : pending list; (* sorted by (arrival, id) *)
+  mutable inflight : active list; (* in admission order *)
+  mutable completions : completion list; (* newest first *)
+  mutable sheds : shed list; (* newest first *)
+  tenants : (string, tenant) Hashtbl.t;
+  mutable hooks : (completion -> unit) list;
+  mutable now : float; (* latest simulated instant the server acted at *)
+}
+
+let create ?(policy = Fifo) ?(max_inflight = 64) ?cache_ttl
+    ?(exec_policy = Exec.default_policy) sources =
+  if max_inflight < 1 then invalid_arg "Server.create: max_inflight must be >= 1";
+  {
+    sources;
+    live = Sim.Live.create ~servers:(max 1 (Array.length sources));
+    answers = Answer_cache.create ?ttl:cache_ttl ();
+    exec_policy;
+    policy;
+    max_inflight;
+    seq = 0;
+    task_offset = 0;
+    queue = [];
+    inflight = [];
+    completions = [];
+    sheds = [];
+    tenants = Hashtbl.create 8;
+    hooks = [];
+    now = 0.0;
+  }
+
+let policy t = t.policy
+let live t = t.live
+let timeline t = Sim.Live.timeline t.live
+let busy t = Sim.Live.busy t.live
+let cache_stats t = Answer_cache.stats t.answers
+let now t = t.now
+let on_complete t hook = t.hooks <- t.hooks @ [ hook ]
+
+let tenant t name =
+  match Hashtbl.find_opt t.tenants name with
+  | Some tn -> tn
+  | None ->
+    let tn =
+      {
+        tn_submitted = 0;
+        tn_completed = 0;
+        tn_shed = 0;
+        tn_consumed = 0.0;
+        tn_summary = Summary.create ();
+      }
+    in
+    Hashtbl.replace t.tenants name tn;
+    tn
+
+let tenants t =
+  Hashtbl.fold
+    (fun name tn acc ->
+      ( name,
+        {
+          ts_submitted = tn.tn_submitted;
+          ts_completed = tn.tn_completed;
+          ts_shed = tn.tn_shed;
+          ts_consumed = tn.tn_consumed;
+          ts_summary = tn.tn_summary;
+        } )
+      :: acc)
+    t.tenants []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let submit t ~at job =
+  if at < 0.0 then invalid_arg "Server.submit: negative arrival time";
+  let id = t.seq in
+  t.seq <- t.seq + 1;
+  (tenant t job.tenant).tn_submitted <- (tenant t job.tenant).tn_submitted + 1;
+  Metrics.record (fun r ->
+      Metrics.incr r ~labels:[ ("tenant", job.tenant) ] "fusion_serve_submitted_total");
+  let p = { p_id = id; p_job = job; p_at = at } in
+  (* Insert in (arrival, id) order; submissions are usually appended. *)
+  let rec insert = function
+    | [] -> [ p ]
+    | q :: rest when q.p_at < p.p_at || (q.p_at = p.p_at && q.p_id < p.p_id) ->
+      q :: insert rest
+    | rest -> p :: rest
+  in
+  t.queue <- insert t.queue;
+  id
+
+let stats t =
+  {
+    submitted = t.seq;
+    queued = List.length t.queue;
+    in_flight = List.length t.inflight;
+    completed = List.length t.completions;
+    shed = List.length t.sheds;
+  }
+
+let conservation_ok s = s.submitted = s.queued + s.in_flight + s.completed + s.shed
+
+let completions t = List.rev t.completions
+let sheds t = List.rev t.sheds
+
+let finalize t a ~failed =
+  t.inflight <- List.filter (fun x -> x.a_id <> a.a_id) t.inflight;
+  let finished = Float.max a.a_at (Engine.finish_time a.a_engine) in
+  t.now <- Float.max t.now finished;
+  let cost = Engine.total_cost a.a_engine in
+  let answer = if failed = None then Some (Engine.answer a.a_engine) else None in
+  let c =
+    {
+      c_id = a.a_id;
+      c_job = a.a_job;
+      c_submitted = a.a_at;
+      c_finished = finished;
+      c_response = finished -. a.a_at;
+      c_cost = cost;
+      c_answer = answer;
+      c_failed = failed;
+      c_partial = Engine.partial a.a_engine;
+      c_steps = Engine.steps a.a_engine;
+    }
+  in
+  t.completions <- c :: t.completions;
+  let tn = tenant t a.a_job.tenant in
+  tn.tn_completed <- tn.tn_completed + 1;
+  Summary.add tn.tn_summary ~plan:(policy_name t.policy) ~est_cost:a.a_job.est_cost
+    ~cost ~response_time:c.c_response ();
+  Metrics.record (fun r ->
+      let labels = [ ("tenant", a.a_job.tenant) ] in
+      Metrics.incr r ~labels "fusion_serve_completed_total";
+      if failed <> None then Metrics.incr r ~labels "fusion_serve_failed_total";
+      Metrics.observe r ~labels "fusion_serve_response_time"
+        (int_of_float (Float.round c.c_response)));
+  List.iter (fun hook -> hook c) t.hooks
+
+(* Retire every in-flight engine whose plan has run out of operations.
+   [Engine.pending] also evaluates trailing local operations, so this
+   is what materializes final answers. *)
+let settle t =
+  let finished, running =
+    List.partition (fun a -> Engine.pending a.a_engine = None) t.inflight
+  in
+  t.inflight <- running;
+  List.iter (fun a -> finalize t a ~failed:None) finished
+
+let shed t p reason =
+  t.now <- Float.max t.now p.p_at;
+  t.sheds <- { s_id = p.p_id; s_job = p.p_job; s_at = p.p_at; s_reason = reason } :: t.sheds;
+  let tn = tenant t p.p_job.tenant in
+  tn.tn_shed <- tn.tn_shed + 1;
+  Metrics.record (fun r ->
+      Metrics.incr r
+        ~labels:
+          [ ("tenant", p.p_job.tenant); ("reason", shed_reason_name reason) ]
+        "fusion_serve_shed_total")
+
+let admit t p =
+  t.now <- Float.max t.now p.p_at;
+  if List.length t.inflight >= t.max_inflight then shed t p Queue_full
+  else
+    let unmeetable =
+      match p.p_job.deadline with
+      | None -> false
+      | Some budget ->
+        (* Worst case, every remaining source query of this job lands on
+           the most backlogged source; if even the estimate can't fit in
+           the budget behind that backlog, don't bother starting. *)
+        let backlog = Sim.Live.backlog t.live ~at:p.p_at in
+        let wait = Array.fold_left Float.max 0.0 backlog in
+        wait +. p.p_job.est_cost > budget
+    in
+    if unmeetable then shed t p Deadline_unmeetable
+    else begin
+      let engine =
+        Engine.create ~policy:t.exec_policy ~answers:t.answers ~offset:t.task_offset
+          ~base:p.p_at ~live:t.live ~sources:t.sources ~conds:p.p_job.conds
+          p.p_job.plan
+      in
+      t.task_offset <- t.task_offset + Engine.task_count engine;
+      t.inflight <-
+        t.inflight @ [ { a_id = p.p_id; a_job = p.p_job; a_at = p.p_at; a_engine = engine } ]
+    end
+
+(* How the policy ranks a pending request; lexicographic, smaller
+   first. The trailing submission id makes every ordering total and
+   deterministic. *)
+let rank t a (rq : Engine.request) =
+  match t.policy with
+  | Fifo -> (rq.Engine.rq_ready, 0.0, float_of_int a.a_id)
+  | Priority -> (-.float_of_int a.a_job.priority, rq.Engine.rq_ready, float_of_int a.a_id)
+  | Fair_share ->
+    ((tenant t a.a_job.tenant).tn_consumed, rq.Engine.rq_ready, float_of_int a.a_id)
+  | Sjf -> (a.a_job.est_cost, rq.Engine.rq_ready, float_of_int a.a_id)
+
+let dispatch_one t candidates =
+  let best =
+    List.fold_left
+      (fun acc c ->
+        match acc with
+        | None -> Some c
+        | Some (ba, brq) ->
+          let a, rq = c in
+          if compare (rank t a rq) (rank t ba brq) < 0 then Some c else acc)
+      None candidates
+  in
+  match best with
+  | None -> ()
+  | Some (a, _rq) -> (
+    match Engine.dispatch a.a_engine with
+    | step ->
+      t.now <- Float.max t.now step.Exec_async.finish;
+      let tn = tenant t a.a_job.tenant in
+      tn.tn_consumed <- tn.tn_consumed +. step.Exec_async.cost;
+      Metrics.record (fun r ->
+          Metrics.incr r
+            ~labels:[ ("tenant", a.a_job.tenant) ]
+            "fusion_serve_dispatched_total")
+    | exception Source.Timeout d ->
+      finalize t a ~failed:(Some (Printf.sprintf "timeout on %s" d))
+    | exception Exec.Runtime_error msg -> finalize t a ~failed:(Some msg))
+
+(* The earliest instant any pending request could actually start:
+   arrivals before that point must be admitted first so the schedule
+   unfolds in simulated-time order. *)
+let earliest_start t candidates =
+  List.fold_left
+    (fun acc (_, rq) ->
+      Float.min acc
+        (Float.max rq.Engine.rq_ready (Sim.Live.free_at t.live rq.Engine.rq_server)))
+    infinity candidates
+
+let step t =
+  settle t;
+  let candidates =
+    List.filter_map
+      (fun a ->
+        match Engine.pending a.a_engine with Some rq -> Some (a, rq) | None -> None)
+      t.inflight
+  in
+  match (t.queue, candidates) with
+  | [], [] -> false
+  | p :: rest, _ when candidates = [] || p.p_at <= earliest_start t candidates ->
+    t.queue <- rest;
+    admit t p;
+    true
+  | _, _ :: _ ->
+    dispatch_one t candidates;
+    true
+  | _ :: _, [] -> assert false
+
+let drain t = while step t do () done
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "conservation: submitted %d = completed %d + shed %d + in-flight %d + queued %d"
+    s.submitted s.completed s.shed s.in_flight s.queued

@@ -1,0 +1,146 @@
+(** Multi-query serving on one shared simulated network.
+
+    Where {!Fusion_plan.Exec_async} runs {e one} plan on a private
+    network, a server multiplexes many concurrently executing fusion
+    queries onto a single {!Fusion_net.Sim.Live}: each admitted query
+    is an {!Fusion_plan.Exec_async.Engine}, and the server's event
+    loop plays scheduler — at every {!step} it either admits the next
+    arrival or dispatches the pending source request its {!policy}
+    ranks first onto the shared per-source FIFO queues.
+
+    {b Scheduling policies.} [Fifo] serves requests in ready-time
+    order; [Priority] prefers higher {!job.priority}; [Fair_share]
+    prefers the tenant that has consumed the least service cost so
+    far; [Sjf] prefers the query with the smallest optimizer cost
+    estimate.
+
+    {b Admission control.} A submission is shed rather than admitted
+    when the in-flight population is at [max_inflight]
+    ({!Queue_full}), or when its {!job.deadline} cannot be met even
+    optimistically — worst-case source backlog at arrival plus the
+    optimizer's estimate already exceeds the budget
+    ({!Deadline_unmeetable}).
+
+    {b Cross-query caching.} All engines share one
+    {!Fusion_plan.Answer_cache}: identical selections overlapping in
+    time are coalesced into one source request, and — when
+    [cache_ttl] is set — recently completed answers are replayed with
+    their staleness accounted.
+
+    {b Invariants.} Conservation,
+    [submitted = queued + in_flight + completed + shed], holds after
+    every step; after {!drain}, [queued = in_flight = 0]. And a lone
+    query served under [Fifo] (no TTL) executes byte-identically to
+    {!Fusion_plan.Exec_async.run} — same answers, costs, and
+    fault-injection draws. Both are pinned by tests. *)
+
+open Fusion_data
+open Fusion_cond
+open Fusion_source
+
+type policy = Fifo | Priority | Fair_share | Sjf
+
+val policy_name : policy -> string
+val policy_of_name : string -> policy option
+val all_policies : policy list
+
+type job = {
+  plan : Fusion_plan.Plan.t;
+  conds : Cond.t array;
+  tenant : string;
+  priority : int;  (** higher is served earlier under [Priority] *)
+  est_cost : float;  (** optimizer estimate; drives [Sjf] and admission *)
+  deadline : float option;  (** response-time budget from submission *)
+}
+
+type shed_reason = Queue_full | Deadline_unmeetable
+
+val shed_reason_name : shed_reason -> string
+
+type completion = {
+  c_id : int;
+  c_job : job;
+  c_submitted : float;
+  c_finished : float;
+  c_response : float;  (** [c_finished - c_submitted] *)
+  c_cost : float;  (** total service cost charged *)
+  c_answer : Item_set.t option;  (** [None] when execution failed *)
+  c_failed : string option;
+  c_partial : bool;  (** gave up on some source under [`Use_partial] *)
+  c_steps : Fusion_plan.Exec_async.step list;
+}
+
+type shed = { s_id : int; s_job : job; s_at : float; s_reason : shed_reason }
+
+type stats = {
+  submitted : int;
+  queued : int;
+  in_flight : int;
+  completed : int;
+  shed : int;
+}
+
+type tenant_stats = {
+  ts_submitted : int;
+  ts_completed : int;
+  ts_shed : int;
+  ts_consumed : float;  (** service cost dispatched for the tenant *)
+  ts_summary : Fusion_obs.Summary.t;
+      (** one run per completion; latency percentiles, cost drift *)
+}
+
+type t
+
+val create :
+  ?policy:policy ->
+  ?max_inflight:int ->
+  ?cache_ttl:float ->
+  ?exec_policy:Fusion_plan.Exec.policy ->
+  Source.t array ->
+  t
+(** [policy] defaults to [Fifo]; [max_inflight] (default 64) caps the
+    concurrently executing queries; [cache_ttl] enables replay of
+    completed answers (omitted: in-flight coalescing only);
+    [exec_policy] is the per-source-query retry policy
+    ({!Fusion_plan.Exec.default_policy} if omitted).
+    @raise Invalid_argument if [max_inflight < 1]. *)
+
+val submit : t -> at:float -> job -> int
+(** Enqueues an arrival at simulated instant [at]; returns its id.
+    Admission control runs when the event loop reaches the arrival,
+    not at submission. @raise Invalid_argument on a negative [at]. *)
+
+val step : t -> bool
+(** One scheduling decision: retire finished queries, then admit the
+    next arrival or dispatch the best pending request. [false] when
+    there is nothing left to do. *)
+
+val drain : t -> unit
+(** Steps until idle: every submission completed or shed. *)
+
+val on_complete : t -> (completion -> unit) -> unit
+(** Hooks run at each completion, in registration order — a
+    closed-loop driver submits the next query from here. *)
+
+val stats : t -> stats
+val conservation_ok : stats -> bool
+(** [submitted = queued + in_flight + completed + shed]. *)
+
+val completions : t -> completion list
+(** In completion order. *)
+
+val sheds : t -> shed list
+val tenants : t -> (string * tenant_stats) list
+(** Sorted by tenant name. *)
+
+val policy : t -> policy
+val live : t -> Fusion_net.Sim.Live.t
+val timeline : t -> Fusion_net.Sim.timeline
+val busy : t -> float array
+val cache_stats : t -> Fusion_plan.Answer_cache.stats
+val now : t -> float
+(** Latest simulated instant the server acted at. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** The conservation line:
+    [conservation: submitted N = completed C + shed S + in-flight I + queued Q]. *)

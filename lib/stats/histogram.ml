@@ -58,12 +58,15 @@ let estimate_range t ~lo ~hi =
 let estimate_eq t v = estimate_range t ~lo:v ~hi:v
 
 (* Inverse of [estimate_le]: the value below which a [q] fraction of the
-   weight lies, interpolating linearly inside the boundary bucket. *)
-let percentile t q =
-  let q = Float.max 0.0 (Float.min 1.0 q) in
+   weight lies, interpolating linearly inside the boundary bucket.
+   [None] when the question has no answer: an empty histogram (nothing
+   recorded), a degenerate one (non-finite total), or a NaN fraction —
+   every arithmetic fallback here used to leak out as [lo] or NaN. *)
+let percentile_opt t q =
   let total = total t in
-  if total <= 0.0 then float_of_int t.lo
+  if Float.is_nan q || (not (Float.is_finite total)) || total <= 0.0 then None
   else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
     let target = q *. total in
     let acc = ref 0.0 and result = ref None and b = ref 0 in
     while !result = None && !b < Array.length t.counts do
@@ -78,9 +81,12 @@ let percentile t q =
       end
     done;
     match !result with
-    | Some v -> v
-    | None -> float_of_int t.lo +. (float_of_int (Array.length t.counts) *. t.width)
+    | Some v -> Some v
+    | None -> Some (float_of_int t.lo +. (float_of_int (Array.length t.counts) *. t.width))
   end
+
+let percentile t q =
+  match percentile_opt t q with Some v -> v | None -> float_of_int t.lo
 
 let pp ppf t =
   Format.fprintf ppf "@[<h>[%d..%d]:" t.lo t.hi;

@@ -28,11 +28,18 @@ val estimate_eq : t -> int -> float
 (** Estimated weight equal to a point value (bucket weight spread
     uniformly over the bucket's width). *)
 
+val percentile_opt : t -> float -> float option
+(** [percentile_opt t q] — the value below which a [q] fraction
+    (clamped to [0, 1]) of the total weight lies, interpolating
+    linearly inside the boundary bucket; the inverse of
+    {!estimate_le}. [None] when the question has no answer: an empty
+    histogram (zero total weight), a degenerate one (non-finite
+    total), or a NaN [q]. Never NaN. *)
+
 val percentile : t -> float -> float
-(** [percentile t q] — the value below which a [q] fraction (clamped to
-    [0, 1]) of the total weight lies, interpolating linearly inside the
-    boundary bucket; the inverse of {!estimate_le}. [lo] when the
-    histogram is empty. *)
+(** {!percentile_opt} with the documented fallback [float_of_int lo]
+    for the [None] cases — convenient when a numeric placeholder for
+    "no data" is acceptable. Never NaN. *)
 
 val bounds : t -> int * int
 (** The inclusive [lo, hi] domain the histogram covers. *)

@@ -30,6 +30,11 @@ let bool t = Int64.logand (next_int64 t) 1L = 1L
 
 let bernoulli t p = float t 1.0 < p
 
+let exponential t rate =
+  if rate <= 0.0 then invalid_arg "Prng.exponential: rate must be positive";
+  (* [float] is in [0, 1), so the argument of [log1p] is in (-1, 0]. *)
+  -.log1p (-.float t 1.0) /. rate
+
 let pick t arr =
   if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
   arr.(int t (Array.length arr))

@@ -25,6 +25,11 @@ val bool : t -> bool
 val bernoulli : t -> float -> bool
 (** [bernoulli t p] is [true] with probability [p]. *)
 
+val exponential : t -> float -> float
+(** [exponential t rate] draws from Exp(rate) — e.g. an interarrival
+    gap of a Poisson process with [rate] arrivals per time unit.
+    @raise Invalid_argument if [rate <= 0]. *)
+
 val pick : t -> 'a array -> 'a
 (** Uniform element of a non-empty array. *)
 

@@ -315,6 +315,21 @@ let test_summary_empty () =
   Alcotest.(check (float 0.0)) "p99 of nothing" 0.0 p.Summary.p99;
   Alcotest.(check int) "no drift groups" 0 (List.length (Summary.drift s))
 
+let test_summary_non_finite_guard () =
+  let s = Summary.create () in
+  Summary.add s ~cost:Float.nan ~response_time:Float.nan ();
+  Summary.add s ~cost:10.0 ~response_time:Float.infinity ();
+  (* Only non-finite observations: same answer as an empty summary,
+     never NaN. *)
+  let p = Summary.latency_percentiles s in
+  Alcotest.(check int) "non-finite runs dropped" 0 p.Summary.n;
+  Alcotest.(check (float 0.0)) "p99 stays 0" 0.0 p.Summary.p99;
+  Summary.add s ~cost:5.0 ~response_time:20.0 ();
+  let p = Summary.latency_percentiles s in
+  Alcotest.(check int) "finite run counted" 1 p.Summary.n;
+  Alcotest.(check bool) "p50 is finite" true (Float.is_finite p.Summary.p50);
+  Alcotest.(check (float 0.0)) "max from the finite run" 20.0 p.Summary.max
+
 let test_summary_drift () =
   let s = Summary.create () in
   (* "honest" predicted 100, ran 105; "liar" predicted 100, ran 150. *)
@@ -414,6 +429,8 @@ let suite =
     trace_rebuilds_timeline;
     Alcotest.test_case "summary percentiles" `Quick test_summary_percentiles;
     Alcotest.test_case "summary of nothing" `Quick test_summary_empty;
+    Alcotest.test_case "summary drops non-finite runs" `Quick
+      test_summary_non_finite_guard;
     Alcotest.test_case "summary drift" `Quick test_summary_drift;
     Alcotest.test_case "chrome export is valid json" `Quick test_chrome_is_valid_json;
     Alcotest.test_case "chrome schedule view" `Quick test_chrome_schedule_thread_per_source;

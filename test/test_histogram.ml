@@ -25,6 +25,33 @@ let test_estimate_range_and_eq () =
   Alcotest.(check (float 0.001)) "empty range" 0.0 (Histogram.estimate_range h ~lo:30 ~hi:10);
   Alcotest.(check (float 0.2)) "point" 1.0 (Histogram.estimate_eq h 42)
 
+let test_percentile_guards () =
+  (* Empty and degenerate histograms used to leak [lo] (or worse, NaN
+     via a NaN quantile) out of [percentile]; the option variant makes
+     "no answer" explicit and the plain one documented and NaN-free. *)
+  let empty = Histogram.of_counts ~lo:0 ~hi:99 ~counts:(Array.make 10 0.0) in
+  Alcotest.(check (option (float 0.001))) "empty -> None" None
+    (Histogram.percentile_opt empty 0.5);
+  Alcotest.(check (float 0.001)) "empty fallback is lo" 0.0
+    (Histogram.percentile empty 0.5);
+  let h = uniform_hist () in
+  Alcotest.(check (option (float 0.001))) "NaN quantile -> None" None
+    (Histogram.percentile_opt h Float.nan);
+  Alcotest.(check bool) "NaN quantile never yields NaN" false
+    (Float.is_nan (Histogram.percentile h Float.nan));
+  let degenerate = Histogram.of_counts ~lo:0 ~hi:9 ~counts:[| Float.infinity; 1.0 |] in
+  Alcotest.(check (option (float 0.001))) "non-finite total -> None" None
+    (Histogram.percentile_opt degenerate 0.5);
+  Alcotest.(check bool) "populated histogram answers" true
+    (Histogram.percentile_opt h 0.5 <> None);
+  (* The two faces agree wherever the option answers. *)
+  List.iter
+    (fun q ->
+      match Histogram.percentile_opt h q with
+      | Some v -> Alcotest.(check (float 1e-9)) "faces agree" v (Histogram.percentile h q)
+      | None -> Alcotest.fail "expected an answer")
+    [ 0.0; 0.25; 0.5; 0.9; 1.0 ]
+
 let test_percentile () =
   let h = uniform_hist () in
   (* Uniform 0..99 in 10 equi-width buckets: the inverse CDF is linear. *)
@@ -141,6 +168,8 @@ let suite =
     Alcotest.test_case "estimate below bound" `Quick test_estimate_le;
     Alcotest.test_case "range and point estimates" `Quick test_estimate_range_and_eq;
     Alcotest.test_case "percentile inverse CDF" `Quick test_percentile;
+    Alcotest.test_case "percentile guards empty and degenerate" `Quick
+      test_percentile_guards;
     Alcotest.test_case "skewed weight" `Quick test_skewed;
     Alcotest.test_case "clamping and errors" `Quick test_clamping_and_errors;
     Alcotest.test_case "provider range estimates" `Quick test_provider_range_estimates;

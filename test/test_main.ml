@@ -29,6 +29,7 @@ let () =
       ("faults", Test_faults.suite);
       ("oem", Test_oem.suite);
       ("robust", Test_robust.suite);
+      ("serve", Test_serve.suite);
       ("obs", Test_obs.suite);
       ("analyze", Test_analyze.suite);
       ("props", Test_props.suite);

@@ -1,0 +1,373 @@
+(* The serving layer: conservation under every scheduling policy,
+   byte-identical single-query execution (the equivalence anchor),
+   cross-query answer-cache semantics, admission-control shedding, and
+   fair-share isolation under overload. *)
+
+open Fusion_data
+open Fusion_core
+module Workload = Fusion_workload.Workload
+module Source = Fusion_source.Source
+module Prng = Fusion_stats.Prng
+module Mediator = Fusion_mediator.Mediator
+module Serve = Fusion_serve.Server
+module Driver = Fusion_serve.Driver
+module Answer_cache = Fusion_plan.Answer_cache
+module Exec_async = Fusion_plan.Exec_async
+
+let optimize instance =
+  let env =
+    Opt_env.create instance.Workload.sources instance.Workload.query
+  in
+  (env, Optimizer.optimize Optimizer.Sja_plus env)
+
+let job_of ?(tenant = "t1") ?(priority = 0) ?deadline env (optimized : Optimized.t) =
+  {
+    Serve.plan = optimized.Optimized.plan;
+    conds = env.Opt_env.conds;
+    tenant;
+    priority;
+    est_cost = optimized.Optimized.est_cost;
+    deadline;
+  }
+
+(* --- conservation -------------------------------------------------------- *)
+
+(* submitted = queued + in_flight + completed + shed after every single
+   scheduling step, under every policy, with both shed paths reachable
+   (a tight in-flight cap and tight deadlines); at drain nothing is
+   left queued or in flight, and the shared timeline's task ids are
+   unique across queries. *)
+let conservation_gen = QCheck2.Gen.(pair Helpers.spec_gen (int_range 4 14))
+
+let conservation_print (spec, k) =
+  Printf.sprintf "%d jobs, %s" k (Helpers.spec_print spec)
+
+let check_conservation srv =
+  let s = Serve.stats srv in
+  if not (Serve.conservation_ok s) then
+    Alcotest.fail ("conservation broken: " ^ Format.asprintf "%a" Serve.pp_stats s)
+
+let conservation_prop =
+  Helpers.qtest ~count:12 "conservation at every step, all policies" conservation_gen
+    conservation_print (fun (spec, k) ->
+      List.for_all
+        (fun policy ->
+          let instance = Workload.generate spec in
+          let env, optimized = optimize instance in
+          let srv =
+            Serve.create ~policy ~max_inflight:3 instance.Workload.sources
+          in
+          let prng = Prng.create (spec.Workload.seed + 97) in
+          let mean_gap = Float.max 1.0 (optimized.Optimized.est_cost /. 4.0) in
+          let at = ref 0.0 in
+          for i = 0 to k - 1 do
+            at := !at +. Prng.exponential prng (1.0 /. mean_gap);
+            let deadline =
+              (* Every third job gets a budget tight enough to shed
+                 once backlog builds. *)
+              if i mod 3 = 2 then Some (Float.max 1.0 optimized.Optimized.est_cost)
+              else None
+            in
+            let tenant = Printf.sprintf "t%d" ((i mod 3) + 1) in
+            ignore
+              (Serve.submit srv ~at:!at
+                 (job_of ~tenant ~priority:(i mod 3) ?deadline env optimized));
+            check_conservation srv
+          done;
+          while Serve.step srv do
+            check_conservation srv
+          done;
+          let s = Serve.stats srv in
+          let timeline = Serve.timeline srv in
+          let ids =
+            List.map (fun e -> e.Fusion_net.Sim.task.Fusion_net.Sim.id)
+              timeline.Fusion_net.Sim.events
+          in
+          Serve.conservation_ok s && s.Serve.queued = 0 && s.Serve.in_flight = 0
+          && s.Serve.submitted = k
+          && List.length ids = List.length (List.sort_uniq compare ids))
+        Serve.all_policies)
+
+(* --- single-query equivalence -------------------------------------------- *)
+
+(* A lone query through the serving stack under Fifo must be
+   byte-identical to the concurrent executor driven directly: same
+   answer, same per-step costs and sizes (hence the same fault-draw
+   sequence), same response time. Faults are enabled to make any
+   divergence in draw order visible. *)
+let equivalence_gen = QCheck2.Gen.(pair Helpers.spec_gen (int_range 0 2))
+
+let equivalence_print (spec, f) =
+  Printf.sprintf "faults=%d %s" f (Helpers.spec_print spec)
+
+let set_faults fault_seed probability sources =
+  Array.iteri
+    (fun j s ->
+      Source.set_fault s
+        (Some
+           {
+             Source.probability;
+             prng = Prng.create (fault_seed + (31 * j));
+           }))
+    sources
+
+let equivalence_prop =
+  Helpers.qtest ~count:20 "single query = Exec_async byte for byte" equivalence_gen
+    equivalence_print (fun (spec, fault_level) ->
+      let probability = 0.15 *. float_of_int fault_level in
+      let config =
+        {
+          Mediator.Config.default with
+          Mediator.Config.concurrency = `Par;
+          retries = 3;
+          on_exhausted = `Partial;
+        }
+      in
+      (* Two fresh worlds from the same spec: one executed directly,
+         one through the serving stack. *)
+      let direct = Workload.generate spec in
+      if probability > 0.0 then set_faults 11 probability direct.Workload.sources;
+      let reference =
+        Helpers.check_ok
+          (Mediator.create (Array.to_list direct.Workload.sources))
+      in
+      let report =
+        Helpers.check_ok (Mediator.run ~config reference direct.Workload.query)
+      in
+      let served = Workload.generate spec in
+      if probability > 0.0 then set_faults 11 probability served.Workload.sources;
+      let med =
+        Helpers.check_ok (Mediator.create (Array.to_list served.Workload.sources))
+      in
+      let srv = Mediator.Server.create ~config ~policy:Serve.Fifo med in
+      (match Mediator.Server.submit srv ~at:0.0 served.Workload.query with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "submit failed: %s" msg);
+      Mediator.Server.drain srv;
+      match Mediator.Server.outcomes srv with
+      | [ o ] ->
+        let c = o.Mediator.Server.o_completion in
+        Item_set.equal report.Mediator.answer (Option.get c.Serve.c_answer)
+        && Float.equal report.Mediator.actual_cost c.Serve.c_cost
+        && Float.equal report.Mediator.response_time c.Serve.c_response
+        && report.Mediator.partial = c.Serve.c_partial
+        && report.Mediator.steps = Exec_async.to_exec_steps c.Serve.c_steps
+      | other -> Alcotest.failf "expected 1 outcome, got %d" (List.length other))
+
+(* --- answer cache -------------------------------------------------------- *)
+
+let outcome_label = function
+  | Answer_cache.Inflight _ -> "inflight"
+  | Answer_cache.Cached _ -> "cached"
+  | Answer_cache.Miss -> "miss"
+
+let check_outcome label expected actual =
+  Alcotest.(check string) label expected (outcome_label actual)
+
+let test_cache_windows () =
+  let c = Answer_cache.create ~ttl:10.0 () in
+  let find ready = Answer_cache.find c ~source:"R1" ~cond:"A1 < 5" ~ready in
+  let answer = Helpers.items_of_strings [ "a"; "b" ] in
+  check_outcome "empty" "miss" (find 0.0);
+  Answer_cache.note c ~source:"R1" ~cond:"A1 < 5" ~finish:100.0 answer;
+  (match find 50.0 with
+  | Answer_cache.Inflight (finish, got) ->
+    Alcotest.(check (float 0.0)) "join at the leader's finish" 100.0 finish;
+    Alcotest.check Helpers.item_set "shared answer" answer got
+  | o -> Alcotest.failf "expected inflight, got %s" (outcome_label o));
+  (match find 105.0 with
+  | Answer_cache.Cached (staleness, got) ->
+    Alcotest.(check (float 0.0)) "staleness accounted" 5.0 staleness;
+    Alcotest.check Helpers.item_set "replayed answer" answer got
+  | o -> Alcotest.failf "expected cached, got %s" (outcome_label o));
+  check_outcome "ttl boundary is inclusive" "cached" (find 110.0);
+  check_outcome "past the ttl" "miss" (find 110.5);
+  (* The expired entry was evicted: even an in-flight-window probe
+     misses now. *)
+  check_outcome "evicted" "miss" (find 50.0);
+  let s = Answer_cache.stats c in
+  Alcotest.(check int) "lookups" 6 s.Answer_cache.lookups;
+  Alcotest.(check int) "inflight hits" 1 s.Answer_cache.inflight_hits;
+  Alcotest.(check int) "cached hits" 2 s.Answer_cache.cached_hits;
+  Alcotest.(check int) "expirations" 1 s.Answer_cache.expirations;
+  Alcotest.(check (float 1e-9)) "staleness sum" 15.0 s.Answer_cache.staleness_sum;
+  Alcotest.(check (float 1e-9)) "staleness max" 10.0 s.Answer_cache.staleness_max
+
+let test_cache_no_ttl_is_inflight_only () =
+  let c = Answer_cache.create () in
+  let answer = Helpers.items_of_strings [ "x" ] in
+  Answer_cache.note c ~source:"R1" ~cond:"A1 < 5" ~finish:100.0 answer;
+  check_outcome "still in flight" "inflight"
+    (Answer_cache.find c ~source:"R1" ~cond:"A1 < 5" ~ready:99.9);
+  (* finish = ready is NOT in flight — the historical coalescer's
+     boundary, load-bearing for the equivalence invariant. *)
+  check_outcome "completed answers never replayed" "miss"
+    (Answer_cache.find c ~source:"R1" ~cond:"A1 < 5" ~ready:100.0);
+  Alcotest.check_raises "negative ttl" (Invalid_argument "Answer_cache.create: negative ttl")
+    (fun () -> ignore (Answer_cache.create ~ttl:(-1.0) ()))
+
+(* A serving run with a TTL actually shares answers across queries:
+   submit the same query many times far enough apart that requests
+   don't overlap, close enough to stay within the TTL. *)
+let test_cross_query_reuse () =
+  let instance = Workload.generate { Workload.default_spec with seed = 5 } in
+  let env, optimized = optimize instance in
+  let run ~cache_ttl =
+    let srv = Serve.create ~policy:Serve.Fifo ?cache_ttl instance.Workload.sources in
+    for i = 0 to 4 do
+      ignore
+        (Serve.submit srv
+           ~at:(float_of_int i *. 2.0 *. Float.max 1.0 optimized.Optimized.est_cost)
+           (job_of env optimized))
+    done;
+    Serve.drain srv;
+    srv
+  in
+  let without = run ~cache_ttl:None in
+  let with_ttl = run ~cache_ttl:(Some 1e9) in
+  Alcotest.(check int) "no replay without a ttl" 0
+    (Serve.cache_stats without).Answer_cache.cached_hits;
+  Alcotest.(check bool) "replays with a ttl" true
+    ((Serve.cache_stats with_ttl).Answer_cache.cached_hits > 0);
+  (* Replayed queries do the same job for less total service cost. *)
+  let total srv =
+    List.fold_left (fun acc (c : Serve.completion) -> acc +. c.Serve.c_cost) 0.0
+      (Serve.completions srv)
+  in
+  Alcotest.(check bool) "cache saves work" true (total with_ttl < total without);
+  List.iter
+    (fun (c : Serve.completion) ->
+      Alcotest.check Helpers.item_set "cached answers are the real answers"
+        (Fusion_core.Reference.answer_query ~sources:instance.Workload.sources
+           instance.Workload.query)
+        (Option.get c.Serve.c_answer))
+    (Serve.completions with_ttl)
+
+(* --- admission control --------------------------------------------------- *)
+
+let test_shedding () =
+  let instance = Workload.generate { Workload.default_spec with seed = 9 } in
+  let env, optimized = optimize instance in
+  let srv = Serve.create ~policy:Serve.Fifo ~max_inflight:2 instance.Workload.sources in
+  (* A burst at t=0: the cap admits 2, sheds the rest at admission. *)
+  for _ = 1 to 6 do
+    ignore (Serve.submit srv ~at:0.0 (job_of env optimized))
+  done;
+  Serve.drain srv;
+  let s = Serve.stats srv in
+  Alcotest.(check bool) "queue-full sheds" true (s.Serve.shed > 0);
+  Alcotest.(check bool) "some still complete" true (s.Serve.completed >= 2);
+  Alcotest.(check bool) "conservation" true (Serve.conservation_ok s);
+  List.iter
+    (fun (sh : Serve.shed) ->
+      Alcotest.(check string) "reason" "queue_full"
+        (Serve.shed_reason_name sh.Serve.s_reason))
+    (Serve.sheds srv);
+  (* An impossible deadline is refused up front. *)
+  let srv2 = Serve.create ~policy:Serve.Fifo instance.Workload.sources in
+  ignore
+    (Serve.submit srv2 ~at:0.0
+       (job_of ~deadline:(optimized.Optimized.est_cost /. 1e6) env optimized));
+  Serve.drain srv2;
+  match Serve.sheds srv2 with
+  | [ sh ] ->
+    Alcotest.(check string) "deadline shed" "deadline_unmeetable"
+      (Serve.shed_reason_name sh.Serve.s_reason)
+  | other -> Alcotest.failf "expected 1 shed, got %d" (List.length other)
+
+(* --- fair share under overload ------------------------------------------- *)
+
+(* One heavy tenant floods the server while a light tenant trickles.
+   Under Fifo the light tenant waits behind the flood; Fair_share
+   schedules by least service consumed, so the light tenant's mean
+   response improves and the heavy tenant cannot starve it. *)
+let test_fair_share_isolates_light_tenant () =
+  let spec = { Workload.default_spec with seed = 17; n_sources = 4 } in
+  let run policy =
+    let instance = Workload.generate spec in
+    let env, optimized = optimize instance in
+    let srv = Serve.create ~policy ~max_inflight:64 instance.Workload.sources in
+    let est = Float.max 1.0 optimized.Optimized.est_cost in
+    (* Heavy: 24 jobs arriving every est/4 — 4x oversubscribed. *)
+    for i = 0 to 23 do
+      ignore
+        (Serve.submit srv
+           ~at:(float_of_int i *. (est /. 4.0))
+           (job_of ~tenant:"heavy" env optimized))
+    done;
+    (* Light: 4 jobs spread over the same window. *)
+    for i = 0 to 3 do
+      ignore
+        (Serve.submit srv
+           ~at:(float_of_int i *. (est *. 1.5))
+           (job_of ~tenant:"light" env optimized))
+    done;
+    Serve.drain srv;
+    let mean tenant =
+      let mine =
+        List.filter
+          (fun (c : Serve.completion) -> c.Serve.c_job.Serve.tenant = tenant)
+          (Serve.completions srv)
+      in
+      List.fold_left (fun acc (c : Serve.completion) -> acc +. c.Serve.c_response) 0.0
+        mine
+      /. float_of_int (List.length mine)
+    in
+    (mean "light", mean "heavy", Serve.stats srv)
+  in
+  let fifo_light, _, fifo_stats = run Serve.Fifo in
+  let fair_light, fair_heavy, fair_stats = run Serve.Fair_share in
+  Alcotest.(check bool) "fifo conserves" true (Serve.conservation_ok fifo_stats);
+  Alcotest.(check bool) "fair conserves" true (Serve.conservation_ok fair_stats);
+  Alcotest.(check bool)
+    (Printf.sprintf "fair share protects the light tenant (%.1f < %.1f)" fair_light
+       fifo_light)
+    true (fair_light < fifo_light);
+  Alcotest.(check bool) "light is not starved behind heavy" true
+    (fair_light < fair_heavy)
+
+(* --- drivers ------------------------------------------------------------- *)
+
+let test_drivers () =
+  let instance = Workload.generate { Workload.default_spec with seed = 3 } in
+  let env, optimized = optimize instance in
+  let srv = Serve.create ~policy:Serve.Fifo instance.Workload.sources in
+  Driver.open_loop srv ~prng:(Prng.create 4) ~rate:0.01 ~count:10 (fun i ->
+      job_of ~tenant:(Printf.sprintf "t%d" (i mod 2)) env optimized);
+  Serve.drain srv;
+  let s = Serve.stats srv in
+  Alcotest.(check int) "open loop submits all" 10 s.Serve.submitted;
+  Alcotest.(check bool) "conserves" true (Serve.conservation_ok s);
+  (* Closed loop: population bounds concurrency; all jobs complete. *)
+  let srv2 = Serve.create ~policy:Serve.Fifo instance.Workload.sources in
+  Driver.closed_loop srv2 ~clients:2 ~think:5.0 ~count:9 (fun _ -> job_of env optimized);
+  Serve.drain srv2;
+  let s2 = Serve.stats srv2 in
+  Alcotest.(check int) "closed loop issues all" 9 s2.Serve.submitted;
+  Alcotest.(check int) "all complete" 9 s2.Serve.completed;
+  Alcotest.(check bool) "conserves" true (Serve.conservation_ok s2);
+  (* Interarrival determinism: the same seed reproduces the stream. *)
+  let arrivals seed =
+    let srv = Serve.create ~policy:Serve.Fifo instance.Workload.sources in
+    Driver.open_loop srv ~prng:(Prng.create seed) ~rate:0.05 ~count:6 (fun _ ->
+        job_of env optimized);
+    Serve.drain srv;
+    List.map (fun (c : Serve.completion) -> c.Serve.c_submitted) (Serve.completions srv)
+  in
+  Alcotest.(check bool) "same seed, same arrivals" true (arrivals 8 = arrivals 8);
+  Alcotest.(check bool) "different seed, different arrivals" true
+    (arrivals 8 <> arrivals 9)
+
+let suite =
+  [
+    conservation_prop;
+    equivalence_prop;
+    Alcotest.test_case "answer cache windows and stats" `Quick test_cache_windows;
+    Alcotest.test_case "no ttl means in-flight only" `Quick
+      test_cache_no_ttl_is_inflight_only;
+    Alcotest.test_case "cross-query reuse with a ttl" `Quick test_cross_query_reuse;
+    Alcotest.test_case "admission control sheds" `Quick test_shedding;
+    Alcotest.test_case "fair share isolates the light tenant" `Quick
+      test_fair_share_isolates_light_tenant;
+    Alcotest.test_case "open and closed loop drivers" `Quick test_drivers;
+  ]

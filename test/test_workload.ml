@@ -142,9 +142,50 @@ let test_fig1_answer () =
     (Fusion_core.Reference.answer_query ~sources:instance.Workload.sources
        instance.Workload.query)
 
+(* Determinism must cover the whole instance, not just the item sets:
+   two generations from one spec agree tuple for tuple, condition for
+   condition, and on every source's network profile. *)
+let test_fully_deterministic () =
+  let a = Workload.generate Workload.default_spec in
+  let b = Workload.generate Workload.default_spec in
+  Alcotest.(check bool) "same query" true
+    (Fusion_query.Query.equal a.Workload.query b.Workload.query);
+  Array.iter2
+    (fun c1 c2 ->
+      Alcotest.(check string) "same condition text"
+        (Fusion_cond.Cond.to_string c1) (Fusion_cond.Cond.to_string c2))
+    (Fusion_query.Query.conditions a.Workload.query)
+    (Fusion_query.Query.conditions b.Workload.query);
+  Array.iter2
+    (fun s1 s2 ->
+      let r1 = Source.relation s1 and r2 = Source.relation s2 in
+      Alcotest.(check int) "same cardinality" (Relation.cardinality r1)
+        (Relation.cardinality r2);
+      Alcotest.(check bool) "same tuples" true
+        (Relation.tuples r1 = Relation.tuples r2);
+      Alcotest.(check bool) "same profile" true
+        (Source.profile s1 = Source.profile s2))
+    a.Workload.sources b.Workload.sources
+
+(* Every condition the generator invents must speak about attributes
+   the generated schema actually declares — over the whole spec
+   space. *)
+let conds_reference_declared_attrs =
+  Helpers.qtest ~count:60 "conditions reference declared attributes" Helpers.spec_gen
+    Helpers.spec_print (fun spec ->
+      let instance = Workload.generate spec in
+      let schema = instance.Workload.schema in
+      Array.for_all
+        (fun cond ->
+          List.for_all (fun attr -> Schema.mem schema attr)
+            (Fusion_cond.Cond.attrs cond))
+        (Fusion_query.Query.conditions instance.Workload.query))
+
 let suite =
   [
     Alcotest.test_case "deterministic in seed" `Quick test_deterministic;
+    Alcotest.test_case "fully deterministic instance" `Quick test_fully_deterministic;
+    conds_reference_declared_attrs;
     Alcotest.test_case "seed changes world" `Quick test_seed_changes_world;
     Alcotest.test_case "instance shape" `Quick test_shape;
     Alcotest.test_case "selectivity honored" `Quick test_selectivity_honored;
