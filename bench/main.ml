@@ -27,8 +27,24 @@ let experiments =
     ("x14", "planning under estimate uncertainty", X14_robust.run);
     ("x15", "concurrent execution: makespan vs total work", X15_concurrency.run);
     ("x16", "multi-query serving under overload", X16_load.run);
+    ("x17", "flat set kernels vs Set.Make reference", X17_kernels.run);
     ("check", "executable claims (regression gate)", Checks.run);
   ]
+
+(* (experiment, minor Mwords, major Mwords), in run order. Recorded as
+   a table so compare.exe gates allocation regressions alongside the
+   experiments' own cells. *)
+let allocations : (string * float * float) list ref = ref []
+
+let with_alloc_stats name run () =
+  let s0 = Gc.quick_stat () in
+  run ();
+  let s1 = Gc.quick_stat () in
+  allocations :=
+    ( name,
+      (s1.Gc.minor_words -. s0.Gc.minor_words) /. 1e6,
+      (s1.Gc.major_words -. s0.Gc.major_words) /. 1e6 )
+    :: !allocations
 
 let () =
   let requested =
@@ -41,7 +57,7 @@ let () =
       match List.find_opt (fun (n, _, _) -> n = name) experiments with
       | Some (_, description, run) ->
         Printf.printf "\n#### %s — %s\n%!" name description;
-        run ()
+        with_alloc_stats name run ()
       | None ->
         Printf.eprintf "unknown experiment %s (have: %s)\n" name
           (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
@@ -50,6 +66,12 @@ let () =
   if Sys.getenv_opt "FUSION_BENCH_BECHAMEL" = Some "1"
      && List.exists (fun n -> n = "x6") requested
   then X6_opt_time.run_bechamel ();
+  if !allocations <> [] then
+    Tables.print ~title:"allocation per experiment (Mwords)"
+      ~header:[ "experiment"; "minor"; "major" ]
+      (List.rev_map
+         (fun (name, minor, major) -> [ name; Tables.f1 minor; Tables.f1 major ])
+         !allocations);
   (match Sys.getenv_opt "FUSION_BENCH_JSON" with
   | None -> ()
   | Some path ->

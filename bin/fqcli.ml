@@ -18,7 +18,7 @@ let ( let* ) r f = match r with Ok v -> f v | Error msg -> Error msg
 
 (* --- shared loading ----------------------------------------------------- *)
 
-let load_sources dir =
+let load_sources ~intern dir =
   match Sys.readdir dir with
   | exception Sys_error msg -> Error msg
   | entries ->
@@ -33,17 +33,25 @@ let load_sources dir =
         | [] -> Ok (List.rev acc)
         | file :: rest ->
           let name = Filename.remove_extension file in
-          let* relation = Fusion_data.Csv_io.read_file ~name (Filename.concat dir file) in
+          let* relation =
+            Fusion_data.Csv_io.read_file ~name ~intern (Filename.concat dir file)
+          in
           go (Fusion_source.Source.create relation :: acc) rest
       in
       go [] csvs
 
 let with_mediator location f =
+  (* One dictionary scope per invocation: every loaded relation encodes
+     its merge values in the same intern table. *)
+  let intern = Fusion_data.Intern.create ~name:"catalog" () in
   let* sources =
     match location with
-    | `Dir dir -> load_sources dir
-    | `Catalog path -> Fusion_source.Catalog.load path
+    | `Dir dir -> load_sources ~intern dir
+    | `Catalog path -> Fusion_source.Catalog.load ~intern path
   in
+  Logs.debug (fun m ->
+      m "dictionary: %d distinct merge values across %d sources"
+        (Fusion_data.Intern.size intern) (List.length sources));
   let* mediator = Mediator.create sources in
   f mediator
 

@@ -69,7 +69,7 @@ let schema_of_header line =
   | Error msg -> Error msg
   | Ok (merge, attrs) -> Schema.create ~merge attrs
 
-let read_string ~name text =
+let read_string ~name ?intern text =
   let lines =
     String.split_on_char '\n' text
     |> List.map String.trim
@@ -117,11 +117,11 @@ let read_string ~name text =
         in
         match rows_of [] rows with
         | Error msg -> Error msg
-        | Ok rows -> Relation.of_rows ~name schema rows))
+        | Ok rows -> Relation.of_rows ~name ?intern schema rows))
 
-let read_file ~name path =
+let read_file ~name ?intern path =
   match In_channel.with_open_text path In_channel.input_all with
-  | text -> read_string ~name text
+  | text -> read_string ~name ?intern text
   | exception Sys_error msg -> Error msg
 
 (* Quote a string field whenever parsing it back unquoted would change

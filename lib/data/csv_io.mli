@@ -9,9 +9,11 @@
 val schema_of_header : string -> (Schema.t, string) result
 (** Parses just the header line ([*M:string,V:string,...]). *)
 
-val read_string : name:string -> string -> (Relation.t, string) result
+val read_string : name:string -> ?intern:Intern.t -> string -> (Relation.t, string) result
+(** [intern] is the dictionary scope for the loaded relation
+    ({!Intern.global} by default). *)
 
-val read_file : name:string -> string -> (Relation.t, string) result
+val read_file : name:string -> ?intern:Intern.t -> string -> (Relation.t, string) result
 
 val write_string : Relation.t -> string
 

@@ -1,0 +1,56 @@
+type id = int
+
+(* Hash values with [Value.hash], which is consistent with
+   [Value.equal] across the Int/Float numeric bridge. *)
+module VH = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type t = {
+  name : string;
+  ids : id VH.t; (* equality class -> id *)
+  mutable values : Value.t array; (* id -> representative *)
+  mutable used : int;
+}
+
+let create ?(name = "intern") () =
+  { name; ids = VH.create 256; values = Array.make 64 Value.Null; used = 0 }
+
+let global = create ~name:"global" ()
+
+let name t = t.name
+let size t = t.used
+
+let intern t v =
+  match VH.find_opt t.ids v with
+  | Some id -> id
+  | None ->
+    let id = t.used in
+    if id = Array.length t.values then begin
+      let values = Array.make (2 * id) Value.Null in
+      Array.blit t.values 0 values 0 id;
+      t.values <- values
+    end;
+    t.values.(id) <- v;
+    t.used <- id + 1;
+    VH.add t.ids v id;
+    id
+
+let find t v = VH.find_opt t.ids v
+
+let value t id =
+  if id < 0 || id >= t.used then
+    invalid_arg
+      (Printf.sprintf "Intern.value: id %d not allocated by table %s (size %d)" id t.name
+         t.used);
+  t.values.(id)
+
+let iter f t =
+  for id = 0 to t.used - 1 do
+    f id t.values.(id)
+  done
+
+let pp ppf t = Format.fprintf ppf "<intern %s: %d values>" t.name t.used

@@ -1,0 +1,57 @@
+(** Dictionary encoding for merge-attribute values.
+
+    An intern table is an append-only bijection between {!Value.t}
+    equality classes and dense non-negative integer ids. Sets of items
+    ({!Item_set}) and the relation probe index ({!Relation}) work on
+    ids instead of boxed values, which turns set algebra into flat
+    integer-array kernels and probe lookups into int-keyed hash hits.
+
+    Equality classes follow {!Value.equal}: [Int 1] and [Float 1.0]
+    intern to the {e same} id (the table keeps whichever spelling it saw
+    first as the representative), so dictionary encoding cannot change
+    which values the mediator considers equal. {!Value.hash} is
+    consistent with [Value.equal], which is what makes this table
+    well-defined.
+
+    Scoping: every table is independent — ids from different tables are
+    not comparable. [Source.Catalog] builds its sources against one
+    table (its "catalog scope"); {!global} is the default scope used
+    when none is supplied, so code that never mentions tables keeps
+    working and interoperates. *)
+
+type id = int
+(** A dictionary id; dense, starting at 0, never reused. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+(** A fresh, empty table. [name] is only used in {!pp} and error
+    messages. *)
+
+val global : t
+(** The process-wide default table. Relations, item sets and caches
+    built without an explicit table share this scope. *)
+
+val name : t -> string
+
+val size : t -> int
+(** Number of distinct equality classes interned so far (= the next
+    fresh id). *)
+
+val intern : t -> Value.t -> id
+(** The id of [v]'s equality class, allocating a fresh one on first
+    sight. O(1) amortized. *)
+
+val find : t -> Value.t -> id option
+(** Like {!intern} but never allocates an id: [None] when the class has
+    not been seen. *)
+
+val value : t -> id -> Value.t
+(** The representative value of an id (the first spelling interned).
+    @raise Invalid_argument if the id was not allocated by this
+    table. *)
+
+val iter : (id -> Value.t -> unit) -> t -> unit
+(** All (id, representative) pairs in increasing id order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -2,7 +2,22 @@
 
     These are the sets the mediator manipulates in simple plans: results
     of selection and semijoin queries, combined with union, intersection
-    and (in postoptimized plans) difference. *)
+    and (in postoptimized plans) difference.
+
+    Internally a set is dictionary-encoded: elements are interned
+    through an {!Intern} table and stored flat — as a sorted int array,
+    or as a bitset when the id range is dense — so the set algebra runs
+    as merge/bitwise kernels over unboxed ints. The observable behavior
+    is identical to the previous [Set.Make (Value)] implementation
+    (kept as {!Item_set_ref} for equivalence testing): iteration order
+    is increasing {!Value.compare} order and membership follows
+    {!Value.equal} equality classes.
+
+    Sets constructed through the value-level API ({!of_list},
+    {!singleton}, {!add} on {!empty}) live in the {!Intern.global}
+    scope. Operations between sets from different scopes are supported
+    (the right operand is re-interned into the left's table) but slower;
+    keep one scope per catalog for the fast path. *)
 
 type t
 
@@ -20,8 +35,14 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 
 val union_list : t list -> t
+(** Folds smallest-first so intermediate results stay as small as the
+    operands allow. *)
+
 val inter_list : t list -> t
-(** [inter_list []] is {!empty}. *)
+(** [inter_list []] is {!empty}. Folds smallest-first and returns
+    {!empty} as soon as an intermediate result is empty — in particular
+    an empty operand short-circuits the whole fold without running any
+    set kernel. *)
 
 val of_list : Value.t list -> t
 val to_list : t -> Value.t list
@@ -33,3 +54,42 @@ val filter : (Value.t -> bool) -> t -> t
 
 val pp : Format.formatter -> t -> unit
 (** Renders as [{v1, v2, ...}]. *)
+
+(** {1 Dictionary-level interface}
+
+    Used by {!Relation}'s probe index, the executor caches, and the
+    kernel benchmarks. Ids are meaningful only relative to the set's
+    intern table. *)
+
+val table : t -> Intern.t option
+(** The intern scope the set's ids belong to; [None] for {!empty}. *)
+
+val of_list_in : Intern.t -> Value.t list -> t
+(** [of_list] against an explicit intern scope. *)
+
+val of_ids : Intern.t -> int array -> t
+(** Build from ids previously allocated by the given table. Takes
+    ownership of the array; sorts and deduplicates as needed (already
+    strictly-increasing input is detected and used as-is). *)
+
+val fold_ids : (Intern.id -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over ids in increasing {e id} order (not value order). *)
+
+val fold_items : (Intern.id -> Value.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Like {!fold} — increasing {!Value.compare} order — but also hands
+    each element's id to the callback. *)
+
+val hash : t -> int
+(** Order-independent hash over the ids; equal sets in the same scope
+    hash equal. Not stable across scopes or processes. *)
+
+(** Introspection for tests and benchmarks. *)
+module Debug : sig
+  val kernel_calls : unit -> int
+  (** Process-wide count of binary set kernels executed (union, inter,
+      diff, subset on two non-empty operands). Monotonic; diff two
+      readings around the region of interest. *)
+
+  val repr : t -> string
+  (** ["empty"], ["ids"] or ["bits"] — the current representation. *)
+end

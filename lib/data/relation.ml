@@ -1,19 +1,29 @@
 type t = {
   name : string;
   schema : Schema.t;
+  intern : Intern.t;
   mutable rows : Tuple.t array;
   mutable used : int;
   mutable version : int;
-  index : (Value.t, int list) Hashtbl.t; (* item -> row positions *)
+  index : (Intern.id, int list) Hashtbl.t; (* item id -> row positions, newest first *)
 }
 
-let create ~name schema =
-  { name; schema; rows = [||]; used = 0; version = 0; index = Hashtbl.create 64 }
+let create ~name ?(intern = Intern.global) schema =
+  {
+    name;
+    schema;
+    intern;
+    rows = [||];
+    used = 0;
+    version = 0;
+    index = Hashtbl.create 64;
+  }
 
 let version t = t.version
 
 let name t = t.name
 let schema t = t.schema
+let intern t = t.intern
 let cardinality t = t.used
 
 let ensure_capacity t =
@@ -27,19 +37,19 @@ let ensure_capacity t =
 let insert t tuple =
   ensure_capacity t;
   t.rows.(t.used) <- tuple;
-  let item = Tuple.item t.schema tuple in
+  let item = Intern.intern t.intern (Tuple.item t.schema tuple) in
   let existing = Option.value ~default:[] (Hashtbl.find_opt t.index item) in
   Hashtbl.replace t.index item (t.used :: existing);
   t.used <- t.used + 1;
   t.version <- t.version + 1
 
-let of_tuples ~name schema tuples =
-  let t = create ~name schema in
+let of_tuples ~name ?intern schema tuples =
+  let t = create ~name ?intern schema in
   List.iter (insert t) tuples;
   t
 
-let of_rows ~name schema rows =
-  let t = create ~name schema in
+let of_rows ~name ?intern schema rows =
+  let t = create ~name ?intern schema in
   let rec go = function
     | [] -> Ok t
     | row :: rest -> (
@@ -63,22 +73,52 @@ let fold f init t =
 
 let tuples t = List.rev (fold (fun acc tu -> tu :: acc) [] t)
 
-let items t = Hashtbl.fold (fun item _ acc -> Item_set.add item acc) t.index Item_set.empty
+let ids_of_index t keep =
+  let out = Array.make (Hashtbl.length t.index) 0 in
+  let k = ref 0 in
+  Hashtbl.iter
+    (fun id positions ->
+      if keep id positions then begin
+        out.(!k) <- id;
+        incr k
+      end)
+    t.index;
+  Item_set.of_ids t.intern (if !k = Array.length out then out else Array.sub out 0 !k)
+
+let items t = ids_of_index t (fun _ _ -> true)
 
 let distinct_item_count t = Hashtbl.length t.index
 
+(* Positions are stored newest-first; rev_map restores insertion order. *)
+let tuples_at t positions = List.rev_map (fun i -> t.rows.(i)) positions
+
 let tuples_of_item t item =
-  match Hashtbl.find_opt t.index item with
+  match Intern.find t.intern item with
   | None -> []
-  | Some positions -> List.map (fun i -> t.rows.(i)) positions
+  | Some id -> (
+    match Hashtbl.find_opt t.index id with
+    | None -> []
+    | Some positions -> tuples_at t positions)
 
 let select_items t p =
-  fold
-    (fun acc tuple -> if p tuple then Item_set.add (Tuple.item t.schema tuple) acc else acc)
-    Item_set.empty t
+  ids_of_index t (fun _ positions -> List.exists (fun i -> p t.rows.(i)) positions)
 
 let semijoin_items t p xs =
-  Item_set.filter (fun item -> List.exists p (tuples_of_item t item)) xs
+  match Item_set.table xs with
+  | Some tbl when tbl == t.intern ->
+    (* Probe the int index directly, in id order. *)
+    let kept =
+      Item_set.fold_ids
+        (fun id acc ->
+          match Hashtbl.find_opt t.index id with
+          | Some positions when List.exists (fun i -> p t.rows.(i)) positions -> id :: acc
+          | _ -> acc)
+        xs []
+    in
+    Item_set.of_ids t.intern (Array.of_list (List.rev kept))
+  | _ ->
+    (* Cross-scope (or empty) probe: fall back to value-level lookups. *)
+    Item_set.filter (fun item -> List.exists p (tuples_of_item t item)) xs
 
 let select_tuples t p = List.filter p (tuples t)
 

@@ -1,22 +1,29 @@
 (** In-memory relations.
 
     A relation is the unit of data exported by a source wrapper
-    (Section 2.1). It keeps a hash index from merge-attribute values to
-    tuple positions so that semijoin probes run in time proportional to
-    the probe set rather than the relation. *)
+    (Section 2.1). Merge-attribute values are dictionary-encoded through
+    an {!Intern} table (the relation's scope; {!Intern.global} by
+    default), and the probe index maps item {e ids} to tuple positions,
+    so semijoin probes are int-keyed hash hits proportional to the probe
+    set rather than the relation. *)
 
 type t
 
-val create : name:string -> Schema.t -> t
+val create : name:string -> ?intern:Intern.t -> Schema.t -> t
 
-val of_tuples : name:string -> Schema.t -> Tuple.t list -> t
+val of_tuples : name:string -> ?intern:Intern.t -> Schema.t -> Tuple.t list -> t
 
-val of_rows : name:string -> Schema.t -> Value.t list list -> (t, string) result
+val of_rows :
+  name:string -> ?intern:Intern.t -> Schema.t -> Value.t list list -> (t, string) result
 (** Builds the relation from raw rows, type-checking each against the
     schema. *)
 
 val name : t -> string
 val schema : t -> Schema.t
+
+val intern : t -> Intern.t
+(** The dictionary scope the relation's items are encoded in. *)
+
 val cardinality : t -> int
 
 val insert : t -> Tuple.t -> unit
@@ -35,8 +42,8 @@ val items : t -> Item_set.t
 val distinct_item_count : t -> int
 
 val tuples_of_item : t -> Value.t -> Tuple.t list
-(** All tuples whose merge attribute equals the given item; O(1) lookup
-    plus output size. *)
+(** All tuples whose merge attribute equals the given item, in
+    insertion order; O(1) lookup plus output size. *)
 
 val select_items : t -> (Tuple.t -> bool) -> Item_set.t
 (** [select_items r p] is the set of items having at least one tuple

@@ -2,7 +2,7 @@ open Fusion_data
 
 type mapping = { entities : string list; columns : (string * string list) list }
 
-let relation ~name ~common mapping document =
+let relation ~name ~common ?intern mapping document =
   let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
   (* Column paths in schema order. *)
   let* ordered =
@@ -36,12 +36,12 @@ let relation ~name ~common mapping document =
       | _ -> build (List.map snd values :: relation_rows) rest)
   in
   let* rows = build [] entities in
-  Relation.of_rows ~name common rows
+  Relation.of_rows ~name ?intern common rows
 
-let load_file ~name ~common mapping path =
+let load_file ~name ~common ?intern mapping path =
   match In_channel.with_open_text path In_channel.input_all with
   | exception Sys_error msg -> Error msg
   | text -> (
     match Oem.parse text with
     | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
-    | Ok document -> relation ~name ~common mapping document)
+    | Ok document -> relation ~name ~common ?intern mapping document)

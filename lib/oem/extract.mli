@@ -17,10 +17,21 @@ type mapping = {
 }
 
 val relation :
-  name:string -> common:Schema.t -> mapping -> Oem.t -> (Relation.t, string) result
+  name:string ->
+  common:Schema.t ->
+  ?intern:Intern.t ->
+  mapping ->
+  Oem.t ->
+  (Relation.t, string) result
 (** Fails when a column is missing/duplicated in the mapping or an
-    extracted atom has the wrong type for its attribute. *)
+    extracted atom has the wrong type for its attribute. [intern] is
+    the dictionary scope for the extracted relation. *)
 
 val load_file :
-  name:string -> common:Schema.t -> mapping -> string -> (Relation.t, string) result
+  name:string ->
+  common:Schema.t ->
+  ?intern:Intern.t ->
+  mapping ->
+  string ->
+  (Relation.t, string) result
 (** Parses the OEM document at the path, then {!relation}. *)

@@ -32,7 +32,8 @@ type stats = {
 
 type t = {
   ttl : float option;
-  table : (string * string, entry) Hashtbl.t;
+  keys : Intern.t; (* interns source names and condition texts *)
+  table : (int * int, entry) Hashtbl.t; (* (source id, cond id) *)
   mutable lookups : int;
   mutable inflight_hits : int;
   mutable cached_hits : int;
@@ -52,6 +53,7 @@ let create ?ttl () =
   | _ -> ());
   {
     ttl;
+    keys = Intern.create ~name:"answer-cache-keys" ();
     table = Hashtbl.create 64;
     lookups = 0;
     inflight_hits = 0;
@@ -82,9 +84,15 @@ let stats t : stats =
     staleness_max = t.staleness_max;
   }
 
+(* The string pair is interned once; steady-state lookups hash two
+   small ints instead of two strings. *)
+let key t ~source ~cond =
+  (Intern.intern t.keys (Value.String source), Intern.intern t.keys (Value.String cond))
+
 let find t ~source ~cond ~ready =
   t.lookups <- t.lookups + 1;
-  match Hashtbl.find_opt t.table (source, cond) with
+  let key = key t ~source ~cond in
+  match Hashtbl.find_opt t.table key with
   | None -> Miss
   | Some e when e.finish > ready ->
     t.inflight_hits <- t.inflight_hits + 1;
@@ -99,11 +107,11 @@ let find t ~source ~cond ~ready =
       Cached (staleness, e.answer)
     | _ ->
       t.expirations <- t.expirations + 1;
-      Hashtbl.remove t.table (source, cond);
+      Hashtbl.remove t.table key;
       Miss)
 
 let note t ~source ~cond ~finish answer =
-  Hashtbl.replace t.table (source, cond) { finish; answer }
+  Hashtbl.replace t.table (key t ~source ~cond) { finish; answer }
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf

@@ -20,9 +20,10 @@ module Query_cache = struct
   type stats = { hits : int; misses : int; saved_cost : float }
 
   type t = {
-    answers : (string * string, Item_set.t) Hashtbl.t;
-    semijoins : (string * string * int, (Item_set.t * Item_set.t) list) Hashtbl.t;
-        (* (source, cond, probe digest) -> [(probe, answer)] *)
+    keys : Intern.t; (* interns source names and condition texts *)
+    answers : (int * int, Item_set.t) Hashtbl.t; (* (source id, cond id) *)
+    semijoins : (int * int * int, (Item_set.t * Item_set.t) list) Hashtbl.t;
+        (* (source id, cond id, probe digest) -> [(probe, answer)] *)
     mutable hits : int;
     mutable misses : int;
     mutable saved_cost : float;
@@ -30,6 +31,7 @@ module Query_cache = struct
 
   let create () =
     {
+      keys = Intern.create ~name:"query-cache-keys" ();
       answers = Hashtbl.create 32;
       semijoins = Hashtbl.create 32;
       hits = 0;
@@ -46,23 +48,29 @@ module Query_cache = struct
 
   let stats t = { hits = t.hits; misses = t.misses; saved_cost = t.saved_cost }
 
-  let key source cond = (Source.name source, Cond.to_string cond)
+  (* Cache keys are interned: repeated lookups for the same (source,
+     cond) hash two short strings once and small ints afterwards. *)
+  let key t source cond =
+    ( Intern.intern t.keys (Value.String (Source.name source)),
+      Intern.intern t.keys (Value.String (Cond.to_string cond)) )
 
-  let find t source cond = Hashtbl.find_opt t.answers (key source cond)
+  let find t source cond = Hashtbl.find_opt t.answers (key t source cond)
 
   let store t source cond answer =
     t.misses <- t.misses + 1;
-    Hashtbl.replace t.answers (key source cond) answer
+    Hashtbl.replace t.answers (key t source cond) answer
 
-  (* Order-independent digest of a probe set; equality is confirmed on
-     the stored probe, so collisions only cost a comparison. *)
-  let digest probe =
-    Item_set.fold (fun v acc -> acc lxor Fusion_data.Value.hash v) probe 0
+  (* Order-independent digest of a probe set over its interned ids;
+     equality is confirmed on the stored probe, so collisions only cost
+     a comparison. *)
+  let digest probe = Item_set.hash probe
 
-  let sjq_key source cond probe = (Source.name source, Cond.to_string cond, digest probe)
+  let sjq_key t source cond probe =
+    let sid, cid = key t source cond in
+    (sid, cid, digest probe)
 
   let find_sjq t source cond probe =
-    match Hashtbl.find_opt t.semijoins (sjq_key source cond probe) with
+    match Hashtbl.find_opt t.semijoins (sjq_key t source cond probe) with
     | None -> None
     | Some entries ->
       List.find_map
@@ -71,7 +79,7 @@ module Query_cache = struct
 
   let store_sjq t source cond probe answer =
     t.misses <- t.misses + 1;
-    let key = sjq_key source cond probe in
+    let key = sjq_key t source cond probe in
     let existing = Option.value ~default:[] (Hashtbl.find_opt t.semijoins key) in
     Hashtbl.replace t.semijoins key ((probe, answer) :: existing)
 

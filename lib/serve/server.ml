@@ -155,6 +155,17 @@ let create ?(policy = Fifo) ?(max_inflight = 64) ?cache_ttl
   }
 
 let policy t = t.policy
+
+(* The dictionary scope the server's relations are encoded in: sources
+   loaded from one catalog share one table (the catalog scope), so the
+   first source's is representative. *)
+let dictionary t =
+  if Array.length t.sources = 0 then None
+  else Some (Relation.intern (Source.relation t.sources.(0)))
+
+let dictionary_size t =
+  match dictionary t with None -> 0 | Some tbl -> Intern.size tbl
+
 let live t = t.live
 let timeline t = Sim.Live.timeline t.live
 let busy t = Sim.Live.busy t.live
@@ -255,7 +266,8 @@ let finalize t a ~failed =
       Metrics.incr r ~labels "fusion_serve_completed_total";
       if failed <> None then Metrics.incr r ~labels "fusion_serve_failed_total";
       Metrics.observe r ~labels "fusion_serve_response_time"
-        (int_of_float (Float.round c.c_response)));
+        (int_of_float (Float.round c.c_response));
+      Metrics.gauge r "fusion_serve_dictionary_size" (float_of_int (dictionary_size t)));
   List.iter (fun hook -> hook c) t.hooks
 
 (* Retire every in-flight engine whose plan has run out of operations.

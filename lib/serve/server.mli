@@ -134,6 +134,17 @@ val tenants : t -> (string * tenant_stats) list
 (** Sorted by tenant name. *)
 
 val policy : t -> policy
+
+val dictionary : t -> Fusion_data.Intern.t option
+(** The dictionary scope of the server's relations (the catalog scope
+    when all sources were loaded from one catalog); [None] for an empty
+    source array. *)
+
+val dictionary_size : t -> int
+(** Distinct merge-attribute equality classes in {!dictionary}; also
+    exported as the [fusion_serve_dictionary_size] gauge. 0 when there
+    are no sources. *)
+
 val live : t -> Fusion_net.Sim.Live.t
 val timeline : t -> Fusion_net.Sim.timeline
 val busy : t -> float array

@@ -120,13 +120,13 @@ let parse_section_header lineno line =
   | [ "view" ] -> Ok `View
   | _ -> Error (Printf.sprintf "line %d: expected [source NAME] or [view]" lineno)
 
-let build ~dir ~view entry =
+let build ~dir ~view ?intern entry =
   match entry.file with
   | None -> Error (Printf.sprintf "source %s: missing 'file'" entry.name)
   | Some file -> (
     let path = if Filename.is_relative file then Filename.concat dir file else file in
     let loaded =
-      if not entry.oem then Csv_io.read_file ~name:entry.name path
+      if not entry.oem then Csv_io.read_file ~name:entry.name ?intern path
       else
         match view with
         | None -> Error "'format = oem' needs a [view] section"
@@ -134,7 +134,7 @@ let build ~dir ~view entry =
           match entry.entities with
           | None -> Error "'format = oem' needs an 'entities' path"
           | Some entities ->
-            Fusion_oem.Extract.load_file ~name:entry.name ~common
+            Fusion_oem.Extract.load_file ~name:entry.name ~common ?intern
               { Fusion_oem.Extract.entities; columns = entry.columns }
               path)
     in
@@ -168,7 +168,7 @@ let build ~dir ~view entry =
 
 type section = In_source of entry | In_view | Toplevel
 
-let parse ~dir text =
+let parse ~dir ?intern text =
   let lines = String.split_on_char '\n' text in
   let view = ref None in
   let parse_view_line lineno line =
@@ -196,7 +196,7 @@ let parse ~dir text =
         let rec build_all built = function
           | [] -> Ok (List.rev built)
           | e :: rest -> (
-            match build ~dir ~view:!view e with
+            match build ~dir ~view:!view ?intern e with
             | Ok source -> build_all (source :: built) rest
             | Error _ as err -> err)
         in
@@ -250,7 +250,7 @@ let render sources =
     sources;
   Buffer.contents buffer
 
-let load path =
+let load ?intern path =
   match In_channel.with_open_text path In_channel.input_all with
-  | text -> parse ~dir:(Filename.dirname path) text
+  | text -> parse ~dir:(Filename.dirname path) ?intern text
   | exception Sys_error msg -> Error msg

@@ -49,11 +49,13 @@
        col.V = offense
        col.D = when v} *)
 
-val load : string -> (Source.t list, string) result
+val load : ?intern:Fusion_data.Intern.t -> string -> (Source.t list, string) result
 (** [load path] parses the catalog at [path] and loads every declared
-    source's CSV relation. *)
+    source's CSV relation. [intern] is the dictionary scope shared by
+    all loaded relations — the catalog scope; defaults to
+    {!Fusion_data.Intern.global}. *)
 
-val parse : dir:string -> string -> (Source.t list, string) result
+val parse : dir:string -> ?intern:Fusion_data.Intern.t -> string -> (Source.t list, string) result
 (** [parse ~dir text] — as {!load}, with the text supplied directly and
     [dir] as the base for relative files. *)
 

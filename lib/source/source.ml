@@ -107,14 +107,22 @@ let native_semijoin t cond xs =
    request overhead — this is exactly why emulated semijoins are dear. *)
 let emulated_semijoin t cond xs =
   let pred = predicate t cond in
-  Item_set.fold
-    (fun item (acc, cost) ->
-      maybe_fail t ~items_sent:1;
-      let hit = List.exists pred (Relation.tuples_of_item t.relation item) in
-      let received = if hit then 1 else 0 in
-      let c = charge t ~items_sent:1 ~items_received:received ~tuples_received:0 in
-      ((if hit then Item_set.add item acc else acc), cost +. c))
-    xs (Item_set.empty, 0.0)
+  (* Iterate in value order (fold_items) so the per-item fault draws and
+     charges happen in the same sequence as the historical fold; collect
+     surviving ids and build the answer in one pass at the end. *)
+  let kept, cost =
+    Item_set.fold_items
+      (fun id item (kept, cost) ->
+        maybe_fail t ~items_sent:1;
+        let hit = List.exists pred (Relation.tuples_of_item t.relation item) in
+        let received = if hit then 1 else 0 in
+        let c = charge t ~items_sent:1 ~items_received:received ~tuples_received:0 in
+        ((if hit then id :: kept else kept), cost +. c))
+      xs ([], 0.0)
+  in
+  match Item_set.table xs with
+  | None -> (Item_set.empty, cost)
+  | Some tbl -> (Item_set.of_ids tbl (Array.of_list kept), cost)
 
 let semijoin_query t cond xs =
   if

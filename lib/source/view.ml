@@ -47,7 +47,9 @@ let export ~common ~mapping internal =
     | None -> Error "unreachable: merge attribute unmapped"
   in
   let positions = List.map (fun (_, _, pos) -> pos) entries in
-  let exported = Relation.create ~name:(Relation.name internal) common in
+  let exported =
+    Relation.create ~name:(Relation.name internal) ~intern:(Relation.intern internal) common
+  in
   Relation.iter
     (fun tuple -> Relation.insert exported (Array.of_list (List.map (Tuple.get tuple) positions)))
     internal;

@@ -82,6 +82,72 @@ let test_relation_basics () =
   Alcotest.(check int) "tuples of missing" 0
     (List.length (Relation.tuples_of_item r (String "zz")))
 
+let test_tuples_of_item_insertion_order () =
+  (* The probe index stores positions newest-first internally;
+     tuples_of_item must still present tuples in insertion order. *)
+  let r =
+    Helpers.abc_relation
+      [
+        Helpers.abc_row "k1" 1 "first";
+        Helpers.abc_row "k2" 2 "other";
+        Helpers.abc_row "k1" 3 "second";
+        Helpers.abc_row "k1" 5 "third";
+      ]
+  in
+  let bs =
+    Relation.tuples_of_item r (String "k1")
+    |> List.map (fun tuple -> Tuple.get_attr Helpers.abc_schema tuple "B")
+  in
+  Alcotest.(check (list string))
+    "insertion order"
+    [ "first"; "second"; "third" ]
+    (List.map
+       (function Value.String s -> s | v -> Value.to_string v)
+       bs)
+
+let test_inter_list_short_circuit () =
+  let s1 = Helpers.items_of_strings [ "a"; "b"; "c" ] in
+  let s2 = Helpers.items_of_strings [ "b"; "c"; "d" ] in
+  let before = Item_set.Debug.kernel_calls () in
+  Alcotest.check Helpers.item_set "empty operand wins" Item_set.empty
+    (Item_set.inter_list [ s1; Item_set.empty; s2 ]);
+  Alcotest.(check int)
+    "no kernel ran" before
+    (Item_set.Debug.kernel_calls ());
+  (* Disjoint small sets: the smallest-first fold stops as soon as the
+     running intersection goes empty. *)
+  let s3 = Helpers.items_of_strings [ "x" ] in
+  let before = Item_set.Debug.kernel_calls () in
+  Alcotest.check Helpers.item_set "disjoint" Item_set.empty
+    (Item_set.inter_list [ s1; s2; s3 ]);
+  Alcotest.(check int)
+    "one kernel, then short-circuit" (before + 1)
+    (Item_set.Debug.kernel_calls ())
+
+let test_union_list_size_aware () =
+  let sets =
+    [
+      Helpers.items_of_strings [ "a"; "b"; "c"; "d"; "e" ];
+      Item_set.empty;
+      Helpers.items_of_strings [ "b" ];
+      Helpers.items_of_strings [ "c"; "f" ];
+    ]
+  in
+  Alcotest.check Helpers.item_set "union_list order-independent"
+    (Helpers.items_of_strings [ "a"; "b"; "c"; "d"; "e"; "f" ])
+    (Item_set.union_list sets);
+  Alcotest.check Helpers.item_set "reversed input, same result"
+    (Item_set.union_list sets)
+    (Item_set.union_list (List.rev sets));
+  Alcotest.check Helpers.item_set "inter_list smallest-first"
+    (Helpers.items_of_strings [ "b" ])
+    (Item_set.inter_list
+       [
+         Helpers.items_of_strings [ "a"; "b"; "c"; "d" ];
+         Helpers.items_of_strings [ "b"; "c" ];
+         Helpers.items_of_strings [ "b"; "d" ];
+       ])
+
 let test_relation_select_semijoin () =
   let r =
     Helpers.abc_relation
@@ -256,7 +322,12 @@ let suite =
     Alcotest.test_case "tuple creation and access" `Quick test_tuple_create;
     Alcotest.test_case "tuple typing errors" `Quick test_tuple_type_errors;
     Alcotest.test_case "item-set operations" `Quick test_item_set_ops;
+    Alcotest.test_case "inter_list short-circuits on empty" `Quick
+      test_inter_list_short_circuit;
+    Alcotest.test_case "union/inter folds are size-aware" `Quick test_union_list_size_aware;
     Alcotest.test_case "relation basics and index" `Quick test_relation_basics;
+    Alcotest.test_case "tuples_of_item in insertion order" `Quick
+      test_tuples_of_item_insertion_order;
     Alcotest.test_case "relation select and semijoin" `Quick test_relation_select_semijoin;
     test_relation_semijoin_vs_naive;
     Alcotest.test_case "csv round trip" `Quick test_csv_round_trip;

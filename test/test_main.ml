@@ -3,6 +3,7 @@ let () =
     [
       ("value", Test_value.suite);
       ("data", Test_data.suite);
+      ("intern", Test_intern.suite);
       ("cond", Test_cond.suite);
       ("stats", Test_stats.suite);
       ("source", Test_source.suite);

@@ -53,18 +53,44 @@ let test_ty_of_string () =
   Alcotest.(check bool) "case" true (Value.ty_of_string " STRING " = Ok Value.Tstring);
   ignore (Helpers.check_err "unknown" (Value.ty_of_string "blob"))
 
+(* Dictionary encoding (Intern) buckets values by [Value.equal] and
+   [Value.hash]; these pin the cross-type numeric semantics so an
+   interned id can never merge or split an equality class. *)
+let test_numeric_equality_class () =
+  List.iter
+    (fun n ->
+      let i = Value.Int n and f = Value.Float (float_of_int n) in
+      Alcotest.(check int) (Printf.sprintf "compare %d = %d.0" n n) 0 (Value.compare i f);
+      Alcotest.(check bool) (Printf.sprintf "equal %d = %d.0" n n) true (Value.equal i f);
+      Alcotest.(check int) (Printf.sprintf "hash %d = hash %d.0" n n) (Value.hash i)
+        (Value.hash f))
+    [ -3; 0; 1; 42; 1_000_000 ];
+  Alcotest.(check bool) "1 <> 1.5" false (Value.equal (Value.Int 1) (Value.Float 1.5));
+  Alcotest.(check bool) "1 < 1.5" true (Value.compare (Value.Int 1) (Value.Float 1.5) < 0)
+
+let value_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun b -> Value.Bool b) bool;
+        map (fun i -> Value.Int i) (int_range (-1000) 1000);
+        map (fun f -> Value.Float f) (float_range (-100.0) 100.0);
+        (* Integral floats force collisions with the Int generator. *)
+        map (fun i -> Value.Float (float_of_int i)) (int_range (-1000) 1000);
+        map (fun s -> Value.String s) (string_size (int_range 0 6));
+      ])
+
+let qcheck_equal_iff_compare_zero =
+  Helpers.qtest ~count:500 "equal ⟺ compare = 0, and equal ⟹ same hash"
+    QCheck2.Gen.(pair value_gen value_gen)
+    (fun (a, b) -> Printf.sprintf "(%s, %s)" (Value.to_string a) (Value.to_string b))
+    (fun (a, b) ->
+      Value.equal a b = (Value.compare a b = 0)
+      && ((not (Value.equal a b)) || Value.hash a = Value.hash b))
+
 let qcheck_compare_total_order =
-  let gen =
-    QCheck2.Gen.(
-      oneof
-        [
-          return Value.Null;
-          map (fun b -> Value.Bool b) bool;
-          map (fun i -> Value.Int i) (int_range (-1000) 1000);
-          map (fun f -> Value.Float f) (float_range (-100.0) 100.0);
-          map (fun s -> Value.String s) (string_size (int_range 0 6));
-        ])
-  in
+  let gen = value_gen in
   Helpers.qtest ~count:200 "Value.compare is antisymmetric and transitive-ish"
     QCheck2.Gen.(triple gen gen gen)
     (fun (a, b, c) ->
@@ -87,5 +113,8 @@ let suite =
     Alcotest.test_case "typed parsing" `Quick test_parse_typed;
     Alcotest.test_case "literal parsing" `Quick test_parse_literal;
     Alcotest.test_case "type names" `Quick test_ty_of_string;
+    Alcotest.test_case "int/float share an equality class" `Quick
+      test_numeric_equality_class;
+    qcheck_equal_iff_compare_zero;
     qcheck_compare_total_order;
   ]
