@@ -28,6 +28,7 @@ let experiments =
     ("x15", "concurrent execution: makespan vs total work", X15_concurrency.run);
     ("x16", "multi-query serving under overload", X16_load.run);
     ("x17", "flat set kernels vs Set.Make reference", X17_kernels.run);
+    ("x18", "sharded mediation: scatter/gather under churn", X18_shards.run);
     ("check", "executable claims (regression gate)", Checks.run);
   ]
 

@@ -1,0 +1,208 @@
+(* X18 — extension: sharded mediation under churn.
+
+   The distributed mediator (lib/dist) hash-partitions the catalog
+   across N shards, replicates every slice K ways, and scatters one
+   global plan as fragments. Three questions, one per table:
+
+   1. Does sharding pay?  Slices shrink with N and the shards' lanes
+      are disjoint, so per-shard makespan drops while the gathered
+      answer stays exactly the oracle's.
+   2. Does the federation survive churn?  Dead primaries force
+      failovers onto the surviving replicas; a whole dead shard
+      degrades to an explicit partial answer rather than a wrong one.
+   3. Do hedged requests beat stragglers?  With replica 0 of every
+      group slowed 10x, primary routing rides the straggler; hedging
+      duplicates the request onto the predicted-faster replica and
+      should cut tail makespan across a fleet of seeded queries.
+
+   Everything runs on the simulated network, so every cell is
+   deterministic and the tables gate against a committed baseline. *)
+
+open Fusion_dist
+module Reference = Fusion_core.Reference
+module Workload = Fusion_workload.Workload
+module Item_set = Fusion_data.Item_set
+module Profile = Fusion_net.Profile
+
+let instance =
+  lazy
+    (Workload.generate
+       {
+         Workload.default_spec with
+         Workload.n_sources = 6;
+         universe = 3000;
+         tuples_per_source = (400, 700);
+         selectivities = [| 0.1; 0.3 |];
+         seed = 1808;
+       })
+
+let truth inst =
+  Reference.answer_query ~sources:inst.Workload.sources inst.Workload.query
+
+let run_on ?config cluster inst =
+  match Coordinator.run ?config cluster inst.Workload.query with
+  | Ok r -> r
+  | Error msg -> failwith ("x18: coordinator failed: " ^ msg)
+
+let cluster_of ?replicas ?profile_of ~shards inst =
+  match
+    Cluster.create ?replicas ?profile_of ~shards
+      (Array.to_list inst.Workload.sources)
+  with
+  | Ok c -> c
+  | Error msg -> failwith ("x18: cluster failed: " ^ msg)
+
+let verdict b = if b then "yes" else "no"
+
+(* --- 1: shard-count sweep ------------------------------------------------ *)
+
+let shard_sweep inst =
+  let expected = truth inst in
+  let runs =
+    List.map
+      (fun shards -> (shards, run_on (cluster_of ~shards inst) inst))
+      [ 1; 2; 3; 5 ]
+  in
+  let base_makespan =
+    match runs with (_, r) :: _ -> r.Coordinator.r_makespan | [] -> 0.0
+  in
+  Tables.print ~title:"x18: shard-count sweep (replicas=1, global plan)"
+    ~header:
+      [ "shards"; "answer"; "exact"; "requests"; "total cost"; "makespan";
+        "speedup" ]
+    (List.map
+       (fun (shards, r) ->
+         let requests =
+           List.fold_left
+             (fun acc s -> acc + s.Coordinator.sr_requests)
+             0 r.Coordinator.r_shards
+         in
+         [
+           Tables.i shards;
+           Tables.i (Item_set.cardinal r.Coordinator.r_answer);
+           verdict (Item_set.equal r.Coordinator.r_answer expected);
+           Tables.i requests;
+           Tables.f1 r.Coordinator.r_total_cost;
+           Tables.f1 r.Coordinator.r_makespan;
+           Tables.ratio base_makespan r.Coordinator.r_makespan;
+         ])
+       runs)
+
+(* --- 2: churn and failover ----------------------------------------------- *)
+
+let churn inst =
+  let expected = truth inst in
+  let shards = 3 in
+  let healthy = run_on (cluster_of ~replicas:2 ~shards inst) inst in
+  let kill_primaries which =
+    let cluster = cluster_of ~replicas:2 ~shards inst in
+    List.iter
+      (fun shard ->
+        for j = 0 to Cluster.n_sources cluster - 1 do
+          Cluster.kill cluster ~shard ~source:j ~replica:0
+        done)
+      which;
+    cluster
+  in
+  let dead_shard =
+    let cluster = cluster_of ~replicas:2 ~shards inst in
+    Cluster.kill_shard cluster ~shard:1;
+    cluster
+  in
+  let partial_config =
+    { Coordinator.Config.default with Coordinator.Config.on_exhausted = `Partial }
+  in
+  let rows =
+    [
+      ("healthy", healthy);
+      ("dead primaries, shard 0", run_on (kill_primaries [ 0 ]) inst);
+      ("dead primaries, all shards", run_on (kill_primaries [ 0; 1; 2 ]) inst);
+      ("shard 1 dead (partial)", run_on ~config:partial_config dead_shard inst);
+    ]
+  in
+  Tables.print
+    ~title:"x18: churn and failover (3 shards x 2 replicas)"
+    ~header:
+      [ "scenario"; "answer"; "exact"; "partial"; "failures"; "failovers";
+        "cost / healthy" ]
+    (List.map
+       (fun (name, r) ->
+         [
+           name;
+           Tables.i (Item_set.cardinal r.Coordinator.r_answer);
+           verdict (Item_set.equal r.Coordinator.r_answer expected);
+           verdict r.Coordinator.r_partial;
+           Tables.i r.Coordinator.r_failures;
+           Tables.i r.Coordinator.r_failovers;
+           Tables.ratio r.Coordinator.r_total_cost
+             healthy.Coordinator.r_total_cost;
+         ])
+       rows)
+
+(* --- 3: hedging vs stragglers -------------------------------------------- *)
+
+(* A fleet of seeded queries, each against its own 2x2 cluster whose
+   primary replicas are 10x stragglers. Primary routing rides the
+   straggler unless hedging redirects; the claim under test is that
+   hedging cuts tail (p99) makespan, not just the median. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let hedging () =
+  let straggle ~shard:_ ~source:_ ~replica profile =
+    if replica = 0 then Profile.straggler profile else profile
+  in
+  let makespans hedge =
+    let config = { Coordinator.Config.default with Coordinator.Config.hedge } in
+    Array.init 25 (fun i ->
+        let inst =
+          Workload.generate { Workload.default_spec with Workload.seed = 500 + i }
+        in
+        let cluster =
+          cluster_of ~replicas:2 ~profile_of:straggle ~shards:2 inst
+        in
+        let r = run_on ~config cluster inst in
+        assert (Item_set.equal r.Coordinator.r_answer (truth inst));
+        (r.Coordinator.r_makespan, r.Coordinator.r_hedges,
+         r.Coordinator.r_hedge_wins))
+  in
+  let plain = makespans None in
+  let hedged = makespans (Some 1.3) in
+  let spans a = Array.map (fun (m, _, _) -> m) a in
+  let sum f a = Array.fold_left (fun acc x -> acc + f x) 0 a in
+  let sorted a =
+    let s = Array.copy (spans a) in
+    Array.sort compare s;
+    s
+  in
+  let sp = sorted plain and sh = sorted hedged in
+  let row name a s =
+    [
+      name;
+      Tables.i (sum (fun (_, h, _) -> h) a);
+      Tables.i (sum (fun (_, _, w) -> w) a);
+      Tables.f1 (percentile s 0.5);
+      Tables.f1 (percentile s 0.99);
+    ]
+  in
+  Tables.print
+    ~title:
+      "x18: hedging vs 10x stragglers (25 queries, 2 shards x 2 replicas, \
+       primary routing)"
+    ~header:[ "config"; "hedges"; "hedge wins"; "p50 makespan"; "p99 makespan" ]
+    [ row "no hedging" plain sp; row "hedge factor 1.3" hedged sh ];
+  Tables.print ~title:"x18: hedging claim"
+    ~header:[ "claim"; "verdict" ]
+    [
+      [ "hedging cuts p99 makespan"; verdict (percentile sh 0.99 < percentile sp 0.99) ];
+      [ "hedging cuts p50 makespan"; verdict (percentile sh 0.5 < percentile sp 0.5) ];
+      [ "every hedged answer exact"; "yes" ];
+    ]
+
+let run () =
+  let inst = Lazy.force instance in
+  shard_sweep inst;
+  churn inst;
+  hedging ()

@@ -163,6 +163,66 @@ let concurrency_arg =
 
 (* --- run ----------------------------------------------------------------- *)
 
+let shards_arg =
+  let doc = "Shard the mediator: partition the catalog by merge-id hash across this many coordinator shards and union their answers." in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
+let replicas_arg =
+  let doc =
+    "Replicate every shard-local source this many times (a catalog's per-source \
+     $(b,replicas) keys raise individual groups further)."
+  in
+  Arg.(value & opt int 1 & info [ "replicas" ] ~docv:"K" ~doc)
+
+let routing_conv =
+  let parse s =
+    match Fusion_dist.Replica.routing_of_string s with
+    | Some r -> Ok r
+    | None -> Error (`Msg (Printf.sprintf "unknown routing %S (expected primary, round-robin or least-cost)" s))
+  in
+  let print ppf r = Format.pp_print_string ppf (Fusion_dist.Replica.routing_name r) in
+  Arg.conv (parse, print)
+
+let routing_arg =
+  let doc = "Replica selection policy: $(b,primary), $(b,round-robin) or $(b,least-cost)." in
+  Arg.(value & opt routing_conv Fusion_dist.Replica.Primary & info [ "routing" ] ~docv:"POLICY" ~doc)
+
+let hedge_arg =
+  let doc =
+    "Hedge straggling requests: duplicate a request onto the best alternative replica \
+     when the routed replica's predicted finish exceeds FACTOR times the alternative's."
+  in
+  Arg.(value & opt (some float) None & info [ "hedge" ] ~docv:"FACTOR" ~doc)
+
+(* The distributed run path: build the sharded, replicated cluster the
+   flags describe and route the query through the coordinator. *)
+let run_sharded ~location ~sql ~algo ~sample ~hist ~trace ~shards ~replicas ~routing ~hedge
+    =
+  let intern = Fusion_data.Intern.create ~name:"catalog" () in
+  let* groups =
+    match location with
+    | `Dir dir ->
+      Result.map (List.map (fun s -> (s, replicas))) (load_sources ~intern dir)
+    | `Catalog path ->
+      Result.map
+        (List.map (fun (s, k) -> (s, max k replicas)))
+        (Fusion_source.Catalog.load_groups ~intern path)
+  in
+  let* cluster = Fusion_dist.Cluster.of_groups ~shards groups in
+  let config =
+    {
+      Fusion_dist.Coordinator.Config.default with
+      Fusion_dist.Coordinator.Config.algo;
+      stats = stats_of_sample sample hist;
+      routing;
+      hedge;
+    }
+  in
+  with_tracing trace (fun () ->
+      let* report = Fusion_dist.Coordinator.run_sql ~config cluster sql in
+      Format.printf "%a@." Fusion_dist.Coordinator.pp_report report;
+      Ok ())
+
 let run_cmd =
   let plan_arg =
     let doc = "Execute this saved plan (see 'explain --save-plan') instead of optimizing." in
@@ -175,8 +235,19 @@ let run_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
-  let action location sql algo sample hist concurrency plan_file trace verbose =
+  let action location sql algo sample hist concurrency plan_file trace shards replicas
+      routing hedge verbose =
     setup_logs verbose;
+    if shards > 1 || replicas > 1 || hedge <> None then
+      report_result
+        (let* location = location in
+         if shards < 1 then Error "--shards must be at least 1"
+         else if replicas < 1 then Error "--replicas must be at least 1"
+         else if plan_file <> None then Error "--plan is not supported with --shards/--replicas"
+         else
+           run_sharded ~location ~sql ~algo ~sample ~hist ~trace ~shards ~replicas
+             ~routing ~hedge)
+    else
     report_result
       (let* location = location in
        with_mediator location (fun mediator ->
@@ -263,7 +334,8 @@ let run_cmd =
   let doc = "run a fusion query over CSV sources" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const action $ location_term $ sql_arg $ algo_arg $ sample_arg $ hist_arg
-          $ concurrency_arg $ plan_arg $ trace_arg $ verbose_arg)
+          $ concurrency_arg $ plan_arg $ trace_arg $ shards_arg $ replicas_arg
+          $ routing_arg $ hedge_arg $ verbose_arg)
 
 (* --- explain ------------------------------------------------------------- *)
 

@@ -1,0 +1,57 @@
+(** Sharded serving: one {!Fusion_serve.Server} per shard behind a
+    single submit path.
+
+    Each shard runs its own serving loop over the shard's replica-0
+    sources, created with the shard's label so every [fusion_serve_*]
+    metric series carries a [("shard", "sN")] label in the shared
+    registry. A submission is planned once on the cluster's oracle
+    mediator and fans out to all shards; the joined {!outcome} unions
+    the per-shard answers (exact under merge-id partitioning) and
+    reports the slowest shard's response time. *)
+
+open Fusion_data
+
+type t
+
+val create :
+  ?policy:Fusion_serve.Server.policy ->
+  ?max_inflight:int ->
+  ?cache_ttl:float ->
+  ?exec_policy:Fusion_plan.Exec.policy ->
+  Cluster.t ->
+  t
+(** Options as in {!Fusion_serve.Server.create}, applied to every
+    shard's server. *)
+
+val cluster : t -> Cluster.t
+val shards : t -> int
+val server : t -> int -> Fusion_serve.Server.t
+(** One shard's serving loop, for its stats, timeline and tenants. *)
+
+val submit :
+  t ->
+  at:float ->
+  ?tenant:string ->
+  ?priority:int ->
+  ?deadline:float ->
+  Fusion_query.Query.t ->
+  (int, string) result
+(** Optimize once, enqueue the job on every shard at instant [at];
+    returns the fleet-wide submission id. *)
+
+val step : t -> bool
+(** One scheduling step on every shard; [false] when all are idle. *)
+
+val drain : t -> unit
+
+type outcome = {
+  f_id : int;
+  f_answer : Item_set.t option;  (** [None] when any shard failed or shed *)
+  f_response : float;  (** the slowest shard's response time *)
+  f_cost : float;  (** summed over shards *)
+  f_partial : bool;
+  f_failed : string option;  (** first failure among the shards, if any *)
+}
+
+val outcomes : t -> outcome list
+(** Every submission joined across its shards, in submission order. *)

@@ -1,0 +1,32 @@
+(** Merge-id hash partitioning of a federation across mediator shards.
+
+    Dictionary ids ({!Fusion_data.Intern}) are dense ints, so shard
+    ownership is a flat integer hash. Slicing every source relation by
+    the owner of each tuple's merge id puts an item's {e entire}
+    evidence — every tuple with that merge value, across all sources —
+    on exactly one shard. Selections, semijoins and the local set
+    algebra distribute over disjoint slices, so any valid plan run on a
+    shard computes [answer ∩ slice] and the union over shards is the
+    exact global answer (the correctness argument behind
+    {!Fusion_plan.Fragment.merge_answers}; see DESIGN.md). *)
+
+open Fusion_data
+
+val shard_of : shards:int -> Intern.id -> int
+(** The shard owning a dictionary id: deterministic, uniform via a
+    splitmix64 finalizer (dense ids would stripe under a bare mod).
+    With [shards = 1] always 0. @raise Invalid_argument on a
+    non-positive shard count. *)
+
+val shard_of_value : shards:int -> Intern.t -> Value.t -> int
+(** Owner of a merge {e value} under the given dictionary scope. *)
+
+val slice : shards:int -> shard:int -> Relation.t -> Relation.t
+(** The tuples whose merge id hashes to [shard], in original order,
+    sharing the source relation's name, schema and intern scope. *)
+
+val split : shards:int -> Fusion_source.Source.t list -> Fusion_source.Source.t list array
+(** One sliced federation per shard: each source keeps its capability
+    and profile, but serves only its shard's slice, with a fresh meter
+    and no fault injector. [split ~shards:1] is behaviorally identical
+    to the input federation. *)

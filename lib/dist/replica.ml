@@ -1,0 +1,96 @@
+(* A replica group: K interchangeable copies of one shard-local source.
+
+   All replicas serve the same relation slice, but each is a fresh
+   Source.t so meters, network profiles and fault injectors are
+   independent — replica 2 can straggle or die without touching
+   replica 0. Routing decides which replica a request tries first;
+   failover cycles through the rest. *)
+
+module Source = Fusion_source.Source
+module Profile = Fusion_net.Profile
+
+type routing = Primary | Round_robin | Least_cost
+
+let routing_name = function
+  | Primary -> "primary"
+  | Round_robin -> "round-robin"
+  | Least_cost -> "least-cost"
+
+let routing_of_string = function
+  | "primary" -> Some Primary
+  | "round-robin" | "rr" -> Some Round_robin
+  | "least-cost" | "lc" -> Some Least_cost
+  | _ -> None
+
+type t = {
+  replicas : Source.t array;
+  staleness : float array;
+  mutable fails : int array;  (* consecutive timeouts, per replica *)
+  mutable next : int;  (* round-robin cursor *)
+}
+
+let create ?(replicas = 1) ?profile_of ?staleness_of source =
+  if replicas < 1 then invalid_arg "Replica.create: need at least one replica";
+  let capability = Source.capability source in
+  let base_profile = Source.profile source in
+  let relation = Source.relation source in
+  let profile r =
+    match profile_of with None -> base_profile | Some f -> f ~replica:r base_profile
+  in
+  let staleness r =
+    match staleness_of with None -> 0.0 | Some f -> max 0.0 (f ~replica:r)
+  in
+  {
+    replicas = Array.init replicas (fun r -> Source.create ~capability ~profile:(profile r) relation);
+    staleness = Array.init replicas staleness;
+    fails = Array.make replicas 0;
+    next = 0;
+  }
+
+let size t = Array.length t.replicas
+let replica t r = t.replicas.(r)
+let name t = Source.name t.replicas.(0)
+let staleness t r = t.staleness.(r)
+let set_fault t r fault = Source.set_fault t.replicas.(r) fault
+
+let kill t r =
+  Source.set_fault t.replicas.(r)
+    (Some { Source.probability = 1.0; prng = Fusion_stats.Prng.create 0 })
+
+(* Published-knowledge speed proxy (the "knowledge-based" selection of
+   the multi-replica literature): the advertised profile charges, not
+   observed latencies — observations feed [fails] instead. *)
+let speed_score t r =
+  let p = Source.profile t.replicas.(r) in
+  p.Profile.request_overhead +. p.Profile.send_per_item +. p.Profile.recv_per_item
+  +. p.Profile.recv_per_tuple
+
+let note_timeout t r = t.fails.(r) <- t.fails.(r) + 1
+let note_success t r = t.fails.(r) <- 0
+
+let order t routing =
+  let n = size t in
+  match routing with
+  | Primary -> List.init n Fun.id
+  | Round_robin ->
+    let start = t.next mod n in
+    t.next <- t.next + 1;
+    List.init n (fun i -> (start + i) mod n)
+  | Least_cost ->
+    (* Health first (consecutive timeouts demote a replica), then the
+       advertised speed, then index for a stable total order. *)
+    List.init n Fun.id
+    |> List.sort (fun a b ->
+           match compare t.fails.(a) t.fails.(b) with
+           | 0 -> (
+             match compare (speed_score t a) (speed_score t b) with
+             | 0 -> compare a b
+             | c -> c)
+           | c -> c)
+
+let reset_meters t = Array.iter Source.reset_meter t.replicas
+
+let totals t =
+  Array.fold_left
+    (fun acc s -> Fusion_net.Meter.add acc (Source.totals s))
+    Fusion_net.Meter.zero t.replicas

@@ -1,0 +1,61 @@
+(** Replica groups: K interchangeable copies of one shard-local source.
+
+    Every replica serves the same relation slice through its own
+    {!Fusion_source.Source.t}, so meters, profiles and fault injectors
+    are independent — one replica can straggle or die without touching
+    the others. A {!routing} policy picks the replica a request tries
+    first; {!order} lists the whole group in failover order. *)
+
+module Source = Fusion_source.Source
+
+(** Which replica answers first.
+    - [Primary]: always replica 0 (failover only on faults).
+    - [Round_robin]: rotate the starting replica per request.
+    - [Least_cost]: "knowledge-based" selection — rank by consecutive
+      observed timeouts, then by the advertised profile charges. *)
+type routing = Primary | Round_robin | Least_cost
+
+val routing_name : routing -> string
+val routing_of_string : string -> routing option
+(** Accepts ["primary"], ["round-robin"]/["rr"], ["least-cost"]/["lc"]. *)
+
+type t
+
+val create :
+  ?replicas:int ->
+  ?profile_of:(replica:int -> Fusion_net.Profile.t -> Fusion_net.Profile.t) ->
+  ?staleness_of:(replica:int -> float) ->
+  Source.t ->
+  t
+(** A group of [replicas] (default 1) fresh copies of [source]: same
+    capability and relation, profile derived per replica by
+    [profile_of] (default: the source's own), per-replica staleness
+    bound by [staleness_of] (default 0 — perfectly fresh).
+    @raise Invalid_argument on [replicas < 1]. *)
+
+val size : t -> int
+val name : t -> string
+val replica : t -> int -> Source.t
+val staleness : t -> int -> float
+
+val set_fault : t -> int -> Source.fault option -> unit
+val kill : t -> int -> unit
+(** Permanently fail one replica: every request to it times out. *)
+
+val speed_score : t -> int -> float
+(** Sum of the replica's advertised profile charges — the published
+    knowledge {!Least_cost} routing and request hedging rank by. *)
+
+val note_timeout : t -> int -> unit
+val note_success : t -> int -> unit
+(** Health feedback from the coordinator: consecutive timeouts demote a
+    replica under {!Least_cost}; a success resets its count. *)
+
+val order : t -> routing -> int list
+(** All replica indexes in try-order for one request: head is the
+    routed choice, the rest is the failover sequence. [Round_robin]
+    advances the group's cursor as a side effect. *)
+
+val reset_meters : t -> unit
+val totals : t -> Fusion_net.Meter.totals
+(** Traffic summed over the group's replicas. *)

@@ -122,17 +122,28 @@ let schedule_analysis plan (r : Fusion_plan.Exec_async.result) =
   Analyze.critical_path
     (Analyze.of_timeline ~label ~cond r.Fusion_plan.Exec_async.timeline)
 
-let run_body ~(config : Config.t) ~ctx t query =
+(* The planning head shared by [run] and distributed coordinators
+   ([Fusion_dist.Coordinator] scatters the very plan the single-server
+   mediator would execute — its oracle-equivalence anchor). *)
+type prepared = { prep_query : Fusion_query.Query.t; prep_env : Opt_env.t; prep_optimized : Optimized.t }
+
+let plan_for ?(algo = Config.default.Config.algo) ?(stats = Config.default.Config.stats)
+    t query =
   match Fusion_query.Query.validate (schema t) query with
   | Error msg -> Error ("invalid query: " ^ msg)
-  | Ok () -> (
+  | Ok () ->
     (* Redundant conditions (duplicates, TRUE) would cost whole rounds. *)
     let query = Fusion_query.Query.normalize query in
-    let env = Opt_env.create ~stats:config.Config.stats t.sources query in
+    let env = Opt_env.create ~stats t.sources query in
     Log.debug (fun m ->
         m "optimizing %a with %s over %d sources" Fusion_query.Query.pp query
-          (Optimizer.name config.Config.algo) (Array.length t.sources));
-    let optimized = Optimizer.optimize config.Config.algo env in
+          (Optimizer.name algo) (Array.length t.sources));
+    Ok { prep_query = query; prep_env = env; prep_optimized = Optimizer.optimize algo env }
+
+let run_body ~(config : Config.t) ~ctx t query =
+  match plan_for ~algo:config.Config.algo ~stats:config.Config.stats t query with
+  | Error msg -> Error msg
+  | Ok { prep_query = _; prep_env = env; prep_optimized = optimized } -> (
     Log.info (fun m ->
         m "%s chose a %d-step plan, estimated cost %.1f"
           (Optimizer.name config.Config.algo)

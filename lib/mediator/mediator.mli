@@ -77,6 +77,26 @@ type report = {
           [mediator.run] span; [[]] when tracing is off *)
 }
 
+(** The planning head of {!run}, reusable on its own: validated,
+    normalized query plus the optimizer environment and chosen plan.
+    {!Fusion_dist.Coordinator} scatters exactly this plan to its
+    shards, which is what makes the single-mediator [run] its
+    correctness oracle. *)
+type prepared = {
+  prep_query : Fusion_query.Query.t;  (** normalized *)
+  prep_env : Opt_env.t;
+  prep_optimized : Optimized.t;
+}
+
+val plan_for :
+  ?algo:Optimizer.algo ->
+  ?stats:Opt_env.stats_mode ->
+  t ->
+  Fusion_query.Query.t ->
+  (prepared, string) result
+(** Validate → normalize → build statistics → optimize, without
+    executing anything. Defaults match {!Config.default}. *)
+
 val run : ?config:Config.t -> t -> Fusion_query.Query.t -> (report, string) result
 (** Optimize and execute under [config] ({!Config.default} if omitted).
     The query is {!Fusion_query.Query.normalize}d first, so duplicate or

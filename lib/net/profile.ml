@@ -21,6 +21,12 @@ let scale k t =
     recv_per_tuple = k *. t.recv_per_tuple;
   }
 
+let default_straggler_factor = 10.0
+
+let straggler ?(factor = default_straggler_factor) t =
+  if factor < 1.0 then invalid_arg "Profile.straggler: factor must be >= 1";
+  scale factor t
+
 let pp ppf t =
   Format.fprintf ppf "{overhead=%g; send=%g; recv=%g; tuple=%g}" t.request_overhead
     t.send_per_item t.recv_per_item t.recv_per_tuple

@@ -38,4 +38,13 @@ val make :
 val scale : float -> t -> t
 (** Multiplies every charge; models uniformly slower/faster sources. *)
 
+val default_straggler_factor : float
+(** 10: a straggling replica answers an order of magnitude slower. *)
+
+val straggler : ?factor:float -> t -> t
+(** [scale factor] (default {!default_straggler_factor}) with the
+    factor checked to be ≥ 1 — the injected-straggler profile used by
+    replica fault drills and the hedging studies.
+    @raise Invalid_argument on [factor < 1]. *)
+
 val pp : Format.formatter -> t -> unit

@@ -19,11 +19,17 @@ type run = {
   est_cost : float option;
 }
 
-type t = { mutable runs : run list (* newest first *); buckets : int }
+type t = {
+  mutable runs : run list; (* newest first *)
+  buckets : int;
+  label : string option;
+}
 
-let create ?(buckets = 128) () =
+let create ?(buckets = 128) ?label () =
   if buckets <= 0 then invalid_arg "Summary.create: buckets must be positive";
-  { runs = []; buckets }
+  { runs = []; buckets; label }
+
+let label t = t.label
 
 let add t ?(plan = "") ?est_cost ~cost ~response_time () =
   t.runs <- { plan; cost; response_time; est_cost } :: t.runs
@@ -112,7 +118,9 @@ let pp_percentiles ppf p =
     p.p50 p.p90 p.p99 p.mean p.max p.n
 
 let pp ppf t =
-  Format.fprintf ppf "@[<v>latency:  %a@,cost:     %a" pp_percentiles
+  Format.fprintf ppf "@[<v>";
+  Option.iter (fun l -> Format.fprintf ppf "[%s]@," l) t.label;
+  Format.fprintf ppf "latency:  %a@,cost:     %a" pp_percentiles
     (latency_percentiles t) pp_percentiles (cost_percentiles t);
   List.iter
     (fun d ->

@@ -1,0 +1,73 @@
+(* Plan fragments: what a coordinator ships to a mediator shard.
+
+   Under merge-id hash partitioning every shard holds a horizontal
+   slice of every source relation, so the *same* straight-line plan is
+   a valid program at every shard — the fragment carries the plan plus
+   the condition/source indexes it references, and the coordinator
+   ∪-merges the per-shard answers. The serialized form reuses
+   [Plan_text] with a one-line shard header, so fragments are auditable
+   and wire-safe by construction. *)
+
+open Fusion_data
+
+type t = {
+  shard : int;
+  plan : Plan.t;
+  conds_used : int list;
+  sources_used : int list;
+}
+
+let indexes_of plan =
+  let conds = ref [] and sources = ref [] in
+  List.iter
+    (fun (op : Op.t) ->
+      match op with
+      | Op.Select { cond; source; _ } ->
+        conds := cond :: !conds;
+        sources := source :: !sources
+      | Op.Semijoin { cond; source; _ } ->
+        conds := cond :: !conds;
+        sources := source :: !sources
+      | Op.Load { source; _ } -> sources := source :: !sources
+      | Op.Local_select { cond; _ } -> conds := cond :: !conds
+      | Op.Union _ | Op.Inter _ | Op.Diff _ -> ())
+    (Plan.ops plan);
+  (List.sort_uniq compare !conds, List.sort_uniq compare !sources)
+
+let of_plan ~shard plan =
+  if shard < 0 then invalid_arg "Fragment.of_plan: negative shard";
+  let conds_used, sources_used = indexes_of plan in
+  { shard; plan; conds_used; sources_used }
+
+let header_prefix = "# shard "
+
+let encode t = Printf.sprintf "%s%d\n%s" header_prefix t.shard (Plan_text.to_string t.plan)
+
+let decode text =
+  match String.index_opt text '\n' with
+  | None -> Error "fragment: missing shard header"
+  | Some i ->
+    let first = String.trim (String.sub text 0 i) in
+    let rest = String.sub text (i + 1) (String.length text - i - 1) in
+    let plen = String.length header_prefix in
+    if String.length first < plen || String.sub first 0 plen <> header_prefix then
+      Error (Printf.sprintf "fragment: expected %S header, got %S" header_prefix first)
+    else
+      let shard_text = String.sub first plen (String.length first - plen) in
+      (match int_of_string_opt shard_text with
+      | None -> Error (Printf.sprintf "fragment: bad shard number %S" shard_text)
+      | Some shard when shard < 0 -> Error "fragment: negative shard number"
+      | Some shard -> (
+        match Plan_text.of_string rest with
+        | Error msg -> Error ("fragment: " ^ msg)
+        | Ok plan -> Ok (of_plan ~shard plan)))
+
+(* Serialize-then-parse: the identity when the fragment is wire-safe,
+   an error otherwise. Coordinators route every fragment through this
+   so a plan that cannot survive shipping is caught before dispatch. *)
+let ship t = decode (encode t)
+
+(* Disjoint slices make the gather step exact set union: an item's
+   whole evidence lives on the shard its merge-id hashes to, so the
+   per-shard answers partition the global answer. *)
+let merge_answers = Item_set.union_list

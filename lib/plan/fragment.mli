@@ -1,0 +1,36 @@
+(** Plan fragments: the unit a coordinator scatters to mediator shards.
+
+    Under merge-id hash partitioning ({!Fusion_dist.Partition} builds
+    the slices) every shard holds a horizontal slice of every source
+    relation, so one straight-line plan is a valid program at every
+    shard. A fragment pairs the plan with the shard it is destined for
+    and the condition/source indexes it references; the coordinator
+    {!merge_answers}s the per-shard item sets back into the global
+    answer. *)
+
+type t = {
+  shard : int;  (** destination shard *)
+  plan : Plan.t;
+  conds_used : int list;  (** condition indexes the plan references, sorted *)
+  sources_used : int list;  (** source indexes the plan references, sorted *)
+}
+
+val of_plan : shard:int -> Plan.t -> t
+(** Extracts the referenced indexes. @raise Invalid_argument on a
+    negative shard. *)
+
+val encode : t -> string
+(** One [# shard N] header line followed by the {!Plan_text} form. *)
+
+val decode : string -> (t, string) result
+(** Inverse of {!encode}. *)
+
+val ship : t -> (t, string) result
+(** [decode (encode t)] — the round trip a fragment takes over the
+    wire. The identity for any fragment built by {!of_plan}; routing
+    dispatch through it guards that fragments stay wire-safe. *)
+
+val merge_answers : Fusion_data.Item_set.t list -> Fusion_data.Item_set.t
+(** The gather step: set union. Exact because hash-partitioned slices
+    are disjoint on merge ids — each item's whole evidence lives on one
+    shard, so per-shard answers partition the global answer. *)

@@ -117,6 +117,7 @@ type active = { a_id : int; a_job : job; a_at : float; a_engine : Engine.t }
 
 type t = {
   sources : Source.t array;
+  shard : string option; (* prepended as a ("shard", _) label on every metric *)
   live : Sim.Live.t;
   answers : Answer_cache.t;
   exec_policy : Exec.policy;
@@ -134,10 +135,11 @@ type t = {
 }
 
 let create ?(policy = Fifo) ?(max_inflight = 64) ?cache_ttl
-    ?(exec_policy = Exec.default_policy) sources =
+    ?(exec_policy = Exec.default_policy) ?shard sources =
   if max_inflight < 1 then invalid_arg "Server.create: max_inflight must be >= 1";
   {
     sources;
+    shard;
     live = Sim.Live.create ~servers:(max 1 (Array.length sources));
     answers = Answer_cache.create ?ttl:cache_ttl ();
     exec_policy;
@@ -155,6 +157,12 @@ let create ?(policy = Fifo) ?(max_inflight = 64) ?cache_ttl
   }
 
 let policy t = t.policy
+let shard t = t.shard
+
+(* A multi-shard deployment runs one server per shard against one
+   process-wide registry; the shard label is what keeps their
+   fusion_serve_* series apart. *)
+let labels t rest = match t.shard with None -> rest | Some s -> ("shard", s) :: rest
 
 (* The dictionary scope the server's relations are encoded in: sources
    loaded from one catalog share one table (the catalog scope), so the
@@ -183,7 +191,7 @@ let tenant t name =
         tn_completed = 0;
         tn_shed = 0;
         tn_consumed = 0.0;
-        tn_summary = Summary.create ();
+        tn_summary = Summary.create ?label:t.shard ();
       }
     in
     Hashtbl.replace t.tenants name tn;
@@ -210,7 +218,9 @@ let submit t ~at job =
   t.seq <- t.seq + 1;
   (tenant t job.tenant).tn_submitted <- (tenant t job.tenant).tn_submitted + 1;
   Metrics.record (fun r ->
-      Metrics.incr r ~labels:[ ("tenant", job.tenant) ] "fusion_serve_submitted_total");
+      Metrics.incr r
+        ~labels:(labels t [ ("tenant", job.tenant) ])
+        "fusion_serve_submitted_total");
   let p = { p_id = id; p_job = job; p_at = at } in
   (* Insert in (arrival, id) order; submissions are usually appended. *)
   let rec insert = function
@@ -262,12 +272,13 @@ let finalize t a ~failed =
   Summary.add tn.tn_summary ~plan:(policy_name t.policy) ~est_cost:a.a_job.est_cost
     ~cost ~response_time:c.c_response ();
   Metrics.record (fun r ->
-      let labels = [ ("tenant", a.a_job.tenant) ] in
-      Metrics.incr r ~labels "fusion_serve_completed_total";
-      if failed <> None then Metrics.incr r ~labels "fusion_serve_failed_total";
-      Metrics.observe r ~labels "fusion_serve_response_time"
+      let ls = labels t [ ("tenant", a.a_job.tenant) ] in
+      Metrics.incr r ~labels:ls "fusion_serve_completed_total";
+      if failed <> None then Metrics.incr r ~labels:ls "fusion_serve_failed_total";
+      Metrics.observe r ~labels:ls "fusion_serve_response_time"
         (int_of_float (Float.round c.c_response));
-      Metrics.gauge r "fusion_serve_dictionary_size" (float_of_int (dictionary_size t)));
+      Metrics.gauge r ~labels:(labels t []) "fusion_serve_dictionary_size"
+        (float_of_int (dictionary_size t)));
   List.iter (fun hook -> hook c) t.hooks
 
 (* Retire every in-flight engine whose plan has run out of operations.
@@ -288,7 +299,7 @@ let shed t p reason =
   Metrics.record (fun r ->
       Metrics.incr r
         ~labels:
-          [ ("tenant", p.p_job.tenant); ("reason", shed_reason_name reason) ]
+          (labels t [ ("tenant", p.p_job.tenant); ("reason", shed_reason_name reason) ])
         "fusion_serve_shed_total")
 
 let admit t p =
@@ -350,7 +361,7 @@ let dispatch_one t candidates =
       tn.tn_consumed <- tn.tn_consumed +. step.Exec_async.cost;
       Metrics.record (fun r ->
           Metrics.incr r
-            ~labels:[ ("tenant", a.a_job.tenant) ]
+            ~labels:(labels t [ ("tenant", a.a_job.tenant) ])
             "fusion_serve_dispatched_total")
     | exception Source.Timeout d ->
       finalize t a ~failed:(Some (Printf.sprintf "timeout on %s" d))

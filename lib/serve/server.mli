@@ -96,13 +96,18 @@ val create :
   ?max_inflight:int ->
   ?cache_ttl:float ->
   ?exec_policy:Fusion_plan.Exec.policy ->
+  ?shard:string ->
   Source.t array ->
   t
 (** [policy] defaults to [Fifo]; [max_inflight] (default 64) caps the
     concurrently executing queries; [cache_ttl] enables replay of
     completed answers (omitted: in-flight coalescing only);
     [exec_policy] is the per-source-query retry policy
-    ({!Fusion_plan.Exec.default_policy} if omitted).
+    ({!Fusion_plan.Exec.default_policy} if omitted). [shard] names the
+    shard this server is for in a multi-shard deployment: it is
+    prepended as a [("shard", _)] label to every [fusion_serve_*]
+    metric the server records (so one process-wide registry keeps the
+    shards' series apart) and labels the per-tenant summaries.
     @raise Invalid_argument if [max_inflight < 1]. *)
 
 val submit : t -> at:float -> job -> int
@@ -134,6 +139,9 @@ val tenants : t -> (string * tenant_stats) list
 (** Sorted by tenant name. *)
 
 val policy : t -> policy
+
+val shard : t -> string option
+(** The shard label passed at creation, if any. *)
 
 val dictionary : t -> Fusion_data.Intern.t option
 (** The dictionary scope of the server's relations (the catalog scope

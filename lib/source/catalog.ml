@@ -14,6 +14,7 @@ type entry = {
   mutable oem : bool;
   mutable entities : string list option;
   mutable columns : (string * string list) list;
+  mutable replicas : int;
 }
 
 let fresh_entry name =
@@ -30,6 +31,7 @@ let fresh_entry name =
     oem = false;
     entities = None;
     columns = [];
+    replicas = 1;
   }
 
 let strip_comment line =
@@ -103,6 +105,12 @@ let parse_line lineno entry line =
         entry.oem <- true;
         Ok ()
       | other -> Error (Printf.sprintf "line %d: unknown format %S" lineno other))
+    | "replicas" -> (
+      match int_of_string_opt value with
+      | Some k when k >= 1 ->
+        entry.replicas <- k;
+        Ok ()
+      | _ -> Error (Printf.sprintf "line %d: replicas must be a positive integer" lineno))
     | "entities" ->
       entry.entities <- Some (String.split_on_char '/' value);
       Ok ()
@@ -168,7 +176,7 @@ let build ~dir ~view ?intern entry =
 
 type section = In_source of entry | In_view | Toplevel
 
-let parse ~dir ?intern text =
+let parse_groups ~dir ?intern text =
   let lines = String.split_on_char '\n' text in
   let view = ref None in
   let parse_view_line lineno line =
@@ -197,8 +205,8 @@ let parse ~dir ?intern text =
           | [] -> Ok (List.rev built)
           | e :: rest -> (
             match build ~dir ~view:!view ?intern e with
-            | Ok source -> build_all (source :: built) rest
-            | Error _ as err -> err)
+            | Ok source -> build_all ((source, e.replicas) :: built) rest
+            | Error msg -> Error msg)
         in
         build_all [] entries)
     | line :: rest -> (
@@ -231,6 +239,9 @@ let parse ~dir ?intern text =
   in
   go 1 Toplevel [] lines
 
+let parse ~dir ?intern text =
+  Result.map (List.map fst) (parse_groups ~dir ?intern text)
+
 let render sources =
   let buffer = Buffer.create 512 in
   List.iter
@@ -250,7 +261,9 @@ let render sources =
     sources;
   Buffer.contents buffer
 
-let load ?intern path =
+let load_groups ?intern path =
   match In_channel.with_open_text path In_channel.input_all with
-  | text -> parse ~dir:(Filename.dirname path) ?intern text
+  | text -> parse_groups ~dir:(Filename.dirname path) ?intern text
   | exception Sys_error msg -> Error msg
+
+let load ?intern path = Result.map (List.map fst) (load_groups ?intern path)

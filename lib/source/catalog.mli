@@ -13,6 +13,7 @@
        recv = 1.0               # per item received
        tuple = 8.0              # per full tuple received
        scale = 1.0              # multiplies all four charges
+       replicas = 2             # mirrored wrappers ({!load_groups})
 
        [source NV]
        file = nv.csv
@@ -58,6 +59,21 @@ val load : ?intern:Fusion_data.Intern.t -> string -> (Source.t list, string) res
 val parse : dir:string -> ?intern:Fusion_data.Intern.t -> string -> (Source.t list, string) result
 (** [parse ~dir text] — as {!load}, with the text supplied directly and
     [dir] as the base for relative files. *)
+
+val load_groups :
+  ?intern:Fusion_data.Intern.t -> string -> ((Source.t * int) list, string) result
+(** As {!load}, but each source comes with its declared replica count
+    (the [replicas = K] key; defaults to 1). A replicated source is one
+    logical relation served by [K] independently failing mirrors —
+    {!Fusion_dist.Cluster.of_groups} turns the counts into replica
+    groups with their own meters and fault injectors. *)
+
+val parse_groups :
+  dir:string ->
+  ?intern:Fusion_data.Intern.t ->
+  string ->
+  ((Source.t * int) list, string) result
+(** As {!load_groups}, with the text supplied directly. *)
 
 val render : (Source.t * string) list -> string
 (** [render [(source, file); ...]] writes a catalog declaring each

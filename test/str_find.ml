@@ -8,3 +8,13 @@ let find_substring haystack needle =
     else go (i + 1)
   in
   if n = 0 then Some 0 else go 0
+
+let replace_first haystack needle replacement =
+  match find_substring haystack needle with
+  | None -> haystack
+  | Some i ->
+    String.sub haystack 0 i
+    ^ replacement
+    ^ String.sub haystack
+        (i + String.length needle)
+        (String.length haystack - i - String.length needle)

@@ -122,6 +122,53 @@ let qcheck_faulty_execution_sound =
            (Reference.answer_query ~sources:instance.Workload.sources
               instance.Workload.query))
 
+(* --- distributed churn --------------------------------------------------- *)
+
+(* The coordinator's failover must absorb whatever replica churn the
+   draw deals out — killed primaries and flaky survivors alike — and
+   still reproduce the fault-free reference answer. *)
+let qcheck_coordinator_survives_replica_churn =
+  Helpers.qtest ~count:25 "replica churn: coordinator failover stays exact"
+    QCheck2.Gen.(pair Helpers.spec_gen (int_range 0 1_000_000))
+    (fun (spec, churn_seed) ->
+      Helpers.spec_print spec ^ Printf.sprintf " churn=%d" churn_seed)
+    (fun (spec, churn_seed) ->
+      let open Fusion_dist in
+      let instance = Workload.generate spec in
+      let expected =
+        Reference.answer_query ~sources:instance.Workload.sources instance.Workload.query
+      in
+      let cluster =
+        Helpers.check_ok
+          (Cluster.create ~shards:2 ~replicas:2
+             (Array.to_list instance.Workload.sources))
+      in
+      (* Churn schedule: per replica group, kill one random replica
+         half the time; flake the survivor at 20%. *)
+      let prng = Prng.create churn_seed in
+      for shard = 0 to Cluster.shards cluster - 1 do
+        for j = 0 to Cluster.n_sources cluster - 1 do
+          let dead = if Prng.bool prng then Some (Prng.int prng 2) else None in
+          Option.iter (fun r -> Cluster.kill cluster ~shard ~source:j ~replica:r) dead;
+          for r = 0 to 1 do
+            if dead <> Some r then
+              Cluster.set_fault cluster ~shard ~source:j ~replica:r
+                (Some
+                   {
+                     Source.probability = 0.2;
+                     prng = Prng.create (churn_seed + (31 * ((shard * 100) + (2 * j) + r)));
+                   })
+          done
+        done
+      done;
+      let config =
+        { Coordinator.Config.default with Coordinator.Config.retries = 200 }
+      in
+      match Coordinator.run ~config cluster instance.Workload.query with
+      | Error msg -> Alcotest.failf "coordinator failed: %s" msg
+      | Ok r ->
+        Item_set.equal r.Coordinator.r_answer expected && not r.Coordinator.r_partial)
+
 (* --- branch and bound ---------------------------------------------------- *)
 
 let qcheck_branch_bound_matches_sja =
@@ -258,6 +305,7 @@ let suite =
     Alcotest.test_case "partial answers are subsets" `Quick test_partial_answer_is_subset;
     Alcotest.test_case "mediator surfaces failures" `Quick test_mediator_surfaces_failures;
     qcheck_faulty_execution_sound;
+    qcheck_coordinator_survives_replica_churn;
     Alcotest.test_case "adaptive runtime retries" `Quick test_adaptive_retries;
     Alcotest.test_case "sja search trace" `Quick test_sja_trace;
     qcheck_branch_bound_matches_sja;

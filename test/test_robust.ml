@@ -66,6 +66,49 @@ let qcheck_robust_plan_sound_and_bounded =
       in
       robust.Optimized.est_cost <= nominal_hi +. 1e-6)
 
+(* --- robustness of the distributed runtime ------------------------------- *)
+
+(* Straggling replicas are a performance hazard, not a correctness one:
+   wherever the slow replica lands, the coordinator's answer must stay
+   exact, and routing around it (least-cost) must never finish later
+   than insisting on the straggler as primary. *)
+let qcheck_coordinator_robust_to_stragglers =
+  Helpers.qtest ~count:25 "coordinator exact under random straggler placement"
+    QCheck2.Gen.(triple Helpers.spec_gen (int_range 0 3) (int_range 0 1))
+    (fun (spec, shard, replica) ->
+      Helpers.spec_print spec ^ Printf.sprintf " straggler=(s%d,#%d)" shard replica)
+    (fun (spec, slow_shard, slow_replica) ->
+      let open Fusion_dist in
+      let instance = Workload.generate spec in
+      let expected =
+        Reference.answer_query ~sources:instance.Workload.sources instance.Workload.query
+      in
+      let shards = 4 in
+      let profile_of ~shard ~source:_ ~replica profile =
+        if shard = slow_shard && replica = slow_replica then
+          Fusion_net.Profile.straggler profile
+        else profile
+      in
+      let run routing =
+        let cluster =
+          Helpers.check_ok
+            (Cluster.create ~shards ~replicas:2 ~profile_of
+               (Array.to_list instance.Workload.sources))
+        in
+        match
+          Coordinator.run
+            ~config:{ Coordinator.Config.default with Coordinator.Config.routing }
+            cluster instance.Workload.query
+        with
+        | Error msg -> Alcotest.failf "coordinator failed: %s" msg
+        | Ok r -> r
+      in
+      let primary = run Replica.Primary in
+      let least_cost = run Replica.Least_cost in
+      Fusion_data.Item_set.equal primary.Coordinator.r_answer expected
+      && Fusion_data.Item_set.equal least_cost.Coordinator.r_answer expected
+      && least_cost.Coordinator.r_makespan <= primary.Coordinator.r_makespan +. 1e-6)
+
 (* --- DOT export ---------------------------------------------------------- *)
 
 let test_dot_renders () =
@@ -113,6 +156,7 @@ let suite =
     qcheck_interval_brackets_point_estimate;
     qcheck_interval_widens_with_uncertainty;
     qcheck_robust_plan_sound_and_bounded;
+    qcheck_coordinator_robust_to_stragglers;
     Alcotest.test_case "dot renders" `Quick test_dot_renders;
     Alcotest.test_case "dot rebinding nodes" `Quick test_dot_rebinding_unique_nodes;
   ]
