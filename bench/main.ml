@@ -29,6 +29,7 @@ let experiments =
     ("x16", "multi-query serving under overload", X16_load.run);
     ("x17", "flat set kernels vs Set.Make reference", X17_kernels.run);
     ("x18", "sharded mediation: scatter/gather under churn", X18_shards.run);
+    ("x19", "runtime backends: domains pool vs simulator oracle", X19_runtime.run);
     ("check", "executable claims (regression gate)", Checks.run);
   ]
 

@@ -161,6 +161,45 @@ let concurrency_arg =
   in
   Arg.(value & opt concurrency_conv `Seq & info [ "concurrency" ] ~docv:"MODE" ~doc)
 
+let runtime_conv =
+  let parse s =
+    Fusion_rt.Runtime.spec_of_string s |> Result.map_error (fun m -> `Msg m)
+  in
+  let print ppf spec = Format.pp_print_string ppf (Fusion_rt.Runtime.spec_name spec) in
+  Arg.conv (parse, print)
+
+let runtime_arg =
+  let doc =
+    "Execution runtime: $(b,sim) charges model cost units on the discrete-event \
+     simulator; $(b,domains) (or $(b,domains:N)) dispatches source queries on N \
+     OCaml worker domains and measures wall-clock seconds. The domains backend \
+     executes concurrently, so it requires $(b,--concurrency par)."
+  in
+  Arg.(value & opt runtime_conv `Sim & info [ "runtime" ] ~docv:"RT" ~doc)
+
+(* Least-squares fit of a wall-clock cost profile from the runtime's
+   per-request observations: the measured seconds play the role of
+   cost, so the fitted parameters are in seconds. *)
+let print_calibration observations =
+  let obs =
+    List.map
+      (fun ((_ : int), (t : Fusion_net.Meter.totals), wall) ->
+        {
+          Fusion_cost.Calibration.requests = t.Fusion_net.Meter.requests;
+          items_sent = t.Fusion_net.Meter.items_sent;
+          items_received = t.Fusion_net.Meter.items_received;
+          tuples_received = t.Fusion_net.Meter.tuples_received;
+          cost = wall;
+        })
+      observations
+  in
+  match Fusion_cost.Calibration.fit obs with
+  | Ok profile ->
+    Format.printf "wall-clock profile (seconds, %d observations): %a@."
+      (List.length obs) Fusion_net.Profile.pp profile
+  | Error msg ->
+    Format.printf "wall-clock calibration: %s (%d observations)@." msg (List.length obs)
+
 (* --- run ----------------------------------------------------------------- *)
 
 let shards_arg =
@@ -196,8 +235,8 @@ let hedge_arg =
 
 (* The distributed run path: build the sharded, replicated cluster the
    flags describe and route the query through the coordinator. *)
-let run_sharded ~location ~sql ~algo ~sample ~hist ~trace ~shards ~replicas ~routing ~hedge
-    =
+let run_sharded ~location ~sql ~algo ~sample ~hist ~trace ~runtime ~shards ~replicas
+    ~routing ~hedge =
   let intern = Fusion_data.Intern.create ~name:"catalog" () in
   let* groups =
     match location with
@@ -216,6 +255,7 @@ let run_sharded ~location ~sql ~algo ~sample ~hist ~trace ~shards ~replicas ~rou
       stats = stats_of_sample sample hist;
       routing;
       hedge;
+      runtime;
     }
   in
   with_tracing trace (fun () ->
@@ -235,8 +275,8 @@ let run_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
-  let action location sql algo sample hist concurrency plan_file trace shards replicas
-      routing hedge verbose =
+  let action location sql algo sample hist concurrency runtime plan_file trace shards
+      replicas routing hedge verbose =
     setup_logs verbose;
     if shards > 1 || replicas > 1 || hedge <> None then
       report_result
@@ -245,11 +285,25 @@ let run_cmd =
          else if replicas < 1 then Error "--replicas must be at least 1"
          else if plan_file <> None then Error "--plan is not supported with --shards/--replicas"
          else
-           run_sharded ~location ~sql ~algo ~sample ~hist ~trace ~shards ~replicas
-             ~routing ~hedge)
+           run_sharded ~location ~sql ~algo ~sample ~hist ~trace ~runtime ~shards
+             ~replicas ~routing ~hedge)
     else
     report_result
       (let* location = location in
+       let* () =
+         match runtime, concurrency, trace, plan_file with
+         | `Domains _, `Seq, _, _ ->
+           Error
+             "the domains runtime executes concurrently: combine --runtime domains \
+              with --concurrency par"
+         | `Domains _, _, Some _, _ ->
+           Error
+             "--trace spans a single simulated clock and is not available on the \
+              domains runtime; drop --trace or use --runtime sim"
+         | `Domains _, _, _, Some _ ->
+           Error "--plan executes sequentially and is not available with --runtime domains"
+         | _ -> Ok ()
+       in
        with_mediator location (fun mediator ->
            with_tracing trace (fun () ->
            match plan_file with
@@ -260,11 +314,14 @@ let run_cmd =
                  Mediator.Config.algo;
                  stats = stats_of_sample sample hist;
                  concurrency;
+                 runtime;
                  (* Under --concurrency par the report's queue-wait
                     breakdown needs span data; collect it privately
-                    unless --trace already installs a collector. *)
+                    unless --trace already installs a collector. The
+                    collector's span stack assumes one clock and one
+                    fibre, so skip it on the domains runtime. *)
                  trace =
-                   (if concurrency = `Par && trace = None then
+                   (if concurrency = `Par && trace = None && runtime = `Sim then
                       Some (Fusion_obs.Trace.create ())
                     else None);
                }
@@ -334,8 +391,8 @@ let run_cmd =
   let doc = "run a fusion query over CSV sources" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const action $ location_term $ sql_arg $ algo_arg $ sample_arg $ hist_arg
-          $ concurrency_arg $ plan_arg $ trace_arg $ shards_arg $ replicas_arg
-          $ routing_arg $ hedge_arg $ verbose_arg)
+          $ concurrency_arg $ runtime_arg $ plan_arg $ trace_arg $ shards_arg
+          $ replicas_arg $ routing_arg $ hedge_arg $ verbose_arg)
 
 (* --- explain ------------------------------------------------------------- *)
 
@@ -930,8 +987,16 @@ let serve_cmd =
     let doc = "Print the shared network's Gantt chart after the run." in
     Arg.(value & flag & info [ "gantt" ] ~doc)
   in
+  let listen_arg =
+    let doc =
+      "Serve real clients over TCP on this address (e.g. 127.0.0.1:7477): one SQL \
+       statement per line in, one response line per statement out. Requires \
+       $(b,--runtime domains); the run ends after $(b,--queries) statements."
+    in
+    Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"HOST:PORT" ~doc)
+  in
   let action location queries rate seed policy tenants cache_ttl max_inflight deadline
-      prom gantt algo verbose =
+      prom gantt runtime listen algo verbose =
     setup_logs verbose;
     report_result
       (let* location = location in
@@ -945,10 +1010,46 @@ let serve_cmd =
        else if rate <= 0.0 then Error "--rate must be positive"
        else if tenants < 1 then Error "--tenants must be >= 1"
        else
+       match listen with
+       | Some addr ->
+         (* The TCP front end: statements arrive from sockets instead of
+            the seeded generator; --rate/--tenants/--seed are unused. *)
+         let module Tcp = Fusion_mediator.Tcp_front in
+         let* addr = Tcp.sockaddr_of_string addr in
+         let* () =
+           match runtime with
+           | `Domains _ -> Ok ()
+           | `Sim ->
+             Error
+               "serve --listen waits on real sockets: combine it with --runtime \
+                domains (the simulated clock cannot pace a TCP connection)"
+         in
+         with_mediator location (fun mediator ->
+             let config =
+               { Mediator.Config.default with Mediator.Config.algo; runtime }
+             in
+             Format.printf "listening on %s (%s runtime, policy %s), stopping after %d \
+                            queries@."
+               (Tcp.sockaddr_to_string addr)
+               (Fusion_rt.Runtime.spec_name runtime)
+               (Serve.policy_name policy) queries;
+             let* report =
+               Tcp.serve ~config ~policy ~max_inflight ?cache_ttl ~max_queries:queries
+                 ~listen:addr mediator
+             in
+             Format.printf
+               "served %d statements over %d connections (%d rejected before admission)@."
+               report.Tcp.received report.Tcp.connections report.Tcp.rejected;
+             Format.printf "%a@." Serve.pp_stats report.Tcp.stats;
+             print_calibration report.Tcp.observations;
+             Ok ())
+       | None ->
          with_mediator location (fun mediator ->
              let registry = Fusion_obs.Metrics.create () in
              Fusion_obs.Metrics.with_registry registry (fun () ->
-                 let config = { Mediator.Config.default with Mediator.Config.algo } in
+                 let config =
+                   { Mediator.Config.default with Mediator.Config.algo; runtime }
+                 in
                  let srv =
                    Mediator.Server.create ~config ~policy ~max_inflight ?cache_ttl
                      mediator
@@ -980,6 +1081,11 @@ let serve_cmd =
                      in
                      Fusion_query.Query.create_exn conds
                    in
+                   let real = Fusion_rt.Runtime.is_real (Mediator.Server.runtime srv) in
+                   if real then
+                     Format.printf
+                       "(domains runtime: Poisson pacing is simulator-only, all \
+                        arrivals are immediate)@.";
                    let at = ref 0.0 in
                    let submit_errors = ref 0 in
                    for i = 0 to queries - 1 do
@@ -987,8 +1093,9 @@ let serve_cmd =
                      let tenant = Printf.sprintf "t%d" ((i mod tenants) + 1) in
                      let priority = i mod tenants in
                      match
-                       Mediator.Server.submit srv ~at:!at ~tenant ~priority ?deadline
-                         (random_query ())
+                       Mediator.Server.submit srv
+                         ~at:(if real then 0.0 else !at)
+                         ~tenant ~priority ?deadline (random_query ())
                      with
                      | Ok _ -> ()
                      | Error _ -> incr submit_errors
@@ -1042,6 +1149,10 @@ let serve_cmd =
                        (Fusion_obs.Metrics.snapshot registry);
                      Format.eprintf "metrics written to %s@." path
                    | None -> ());
+                   if real then
+                     print_calibration
+                       (Fusion_rt.Runtime.observations (Mediator.Server.runtime srv));
+                   Mediator.Server.shutdown srv;
                    Ok ()
                  end)))
   in
@@ -1049,13 +1160,53 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const action $ location_term $ queries_arg $ rate_arg $ seed_arg $ policy_arg
           $ tenants_arg $ cache_ttl_arg $ max_inflight_arg $ deadline_arg $ prom_arg
-          $ gantt_arg $ algo_arg $ verbose_arg)
+          $ gantt_arg $ runtime_arg $ listen_arg $ algo_arg $ verbose_arg)
+
+(* --- client -------------------------------------------------------------- *)
+
+(* The counterpart of serve --listen: send SQL statements (positional
+   arguments, or stdin lines when none are given) to a running TCP
+   front end and print its response lines. *)
+let client_cmd =
+  let module Tcp = Fusion_mediator.Tcp_front in
+  let connect_arg =
+    let doc = "Address of a running 'fqcli serve --listen' front end." in
+    Arg.(required & opt (some string) None
+         & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let sqls_arg =
+    let doc = "SQL statements to send, one response line each (stdin when omitted)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"SQL" ~doc)
+  in
+  let retries_arg =
+    let doc = "Connection attempts (100 ms apart) before giving up." in
+    Arg.(value & opt int 50 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let action connect sqls retries verbose =
+    setup_logs verbose;
+    report_result
+      (let* addr = Tcp.sockaddr_of_string connect in
+       let statements =
+         if sqls <> [] then sqls
+         else In_channel.input_lines In_channel.stdin
+              |> List.map String.trim
+              |> List.filter (fun l -> l <> "")
+       in
+       if statements = [] then Error "nothing to send: pass SQL statements or pipe them in"
+       else
+         let* responses = Tcp.client ~retries ~connect:addr statements in
+         List.iter print_endline responses;
+         Ok ())
+  in
+  let doc = "send fusion queries to a TCP serving front end" in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(const action $ connect_arg $ sqls_arg $ retries_arg $ verbose_arg)
 
 let main_cmd =
   let doc = "fusion queries over (simulated) Internet databases" in
   let info = Cmd.info "fqcli" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ gen_cmd; run_cmd; explain_cmd; compare_cmd; profile_cmd; trace_cmd; shell_cmd;
-      serve_cmd ]
+      serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

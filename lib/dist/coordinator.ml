@@ -2,9 +2,13 @@
 
    One query, one plan (chosen on the cluster's oracle mediator),
    scattered as Fragment.t to every shard over the wire encoding, and
-   executed against the shard's replica groups on one shared Sim.Live
-   network. The gather step is Fragment.merge_answers — exact because
-   the shards' slices are disjoint on merge ids.
+   executed against the shard's replica groups on one shared
+   [Fusion_rt.Runtime]. On the simulator backend (the default) shards
+   execute sequentially against the discrete-event clock; on a real
+   runtime each fragment runs as its own fibre and replica requests
+   really overlap across lanes. The gather step is
+   Fragment.merge_answers — exact because the shards' slices are
+   disjoint on merge ids.
 
    The per-request routine is where the distribution machinery lives:
    a routing policy picks the replica to try first, failover cycles
@@ -26,6 +30,8 @@ module Plan = Fusion_plan.Plan
 module Fragment = Fusion_plan.Fragment
 module Sim = Fusion_net.Sim
 module Meter = Fusion_net.Meter
+module Runtime = Fusion_rt.Runtime
+module Fiber = Fusion_rt.Fiber
 module Trace = Fusion_obs.Trace
 module Metrics = Fusion_obs.Metrics
 module Analyze = Fusion_obs.Analyze
@@ -41,6 +47,7 @@ module Config = struct
     routing : Replica.routing;
     hedge : float option;
     plan_mode : plan_mode;
+    runtime : Runtime.spec;
   }
 
   let default =
@@ -52,6 +59,7 @@ module Config = struct
       routing = Replica.Primary;
       hedge = None;
       plan_mode = `Global;
+      runtime = `Sim;
     }
 end
 
@@ -93,10 +101,10 @@ type binding = Items of Item_set.t | Loaded of Relation.t
 
 exception Runtime_error of string
 
-(* Execute one fragment against its shard's replica groups. All sim
-   state (lanes, task ids, labels) is shared across shards; lanes are
-   disjoint per shard so their schedules never interact. *)
-let exec_fragment ~cluster ~(config : Config.t) ~live ~next_id ~labels ~cond_of ~ctx
+(* Execute one fragment against its shard's replica groups. All
+   runtime state (lanes, task ids, labels) is shared across shards;
+   lanes are disjoint per shard so their schedules never interact. *)
+let exec_fragment ~cluster ~(config : Config.t) ~rt ~next_id ~labels ~cond_of ~ctx
     ~conds fragment =
   let shard = fragment.Fragment.shard in
   let plan = fragment.Fragment.plan in
@@ -131,21 +139,29 @@ let exec_fragment ~cluster ~(config : Config.t) ~live ~next_id ~labels ~cond_of 
     let group = Cluster.group cluster ~shard ~source:j in
     let src = Replica.replica group r in
     let lane = Cluster.lane cluster ~shard ~source:j ~replica:r in
-    let before = (Source.totals src).Meter.cost in
-    let outcome =
-      match (op : Op.t) with
-      | Select { cond = c; _ } ->
-        (try Ok (Items (fst (Source.select_query src (cond c)))) with
-        | Source.Timeout msg -> Error msg)
-      | Semijoin { cond = c; _ } ->
-        (try Ok (Items (fst (Source.semijoin_query src (cond c) probe))) with
-        | Source.Timeout msg -> Error msg)
-      | Load _ ->
-        (try Ok (Loaded (fst (Source.load_query src))) with
-        | Source.Timeout msg -> Error msg)
-      | _ -> assert false
+    (* The thunk touches only the replica source: on a real runtime it
+       runs on the lane's pool worker, where same-lane requests
+       serialize. A failed attempt still occupies the lane for its
+       metered duration, exactly like the single mediator's retry
+       accounting, so it books either way. *)
+    let thunk () =
+      let before = (Source.totals src).Meter.cost in
+      let outcome =
+        match (op : Op.t) with
+        | Select { cond = c; _ } ->
+          (try Ok (Items (fst (Source.select_query src (cond c)))) with
+          | Source.Timeout msg -> Error msg)
+        | Semijoin { cond = c; _ } ->
+          (try Ok (Items (fst (Source.semijoin_query src (cond c) probe))) with
+          | Source.Timeout msg -> Error msg)
+        | Load _ ->
+          (try Ok (Loaded (fst (Source.load_query src))) with
+          | Source.Timeout msg -> Error msg)
+        | _ -> assert false
+      in
+      let duration = (Source.totals src).Meter.cost -. before in
+      (outcome, duration, true)
     in
-    let duration = (Source.totals src).Meter.cost -. before in
     let id = next_id () in
     Hashtbl.replace labels id
       (Printf.sprintf "%s %s" (Op.name op) (Cluster.lane_name cluster lane));
@@ -153,7 +169,7 @@ let exec_fragment ~cluster ~(config : Config.t) ~live ~next_id ~labels ~cond_of 
       (match (op : Op.t) with
       | Select { cond = c; _ } | Semijoin { cond = c; _ } -> Some c
       | _ -> None);
-    let sched = Sim.Live.dispatch live ~id ~server:lane ~ready ~duration ~deps in
+    let outcome, sched = Runtime.call rt ~id ~server:lane ~ready ~deps thunk in
     if Trace.active ctx then
       Trace.span Trace.Request (Op.name op) (fun rctx ->
           Trace.attrs rctx
@@ -219,7 +235,7 @@ let exec_fragment ~cluster ~(config : Config.t) ~live ~next_id ~labels ~cond_of 
       | Some factor ->
         let predicted r =
           let lane = Cluster.lane cluster ~shard ~source:j ~replica:r in
-          max ready (Sim.Live.free_at live lane) +. Replica.speed_score group r
+          max ready (Runtime.free_at rt lane) +. Replica.speed_score group r
         in
         let alts = List.filter (fun r -> r <> primary) order in
         let best =
@@ -321,7 +337,7 @@ let exec_fragment ~cluster ~(config : Config.t) ~live ~next_id ~labels ~cond_of 
     !c
   in
   let busy =
-    let all = Sim.Live.busy live in
+    let all = Runtime.busy rt in
     let b = ref 0.0 in
     for j = 0 to Cluster.n_sources cluster - 1 do
       for r = 0 to Cluster.stride cluster - 1 do
@@ -396,25 +412,42 @@ let run ?(config = Config.default) cluster query =
   | Error msg -> Error msg
   | Ok (optimized, conds, fragments) -> (
     Cluster.reset_meters cluster;
-    let live = Sim.Live.create ~servers:(Cluster.lanes cluster) in
+    let rt = Runtime.of_spec config.Config.runtime ~servers:(Cluster.lanes cluster) in
     let ids = ref 0 in
     let next_id () = let id = !ids in incr ids; id in
     let labels : (int, string) Hashtbl.t = Hashtbl.create 64 in
     let cond_of : (int, int option) Hashtbl.t = Hashtbl.create 64 in
-    match
-      List.map
-        (fun fragment ->
-          Trace.span (Trace.Phase "shard")
-            (Printf.sprintf "shard %d" fragment.Fragment.shard) (fun sctx ->
-              if Trace.active sctx then
-                Trace.attr sctx "shard" (Trace.Int fragment.Fragment.shard);
-              exec_fragment ~cluster ~config ~live ~next_id ~labels ~cond_of ~ctx
-                ~conds fragment))
-        fragments
-    with
+    (* On the simulator, shards execute one after another (their lanes
+       are disjoint, so the schedule is as-if concurrent) under Phase
+       spans. On a real runtime each fragment is a fibre and really
+       overlaps; spans would interleave across fibres, so they are
+       confined to the simulator path. *)
+    let exec_all () =
+      if Runtime.is_real rt then
+        Runtime.run rt (fun () ->
+            Fiber.Switch.run (fun sw ->
+                List.map
+                  (fun fragment ->
+                    Fiber.Switch.fork_promise sw (fun () ->
+                        exec_fragment ~cluster ~config ~rt ~next_id ~labels ~cond_of
+                          ~ctx ~conds fragment))
+                  fragments
+                |> List.map Fiber.Promise.await))
+      else
+        List.map
+          (fun fragment ->
+            Trace.span (Trace.Phase "shard")
+              (Printf.sprintf "shard %d" fragment.Fragment.shard) (fun sctx ->
+                if Trace.active sctx then
+                  Trace.attr sctx "shard" (Trace.Int fragment.Fragment.shard);
+                exec_fragment ~cluster ~config ~rt ~next_id ~labels ~cond_of ~ctx
+                  ~conds fragment))
+          fragments
+    in
+    match Fun.protect ~finally:(fun () -> Runtime.shutdown rt) exec_all with
     | shard_reports ->
       let answer = Fragment.merge_answers (List.map (fun s -> s.sr_answer) shard_reports) in
-      let timeline = Sim.Live.timeline live in
+      let timeline = Runtime.timeline rt in
       let tasks =
         Analyze.of_timeline
           ~label:(fun id -> Option.value ~default:"" (Hashtbl.find_opt labels id))

@@ -31,11 +31,17 @@ module Config : sig
             the routed one's predicted finish exceeds [factor ×] the
             alternative's; [None] disables hedging *)
     plan_mode : plan_mode;
+    runtime : Fusion_rt.Runtime.spec;
+        (** execution backend: [`Sim] (default) runs on the
+            discrete-event clock; [`Domains n] runs fragments as
+            concurrent fibres over a real domain pool and the timeline
+            measures wall-clock seconds *)
   }
 
   val default : t
   (** SJA+, exact statistics, no retries ([`Fail]), primary routing, no
-      hedging, global planning — the oracle-equivalent configuration. *)
+      hedging, global planning, simulated runtime — the
+      oracle-equivalent configuration. *)
 end
 
 type shard_report = {

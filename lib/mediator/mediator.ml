@@ -5,6 +5,7 @@ open Fusion_core
 module Trace = Fusion_obs.Trace
 module Metrics = Fusion_obs.Metrics
 module Analyze = Fusion_obs.Analyze
+module Runtime = Fusion_rt.Runtime
 
 let log_src = Logs.Src.create "fusion.mediator" ~doc:"Fusion-query mediator"
 
@@ -51,6 +52,7 @@ module Config = struct
     on_exhausted : [ `Fail | `Partial ];
     trace : Trace.collector option;
     concurrency : concurrency;
+    runtime : Runtime.spec;
   }
 
   let default =
@@ -62,6 +64,7 @@ module Config = struct
       on_exhausted = `Fail;
       trace = None;
       concurrency = `Seq;
+      runtime = `Sim;
     }
 
   let policy c = { Fusion_plan.Exec.retries = c.retries; on_exhausted = c.on_exhausted }
@@ -152,8 +155,13 @@ let run_body ~(config : Config.t) ~ctx t query =
     Array.iter Source.reset_meter t.sources;
     let cache = config.Config.cache and policy = Config.policy config in
     let execute () =
-      match config.Config.concurrency with
-      | `Seq ->
+      match (config.Config.concurrency, config.Config.runtime) with
+      | `Seq, `Domains _ ->
+        raise
+          (Invalid_argument
+             "the domains runtime executes concurrently; combine runtime=domains \
+              with concurrency `Par (--concurrency par)")
+      | `Seq, `Sim ->
         let r =
           Fusion_plan.Exec.run ?cache ~policy ~sources:t.sources
             ~conds:env.Opt_env.conds optimized.Optimized.plan
@@ -168,10 +176,14 @@ let run_body ~(config : Config.t) ~ctx t query =
           x_partial = r.Fusion_plan.Exec.partial;
           x_critical_path = None;
         }
-      | `Par ->
+      | `Par, spec ->
+        let rt = Runtime.of_spec spec ~servers:(Array.length t.sources) in
         let r =
-          Fusion_plan.Exec_async.run ?cache ~policy ~sources:t.sources
-            ~conds:env.Opt_env.conds optimized.Optimized.plan
+          Fun.protect
+            ~finally:(fun () -> Runtime.shutdown rt)
+            (fun () ->
+              Fusion_plan.Exec_async.run_on ?cache ~policy ~rt ~sources:t.sources
+                ~conds:env.Opt_env.conds optimized.Optimized.plan)
         in
         {
           x_answer = r.Fusion_plan.Exec_async.answer;
@@ -224,7 +236,8 @@ let run_body ~(config : Config.t) ~ctx t query =
         }
     | exception Source.Unsupported msg -> Error ("execution failed: " ^ msg)
     | exception Source.Timeout msg ->
-      Error ("execution failed (source unreachable): " ^ msg))
+      Error ("execution failed (source unreachable): " ^ msg)
+    | exception Invalid_argument msg -> Error msg)
 
 (* [config.trace] installs a collector for the duration of the run (on
    top of any process-wide one); either way, the spans the run produced
@@ -379,12 +392,15 @@ module Server = struct
 
   let create ?(config = Config.default) ?(policy = S.Fifo) ?(max_inflight = 64)
       ?cache_ttl med =
+    let rt =
+      Runtime.of_spec config.Config.runtime ~servers:(Array.length med.sources)
+    in
     {
       med;
       config;
       srv =
         S.create ~policy ~max_inflight ?cache_ttl ~exec_policy:(Config.policy config)
-          med.sources;
+          ~rt med.sources;
       index = Hashtbl.create 32;
     }
 
@@ -420,6 +436,8 @@ module Server = struct
   let step t = S.step t.srv
   let drain t = S.drain t.srv
   let stats t = S.stats t.srv
+  let runtime t = S.runtime t.srv
+  let shutdown t = Runtime.shutdown (S.runtime t.srv)
 
   let outcomes t =
     List.filter_map

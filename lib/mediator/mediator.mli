@@ -43,11 +43,17 @@ module Config : sig
     trace : Fusion_obs.Trace.collector option;
         (** collector installed for the duration of each run *)
     concurrency : concurrency;
+    runtime : Fusion_rt.Runtime.spec;
+        (** execution backend for [`Par] runs and serving: [`Sim]
+            (default) is the discrete-event simulator, [`Domains n]
+            executes on a real domain pool with wall-clock latencies.
+            [`Domains _] with [`Seq] is rejected: the sequential
+            executor has nothing to run concurrently. *)
   }
 
   val default : t
   (** SJA+, exact statistics, no cache, no retries ([`Fail]), no
-      tracing, sequential execution. *)
+      tracing, sequential execution on the simulator. *)
 
   val policy : t -> Fusion_plan.Exec.policy
   (** The executor fault policy the config denotes. *)
@@ -199,6 +205,13 @@ module Server : sig
   val step : t -> bool
   val drain : t -> unit
   val stats : t -> Fusion_serve.Server.stats
+
+  val runtime : t -> Fusion_rt.Runtime.t
+  (** The execution runtime serving this server's queries. *)
+
+  val shutdown : t -> unit
+  (** Joins the runtime's worker domains (no-op on the simulator).
+      Call after the final {!drain}. *)
 
   val outcomes : t -> outcome list
   (** Completed submissions joined with what the optimizer chose for

@@ -1,0 +1,289 @@
+(* A line-oriented TCP front end over the serving stack.
+
+   Clients connect over loopback (or anywhere), send one fusion SQL
+   statement per line, and receive one response line per statement:
+   [ok] with the answer set and the per-query report fields, [shed]
+   when admission control rejected it, or [error] when it failed to
+   parse or execute. Every query goes through the same admission
+   control, scheduling policy and shared answer cache as the simulated
+   serving layer — only the clock is the wall.
+
+   The front end runs entirely inside the runtime's fibre scheduler:
+   an accept-loop daemon forks one reader and one writer fibre per
+   connection, readers submit parsed queries to the mediator server,
+   the server's pump dispatches them over the worker domains, and the
+   completion/shed hooks hand response lines to the owning
+   connection's outbox stream. Readers and the accept loop are daemons
+   (an idle client must not block shutdown); writers are joined, so
+   every response produced before the stop condition is flushed. *)
+
+module Runtime = Fusion_rt.Runtime
+module Fiber = Fusion_rt.Fiber
+module S = Fusion_serve.Server
+module Item_set = Fusion_data.Item_set
+module Value = Fusion_data.Value
+module Meter = Fusion_net.Meter
+
+type report = {
+  connections : int;  (** connections accepted *)
+  received : int;  (** SQL lines taken for processing *)
+  rejected : int;  (** lines that failed to parse or optimize *)
+  stats : S.stats;  (** serving-layer conservation stats *)
+  observations : (int * Meter.totals * float) list;
+      (** per-request wall-clock observations, for calibration *)
+}
+
+let sockaddr_to_string = function
+  | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+  | Unix.ADDR_UNIX p -> p
+
+let sockaddr_of_string s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "bad address %S (expected HOST:PORT)" s)
+  | Some i ->
+    let host = String.sub s 0 i
+    and port = String.sub s (i + 1) (String.length s - i - 1) in
+    (match int_of_string_opt port with
+    | None -> Error (Printf.sprintf "bad port %S in %S" port s)
+    | Some port ->
+      (match Unix.inet_addr_of_string host with
+      | addr -> Ok (Unix.ADDR_INET (addr, port))
+      | exception Failure _ ->
+        (match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+          Error (Printf.sprintf "cannot resolve host %S" host)
+        | { Unix.h_addr_list; _ } -> Ok (Unix.ADDR_INET (h_addr_list.(0), port)))))
+
+(* --- non-blocking line IO over fibres ------------------------------------ *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Fiber.await_writable fd;
+        go off
+  in
+  go 0
+
+(* Reads [fd] to EOF, invoking [handle] on each newline-terminated
+   line (CR trimmed). A trailing unterminated line is delivered too. *)
+let read_lines fd handle =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let flush () =
+    let line = String.trim (Buffer.contents buf) in
+    Buffer.clear buf;
+    if line <> "" then handle line
+  in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> flush ()
+    | n ->
+      for i = 0 to n - 1 do
+        let ch = Bytes.get chunk i in
+        if ch = '\n' then flush () else Buffer.add_char buf ch
+      done;
+      go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      Fiber.await_readable fd;
+      go ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> flush ()
+  in
+  go ()
+
+(* --- response lines ------------------------------------------------------ *)
+
+let completion_line (c : S.completion) =
+  match c.S.c_failed with
+  | Some msg -> Printf.sprintf "error id=%d %s" c.S.c_id msg
+  | None ->
+    let answer = Option.value ~default:Item_set.empty c.S.c_answer in
+    Printf.sprintf "ok id=%d rows=%d cost=%.1f response=%.6f partial=%b items=%s"
+      c.S.c_id (Item_set.cardinal answer) c.S.c_cost c.S.c_response c.S.c_partial
+      (String.concat "," (List.map Value.to_string (Item_set.to_list answer)))
+
+let shed_line (s : S.shed) =
+  Printf.sprintf "shed id=%d reason=%s" s.S.s_id (S.shed_reason_name s.S.s_reason)
+
+(* --- the server ---------------------------------------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  outbox : string option Fiber.Stream.t;  (* [None] closes the connection *)
+  mutable pending : int;  (* submitted queries not yet responded to *)
+  mutable eof : bool;  (* reader saw end of stream *)
+  mutable open_ends : int;  (* reader + writer still using [fd] *)
+}
+
+let release c =
+  c.open_ends <- c.open_ends - 1;
+  if c.open_ends = 0 then try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let serve ?(config = Mediator.Config.default) ?(policy = S.Fifo) ?max_inflight
+    ?cache_ttl ?max_queries ?on_listen ~listen mediator =
+  match config.Mediator.Config.runtime with
+  | `Sim ->
+    Error
+      "the TCP front end serves on the wall clock: pass a real runtime \
+       (runtime=domains)"
+  | `Domains _ ->
+    let srv = Mediator.Server.create ~config ?max_inflight ?cache_ttl ~policy mediator in
+    let rt = Mediator.Server.runtime srv in
+    let server = Mediator.Server.serve srv in
+    let target = Option.value ~default:max_int max_queries in
+    let conns : (int, conn) Hashtbl.t = Hashtbl.create 16 in
+    let all_conns = ref [] in
+    let connections = ref 0 and received = ref 0 and rejected = ref 0 in
+    let answered = ref 0 in
+    let respond c line =
+      c.pending <- c.pending - 1;
+      incr answered;
+      Fiber.Stream.add c.outbox (Some line);
+      if c.eof && c.pending = 0 then Fiber.Stream.add c.outbox None
+    in
+    let to_owner id line =
+      match Hashtbl.find_opt conns id with
+      | None -> ()
+      | Some c ->
+        Hashtbl.remove conns id;
+        respond c line
+    in
+    S.on_complete server (fun comp -> to_owner comp.S.c_id (completion_line comp));
+    S.on_shed server (fun sh -> to_owner sh.S.s_id (shed_line sh));
+    let handle_line c line =
+      if !received < target then begin
+        incr received;
+        match Mediator.Server.submit_sql srv ~at:(Runtime.now rt) line with
+        | Ok id ->
+          c.pending <- c.pending + 1;
+          Hashtbl.replace conns id c
+        | Error msg ->
+          incr rejected;
+          incr answered;
+          Fiber.Stream.add c.outbox (Some ("error " ^ msg))
+      end
+    in
+    let handle_conn sw fd =
+      incr connections;
+      Unix.set_nonblock fd;
+      let c =
+        { fd; outbox = Fiber.Stream.create ~capacity:256; pending = 0; eof = false;
+          open_ends = 2 }
+      in
+      all_conns := c :: !all_conns;
+      (* The writer is joined at switch exit so shutdown flushes every
+         queued response before the socket closes. *)
+      Fiber.Switch.fork sw (fun () ->
+          Fun.protect
+            ~finally:(fun () -> release c)
+            (fun () ->
+              let rec loop () =
+                match Fiber.Stream.take c.outbox with
+                | Some line ->
+                  write_all fd (line ^ "\n");
+                  loop ()
+                | None -> ()
+              in
+              loop ()));
+      Fiber.Switch.fork_daemon sw (fun () ->
+          Fun.protect
+            ~finally:(fun () -> release c)
+            (fun () ->
+              read_lines fd (handle_line c);
+              c.eof <- true;
+              if c.pending = 0 then Fiber.Stream.add c.outbox None))
+    in
+    let result =
+      Runtime.run rt (fun () ->
+          let lsock = Unix.socket (Unix.domain_of_sockaddr listen) Unix.SOCK_STREAM 0 in
+          Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+          match Unix.bind lsock listen with
+          | exception Unix.Unix_error (e, _, _) ->
+            (try Unix.close lsock with Unix.Unix_error _ -> ());
+            Error
+              (Printf.sprintf "cannot listen on %s: %s" (sockaddr_to_string listen)
+                 (Unix.error_message e))
+          | () ->
+            Unix.listen lsock 16;
+            Unix.set_nonblock lsock;
+            Option.iter (fun f -> f (Unix.getsockname lsock)) on_listen;
+            Fun.protect
+              ~finally:(fun () -> try Unix.close lsock with Unix.Unix_error _ -> ())
+              (fun () ->
+                Fiber.Switch.run (fun sw ->
+                    Fiber.Switch.fork_daemon sw (fun () ->
+                        let rec accept_loop () =
+                          Fiber.await_readable lsock;
+                          (match Unix.accept lsock with
+                          | fd, _ -> handle_conn sw fd
+                          | exception
+                              Unix.Unix_error
+                                ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+                            -> ());
+                          accept_loop ()
+                        in
+                        accept_loop ());
+                    S.pump server ~stop:(fun () -> !answered >= target);
+                    (* Flush and close every connection still open. *)
+                    List.iter (fun c -> Fiber.Stream.add c.outbox None) !all_conns);
+                Ok ()))
+    in
+    let observations = Runtime.observations rt in
+    let stats = Mediator.Server.stats srv in
+    Mediator.Server.shutdown srv;
+    Result.map
+      (fun () ->
+        { connections = !connections; received = !received; rejected = !rejected;
+          stats; observations })
+      result
+
+(* --- a minimal blocking client, for smoke tests -------------------------- *)
+
+(* Connects (retrying while the server binds), sends each statement on
+   its own line, then reads response lines until every statement has
+   been answered. Plain blocking sockets: the client needs no fibres. *)
+let client ?(retries = 50) ~connect statements =
+  let rec dial attempt =
+    let fd = Unix.socket (Unix.domain_of_sockaddr connect) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd connect with
+    | () -> Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if attempt >= retries then
+        Error
+          (Printf.sprintf "cannot connect to %s: %s" (sockaddr_to_string connect)
+             (Unix.error_message e))
+      else begin
+        Unix.sleepf 0.1;
+        dial (attempt + 1)
+      end
+  in
+  match dial 0 with
+  | Error _ as e -> e
+  | Ok fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let out = Unix.out_channel_of_descr fd in
+        List.iter
+          (fun sql ->
+            output_string out sql;
+            output_char out '\n')
+          statements;
+        flush out;
+        let ic = Unix.in_channel_of_descr fd in
+        let rec read_responses acc k =
+          if k = 0 then Ok (List.rev acc)
+          else
+            match input_line ic with
+            | line -> read_responses (line :: acc) (k - 1)
+            | exception End_of_file ->
+              Error
+                (Printf.sprintf "connection closed after %d of %d responses"
+                   (List.length acc) (List.length statements))
+        in
+        read_responses [] (List.length statements))

@@ -1,0 +1,61 @@
+(** A line-oriented TCP front end over the serving stack.
+
+    Clients send one fusion SQL statement per line and receive one
+    response line per statement:
+
+    {v ok id=<n> rows=<k> cost=<c> response=<secs> partial=<b> items=<v,...>
+shed id=<n> reason=<queue-full|deadline-unmeetable>
+error [id=<n>] <message> v}
+
+    Every statement passes through the mediator's optimizer and the
+    serving layer's admission control, scheduling policy and shared
+    answer cache ({!Fusion_serve.Server}); execution runs on the
+    runtime's worker domains and all reported times are wall-clock
+    seconds. *)
+
+type report = {
+  connections : int;  (** connections accepted *)
+  received : int;  (** SQL lines taken for processing *)
+  rejected : int;  (** lines that failed to parse or optimize *)
+  stats : Fusion_serve.Server.stats;  (** serving-layer conservation stats *)
+  observations : (int * Fusion_net.Meter.totals * float) list;
+      (** per-request [(server, meter delta, wall seconds)], the raw
+          material for [Fusion_cost.Calibration.fit] *)
+}
+
+val sockaddr_to_string : Unix.sockaddr -> string
+
+val sockaddr_of_string : string -> (Unix.sockaddr, string) result
+(** Parses ["HOST:PORT"]; the host may be a dotted quad or a name. *)
+
+val serve :
+  ?config:Mediator.Config.t ->
+  ?policy:Fusion_serve.Server.policy ->
+  ?max_inflight:int ->
+  ?cache_ttl:float ->
+  ?max_queries:int ->
+  ?on_listen:(Unix.sockaddr -> unit) ->
+  listen:Unix.sockaddr ->
+  Mediator.t ->
+  (report, string) result
+(** Binds [listen] and serves until [max_queries] statements have been
+    responded to (forever when omitted), then flushes every
+    connection, closes them, and joins the runtime's worker domains.
+    [on_listen] fires with the bound address right after [listen]
+    succeeds — with port 0 that is where the kernel-chosen port
+    appears (and a test can release a waiting client thread).
+    [config.runtime] must be a real-clock backend ([`Domains _]);
+    [`Sim] is an error — a socket cannot wait on a simulated clock.
+    [policy], [max_inflight], [cache_ttl] as in
+    {!Fusion_serve.Server.create}. *)
+
+val client :
+  ?retries:int ->
+  connect:Unix.sockaddr ->
+  string list ->
+  (string list, string) result
+(** Sends each statement on its own line and collects one response
+    line per statement, in arrival order. Connection attempts retry
+    [retries] times (default 50) at 100 ms intervals, so a client
+    raced against a server that is still binding converges. Blocking
+    sockets; needs no runtime. *)

@@ -47,6 +47,10 @@ module Live : sig
   type t
 
   val create : servers:int -> t
+  [@@alert
+    sim_construct
+      "Direct Sim.Live construction is the simulator backend's internals; build \
+       a Fusion_rt.Runtime (Runtime.sim / Runtime.domains) instead."]
 
   val free_at : t -> int -> float
   (** Next instant the server can start new work. *)

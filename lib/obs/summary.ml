@@ -50,8 +50,15 @@ let empty_percentiles = { p50 = 0.0; p90 = 0.0; p99 = 0.0; mean = 0.0; max = 0.0
 
 let percentiles_of ~buckets values =
   (* Non-finite observations would poison the histogram bounds and
-     every derived number; drop them rather than report NaN. *)
-  let values = List.filter Float.is_finite values in
+     every derived number; drop them rather than report NaN. Negative
+     finite ones (a real clock stepping backwards mid-measurement) are
+     clamped to zero so the [0, max] histogram never sees an
+     out-of-range bucket. *)
+  let values =
+    List.filter_map
+      (fun v -> if Float.is_finite v then Some (Float.max 0.0 v) else None)
+      values
+  in
   match values with
   | [] -> empty_percentiles
   | _ ->

@@ -131,7 +131,9 @@ let finish c o =
       start_cost = o.o_start_cost;
       finish_cost = c.cost_now;
       start_wall = o.o_start_wall;
-      finish_wall = c.clock ();
+      (* A real clock can step backwards (NTP) between open and close;
+         never emit a span that finishes before it starts. *)
+      finish_wall = Float.max o.o_start_wall (c.clock ());
       attrs = List.rev o.o_attrs;
     }
   in

@@ -1,26 +1,30 @@
 (* Live concurrent plan execution.
 
    Where [Exec] runs the plan's steps one after another (total elapsed
-   time = total cost), this executor runs it on the discrete-event
-   scheduler of [Fusion_net.Sim]: every source query is dispatched the
-   moment its inputs are available, queries at different sources
-   overlap, and queries at one source queue FIFO behind each other — so
-   a slow mirror stalls only its own dependency chain.
+   time = total cost), this executor runs it on a [Fusion_rt.Runtime]:
+   every source query is dispatched the moment its inputs are
+   available, queries at different sources overlap, and queries at one
+   source queue FIFO behind each other — so a slow mirror stalls only
+   its own dependency chain. On the simulator backend the clock is the
+   discrete-event schedule of [Fusion_net.Sim]; on the domains backend
+   requests really run concurrently and the clock is the wall.
 
-   Source queries are dispatched in plan order, which makes each
-   source's request sequence identical to the sequential executor's.
-   Answers, per-step costs and fault-injection draws therefore agree
-   exactly with [Exec.run] under the same policy; only the clock
-   bookkeeping differs. That invariant is what the async property tests
-   pin down.
+   On the simulator, source queries are dispatched in plan order, which
+   makes each source's request sequence identical to the sequential
+   executor's. Answers, per-step costs and fault-injection draws
+   therefore agree exactly with [Exec.run] under the same policy; only
+   the clock bookkeeping differs. That invariant is what the async
+   property tests pin down.
 
    The execution itself lives in [Engine]: an incremental cursor over
    the plan that evaluates local operations for free and surfaces one
    source query at a time for an external scheduler to dispatch onto a
-   (possibly shared) [Sim.Live] network. [run] is the trivial driver —
-   one private network, dispatch every request the moment it surfaces —
-   and a serving layer (lib/serve) is the interesting one: many engines,
-   one network, a scheduling policy arbitrating between them. *)
+   (possibly shared) runtime. [run] is the trivial driver — one private
+   simulated network, dispatch every request the moment it surfaces —
+   [run_on] executes on a caller-supplied runtime (concurrent dataflow
+   driver when the clock is real), and a serving layer (lib/serve) is
+   the interesting one: many engines, one network, a scheduling policy
+   arbitrating between them. *)
 
 open Fusion_data
 open Fusion_cond
@@ -28,6 +32,9 @@ open Fusion_source
 module Trace = Fusion_obs.Trace
 module Metrics = Fusion_obs.Metrics
 module Sim = Fusion_net.Sim
+module Meter = Fusion_net.Meter
+module Runtime = Fusion_rt.Runtime
+module Fiber = Fusion_rt.Fiber
 module Query_cache = Exec.Query_cache
 
 (* Where a source-query step sat in the concurrent schedule: its
@@ -73,12 +80,13 @@ module Engine = struct
     policy : Exec.policy;
     deadline : float;
     answers : Answer_cache.t;
-    live : Sim.Live.t;
+    rt : Runtime.t;
     offset : int;
     base : float;
     nodes : (Op.t * int * int list) array;
     env : (string, binding) Hashtbl.t;
-    (* Simulated instant at which each variable's value is available. *)
+    (* Instant at which each variable's value is available (simulated
+       or wall clock, whichever the runtime keeps). *)
     avail : (string, float) Hashtbl.t;
     mutable ops : Op.t list; (* the plan suffix still to execute *)
     mutable sq_index : int; (* plan-order position of the next source query *)
@@ -89,7 +97,7 @@ module Engine = struct
   }
 
   let create ?cache ?(policy = Exec.default_policy) ?(deadline = infinity) ?answers
-      ?(offset = 0) ?(base = 0.0) ~live ~sources ~conds plan =
+      ?(offset = 0) ?(base = 0.0) ~rt ~sources ~conds plan =
     {
       sources;
       conds;
@@ -97,7 +105,7 @@ module Engine = struct
       policy;
       deadline;
       answers = (match answers with Some a -> a | None -> Answer_cache.create ());
-      live;
+      rt;
       offset;
       base;
       nodes = Array.of_list (Parallel_exec.dataflow plan);
@@ -163,35 +171,67 @@ module Engine = struct
     let _, _, deps = t.nodes.(id) in
     (t.offset + id, List.map (fun d -> t.offset + d) deps)
 
-  (* One logical source query, live: attempts run back to back on the
-     source until success, an exhausted retry budget, or an exhausted
-     per-query deadline. Returns the outcome (None = gave up) and the
-     total service time consumed, failed attempts included. *)
-  let attempt_query t j f =
+  let slot = function
+    | Some node -> node
+    | None -> invalid_arg "Exec_async: source query without a schedule slot"
+
+  (* One logical source query issued through the runtime. The thunk —
+     running on a pool worker under a real-clock backend — touches only
+     the source: attempts run back to back until success, an exhausted
+     retry budget, or an exhausted per-query deadline, and the meter
+     delta is captured on the lane (where same-source requests
+     serialize) for wall-clock calibration. Engine state — the failure
+     counter, caches, bindings — is applied on the driving fibre after
+     the call returns, so the thunk is safe to run on another domain. *)
+  let source_call t ~node ~server:j ~ready f =
+    let id, deps = slot node in
     let s = t.sources.(j) in
-    let before = (Source.totals s).Fusion_net.Meter.cost in
-    let consumed () = (Source.totals s).Fusion_net.Meter.cost -. before in
-    let rec go budget =
-      match f () with
-      | v -> Some v
-      | exception Source.Timeout _ ->
-        t.failures <- t.failures + 1;
-        if budget > 0 && consumed () < t.deadline then go (budget - 1) else None
+    let retries = t.policy.Exec.retries and deadline = t.deadline in
+    let fail_fast = t.policy.Exec.on_exhausted = `Fail in
+    let thunk () =
+      let before = Source.totals s in
+      let consumed () = (Source.totals s).Meter.cost -. before.Meter.cost in
+      let rec go budget fails =
+        match f () with
+        | v -> (Some v, fails)
+        | exception Source.Timeout _ ->
+          if budget > 0 && consumed () < deadline then go (budget - 1) (fails + 1)
+          else (None, fails + 1)
+      in
+      let outcome, fails = go retries 0 in
+      let after = Source.totals s in
+      let delta =
+        {
+          Meter.requests = after.Meter.requests - before.Meter.requests;
+          items_sent = after.Meter.items_sent - before.Meter.items_sent;
+          items_received = after.Meter.items_received - before.Meter.items_received;
+          tuples_received = after.Meter.tuples_received - before.Meter.tuples_received;
+          cost = after.Meter.cost -. before.Meter.cost;
+        }
+      in
+      (* Under [`Fail] the sequential oracle raises before its failed
+         attempt ever reaches the network: don't book it. *)
+      let book = outcome <> None || not fail_fast in
+      ((outcome, fails, delta), delta.Meter.cost, book)
     in
-    let outcome = go t.policy.Exec.retries in
-    (outcome, consumed ())
+    let (outcome, fails, delta), ev =
+      Runtime.call t.rt ~id ~server:j ~ready ~deps thunk
+    in
+    t.failures <- t.failures + fails;
+    Runtime.observe t.rt ~server:j ~totals:delta ~wall:(ev.Sim.finish -. ev.Sim.start);
+    (outcome, delta.Meter.cost, ev)
 
   let give_up t op =
     if t.policy.Exec.on_exhausted = `Fail then raise (Source.Timeout (Op.dst op));
     t.partial <- true
 
-  let exec_op t ctx (op : Op.t) =
+  let exec_op t ctx ~node (op : Op.t) =
     match op with
     | Select { dst; cond = c; source = j } -> (
       let s = source t j and condition = cond t c in
       let ready = ready_of t op in
       let sname = Source.name s and ctext = Cond.to_string condition in
-      let id, deps = next_node t in
+      let id, deps = slot node in
       match Answer_cache.find t.answers ~source:sname ~cond:ctext ~ready with
       | Answer_cache.Inflight (finish, answer) ->
         (* The same selection is in flight: share its request. *)
@@ -230,14 +270,14 @@ module Engine = struct
             finish = ready; coalesced = false;
             sched = Some { task = id; server = j; deps; dispatched = false } }
         | None -> (
-          let outcome, duration =
-            attempt_query t j (fun () -> fst (Source.select_query s condition))
+          let outcome, duration, ev =
+            source_call t ~node ~server:j ~ready (fun () ->
+                fst (Source.select_query s condition))
           in
           match outcome with
           | Some answer ->
             Option.iter (fun c -> Query_cache.store c s condition answer) t.cache;
             cache_outcome t ctx false;
-            let ev = Sim.Live.dispatch t.live ~id ~server:j ~ready ~duration ~deps in
             Answer_cache.note t.answers ~source:sname ~cond:ctext
               ~finish:ev.Sim.finish answer;
             bind t dst (Items answer) ev.Sim.finish;
@@ -246,7 +286,6 @@ module Engine = struct
               sched = Some { task = id; server = j; deps; dispatched = true } }
           | None ->
             give_up t op;
-            let ev = Sim.Live.dispatch t.live ~id ~server:j ~ready ~duration ~deps in
             bind t dst (Items Item_set.empty) ev.Sim.finish;
             { op; cost = duration; result_size = 0; start = ev.Sim.start;
               finish = ev.Sim.finish; coalesced = false;
@@ -256,7 +295,7 @@ module Engine = struct
       let probe = items t input in
       let ready = ready_of t op in
       let sname = Source.name s and ctext = Cond.to_string condition in
-      let id, deps = next_node t in
+      let id, deps = slot node in
       let record_derived_hit answer =
         Option.iter
           (fun c ->
@@ -295,21 +334,20 @@ module Engine = struct
         { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready; finish;
           coalesced; sched = Some { task = id; server = j; deps; dispatched = false } }
       | None -> (
-        let outcome, duration =
-          attempt_query t j (fun () -> fst (Source.semijoin_query s condition probe))
+        let outcome, duration, ev =
+          source_call t ~node ~server:j ~ready (fun () ->
+              fst (Source.semijoin_query s condition probe))
         in
         match outcome with
         | Some answer ->
           Option.iter (fun c -> Query_cache.store_sjq c s condition probe answer) t.cache;
           cache_outcome t ctx false;
-          let ev = Sim.Live.dispatch t.live ~id ~server:j ~ready ~duration ~deps in
           bind t dst (Items answer) ev.Sim.finish;
           { op; cost = duration; result_size = Item_set.cardinal answer;
             start = ev.Sim.start; finish = ev.Sim.finish; coalesced = false;
             sched = Some { task = id; server = j; deps; dispatched = true } }
         | None ->
           give_up t op;
-          let ev = Sim.Live.dispatch t.live ~id ~server:j ~ready ~duration ~deps in
           bind t dst (Items Item_set.empty) ev.Sim.finish;
           { op; cost = duration; result_size = 0; start = ev.Sim.start;
             finish = ev.Sim.finish; coalesced = false;
@@ -317,18 +355,18 @@ module Engine = struct
     | Load { dst; source = j } -> (
       let s = source t j in
       let ready = ready_of t op in
-      let id, deps = next_node t in
-      let outcome, duration = attempt_query t j (fun () -> fst (Source.load_query s)) in
+      let id, deps = slot node in
+      let outcome, duration, ev =
+        source_call t ~node ~server:j ~ready (fun () -> fst (Source.load_query s))
+      in
       match outcome with
       | Some relation ->
-        let ev = Sim.Live.dispatch t.live ~id ~server:j ~ready ~duration ~deps in
         bind t dst (Loaded relation) ev.Sim.finish;
         { op; cost = duration; result_size = Relation.cardinality relation;
           start = ev.Sim.start; finish = ev.Sim.finish; coalesced = false;
           sched = Some { task = id; server = j; deps; dispatched = true } }
       | None ->
         give_up t op;
-        let ev = Sim.Live.dispatch t.live ~id ~server:j ~ready ~duration ~deps in
         bind t dst (Loaded (Relation.create ~name:(Source.name s) (Source.schema s)))
           ev.Sim.finish;
         { op; cost = duration; result_size = 0; start = ev.Sim.start;
@@ -361,11 +399,11 @@ module Engine = struct
       { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready;
         finish = ready; coalesced = false; sched = None }
 
-  let run_op t op =
+  let run_op t ~node op =
     let step =
       Trace.span Trace.Step (Op.name op) (fun ctx ->
           let failures_before = t.failures in
-          let step = exec_op t ctx op in
+          let step = exec_op t ctx ~node op in
           if Trace.active ctx then begin
             Trace.attrs ctx
               [
@@ -424,7 +462,7 @@ module Engine = struct
           }
       else begin
         t.ops <- rest;
-        ignore (run_op t op);
+        ignore (run_op t ~node:None op);
         pending t
       end
 
@@ -432,7 +470,8 @@ module Engine = struct
     match t.ops with
     | op :: rest when Op.is_source_query op ->
       t.ops <- rest;
-      run_op t op
+      let node = next_node t in
+      run_op t ~node:(Some node) op
     | _ -> invalid_arg "Exec_async.Engine.dispatch: no pending source query"
 
   let finished t = t.ops = []
@@ -449,10 +488,9 @@ module Engine = struct
     items t t.output
 end
 
-let run ?cache ?(policy = Exec.default_policy) ?(deadline = infinity) ~sources ~conds
-    plan =
-  let live = Sim.Live.create ~servers:(max 1 (Array.length sources)) in
-  let e = Engine.create ?cache ~policy ~deadline ~live ~sources ~conds plan in
+(* The sequential driver: dispatch every request the moment it
+   surfaces. On the simulator this is the oracle execution order. *)
+let drive_sequential e =
   let rec drive () =
     match Engine.pending e with
     | Some _ ->
@@ -460,15 +498,66 @@ let run ?cache ?(policy = Exec.default_policy) ?(deadline = infinity) ~sources ~
       drive ()
     | None -> ()
   in
-  drive ();
+  drive ()
+
+(* The concurrent dataflow driver for real-clock runtimes: walk the
+   plan in order, fork one fibre per source query, and synchronize
+   through per-variable promises — an op waits only for the in-flight
+   producers of its own inputs, so independent queries really overlap
+   while the runtime's per-server lanes keep each source FIFO. Node
+   ids are assigned on the driving fibre, in plan order, before the
+   query fibre first suspends. *)
+let drive_concurrent e rt =
+  Runtime.run rt @@ fun () ->
+  let inflight : (string, unit Fiber.Promise.t) Hashtbl.t = Hashtbl.create 16 in
+  let await_uses op =
+    List.iter
+      (fun v ->
+        match Hashtbl.find_opt inflight v with
+        | Some p -> Fiber.Promise.await p
+        | None -> ())
+      (Op.uses op)
+  in
+  Fiber.Switch.run (fun sw ->
+      let rec drive () =
+        match e.Engine.ops with
+        | [] -> ()
+        | op :: rest ->
+          await_uses op;
+          e.Engine.ops <- rest;
+          if Op.is_source_query op then begin
+            let node = Engine.next_node e in
+            let p = Fiber.Promise.create () in
+            Hashtbl.replace inflight (Op.dst op) p;
+            Fiber.Switch.fork sw (fun () ->
+                Fun.protect
+                  ~finally:(fun () -> Fiber.Promise.resolve p ())
+                  (fun () -> ignore (Engine.run_op e ~node:(Some node) op)))
+          end
+          else ignore (Engine.run_op e ~node:None op);
+          drive ()
+      in
+      drive ())
+
+let collect e rt =
   let steps = Engine.steps e in
   {
     answer = Engine.answer e;
     steps;
     total_cost = List.fold_left (fun acc s -> acc +. s.cost) 0.0 steps;
     makespan = List.fold_left (fun acc s -> Float.max acc s.finish) 0.0 steps;
-    busy = Sim.Live.busy live;
-    timeline = Sim.Live.timeline live;
+    busy = Runtime.busy rt;
+    timeline = Runtime.timeline rt;
     failures = Engine.failures e;
     partial = Engine.partial e;
   }
+
+let run_on ?cache ?policy ?deadline ~rt ~sources ~conds plan =
+  let e = Engine.create ?cache ?policy ?deadline ~rt ~sources ~conds plan in
+  if Runtime.is_real rt then drive_concurrent e rt else drive_sequential e;
+  collect e rt
+
+let run ?cache ?policy ?deadline ~sources ~conds plan =
+  run_on ?cache ?policy ?deadline
+    ~rt:(Runtime.sim ~servers:(Array.length sources))
+    ~sources ~conds plan

@@ -2,18 +2,22 @@
 
     The sequential {!Exec} charges steps one after another, so a query's
     elapsed time equals its total cost. This executor instead runs the
-    plan on the discrete-event scheduler of {!Fusion_net.Sim}: each
-    source query is dispatched the moment the source queries feeding it
-    complete, queries at different sources proceed concurrently, and
-    queries at the same source queue FIFO — a slow mirror delays only
-    the chains that depend on it. The result separates [total_cost]
-    (work, identical to the sequential executor's) from [makespan]
-    (response time on the simulated clock).
+    plan on a {!Fusion_rt.Runtime}: each source query is dispatched the
+    moment the source queries feeding it complete, queries at different
+    sources proceed concurrently, and queries at the same source queue
+    FIFO — a slow mirror delays only the chains that depend on it. The
+    result separates [total_cost] (work, identical to the sequential
+    executor's) from [makespan] (response time on the runtime's clock).
 
-    Source queries are issued in plan order, so each source sees exactly
-    the request sequence the sequential executor would send it. Answers,
-    per-step costs and fault-injection draws therefore agree with
-    {!Exec.run} under the same {!Exec.policy}; only the clock differs.
+    On the simulator backend, source queries are issued in plan order,
+    so each source sees exactly the request sequence the sequential
+    executor would send it. Answers, per-step costs and fault-injection
+    draws therefore agree with {!Exec.run} under the same
+    {!Exec.policy}; only the clock differs. On a real-clock backend
+    ({!Fusion_rt.Runtime.domains}) the plan runs as a concurrent
+    dataflow — one fibre per source query, synchronized through its
+    inputs — and the clock is the wall; with deterministic sources the
+    answer still equals the sequential executor's.
 
     {b Request coalescing.} When a step needs a selection that an
     earlier step has already put in flight (same source, same condition,
@@ -66,7 +70,7 @@ val to_exec_steps : step list -> Exec.step list
 (** Forgets the clock, for code that consumes the sequential step shape. *)
 
 (** The incremental face of the executor, for a serving layer that
-    multiplexes many queries onto one shared {!Fusion_net.Sim.Live}
+    multiplexes many queries onto one shared {!Fusion_rt.Runtime}
     network. An engine is a cursor over one plan: local operations are
     evaluated for free the instant their inputs are available, and the
     engine surfaces {e one} source query at a time — the next in plan
@@ -93,7 +97,7 @@ module Engine : sig
     ?answers:Answer_cache.t ->
     ?offset:int ->
     ?base:float ->
-    live:Fusion_net.Sim.Live.t ->
+    rt:Fusion_rt.Runtime.t ->
     sources:Source.t array ->
     conds:Cond.t array ->
     Plan.t ->
@@ -102,8 +106,8 @@ module Engine : sig
       engines on the same network (a private, TTL-less one if omitted —
       plain per-run request coalescing). [offset] shifts the engine's
       dataflow task ids so timelines of many engines never collide.
-      [base] is the simulated instant the query was admitted: no step
-      starts before it. [cache], [policy], [deadline] as in {!run}. *)
+      [base] is the instant the query was admitted: no step starts
+      before it. [cache], [policy], [deadline] as in {!run}. *)
 
   val pending : t -> request option
   (** Advances through local operations (evaluating them at their ready
@@ -154,3 +158,20 @@ val run :
     time already spent is still charged.
     @raise Exec.Runtime_error as {!Exec.run} does.
     @raise Source.Timeout under the [`Fail] policy. *)
+
+val run_on :
+  ?cache:Exec.Query_cache.t ->
+  ?policy:Exec.policy ->
+  ?deadline:float ->
+  rt:Fusion_rt.Runtime.t ->
+  sources:Source.t array ->
+  conds:Cond.t array ->
+  Plan.t ->
+  result
+(** {!run} on a caller-supplied runtime. On the simulator backend this
+    is the oracle execution order (requests dispatched in plan order);
+    on a real-clock backend the plan runs as a concurrent dataflow —
+    one fibre per source query, an op waiting only for the in-flight
+    producers of its own inputs — so [steps] come back in completion
+    order and [busy]/[timeline] measure wall-clock seconds. The caller
+    keeps ownership of [rt] (shut a domains runtime down when done). *)

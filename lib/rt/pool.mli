@@ -1,0 +1,28 @@
+(** A domain pool with per-lane FIFO serialization.
+
+    Jobs submitted to one lane run in submission order and never
+    overlap (a lane models one source: one query at a time, like the
+    simulator's per-server FIFO queues); jobs on different lanes run
+    with real OS parallelism. Workers claim whole lanes, so no worker
+    blocks behind another lane's job. *)
+
+type t
+
+val create : domains:int -> lanes:int -> t
+(** Spawns [domains] worker domains serving [lanes] job lanes. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val lanes : t -> int
+
+val submit : t -> lane:int -> (unit -> 'a) -> (('a, exn) result -> unit) -> unit
+(** [submit t ~lane f k] queues [f] on [lane]; [k] receives the result
+    (or the exception [f] raised) {e on the worker domain} — it should
+    only hand the result off, e.g. via {!Fiber.suspend_external}'s
+    resolver. @raise Invalid_argument after {!shutdown} or on an
+    out-of-range lane. *)
+
+val shutdown : t -> unit
+(** Runs already-queued jobs to completion, then joins every worker.
+    Idempotent. Must not be called from a pool callback. *)

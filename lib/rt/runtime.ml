@@ -1,0 +1,245 @@
+(* The execution runtime: one signature, two backends.
+
+   Every layer that used to hard-wire [Fusion_net.Sim.Live] — the
+   async executor, the serving loop, the distributed coordinator —
+   takes a [Runtime.t] instead and calls [Runtime.call] where it used
+   to call [Sim.Live.dispatch]:
+
+   - [sim] is the discrete-event simulator. A call's thunk runs
+     synchronously and reports the model cost it consumed; dispatching
+     that cost as the task duration reproduces today's behaviour
+     byte-for-byte (the oracle the equivalence tests pin).
+
+   - [domains] issues the thunk on a {!Pool} worker — one lane per
+     server, so requests at one source serialize FIFO exactly like the
+     simulator's queues, while different sources answer with real OS
+     parallelism — and measures wall-clock start/finish against the
+     runtime's epoch. The caller suspends if it is a fibre (see
+     {!Fiber}) or blocks its domain otherwise, so the same engine code
+     drives both backends.
+
+   The thunk's [book] flag keeps a subtle oracle invariant: under
+   [`Fail] exhaustion the sequential executor raises before the failed
+   attempt ever reaches the simulator's timeline, so the sim backend
+   skips dispatch when [book] is false. The domains backend always
+   books — real time passed either way.
+
+   A runtime must be driven from one domain: timeline and observation
+   state is mutated without locks (fibres interleave cooperatively;
+   worker domains only run thunks and resolve suspensions). *)
+
+[@@@alert "-sim_construct"]
+
+module Sim = Fusion_net.Sim
+module Meter = Fusion_net.Meter
+
+type spec = [ `Sim | `Domains of int ]
+
+let spec_of_string = function
+  | "sim" -> Ok `Sim
+  | "domains" -> Ok (`Domains 0)
+  | s -> (
+    match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = "domains" -> (
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some n when n >= 1 -> Ok (`Domains n)
+      | _ -> Error (Printf.sprintf "bad domain count in %S" s))
+    | _ -> Error (Printf.sprintf "unknown runtime %S (expected sim or domains[:N])" s))
+
+let spec_name = function
+  | `Sim -> "sim"
+  | `Domains 0 -> "domains"
+  | `Domains n -> Printf.sprintf "domains:%d" n
+
+type domains = {
+  pool : Pool.t;
+  d_servers : int;
+  epoch : float;
+  mutable d_events : Sim.scheduled list; (* newest first *)
+  mutable d_count : int;
+  d_pending : int array; (* calls submitted, not yet finished, per server *)
+  d_ewma : float array; (* smoothed call duration per server; <0 = none yet *)
+  d_free : float array; (* last observed finish per server, epoch-relative *)
+  d_busy : float array; (* accumulated service time per server *)
+  mutable d_obs : (int * Meter.totals * float) list; (* newest first *)
+}
+
+type backend = Sim_b of Sim.Live.t | Dom_b of domains
+
+type t = backend
+
+let sim ~servers = Sim_b (Sim.Live.create ~servers:(max 1 servers))
+let of_live live = Sim_b live
+
+let default_domains () = max 2 (Domain.recommended_domain_count () - 1)
+
+let domains ?domains:d ~servers () =
+  let servers = max 1 servers in
+  let d = match d with Some n when n >= 1 -> n | _ -> default_domains () in
+  Dom_b
+    {
+      pool = Pool.create ~domains:d ~lanes:servers;
+      d_servers = servers;
+      epoch = Unix.gettimeofday ();
+      d_events = [];
+      d_count = 0;
+      d_pending = Array.make servers 0;
+      d_ewma = Array.make servers (-1.0);
+      d_free = Array.make servers 0.0;
+      d_busy = Array.make servers 0.0;
+      d_obs = [];
+    }
+
+let of_spec ?domains:d spec ~servers =
+  match spec with
+  | `Sim -> sim ~servers
+  | `Domains 0 -> domains ?domains:d ~servers ()
+  | `Domains n -> domains ~domains:n ~servers ()
+
+let spec = function
+  | Sim_b _ -> `Sim
+  | Dom_b d -> `Domains (Pool.size d.pool)
+
+let name t = spec_name (spec t)
+let is_real = function Sim_b _ -> false | Dom_b _ -> true
+
+let server_count = function
+  | Sim_b live -> Sim.Live.server_count live
+  | Dom_b d -> d.d_servers
+
+let now = function
+  | Sim_b live ->
+    (* The simulator has no global clock; the latest instant any server
+       is known to be busy until is the closest notion of "now". *)
+    let n = Sim.Live.server_count live in
+    let t = ref 0.0 in
+    for j = 0 to n - 1 do
+      t := Float.max !t (Sim.Live.free_at live j)
+    done;
+    !t
+  | Dom_b d -> Unix.gettimeofday () -. d.epoch
+
+let free_at t server =
+  match t with
+  | Sim_b live -> Sim.Live.free_at live server
+  | Dom_b d ->
+    (* Predicted: outstanding calls times the smoothed call duration —
+       the admission-control signal, not an exact schedule. *)
+    let n = Unix.gettimeofday () -. d.epoch in
+    let est = if d.d_ewma.(server) >= 0.0 then d.d_ewma.(server) else 0.0 in
+    Float.max n (Float.max d.d_free.(server) n)
+    +. (float_of_int d.d_pending.(server) *. est)
+
+let backlog t ~at =
+  match t with
+  | Sim_b live -> Sim.Live.backlog live ~at
+  | Dom_b d ->
+    Array.init d.d_servers (fun j -> Float.max 0.0 (free_at t j -. at))
+
+let busy = function
+  | Sim_b live -> Sim.Live.busy live
+  | Dom_b d -> Array.copy d.d_busy
+
+let dispatched = function
+  | Sim_b live -> Sim.Live.dispatched live
+  | Dom_b d -> d.d_count
+
+let timeline = function
+  | Sim_b live -> Sim.Live.timeline live
+  | Dom_b d ->
+    let events =
+      List.sort
+        (fun (a : Sim.scheduled) b ->
+          match compare a.Sim.start b.Sim.start with
+          | 0 -> compare a.Sim.task.Sim.id b.Sim.task.Sim.id
+          | c -> c)
+        d.d_events
+    in
+    let makespan =
+      List.fold_left (fun acc (e : Sim.scheduled) -> Float.max acc e.Sim.finish) 0.0 events
+    in
+    { Sim.events; makespan }
+
+(* Run [f] on the pool lane and wait: suspend when called from a fibre,
+   block the domain otherwise. *)
+let offload d ~lane f =
+  if Fiber.inside () then
+    Fiber.suspend_external (fun resume -> Pool.submit d.pool ~lane f resume)
+  else begin
+    let m = Mutex.create () and c = Condition.create () in
+    let slot = ref None in
+    Pool.submit d.pool ~lane f (fun r ->
+        Mutex.lock m;
+        slot := Some r;
+        Condition.signal c;
+        Mutex.unlock m);
+    Mutex.lock m;
+    while !slot = None do
+      Condition.wait c m
+    done;
+    let r = Option.get !slot in
+    Mutex.unlock m;
+    match r with Ok v -> v | Error e -> raise e
+  end
+
+let call t ~id ~server ~ready ~deps thunk =
+  match t with
+  | Sim_b live ->
+    let v, cost, book = thunk () in
+    let sched =
+      if book then Sim.Live.dispatch live ~id ~server ~ready ~duration:cost ~deps
+      else
+        (* Never reached the network (e.g. [`Fail] exhaustion raises
+           before dispatch); synthesize the slot without booking it. *)
+        {
+          Sim.task = { Sim.id; server; duration = cost; deps };
+          start = ready;
+          finish = ready +. cost;
+        }
+    in
+    (v, sched)
+  | Dom_b d ->
+    if server < 0 || server >= d.d_servers then
+      invalid_arg (Printf.sprintf "Runtime.call: server %d out of range" server);
+    d.d_pending.(server) <- d.d_pending.(server) + 1;
+    let finish_call () = d.d_pending.(server) <- d.d_pending.(server) - 1 in
+    let job () =
+      let t0 = Unix.gettimeofday () in
+      let v, cost, book = thunk () in
+      let t1 = Unix.gettimeofday () in
+      (v, cost, book, t0, t1)
+    in
+    let v, _cost, _book, t0, t1 =
+      match offload d ~lane:server job with
+      | r -> finish_call (); r
+      | exception e -> finish_call (); raise e
+    in
+    let start = t0 -. d.epoch and finish = t1 -. d.epoch in
+    let duration = Float.max 0.0 (t1 -. t0) in
+    d.d_ewma.(server) <-
+      (if d.d_ewma.(server) < 0.0 then duration
+       else (0.75 *. d.d_ewma.(server)) +. (0.25 *. duration));
+    d.d_free.(server) <- Float.max d.d_free.(server) finish;
+    d.d_busy.(server) <- d.d_busy.(server) +. duration;
+    let sched =
+      { Sim.task = { Sim.id; server; duration; deps }; start; finish }
+    in
+    d.d_events <- sched :: d.d_events;
+    d.d_count <- d.d_count + 1;
+    (v, sched)
+
+let observe t ~server ~totals ~wall =
+  match t with
+  | Sim_b _ -> ()
+  | Dom_b d -> d.d_obs <- (server, totals, wall) :: d.d_obs
+
+let observations = function
+  | Sim_b _ -> []
+  | Dom_b d -> List.rev d.d_obs
+
+let run t fn =
+  match t with
+  | Sim_b _ -> fn ()
+  | Dom_b _ -> if Fiber.inside () then fn () else Fiber.run fn
+
+let shutdown = function Sim_b _ -> () | Dom_b d -> Pool.shutdown d.pool

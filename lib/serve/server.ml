@@ -1,7 +1,7 @@
-(* Multi-query serving on one shared simulated network.
+(* Multi-query serving on one shared network.
 
-   A server holds one [Sim.Live] network over a fixed source array and
-   multiplexes many fusion queries onto it. Each admitted query becomes
+   A server holds one [Fusion_rt.Runtime] over a fixed source array
+   and multiplexes many fusion queries onto it. Each admitted query becomes
    an [Exec_async.Engine] — an incremental cursor that evaluates local
    operations for free and surfaces one source query at a time — and
    the server's event loop is the scheduler: at every step it either
@@ -31,7 +31,8 @@
 open Fusion_data
 open Fusion_cond
 open Fusion_source
-module Sim = Fusion_net.Sim
+module Runtime = Fusion_rt.Runtime
+module Fiber = Fusion_rt.Fiber
 module Plan = Fusion_plan.Plan
 module Exec = Fusion_plan.Exec
 module Exec_async = Fusion_plan.Exec_async
@@ -113,12 +114,22 @@ type tenant = {
 
 type pending = { p_id : int; p_job : job; p_at : float }
 
-type active = { a_id : int; a_job : job; a_at : float; a_engine : Engine.t }
+(* [a_busy] is set while a real-clock dispatch fibre is inside the
+   engine: the cursor is strictly sequential per engine, so a busy
+   engine is skipped by [settle] and the candidate scan until its
+   request completes. Always [false] on the simulator. *)
+type active = {
+  a_id : int;
+  a_job : job;
+  a_at : float;
+  a_engine : Engine.t;
+  mutable a_busy : bool;
+}
 
 type t = {
   sources : Source.t array;
   shard : string option; (* prepended as a ("shard", _) label on every metric *)
-  live : Sim.Live.t;
+  rt : Runtime.t;
   answers : Answer_cache.t;
   exec_policy : Exec.policy;
   policy : policy;
@@ -131,16 +142,21 @@ type t = {
   mutable sheds : shed list; (* newest first *)
   tenants : (string, tenant) Hashtbl.t;
   mutable hooks : (completion -> unit) list;
-  mutable now : float; (* latest simulated instant the server acted at *)
+  mutable shed_hooks : (shed -> unit) list;
+  mutable now : float; (* latest instant the server acted at *)
+  wake : Fiber.Semaphore.t; (* nudged on submit/completion; a real-clock pump waits here *)
 }
 
 let create ?(policy = Fifo) ?(max_inflight = 64) ?cache_ttl
-    ?(exec_policy = Exec.default_policy) ?shard sources =
+    ?(exec_policy = Exec.default_policy) ?shard ?rt sources =
   if max_inflight < 1 then invalid_arg "Server.create: max_inflight must be >= 1";
   {
     sources;
     shard;
-    live = Sim.Live.create ~servers:(max 1 (Array.length sources));
+    rt =
+      (match rt with
+      | Some rt -> rt
+      | None -> Runtime.sim ~servers:(Array.length sources));
     answers = Answer_cache.create ?ttl:cache_ttl ();
     exec_policy;
     policy;
@@ -153,7 +169,9 @@ let create ?(policy = Fifo) ?(max_inflight = 64) ?cache_ttl
     sheds = [];
     tenants = Hashtbl.create 8;
     hooks = [];
+    shed_hooks = [];
     now = 0.0;
+    wake = Fiber.Semaphore.create 0;
   }
 
 let policy t = t.policy
@@ -174,12 +192,13 @@ let dictionary t =
 let dictionary_size t =
   match dictionary t with None -> 0 | Some tbl -> Intern.size tbl
 
-let live t = t.live
-let timeline t = Sim.Live.timeline t.live
-let busy t = Sim.Live.busy t.live
+let runtime t = t.rt
+let timeline t = Runtime.timeline t.rt
+let busy t = Runtime.busy t.rt
 let cache_stats t = Answer_cache.stats t.answers
 let now t = t.now
 let on_complete t hook = t.hooks <- t.hooks @ [ hook ]
+let on_shed t hook = t.shed_hooks <- t.shed_hooks @ [ hook ]
 
 let tenant t name =
   match Hashtbl.find_opt t.tenants name with
@@ -230,6 +249,7 @@ let submit t ~at job =
     | rest -> p :: rest
   in
   t.queue <- insert t.queue;
+  Fiber.Semaphore.release t.wake;
   id
 
 let stats t =
@@ -286,21 +306,25 @@ let finalize t a ~failed =
    is what materializes final answers. *)
 let settle t =
   let finished, running =
-    List.partition (fun a -> Engine.pending a.a_engine = None) t.inflight
+    List.partition
+      (fun a -> (not a.a_busy) && Engine.pending a.a_engine = None)
+      t.inflight
   in
   t.inflight <- running;
   List.iter (fun a -> finalize t a ~failed:None) finished
 
 let shed t p reason =
   t.now <- Float.max t.now p.p_at;
-  t.sheds <- { s_id = p.p_id; s_job = p.p_job; s_at = p.p_at; s_reason = reason } :: t.sheds;
+  let s = { s_id = p.p_id; s_job = p.p_job; s_at = p.p_at; s_reason = reason } in
+  t.sheds <- s :: t.sheds;
   let tn = tenant t p.p_job.tenant in
   tn.tn_shed <- tn.tn_shed + 1;
   Metrics.record (fun r ->
       Metrics.incr r
         ~labels:
           (labels t [ ("tenant", p.p_job.tenant); ("reason", shed_reason_name reason) ])
-        "fusion_serve_shed_total")
+        "fusion_serve_shed_total");
+  List.iter (fun hook -> hook s) t.shed_hooks
 
 let admit t p =
   t.now <- Float.max t.now p.p_at;
@@ -313,7 +337,7 @@ let admit t p =
         (* Worst case, every remaining source query of this job lands on
            the most backlogged source; if even the estimate can't fit in
            the budget behind that backlog, don't bother starting. *)
-        let backlog = Sim.Live.backlog t.live ~at:p.p_at in
+        let backlog = Runtime.backlog t.rt ~at:p.p_at in
         let wait = Array.fold_left Float.max 0.0 backlog in
         wait +. p.p_job.est_cost > budget
     in
@@ -321,12 +345,14 @@ let admit t p =
     else begin
       let engine =
         Engine.create ~policy:t.exec_policy ~answers:t.answers ~offset:t.task_offset
-          ~base:p.p_at ~live:t.live ~sources:t.sources ~conds:p.p_job.conds
+          ~base:p.p_at ~rt:t.rt ~sources:t.sources ~conds:p.p_job.conds
           p.p_job.plan
       in
       t.task_offset <- t.task_offset + Engine.task_count engine;
       t.inflight <-
-        t.inflight @ [ { a_id = p.p_id; a_job = p.p_job; a_at = p.p_at; a_engine = engine } ]
+        t.inflight
+        @ [ { a_id = p.p_id; a_job = p.p_job; a_at = p.p_at; a_engine = engine;
+              a_busy = false } ]
     end
 
 (* How the policy ranks a pending request; lexicographic, smaller
@@ -340,7 +366,7 @@ let rank t a (rq : Engine.request) =
     ((tenant t a.a_job.tenant).tn_consumed, rq.Engine.rq_ready, float_of_int a.a_id)
   | Sjf -> (a.a_job.est_cost, rq.Engine.rq_ready, float_of_int a.a_id)
 
-let dispatch_one t candidates =
+let pick t candidates =
   let best =
     List.fold_left
       (fun acc c ->
@@ -351,21 +377,27 @@ let dispatch_one t candidates =
           if compare (rank t a rq) (rank t ba brq) < 0 then Some c else acc)
       None candidates
   in
-  match best with
-  | None -> ()
-  | Some (a, _rq) -> (
-    match Engine.dispatch a.a_engine with
-    | step ->
-      t.now <- Float.max t.now step.Exec_async.finish;
-      let tn = tenant t a.a_job.tenant in
-      tn.tn_consumed <- tn.tn_consumed +. step.Exec_async.cost;
-      Metrics.record (fun r ->
-          Metrics.incr r
-            ~labels:(labels t [ ("tenant", a.a_job.tenant) ])
-            "fusion_serve_dispatched_total")
-    | exception Source.Timeout d ->
-      finalize t a ~failed:(Some (Printf.sprintf "timeout on %s" d))
-    | exception Exec.Runtime_error msg -> finalize t a ~failed:(Some msg))
+  best
+
+(* Executes one dispatch for [a] synchronously (on the simulator this
+   is instantaneous; on a real clock the calling fibre suspends for the
+   request's wall time) and accounts for it. *)
+let dispatch_for t a =
+  match Engine.dispatch a.a_engine with
+  | step ->
+    t.now <- Float.max t.now step.Exec_async.finish;
+    let tn = tenant t a.a_job.tenant in
+    tn.tn_consumed <- tn.tn_consumed +. step.Exec_async.cost;
+    Metrics.record (fun r ->
+        Metrics.incr r
+          ~labels:(labels t [ ("tenant", a.a_job.tenant) ])
+          "fusion_serve_dispatched_total")
+  | exception Source.Timeout d ->
+    finalize t a ~failed:(Some (Printf.sprintf "timeout on %s" d))
+  | exception Exec.Runtime_error msg -> finalize t a ~failed:(Some msg)
+
+let dispatch_one t candidates =
+  match pick t candidates with None -> () | Some (a, _rq) -> dispatch_for t a
 
 (* The earliest instant any pending request could actually start:
    arrivals before that point must be admitted first so the schedule
@@ -374,17 +406,20 @@ let earliest_start t candidates =
   List.fold_left
     (fun acc (_, rq) ->
       Float.min acc
-        (Float.max rq.Engine.rq_ready (Sim.Live.free_at t.live rq.Engine.rq_server)))
+        (Float.max rq.Engine.rq_ready (Runtime.free_at t.rt rq.Engine.rq_server)))
     infinity candidates
+
+let candidates t =
+  List.filter_map
+    (fun a ->
+      if a.a_busy then None
+      else
+        match Engine.pending a.a_engine with Some rq -> Some (a, rq) | None -> None)
+    t.inflight
 
 let step t =
   settle t;
-  let candidates =
-    List.filter_map
-      (fun a ->
-        match Engine.pending a.a_engine with Some rq -> Some (a, rq) | None -> None)
-      t.inflight
-  in
+  let candidates = candidates t in
   match (t.queue, candidates) with
   | [], [] -> false
   | p :: rest, _ when candidates = [] || p.p_at <= earliest_start t candidates ->
@@ -396,7 +431,50 @@ let step t =
     true
   | _ :: _, [] -> assert false
 
-let drain t = while step t do () done
+(* The real-clock event loop: same scheduling decisions as [step], but
+   a dispatch is forked as a fibre that suspends for the request's wall
+   time while the loop keeps admitting and dispatching other engines —
+   queries genuinely overlap, the policy still picks who goes next.
+   Runs until [stop ()] holds and the server is idle; [submit] and
+   every completion nudge [t.wake], so a front end can keep feeding the
+   pump while it runs. Must be called inside the runtime's fibre
+   scheduler (see [Fusion_rt.Runtime.run]). *)
+let pump t ~stop =
+  Fiber.Switch.run @@ fun sw ->
+  let rec loop () =
+    settle t;
+    let cs = candidates t in
+    let busy_exists () = List.exists (fun a -> a.a_busy) t.inflight in
+    match (t.queue, cs) with
+    | [], [] ->
+      if busy_exists () || not (stop ()) then begin
+        Fiber.Semaphore.acquire t.wake;
+        loop ()
+      end
+    | p :: rest, _ when cs = [] || p.p_at <= earliest_start t cs ->
+      t.queue <- rest;
+      admit t p;
+      loop ()
+    | _, _ :: _ ->
+      (match pick t cs with
+      | None -> ()
+      | Some (a, _rq) ->
+        a.a_busy <- true;
+        Fiber.Switch.fork sw (fun () ->
+            Fun.protect
+              ~finally:(fun () ->
+                a.a_busy <- false;
+                Fiber.Semaphore.release t.wake)
+              (fun () -> dispatch_for t a)));
+      loop ()
+    | _ :: _, [] -> assert false
+  in
+  loop ()
+
+let drain t =
+  if Runtime.is_real t.rt then
+    Runtime.run t.rt (fun () -> pump t ~stop:(fun () -> true))
+  else while step t do () done
 
 let pp_stats ppf s =
   Format.fprintf ppf

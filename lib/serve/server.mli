@@ -1,12 +1,16 @@
-(** Multi-query serving on one shared simulated network.
+(** Multi-query serving on one shared network.
 
     Where {!Fusion_plan.Exec_async} runs {e one} plan on a private
     network, a server multiplexes many concurrently executing fusion
-    queries onto a single {!Fusion_net.Sim.Live}: each admitted query
+    queries onto a single {!Fusion_rt.Runtime}: each admitted query
     is an {!Fusion_plan.Exec_async.Engine}, and the server's event
     loop plays scheduler — at every {!step} it either admits the next
     arrival or dispatches the pending source request its {!policy}
-    ranks first onto the shared per-source FIFO queues.
+    ranks first onto the shared per-source FIFO queues. On the
+    simulator backend (the default) time is the discrete-event clock;
+    with a {!Fusion_rt.Runtime.domains} runtime the same scheduling
+    decisions drive real concurrent execution ({!pump}) and the clock
+    is the wall.
 
     {b Scheduling policies.} [Fifo] serves requests in ready-time
     order; [Priority] prefers higher {!job.priority}; [Fair_share]
@@ -97,6 +101,7 @@ val create :
   ?cache_ttl:float ->
   ?exec_policy:Fusion_plan.Exec.policy ->
   ?shard:string ->
+  ?rt:Fusion_rt.Runtime.t ->
   Source.t array ->
   t
 (** [policy] defaults to [Fifo]; [max_inflight] (default 64) caps the
@@ -107,7 +112,10 @@ val create :
     shard this server is for in a multi-shard deployment: it is
     prepended as a [("shard", _)] label to every [fusion_serve_*]
     metric the server records (so one process-wide registry keeps the
-    shards' series apart) and labels the per-tenant summaries.
+    shards' series apart) and labels the per-tenant summaries. [rt] is
+    the execution runtime (a private simulated network if omitted);
+    the caller keeps ownership — shut a domains runtime down after the
+    server is drained.
     @raise Invalid_argument if [max_inflight < 1]. *)
 
 val submit : t -> at:float -> job -> int
@@ -121,11 +129,27 @@ val step : t -> bool
     there is nothing left to do. *)
 
 val drain : t -> unit
-(** Steps until idle: every submission completed or shed. *)
+(** Runs until idle: every submission completed or shed. On the
+    simulator this steps the event loop; on a real-clock runtime it
+    runs {!pump} under the runtime's fibre scheduler. *)
+
+val pump : t -> stop:(unit -> bool) -> unit
+(** The real-clock event loop: the same scheduling decisions as
+    {!step}, but each dispatch runs as a fibre suspended for the
+    request's wall time while the loop keeps serving other engines —
+    queries genuinely overlap and the policy still picks who goes
+    next. Returns once [stop ()] holds {e and} the server is idle;
+    {!submit} (from a concurrent fibre) nudges a waiting pump, so a
+    front end can keep feeding it. Must run inside the runtime's fibre
+    scheduler (see {!Fusion_rt.Runtime.run}). *)
 
 val on_complete : t -> (completion -> unit) -> unit
 (** Hooks run at each completion, in registration order — a
     closed-loop driver submits the next query from here. *)
+
+val on_shed : t -> (shed -> unit) -> unit
+(** Hooks run at each shed, in registration order — a front end
+    reports the rejection to the submitting client from here. *)
 
 val stats : t -> stats
 val conservation_ok : stats -> bool
@@ -153,12 +177,12 @@ val dictionary_size : t -> int
     exported as the [fusion_serve_dictionary_size] gauge. 0 when there
     are no sources. *)
 
-val live : t -> Fusion_net.Sim.Live.t
+val runtime : t -> Fusion_rt.Runtime.t
 val timeline : t -> Fusion_net.Sim.timeline
 val busy : t -> float array
 val cache_stats : t -> Fusion_plan.Answer_cache.stats
 val now : t -> float
-(** Latest simulated instant the server acted at. *)
+(** Latest instant the server acted at. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 (** The conservation line:

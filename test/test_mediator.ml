@@ -52,6 +52,96 @@ let test_run_rejects_invalid_query () =
   in
   ignore (Helpers.check_err "invalid" (Mediator.run mediator bad))
 
+let test_runtime_config () =
+  let _, mediator = fig1_mediator () in
+  (* domains + sequential execution is contradictory: clear error, not
+     a silent fallback. *)
+  let bad =
+    { Mediator.Config.default with
+      Mediator.Config.concurrency = `Seq;
+      runtime = `Domains 2;
+    }
+  in
+  let msg =
+    Helpers.check_err "seq on domains" (Mediator.run_sql ~config:bad mediator dmv_sql)
+  in
+  let contains hay needle =
+    let h = String.length hay and n = String.length needle in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "error names the fix" true (contains msg "concurrency");
+  (* domains + concurrent execution answers exactly what the simulator
+     answers. *)
+  let good =
+    { Mediator.Config.default with
+      Mediator.Config.concurrency = `Par;
+      runtime = `Domains 2;
+    }
+  in
+  let report = Helpers.check_ok (Mediator.run_sql ~config:good mediator dmv_sql) in
+  Alcotest.check Helpers.item_set "domains answer" expected report.Mediator.answer
+
+(* The TCP front end, in-process: a server thread on an ephemeral
+   loopback port, a blocking client sending two good statements and one
+   bad one, answers checked against the known fig1 result. *)
+let test_tcp_front () =
+  let module Tcp = Fusion_mediator.Tcp_front in
+  let _, mediator = fig1_mediator () in
+  let loopback = Unix.ADDR_INET (Unix.inet_addr_loopback, 0) in
+  ignore
+    (Helpers.check_err "sim runtime rejected"
+       (Tcp.serve ~max_queries:1 ~listen:loopback mediator));
+  let config =
+    { Mediator.Config.default with Mediator.Config.runtime = `Domains 2 }
+  in
+  let addr = ref None and result = ref (Error "server never ran") in
+  let m = Mutex.create () and cv = Condition.create () in
+  let on_listen a =
+    Mutex.lock m;
+    addr := Some a;
+    Condition.signal cv;
+    Mutex.unlock m
+  in
+  let server =
+    Thread.create
+      (fun () ->
+        result := Tcp.serve ~config ~max_queries:3 ~on_listen ~listen:loopback mediator)
+      ()
+  in
+  Mutex.lock m;
+  while !addr = None do
+    Condition.wait cv m
+  done;
+  let connect = Option.get !addr in
+  Mutex.unlock m;
+  let responses =
+    Helpers.check_ok (Tcp.client ~connect [ dmv_sql; "SELECT nonsense"; dmv_sql ])
+  in
+  Thread.join server;
+  Alcotest.(check int) "three responses" 3 (List.length responses);
+  let starts p l = String.length l >= String.length p && String.sub l 0 (String.length p) = p in
+  let oks = List.filter (starts "ok ") responses in
+  Alcotest.(check int) "two answers" 2 (List.length oks);
+  Alcotest.(check int) "one parse error" 1
+    (List.length (List.filter (starts "error ") responses));
+  let rows = Printf.sprintf "rows=%d" (Item_set.cardinal expected) in
+  List.iter
+    (fun l ->
+      let contains =
+        let n = String.length rows and h = String.length l in
+        let rec go i = i + n <= h && (String.sub l i n = rows || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "answer cardinality in the response" true contains)
+    oks;
+  let report = Helpers.check_ok !result in
+  Alcotest.(check int) "received" 3 report.Tcp.received;
+  Alcotest.(check int) "rejected" 1 report.Tcp.rejected;
+  Alcotest.(check int) "connections" 1 report.Tcp.connections;
+  Alcotest.(check bool) "conserves" true
+    (Fusion_serve.Server.conservation_ok report.Tcp.stats)
+
 let test_per_source_accounting () =
   let _, mediator = fig1_mediator () in
   let report = Helpers.check_ok (Mediator.run_sql
@@ -194,6 +284,8 @@ let suite =
     Alcotest.test_case "SQL end-to-end, all algorithms" `Quick test_run_sql_every_algorithm;
     Alcotest.test_case "non-fusion SQL rejected" `Quick test_run_sql_rejects_non_fusion;
     Alcotest.test_case "invalid query rejected" `Quick test_run_rejects_invalid_query;
+    Alcotest.test_case "runtime selection in the config" `Quick test_runtime_config;
+    Alcotest.test_case "tcp front end round trip" `Quick test_tcp_front;
     Alcotest.test_case "per-source accounting" `Quick test_per_source_accounting;
     Alcotest.test_case "two-phase processing" `Quick test_two_phase;
     Alcotest.test_case "two-phase beats single-phase" `Quick

@@ -71,6 +71,50 @@ let test_trace_mark_brackets () =
       | [ s ] -> Alcotest.(check string) "only the bracketed span" "after" s.Trace.name
       | l -> Alcotest.failf "expected 1 span, got %d" (List.length l))
 
+let test_trace_backwards_clock () =
+  (* A real clock can step backwards (NTP) between span open and close;
+     no span may finish before it starts. *)
+  let now = ref 100.0 in
+  let clock () =
+    let v = !now in
+    now := v -. 25.0;
+    v
+  in
+  let c = Trace.create ~clock () in
+  Trace.with_collector c (fun () ->
+      Trace.span Trace.Run "outer" (fun _ ->
+          Trace.span Trace.Step "inner" (fun _ -> ())));
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s finishes at or after start" s.Trace.name)
+        true
+        (s.Trace.finish_wall >= s.Trace.start_wall))
+    (Trace.spans c)
+
+let test_summary_real_clock_latencies () =
+  (* A wall-clock latency can come out negative (backwards clock step)
+     or non-finite; percentiles must stay finite and count every run. *)
+  let module Summary = Fusion_obs.Summary in
+  let s = Summary.create () in
+  Summary.add s ~cost:1.0 ~response_time:(-5.0) ();
+  Summary.add s ~cost:2.0 ~response_time:3.0 ();
+  Summary.add s ~cost:3.0 ~response_time:7.0 ();
+  let p = Summary.latency_percentiles s in
+  Alcotest.(check int) "finite runs counted" 3 p.Summary.n;
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool) (name ^ " finite") true (Float.is_finite v);
+      Alcotest.(check bool) (name ^ " non-negative") true (v >= 0.0))
+    [ ("p50", p.Summary.p50); ("p90", p.Summary.p90); ("p99", p.Summary.p99);
+      ("mean", p.Summary.mean); ("max", p.Summary.max) ];
+  (* All-negative input degrades to the all-zero distribution, not NaN. *)
+  let s2 = Summary.create () in
+  Summary.add s2 ~cost:1.0 ~response_time:(-1.0) ();
+  let p2 = Summary.latency_percentiles s2 in
+  Alcotest.(check int) "clamped run counted" 1 p2.Summary.n;
+  Alcotest.(check (float 1e-9)) "clamped max" 0.0 p2.Summary.max
+
 let test_kind_strings () =
   List.iter
     (fun k ->
@@ -340,6 +384,9 @@ let suite =
     Alcotest.test_case "spans finish on exceptions" `Quick test_trace_finishes_on_exception;
     Alcotest.test_case "mark brackets a region" `Quick test_trace_mark_brackets;
     Alcotest.test_case "kind strings round-trip" `Quick test_kind_strings;
+    Alcotest.test_case "backwards wall clock" `Quick test_trace_backwards_clock;
+    Alcotest.test_case "summary on real-clock latencies" `Quick
+      test_summary_real_clock_latencies;
     Alcotest.test_case "metrics series" `Quick test_metrics_series;
     Alcotest.test_case "metrics record when off" `Quick test_metrics_record_when_off;
     Alcotest.test_case "json round trip" `Quick test_json_round_trip;

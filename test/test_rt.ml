@@ -1,0 +1,296 @@
+(* The runtime layer: fibre scheduler semantics (fork/await, sleep
+   ordering, cancellation, timeouts, the no-leaked-fibres switch
+   invariant), the per-lane domain pool, and oracle equivalence of the
+   domains backend against the simulator (answers and model costs must
+   match [Exec.run]/[Exec_async.run]; only the clock differs). *)
+
+open Fusion_rt
+module Workload = Fusion_workload.Workload
+module Item_set = Fusion_data.Item_set
+module Exec = Fusion_plan.Exec
+module Exec_async = Fusion_plan.Exec_async
+module Optimizer = Fusion_core.Optimizer
+module Opt_env = Fusion_core.Opt_env
+module Optimized = Fusion_core.Optimized
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- fibre scheduler ------------------------------------------------------ *)
+
+let test_fork_await () =
+  let r =
+    Fiber.run (fun () ->
+        Fiber.Switch.run (fun sw ->
+            let a = Fiber.Switch.fork_promise sw (fun () -> 6 * 7) in
+            let b = Fiber.Switch.fork_promise sw (fun () -> Fiber.yield (); 100) in
+            Fiber.Promise.await a + Fiber.Promise.await b))
+  in
+  check_int "forked results combine" 142 r
+
+let test_fork_ordering () =
+  (* Fibres run cooperatively in fork order between suspension points. *)
+  let log = ref [] in
+  Fiber.run (fun () ->
+      Fiber.Switch.run (fun sw ->
+          Fiber.Switch.fork sw (fun () -> log := 1 :: !log; Fiber.yield (); log := 3 :: !log);
+          Fiber.Switch.fork sw (fun () -> log := 2 :: !log; Fiber.yield (); log := 4 :: !log)));
+  Alcotest.(check (list int)) "interleaved in fork order" [ 1; 2; 3; 4 ] (List.rev !log)
+
+let test_sleep_ordering () =
+  let log = ref [] in
+  Fiber.run (fun () ->
+      Fiber.Switch.run (fun sw ->
+          Fiber.Switch.fork sw (fun () -> Fiber.sleep 0.03; log := "slow" :: !log);
+          Fiber.Switch.fork sw (fun () -> Fiber.sleep 0.005; log := "fast" :: !log)));
+  Alcotest.(check (list string)) "wakes in deadline order" [ "fast"; "slow" ] (List.rev !log)
+
+let test_switch_joins () =
+  (* Switch.run must not return before its fibres are done, and no
+     fibre survives the switch: the leak-check invariant. *)
+  Fiber.run (fun () ->
+      let done_ = ref false in
+      Fiber.Switch.run (fun sw ->
+          Fiber.Switch.fork sw (fun () -> Fiber.sleep 0.005; done_ := true));
+      check_bool "forked fibre completed before run returned" true !done_;
+      check_int "no fibres outlive their switch" 0 (Fiber.pending_fibres ()))
+
+let test_cancellation () =
+  Fiber.run (fun () ->
+      let cancelled = ref false and after = ref false in
+      (try
+         Fiber.Switch.run (fun sw ->
+             Fiber.Switch.fork sw (fun () ->
+                 try Fiber.sleep 60.0; after := true
+                 with Fiber.Cancelled as e -> cancelled := true; raise e);
+             Fiber.yield ();
+             Fiber.Switch.cancel sw)
+       with Fiber.Cancelled -> ());
+      check_bool "sleeping fibre saw Cancelled" true !cancelled;
+      check_bool "cancelled fibre did not continue" false !after;
+      check_int "cancelled fibres are joined at switch exit" 0 (Fiber.pending_fibres ()))
+
+let test_child_failure_cancels_siblings () =
+  let sibling_cancelled = ref false in
+  let r =
+    Fiber.run (fun () ->
+        match
+          Fiber.Switch.run (fun sw ->
+              Fiber.Switch.fork sw (fun () ->
+                  try Fiber.sleep 60.0
+                  with Fiber.Cancelled as e -> sibling_cancelled := true; raise e);
+              Fiber.Switch.fork sw (fun () -> Fiber.yield (); failwith "boom");
+              ())
+        with
+        | () -> "returned"
+        | exception Failure msg -> msg)
+  in
+  Alcotest.(check string) "child failure re-raised from Switch.run" "boom" r;
+  check_bool "failure cancelled the sibling" true !sibling_cancelled
+
+let test_timeout () =
+  Fiber.run (fun () ->
+      (match Fiber.timeout 0.01 (fun () -> Fiber.sleep 60.0) with
+      | None -> ()
+      | Some () -> Alcotest.fail "slept through the timeout");
+      (match Fiber.timeout 10.0 (fun () -> Fiber.sleep 0.001; 17) with
+      | Some v -> check_int "fast body wins the timeout" 17 v
+      | None -> Alcotest.fail "spurious timeout");
+      check_int "timeout timers don't leak" 0 (Fiber.pending_fibres ()))
+
+let test_semaphore_mutual_exclusion () =
+  let inside = ref 0 and peak = ref 0 in
+  Fiber.run (fun () ->
+      let sem = Fiber.Semaphore.create 2 in
+      Fiber.Switch.run (fun sw ->
+          for _ = 1 to 8 do
+            Fiber.Switch.fork sw (fun () ->
+                Fiber.Semaphore.acquire sem;
+                incr inside;
+                peak := max !peak !inside;
+                Fiber.yield ();
+                decr inside;
+                Fiber.Semaphore.release sem)
+          done));
+  check_int "semaphore bounds concurrency" 2 !peak
+
+let test_stream_fifo () =
+  let got = ref [] in
+  Fiber.run (fun () ->
+      let st = Fiber.Stream.create ~capacity:2 in
+      Fiber.Switch.run (fun sw ->
+          Fiber.Switch.fork sw (fun () ->
+              for i = 1 to 5 do Fiber.Stream.add st i done);
+          Fiber.Switch.fork sw (fun () ->
+              for _ = 1 to 5 do got := Fiber.Stream.take st :: !got done)));
+  Alcotest.(check (list int)) "stream preserves order through backpressure"
+    [ 1; 2; 3; 4; 5 ] (List.rev !got)
+
+let test_deadlock_detection () =
+  check_bool "awaiting a never-resolved promise raises Deadlock" true
+    (try
+       Fiber.run (fun () ->
+           let p : int Fiber.Promise.t = Fiber.Promise.create () in
+           ignore (Fiber.Promise.await p));
+       false
+     with Fiber.Deadlock -> true)
+
+(* --- domain pool ---------------------------------------------------------- *)
+
+let test_pool_lane_serialization () =
+  let pool = Pool.create ~domains:3 ~lanes:2 in
+  let lock = Mutex.create () in
+  let running = Array.make 2 0 and overlap = ref false and finished = ref 0 in
+  let m = Mutex.create () and c = Condition.create () in
+  for i = 0 to 19 do
+    let lane = i mod 2 in
+    Pool.submit pool ~lane
+      (fun () ->
+        Mutex.lock lock;
+        running.(lane) <- running.(lane) + 1;
+        if running.(lane) > 1 then overlap := true;
+        Mutex.unlock lock;
+        Thread.yield ();
+        Mutex.lock lock;
+        running.(lane) <- running.(lane) - 1;
+        Mutex.unlock lock)
+      (fun _ ->
+        Mutex.lock m;
+        incr finished;
+        Condition.signal c;
+        Mutex.unlock m)
+  done;
+  Mutex.lock m;
+  while !finished < 20 do
+    Condition.wait c m
+  done;
+  Mutex.unlock m;
+  Pool.shutdown pool;
+  check_bool "jobs on one lane never overlap" false !overlap
+
+let test_pool_exception_delivery () =
+  let pool = Pool.create ~domains:1 ~lanes:1 in
+  let got = ref None in
+  let m = Mutex.create () and c = Condition.create () in
+  Pool.submit pool ~lane:0
+    (fun () -> failwith "worker boom")
+    (fun r ->
+      Mutex.lock m;
+      got := Some r;
+      Condition.signal c;
+      Mutex.unlock m);
+  Mutex.lock m;
+  while !got = None do
+    Condition.wait c m
+  done;
+  Mutex.unlock m;
+  Pool.shutdown pool;
+  match !got with
+  | Some (Error (Failure msg)) -> Alcotest.(check string) "exception crosses domains" "worker boom" msg
+  | _ -> Alcotest.fail "expected Error (Failure _) from the worker"
+
+(* --- runtime backends ----------------------------------------------------- *)
+
+let test_spec_parsing () =
+  check_bool "sim" (Runtime.spec_of_string "sim" = Ok `Sim) true;
+  check_bool "domains" (Runtime.spec_of_string "domains" = Ok (`Domains 0)) true;
+  check_bool "domains:3" (Runtime.spec_of_string "domains:3" = Ok (`Domains 3)) true;
+  check_bool "garbage rejected" (Result.is_error (Runtime.spec_of_string "threads")) true;
+  check_bool "domains:0 rejected" (Result.is_error (Runtime.spec_of_string "domains:0")) true
+
+let test_domains_call_measures_wall () =
+  let rt = Runtime.domains ~domains:2 ~servers:2 () in
+  Fun.protect ~finally:(fun () -> Runtime.shutdown rt) @@ fun () ->
+  let v, sched =
+    Runtime.call rt ~id:0 ~server:1 ~ready:0.0 ~deps:[] (fun () ->
+        Thread.yield ();
+        ("answer", 12.5, true))
+  in
+  Alcotest.(check string) "value returned" "answer" v;
+  check_bool "finish >= start" true Fusion_net.Sim.(sched.finish >= sched.start);
+  check_int "dispatched" 1 (Runtime.dispatched rt);
+  check_bool "timeline has wall-clock makespan" true
+    ((Runtime.timeline rt).Fusion_net.Sim.makespan >= 0.0);
+  check_bool "is_real" true (Runtime.is_real rt)
+
+let test_domains_concurrent_servers () =
+  (* Two calls on different servers from two fibres must both complete
+     under the fibre scheduler (real parallelism when cores allow). *)
+  let rt = Runtime.domains ~domains:2 ~servers:2 () in
+  Fun.protect ~finally:(fun () -> Runtime.shutdown rt) @@ fun () ->
+  let total =
+    Runtime.run rt (fun () ->
+        Fiber.Switch.run (fun sw ->
+            let a =
+              Fiber.Switch.fork_promise sw (fun () ->
+                  fst (Runtime.call rt ~id:0 ~server:0 ~ready:0.0 ~deps:[] (fun () -> (1, 0.0, true))))
+            in
+            let b =
+              Fiber.Switch.fork_promise sw (fun () ->
+                  fst (Runtime.call rt ~id:1 ~server:1 ~ready:0.0 ~deps:[] (fun () -> (2, 0.0, true))))
+            in
+            Fiber.Promise.await a + Fiber.Promise.await b))
+  in
+  check_int "both offloaded calls completed" 3 total;
+  check_int "both booked" 2 (Runtime.dispatched rt)
+
+(* --- oracle equivalence: domains backend vs the simulator ---------------- *)
+
+let plan_of inst algo =
+  let env = Opt_env.create inst.Workload.sources inst.Workload.query in
+  let optimized = Optimizer.optimize algo env in
+  (optimized.Optimized.plan, env.Opt_env.conds)
+
+let instance_gen =
+  QCheck2.Gen.map2
+    (fun spec k -> (spec, k))
+    Helpers.spec_gen
+    (QCheck2.Gen.int_bound (List.length Optimizer.all - 1))
+
+let instance_print (spec, k) =
+  Printf.sprintf "%s algo=%s" (Helpers.spec_print spec)
+    (Optimizer.name (List.nth Optimizer.all k))
+
+(* Answers and model costs from the domains backend equal the
+   sequential executor's: sources are deterministic (no faults here),
+   so every op's value is a pure function of the data whatever the
+   interleaving, and per-lane FIFO keeps each source's request
+   sequence in plan order. *)
+let domains_oracle_agreement (spec, k) =
+  let inst = Workload.generate spec in
+  let algo = List.nth Optimizer.all k in
+  let plan, conds = plan_of inst algo in
+  let seq = Exec.run ~sources:inst.Workload.sources ~conds plan in
+  Array.iter Fusion_source.Source.reset_meter inst.Workload.sources;
+  let rt = Runtime.domains ~domains:2 ~servers:(Array.length inst.Workload.sources) () in
+  let dom =
+    Fun.protect ~finally:(fun () -> Runtime.shutdown rt) @@ fun () ->
+    Exec_async.run_on ~rt ~sources:inst.Workload.sources ~conds plan
+  in
+  Item_set.equal dom.Exec_async.answer seq.Exec.answer
+  && abs_float (dom.Exec_async.total_cost -. seq.Exec.total_cost) < 1e-6
+  && dom.Exec_async.failures = seq.Exec.failures
+  && (not dom.Exec_async.partial)
+  && dom.Exec_async.makespan >= 0.0
+
+let suite =
+  [
+    Alcotest.test_case "fiber: fork/await" `Quick test_fork_await;
+    Alcotest.test_case "fiber: fork ordering" `Quick test_fork_ordering;
+    Alcotest.test_case "fiber: sleep ordering" `Quick test_sleep_ordering;
+    Alcotest.test_case "fiber: switch joins fibres" `Quick test_switch_joins;
+    Alcotest.test_case "fiber: cancellation" `Quick test_cancellation;
+    Alcotest.test_case "fiber: child failure cancels siblings" `Quick
+      test_child_failure_cancels_siblings;
+    Alcotest.test_case "fiber: timeout" `Quick test_timeout;
+    Alcotest.test_case "fiber: semaphore" `Quick test_semaphore_mutual_exclusion;
+    Alcotest.test_case "fiber: stream backpressure" `Quick test_stream_fifo;
+    Alcotest.test_case "fiber: deadlock detection" `Quick test_deadlock_detection;
+    Alcotest.test_case "pool: lane serialization" `Quick test_pool_lane_serialization;
+    Alcotest.test_case "pool: exception delivery" `Quick test_pool_exception_delivery;
+    Alcotest.test_case "runtime: spec parsing" `Quick test_spec_parsing;
+    Alcotest.test_case "runtime: domains call" `Quick test_domains_call_measures_wall;
+    Alcotest.test_case "runtime: concurrent servers" `Quick test_domains_concurrent_servers;
+    Helpers.qtest ~count:25 "runtime: domains answers equal the sequential oracle"
+      instance_gen instance_print domains_oracle_agreement;
+  ]

@@ -328,6 +328,48 @@ let test_fair_share_isolates_light_tenant () =
 
 (* --- drivers ------------------------------------------------------------- *)
 
+(* --- the domains runtime behind the serving stack ------------------------ *)
+
+(* The same serving stack on the real-concurrency runtime: jobs pumped
+   through worker domains must all complete, conserve, and answer
+   exactly what the sequential executor answers. *)
+let test_serve_on_domains () =
+  let module Runtime = Fusion_rt.Runtime in
+  let instance = Workload.generate { Workload.default_spec with seed = 5 } in
+  let env, optimized = optimize instance in
+  let expected =
+    Fusion_plan.Exec.run ~sources:instance.Workload.sources
+      ~conds:env.Opt_env.conds optimized.Optimized.plan
+  in
+  Array.iter Source.reset_meter instance.Workload.sources;
+  let rt =
+    Runtime.domains ~domains:2
+      ~servers:(Array.length instance.Workload.sources) ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Runtime.shutdown rt)
+    (fun () ->
+      let srv = Serve.create ~policy:Serve.Fifo ~rt instance.Workload.sources in
+      for i = 0 to 4 do
+        ignore
+          (Serve.submit srv ~at:(float_of_int i)
+             (job_of ~tenant:(Printf.sprintf "t%d" (i mod 2)) env optimized))
+      done;
+      Serve.drain srv;
+      let s = Serve.stats srv in
+      Alcotest.(check int) "all complete" 5 s.Serve.completed;
+      Alcotest.(check bool) "conserves" true (Serve.conservation_ok s);
+      let completions = Serve.completions srv in
+      Alcotest.(check int) "five completions" 5 (List.length completions);
+      List.iter
+        (fun (c : Serve.completion) ->
+          match c.Serve.c_answer with
+          | Some a ->
+            Alcotest.(check bool) "answer matches sequential executor" true
+              (Item_set.equal expected.Fusion_plan.Exec.answer a)
+          | None -> Alcotest.fail "query failed on the domains runtime")
+        completions)
+
 let test_drivers () =
   let instance = Workload.generate { Workload.default_spec with seed = 3 } in
   let env, optimized = optimize instance in
@@ -370,4 +412,5 @@ let suite =
     Alcotest.test_case "fair share isolates the light tenant" `Quick
       test_fair_share_isolates_light_tenant;
     Alcotest.test_case "open and closed loop drivers" `Quick test_drivers;
+    Alcotest.test_case "serving on the domains runtime" `Quick test_serve_on_domains;
   ]
