@@ -15,7 +15,10 @@
    completion/shed hooks hand response lines to the owning
    connection's outbox stream. Readers and the accept loop are daemons
    (an idle client must not block shutdown); writers are joined, so
-   every response produced before the stop condition is flushed. *)
+   every response produced before the stop condition is flushed. A
+   client that disconnects mid-stream or stops reading with a full
+   outbox is shed (socket shut down) rather than allowed to stall the
+   pump or the shutdown join. *)
 
 module Runtime = Fusion_rt.Runtime
 module Fiber = Fusion_rt.Fiber
@@ -56,16 +59,24 @@ let sockaddr_of_string s =
 
 (* --- non-blocking line IO over fibres ------------------------------------ *)
 
+(* Returns [false] when the peer is gone (EPIPE/ECONNRESET/...); the
+   caller must treat that as connection close. SIGPIPE is ignored at
+   [serve] entry so the write raises instead of killing the process. *)
 let write_all fd s =
   let b = Bytes.of_string s in
   let n = Bytes.length b in
   let rec go off =
-    if off < n then
+    if off >= n then true
+    else
       match Unix.write fd b off (n - off) with
       | w -> go (off + w)
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         Fiber.await_writable fd;
         go off
+      | exception
+          Unix.Unix_error
+            ((Unix.EPIPE | Unix.ECONNRESET | Unix.ECONNABORTED | Unix.ESHUTDOWN), _, _)
+        -> false
   in
   go 0
 
@@ -117,11 +128,21 @@ type conn = {
   mutable pending : int;  (* submitted queries not yet responded to *)
   mutable eof : bool;  (* reader saw end of stream *)
   mutable open_ends : int;  (* reader + writer still using [fd] *)
+  mutable dropped : bool;  (* peer gone or shed; stop queuing responses *)
 }
 
 let release c =
   c.open_ends <- c.open_ends - 1;
   if c.open_ends = 0 then try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+(* Sheds a connection without blocking: the shutdown wakes a writer
+   stuck in [write_all] (it sees EPIPE and exits) and gives the reader
+   EOF, so both fibres wind down on their own. *)
+let drop c =
+  if not c.dropped then begin
+    c.dropped <- true;
+    try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+  end
 
 let serve ?(config = Mediator.Config.default) ?(policy = S.Fifo) ?max_inflight
     ?cache_ttl ?max_queries ?on_listen ~listen mediator =
@@ -131,6 +152,9 @@ let serve ?(config = Mediator.Config.default) ?(policy = S.Fifo) ?max_inflight
       "the TCP front end serves on the wall clock: pass a real runtime \
        (runtime=domains)"
   | `Domains _ ->
+    (* A client that disconnects with responses in flight must surface
+       as EPIPE from [Unix.write], not kill the whole server. *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
     let srv = Mediator.Server.create ~config ?max_inflight ?cache_ttl ~policy mediator in
     let rt = Mediator.Server.runtime srv in
     let server = Mediator.Server.serve srv in
@@ -139,11 +163,19 @@ let serve ?(config = Mediator.Config.default) ?(policy = S.Fifo) ?max_inflight
     let all_conns = ref [] in
     let connections = ref 0 and received = ref 0 and rejected = ref 0 in
     let answered = ref 0 in
+    (* Runs on the pump fibre (completion/shed hooks), so it must never
+       suspend: a stalled client with a full outbox is shed rather than
+       head-of-line blocking every other connection. *)
     let respond c line =
       c.pending <- c.pending - 1;
       incr answered;
-      Fiber.Stream.add c.outbox (Some line);
-      if c.eof && c.pending = 0 then Fiber.Stream.add c.outbox None
+      if not c.dropped then begin
+        if Fiber.Stream.try_add c.outbox (Some line) then begin
+          if c.eof && c.pending = 0 then
+            ignore (Fiber.Stream.try_add c.outbox None : bool)
+        end
+        else drop c
+      end
     in
     let to_owner id line =
       match Hashtbl.find_opt conns id with
@@ -164,7 +196,7 @@ let serve ?(config = Mediator.Config.default) ?(policy = S.Fifo) ?max_inflight
         | Error msg ->
           incr rejected;
           incr answered;
-          Fiber.Stream.add c.outbox (Some ("error " ^ msg))
+          if not c.dropped then Fiber.Stream.add c.outbox (Some ("error " ^ msg))
       end
     in
     let handle_conn sw fd =
@@ -172,7 +204,7 @@ let serve ?(config = Mediator.Config.default) ?(policy = S.Fifo) ?max_inflight
       Unix.set_nonblock fd;
       let c =
         { fd; outbox = Fiber.Stream.create ~capacity:256; pending = 0; eof = false;
-          open_ends = 2 }
+          open_ends = 2; dropped = false }
       in
       all_conns := c :: !all_conns;
       (* The writer is joined at switch exit so shutdown flushes every
@@ -184,8 +216,7 @@ let serve ?(config = Mediator.Config.default) ?(policy = S.Fifo) ?max_inflight
               let rec loop () =
                 match Fiber.Stream.take c.outbox with
                 | Some line ->
-                  write_all fd (line ^ "\n");
-                  loop ()
+                  if write_all fd (line ^ "\n") then loop () else c.dropped <- true
                 | None -> ()
               in
               loop ()));
@@ -195,7 +226,7 @@ let serve ?(config = Mediator.Config.default) ?(policy = S.Fifo) ?max_inflight
             (fun () ->
               read_lines fd (handle_line c);
               c.eof <- true;
-              if c.pending = 0 then Fiber.Stream.add c.outbox None))
+              if c.pending = 0 && not c.dropped then Fiber.Stream.add c.outbox None))
     in
     let result =
       Runtime.run rt (fun () ->
@@ -214,12 +245,20 @@ let serve ?(config = Mediator.Config.default) ?(policy = S.Fifo) ?max_inflight
             Fun.protect
               ~finally:(fun () -> try Unix.close lsock with Unix.Unix_error _ -> ())
               (fun () ->
+                (* Set once the pump stops: the accept daemon stays live
+                   while writers are joined, so without this guard a
+                   late-accepted connection would fork a writer that
+                   never sees [None] and the join would never finish. *)
+                let shutting_down = ref false in
                 Fiber.Switch.run (fun sw ->
                     Fiber.Switch.fork_daemon sw (fun () ->
                         let rec accept_loop () =
                           Fiber.await_readable lsock;
                           (match Unix.accept lsock with
-                          | fd, _ -> handle_conn sw fd
+                          | fd, _ ->
+                            if !shutting_down then
+                              (try Unix.close fd with Unix.Unix_error _ -> ())
+                            else handle_conn sw fd
                           | exception
                               Unix.Unix_error
                                 ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
@@ -228,8 +267,18 @@ let serve ?(config = Mediator.Config.default) ?(policy = S.Fifo) ?max_inflight
                         in
                         accept_loop ());
                     S.pump server ~stop:(fun () -> !answered >= target);
-                    (* Flush and close every connection still open. *)
-                    List.iter (fun c -> Fiber.Stream.add c.outbox None) !all_conns);
+                    shutting_down := true;
+                    (* Flush and close every connection still open. A
+                       connection whose outbox is still full here has a
+                       stalled client: shed it instead of blocking the
+                       shutdown on its backpressure. *)
+                    List.iter
+                      (fun c ->
+                        if
+                          (not c.dropped)
+                          && not (Fiber.Stream.try_add c.outbox None)
+                        then drop c)
+                      !all_conns);
                 Ok ()))
     in
     let observations = Runtime.observations rt in
@@ -247,6 +296,7 @@ let serve ?(config = Mediator.Config.default) ?(policy = S.Fifo) ?max_inflight
    its own line, then reads response lines until every statement has
    been answered. Plain blocking sockets: the client needs no fibres. *)
 let client ?(retries = 50) ~connect statements =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let rec dial attempt =
     let fd = Unix.socket (Unix.domain_of_sockaddr connect) Unix.SOCK_STREAM 0 in
     match Unix.connect fd connect with

@@ -76,7 +76,10 @@ let check_cancel () =
   | _ -> ()
 
 let suspend_full ~cancellable ~external_ register =
-  check_cancel ();
+  (* Uncancellable suspensions (the join loops in [Switch.run]) must
+     wait even when the fibre's switch is already cancelled — raising
+     here would let children leak past their switch. *)
+  if cancellable then check_cancel ();
   Effect.perform (Suspend (cancellable, external_, register))
 
 let suspend register = suspend_full ~cancellable:true ~external_:false (fun r -> register r.fire)
@@ -407,20 +410,32 @@ module Stream = struct
       Some v
     | None -> None
 
+  let rec live_reader t =
+    match Queue.take_opt t.readers with
+    | Some r -> if r.dead () then live_reader t else Some r
+    | None -> None
+
   let add t v =
     check_cancel ();
-    let rec live_reader () =
-      match Queue.take_opt t.readers with
-      | Some r -> if r.dead () then live_reader () else Some r
-      | None -> None
-    in
-    match live_reader () with
+    match live_reader t with
     | Some r -> r.fire (Ok v)
     | None ->
       if Queue.length t.q < t.cap then Queue.push v t.q
       else
         suspend_full ~cancellable:true ~external_:false (fun r ->
             Queue.push (v, r) t.writers)
+
+  let try_add t v =
+    match live_reader t with
+    | Some r ->
+      r.fire (Ok v);
+      true
+    | None ->
+      if Queue.length t.q < t.cap then begin
+        Queue.push v t.q;
+        true
+      end
+      else false
 end
 
 (* --- the scheduler loop --------------------------------------------------- *)
@@ -511,6 +526,11 @@ let run main =
     let wfds = List.map fst sched.writers in
     match Unix.select rfds wfds [] timeout with
     | rs, ws, _ ->
+      (* Always drain a readable self-pipe here: if an enqueuer's wake
+         byte landed after [take_external] had already stolen its thunk
+         (and reset [pipe_armed]), the stray byte would otherwise make
+         every subsequent select return immediately — a busy spin. *)
+      if List.mem sched.pipe_r rs then drain_pipe sched.pipe_r;
       let fire waiters ready =
         List.iter
           (fun (fd, r) ->

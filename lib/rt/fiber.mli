@@ -127,6 +127,11 @@ module Stream : sig
   val add : 'a t -> 'a -> unit
   val take : 'a t -> 'a
 
+  val try_add : 'a t -> 'a -> bool
+  (** Non-blocking [add]: [false] when the stream is full and no reader
+      is waiting. Never suspends the calling fibre — safe on fibres
+      (like a server pump) that must not block on one consumer. *)
+
   val take_opt : 'a t -> 'a option
   (** Non-blocking [take]; never wakes writers into an empty slot it
       did not free. *)

@@ -98,6 +98,50 @@ let test_timeout () =
       | None -> Alcotest.fail "spurious timeout");
       check_int "timeout timers don't leak" 0 (Fiber.pending_fibres ()))
 
+(* An outer cancellation arriving while an inner Switch.run is joining
+   must not abort the join: children and daemons (and their
+   finalizers) still complete before the inner switch returns. *)
+let test_cancelled_join_runs_finalizers () =
+  let child_finalized = ref false and daemon_finalized = ref false in
+  Fiber.run (fun () ->
+      (match
+         Fiber.timeout 0.01 (fun () ->
+             Fiber.Switch.run (fun sw ->
+                 Fiber.Switch.fork sw (fun () ->
+                     Fun.protect
+                       ~finally:(fun () -> child_finalized := true)
+                       (fun () -> Fiber.sleep 60.0));
+                 Fiber.Switch.fork_daemon sw (fun () ->
+                     Fun.protect
+                       ~finally:(fun () -> daemon_finalized := true)
+                       (fun () -> Fiber.sleep 60.0));
+                 Fiber.sleep 60.0))
+       with
+      | None -> ()
+      | Some () -> Alcotest.fail "slept through the timeout");
+      check_bool "child finalizer ran before the switch returned" true !child_finalized;
+      check_bool "daemon finalizer ran before the switch returned" true !daemon_finalized;
+      check_int "no fibres leaked past the cancelled switch" 0 (Fiber.pending_fibres ()))
+
+let test_stream_try_add () =
+  Fiber.run (fun () ->
+      let st = Fiber.Stream.create ~capacity:2 in
+      check_bool "try_add below capacity" true (Fiber.Stream.try_add st 1);
+      check_bool "try_add at capacity" true (Fiber.Stream.try_add st 2);
+      check_bool "try_add refuses a full stream" false (Fiber.Stream.try_add st 3);
+      check_int "buffered values unharmed" 1 (Fiber.Stream.take st);
+      check_bool "take freed a slot" true (Fiber.Stream.try_add st 3);
+      let got = ref 0 in
+      Fiber.Switch.run (fun sw ->
+          Fiber.Switch.fork sw (fun () ->
+              ignore (Fiber.Stream.take st : int);
+              ignore (Fiber.Stream.take st : int);
+              got := Fiber.Stream.take st);
+          Fiber.yield ();  (* let the reader drain the queue and park *)
+          check_bool "try_add hands off to a waiting reader" true
+            (Fiber.Stream.try_add st 9));
+      check_int "parked reader received the value" 9 !got)
+
 let test_semaphore_mutual_exclusion () =
   let inside = ref 0 and peak = ref 0 in
   Fiber.run (fun () ->
@@ -283,6 +327,9 @@ let suite =
     Alcotest.test_case "fiber: child failure cancels siblings" `Quick
       test_child_failure_cancels_siblings;
     Alcotest.test_case "fiber: timeout" `Quick test_timeout;
+    Alcotest.test_case "fiber: cancelled join runs finalizers" `Quick
+      test_cancelled_join_runs_finalizers;
+    Alcotest.test_case "fiber: stream try_add" `Quick test_stream_try_add;
     Alcotest.test_case "fiber: semaphore" `Quick test_semaphore_mutual_exclusion;
     Alcotest.test_case "fiber: stream backpressure" `Quick test_stream_fifo;
     Alcotest.test_case "fiber: deadlock detection" `Quick test_deadlock_detection;
