@@ -30,6 +30,7 @@ let experiments =
     ("x17", "flat set kernels vs Set.Make reference", X17_kernels.run);
     ("x18", "sharded mediation: scatter/gather under churn", X18_shards.run);
     ("x19", "runtime backends: domains pool vs simulator oracle", X19_runtime.run);
+    ("x20", "observability overhead: metrics on vs off", X20_obs.run);
     ("check", "executable claims (regression gate)", Checks.run);
   ]
 

@@ -49,6 +49,7 @@ let job_of ?deadline env (optimized : Optimized.t) ~tenant ~priority =
     priority;
     est_cost = optimized.Optimized.est_cost;
     deadline;
+    label = "";
   }
 
 (* Response time of the query with the whole network to itself — the

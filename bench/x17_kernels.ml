@@ -211,6 +211,7 @@ let run_macro () =
       priority = 0;
       est_cost = optimized.Optimized.est_cost;
       deadline = None;
+      label = "";
     }
   in
   Driver.open_loop server ~prng:(Prng.create 4242) ~rate:0.002 ~count:120 (fun _ -> job);

@@ -123,6 +123,7 @@ let serve_batch ~domains ~expected =
               priority = 0;
               est_cost = optimized.Optimized.est_cost;
               deadline = None;
+              label = "";
             }
         in
         Hashtbl.replace owner id i

@@ -995,8 +995,30 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"HOST:PORT" ~doc)
   in
+  let admin_arg =
+    let doc =
+      "With $(b,--listen): also serve the admin HTTP endpoints ($(b,/metrics), \
+       $(b,/healthz), $(b,/statusz)) on this address. Port 0 picks a free port \
+       (printed on startup)."
+    in
+    Arg.(value & opt (some string) None & info [ "admin" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let window_arg =
+    let doc =
+      "Sliding-window span (seconds of server clock) behind the live per-tenant \
+       latency percentiles."
+    in
+    Arg.(value & opt (some float) None & info [ "window" ] ~docv:"SECS" ~doc)
+  in
+  let slow_threshold_arg =
+    let doc =
+      "Record every query slower than this many seconds of response time in the \
+       structured slow-query log (surfaced on $(b,/statusz) and after the run)."
+    in
+    Arg.(value & opt (some float) None & info [ "slow-threshold" ] ~docv:"SECS" ~doc)
+  in
   let action location queries rate seed policy tenants cache_ttl max_inflight deadline
-      prom gantt runtime listen algo verbose =
+      prom gantt runtime listen admin window slow_threshold algo verbose =
     setup_logs verbose;
     report_result
       (let* location = location in
@@ -1016,6 +1038,11 @@ let serve_cmd =
             the seeded generator; --rate/--tenants/--seed are unused. *)
          let module Tcp = Fusion_mediator.Tcp_front in
          let* addr = Tcp.sockaddr_of_string addr in
+         let* admin =
+           match admin with
+           | None -> Ok None
+           | Some a -> Result.map Option.some (Tcp.sockaddr_of_string a)
+         in
          let* () =
            match runtime with
            | `Domains _ -> Ok ()
@@ -1025,24 +1052,42 @@ let serve_cmd =
                 domains (the simulated clock cannot pace a TCP connection)"
          in
          with_mediator location (fun mediator ->
-             let config =
-               { Mediator.Config.default with Mediator.Config.algo; runtime }
-             in
-             Format.printf "listening on %s (%s runtime, policy %s), stopping after %d \
-                            queries@."
-               (Tcp.sockaddr_to_string addr)
-               (Fusion_rt.Runtime.spec_name runtime)
-               (Serve.policy_name policy) queries;
-             let* report =
-               Tcp.serve ~config ~policy ~max_inflight ?cache_ttl ~max_queries:queries
-                 ~listen:addr mediator
-             in
-             Format.printf
-               "served %d statements over %d connections (%d rejected before admission)@."
-               report.Tcp.received report.Tcp.connections report.Tcp.rejected;
-             Format.printf "%a@." Serve.pp_stats report.Tcp.stats;
-             print_calibration report.Tcp.observations;
-             Ok ())
+             (* The front end publishes runtime/serving gauges into the
+                installed registry; install one for the whole run so the
+                admin scrape (and --prom) see every counter. *)
+             let registry = Fusion_obs.Metrics.create () in
+             Fusion_obs.Metrics.with_registry registry (fun () ->
+                 let config =
+                   { Mediator.Config.default with Mediator.Config.algo; runtime }
+                 in
+                 Format.printf "listening on %s (%s runtime, policy %s), stopping \
+                                after %d queries@."
+                   (Tcp.sockaddr_to_string addr)
+                   (Fusion_rt.Runtime.spec_name runtime)
+                   (Serve.policy_name policy) queries;
+                 let admin_on_listen a =
+                   Format.printf "admin endpoints on http://%s/ (metrics, healthz, \
+                                  statusz)@."
+                     (Tcp.sockaddr_to_string a)
+                 in
+                 let* report =
+                   Tcp.serve ~config ~policy ~max_inflight ?cache_ttl
+                     ~max_queries:queries ?window ?slow_threshold ?admin
+                     ~admin_on_listen ~listen:addr mediator
+                 in
+                 Format.printf
+                   "served %d statements over %d connections (%d rejected before \
+                    admission)@."
+                   report.Tcp.received report.Tcp.connections report.Tcp.rejected;
+                 Format.printf "%a@." Serve.pp_stats report.Tcp.stats;
+                 print_calibration report.Tcp.observations;
+                 (match prom with
+                 | Some path ->
+                   Fusion_obs.Prom.write_file path
+                     (Fusion_obs.Metrics.snapshot registry);
+                   Format.eprintf "metrics written to %s@." path
+                 | None -> ());
+                 Ok ()))
        | None ->
          with_mediator location (fun mediator ->
              let registry = Fusion_obs.Metrics.create () in
@@ -1050,9 +1095,14 @@ let serve_cmd =
                  let config =
                    { Mediator.Config.default with Mediator.Config.algo; runtime }
                  in
+                 let slow_log =
+                   Option.map
+                     (fun t -> Fusion_serve.Slow_log.create ~threshold:t ())
+                     slow_threshold
+                 in
                  let srv =
                    Mediator.Server.create ~config ~policy ~max_inflight ?cache_ttl
-                     mediator
+                     ?window ?slow_log mediator
                  in
                  let prng = Fusion_stats.Prng.create seed in
                  let schema = Mediator.schema mediator in
@@ -1131,6 +1181,15 @@ let serve_cmd =
                    Format.printf "shed rate: %.1f%%@." (100.0 *. shed_rate);
                    Format.printf "answer cache: %a@." Fusion_plan.Answer_cache.pp_stats
                      (Serve.cache_stats server);
+                   (match slow_log with
+                   | None -> ()
+                   | Some l ->
+                     let module Sl = Fusion_serve.Slow_log in
+                     Format.printf "slow queries (> %gs response): %d recorded@."
+                       (Sl.threshold l) (Sl.recorded l);
+                     List.iter
+                       (fun e -> Format.printf "  %a@." Sl.pp_entry e)
+                       (Sl.entries l));
                    Format.printf "%a@." Serve.pp_stats s;
                    if gantt then begin
                      let sources = Mediator.sources mediator in
@@ -1160,7 +1219,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const action $ location_term $ queries_arg $ rate_arg $ seed_arg $ policy_arg
           $ tenants_arg $ cache_ttl_arg $ max_inflight_arg $ deadline_arg $ prom_arg
-          $ gantt_arg $ runtime_arg $ listen_arg $ algo_arg $ verbose_arg)
+          $ gantt_arg $ runtime_arg $ listen_arg $ admin_arg $ window_arg
+          $ slow_threshold_arg $ algo_arg $ verbose_arg)
 
 (* --- client -------------------------------------------------------------- *)
 
@@ -1202,11 +1262,158 @@ let client_cmd =
   Cmd.v (Cmd.info "client" ~doc)
     Term.(const action $ connect_arg $ sqls_arg $ retries_arg $ verbose_arg)
 
+(* --- top ------------------------------------------------------------------ *)
+
+(* A polling terminal view over a running front end's /statusz: the
+   serving counters, scheduler/pool introspection and per-tenant
+   sliding-window percentiles, refreshed every --interval seconds. *)
+let top_cmd =
+  let module Tcp = Fusion_mediator.Tcp_front in
+  let module Admin = Fusion_mediator.Admin_front in
+  let module Json = Fusion_obs.Json in
+  let connect_arg =
+    let doc = "Admin address of a running 'fqcli serve --listen --admin' front end." in
+    Arg.(required & opt (some string) None
+         & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let interval_arg =
+    let doc = "Seconds between refreshes." in
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SECS" ~doc)
+  in
+  let iterations_arg =
+    let doc = "Stop after this many refreshes (0: until interrupted or the \
+               server goes away)." in
+    Arg.(value & opt int 0 & info [ "iterations" ] ~docv:"N" ~doc)
+  in
+  let raw_arg =
+    let doc = "Print the raw /statusz JSON instead of the rendered view (for \
+               scripts and CI)." in
+    Arg.(value & flag & info [ "raw" ] ~doc)
+  in
+  (* Total accessors: a missing or mistyped field renders as 0/"?"
+     rather than failing the whole view — the server may be older or
+     newer than this client. *)
+  let fld j name = Option.value ~default:Json.Null (Json.member name j) in
+  let inum j name = Option.value ~default:0 (Option.bind (Json.member name j) Json.to_int) in
+  let fnum j name = Option.value ~default:0.0 (Option.bind (Json.member name j) Json.to_float) in
+  let snum j name = Option.value ~default:"?" (Option.bind (Json.member name j) Json.to_str) in
+  let render j =
+    Format.printf "uptime %.0fs  runtime %s  policy %s  window %gs@."
+      (fnum j "uptime_seconds") (snum j "runtime") (snum j "policy")
+      (fnum j "window_span_seconds");
+    Format.printf "front end: %d connections, %d received, %d rejected@."
+      (inum j "connections") (inum j "received") (inum j "rejected");
+    let st = fld j "stats" and sbr = fld j "shed_by_reason" in
+    Format.printf
+      "queries: %d submitted  %d queued  %d in-flight  %d completed  %d shed \
+       (queue-full %d, deadline %d)@."
+      (inum st "submitted") (inum st "queued") (inum st "in_flight")
+      (inum st "completed") (inum st "shed") (inum sbr "queue_full")
+      (inum sbr "deadline_unmeetable");
+    (match fld j "pool" with
+    | Json.Obj _ as p ->
+      Format.printf
+        "pool: %d domains, %d/%d lanes busy, %d queued (high water %d), %d executed@."
+        (inum p "domains") (inum p "busy_lanes") (inum p "lanes")
+        (inum p "queued_jobs") (inum p "queue_high_water") (inum p "executed")
+    | _ -> ());
+    (match fld j "scheduler" with
+    | Json.Obj _ as sc ->
+      Format.printf
+        "scheduler: %d fibres (run queue %d, sleeping %d, io %d, external %d), \
+         %d polls, %.3fs poll wait@."
+        (inum sc "fibres_live") (inum sc "run_queue") (inum sc "sleepers")
+        (inum sc "io_waiting") (inum sc "ext_pending") (inum sc "polls")
+        (fnum sc "poll_wait_seconds")
+    | _ -> ());
+    let c = fld j "cache" in
+    Format.printf "cache: %d lookups, %d coalesced, %d replayed, %d expired@."
+      (inum c "lookups") (inum c "inflight_hits") (inum c "cached_hits")
+      (inum c "expirations");
+    (match fld j "tenants" with
+    | Json.List (_ :: _ as ts) ->
+      Format.printf "%-10s %9s %5s %8s %8s %8s %8s@." "tenant" "completed" "shed"
+        "win_n" "p50" "p90" "p99";
+      List.iter
+        (fun t ->
+          let w = fld t "window" in
+          Format.printf "%-10s %9d %5d %8d %8.3f %8.3f %8.3f@." (snum t "tenant")
+            (inum t "completed") (inum t "shed") (inum w "n") (fnum w "p50")
+            (fnum w "p90") (fnum w "p99"))
+        ts
+    | _ -> ());
+    (match fld j "slow_queries" with
+    | Json.Obj _ as sq ->
+      Format.printf "slow queries (> %gs): %d recorded@." (fnum sq "threshold")
+        (inum sq "recorded");
+      (match fld sq "entries" with
+      | Json.List entries ->
+        List.iteri
+          (fun i e ->
+            if i < 5 then
+              let label = snum e "label" in
+              let label =
+                if String.length label > 48 then String.sub label 0 45 ^ "..."
+                else label
+              in
+              Format.printf "  id=%d %s %.3fs [%s] %s@." (inum e "id")
+                (snum e "tenant") (fnum e "response") (snum e "plan_shape") label)
+          entries
+      | _ -> ())
+    | _ -> ());
+    Format.printf "@."
+  in
+  let action connect interval iterations raw verbose =
+    setup_logs verbose;
+    report_result
+      (let* addr = Tcp.sockaddr_of_string connect in
+       if interval <= 0.0 then Error "--interval must be positive"
+       else if iterations < 0 then Error "--iterations must be non-negative"
+       else
+         let clear = (not raw) && Unix.isatty Unix.stdout in
+         let rec loop k =
+           if iterations > 0 && k > iterations then Ok ()
+           else
+             (* Retry only the first dial: once we have seen the server,
+                a refused connection means it is gone. *)
+             let* status, body =
+               Admin.http_get ~retries:(if k = 1 then 50 else 0) ~connect:addr
+                 "/statusz"
+             in
+             if status <> 200 then
+               Error (Printf.sprintf "/statusz returned HTTP %d" status)
+             else
+               let* () =
+                 if raw then begin
+                   print_string body;
+                   if not (String.length body > 0 && body.[String.length body - 1] = '\n')
+                   then print_newline ();
+                   Ok ()
+                 end
+                 else
+                   let* j = Json.of_string (String.trim body) in
+                   if clear then print_string "\027[H\027[2J";
+                   render j;
+                   Ok ()
+               in
+               if iterations > 0 && k = iterations then Ok ()
+               else begin
+                 Unix.sleepf interval;
+                 loop (k + 1)
+               end
+         in
+         loop 1)
+  in
+  let doc = "live view of a serving front end's /statusz" in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(const action $ connect_arg $ interval_arg $ iterations_arg $ raw_arg
+          $ verbose_arg)
+
 let main_cmd =
   let doc = "fusion queries over (simulated) Internet databases" in
   let info = Cmd.info "fqcli" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ gen_cmd; run_cmd; explain_cmd; compare_cmd; profile_cmd; trace_cmd; shell_cmd;
-      serve_cmd; client_cmd ]
+      serve_cmd; client_cmd; top_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

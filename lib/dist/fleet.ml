@@ -50,6 +50,7 @@ let submit t ~at ?(tenant = "default") ?(priority = 0) ?deadline query =
         priority;
         est_cost = optimized.Optimized.est_cost;
         deadline;
+        label = "";
       }
     in
     let per_shard = Array.map (fun server -> Serve.submit server ~at job) t.servers in

@@ -1,0 +1,247 @@
+(* A minimal HTTP/1.0 admin listener on the fibre scheduler.
+
+   Serves the live-observability endpoints next to the SQL front end
+   (same Switch, same scheduler domain, no extra threads):
+
+     GET /metrics   Prometheus 0.0.4 text of the installed registry
+                    (the [refresh] hook runs first so runtime/serve
+                    gauges are point-in-time at the scrape)
+     GET /healthz   "ok"
+     GET /statusz   one JSON object from the [statusz] hook
+
+   One request per connection ([Connection: close]); request bodies are
+   not read — enough for curl, Prometheus scrapers and [fqcli top],
+   with none of an HTTP stack's surface. Handler fibres are daemons:
+   an admin client never blocks front-end shutdown. *)
+
+module Fiber = Fusion_rt.Fiber
+module Metrics = Fusion_obs.Metrics
+module Prom = Fusion_obs.Prom
+module Json = Fusion_obs.Json
+
+type handlers = {
+  refresh : unit -> unit; (* runs before every /metrics scrape *)
+  registry : Metrics.t; (* what /metrics exports *)
+  statusz : unit -> Json.t; (* what /statusz serializes *)
+}
+
+(* Identical failure semantics to Tcp_front's writer: [false] = peer
+   gone, caller treats as close. *)
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off >= n then true
+    else
+      match Unix.write fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Fiber.await_writable fd;
+        go off
+      | exception
+          Unix.Unix_error
+            ((Unix.EPIPE | Unix.ECONNRESET | Unix.ECONNABORTED | Unix.ESHUTDOWN), _, _)
+        -> false
+  in
+  go 0
+
+(* Reads until the end of the request head (blank line) or EOF and
+   returns the request line; headers are ignored. Bounded: a peer
+   streaming an endless head is cut off at 16 KiB. *)
+let read_request_line fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    if Buffer.length buf > 16384 then None
+    else if
+      let s = Buffer.contents buf in
+      let has sub =
+        let n = String.length s and m = String.length sub in
+        let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+        at 0
+      in
+      has "\r\n\r\n" || has "\n\n"
+    then Some (Buffer.contents buf)
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Fiber.await_readable fd;
+        go ()
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> None
+  in
+  match go () with
+  | None -> None
+  | Some head ->
+    let line =
+      match String.index_opt head '\n' with
+      | Some i -> String.sub head 0 i
+      | None -> head
+    in
+    Some (String.trim line)
+
+let response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let handle_request h = function
+  | "/metrics" ->
+    h.refresh ();
+    response ~status:"200 OK"
+      ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+      (Prom.of_registry h.registry)
+  | "/healthz" -> response ~status:"200 OK" ~content_type:"text/plain" "ok\n"
+  | "/statusz" ->
+    (match Json.to_string (h.statusz ()) with
+    | body ->
+      response ~status:"200 OK" ~content_type:"application/json" (body ^ "\n")
+    | exception Invalid_argument msg ->
+      response ~status:"500 Internal Server Error" ~content_type:"text/plain"
+        ("statusz serialization failed: " ^ msg ^ "\n"))
+  | path ->
+    response ~status:"404 Not Found" ~content_type:"text/plain"
+      (Printf.sprintf "no such endpoint %s (try /metrics, /healthz, /statusz)\n"
+         path)
+
+let handle_conn h fd =
+  Unix.set_nonblock fd;
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match read_request_line fd with
+      | None -> ()
+      | Some line ->
+        let reply =
+          match String.split_on_char ' ' line with
+          | "GET" :: path :: _ ->
+            (* Strip any query string: /statusz?pretty -> /statusz. *)
+            let path =
+              match String.index_opt path '?' with
+              | Some i -> String.sub path 0 i
+              | None -> path
+            in
+            handle_request h path
+          | _ ->
+            response ~status:"405 Method Not Allowed" ~content_type:"text/plain"
+              "only GET is supported\n"
+        in
+        ignore (write_all fd reply : bool))
+
+let start ~sw ?on_listen ~listen h =
+  let lsock = Unix.socket (Unix.domain_of_sockaddr listen) Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  match Unix.bind lsock listen with
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close lsock with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "cannot listen on %s (admin): %s"
+         (match listen with
+         | Unix.ADDR_INET (a, p) ->
+           Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+         | Unix.ADDR_UNIX p -> p)
+         (Unix.error_message e))
+  | () ->
+    Unix.listen lsock 16;
+    Unix.set_nonblock lsock;
+    Option.iter (fun f -> f (Unix.getsockname lsock)) on_listen;
+    Fiber.Switch.fork_daemon sw (fun () ->
+        Fun.protect
+          ~finally:(fun () -> try Unix.close lsock with Unix.Unix_error _ -> ())
+          (fun () ->
+            let rec accept_loop () =
+              Fiber.await_readable lsock;
+              (match Unix.accept lsock with
+              | fd, _ -> Fiber.Switch.fork_daemon sw (fun () -> handle_conn h fd)
+              | exception
+                  Unix.Unix_error
+                    ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+                -> ());
+              accept_loop ()
+            in
+            accept_loop ()));
+    Ok ()
+
+(* --- a minimal blocking client, for fqcli top and smoke tests ------------ *)
+
+let http_get ?(retries = 50) ~connect path =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let rec dial attempt =
+    let fd = Unix.socket (Unix.domain_of_sockaddr connect) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd connect with
+    | () -> Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if attempt >= retries then
+        Error (Printf.sprintf "cannot connect: %s" (Unix.error_message e))
+      else begin
+        Unix.sleepf 0.1;
+        dial (attempt + 1)
+      end
+  in
+  match dial 0 with
+  | Error _ as e -> e
+  | Ok fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let request =
+          Printf.sprintf "GET %s HTTP/1.0\r\nConnection: close\r\n\r\n" path
+        in
+        let b = Bytes.of_string request in
+        let rec send off =
+          if off < Bytes.length b then
+            send (off + Unix.write fd b off (Bytes.length b - off))
+        in
+        match send 0 with
+        | exception Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "send failed: %s" (Unix.error_message e))
+        | () ->
+          let buf = Buffer.create 4096 in
+          let chunk = Bytes.create 4096 in
+          let rec recv () =
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> ()
+            | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              recv ()
+            | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+              -> ()
+          in
+          recv ();
+          let raw = Buffer.contents buf in
+          let find_sub s sub =
+            let n = String.length s and m = String.length sub in
+            let rec at i =
+              if i + m > n then None
+              else if String.sub s i m = sub then Some i
+              else at (i + 1)
+            in
+            at 0
+          in
+          let status =
+            match String.index_opt raw ' ' with
+            | Some i -> (
+              let rest = String.sub raw (i + 1) (String.length raw - i - 1) in
+              match String.index_opt rest ' ' with
+              | Some j -> (
+                match int_of_string_opt (String.sub rest 0 j) with
+                | Some code -> code
+                | None -> 0)
+              | None -> 0)
+            | None -> 0
+          in
+          let body =
+            match find_sub raw "\r\n\r\n" with
+            | Some i -> String.sub raw (i + 4) (String.length raw - i - 4)
+            | None -> (
+              match find_sub raw "\n\n" with
+              | Some i -> String.sub raw (i + 2) (String.length raw - i - 2)
+              | None -> "")
+          in
+          if status = 0 then Error "malformed HTTP response"
+          else Ok (status, body))

@@ -1,0 +1,52 @@
+(** Admin HTTP listener: live observability for a serving process.
+
+    A deliberately minimal HTTP/1.0 server running on the same
+    {!Fusion_rt.Fiber} scheduler as the SQL front end — no extra
+    threads, no HTTP dependency. Three endpoints:
+
+    - [GET /metrics] — the installed {!Fusion_obs.Metrics} registry in
+      Prometheus 0.0.4 text format (byte-exact {!Fusion_obs.Prom}
+      output). The [refresh] hook runs first, so point-in-time gauges
+      (run-queue depth, window percentiles, GC stats) are current at
+      the scrape.
+    - [GET /healthz] — ["ok\n"], status 200: liveness only.
+    - [GET /statusz] — one JSON object built by the [statusz] hook:
+      uptime, scheduler and pool introspection, per-tenant sliding
+      window percentiles, admission-control sheds, slow queries.
+
+    Every connection serves one request and closes
+    ([Connection: close]). Unknown paths get 404, non-GET methods 405.
+    Handler fibres are daemons, so a slow scraper never delays
+    front-end shutdown. *)
+
+type handlers = {
+  refresh : unit -> unit;
+      (** Runs before each [/metrics] scrape — publish point-in-time
+          gauges into [registry] here. *)
+  registry : Fusion_obs.Metrics.t;  (** What [/metrics] exports. *)
+  statusz : unit -> Fusion_obs.Json.t;
+      (** Built fresh per [/statusz] request. *)
+}
+
+val start :
+  sw:Fusion_rt.Fiber.Switch.t ->
+  ?on_listen:(Unix.sockaddr -> unit) ->
+  listen:Unix.sockaddr ->
+  handlers ->
+  (unit, string) result
+(** Binds [listen], reports the bound address through [on_listen]
+    (useful with port 0), and forks a daemon accept loop on [sw].
+    Returns immediately; the listener dies with the switch. [Error]
+    when the address cannot be bound. Must be called on the fibre
+    scheduler. *)
+
+val http_get :
+  ?retries:int ->
+  connect:Unix.sockaddr ->
+  string ->
+  (int * string, string) result
+(** Blocking one-shot client: [http_get ~connect "/statusz"] dials
+    (retrying [retries] times, 100ms apart, while the listener comes
+    up), sends a GET, and returns [(status code, body)]. For [fqcli
+    top], smoke tests, and scripts; runs on plain blocking sockets —
+    {b not} inside the fibre scheduler. *)

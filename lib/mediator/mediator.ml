@@ -391,7 +391,7 @@ module Server = struct
   }
 
   let create ?(config = Config.default) ?(policy = S.Fifo) ?(max_inflight = 64)
-      ?cache_ttl med =
+      ?cache_ttl ?window ?slow_log med =
     let rt =
       Runtime.of_spec config.Config.runtime ~servers:(Array.length med.sources)
     in
@@ -400,14 +400,15 @@ module Server = struct
       config;
       srv =
         S.create ~policy ~max_inflight ?cache_ttl ~exec_policy:(Config.policy config)
-          ~rt med.sources;
+          ?window ?slow_log ~rt med.sources;
       index = Hashtbl.create 32;
     }
 
   let serve t = t.srv
   let mediator t = t.med
 
-  let submit t ~at ?(tenant = "default") ?(priority = 0) ?deadline query =
+  let submit t ~at ?(tenant = "default") ?(priority = 0) ?deadline ?(label = "")
+      query =
     match Fusion_query.Query.validate (schema t.med) query with
     | Error msg -> Error ("invalid query: " ^ msg)
     | Ok () ->
@@ -422,6 +423,7 @@ module Server = struct
           priority;
           est_cost = optimized.Optimized.est_cost;
           deadline;
+          label;
         }
       in
       let id = S.submit t.srv ~at job in
@@ -431,7 +433,7 @@ module Server = struct
   let submit_sql t ~at ?tenant ?priority ?deadline text =
     match Fusion_query.Sql.parse_fusion ~schema:(schema t.med) ~union:t.med.union text with
     | Error msg -> Error msg
-    | Ok query -> submit t ~at ?tenant ?priority ?deadline query
+    | Ok query -> submit t ~at ?tenant ?priority ?deadline ~label:text query
 
   let step t = S.step t.srv
   let drain t = S.drain t.srv

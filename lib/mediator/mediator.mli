@@ -174,6 +174,8 @@ module Server : sig
     ?policy:Fusion_serve.Server.policy ->
     ?max_inflight:int ->
     ?cache_ttl:float ->
+    ?window:float ->
+    ?slow_log:Fusion_serve.Slow_log.t ->
     mediator ->
     t
   (** [config] drives per-submission optimization and the retry policy
@@ -187,11 +189,13 @@ module Server : sig
     ?tenant:string ->
     ?priority:int ->
     ?deadline:float ->
+    ?label:string ->
     Fusion_query.Query.t ->
     (int, string) result
   (** Optimizes the query and enqueues it at simulated instant [at];
       returns the submission id. [tenant] defaults to ["default"],
-      [priority] to 0. *)
+      [priority] to 0. [label] is carried into the slow-query log
+      ({!submit_sql} passes the SQL text). *)
 
   val submit_sql :
     t ->

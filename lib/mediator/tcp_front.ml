@@ -22,10 +22,16 @@
 
 module Runtime = Fusion_rt.Runtime
 module Fiber = Fusion_rt.Fiber
+module Pool = Fusion_rt.Pool
 module S = Fusion_serve.Server
+module Slow_log = Fusion_serve.Slow_log
 module Item_set = Fusion_data.Item_set
 module Value = Fusion_data.Value
 module Meter = Fusion_net.Meter
+module Metrics = Fusion_obs.Metrics
+module Summary = Fusion_obs.Summary
+module Window = Fusion_obs.Window
+module Json = Fusion_obs.Json
 
 type report = {
   connections : int;  (** connections accepted *)
@@ -120,6 +126,19 @@ let completion_line (c : S.completion) =
 let shed_line (s : S.shed) =
   Printf.sprintf "shed id=%d reason=%s" s.S.s_id (S.shed_reason_name s.S.s_reason)
 
+(* --- the admin view ------------------------------------------------------ *)
+
+(* [Json.to_string] refuses non-finite numbers; percentiles over an
+   empty window are all-zero, but poll-wait arithmetic could in theory
+   go non-finite, so every float goes through this guard. *)
+let fnum v = if Float.is_finite v then Json.Float v else Json.Null
+
+let percentiles_json (p : Summary.percentiles) =
+  Json.Obj
+    [ ("p50", fnum p.Summary.p50); ("p90", fnum p.Summary.p90);
+      ("p99", fnum p.Summary.p99); ("mean", fnum p.Summary.mean);
+      ("max", fnum p.Summary.max); ("n", Json.Int p.Summary.n) ]
+
 (* --- the server ---------------------------------------------------------- *)
 
 type conn = {
@@ -145,17 +164,24 @@ let drop c =
   end
 
 let serve ?(config = Mediator.Config.default) ?(policy = S.Fifo) ?max_inflight
-    ?cache_ttl ?max_queries ?on_listen ~listen mediator =
+    ?cache_ttl ?max_queries ?window ?slow_threshold ?admin ?admin_on_listen
+    ?on_listen ~listen mediator =
   match config.Mediator.Config.runtime with
   | `Sim ->
     Error
       "the TCP front end serves on the wall clock: pass a real runtime \
        (runtime=domains)"
-  | `Domains _ ->
+  | `Domains ndomains ->
     (* A client that disconnects with responses in flight must surface
        as EPIPE from [Unix.write], not kill the whole server. *)
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-    let srv = Mediator.Server.create ~config ?max_inflight ?cache_ttl ~policy mediator in
+    let slow_log =
+      Option.map (fun t -> Slow_log.create ~threshold:t ()) slow_threshold
+    in
+    let srv =
+      Mediator.Server.create ~config ?max_inflight ?cache_ttl ?window ?slow_log
+        ~policy mediator
+    in
     let rt = Mediator.Server.runtime srv in
     let server = Mediator.Server.serve srv in
     let target = Option.value ~default:max_int max_queries in
@@ -163,6 +189,94 @@ let serve ?(config = Mediator.Config.default) ?(policy = S.Fifo) ?max_inflight
     let all_conns = ref [] in
     let connections = ref 0 and received = ref 0 and rejected = ref 0 in
     let answered = ref 0 in
+    let started = Unix.gettimeofday () in
+    (* Built fresh per /statusz request, on the scheduler domain — so
+       [Fiber.stats] is readable and the pump's state is quiescent
+       (fibres only interleave at suspension points). *)
+    let statusz () =
+      let st = S.stats server in
+      let queue_full, deadline_unmeetable = S.shed_counts server in
+      let cs = S.cache_stats server in
+      let pool =
+        match Runtime.pool_stats rt with
+        | None -> Json.Null
+        | Some ps ->
+          Json.Obj
+            [ ("domains", Json.Int ps.Pool.domains);
+              ("lanes", Json.Int ps.Pool.lane_count);
+              ("busy_lanes", Json.Int ps.Pool.busy_lanes);
+              ("queued_jobs", Json.Int ps.Pool.queued_jobs);
+              ("queue_high_water", Json.Int ps.Pool.queue_high_water);
+              ("executed", Json.Int ps.Pool.executed) ]
+      in
+      let scheduler =
+        match Fiber.stats () with
+        | None -> Json.Null
+        | Some fs ->
+          Json.Obj
+            [ ("fibres_live", Json.Int fs.Fiber.live);
+              ("run_queue", Json.Int fs.Fiber.run_queue);
+              ("sleepers", Json.Int fs.Fiber.sleepers);
+              ("io_waiting", Json.Int fs.Fiber.io_waiting);
+              ("ext_pending", Json.Int fs.Fiber.ext_pending);
+              ("polls", Json.Int fs.Fiber.polls);
+              ("poll_wait_seconds", fnum fs.Fiber.poll_wait) ]
+      in
+      let snow = S.now server in
+      let tenants =
+        List.map
+          (fun (name, ts) ->
+            Json.Obj
+              [ ("tenant", Json.Str name);
+                ("submitted", Json.Int ts.S.ts_submitted);
+                ("completed", Json.Int ts.S.ts_completed);
+                ("shed", Json.Int ts.S.ts_shed);
+                ("consumed", fnum ts.S.ts_consumed);
+                ( "window",
+                  percentiles_json (Window.snapshot ts.S.ts_window ~now:snow) );
+                ( "cumulative",
+                  percentiles_json (Summary.latency_percentiles ts.S.ts_summary)
+                ) ])
+          (S.tenants server)
+      in
+      Json.Obj
+        [ ("uptime_seconds", fnum (Unix.gettimeofday () -. started));
+          ("runtime", Json.Str (Printf.sprintf "domains:%d" ndomains));
+          ("policy", Json.Str (S.policy_name policy));
+          ("window_span_seconds", fnum (S.window_span server));
+          ("connections", Json.Int !connections);
+          ("received", Json.Int !received);
+          ("rejected", Json.Int !rejected);
+          ( "stats",
+            Json.Obj
+              [ ("submitted", Json.Int st.S.submitted);
+                ("queued", Json.Int st.S.queued);
+                ("in_flight", Json.Int st.S.in_flight);
+                ("completed", Json.Int st.S.completed);
+                ("shed", Json.Int st.S.shed) ] );
+          ( "shed_by_reason",
+            Json.Obj
+              [ ("queue_full", Json.Int queue_full);
+                ("deadline_unmeetable", Json.Int deadline_unmeetable) ] );
+          ("pool", pool);
+          ("scheduler", scheduler);
+          ( "cache",
+            Json.Obj
+              [ ("lookups", Json.Int cs.Fusion_plan.Answer_cache.lookups);
+                ( "inflight_hits",
+                  Json.Int cs.Fusion_plan.Answer_cache.inflight_hits );
+                ("cached_hits", Json.Int cs.Fusion_plan.Answer_cache.cached_hits);
+                ( "expirations",
+                  Json.Int cs.Fusion_plan.Answer_cache.expirations );
+                ( "staleness_sum",
+                  fnum cs.Fusion_plan.Answer_cache.staleness_sum );
+                ( "staleness_max",
+                  fnum cs.Fusion_plan.Answer_cache.staleness_max ) ] );
+          ("tenants", Json.List tenants);
+          ( "slow_queries",
+            match slow_log with None -> Json.Null | Some l -> Slow_log.to_json l
+          ) ]
+    in
     (* Runs on the pump fibre (completion/shed hooks), so it must never
        suspend: a stalled client with a full outbox is shed rather than
        head-of-line blocking every other connection. *)
@@ -242,15 +356,65 @@ let serve ?(config = Mediator.Config.default) ?(policy = S.Fifo) ?max_inflight
             Unix.listen lsock 16;
             Unix.set_nonblock lsock;
             Option.iter (fun f -> f (Unix.getsockname lsock)) on_listen;
+            (* Set when this serve installed the process registry itself
+               (admin requested, none installed): it is uninstalled on
+               the way out so one serve run does not leave global
+               recording state behind. *)
+            let installed_registry = ref false in
             Fun.protect
-              ~finally:(fun () -> try Unix.close lsock with Unix.Unix_error _ -> ())
+              ~finally:(fun () ->
+                if !installed_registry then Metrics.uninstall ();
+                try Unix.close lsock with Unix.Unix_error _ -> ())
               (fun () ->
                 (* Set once the pump stops: the accept daemon stays live
                    while writers are joined, so without this guard a
                    late-accepted connection would fork a writer that
                    never sees [None] and the join would never finish. *)
                 let shutting_down = ref false in
+                let admin_error = ref None in
                 Fiber.Switch.run (fun sw ->
+                    let admin_ok =
+                      match admin with
+                      | None -> true
+                      | Some addr ->
+                        (* Reuse the process registry if the embedding
+                           app installed one (its counters then show up
+                           on /metrics too); install a fresh one
+                           otherwise so the scrape is never empty. *)
+                        let registry =
+                          match Metrics.installed () with
+                          | Some r -> r
+                          | None ->
+                            let r = Metrics.create () in
+                            Metrics.install r;
+                            installed_registry := true;
+                            r
+                        in
+                        let refresh () =
+                          Runtime.publish_metrics rt;
+                          S.publish_metrics server
+                        in
+                        (match
+                           Admin_front.start ~sw ?on_listen:admin_on_listen
+                             ~listen:addr
+                             { Admin_front.refresh; registry; statusz }
+                         with
+                        | Ok () ->
+                          (* Keep point-in-time gauges (GC, run queue,
+                             lane occupancy) fresh between scrapes. *)
+                          Fiber.Switch.fork_daemon sw (fun () ->
+                              let rec tick () =
+                                refresh ();
+                                Fiber.sleep 1.0;
+                                tick ()
+                              in
+                              tick ());
+                          true
+                        | Error msg ->
+                          admin_error := Some msg;
+                          false)
+                    in
+                    if admin_ok then begin
                     Fiber.Switch.fork_daemon sw (fun () ->
                         let rec accept_loop () =
                           Fiber.await_readable lsock;
@@ -278,8 +442,11 @@ let serve ?(config = Mediator.Config.default) ?(policy = S.Fifo) ?max_inflight
                           (not c.dropped)
                           && not (Fiber.Stream.try_add c.outbox None)
                         then drop c)
-                      !all_conns);
-                Ok ()))
+                      !all_conns
+                    end);
+                (match !admin_error with
+                | Some msg -> Error msg
+                | None -> Ok ())))
     in
     let observations = Runtime.observations rt in
     let stats = Mediator.Server.stats srv in

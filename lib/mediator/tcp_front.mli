@@ -34,6 +34,10 @@ val serve :
   ?max_inflight:int ->
   ?cache_ttl:float ->
   ?max_queries:int ->
+  ?window:float ->
+  ?slow_threshold:float ->
+  ?admin:Unix.sockaddr ->
+  ?admin_on_listen:(Unix.sockaddr -> unit) ->
   ?on_listen:(Unix.sockaddr -> unit) ->
   listen:Unix.sockaddr ->
   Mediator.t ->
@@ -47,7 +51,20 @@ val serve :
     [config.runtime] must be a real-clock backend ([`Domains _]);
     [`Sim] is an error — a socket cannot wait on a simulated clock.
     [policy], [max_inflight], [cache_ttl] as in
-    {!Fusion_serve.Server.create}. *)
+    {!Fusion_serve.Server.create}.
+
+    {b Observability.} [admin] additionally binds an {!Admin_front}
+    listener on the same fibre scheduler ([/metrics], [/healthz],
+    [/statusz]; [admin_on_listen] reports its bound address). When no
+    {!Fusion_obs.Metrics} registry is installed, one is installed so
+    the scrape is never empty; a daemon republishes point-in-time
+    runtime/serving gauges every second and before every scrape.
+    [window] is the per-tenant sliding-window span in seconds (default
+    60) behind the live percentiles; [slow_threshold] enables the
+    structured slow-query log ({!Fusion_serve.Slow_log}) surfaced on
+    [/statusz], recording every query slower than that many seconds
+    with its SQL text, plan shape, per-source breakdown and critical
+    path. *)
 
 val client :
   ?retries:int ->

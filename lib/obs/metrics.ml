@@ -4,7 +4,14 @@
 
    Like tracing, a process-wide registry can be installed; instrumented
    code records through [installed ()] and pays a single option match
-   when metrics are off. *)
+   when metrics are off.
+
+   The registry is domain-safe: under the domains runtime (lib/rt)
+   source-request instrumentation runs on pool worker domains while the
+   scheduler domain snapshots for export, so every access to the series
+   table — creation, mutation, snapshot — happens under [t.lock]. The
+   critical sections are a hashtable probe plus a ref bump; no user
+   code runs under the lock. *)
 
 type labels = (string * string) list
 
@@ -22,16 +29,29 @@ type series =
   | Hist of { spec : hist_spec; mutable values : (int * int) list }
 
 type t = {
+  lock : Mutex.t;
   table : (string * labels, series) Hashtbl.t;
   mutable order : (string * labels) list; (* registration order, newest first *)
 }
 
-let create () = { table = Hashtbl.create 32; order = [] }
+let create () = { lock = Mutex.create (); table = Hashtbl.create 32; order = [] }
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
 
 let clear t =
-  Hashtbl.reset t.table;
-  t.order <- []
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      t.order <- [])
 
+(* Callers hold [t.lock]. *)
 let series t name labels make =
   let key = (name, normalize labels) in
   match Hashtbl.find_opt t.table key with
@@ -43,19 +63,23 @@ let series t name labels make =
     s
 
 let incr t ?(labels = []) ?(by = 1.0) name =
-  match series t name labels (fun () -> Counter (ref 0.0)) with
-  | Counter r -> r := !r +. by
-  | _ -> invalid_arg (Printf.sprintf "Metrics.incr: %s is not a counter" name)
+  locked t (fun () ->
+      match series t name labels (fun () -> Counter (ref 0.0)) with
+      | Counter r -> r := !r +. by
+      | _ -> invalid_arg (Printf.sprintf "Metrics.incr: %s is not a counter" name))
 
 let gauge t ?(labels = []) name value =
-  match series t name labels (fun () -> Gauge (ref 0.0)) with
-  | Gauge r -> r := value
-  | _ -> invalid_arg (Printf.sprintf "Metrics.gauge: %s is not a gauge" name)
+  locked t (fun () ->
+      match series t name labels (fun () -> Gauge (ref 0.0)) with
+      | Gauge r -> r := value
+      | _ -> invalid_arg (Printf.sprintf "Metrics.gauge: %s is not a gauge" name))
 
 let observe t ?(labels = []) ?(spec = default_hist_spec) name value =
-  match series t name labels (fun () -> Hist { spec; values = [] }) with
-  | Hist h -> h.values <- (value, 1) :: h.values
-  | _ -> invalid_arg (Printf.sprintf "Metrics.observe: %s is not a histogram" name)
+  locked t (fun () ->
+      match series t name labels (fun () -> Hist { spec; values = [] }) with
+      | Hist h -> h.values <- (value, 1) :: h.values
+      | _ ->
+        invalid_arg (Printf.sprintf "Metrics.observe: %s is not a histogram" name))
 
 type value =
   | Vcounter of float
@@ -65,35 +89,36 @@ type value =
 type sample = { name : string; labels : labels; value : value }
 
 let snapshot t =
-  List.rev_map
-    (fun ((name, labels) as key) ->
-      let value =
-        match Hashtbl.find t.table key with
-        | Counter r -> Vcounter !r
-        | Gauge r -> Vgauge !r
-        | Hist { spec; values } ->
-          Vhist
-            (Fusion_stats.Histogram.build ~buckets:spec.buckets ~lo:spec.lo
-               ~hi:spec.hi ~values)
-      in
-      { name; labels; value })
-    t.order
+  locked t (fun () ->
+      List.rev_map
+        (fun ((name, labels) as key) ->
+          let value =
+            match Hashtbl.find t.table key with
+            | Counter r -> Vcounter !r
+            | Gauge r -> Vgauge !r
+            | Hist { spec; values } ->
+              Vhist
+                (Fusion_stats.Histogram.build ~buckets:spec.buckets ~lo:spec.lo
+                   ~hi:spec.hi ~values)
+          in
+          { name; labels; value })
+        t.order)
 
 (* --- the process-wide default registry ----------------------------------- *)
 
-let installed_ref : t option ref = ref None
+let installed_ref : t option Atomic.t = Atomic.make None
 
-let install r = installed_ref := Some r
-let uninstall () = installed_ref := None
-let installed () = !installed_ref
+let install r = Atomic.set installed_ref (Some r)
+let uninstall () = Atomic.set installed_ref None
+let installed () = Atomic.get installed_ref
 
 let with_registry r f =
-  let saved = !installed_ref in
-  installed_ref := Some r;
-  Fun.protect ~finally:(fun () -> installed_ref := saved) f
+  let saved = Atomic.get installed_ref in
+  Atomic.set installed_ref (Some r);
+  Fun.protect ~finally:(fun () -> Atomic.set installed_ref saved) f
 
 (* Record into the installed registry, if any. *)
-let record f = match !installed_ref with None -> () | Some r -> f r
+let record f = match Atomic.get installed_ref with None -> () | Some r -> f r
 
 let pp_sample ppf s =
   let labels ppf = function

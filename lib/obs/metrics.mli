@@ -5,7 +5,13 @@
 
     Like tracing, a process-wide registry can be installed;
     instrumented code records through {!record} and pays a single
-    option match when metrics are off. *)
+    option match when metrics are off.
+
+    The registry is domain-safe: every operation ({!incr}, {!gauge},
+    {!observe}, {!snapshot}, {!clear}) takes the registry's internal
+    mutex, and the installed-registry slot is an [Atomic], so workers
+    on pool domains may record while another domain snapshots for
+    export. *)
 
 type labels = (string * string) list
 (** A label set; key order does not matter (series are keyed on the

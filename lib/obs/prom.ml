@@ -75,18 +75,20 @@ let add_hist buffer name labels h =
   add_series buffer (name ^ "_count") labels !cumulative
 
 (* All lines of one metric family must be contiguous in the exposition;
-   re-group by name in first-appearance order. *)
+   re-group in first-appearance order. Grouping keys on the sanitized
+   name — the family the consumer sees — so two raw names that sanitize
+   alike form one contiguous family with one TYPE line, not two
+   fragments. *)
 let group_by_name samples =
+  let key (s : Metrics.sample) = sanitize_name s.Metrics.name in
   let names =
     List.fold_left
-      (fun acc (s : Metrics.sample) ->
-        if List.mem s.Metrics.name acc then acc else s.Metrics.name :: acc)
+      (fun acc s -> if List.mem (key s) acc then acc else key s :: acc)
       [] samples
     |> List.rev
   in
   List.concat_map
-    (fun name ->
-      List.filter (fun (s : Metrics.sample) -> s.Metrics.name = name) samples)
+    (fun name -> List.filter (fun s -> key s = name) samples)
     names
 
 let of_samples samples =

@@ -42,6 +42,14 @@ type percentiles = {
 
 val empty_percentiles : percentiles
 
+val percentiles_of : buckets:int -> float list -> percentiles
+(** The percentile computation underlying {!cost_percentiles} and
+    {!latency_percentiles}, over a bare value list: non-finite values
+    are dropped, negative finite ones clamped to zero, then the values
+    are bucketed into an equi-width histogram over [0, ceil max] and
+    read back through the interpolated inverse CDF. Exposed so other
+    aggregators ({!Window}) provably agree with summary numbers. *)
+
 val cost_percentiles : t -> percentiles
 val latency_percentiles : t -> percentiles
 (** Over [response_time]. All-zero on an empty summary. *)

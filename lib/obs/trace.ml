@@ -65,7 +65,15 @@ type open_span = {
   mutable o_attrs : (string * attr) list; (* newest first *)
 }
 
+(* The collector's mutable state (id counter, span stack, finished
+   list, cost total) is guarded by [lock]: under the domains runtime
+   instrumented code may record from pool worker domains while the
+   scheduler domain reads [spans] for a report. Parent attribution via
+   the open-span stack is only meaningful within one domain's call
+   tree, but concurrent recording must never corrupt the collector or
+   lose a finished span. *)
 type collector = {
+  lock : Mutex.t;
   clock : unit -> float;
   mutable next_id : int;
   mutable cost_now : float;
@@ -73,35 +81,53 @@ type collector = {
   mutable finished : span list; (* newest first *)
 }
 
+let locked c f =
+  Mutex.lock c.lock;
+  match f () with
+  | v ->
+    Mutex.unlock c.lock;
+    v
+  | exception e ->
+    Mutex.unlock c.lock;
+    raise e
+
 let create ?(clock = Sys.time) () =
-  { clock; next_id = 0; cost_now = 0.0; stack = []; finished = [] }
+  {
+    lock = Mutex.create ();
+    clock;
+    next_id = 0;
+    cost_now = 0.0;
+    stack = [];
+    finished = [];
+  }
 
 let reset c =
-  c.next_id <- 0;
-  c.cost_now <- 0.0;
-  c.stack <- [];
-  c.finished <- []
+  locked c (fun () ->
+      c.next_id <- 0;
+      c.cost_now <- 0.0;
+      c.stack <- [];
+      c.finished <- [])
 
-let spans c = List.rev c.finished
+let spans c = locked c (fun () -> List.rev c.finished)
 
 (* [mark]/[spans_since] bracket a region: ids are monotone, so the spans
    of everything opened after [mark] are exactly those with id >= it. *)
-let mark c = c.next_id
+let mark c = locked c (fun () -> c.next_id)
 let spans_since c m = List.filter (fun s -> s.id >= m) (spans c)
 
 (* --- the process-wide default collector --------------------------------- *)
 
-let installed_ref : collector option ref = ref None
+let installed_ref : collector option Atomic.t = Atomic.make None
 
-let install c = installed_ref := Some c
-let uninstall () = installed_ref := None
-let installed () = !installed_ref
-let enabled () = !installed_ref <> None
+let install c = Atomic.set installed_ref (Some c)
+let uninstall () = Atomic.set installed_ref None
+let installed () = Atomic.get installed_ref
+let enabled () = Atomic.get installed_ref <> None
 
 let with_collector c f =
-  let saved = !installed_ref in
-  installed_ref := Some c;
-  Fun.protect ~finally:(fun () -> installed_ref := saved) f
+  let saved = Atomic.get installed_ref in
+  Atomic.set installed_ref (Some c);
+  Fun.protect ~finally:(fun () -> Atomic.set installed_ref saved) f
 
 (* --- recording ----------------------------------------------------------- *)
 
@@ -114,14 +140,18 @@ let active : ctx -> bool = Option.is_some
 let attr (ctx : ctx) key value =
   match ctx with
   | None -> ()
-  | Some (_, o) -> o.o_attrs <- (key, value) :: o.o_attrs
+  | Some (c, o) -> locked c (fun () -> o.o_attrs <- (key, value) :: o.o_attrs)
 
 let attrs ctx kvs = List.iter (fun (k, v) -> attr ctx k v) kvs
 
 let charge (ctx : ctx) delta =
-  match ctx with None -> () | Some (c, _) -> c.cost_now <- c.cost_now +. delta
+  match ctx with
+  | None -> ()
+  | Some (c, _) -> locked c (fun () -> c.cost_now <- c.cost_now +. delta)
 
-let finish c o =
+(* Callers hold [c.lock]; [now] is read outside it so the user-supplied
+   clock never runs under the collector mutex. *)
+let finish c ~now o =
   let span =
     {
       id = o.o_id;
@@ -133,7 +163,7 @@ let finish c o =
       start_wall = o.o_start_wall;
       (* A real clock can step backwards (NTP) between open and close;
          never emit a span that finishes before it starts. *)
-      finish_wall = Float.max o.o_start_wall (c.clock ());
+      finish_wall = Float.max o.o_start_wall now;
       attrs = List.rev o.o_attrs;
     }
   in
@@ -146,24 +176,35 @@ let finish c o =
   c.finished <- span :: c.finished
 
 let span ?(attrs = []) kind name f =
-  match !installed_ref with
+  match Atomic.get installed_ref with
   | None -> f None
   | Some c ->
-    let parent = match c.stack with [] -> None | top :: _ -> Some top.o_id in
+    let start_wall = c.clock () in
     let o =
-      {
-        o_id = c.next_id;
-        o_parent = parent;
-        o_kind = kind;
-        o_name = name;
-        o_start_cost = c.cost_now;
-        o_start_wall = c.clock ();
-        o_attrs = List.rev attrs;
-      }
+      locked c (fun () ->
+          let parent =
+            match c.stack with [] -> None | top :: _ -> Some top.o_id
+          in
+          let o =
+            {
+              o_id = c.next_id;
+              o_parent = parent;
+              o_kind = kind;
+              o_name = name;
+              o_start_cost = c.cost_now;
+              o_start_wall = start_wall;
+              o_attrs = List.rev attrs;
+            }
+          in
+          c.next_id <- c.next_id + 1;
+          c.stack <- o :: c.stack;
+          o)
     in
-    c.next_id <- c.next_id + 1;
-    c.stack <- o :: c.stack;
-    Fun.protect ~finally:(fun () -> finish c o) (fun () -> f (Some (c, o)))
+    Fun.protect
+      ~finally:(fun () ->
+        let now = c.clock () in
+        locked c (fun () -> finish c ~now o))
+      (fun () -> f (Some (c, o)))
 
 (* --- inspection helpers -------------------------------------------------- *)
 

@@ -42,7 +42,11 @@ val cost : span -> float
 (** The cost charged while the span was open, nested spans included. *)
 
 type collector
-(** Accumulates finished spans; create one per trace. *)
+(** Accumulates finished spans; create one per trace. All collector
+    state is guarded by an internal mutex, so spans may be recorded
+    from pool worker domains while another domain reads {!spans};
+    parent attribution via the open-span stack is only meaningful
+    within one domain's call tree. *)
 
 val create : ?clock:(unit -> float) -> unit -> collector
 (** [clock] supplies wall-clock readings (default [Sys.time]); inject a

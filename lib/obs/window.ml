@@ -1,0 +1,82 @@
+(* Sliding-window percentiles: live p50/p90/p99 over the observations
+   of the last [span] seconds, where [Summary] reports end-of-run
+   aggregates over everything.
+
+   Samples are kept in a queue as (timestamp, value) pairs; both [add]
+   and [snapshot] first evict everything older than [now -. span], so
+   the window holds exactly the samples with timestamp in
+   (now - span, now] — a sample lands outside the window at the first
+   instant [now -. span] reaches its timestamp. Percentiles reuse
+   [Summary.percentiles_of], so a snapshot over a window that still
+   holds all samples is equal, by construction, to the summary
+   percentiles over the same values (the property pinned in
+   test/test_window.ml).
+
+   Domain-safe: all state is guarded by a mutex, like [Metrics] — under
+   the domains runtime completions are observed on scheduler fibres
+   while the admin listener snapshots for /statusz. Timestamps are
+   assumed non-decreasing (one logical clock feeds each window). *)
+
+type t = {
+  lock : Mutex.t;
+  span : float;
+  buckets : int;
+  q : (float * float) Queue.t; (* (timestamp, value), oldest first *)
+  mutable hwm : int; (* most samples ever held at once *)
+}
+
+let create ?(buckets = 128) ~span () =
+  if not (Float.is_finite span && span > 0.0) then
+    invalid_arg "Window.create: span must be positive";
+  if buckets <= 0 then invalid_arg "Window.create: buckets must be positive";
+  { lock = Mutex.create (); span; buckets; q = Queue.create (); hwm = 0 }
+
+let span t = t.span
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+(* Callers hold [t.lock]. *)
+let evict t ~now =
+  let cutoff = now -. t.span in
+  let rec go () =
+    match Queue.peek_opt t.q with
+    | Some (ts, _) when ts <= cutoff ->
+      ignore (Queue.pop t.q);
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let add t ~now v =
+  locked t (fun () ->
+      evict t ~now;
+      Queue.push (now, v) t.q;
+      let n = Queue.length t.q in
+      if n > t.hwm then t.hwm <- n)
+
+let length t ~now =
+  locked t (fun () ->
+      evict t ~now;
+      Queue.length t.q)
+
+let values t ~now =
+  locked t (fun () ->
+      evict t ~now;
+      List.rev (Queue.fold (fun acc (_, v) -> v :: acc) [] t.q))
+
+let snapshot t ~now = Summary.percentiles_of ~buckets:t.buckets (values t ~now)
+
+let high_water t = locked t (fun () -> t.hwm)
+
+let clear t =
+  locked t (fun () ->
+      Queue.clear t.q;
+      t.hwm <- 0)

@@ -1,0 +1,41 @@
+(** Sliding-window percentiles: live p50/p90/p99 over the observations
+    of the last [span] seconds, where {!Summary} reports end-of-run
+    aggregates over everything.
+
+    The window holds exactly the samples with timestamp in
+    (now - span, now]: a sample falls out at the first instant
+    [now -. span] reaches its timestamp. Percentiles are computed with
+    {!Summary.percentiles_of}, so a snapshot of a window that still
+    holds all its samples equals the summary percentiles over the same
+    values by construction.
+
+    Domain-safe (internal mutex), like {!Metrics}. Timestamps passed as
+    [~now] are assumed non-decreasing — feed each window from one
+    logical clock. *)
+
+type t
+
+val create : ?buckets:int -> span:float -> unit -> t
+(** [span] is the window length in seconds (must be positive);
+    [buckets] (default 128) sets percentile resolution.
+    @raise Invalid_argument on a non-positive span or bucket count. *)
+
+val span : t -> float
+
+val add : t -> now:float -> float -> unit
+(** Record one observation at time [now], evicting expired samples. *)
+
+val length : t -> now:float -> int
+(** Samples currently inside the window. *)
+
+val values : t -> now:float -> float list
+(** Surviving samples in insertion order (mostly for tests). *)
+
+val snapshot : t -> now:float -> Summary.percentiles
+(** Percentiles over the surviving samples;
+    {!Summary.empty_percentiles} when the window is empty. *)
+
+val high_water : t -> int
+(** Most samples the window ever held at once (eviction included). *)
+
+val clear : t -> unit

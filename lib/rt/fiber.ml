@@ -53,6 +53,8 @@ type scheduler = {
   dom : Domain.id;
   mutable live : int; (* forked fibres not yet completed *)
   mutable cur : ctx;
+  mutable polls : int; (* times the idle loop entered select *)
+  mutable poll_wait : float; (* wall seconds spent blocked in select *)
 }
 
 type _ Effect.t +=
@@ -179,6 +181,36 @@ let run_fibre sched ctx ~on_done fn =
   end
 
 let pending_fibres () = (get ()).live
+
+(* --- introspection -------------------------------------------------------- *)
+
+(* A point-in-time view of the scheduler, read on the scheduler domain
+   itself (no synchronization needed: the fields are only mutated
+   there, except [ext_pending] which is already atomic). *)
+type stats = {
+  live : int;  (* forked fibres not yet completed *)
+  run_queue : int;  (* fibres ready to run right now *)
+  sleepers : int;  (* fibres parked on a deadline *)
+  io_waiting : int;  (* fibres parked on fd readiness *)
+  ext_pending : int;  (* outstanding off-domain completions *)
+  polls : int;  (* times the idle loop entered select *)
+  poll_wait : float;  (* cumulative wall seconds blocked in select *)
+}
+
+let stats () =
+  match !current with
+  | None -> None
+  | Some s ->
+    Some
+      {
+        live = s.live;
+        run_queue = Queue.length s.run_q;
+        sleepers = List.length s.sleepers;
+        io_waiting = List.length s.readers + List.length s.writers;
+        ext_pending = Atomic.get s.ext_pending;
+        polls = s.polls;
+        poll_wait = s.poll_wait;
+      }
 
 (* --- promises ------------------------------------------------------------- *)
 
@@ -376,20 +408,33 @@ module Stream = struct
     q : 'a Queue.t;
     readers : 'a resolver Queue.t;
     writers : ('a * unit resolver) Queue.t;
+    mutable hwm : int; (* deepest the buffer has ever been *)
   }
 
   let create ~capacity =
     if capacity < 1 then invalid_arg "Stream.create: capacity must be >= 1";
-    { cap = capacity; q = Queue.create (); readers = Queue.create (); writers = Queue.create () }
+    {
+      cap = capacity;
+      q = Queue.create ();
+      readers = Queue.create ();
+      writers = Queue.create ();
+      hwm = 0;
+    }
 
   let length t = Queue.length t.q
+  let high_water t = t.hwm
+
+  let push t v =
+    Queue.push v t.q;
+    let n = Queue.length t.q in
+    if n > t.hwm then t.hwm <- n
 
   let rec wake_writer t =
     match Queue.take_opt t.writers with
     | Some (v, r) ->
       if r.dead () then wake_writer t
       else begin
-        Queue.push v t.q;
+        push t v;
         r.fire (Ok ())
       end
     | None -> ()
@@ -420,7 +465,7 @@ module Stream = struct
     match live_reader t with
     | Some r -> r.fire (Ok v)
     | None ->
-      if Queue.length t.q < t.cap then Queue.push v t.q
+      if Queue.length t.q < t.cap then push t v
       else
         suspend_full ~cancellable:true ~external_:false (fun r ->
             Queue.push (v, r) t.writers)
@@ -432,7 +477,7 @@ module Stream = struct
       true
     | None ->
       if Queue.length t.q < t.cap then begin
-        Queue.push v t.q;
+        push t v;
         true
       end
       else false
@@ -471,6 +516,8 @@ let run main =
       dom = Domain.self ();
       live = 0;
       cur = root_ctx;
+      polls = 0;
+      poll_wait = 0.0;
     }
   in
   current := Some sched;
@@ -524,7 +571,13 @@ let run main =
     in
     let rfds = sched.pipe_r :: List.map fst sched.readers in
     let wfds = List.map fst sched.writers in
-    match Unix.select rfds wfds [] timeout with
+    sched.polls <- sched.polls + 1;
+    let entered = now () in
+    let waited r =
+      sched.poll_wait <- sched.poll_wait +. Float.max 0.0 (now () -. entered);
+      r
+    in
+    match waited (Unix.select rfds wfds [] timeout) with
     | rs, ws, _ ->
       (* Always drain a readable self-pipe here: if an enqueuer's wake
          byte landed after [take_external] had already stolen its thunk

@@ -42,6 +42,22 @@ val pending_fibres : unit -> int
 (** Number of forked fibres not yet completed — 0 after any
     [Switch.run] returns (the leak-check invariant). *)
 
+(** A point-in-time view of the scheduler, for live introspection
+    ([/statusz], [fusion_rt_*] gauges). *)
+type stats = {
+  live : int;  (** forked fibres not yet completed *)
+  run_queue : int;  (** fibres ready to run right now *)
+  sleepers : int;  (** fibres parked on a deadline *)
+  io_waiting : int;  (** fibres parked on fd readiness *)
+  ext_pending : int;  (** outstanding off-domain completions *)
+  polls : int;  (** times the idle loop entered [select] *)
+  poll_wait : float;  (** cumulative wall seconds blocked in [select] *)
+}
+
+val stats : unit -> stats option
+(** [None] outside {!run}. Must be read on the scheduler domain (any
+    fibre qualifies). *)
+
 val suspend : ((('a, exn) result -> unit) -> unit) -> 'a
 (** [suspend register] parks the calling fibre; [register] receives a
     resolve-once function that resumes it with a value ([Ok]) or raises
@@ -137,4 +153,8 @@ module Stream : sig
       did not free. *)
 
   val length : 'a t -> int
+
+  val high_water : 'a t -> int
+  (** Deepest the buffer has ever been — a persistently full stream
+      (high water = capacity) is a backpressure signal. *)
 end

@@ -22,6 +22,8 @@ type t = {
   mutable stop : bool;
   mutable workers : unit Domain.t list;
   size : int;
+  mutable executed : int; (* jobs completed over the pool's lifetime *)
+  mutable queue_hwm : int; (* deepest any single lane's queue has been *)
 }
 
 let rec worker_loop t =
@@ -39,6 +41,7 @@ let rec worker_loop t =
     (try k r with _ -> ());
     Mutex.lock t.lock;
     t.busy.(lane) <- false;
+    t.executed <- t.executed + 1;
     if not (Queue.is_empty t.queues.(lane)) then begin
       Queue.push lane t.runnable;
       Condition.signal t.work
@@ -60,6 +63,8 @@ let create ~domains ~lanes =
       stop = false;
       workers = [];
       size = domains;
+      executed = 0;
+      queue_hwm = 0;
     }
   in
   t.workers <- List.init domains (fun _ -> Domain.spawn (fun () -> worker_loop t));
@@ -67,6 +72,34 @@ let create ~domains ~lanes =
 
 let size t = t.size
 let lanes t = Array.length t.queues
+
+(* --- introspection -------------------------------------------------------- *)
+
+type stats = {
+  domains : int;
+  lane_count : int;
+  busy_lanes : int;  (* lanes with a job in flight right now *)
+  queued_jobs : int;  (* jobs waiting across all lane queues *)
+  queue_high_water : int;  (* deepest any single lane's queue has been *)
+  executed : int;  (* jobs completed over the pool's lifetime *)
+}
+
+let stats t =
+  Mutex.lock t.lock;
+  let busy_lanes = Array.fold_left (fun n b -> if b then n + 1 else n) 0 t.busy in
+  let queued_jobs = Array.fold_left (fun n q -> n + Queue.length q) 0 t.queues in
+  let s =
+    {
+      domains = t.size;
+      lane_count = Array.length t.queues;
+      busy_lanes;
+      queued_jobs;
+      queue_high_water = t.queue_hwm;
+      executed = t.executed;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
 
 let submit t ~lane f k =
   if lane < 0 || lane >= Array.length t.queues then
@@ -78,6 +111,8 @@ let submit t ~lane f k =
   end;
   let was_empty = Queue.is_empty t.queues.(lane) in
   Queue.push (Job (f, k)) t.queues.(lane);
+  let depth = Queue.length t.queues.(lane) in
+  if depth > t.queue_hwm then t.queue_hwm <- depth;
   if was_empty && not t.busy.(lane) then begin
     Queue.push lane t.runnable;
     Condition.signal t.work

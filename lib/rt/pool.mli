@@ -16,6 +16,19 @@ val size : t -> int
 
 val lanes : t -> int
 
+(** A point-in-time view of the pool, for live introspection. *)
+type stats = {
+  domains : int;
+  lane_count : int;
+  busy_lanes : int;  (** lanes with a job in flight right now *)
+  queued_jobs : int;  (** jobs waiting across all lane queues *)
+  queue_high_water : int;  (** deepest any single lane's queue has been *)
+  executed : int;  (** jobs completed over the pool's lifetime *)
+}
+
+val stats : t -> stats
+(** Safe from any domain (reads under the pool mutex). *)
+
 val submit : t -> lane:int -> (unit -> 'a) -> (('a, exn) result -> unit) -> unit
 (** [submit t ~lane f k] queues [f] on [lane]; [k] receives the result
     (or the exception [f] raised) {e on the worker domain} — it should

@@ -228,6 +228,54 @@ let call t ~id ~server ~ready ~deps thunk =
     d.d_count <- d.d_count + 1;
     (v, sched)
 
+(* --- live introspection --------------------------------------------------- *)
+
+let pool_stats = function Sim_b _ -> None | Dom_b d -> Some (Pool.stats d.pool)
+
+(* Publish the runtime's operational state as [fusion_rt_*] gauges into
+   the installed metrics registry (no-op when none is installed; see
+   Obs.Metrics). Meant to be called periodically — e.g. by the admin
+   front's refresh hook before every /metrics scrape — so the exported
+   values are point-in-time gauges, not streaming counters. *)
+let publish_metrics t =
+  Fusion_obs.Metrics.record (fun m ->
+      let g ?labels name v = Fusion_obs.Metrics.gauge m ?labels name v in
+      (match t with
+      | Sim_b _ -> ()
+      | Dom_b d ->
+        let ps = Pool.stats d.pool in
+        g "fusion_rt_pool_domains" (float_of_int ps.Pool.domains);
+        g "fusion_rt_pool_lanes" (float_of_int ps.Pool.lane_count);
+        g "fusion_rt_pool_lanes_busy" (float_of_int ps.Pool.busy_lanes);
+        g "fusion_rt_pool_queued_jobs" (float_of_int ps.Pool.queued_jobs);
+        g "fusion_rt_pool_queue_high_water"
+          (float_of_int ps.Pool.queue_high_water);
+        g "fusion_rt_pool_executed" (float_of_int ps.Pool.executed);
+        g "fusion_rt_calls" (float_of_int d.d_count);
+        Array.iteri
+          (fun j p ->
+            g
+              ~labels:[ ("server", string_of_int j) ]
+              "fusion_rt_server_pending" (float_of_int p))
+          d.d_pending);
+      (match Fiber.stats () with
+      | None -> ()
+      | Some fs ->
+        g "fusion_rt_fibres_live" (float_of_int fs.Fiber.live);
+        g "fusion_rt_run_queue" (float_of_int fs.Fiber.run_queue);
+        g "fusion_rt_sleepers" (float_of_int fs.Fiber.sleepers);
+        g "fusion_rt_io_waiting" (float_of_int fs.Fiber.io_waiting);
+        g "fusion_rt_ext_pending" (float_of_int fs.Fiber.ext_pending);
+        g "fusion_rt_polls" (float_of_int fs.Fiber.polls);
+        g "fusion_rt_poll_wait_seconds" fs.Fiber.poll_wait);
+      let gc = Gc.quick_stat () in
+      g "fusion_rt_gc_minor_words" gc.Gc.minor_words;
+      g "fusion_rt_gc_major_words" gc.Gc.major_words;
+      g "fusion_rt_gc_heap_words" (float_of_int gc.Gc.heap_words);
+      g "fusion_rt_gc_minor_collections" (float_of_int gc.Gc.minor_collections);
+      g "fusion_rt_gc_major_collections" (float_of_int gc.Gc.major_collections);
+      g "fusion_rt_gc_compactions" (float_of_int gc.Gc.compactions))
+
 let observe t ~server ~totals ~wall =
   match t with
   | Sim_b _ -> ()

@@ -82,6 +82,20 @@ val busy : t -> float array
 val dispatched : t -> int
 val timeline : t -> Fusion_net.Sim.timeline
 
+val pool_stats : t -> Pool.stats option
+(** The domains backend's pool counters; [None] on the simulator. *)
+
+val publish_metrics : t -> unit
+(** Publishes the runtime's operational state into the installed
+    {!Fusion_obs.Metrics} registry (no-op when none is installed):
+    [fusion_rt_pool_*] gauges from {!pool_stats}, per-server
+    [fusion_rt_server_pending], fibre-scheduler gauges
+    ([fusion_rt_fibres_live], [fusion_rt_run_queue],
+    [fusion_rt_poll_wait_seconds], …) when called from inside a
+    {!Fiber} scheduler, and [Gc.quick_stat] gauges
+    ([fusion_rt_gc_*]). Call it periodically — e.g. from the admin
+    front's pre-scrape refresh hook. *)
+
 (** {1 Execution} *)
 
 val call :

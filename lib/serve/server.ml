@@ -40,6 +40,7 @@ module Engine = Exec_async.Engine
 module Answer_cache = Fusion_plan.Answer_cache
 module Metrics = Fusion_obs.Metrics
 module Summary = Fusion_obs.Summary
+module Window = Fusion_obs.Window
 
 type policy = Fifo | Priority | Fair_share | Sjf
 
@@ -65,6 +66,7 @@ type job = {
   priority : int;
   est_cost : float;
   deadline : float option;
+  label : string; (* human-readable descriptor (the SQL text); "" if none *)
 }
 
 type shed_reason = Queue_full | Deadline_unmeetable
@@ -102,6 +104,7 @@ type tenant_stats = {
   ts_shed : int;
   ts_consumed : float;  (* service cost dispatched on the tenant's behalf *)
   ts_summary : Summary.t;
+  ts_window : Window.t;
 }
 
 type tenant = {
@@ -109,7 +112,14 @@ type tenant = {
   mutable tn_completed : int;
   mutable tn_shed : int;
   mutable tn_consumed : float;
+  (* Dispatched steps since the counter was last flushed to the metrics
+     registry. Dispatch is the per-step hot path — queries dispatch
+     tens of source requests each — so the increment is buffered here
+     and folded into the registry by the per-query record calls
+     (completion/failure), never one registry round-trip per step. *)
+  mutable tn_dispatch_pending : int;
   tn_summary : Summary.t;
+  tn_window : Window.t;
 }
 
 type pending = { p_id : int; p_job : job; p_at : float }
@@ -129,6 +139,8 @@ type active = {
 type t = {
   sources : Source.t array;
   shard : string option; (* prepended as a ("shard", _) label on every metric *)
+  window_span : float; (* per-tenant sliding-window length, server-clock seconds *)
+  slow_log : Slow_log.t option;
   rt : Runtime.t;
   answers : Answer_cache.t;
   exec_policy : Exec.policy;
@@ -148,11 +160,16 @@ type t = {
 }
 
 let create ?(policy = Fifo) ?(max_inflight = 64) ?cache_ttl
-    ?(exec_policy = Exec.default_policy) ?shard ?rt sources =
+    ?(exec_policy = Exec.default_policy) ?shard ?(window = 60.0) ?slow_log ?rt
+    sources =
   if max_inflight < 1 then invalid_arg "Server.create: max_inflight must be >= 1";
+  if not (Float.is_finite window && window > 0.0) then
+    invalid_arg "Server.create: window must be positive";
   {
     sources;
     shard;
+    window_span = window;
+    slow_log;
     rt =
       (match rt with
       | Some rt -> rt
@@ -176,6 +193,8 @@ let create ?(policy = Fifo) ?(max_inflight = 64) ?cache_ttl
 
 let policy t = t.policy
 let shard t = t.shard
+let window_span t = t.window_span
+let slow_log t = t.slow_log
 
 (* A multi-shard deployment runs one server per shard against one
    process-wide registry; the shard label is what keeps their
@@ -210,7 +229,9 @@ let tenant t name =
         tn_completed = 0;
         tn_shed = 0;
         tn_consumed = 0.0;
+        tn_dispatch_pending = 0;
         tn_summary = Summary.create ?label:t.shard ();
+        tn_window = Window.create ~span:t.window_span ();
       }
     in
     Hashtbl.replace t.tenants name tn;
@@ -226,6 +247,7 @@ let tenants t =
           ts_shed = tn.tn_shed;
           ts_consumed = tn.tn_consumed;
           ts_summary = tn.tn_summary;
+          ts_window = tn.tn_window;
         } )
       :: acc)
     t.tenants []
@@ -291,14 +313,28 @@ let finalize t a ~failed =
   tn.tn_completed <- tn.tn_completed + 1;
   Summary.add tn.tn_summary ~plan:(policy_name t.policy) ~est_cost:a.a_job.est_cost
     ~cost ~response_time:c.c_response ();
+  (* The window's clock is the server's: simulated instants on the sim
+     backend, epoch-relative wall seconds on domains — monotone either
+     way. *)
+  Window.add tn.tn_window ~now:finished c.c_response;
+  Option.iter
+    (fun log ->
+      Slow_log.note log ~id:c.c_id ~tenant:a.a_job.tenant ~label:a.a_job.label
+        ~plan:a.a_job.plan ~submitted:c.c_submitted ~response:c.c_response
+        ~cost ~failed c.c_steps)
+    t.slow_log;
   Metrics.record (fun r ->
       let ls = labels t [ ("tenant", a.a_job.tenant) ] in
       Metrics.incr r ~labels:ls "fusion_serve_completed_total";
       if failed <> None then Metrics.incr r ~labels:ls "fusion_serve_failed_total";
+      if tn.tn_dispatch_pending > 0 then begin
+        Metrics.incr r ~labels:ls
+          ~by:(float_of_int tn.tn_dispatch_pending)
+          "fusion_serve_dispatched_total";
+        tn.tn_dispatch_pending <- 0
+      end;
       Metrics.observe r ~labels:ls "fusion_serve_response_time"
-        (int_of_float (Float.round c.c_response));
-      Metrics.gauge r ~labels:(labels t []) "fusion_serve_dictionary_size"
-        (float_of_int (dictionary_size t)));
+        (int_of_float (Float.round c.c_response)));
   List.iter (fun hook -> hook c) t.hooks
 
 (* Retire every in-flight engine whose plan has run out of operations.
@@ -388,10 +424,7 @@ let dispatch_for t a =
     t.now <- Float.max t.now step.Exec_async.finish;
     let tn = tenant t a.a_job.tenant in
     tn.tn_consumed <- tn.tn_consumed +. step.Exec_async.cost;
-    Metrics.record (fun r ->
-        Metrics.incr r
-          ~labels:(labels t [ ("tenant", a.a_job.tenant) ])
-          "fusion_serve_dispatched_total")
+    tn.tn_dispatch_pending <- tn.tn_dispatch_pending + 1
   | exception Source.Timeout d ->
     finalize t a ~failed:(Some (Printf.sprintf "timeout on %s" d))
   | exception Exec.Runtime_error msg -> finalize t a ~failed:(Some msg)
@@ -475,6 +508,49 @@ let drain t =
   if Runtime.is_real t.rt then
     Runtime.run t.rt (fun () -> pump t ~stop:(fun () -> true))
   else while step t do () done
+
+let shed_counts t =
+  List.fold_left
+    (fun (qf, du) s ->
+      match s.s_reason with
+      | Queue_full -> (qf + 1, du)
+      | Deadline_unmeetable -> (qf, du + 1))
+    (0, 0) t.sheds
+
+(* Publish the server's live state as gauges into the installed
+   registry — queue depths plus per-tenant sliding-window percentiles.
+   Cumulative counters (submitted/completed/shed) are already recorded
+   incrementally at each event; this covers the point-in-time view and
+   is meant to run from the admin front's pre-scrape refresh hook. *)
+let publish_metrics t =
+  Metrics.record (fun r ->
+      let g ?(ls = []) name v = Metrics.gauge r ~labels:(labels t ls) name v in
+      let s = stats t in
+      g "fusion_serve_queued" (float_of_int s.queued);
+      g "fusion_serve_in_flight" (float_of_int s.in_flight);
+      g "fusion_serve_dictionary_size" (float_of_int (dictionary_size t));
+      let qf, du = shed_counts t in
+      g ~ls:[ ("reason", shed_reason_name Queue_full) ] "fusion_serve_shed"
+        (float_of_int qf);
+      g
+        ~ls:[ ("reason", shed_reason_name Deadline_unmeetable) ]
+        "fusion_serve_shed" (float_of_int du);
+      let now = t.now in
+      Hashtbl.iter
+        (fun name tn ->
+          let ls = [ ("tenant", name) ] in
+          if tn.tn_dispatch_pending > 0 then begin
+            Metrics.incr r ~labels:(labels t ls)
+              ~by:(float_of_int tn.tn_dispatch_pending)
+              "fusion_serve_dispatched_total";
+            tn.tn_dispatch_pending <- 0
+          end;
+          let p = Window.snapshot tn.tn_window ~now in
+          g ~ls "fusion_serve_window_p50" p.Summary.p50;
+          g ~ls "fusion_serve_window_p90" p.Summary.p90;
+          g ~ls "fusion_serve_window_p99" p.Summary.p99;
+          g ~ls "fusion_serve_window_count" (float_of_int p.Summary.n))
+        t.tenants)
 
 let pp_stats ppf s =
   Format.fprintf ppf

@@ -55,6 +55,10 @@ type job = {
   priority : int;  (** higher is served earlier under [Priority] *)
   est_cost : float;  (** optimizer estimate; drives [Sjf] and admission *)
   deadline : float option;  (** response-time budget from submission *)
+  label : string;
+      (** human-readable descriptor — the SQL text when the job came
+          through the front end; recorded in the slow-query log.
+          [""] if none. *)
 }
 
 type shed_reason = Queue_full | Deadline_unmeetable
@@ -91,6 +95,9 @@ type tenant_stats = {
   ts_consumed : float;  (** service cost dispatched for the tenant *)
   ts_summary : Fusion_obs.Summary.t;
       (** one run per completion; latency percentiles, cost drift *)
+  ts_window : Fusion_obs.Window.t;
+      (** sliding-window response times (see [window] in {!create});
+          snapshot with the server's {!now} for live percentiles *)
 }
 
 type t
@@ -101,6 +108,8 @@ val create :
   ?cache_ttl:float ->
   ?exec_policy:Fusion_plan.Exec.policy ->
   ?shard:string ->
+  ?window:float ->
+  ?slow_log:Slow_log.t ->
   ?rt:Fusion_rt.Runtime.t ->
   Source.t array ->
   t
@@ -115,8 +124,11 @@ val create :
     shards' series apart) and labels the per-tenant summaries. [rt] is
     the execution runtime (a private simulated network if omitted);
     the caller keeps ownership — shut a domains runtime down after the
-    server is drained.
-    @raise Invalid_argument if [max_inflight < 1]. *)
+    server is drained. [window] (default 60) is the per-tenant
+    sliding-window length in server-clock seconds (see
+    {!tenant_stats.ts_window}); [slow_log], when given, receives every
+    completion slower than its threshold.
+    @raise Invalid_argument if [max_inflight < 1] or [window <= 0]. *)
 
 val submit : t -> at:float -> job -> int
 (** Enqueues an arrival at simulated instant [at]; returns its id.
@@ -166,6 +178,26 @@ val policy : t -> policy
 
 val shard : t -> string option
 (** The shard label passed at creation, if any. *)
+
+val window_span : t -> float
+(** The per-tenant sliding-window length, in server-clock seconds. *)
+
+val slow_log : t -> Slow_log.t option
+(** The slow-query log passed at creation, if any. *)
+
+val shed_counts : t -> int * int
+(** Sheds so far as [(queue_full, deadline_unmeetable)] — the
+    admission-control breakdown [/statusz] reports. *)
+
+val publish_metrics : t -> unit
+(** Publishes the server's live state as gauges into the installed
+    {!Fusion_obs.Metrics} registry (no-op when none is installed):
+    [fusion_serve_queued], [fusion_serve_in_flight], shed counts by
+    reason, and per-tenant sliding-window percentiles
+    ([fusion_serve_window_p50/p90/p99{tenant=...}], plus the window
+    sample count). Cumulative [fusion_serve_*_total] counters are
+    recorded incrementally as events happen; call this before a scrape
+    for the point-in-time view. *)
 
 val dictionary : t -> Fusion_data.Intern.t option
 (** The dictionary scope of the server's relations (the catalog scope

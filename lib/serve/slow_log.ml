@@ -1,0 +1,244 @@
+(* A structured slow-query log: a bounded ring of the most recent
+   completions whose response time exceeded a threshold, each entry
+   carrying what an operator needs to diagnose it — the query's label
+   (the SQL text when it came through the TCP front end), the chosen
+   plan's shape, the per-source request breakdown, and the critical
+   path through the executed schedule (the dependency chain of source
+   queries that actually bounded the response time).
+
+   Mutex-guarded like the metrics registry: completions are noted on
+   the server's pump while the admin front reads entries for /statusz. *)
+
+module Exec_async = Fusion_plan.Exec_async
+module Op = Fusion_plan.Op
+module Json = Fusion_obs.Json
+
+type source_line = {
+  sl_server : int;
+  sl_requests : int; (* source-query steps served by this source *)
+  sl_dispatched : int; (* those that actually occupied it (no cache/coalesce) *)
+  sl_cost : float; (* service cost charged at this source *)
+}
+
+type hop = {
+  h_task : int;
+  h_server : int;
+  h_op : string;
+  h_start : float;
+  h_finish : float;
+}
+
+type entry = {
+  e_id : int;
+  e_tenant : string;
+  e_label : string; (* the submitted SQL, or "" when unlabelled *)
+  e_plan_shape : string; (* e.g. "7 ops: sq*2 sjq*4 union" *)
+  e_submitted : float;
+  e_response : float;
+  e_cost : float;
+  e_failed : string option;
+  e_sources : source_line list; (* ascending server index *)
+  e_critical_path : hop list; (* dispatch order, last hop ends the query *)
+}
+
+type t = {
+  lock : Mutex.t;
+  threshold : float;
+  capacity : int;
+  (* Newest first, at most [capacity]. Suspended: the per-entry
+     analysis (plan shape, source breakdown, critical path) runs at
+     read time, so [note] on the completion hot path only conses —
+     entries evicted before anyone scrapes never pay for it. Forced
+     under the lock, because concurrent first-forces of a lazy race. *)
+  mutable entries : entry Lazy.t list;
+  mutable recorded : int; (* entries ever recorded (evicted included) *)
+}
+
+let create ?(capacity = 32) ~threshold () =
+  if not (Float.is_finite threshold && threshold >= 0.0) then
+    invalid_arg "Slow_log.create: threshold must be finite and non-negative";
+  if capacity < 1 then invalid_arg "Slow_log.create: capacity must be >= 1";
+  { lock = Mutex.create (); threshold; capacity; entries = []; recorded = 0 }
+
+let threshold t = t.threshold
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+(* "7 ops: sq*2 sjq*4 union" — operator mnemonics in first-appearance
+   order; enough to tell FILTER from SJ chains at a glance. *)
+let plan_shape plan =
+  let ops = Fusion_plan.Plan.ops plan in
+  let order = ref [] in
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun op ->
+      let n = Op.name op in
+      (match Hashtbl.find_opt counts n with
+      | None ->
+        order := n :: !order;
+        Hashtbl.replace counts n 1
+      | Some c -> Hashtbl.replace counts n (c + 1)))
+    ops;
+  let parts =
+    List.rev_map
+      (fun n ->
+        match Hashtbl.find counts n with
+        | 1 -> n
+        | c -> Printf.sprintf "%s*%d" n c)
+      !order
+  in
+  Printf.sprintf "%d ops: %s" (List.length ops) (String.concat " " parts)
+
+let source_breakdown (steps : Exec_async.step list) =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Exec_async.step) ->
+      match s.Exec_async.sched with
+      | None -> ()
+      | Some sc ->
+        let j = sc.Exec_async.server in
+        let req, disp, cost =
+          match Hashtbl.find_opt tbl j with
+          | Some (r, d, c) -> (r, d, c)
+          | None -> (0, 0, 0.0)
+        in
+        Hashtbl.replace tbl j
+          ( req + 1,
+            (disp + if sc.Exec_async.dispatched then 1 else 0),
+            cost +. s.Exec_async.cost ))
+    steps;
+  Hashtbl.fold
+    (fun j (r, d, c) acc ->
+      { sl_server = j; sl_requests = r; sl_dispatched = d; sl_cost = c } :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare a.sl_server b.sl_server)
+
+(* The dependency chain that ends at the latest-finishing source query:
+   from that step, repeatedly hop to the latest-finishing dependency.
+   Ties break on task id so the path is deterministic. *)
+let critical_path (steps : Exec_async.step list) =
+  let scheduled =
+    List.filter_map
+      (fun (s : Exec_async.step) ->
+        match s.Exec_async.sched with Some sc -> Some (s, sc) | None -> None)
+      steps
+  in
+  let find_task task =
+    List.find_opt (fun (_, sc) -> sc.Exec_async.task = task) scheduled
+  in
+  let later (a, asc) (b, bsc) =
+    match compare a.Exec_async.finish b.Exec_async.finish with
+    | 0 -> if bsc.Exec_async.task > asc.Exec_async.task then (b, bsc) else (a, asc)
+    | c -> if c < 0 then (b, bsc) else (a, asc)
+  in
+  match scheduled with
+  | [] -> []
+  | first :: rest ->
+    let hop_of ((s : Exec_async.step), sc) =
+      {
+        h_task = sc.Exec_async.task;
+        h_server = sc.Exec_async.server;
+        h_op = Op.name s.Exec_async.op;
+        h_start = s.Exec_async.start;
+        h_finish = s.Exec_async.finish;
+      }
+    in
+    let rec walk (s, sc) acc =
+      let acc = hop_of (s, sc) :: acc in
+      let deps = List.filter_map find_task sc.Exec_async.deps in
+      match deps with
+      | [] -> acc
+      | d :: ds -> walk (List.fold_left later d ds) acc
+    in
+    walk (List.fold_left later first rest) []
+
+let note t ~id ~tenant ~label ~plan ~submitted ~response ~cost ~failed steps =
+  if response > t.threshold then begin
+    let entry =
+      lazy
+        {
+          e_id = id;
+          e_tenant = tenant;
+          e_label = label;
+          e_plan_shape = plan_shape plan;
+          e_submitted = submitted;
+          e_response = response;
+          e_cost = cost;
+          e_failed = failed;
+          e_sources = source_breakdown steps;
+          e_critical_path = critical_path steps;
+        }
+    in
+    locked t (fun () ->
+        let kept =
+          if List.length t.entries >= t.capacity then
+            List.filteri (fun i _ -> i < t.capacity - 1) t.entries
+          else t.entries
+        in
+        t.entries <- entry :: kept;
+        t.recorded <- t.recorded + 1)
+  end
+
+let entries t = locked t (fun () -> List.map Lazy.force t.entries)
+let recorded t = locked t (fun () -> t.recorded)
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("id", Json.Int e.e_id);
+      ("tenant", Json.Str e.e_tenant);
+      ("label", Json.Str e.e_label);
+      ("plan_shape", Json.Str e.e_plan_shape);
+      ("submitted", Json.Float e.e_submitted);
+      ("response", Json.Float e.e_response);
+      ("cost", Json.Float e.e_cost);
+      ( "failed",
+        match e.e_failed with None -> Json.Null | Some m -> Json.Str m );
+      ( "sources",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("server", Json.Int s.sl_server);
+                   ("requests", Json.Int s.sl_requests);
+                   ("dispatched", Json.Int s.sl_dispatched);
+                   ("cost", Json.Float s.sl_cost);
+                 ])
+             e.e_sources) );
+      ( "critical_path",
+        Json.List
+          (List.map
+             (fun h ->
+               Json.Obj
+                 [
+                   ("task", Json.Int h.h_task);
+                   ("server", Json.Int h.h_server);
+                   ("op", Json.Str h.h_op);
+                   ("start", Json.Float h.h_start);
+                   ("finish", Json.Float h.h_finish);
+                 ])
+             e.e_critical_path) );
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("threshold", Json.Float t.threshold);
+      ("recorded", Json.Int (recorded t));
+      ("entries", Json.List (List.map entry_to_json (entries t)));
+    ]
+
+let pp_entry ppf e =
+  Format.fprintf ppf "@[<h>#%d %s %.3fs cost %.1f [%s]%s%s@]" e.e_id e.e_tenant
+    e.e_response e.e_cost e.e_plan_shape
+    (if e.e_label = "" then "" else " " ^ e.e_label)
+    (match e.e_failed with None -> "" | Some m -> " FAILED: " ^ m)

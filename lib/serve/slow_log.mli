@@ -1,0 +1,83 @@
+(** A structured slow-query log: a bounded ring of the most recent
+    completions whose response time exceeded a threshold, each entry
+    carrying the query's label (the SQL text when it arrived through
+    the TCP front end), the chosen plan's shape, the per-source
+    request breakdown, and the critical path through the executed
+    schedule — the dependency chain of source queries that actually
+    bounded the response time.
+
+    Domain-safe (internal mutex): the serving pump notes completions
+    while the admin front reads {!entries} for [/statusz]. *)
+
+type source_line = {
+  sl_server : int;
+  sl_requests : int;  (** source-query steps served by this source *)
+  sl_dispatched : int;  (** those that occupied it (no cache/coalesce) *)
+  sl_cost : float;  (** service cost charged at this source *)
+}
+
+type hop = {
+  h_task : int;
+  h_server : int;
+  h_op : string;
+  h_start : float;
+  h_finish : float;
+}
+
+type entry = {
+  e_id : int;
+  e_tenant : string;
+  e_label : string;  (** the submitted SQL, or [""] when unlabelled *)
+  e_plan_shape : string;  (** e.g. ["7 ops: sq*2 sjq*4 union"] *)
+  e_submitted : float;
+  e_response : float;
+  e_cost : float;
+  e_failed : string option;
+  e_sources : source_line list;  (** ascending server index *)
+  e_critical_path : hop list;
+      (** dispatch order; the last hop's finish ends the query *)
+}
+
+type t
+
+val create : ?capacity:int -> threshold:float -> unit -> t
+(** Queries slower than [threshold] (seconds of response time) are
+    recorded; the newest [capacity] (default 32) entries are kept.
+    @raise Invalid_argument on a negative/non-finite threshold or a
+    capacity < 1. *)
+
+val threshold : t -> float
+
+val note :
+  t ->
+  id:int ->
+  tenant:string ->
+  label:string ->
+  plan:Fusion_plan.Plan.t ->
+  submitted:float ->
+  response:float ->
+  cost:float ->
+  failed:string option ->
+  Fusion_plan.Exec_async.step list ->
+  unit
+(** Records the completion if [response > threshold]; no-op otherwise.
+    The server calls this from its finalize path. *)
+
+val entries : t -> entry list
+(** Newest first, at most [capacity]. *)
+
+val recorded : t -> int
+(** Entries ever recorded, evicted ones included. *)
+
+val plan_shape : Fusion_plan.Plan.t -> string
+(** The compact operator summary used in {!entry.e_plan_shape}. *)
+
+val critical_path : Fusion_plan.Exec_async.step list -> hop list
+(** The dependency chain ending at the latest-finishing source query,
+    in dispatch order (exposed for tests). *)
+
+val entry_to_json : entry -> Fusion_obs.Json.t
+val to_json : t -> Fusion_obs.Json.t
+(** [{threshold, recorded, entries}] with entries newest first. *)
+
+val pp_entry : Format.formatter -> entry -> unit

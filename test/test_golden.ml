@@ -146,6 +146,64 @@ let test_prom_golden () =
   Alcotest.(check string) "prometheus exposition" prom_golden
     (Fusion_obs.Prom.of_registry (golden_registry ()))
 
+(* All three metric kinds under labels, with the histogram family split
+   over two label sets and the families' samples deliberately
+   interleaved at registration: the exposition must still emit each
+   family contiguously, TYPE (and HELP for histograms) exactly once,
+   and the per-label-set _sum/_count lines. *)
+let labeled_registry () =
+  let r = Metrics.create () in
+  let spec = { Metrics.lo = 0; hi = 8; buckets = 2 } in
+  Metrics.observe r ~spec ~labels:[ ("tenant", "t1") ] "fusion_serve_response_time" 2;
+  Metrics.incr r ~labels:[ ("shard", "s0") ] "fusion_serve_submitted_total";
+  Metrics.observe r ~spec ~labels:[ ("tenant", "t2") ] "fusion_serve_response_time" 7;
+  Metrics.gauge r ~labels:[ ("tenant", "t1") ] "fusion_serve_window_p99" 0.5;
+  Metrics.incr r ~labels:[ ("shard", "s1") ] "fusion_serve_submitted_total";
+  Metrics.observe r ~spec ~labels:[ ("tenant", "t1") ] "fusion_serve_response_time" 5;
+  r
+
+let prom_labeled_golden =
+  "# HELP fusion_serve_response_time bucketed values (sum approximated from bucket midpoints)\n\
+   # TYPE fusion_serve_response_time histogram\n\
+   fusion_serve_response_time_bucket{tenant=\"t1\",le=\"4.5\"} 1\n\
+   fusion_serve_response_time_bucket{tenant=\"t1\",le=\"9\"} 2\n\
+   fusion_serve_response_time_bucket{tenant=\"t1\",le=\"+Inf\"} 2\n\
+   fusion_serve_response_time_sum{tenant=\"t1\"} 9\n\
+   fusion_serve_response_time_count{tenant=\"t1\"} 2\n\
+   fusion_serve_response_time_bucket{tenant=\"t2\",le=\"4.5\"} 0\n\
+   fusion_serve_response_time_bucket{tenant=\"t2\",le=\"9\"} 1\n\
+   fusion_serve_response_time_bucket{tenant=\"t2\",le=\"+Inf\"} 1\n\
+   fusion_serve_response_time_sum{tenant=\"t2\"} 6.75\n\
+   fusion_serve_response_time_count{tenant=\"t2\"} 1\n\
+   # TYPE fusion_serve_submitted_total counter\n\
+   fusion_serve_submitted_total{shard=\"s0\"} 1\n\
+   fusion_serve_submitted_total{shard=\"s1\"} 1\n\
+   # TYPE fusion_serve_window_p99 gauge\n\
+   fusion_serve_window_p99{tenant=\"t1\"} 0.5\n"
+
+let test_prom_labeled_golden () =
+  Alcotest.(check string) "labeled prometheus exposition" prom_labeled_golden
+    (Fusion_obs.Prom.of_registry (labeled_registry ()))
+
+(* Two raw names that sanitize to the same family ("fusion latency" and
+   "fusion.latency"), registered either side of another family: the
+   exposition groups by the sanitized name, so the family is one
+   contiguous block with a single TYPE line. *)
+let test_prom_sanitized_grouping () =
+  let r = Metrics.create () in
+  Metrics.incr r ~labels:[ ("k", "a") ] "fusion latency";
+  Metrics.gauge r "fusion_other" 1.0;
+  Metrics.incr r ~labels:[ ("k", "b") ] "fusion.latency";
+  let expected =
+    "# TYPE fusion_latency counter\n\
+     fusion_latency{k=\"a\"} 1\n\
+     fusion_latency{k=\"b\"} 1\n\
+     # TYPE fusion_other gauge\n\
+     fusion_other 1\n"
+  in
+  Alcotest.(check string) "collided names form one contiguous family" expected
+    (Fusion_obs.Prom.of_registry r)
+
 (* JSONL -> span tree -> flatten -> JSONL is the identity on id-sorted
    input: ids are assigned in opening order, so the pre-order traversal
    of the rebuilt tree re-exports byte-identically. *)
@@ -168,5 +226,8 @@ let suite =
     Alcotest.test_case "golden text reparses" `Quick test_golden_text_reparses;
     Alcotest.test_case "chrome golden" `Quick test_chrome_golden;
     Alcotest.test_case "prometheus golden" `Quick test_prom_golden;
+    Alcotest.test_case "prometheus labeled golden" `Quick test_prom_labeled_golden;
+    Alcotest.test_case "prometheus sanitized grouping" `Quick
+      test_prom_sanitized_grouping;
     Alcotest.test_case "jsonl tree round trip" `Quick test_jsonl_tree_round_trip;
   ]

@@ -142,6 +142,104 @@ let test_tcp_front () =
   Alcotest.(check bool) "conserves" true
     (Fusion_serve.Server.conservation_ok report.Tcp.stats)
 
+(* The admin plane, in-process: a serve run with an admin listener on a
+   second ephemeral loopback port, scraped with the blocking HTTP
+   client between client batches. The exposition must carry the runtime
+   and serving metric families, /statusz must parse as JSON with the
+   operational sections, and the zero-threshold slow log must have seen
+   the query. *)
+let test_admin_front () =
+  let module Tcp = Fusion_mediator.Tcp_front in
+  let module Admin = Fusion_mediator.Admin_front in
+  let module Json = Fusion_obs.Json in
+  let _, mediator = fig1_mediator () in
+  let loopback = Unix.ADDR_INET (Unix.inet_addr_loopback, 0) in
+  let config =
+    { Mediator.Config.default with Mediator.Config.runtime = `Domains 2 }
+  in
+  let addr = ref None and admin = ref None in
+  let result = ref (Error "server never ran") in
+  let m = Mutex.create () and cv = Condition.create () in
+  let set cell a =
+    Mutex.lock m;
+    cell := Some a;
+    Condition.signal cv;
+    Mutex.unlock m
+  in
+  let server =
+    Thread.create
+      (fun () ->
+        result :=
+          Tcp.serve ~config ~max_queries:2 ~window:30.0 ~slow_threshold:0.0
+            ~admin:loopback ~admin_on_listen:(set admin) ~on_listen:(set addr)
+            ~listen:loopback mediator)
+      ()
+  in
+  Mutex.lock m;
+  while !addr = None || !admin = None do
+    Condition.wait cv m
+  done;
+  let connect = Option.get !addr and admin_addr = Option.get !admin in
+  Mutex.unlock m;
+  let get path = Helpers.check_ok (Admin.http_get ~connect:admin_addr path) in
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  (* Health before any query traffic. *)
+  let code, body = get "/healthz" in
+  Alcotest.(check int) "healthz 200" 200 code;
+  Alcotest.(check string) "healthz body" "ok\n" body;
+  (* One query through the front end, then scrape mid-run. *)
+  ignore (Helpers.check_ok (Tcp.client ~connect [ dmv_sql ]));
+  let code, metrics = get "/metrics" in
+  Alcotest.(check int) "metrics 200" 200 code;
+  List.iter
+    (fun family ->
+      Alcotest.(check bool) (family ^ " exported") true (contains family metrics))
+    [
+      "fusion_rt_pool_domains";
+      "fusion_rt_fibres_live";
+      "fusion_serve_queued";
+      "fusion_serve_window_p99";
+      "# TYPE";
+    ];
+  let code, status = get "/statusz" in
+  Alcotest.(check int) "statusz 200" 200 code;
+  let j = Helpers.check_ok (Json.of_string status) in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) ("statusz has " ^ key) true (Json.member key j <> None))
+    [
+      "uptime_seconds"; "runtime"; "policy"; "stats"; "shed_by_reason";
+      "pool"; "scheduler"; "cache"; "tenants"; "slow_queries";
+    ];
+  Alcotest.(check (option string)) "runtime names the backend" (Some "domains:2")
+    (Option.bind (Json.member "runtime" j) Json.to_str);
+  Alcotest.(check (option (float 0.0))) "window span surfaced" (Some 30.0)
+    (Option.bind (Json.member "window_span_seconds" j) Json.to_float);
+  (match Json.member "tenants" j with
+  | Some (Json.List (t :: _)) ->
+    Alcotest.(check bool) "tenant has a window block" true
+      (Json.member "window" t <> None)
+  | _ -> Alcotest.fail "statusz lists no tenants");
+  (match Json.member "slow_queries" j with
+  | Some (Json.Obj _ as sq) ->
+    (match Json.member "entries" sq with
+    | Some (Json.List (_ :: _)) -> ()
+    | _ -> Alcotest.fail "zero-threshold slow log saw no entries")
+  | _ -> Alcotest.fail "slow_queries missing from statusz");
+  let code, _ = get "/nope" in
+  Alcotest.(check int) "unknown path is a 404" 404 code;
+  (* The second query lets the server reach max_queries and exit. *)
+  ignore (Helpers.check_ok (Tcp.client ~connect [ dmv_sql ]));
+  Thread.join server;
+  let report = Helpers.check_ok !result in
+  Alcotest.(check int) "received" 2 report.Tcp.received;
+  Alcotest.(check bool) "conserves" true
+    (Fusion_serve.Server.conservation_ok report.Tcp.stats)
+
 let test_per_source_accounting () =
   let _, mediator = fig1_mediator () in
   let report = Helpers.check_ok (Mediator.run_sql
@@ -286,6 +384,7 @@ let suite =
     Alcotest.test_case "invalid query rejected" `Quick test_run_rejects_invalid_query;
     Alcotest.test_case "runtime selection in the config" `Quick test_runtime_config;
     Alcotest.test_case "tcp front end round trip" `Quick test_tcp_front;
+    Alcotest.test_case "admin front scrape" `Quick test_admin_front;
     Alcotest.test_case "per-source accounting" `Quick test_per_source_accounting;
     Alcotest.test_case "two-phase processing" `Quick test_two_phase;
     Alcotest.test_case "two-phase beats single-phase" `Quick

@@ -151,6 +151,74 @@ let test_metrics_record_when_off () =
   Alcotest.(check bool) "none installed" true (Metrics.installed () = None);
   Metrics.record (fun _ -> Alcotest.fail "record ran without a registry")
 
+(* Four domains hammering one registry — same counter series, same
+   gauge, same histogram — must lose nothing: the registry serializes
+   access with an internal mutex. Against the earlier unguarded
+   Hashtbl this crashes or drops increments. *)
+let test_metrics_domain_hammer () =
+  let r = Metrics.create () in
+  let domains = 4 and per = 25_000 in
+  let workers =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            for i = 1 to per do
+              Metrics.incr r ~labels:[ ("shared", "yes") ] "hammer_total";
+              Metrics.gauge r "hammer_depth" (float_of_int i);
+              Metrics.observe r
+                ~spec:{ Metrics.lo = 0; hi = 100; buckets = 10 }
+                "hammer_sizes" (i mod 100)
+            done))
+  in
+  List.iter Domain.join workers;
+  let samples = Metrics.snapshot r in
+  Alcotest.(check int) "three series despite the contention" 3
+    (List.length samples);
+  List.iter
+    (fun s ->
+      match (s.Metrics.name, s.Metrics.value) with
+      | "hammer_total", Metrics.Vcounter v ->
+        Alcotest.(check (float 1e-9)) "every increment counted"
+          (float_of_int (domains * per)) v
+      | "hammer_depth", Metrics.Vgauge v ->
+        Alcotest.(check bool) "gauge holds one of the written values" true
+          (v >= 1.0 && v <= float_of_int per)
+      | "hammer_sizes", Metrics.Vhist h ->
+        Alcotest.(check (float 1e-9)) "every observation bucketed"
+          (float_of_int (domains * per))
+          (Array.fold_left ( +. ) 0.0 (Fusion_stats.Histogram.counts h))
+      | name, _ -> Alcotest.failf "unexpected series %s" name)
+    samples
+
+(* install/uninstall race: flipping the registry while another domain
+   records through [Metrics.record] must never crash, and everything
+   recorded while a registry was installed is accounted there. *)
+let test_metrics_install_race () =
+  let r = Metrics.create () in
+  Metrics.install r;
+  let stop = Atomic.make false in
+  let flipper =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Metrics.uninstall ();
+          Metrics.install r
+        done)
+  in
+  for _ = 1 to 50_000 do
+    Metrics.record (fun reg -> Metrics.incr reg "flippy_total")
+  done;
+  Atomic.set stop true;
+  Domain.join flipper;
+  Metrics.uninstall ();
+  let recorded =
+    List.fold_left
+      (fun acc s ->
+        match s.Metrics.value with
+        | Metrics.Vcounter v when s.Metrics.name = "flippy_total" -> acc +. v
+        | _ -> acc)
+      0.0 (Metrics.snapshot r)
+  in
+  Alcotest.(check bool) "no crash, some increments landed" true (recorded > 0.0)
+
 (* --- JSON codec ---------------------------------------------------------- *)
 
 let test_json_round_trip () =
@@ -389,6 +457,8 @@ let suite =
       test_summary_real_clock_latencies;
     Alcotest.test_case "metrics series" `Quick test_metrics_series;
     Alcotest.test_case "metrics record when off" `Quick test_metrics_record_when_off;
+    Alcotest.test_case "metrics domain hammer" `Quick test_metrics_domain_hammer;
+    Alcotest.test_case "metrics install race" `Quick test_metrics_install_race;
     Alcotest.test_case "json round trip" `Quick test_json_round_trip;
     Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
     json_float_round_trip;

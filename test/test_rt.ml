@@ -233,6 +233,83 @@ let test_pool_exception_delivery () =
   | Some (Error (Failure msg)) -> Alcotest.(check string) "exception crosses domains" "worker boom" msg
   | _ -> Alcotest.fail "expected Error (Failure _) from the worker"
 
+let test_pool_stats () =
+  let pool = Pool.create ~domains:2 ~lanes:3 in
+  let s0 = Pool.stats pool in
+  check_int "domains" 2 s0.Pool.domains;
+  check_int "lanes" 3 s0.Pool.lane_count;
+  check_int "nothing executed yet" 0 s0.Pool.executed;
+  check_int "nothing queued yet" 0 s0.Pool.queued_jobs;
+  let jobs = 30 in
+  let m = Mutex.create () and c = Condition.create () and finished = ref 0 in
+  for i = 0 to jobs - 1 do
+    Pool.submit pool ~lane:(i mod 3)
+      (fun () -> Thread.yield ())
+      (fun _ ->
+        Mutex.lock m;
+        incr finished;
+        Condition.signal c;
+        Mutex.unlock m)
+  done;
+  Mutex.lock m;
+  while !finished < jobs do
+    Condition.wait c m
+  done;
+  Mutex.unlock m;
+  let s = Pool.stats pool in
+  Pool.shutdown pool;
+  check_int "every job counted as executed" jobs s.Pool.executed;
+  check_int "queues drained" 0 s.Pool.queued_jobs;
+  check_bool "high water saw queueing" true (s.Pool.queue_high_water >= 1);
+  check_bool "busy lanes within bounds" true
+    (s.Pool.busy_lanes >= 0 && s.Pool.busy_lanes <= 3)
+
+let test_fiber_stats () =
+  check_bool "no scheduler outside run" true (Fiber.stats () = None);
+  let seen = ref None in
+  Fiber.run (fun () ->
+      Fiber.Switch.run (fun sw ->
+          Fiber.Switch.fork sw (fun () -> Fiber.sleep 0.02);
+          Fiber.Switch.fork sw (fun () ->
+              Fiber.yield ();
+              seen := Fiber.stats ())));
+  (match !seen with
+  | None -> Alcotest.fail "stats unavailable inside the scheduler"
+  | Some s ->
+    check_bool "some fibres were live" true (s.Fiber.live >= 1);
+    check_bool "sleeper registered" true (s.Fiber.sleepers >= 1);
+    check_bool "counters are non-negative" true
+      (s.Fiber.run_queue >= 0 && s.Fiber.io_waiting >= 0
+     && s.Fiber.ext_pending >= 0));
+  (* The full run slept ~20ms: the poller must have both polled and
+     accumulated wait time. *)
+  check_bool "gone again after run" true (Fiber.stats () = None)
+
+let test_fiber_poll_accounting () =
+  let final = ref None in
+  Fiber.run (fun () ->
+      Fiber.sleep 0.02;
+      final := Fiber.stats ());
+  match !final with
+  | None -> Alcotest.fail "stats unavailable"
+  | Some s ->
+    check_bool "poller ran" true (s.Fiber.polls >= 1);
+    check_bool "waited roughly the sleep" true (s.Fiber.poll_wait >= 0.01)
+
+let test_stream_high_water () =
+  Fiber.run (fun () ->
+      let st = Fiber.Stream.create ~capacity:4 in
+      check_int "empty stream" 0 (Fiber.Stream.high_water st);
+      Fiber.Stream.add st 1;
+      Fiber.Stream.add st 2;
+      Fiber.Stream.add st 3;
+      check_int "rises with occupancy" 3 (Fiber.Stream.high_water st);
+      ignore (Fiber.Stream.take st : int);
+      ignore (Fiber.Stream.take st : int);
+      Fiber.Stream.add st 4;
+      check_int "remembers the peak, not the present" 3
+        (Fiber.Stream.high_water st))
+
 (* --- runtime backends ----------------------------------------------------- *)
 
 let test_spec_parsing () =
@@ -256,6 +333,40 @@ let test_domains_call_measures_wall () =
   check_bool "timeline has wall-clock makespan" true
     ((Runtime.timeline rt).Fusion_net.Sim.makespan >= 0.0);
   check_bool "is_real" true (Runtime.is_real rt)
+
+let test_runtime_publish_metrics () =
+  let r = Fusion_obs.Metrics.create () in
+  Fusion_obs.Metrics.with_registry r (fun () ->
+      let rt = Runtime.domains ~domains:2 ~servers:2 () in
+      Fun.protect ~finally:(fun () -> Runtime.shutdown rt) @@ fun () ->
+      ignore
+        (Runtime.call rt ~id:0 ~server:0 ~ready:0.0 ~deps:[] (fun () ->
+             (1, 1.0, true)));
+      (* Publish from inside the fibre scheduler so the fibre gauges
+         are exported alongside the pool and GC families. *)
+      Runtime.run rt (fun () -> Runtime.publish_metrics rt));
+  let names =
+    List.map (fun s -> s.Fusion_obs.Metrics.name) (Fusion_obs.Metrics.snapshot r)
+  in
+  List.iter
+    (fun n -> check_bool n true (List.mem n names))
+    [
+      "fusion_rt_pool_domains"; "fusion_rt_pool_lanes"; "fusion_rt_calls";
+      "fusion_rt_fibres_live"; "fusion_rt_polls"; "fusion_rt_gc_minor_words";
+      "fusion_rt_gc_heap_words";
+    ];
+  let value n =
+    List.find_map
+      (fun s ->
+        match s.Fusion_obs.Metrics.value with
+        | Fusion_obs.Metrics.Vgauge v when s.Fusion_obs.Metrics.name = n -> Some v
+        | _ -> None)
+      (Fusion_obs.Metrics.snapshot r)
+  in
+  Alcotest.(check (option (float 1e-9))) "calls gauge counted the call"
+    (Some 1.0) (value "fusion_rt_calls");
+  Alcotest.(check (option (float 1e-9))) "pool gauge saw both domains"
+    (Some 2.0) (value "fusion_rt_pool_domains")
 
 let test_domains_concurrent_servers () =
   (* Two calls on different servers from two fibres must both complete
@@ -333,10 +444,15 @@ let suite =
     Alcotest.test_case "fiber: semaphore" `Quick test_semaphore_mutual_exclusion;
     Alcotest.test_case "fiber: stream backpressure" `Quick test_stream_fifo;
     Alcotest.test_case "fiber: deadlock detection" `Quick test_deadlock_detection;
+    Alcotest.test_case "fiber: scheduler stats" `Quick test_fiber_stats;
+    Alcotest.test_case "fiber: poll accounting" `Quick test_fiber_poll_accounting;
+    Alcotest.test_case "fiber: stream high water" `Quick test_stream_high_water;
     Alcotest.test_case "pool: lane serialization" `Quick test_pool_lane_serialization;
     Alcotest.test_case "pool: exception delivery" `Quick test_pool_exception_delivery;
+    Alcotest.test_case "pool: stats" `Quick test_pool_stats;
     Alcotest.test_case "runtime: spec parsing" `Quick test_spec_parsing;
     Alcotest.test_case "runtime: domains call" `Quick test_domains_call_measures_wall;
+    Alcotest.test_case "runtime: publish metrics" `Quick test_runtime_publish_metrics;
     Alcotest.test_case "runtime: concurrent servers" `Quick test_domains_concurrent_servers;
     Helpers.qtest ~count:25 "runtime: domains answers equal the sequential oracle"
       instance_gen instance_print domains_oracle_agreement;

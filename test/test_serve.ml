@@ -28,6 +28,7 @@ let job_of ?(tenant = "t1") ?(priority = 0) ?deadline env (optimized : Optimized
     priority;
     est_cost = optimized.Optimized.est_cost;
     deadline;
+    label = "";
   }
 
 (* --- conservation -------------------------------------------------------- *)
@@ -326,6 +327,109 @@ let test_fair_share_isolates_light_tenant () =
   Alcotest.(check bool) "light is not starved behind heavy" true
     (fair_light < fair_heavy)
 
+(* --- observability: windows, slow log, exported gauges ------------------- *)
+
+module Window = Fusion_obs.Window
+module Summary = Fusion_obs.Summary
+module Slow_log = Fusion_serve.Slow_log
+module Metrics = Fusion_obs.Metrics
+
+(* Completions land in the per-tenant sliding window on the server
+   clock; against a span wide enough that nothing evicts, the window
+   holds exactly the completions and agrees with the cumulative summary
+   (same values, same bucket count). A zero-threshold slow log sees
+   every completion. *)
+let test_tenant_windows_and_slow_log () =
+  let instance = Workload.generate { Workload.default_spec with seed = 5 } in
+  let env, optimized = optimize instance in
+  let slow_log = Slow_log.create ~threshold:0.0 () in
+  let srv =
+    Serve.create ~policy:Serve.Fifo ~window:1e9 ~slow_log
+      instance.Workload.sources
+  in
+  let est = Float.max 1.0 optimized.Optimized.est_cost in
+  for i = 0 to 4 do
+    let tenant = Printf.sprintf "t%d" ((i mod 2) + 1) in
+    ignore
+      (Serve.submit srv ~at:(float_of_int i *. est) (job_of ~tenant env optimized))
+  done;
+  Serve.drain srv;
+  let s = Serve.stats srv in
+  Alcotest.(check int) "all complete" 5 s.Serve.completed;
+  Alcotest.(check int) "every completion was slow at threshold 0" 5
+    (Slow_log.recorded slow_log);
+  (match Slow_log.entries slow_log with
+  | e :: _ ->
+    Alcotest.(check bool) "entries carry a plan shape" true
+      (String.length e.Slow_log.e_plan_shape > 0)
+  | [] -> Alcotest.fail "slow log kept no entries");
+  let ts = Serve.tenants srv in
+  Alcotest.(check int) "both tenants tracked" 2 (List.length ts);
+  let now = Serve.now srv in
+  List.iter
+    (fun (_, t) ->
+      let w = Window.snapshot t.Serve.ts_window ~now in
+      Alcotest.(check int) "window counts every completion"
+        t.Serve.ts_completed w.Summary.n;
+      let c = Summary.latency_percentiles t.Serve.ts_summary in
+      Alcotest.(check bool) "unevicted window = cumulative summary" true
+        (w.Summary.p50 = c.Summary.p50 && w.Summary.p99 = c.Summary.p99
+        && w.Summary.mean = c.Summary.mean && w.Summary.max = c.Summary.max))
+    ts
+
+(* publish_metrics drops the point-in-time view into the ambient
+   registry: queue gauges, both shed reasons, and the per-tenant window
+   percentile family with tenant labels. *)
+let test_publish_metrics () =
+  let instance = Workload.generate { Workload.default_spec with seed = 5 } in
+  let env, optimized = optimize instance in
+  let registry = Metrics.create () in
+  Metrics.with_registry registry (fun () ->
+      let srv =
+        Serve.create ~policy:Serve.Fifo ~window:1e9 instance.Workload.sources
+      in
+      for i = 0 to 3 do
+        ignore (Serve.submit srv ~at:(float_of_int i) (job_of env optimized))
+      done;
+      Serve.drain srv;
+      Serve.publish_metrics srv);
+  let samples = Metrics.snapshot registry in
+  let find name labels =
+    List.find_opt
+      (fun (s : Metrics.sample) ->
+        s.Metrics.name = name
+        && List.for_all (fun l -> List.mem l s.Metrics.labels) labels)
+      samples
+  in
+  let gauge_value name labels =
+    match find name labels with
+    | Some { Metrics.value = Metrics.Vgauge v; _ } -> v
+    | Some _ -> Alcotest.failf "%s is not a gauge" name
+    | None -> Alcotest.failf "missing %s" name
+  in
+  Alcotest.(check (float 0.0)) "drained queue" 0.0
+    (gauge_value "fusion_serve_queued" []);
+  Alcotest.(check (float 0.0)) "nothing in flight" 0.0
+    (gauge_value "fusion_serve_in_flight" []);
+  Alcotest.(check (float 0.0)) "queue-full sheds exported" 0.0
+    (gauge_value "fusion_serve_shed" [ ("reason", "queue_full") ]);
+  Alcotest.(check (float 0.0)) "deadline sheds exported" 0.0
+    (gauge_value "fusion_serve_shed" [ ("reason", "deadline_unmeetable") ]);
+  Alcotest.(check int) "window percentile family carries the tenant" 4
+    (int_of_float (gauge_value "fusion_serve_window_count" [ ("tenant", "t1") ]));
+  List.iter
+    (fun name ->
+      match find name [ ("tenant", "t1") ] with
+      | Some { Metrics.value = Metrics.Vgauge v; _ } ->
+        Alcotest.(check bool) (name ^ " is finite and non-negative") true
+          (Float.is_finite v && v >= 0.0)
+      | _ -> Alcotest.failf "missing %s" name)
+    [
+      "fusion_serve_window_p50";
+      "fusion_serve_window_p90";
+      "fusion_serve_window_p99";
+    ]
+
 (* --- drivers ------------------------------------------------------------- *)
 
 (* --- the domains runtime behind the serving stack ------------------------ *)
@@ -411,6 +515,9 @@ let suite =
     Alcotest.test_case "admission control sheds" `Quick test_shedding;
     Alcotest.test_case "fair share isolates the light tenant" `Quick
       test_fair_share_isolates_light_tenant;
+    Alcotest.test_case "tenant windows and slow log" `Quick
+      test_tenant_windows_and_slow_log;
+    Alcotest.test_case "publish metrics" `Quick test_publish_metrics;
     Alcotest.test_case "open and closed loop drivers" `Quick test_drivers;
     Alcotest.test_case "serving on the domains runtime" `Quick test_serve_on_domains;
   ]

@@ -1,0 +1,170 @@
+(* The structured slow-query log: threshold gating (strictly-slower
+   records), the bounded newest-first ring, the plan-shape summary,
+   the per-source breakdown, and the critical path over a hand-built
+   schedule where the bounding chain is known by construction. *)
+
+module Slow_log = Fusion_serve.Slow_log
+module Exec_async = Fusion_plan.Exec_async
+module Op = Fusion_plan.Op
+module Json = Fusion_obs.Json
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let tiny_plan () =
+  Helpers.check_ok
+    (Fusion_plan.Plan_text.of_string
+       "A := sq(c1, R1)\nB := sq(c1, R2)\nX := union(A, B)\nanswer X\n")
+
+(* A source-query step pinned to a schedule slot. *)
+let step ~task ~server ~deps ~start ~finish ?(cost = 1.0) ?(dispatched = true) ()
+    =
+  {
+    Exec_async.op =
+      Op.Select { dst = Printf.sprintf "X%d" task; cond = 0; source = server };
+    cost;
+    result_size = 1;
+    start;
+    finish;
+    coalesced = not dispatched;
+    sched = Some { Exec_async.task; server; deps; dispatched };
+  }
+
+(* A local operation: no schedule slot, invisible to the breakdown and
+   the critical path. *)
+let local_step () =
+  {
+    Exec_async.op = Op.Union { dst = "U"; args = [ "X0"; "X1" ] };
+    cost = 0.0;
+    result_size = 2;
+    start = 0.0;
+    finish = 0.0;
+    coalesced = false;
+    sched = None;
+  }
+
+let test_plan_shape () =
+  check_str "operator summary in first-appearance order" "3 ops: sq*2 union"
+    (Slow_log.plan_shape (tiny_plan ()))
+
+let test_threshold_gate () =
+  let log = Slow_log.create ~threshold:0.5 () in
+  let note resp =
+    Slow_log.note log ~id:1 ~tenant:"t" ~label:"" ~plan:(tiny_plan ())
+      ~submitted:0.0 ~response:resp ~cost:1.0 ~failed:None []
+  in
+  note 0.4;
+  note 0.5;
+  check_int "at or under the threshold is not slow" 0 (Slow_log.recorded log);
+  note 0.6;
+  check_int "strictly slower records" 1 (Slow_log.recorded log)
+
+let test_ring_eviction () =
+  let log = Slow_log.create ~capacity:2 ~threshold:0.0 () in
+  List.iter
+    (fun id ->
+      Slow_log.note log ~id ~tenant:"t" ~label:(string_of_int id)
+        ~plan:(tiny_plan ()) ~submitted:0.0 ~response:1.0 ~cost:1.0 ~failed:None
+        [])
+    [ 1; 2; 3 ];
+  check_int "all three counted" 3 (Slow_log.recorded log);
+  Alcotest.(check (list int))
+    "newest two kept, newest first" [ 3; 2 ]
+    (List.map (fun e -> e.Slow_log.e_id) (Slow_log.entries log))
+
+let test_critical_path_diamond () =
+  (* t2 waits on t0 (finishes at 3) and t1 (finishes at 5): the chain
+     that bounded the response is t1 -> t2, never t0. *)
+  let steps =
+    [
+      step ~task:0 ~server:0 ~deps:[] ~start:0.0 ~finish:3.0 ();
+      step ~task:1 ~server:1 ~deps:[] ~start:0.0 ~finish:5.0 ();
+      local_step ();
+      step ~task:2 ~server:0 ~deps:[ 0; 1 ] ~start:5.0 ~finish:9.0 ();
+    ]
+  in
+  let hops = Slow_log.critical_path steps in
+  Alcotest.(check (list int))
+    "the slow branch is the path" [ 1; 2 ]
+    (List.map (fun h -> h.Slow_log.h_task) hops);
+  (match List.rev hops with
+  | last :: _ ->
+    Alcotest.(check (float 0.0)) "last hop ends the query" 9.0 last.Slow_log.h_finish
+  | [] -> Alcotest.fail "empty path");
+  check_str "hops carry the operator" "sq" (List.hd hops).Slow_log.h_op
+
+let test_critical_path_tiebreak () =
+  let steps =
+    [
+      step ~task:0 ~server:0 ~deps:[] ~start:0.0 ~finish:4.0 ();
+      step ~task:1 ~server:1 ~deps:[] ~start:0.0 ~finish:4.0 ();
+      step ~task:2 ~server:0 ~deps:[ 0; 1 ] ~start:4.0 ~finish:6.0 ();
+    ]
+  in
+  Alcotest.(check (list int))
+    "equal finishes break to the higher task id" [ 1; 2 ]
+    (List.map (fun h -> h.Slow_log.h_task) (Slow_log.critical_path steps));
+  check_bool "no scheduled steps, no path" true (Slow_log.critical_path [ local_step () ] = [])
+
+let test_source_breakdown_and_json () =
+  let steps =
+    [
+      step ~task:0 ~server:1 ~deps:[] ~start:0.0 ~finish:2.0 ~cost:2.0 ();
+      step ~task:1 ~server:0 ~deps:[] ~start:0.0 ~finish:1.0 ~cost:1.0 ();
+      (* Coalesced onto task 0's request: counts as a request at the
+         source but not as a dispatch, and carries no cost. *)
+      step ~task:2 ~server:1 ~deps:[] ~start:0.0 ~finish:2.0 ~cost:0.0
+        ~dispatched:false ();
+      step ~task:3 ~server:1 ~deps:[ 0 ] ~start:2.0 ~finish:3.0 ~cost:1.0 ();
+    ]
+  in
+  let log = Slow_log.create ~threshold:0.0 () in
+  Slow_log.note log ~id:7 ~tenant:"t1" ~label:"SELECT ..." ~plan:(tiny_plan ())
+    ~submitted:1.0 ~response:3.0 ~cost:4.0 ~failed:None steps;
+  match Slow_log.entries log with
+  | [ e ] ->
+    (match e.Slow_log.e_sources with
+    | [ a; b ] ->
+      check_int "sources ascend" 0 a.Slow_log.sl_server;
+      check_int "server 0 requests" 1 a.Slow_log.sl_requests;
+      check_int "server 1 requests" 3 b.Slow_log.sl_requests;
+      check_int "coalesced request did not dispatch" 2 b.Slow_log.sl_dispatched;
+      Alcotest.(check (float 1e-9)) "cost charged at server 1" 3.0 b.Slow_log.sl_cost
+    | l -> Alcotest.failf "expected two source lines, got %d" (List.length l));
+    (* The JSON view serializes and keeps the fields an operator greps. *)
+    let j = Slow_log.to_json log in
+    check_bool "serializes" true (String.length (Json.to_string j) > 0);
+    (match Json.member "entries" j with
+    | Some (Json.List [ je ]) ->
+      Alcotest.(check (option int)) "id" (Some 7)
+        (Option.bind (Json.member "id" je) Json.to_int);
+      Alcotest.(check (option string)) "label" (Some "SELECT ...")
+        (Option.bind (Json.member "label" je) Json.to_str);
+      Alcotest.(check (option string)) "plan shape" (Some "3 ops: sq*2 union")
+        (Option.bind (Json.member "plan_shape" je) Json.to_str)
+    | _ -> Alcotest.fail "expected one JSON entry")
+  | l -> Alcotest.failf "expected one entry, got %d" (List.length l)
+
+let test_create_validation () =
+  let raises f =
+    match f () with _ -> false | exception Invalid_argument _ -> true
+  in
+  check_bool "negative threshold rejected" true
+    (raises (fun () -> Slow_log.create ~threshold:(-1.0) ()));
+  check_bool "nan threshold rejected" true
+    (raises (fun () -> Slow_log.create ~threshold:Float.nan ()));
+  check_bool "capacity 0 rejected" true
+    (raises (fun () -> Slow_log.create ~capacity:0 ~threshold:1.0 ()))
+
+let suite =
+  [
+    Alcotest.test_case "plan shape" `Quick test_plan_shape;
+    Alcotest.test_case "threshold gate" `Quick test_threshold_gate;
+    Alcotest.test_case "ring eviction" `Quick test_ring_eviction;
+    Alcotest.test_case "critical path diamond" `Quick test_critical_path_diamond;
+    Alcotest.test_case "critical path tiebreak" `Quick test_critical_path_tiebreak;
+    Alcotest.test_case "source breakdown and json" `Quick
+      test_source_breakdown_and_json;
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+  ]

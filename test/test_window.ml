@@ -1,0 +1,93 @@
+(* The sliding-window aggregator. Two pins: a window still holding all
+   its samples snapshots to exactly [Summary.percentiles_of] over the
+   same values (the agreement {!Fusion_obs.Window} promises by
+   construction — checked as a property anyway so a reimplementation
+   cannot silently diverge), and the (now - span, now] eviction
+   boundary under a manual clock — a sample falls out at the first
+   instant [now -. span] reaches its timestamp, not one tick later. *)
+
+module Window = Fusion_obs.Window
+module Summary = Fusion_obs.Summary
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let peq (a : Summary.percentiles) (b : Summary.percentiles) =
+  a.Summary.p50 = b.Summary.p50
+  && a.Summary.p90 = b.Summary.p90
+  && a.Summary.p99 = b.Summary.p99
+  && a.Summary.mean = b.Summary.mean
+  && a.Summary.max = b.Summary.max
+  && a.Summary.n = b.Summary.n
+
+let prop_full_window_matches_summary =
+  Helpers.qtest ~count:300 "full window snapshot = summary percentiles"
+    QCheck2.Gen.(list_size (int_range 0 40) (float_bound_inclusive 250.0))
+    (fun vs ->
+      Printf.sprintf "[%s]" (String.concat "; " (List.map string_of_float vs)))
+    (fun vs ->
+      (* Samples 10ms apart against a 1000s span: nothing evicts, so
+         the window sees exactly [vs]. *)
+      let w = Window.create ~span:1000.0 () in
+      List.iteri (fun i v -> Window.add w ~now:(float_of_int i *. 0.01) v) vs;
+      let now = float_of_int (List.length vs) *. 0.01 in
+      peq (Window.snapshot w ~now) (Summary.percentiles_of ~buckets:128 vs))
+
+let test_eviction_boundary () =
+  let w = Window.create ~span:10.0 () in
+  check_int "empty window" 0 (Window.length w ~now:0.0);
+  check_bool "empty snapshot is the empty percentiles" true
+    (Window.snapshot w ~now:0.0 = Summary.empty_percentiles);
+  Window.add w ~now:0.0 1.0;
+  Window.add w ~now:5.0 2.0;
+  check_int "both inside just before the boundary" 2 (Window.length w ~now:9.99);
+  check_int "first sample out exactly at ts + span" 1 (Window.length w ~now:10.0);
+  Alcotest.(check (list (float 0.0)))
+    "the younger sample survives" [ 2.0 ] (Window.values w ~now:10.0);
+  check_int "window drains completely" 0 (Window.length w ~now:15.0);
+  check_int "high water remembers the peak" 2 (Window.high_water w)
+
+let test_snapshot_evicts_too () =
+  let w = Window.create ~span:10.0 () in
+  Window.add w ~now:0.0 100.0;
+  Window.add w ~now:8.0 1.0;
+  check_int "both counted while young" 2 (Window.snapshot w ~now:8.0).Summary.n;
+  let late = Window.snapshot w ~now:10.0 in
+  check_int "snapshot itself evicts" 1 late.Summary.n;
+  Alcotest.(check (float 0.0)) "the old outlier is gone" 1.0 late.Summary.max
+
+let test_insertion_order_values () =
+  let w = Window.create ~span:100.0 () in
+  List.iteri (fun i v -> Window.add w ~now:(float_of_int i) v) [ 3.0; 1.0; 2.0 ];
+  Alcotest.(check (list (float 0.0)))
+    "values keep insertion order" [ 3.0; 1.0; 2.0 ] (Window.values w ~now:2.0)
+
+let test_clear () =
+  let w = Window.create ~span:5.0 () in
+  Window.add w ~now:0.0 1.0;
+  Window.clear w;
+  check_int "cleared" 0 (Window.length w ~now:0.0);
+  check_int "high water reset" 0 (Window.high_water w)
+
+let test_create_validation () =
+  let raises f =
+    match f () with _ -> false | exception Invalid_argument _ -> true
+  in
+  check_bool "zero span rejected" true (raises (fun () -> Window.create ~span:0.0 ()));
+  check_bool "negative span rejected" true
+    (raises (fun () -> Window.create ~span:(-1.0) ()));
+  check_bool "nan span rejected" true
+    (raises (fun () -> Window.create ~span:Float.nan ()));
+  check_bool "zero buckets rejected" true
+    (raises (fun () -> Window.create ~buckets:0 ~span:1.0 ()))
+
+let suite =
+  [
+    prop_full_window_matches_summary;
+    Alcotest.test_case "eviction boundary" `Quick test_eviction_boundary;
+    Alcotest.test_case "snapshot evicts" `Quick test_snapshot_evicts_too;
+    Alcotest.test_case "values keep insertion order" `Quick
+      test_insertion_order_values;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+  ]
