@@ -31,6 +31,7 @@ let experiments =
     ("x18", "sharded mediation: scatter/gather under churn", X18_shards.run);
     ("x19", "runtime backends: domains pool vs simulator oracle", X19_runtime.run);
     ("x20", "observability overhead: metrics on vs off", X20_obs.run);
+    ("x21", "incremental maintenance vs full re-execution", X21_delta.run);
     ("check", "executable claims (regression gate)", Checks.run);
   ]
 

@@ -973,6 +973,14 @@ let serve_cmd =
     let doc = "Admission cap on concurrently executing queries." in
     Arg.(value & opt int 64 & info [ "max-inflight" ] ~docv:"M" ~doc)
   in
+  let versioned_cache_arg =
+    let doc =
+      "Track answer-cache staleness by source version instead of the clock: \
+       entries are patched or invalidated when $(b,mut) statements change a \
+       source, and version-matching replays report exact staleness 0."
+    in
+    Arg.(value & flag & info [ "versioned-cache" ] ~doc)
+  in
   let deadline_arg =
     let doc =
       "Per-query response-time budget; arrivals that cannot meet it are shed."
@@ -1017,8 +1025,9 @@ let serve_cmd =
     in
     Arg.(value & opt (some float) None & info [ "slow-threshold" ] ~docv:"SECS" ~doc)
   in
-  let action location queries rate seed policy tenants cache_ttl max_inflight deadline
-      prom gantt runtime listen admin window slow_threshold algo verbose =
+  let action location queries rate seed policy tenants cache_ttl versioned_cache
+      max_inflight deadline prom gantt runtime listen admin window slow_threshold
+      algo verbose =
     setup_logs verbose;
     report_result
       (let* location = location in
@@ -1072,8 +1081,9 @@ let serve_cmd =
                  in
                  let* report =
                    Tcp.serve ~config ~policy ~max_inflight ?cache_ttl
-                     ~max_queries:queries ?window ?slow_threshold ?admin
-                     ~admin_on_listen ~listen:addr mediator
+                     ~versioned_cache ~max_queries:queries ?window
+                     ?slow_threshold ?admin ~admin_on_listen ~listen:addr
+                     mediator
                  in
                  Format.printf
                    "served %d statements over %d connections (%d rejected before \
@@ -1102,7 +1112,7 @@ let serve_cmd =
                  in
                  let srv =
                    Mediator.Server.create ~config ~policy ~max_inflight ?cache_ttl
-                     ?window ?slow_log mediator
+                     ~versioned_cache ?window ?slow_log mediator
                  in
                  let prng = Fusion_stats.Prng.create seed in
                  let schema = Mediator.schema mediator in
@@ -1218,9 +1228,9 @@ let serve_cmd =
   let doc = "serve a stream of fusion queries on one shared network" in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const action $ location_term $ queries_arg $ rate_arg $ seed_arg $ policy_arg
-          $ tenants_arg $ cache_ttl_arg $ max_inflight_arg $ deadline_arg $ prom_arg
-          $ gantt_arg $ runtime_arg $ listen_arg $ admin_arg $ window_arg
-          $ slow_threshold_arg $ algo_arg $ verbose_arg)
+          $ tenants_arg $ cache_ttl_arg $ versioned_cache_arg $ max_inflight_arg
+          $ deadline_arg $ prom_arg $ gantt_arg $ runtime_arg $ listen_arg
+          $ admin_arg $ window_arg $ slow_threshold_arg $ algo_arg $ verbose_arg)
 
 (* --- client -------------------------------------------------------------- *)
 
@@ -1261,6 +1271,50 @@ let client_cmd =
   let doc = "send fusion queries to a TCP serving front end" in
   Cmd.v (Cmd.info "client" ~doc)
     Term.(const action $ connect_arg $ sqls_arg $ retries_arg $ verbose_arg)
+
+(* --- watch ---------------------------------------------------------------- *)
+
+(* The streaming counterpart of client: subscribe one fusion SQL
+   statement as a standing query and print the server's lines as they
+   arrive — the initial answer, then one push line per answer diff. *)
+let watch_cmd =
+  let module Tcp = Fusion_mediator.Tcp_front in
+  let connect_arg =
+    let doc = "Address of a running 'fqcli serve --listen' front end." in
+    Arg.(required & opt (some string) None
+         & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let sql_arg =
+    let doc = "The fusion SQL statement to subscribe." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
+  in
+  let pushes_arg =
+    let doc =
+      "Exit successfully after this many push lines (0: stream until the \
+       connection closes)."
+    in
+    Arg.(value & opt int 0 & info [ "pushes" ] ~docv:"N" ~doc)
+  in
+  let retries_arg =
+    let doc = "Connection attempts (100 ms apart) before giving up." in
+    Arg.(value & opt int 50 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let action connect sql pushes retries verbose =
+    setup_logs verbose;
+    report_result
+      (let* addr = Tcp.sockaddr_of_string connect in
+       if pushes < 0 then Error "--pushes must be non-negative"
+       else
+         Tcp.watch ~retries ~pushes ~connect:addr
+           ~on_line:(fun line ->
+             print_endline line;
+             flush stdout)
+           sql)
+  in
+  let doc = "subscribe a standing fusion query and stream its answer diffs" in
+  Cmd.v (Cmd.info "watch" ~doc)
+    Term.(const action $ connect_arg $ sql_arg $ pushes_arg $ retries_arg
+          $ verbose_arg)
 
 (* --- top ------------------------------------------------------------------ *)
 
@@ -1414,6 +1468,6 @@ let main_cmd =
   let info = Cmd.info "fqcli" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ gen_cmd; run_cmd; explain_cmd; compare_cmd; profile_cmd; trace_cmd; shell_cmd;
-      serve_cmd; client_cmd; top_cmd ]
+      serve_cmd; client_cmd; watch_cmd; top_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -280,6 +280,39 @@ let merge_diff (a : int array) (b : int array) =
   end;
   if !k = la then out else Array.sub out 0 !k
 
+let merge_sym_diff (a : int array) (b : int array) =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (la + lb) 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < la && !j < lb do
+    let x = a.(!i) and y = b.(!j) in
+    if x < y then begin
+      out.(!k) <- x;
+      incr i;
+      incr k
+    end
+    else if x > y then begin
+      out.(!k) <- y;
+      incr j;
+      incr k
+    end
+    else begin
+      incr i;
+      incr j
+    end
+  done;
+  while !i < la do
+    out.(!k) <- a.(!i);
+    incr i;
+    incr k
+  done;
+  while !j < lb do
+    out.(!k) <- b.(!j);
+    incr j;
+    incr k
+  done;
+  if !k = la + lb then out else Array.sub out 0 !k
+
 let subset_sorted (a : int array) (b : int array) =
   let la = Array.length a and lb = Array.length b in
   la <= lb
@@ -350,6 +383,21 @@ let bits_diff tbl (a : bits) (b : bits) =
     done
   end;
   norm_bits tbl a.base words
+
+let bits_sym_diff tbl (a : bits) (b : bits) =
+  let base = min a.base b.base in
+  let top = max (bits_top a) (bits_top b) in
+  let nwords = (top - base) / bpw in
+  if nwords > (bits_max_spread * (a.card + b.card) / bpw) + 1 then
+    (* Result would be sparse across the combined span; merge as arrays. *)
+    of_sorted_ids tbl (merge_sym_diff (ids_of_bits a) (ids_of_bits b))
+  else begin
+    let words = Array.make nwords 0 in
+    let oa = (a.base - base) / bpw and ob = (b.base - base) / bpw in
+    Array.iteri (fun w x -> words.(oa + w) <- x) a.words;
+    Array.iteri (fun w x -> words.(ob + w) <- words.(ob + w) lxor x) b.words;
+    norm_bits tbl base words
+  end
 
 let bits_subset (a : bits) (b : bits) =
   a.card <= b.card
@@ -473,6 +521,22 @@ let diff a b =
             words.(k / bpw) <- words.(k / bpw) land lnot (1 lsl (k mod bpw)))
         bi;
       norm_bits tbl ab.base words
+    | Empty, _ | _, Empty -> assert false)
+
+let sym_diff a b =
+  match (a, b) with
+  | Empty, x | x, Empty -> x
+  | _ ->
+    let tbl = tbl_exn a in
+    let b = remap tbl b in
+    kernel ();
+    (match (a, b) with
+    | Ids (_, ai), Ids (_, bi) -> of_sorted_ids tbl (merge_sym_diff ai bi)
+    | Bits (_, ab), Bits (_, bb) -> bits_sym_diff tbl ab bb
+    | Ids (_, ai), Bits (_, bb) | Bits (_, bb), Ids (_, ai) ->
+      (* Mixed forms: the result is neither a copy of one operand nor a
+         pure mask, so merge over sorted ids and re-canonicalize. *)
+      of_sorted_ids tbl (merge_sym_diff ai (ids_of_bits bb))
     | Empty, _ | _, Empty -> assert false)
 
 let subset a b =

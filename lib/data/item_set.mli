@@ -30,6 +30,13 @@ val cardinal : t -> int
 val union : t -> t -> t
 val inter : t -> t -> t
 val diff : t -> t -> t
+
+val sym_diff : t -> t -> t
+(** Symmetric difference [(a − b) ∪ (b − a)] as one flat kernel: a
+    single merge pass on sorted-id arrays, word-wise [lxor] on bitsets
+    (with the same sparse-span fallback as {!union}). The delta plane
+    uses it to turn two answer snapshots into a changed-items set. *)
+
 val subset : t -> t -> bool
 val equal : t -> t -> bool
 val compare : t -> t -> int

@@ -21,6 +21,7 @@ let cardinal = S.cardinal
 let union = S.union
 let inter = S.inter
 let diff = S.diff
+let sym_diff a b = S.union (S.diff a b) (S.diff b a)
 let subset = S.subset
 let equal = S.equal
 let compare = S.compare

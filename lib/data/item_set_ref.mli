@@ -14,6 +14,7 @@ val cardinal : t -> int
 val union : t -> t -> t
 val inter : t -> t -> t
 val diff : t -> t -> t
+val sym_diff : t -> t -> t
 val subset : t -> t -> bool
 val equal : t -> t -> bool
 val compare : t -> t -> int

@@ -43,6 +43,45 @@ let insert t tuple =
   t.used <- t.used + 1;
   t.version <- t.version + 1
 
+(* Delete by swapping the last row into the freed slot: O(1) in the
+   relation size, O(tuples-per-item) in the two affected index entries.
+   After a remove, position lists no longer reflect insertion order. *)
+let remove t tuple =
+  let item = Tuple.item t.schema tuple in
+  match Intern.find t.intern item with
+  | None -> false
+  | Some id -> (
+    match Hashtbl.find_opt t.index id with
+    | None -> false
+    | Some positions -> (
+      match List.find_opt (fun i -> Tuple.equal t.rows.(i) tuple) positions with
+      | None -> false
+      | Some pos ->
+        let last = t.used - 1 in
+        let remaining = List.filter (fun i -> i <> pos) positions in
+        let replace id = function
+          | [] -> Hashtbl.remove t.index id
+          | l -> Hashtbl.replace t.index id l
+        in
+        if pos = last then replace id remaining
+        else begin
+          let moved = t.rows.(last) in
+          t.rows.(pos) <- moved;
+          let fix l = List.map (fun i -> if i = last then pos else i) l in
+          let mid = Intern.intern t.intern (Tuple.item t.schema moved) in
+          if mid = id then replace id (fix remaining)
+          else begin
+            replace id remaining;
+            match Hashtbl.find_opt t.index mid with
+            | Some l -> Hashtbl.replace t.index mid (fix l)
+            | None -> assert false
+          end
+        end;
+        t.rows.(last) <- [||];
+        t.used <- last;
+        t.version <- t.version + 1;
+        true))
+
 let of_tuples ~name ?intern schema tuples =
   let t = create ~name ?intern schema in
   List.iter (insert t) tuples;

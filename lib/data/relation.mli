@@ -28,9 +28,17 @@ val cardinality : t -> int
 
 val insert : t -> Tuple.t -> unit
 
+val remove : t -> Tuple.t -> bool
+(** Removes one tuple equal to the argument (by {!Tuple.equal}), if any;
+    returns whether a tuple was removed. O(1) in the relation size plus
+    the affected index entries: the last row is swapped into the freed
+    slot, so after a remove {!tuples} and {!tuples_of_item} no longer
+    enumerate in insertion order. Bumps {!version} when it removes. *)
+
 val version : t -> int
-(** Bumped on every {!insert}; lets derived artifacts (statistics,
-    histograms) detect staleness. *)
+(** Bumped on every {!insert} and successful {!remove}; lets derived
+    artifacts (statistics, caches, maintained answers) detect
+    staleness. *)
 
 val iter : (Tuple.t -> unit) -> t -> unit
 val fold : ('a -> Tuple.t -> 'a) -> 'a -> t -> 'a

@@ -1,0 +1,49 @@
+open Fusion_data
+
+type t = { adds : Item_set.t; dels : Item_set.t }
+
+let empty = { adds = Item_set.empty; dels = Item_set.empty }
+let is_empty c = Item_set.is_empty c.adds && Item_set.is_empty c.dels
+let inverse c = { adds = c.dels; dels = c.adds }
+let touched c = Item_set.union c.adds c.dels
+let cardinal c = Item_set.cardinal c.adds + Item_set.cardinal c.dels
+let apply v c = Item_set.union (Item_set.diff v c.dels) c.adds
+
+let of_parts ~old_on ~new_on =
+  { adds = Item_set.diff new_on old_on; dels = Item_set.diff old_on new_on }
+
+let of_snapshots ~before ~after = of_parts ~old_on:before ~new_on:after
+
+(* [old_on ~now c d]: the pre-change value restricted to any candidate
+   set [c ⊇ touched d], recovered from the current value [now] and the
+   change [d] that produced it — [(c ∩ now) − adds ∪ dels], all
+   delta-sized kernels. *)
+let old_on ~now c d =
+  Item_set.union (Item_set.diff (Item_set.inter c now) d.adds) d.dels
+
+(* The binary delta rules over the flat item-set algebra. Arguments
+   [a]/[b] are the operands' {e post-change} values and [da]/[db] the
+   changes that produced them; every kernel below runs on sets no larger
+   than the candidate set C = touched da ∪ touched db, so maintenance
+   cost is proportional to the delta, never the base. *)
+
+let union_rule ~a ~b da db =
+  let c = Item_set.union (touched da) (touched db) in
+  of_parts
+    ~old_on:(Item_set.union (old_on ~now:a c da) (old_on ~now:b c db))
+    ~new_on:(Item_set.union (Item_set.inter c a) (Item_set.inter c b))
+
+let inter_rule ~a ~b da db =
+  let c = Item_set.union (touched da) (touched db) in
+  of_parts
+    ~old_on:(Item_set.inter (old_on ~now:a c da) (old_on ~now:b c db))
+    ~new_on:(Item_set.inter (Item_set.inter c a) b)
+
+let diff_rule ~l ~r dl dr =
+  let c = Item_set.union (touched dl) (touched dr) in
+  of_parts
+    ~old_on:(Item_set.diff (old_on ~now:l c dl) (old_on ~now:r c dr))
+    ~new_on:(Item_set.diff (Item_set.inter c l) r)
+
+let pp ppf c =
+  Format.fprintf ppf "@[<h>+%a@ -%a@]" Item_set.pp c.adds Item_set.pp c.dels

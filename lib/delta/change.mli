@@ -1,0 +1,56 @@
+(** Normalized item-set changes and the delta rules of the plan algebra.
+
+    A change is the difference between two snapshots of one item set,
+    kept disjoint and minimal: [adds ∩ before = ∅], [dels ⊆ before],
+    [adds ∩ dels = ∅], and [after = (before − dels) ∪ adds]. Standing
+    queries push these, and {!Maintained} propagates them through
+    [Sq]/[Sjq]/[∪]/[∩]/[−] DAGs with the rules below — each rule runs
+    flat {!Item_set} kernels on sets bounded by the {e candidate set}
+    [C = touched Δa ∪ touched Δb], so updating a maintained answer
+    costs time proportional to the delta, not the base data. *)
+
+open Fusion_data
+
+type t = { adds : Item_set.t; dels : Item_set.t }
+
+val empty : t
+val is_empty : t -> bool
+
+val inverse : t -> t
+(** Swaps adds and dels: applying [inverse c] undoes [c]. *)
+
+val touched : t -> Item_set.t
+(** [adds ∪ dels] — the items whose membership changed. *)
+
+val cardinal : t -> int
+
+val apply : Item_set.t -> t -> Item_set.t
+(** [apply before c] is the post-change set [(before − dels) ∪ adds]. *)
+
+val of_parts : old_on:Item_set.t -> new_on:Item_set.t -> t
+(** Builds a normalized change from the old and new values restricted
+    to a common candidate set: [adds = new − old], [dels = old − new].
+    Items outside the restriction must be unchanged. *)
+
+val of_snapshots : before:Item_set.t -> after:Item_set.t -> t
+(** [of_parts] over full snapshots. O(base); prefer the rules below on
+    maintained paths. *)
+
+val old_on : now:Item_set.t -> Item_set.t -> t -> Item_set.t
+(** [old_on ~now c d] recovers the pre-change value restricted to [c]
+    from the current value and the change that produced it — valid for
+    any [c ⊇ touched d]. Delta-sized. *)
+
+(** {1 Delta rules}
+
+    Each takes the operands' post-change values and the changes that
+    produced them, and returns the change of the combined set. E.g. the
+    classic [Δ(A∩B) = (ΔA ∩ B') ∪ (A' ∩ ΔB)] (primes denoting new
+    values, with deletions handled by the old/new-restriction
+    formulation). *)
+
+val union_rule : a:Item_set.t -> b:Item_set.t -> t -> t -> t
+val inter_rule : a:Item_set.t -> b:Item_set.t -> t -> t -> t
+val diff_rule : l:Item_set.t -> r:Item_set.t -> t -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,118 @@
+open Fusion_data
+
+type t = { inserts : Tuple.t list; deletes : Tuple.t list }
+
+let make ~inserts ~deletes = { inserts; deletes }
+let empty = { inserts = []; deletes = [] }
+let size d = List.length d.inserts + List.length d.deletes
+let is_empty d = d.inserts = [] && d.deletes = []
+
+let of_rows schema ~inserts ~deletes =
+  let rec conv acc = function
+    | [] -> Ok (List.rev acc)
+    | row :: rest -> (
+      match Tuple.create schema row with
+      | Ok tu -> conv (tu :: acc) rest
+      | Error e -> Error e)
+  in
+  match conv [] deletes with
+  | Error e -> Error e
+  | Ok deletes -> (
+    match conv [] inserts with
+    | Error e -> Error e
+    | Ok inserts -> Ok { inserts; deletes })
+
+(* Line syntax used by the TCP front end's [mut] command:
+   ;-separated ops, each [+cell,cell,...] (insert) or [-cell,...]
+   (delete), cells parsed against the schema's attribute types. *)
+let parse schema text =
+  let tys = List.map snd (Schema.attrs schema) in
+  let arity = List.length tys in
+  let parse_row body =
+    let cells = String.split_on_char ',' body in
+    if List.length cells <> arity then
+      Error
+        (Printf.sprintf "delta row %S: expected %d cells, got %d" body arity
+           (List.length cells))
+    else
+      let rec go acc tys cells =
+        match (tys, cells) with
+        | [], [] -> Ok (List.rev acc)
+        | ty :: tys, c :: cells -> (
+          match Value.parse ty (String.trim c) with
+          | Ok v -> go (v :: acc) tys cells
+          | Error e -> Error (Printf.sprintf "delta row %S: %s" body e))
+        | _ -> assert false
+      in
+      go [] tys cells
+  in
+  let ops =
+    String.split_on_char ';' text |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go inserts deletes = function
+    | [] -> of_rows schema ~inserts:(List.rev inserts) ~deletes:(List.rev deletes)
+    | op :: rest ->
+      if String.length op < 2 || (op.[0] <> '+' && op.[0] <> '-') then
+        Error (Printf.sprintf "bad delta op %S: must be +row or -row" op)
+      else (
+        match (op.[0], parse_row (String.sub op 1 (String.length op - 1))) with
+        | _, Error e -> Error e
+        | '+', Ok row -> go (row :: inserts) deletes rest
+        | _, Ok row -> go inserts (row :: deletes) rest)
+  in
+  if ops = [] then Error "empty delta"
+  else go [] [] ops
+
+let to_line schema d =
+  (* [Value.parse] takes strings bare (no quotes), so render them the
+     same way — [Value.to_string] would quote and not round-trip. *)
+  let cell = function Value.String s -> s | v -> Value.to_string v in
+  let row sign tu =
+    sign
+    ^ String.concat ","
+        (List.mapi (fun i _ -> cell (Tuple.get tu i)) (Schema.attrs schema))
+  in
+  String.concat ";"
+    (List.map (row "+") d.inserts @ List.map (row "-") d.deletes)
+
+type applied = {
+  inserted : int;
+  deleted : int;
+  missed : int;
+  touched : Item_set.t;
+  version : int;
+}
+
+(* Deletes first, then inserts: a tuple appearing on both sides of one
+   batch ends up present. Items are touched only when a row actually
+   changed (a delete that matched nothing touches nothing). *)
+let apply rel d =
+  let intern = Relation.intern rel and schema = Relation.schema rel in
+  let touched = ref [] in
+  let touch tu = touched := Intern.intern intern (Tuple.item schema tu) :: !touched in
+  let deleted = ref 0 and missed = ref 0 in
+  List.iter
+    (fun tu ->
+      if Relation.remove rel tu then begin
+        incr deleted;
+        touch tu
+      end
+      else incr missed)
+    d.deletes;
+  List.iter
+    (fun tu ->
+      Relation.insert rel tu;
+      touch tu)
+    d.inserts;
+  {
+    inserted = List.length d.inserts;
+    deleted = !deleted;
+    missed = !missed;
+    touched = Item_set.of_ids intern (Array.of_list !touched);
+    version = Relation.version rel;
+  }
+
+let pp ppf d =
+  Format.fprintf ppf "@[<h>delta(+%d/-%d)@]" (List.length d.inserts)
+    (List.length d.deletes)

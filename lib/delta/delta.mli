@@ -1,0 +1,50 @@
+(** Source deltas: insert/delete batches on wrapped relations.
+
+    A delta is the unit of change a source reports (or an administrator
+    injects): a batch of tuple inserts and deletes against one
+    relation. Applying it bumps the relation's monotone version counter
+    and reports the set of {e touched items} — the interned merge ids
+    whose evidence changed — which is exactly what the delta rules in
+    {!Change}/{!Maintained} and the version-vector invalidation in
+    [Answer_cache] consume. *)
+
+open Fusion_data
+
+type t = { inserts : Tuple.t list; deletes : Tuple.t list }
+
+val make : inserts:Tuple.t list -> deletes:Tuple.t list -> t
+val empty : t
+val is_empty : t -> bool
+
+val size : t -> int
+(** Total number of inserts plus deletes. *)
+
+val of_rows :
+  Schema.t -> inserts:Value.t list list -> deletes:Value.t list list -> (t, string) result
+(** Builds from raw rows, type-checking each against the schema. *)
+
+val parse : Schema.t -> string -> (t, string) result
+(** Parses the TCP front end's [mut] payload syntax: [;]-separated ops,
+    each [+cell,cell,...] (insert) or [-cell,cell,...] (delete), cells
+    parsed against the schema's attribute types in order. *)
+
+val to_line : Schema.t -> t -> string
+(** Renders in the {!parse} syntax (inserts first). Round-trips for
+    values whose [Value.to_string] form contains no [,] or [;]. *)
+
+type applied = {
+  inserted : int;  (** rows inserted *)
+  deleted : int;  (** deletes that removed a row *)
+  missed : int;  (** deletes that matched no row *)
+  touched : Item_set.t;
+      (** merge items whose tuple evidence changed, in the relation's
+          intern scope *)
+  version : int;  (** the relation's version after the batch *)
+}
+
+val apply : Relation.t -> t -> applied
+(** Applies deletes (each removing one matching tuple, if any) then
+    inserts. Tuples are assumed typed against the relation's schema
+    (build them with {!of_rows} or [Tuple.create]). *)
+
+val pp : Format.formatter -> t -> unit

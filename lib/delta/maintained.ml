@@ -1,0 +1,190 @@
+open Fusion_data
+open Fusion_cond
+open Fusion_query
+open Fusion_source
+open Fusion_plan
+
+(* Each node keeps its own previous output ([out]) so the candidate-set
+   rules can recover old-restricted values even when a plan rebinds a
+   variable: [values] always reflects the latest binding processed,
+   while [out] is private to the node. Semijoin nodes additionally keep
+   their full selection set [sel] (all items of the source matching the
+   condition), so [out = sel ∩ input] is maintainable without
+   re-querying the base. *)
+type kind =
+  | Kselect of { source : int; pred : Tuple.t -> bool }
+  | Ksemijoin of {
+      source : int;
+      pred : Tuple.t -> bool;
+      input : string;
+      mutable sel : Item_set.t;
+    }
+  | Klocal of { source : int; pred : Tuple.t -> bool }
+  | Kunion of string list
+  | Kinter of string list
+  | Kdiff of string * string
+
+type node = { dst : string; mutable out : Item_set.t; kind : kind }
+
+type t = {
+  relations : Relation.t array;
+  nodes : node array;
+  values : (string, Item_set.t) Hashtbl.t;
+  versions : int array;
+  output : string;
+  plan : Plan.t;
+}
+
+let value t var =
+  Option.value ~default:Item_set.empty (Hashtbl.find_opt t.values var)
+
+let answer t = value t t.output
+let versions t = Array.copy t.versions
+let plan t = t.plan
+
+let create ~query ~sources p =
+  let sources = Array.of_list sources in
+  let n = Array.length sources in
+  match Plan.validate ~m:(Query.m query) ~n p with
+  | Error e -> Error e
+  | Ok () -> (
+    let relations = Array.map Source.relation sources in
+    let pred cond source =
+      let c = Query.condition query cond in
+      let schema = Relation.schema relations.(source) in
+      fun tu -> Cond.eval schema c tu
+    in
+    (* Loaded-relation variables resolve statically: track the latest
+       [Load] binding while walking the straight-line ops. *)
+    let loads = Hashtbl.create 4 in
+    let nodes = ref [] in
+    let node dst kind = nodes := { dst; out = Item_set.empty; kind } :: !nodes in
+    try
+      List.iter
+        (fun op ->
+          match (op : Op.t) with
+          | Select { dst; cond; source } -> node dst (Kselect { source; pred = pred cond source })
+          | Semijoin { dst; cond; source; input } ->
+            node dst
+              (Ksemijoin { source; pred = pred cond source; input; sel = Item_set.empty })
+          | Load { dst; source } -> Hashtbl.replace loads dst source
+          | Local_select { dst; cond; input } ->
+            let source =
+              match Hashtbl.find_opt loads input with
+              | Some s -> s
+              | None -> raise Exit (* validate guarantees this *)
+            in
+            node dst (Klocal { source; pred = pred cond source })
+          | Union { dst; args } -> node dst (Kunion args)
+          | Inter { dst; args } -> node dst (Kinter args)
+          | Diff { dst; left; right } -> node dst (Kdiff (left, right)))
+        (Plan.ops p);
+      let t =
+        {
+          relations;
+          nodes = Array.of_list (List.rev !nodes);
+          values = Hashtbl.create 16;
+          versions = Array.map Relation.version relations;
+          output = Plan.output p;
+          plan = p;
+        }
+      in
+      (* Initial full evaluation, in plan order. *)
+      Array.iter
+        (fun nd ->
+          (match nd.kind with
+          | Kselect { source; pred } | Klocal { source; pred } ->
+            nd.out <- Relation.select_items t.relations.(source) pred
+          | Ksemijoin sj ->
+            sj.sel <- Relation.select_items t.relations.(sj.source) sj.pred;
+            nd.out <- Item_set.inter sj.sel (value t sj.input)
+          | Kunion args -> nd.out <- Item_set.union_list (List.map (value t) args)
+          | Kinter args -> nd.out <- Item_set.inter_list (List.map (value t) args)
+          | Kdiff (l, r) -> nd.out <- Item_set.diff (value t l) (value t r));
+          Hashtbl.replace t.values nd.dst nd.out)
+        t.nodes;
+      Ok t
+    with Exit -> Error "local selection over an unloaded variable")
+
+(* Propagate one source's touched-item set through the DAG. [changes]
+   maps each variable to the change of its latest binding processed so
+   far; absent means unchanged. Nodes are visited in plan order, so
+   operand values (and changes) are already up to date when read. *)
+let source_changed t ~source ~touched =
+  if source < 0 || source >= Array.length t.relations then
+    invalid_arg "Maintained.source_changed: source index out of range";
+  t.versions.(source) <- Relation.version t.relations.(source);
+  let changes = Hashtbl.create 8 in
+  let change_of var =
+    Option.value ~default:Change.empty (Hashtbl.find_opt changes var)
+  in
+  let select_change rel pred ~old ~candidates =
+    if Item_set.is_empty candidates then Change.empty
+    else
+      Change.of_parts
+        ~old_on:(Item_set.inter candidates old)
+        ~new_on:(Relation.semijoin_items rel pred candidates)
+  in
+  Array.iter
+    (fun nd ->
+      let ch =
+        match nd.kind with
+        | Kselect { source = s; pred } | Klocal { source = s; pred } ->
+          if s <> source then Change.empty
+          else select_change t.relations.(s) pred ~old:nd.out ~candidates:touched
+        | Ksemijoin sj ->
+          let da =
+            if sj.source <> source then Change.empty
+            else
+              select_change t.relations.(sj.source) sj.pred ~old:sj.sel
+                ~candidates:touched
+          in
+          sj.sel <- Change.apply sj.sel da;
+          let dx = change_of sj.input in
+          let c = Item_set.union (Change.touched da) (Change.touched dx) in
+          if Item_set.is_empty c then Change.empty
+          else
+            Change.of_parts
+              ~old_on:(Item_set.inter c nd.out)
+              ~new_on:(Item_set.inter (Item_set.inter c sj.sel) (value t sj.input))
+        | Kunion args ->
+          let c = Item_set.union_list (List.map (fun a -> Change.touched (change_of a)) args) in
+          if Item_set.is_empty c then Change.empty
+          else
+            Change.of_parts
+              ~old_on:(Item_set.inter c nd.out)
+              ~new_on:
+                (Item_set.union_list
+                   (List.map (fun a -> Item_set.inter c (value t a)) args))
+        | Kinter args ->
+          let c = Item_set.union_list (List.map (fun a -> Change.touched (change_of a)) args) in
+          if Item_set.is_empty c then Change.empty
+          else
+            Change.of_parts
+              ~old_on:(Item_set.inter c nd.out)
+              ~new_on:
+                (List.fold_left
+                   (fun acc a -> Item_set.inter acc (value t a))
+                   c args)
+        | Kdiff (l, r) ->
+          let c =
+            Item_set.union (Change.touched (change_of l)) (Change.touched (change_of r))
+          in
+          if Item_set.is_empty c then Change.empty
+          else
+            Change.of_parts
+              ~old_on:(Item_set.inter c nd.out)
+              ~new_on:(Item_set.diff (Item_set.inter c (value t l)) (value t r))
+      in
+      nd.out <- Change.apply nd.out ch;
+      Hashtbl.replace t.values nd.dst nd.out;
+      Hashtbl.replace changes nd.dst ch)
+    t.nodes;
+  change_of t.output
+
+let mutate t ~source delta =
+  if source < 0 || source >= Array.length t.relations then
+    invalid_arg "Maintained.mutate: source index out of range";
+  let applied = Delta.apply t.relations.(source) delta in
+  let change = source_changed t ~source ~touched:applied.Delta.touched in
+  (applied, change)

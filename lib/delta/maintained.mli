@@ -1,0 +1,49 @@
+(** Incrementally maintained fusion answers.
+
+    A maintained plan keeps the current answer item-set of every plan
+    variable, plus per-node state (the full selection set of each
+    [Sq]/[Sjq]/[Lsq] node), and updates all of it in time proportional
+    to a source delta: when items [touched] change at source [j], each
+    selection-like node re-probes {e only the touched items} against
+    the relation's merge index, and each set operation applies the
+    candidate-set rules of {!Change}. The result after every delta is
+    byte-equal to a full re-execution of the plan on the mutated
+    catalog (pinned by the randomized mutation-batch property suite).
+
+    Maintenance is mediator-local bookkeeping: it reads the wrapped
+    relations directly and charges no source meters — the model is a
+    source that announces its own deltas, so the mediator never
+    re-ships base data it already holds. *)
+
+open Fusion_data
+open Fusion_query
+open Fusion_source
+open Fusion_plan
+
+type t
+
+val create : query:Query.t -> sources:Source.t list -> Plan.t -> (t, string) result
+(** Validates the plan against the query and sources, then runs one
+    full local evaluation to seed the per-node state. *)
+
+val answer : t -> Item_set.t
+(** The current answer (the plan output variable's value). *)
+
+val value : t -> string -> Item_set.t
+(** Current value of any plan variable (empty if never bound). *)
+
+val versions : t -> int array
+(** The source-version vector the current answer reflects (a copy). *)
+
+val plan : t -> Plan.t
+
+val source_changed : t -> source:int -> touched:Item_set.t -> Change.t
+(** Propagates a change at source [source] (by index into the source
+    list) whose touched-item set is [touched]; the relation must
+    already hold the post-delta state. Returns the change of the
+    answer. O(|touched| · plan size), independent of base
+    cardinalities. *)
+
+val mutate : t -> source:int -> Delta.t -> Delta.applied * Change.t
+(** Applies the delta to the source's relation, then propagates:
+    [Delta.apply] followed by {!source_changed}. *)

@@ -391,7 +391,7 @@ module Server = struct
   }
 
   let create ?(config = Config.default) ?(policy = S.Fifo) ?(max_inflight = 64)
-      ?cache_ttl ?window ?slow_log med =
+      ?cache_ttl ?versioned_cache ?window ?slow_log med =
     let rt =
       Runtime.of_spec config.Config.runtime ~servers:(Array.length med.sources)
     in
@@ -399,8 +399,8 @@ module Server = struct
       med;
       config;
       srv =
-        S.create ~policy ~max_inflight ?cache_ttl ~exec_policy:(Config.policy config)
-          ?window ?slow_log ~rt med.sources;
+        S.create ~policy ~max_inflight ?cache_ttl ?versioned_cache
+          ~exec_policy:(Config.policy config) ?window ?slow_log ~rt med.sources;
       index = Hashtbl.create 32;
     }
 
@@ -434,6 +434,42 @@ module Server = struct
     match Fusion_query.Sql.parse_fusion ~schema:(schema t.med) ~union:t.med.union text with
     | Error msg -> Error msg
     | Ok query -> submit t ~at ?tenant ?priority ?deadline ~label:text query
+
+  (* Standing queries: same validate → normalize → optimize head as
+     [submit], but the chosen plan is registered for incremental
+     maintenance instead of being enqueued for execution. *)
+  let subscribe t ?(tenant = "default") ?(label = "") query =
+    match Fusion_query.Query.validate (schema t.med) query with
+    | Error msg -> Error ("invalid query: " ^ msg)
+    | Ok () ->
+      let query = Fusion_query.Query.normalize query in
+      let env = Opt_env.create ~stats:t.config.Config.stats t.med.sources query in
+      let optimized = Optimizer.optimize t.config.Config.algo env in
+      S.subscribe t.srv ~tenant ~label ~conds:env.Opt_env.conds
+        optimized.Optimized.plan
+
+  let subscribe_sql t ?tenant text =
+    match
+      Fusion_query.Sql.parse_fusion ~schema:(schema t.med) ~union:t.med.union text
+    with
+    | Error msg -> Error msg
+    | Ok query -> subscribe t ?tenant ~label:text query
+
+  let unsubscribe t id = S.unsubscribe t.srv id
+
+  let mutate t ~source delta = S.mutate t.srv ~source delta
+
+  let mutate_line t ~source line =
+    match
+      Array.find_opt (fun s -> String.equal (Source.name s) source) t.med.sources
+    with
+    | None -> Error (Printf.sprintf "unknown source %s" source)
+    | Some s -> (
+      match
+        Fusion_delta.Delta.parse (Relation.schema (Source.relation s)) line
+      with
+      | Error e -> Error e
+      | Ok delta -> mutate t ~source delta)
 
   let step t = S.step t.srv
   let drain t = S.drain t.srv

@@ -174,6 +174,7 @@ module Server : sig
     ?policy:Fusion_serve.Server.policy ->
     ?max_inflight:int ->
     ?cache_ttl:float ->
+    ?versioned_cache:bool ->
     ?window:float ->
     ?slow_log:Fusion_serve.Slow_log.t ->
     mediator ->
@@ -205,6 +206,37 @@ module Server : sig
     ?deadline:float ->
     string ->
     (int, string) result
+
+  val subscribe :
+    t ->
+    ?tenant:string ->
+    ?label:string ->
+    Fusion_query.Query.t ->
+    (int, string) result
+  (** Registers a standing query: the same validate → normalize →
+      optimize head as {!submit}, but the chosen plan is maintained
+      incrementally (see {!Fusion_serve.Server.subscribe}) and answer
+      diffs are pushed through the server's [on_push] hooks whenever
+      {!mutate} changes the answer. Returns the subscription id. *)
+
+  val subscribe_sql : t -> ?tenant:string -> string -> (int, string) result
+  (** Parses the SQL text (carried as the subscription label), then
+      behaves like {!subscribe}. *)
+
+  val unsubscribe : t -> int -> bool
+
+  val mutate :
+    t -> source:string -> Fusion_delta.Delta.t -> (Fusion_delta.Delta.applied, string) result
+  (** Applies a source delta by source name
+      ({!Fusion_serve.Server.mutate}): mutates the wrapped relation,
+      patches/invalidates the shared answer cache, and pushes diffs to
+      subscribers. *)
+
+  val mutate_line :
+    t -> source:string -> string -> (Fusion_delta.Delta.applied, string) result
+  (** Parses the delta payload against the source's schema
+      ({!Fusion_delta.Delta.parse} syntax: [+row;-row;...]), then
+      {!mutate} — the TCP front end's [mut] command. *)
 
   val step : t -> bool
   val drain : t -> unit

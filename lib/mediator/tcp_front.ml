@@ -25,6 +25,8 @@ module Fiber = Fusion_rt.Fiber
 module Pool = Fusion_rt.Pool
 module S = Fusion_serve.Server
 module Slow_log = Fusion_serve.Slow_log
+module Delta = Fusion_delta.Delta
+module Change = Fusion_delta.Change
 module Item_set = Fusion_data.Item_set
 module Value = Fusion_data.Value
 module Meter = Fusion_net.Meter
@@ -126,6 +128,24 @@ let completion_line (c : S.completion) =
 let shed_line (s : S.shed) =
   Printf.sprintf "shed id=%d reason=%s" s.S.s_id (S.shed_reason_name s.S.s_reason)
 
+let items_text s = String.concat "," (List.map Value.to_string (Item_set.to_list s))
+
+let push_line (p : S.push) =
+  Printf.sprintf "push id=%d seq=%d rows=%d added=%s removed=%s" p.S.pu_sub
+    p.S.pu_seq
+    (Item_set.cardinal p.S.pu_answer)
+    (items_text p.S.pu_change.Change.adds)
+    (items_text p.S.pu_change.Change.dels)
+
+(* Splits a statement line into its first word and the rest, for the
+   non-SQL commands ([sub]/[unsub]/[mut]). *)
+let split_command line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+    ( String.sub line 0 i,
+      String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
 (* --- the admin view ------------------------------------------------------ *)
 
 (* [Json.to_string] refuses non-finite numbers; percentiles over an
@@ -148,6 +168,7 @@ type conn = {
   mutable eof : bool;  (* reader saw end of stream *)
   mutable open_ends : int;  (* reader + writer still using [fd] *)
   mutable dropped : bool;  (* peer gone or shed; stop queuing responses *)
+  mutable subs : int list;  (* subscription ids owned by this connection *)
 }
 
 let release c =
@@ -164,8 +185,8 @@ let drop c =
   end
 
 let serve ?(config = Mediator.Config.default) ?(policy = S.Fifo) ?max_inflight
-    ?cache_ttl ?max_queries ?window ?slow_threshold ?admin ?admin_on_listen
-    ?on_listen ~listen mediator =
+    ?cache_ttl ?versioned_cache ?max_queries ?window ?slow_threshold ?admin
+    ?admin_on_listen ?on_listen ~listen mediator =
   match config.Mediator.Config.runtime with
   | `Sim ->
     Error
@@ -179,13 +200,14 @@ let serve ?(config = Mediator.Config.default) ?(policy = S.Fifo) ?max_inflight
       Option.map (fun t -> Slow_log.create ~threshold:t ()) slow_threshold
     in
     let srv =
-      Mediator.Server.create ~config ?max_inflight ?cache_ttl ?window ?slow_log
-        ~policy mediator
+      Mediator.Server.create ~config ?max_inflight ?cache_ttl ?versioned_cache
+        ?window ?slow_log ~policy mediator
     in
     let rt = Mediator.Server.runtime srv in
     let server = Mediator.Server.serve srv in
     let target = Option.value ~default:max_int max_queries in
     let conns : (int, conn) Hashtbl.t = Hashtbl.create 16 in
+    let sub_owner : (int, conn) Hashtbl.t = Hashtbl.create 16 in
     let all_conns = ref [] in
     let connections = ref 0 and received = ref 0 and rejected = ref 0 in
     let answered = ref 0 in
@@ -268,10 +290,32 @@ let serve ?(config = Mediator.Config.default) ?(policy = S.Fifo) ?max_inflight
                 ("cached_hits", Json.Int cs.Fusion_plan.Answer_cache.cached_hits);
                 ( "expirations",
                   Json.Int cs.Fusion_plan.Answer_cache.expirations );
+                ( "invalidated",
+                  Json.Int cs.Fusion_plan.Answer_cache.invalidated );
+                ("patched", Json.Int cs.Fusion_plan.Answer_cache.patched);
                 ( "staleness_sum",
                   fnum cs.Fusion_plan.Answer_cache.staleness_sum );
                 ( "staleness_max",
                   fnum cs.Fusion_plan.Answer_cache.staleness_max ) ] );
+          ( "delta",
+            let ds = S.delta_stats server in
+            Json.Obj
+              [ ("batches", Json.Int ds.S.ds_batches);
+                ("inserts", Json.Int ds.S.ds_inserts);
+                ("deletes", Json.Int ds.S.ds_deletes);
+                ("pushes", Json.Int ds.S.ds_pushes);
+                ("subscribers", Json.Int ds.S.ds_subscribers) ] );
+          ( "subscriptions",
+            Json.List
+              (List.map
+                 (fun (si : S.subscription_info) ->
+                   Json.Obj
+                     [ ("id", Json.Int si.S.si_id);
+                       ("tenant", Json.Str si.S.si_tenant);
+                       ("label", Json.Str si.S.si_label);
+                       ("pushes", Json.Int si.S.si_pushes);
+                       ("answer_size", Json.Int si.S.si_answer_size) ])
+                 (S.subscriptions server)) );
           ("tenants", Json.List tenants);
           ( "slow_queries",
             match slow_log with None -> Json.Null | Some l -> Slow_log.to_json l
@@ -300,17 +344,77 @@ let serve ?(config = Mediator.Config.default) ?(policy = S.Fifo) ?max_inflight
     in
     S.on_complete server (fun comp -> to_owner comp.S.c_id (completion_line comp));
     S.on_shed server (fun sh -> to_owner sh.S.s_id (shed_line sh));
+    (* Push lines are extra traffic on top of the one-response-per-line
+       contract: only a subscribed connection receives them, between (or
+       after) its regular responses. Like [respond], this runs on a fibre
+       that must not suspend, so a stalled subscriber is shed. *)
+    S.on_push server (fun p ->
+        match Hashtbl.find_opt sub_owner p.S.pu_sub with
+        | None -> ()
+        | Some c ->
+          if not c.dropped then
+            if not (Fiber.Stream.try_add c.outbox (Some (push_line p))) then
+              drop c);
     let handle_line c line =
       if !received < target then begin
         incr received;
-        match Mediator.Server.submit_sql srv ~at:(Runtime.now rt) line with
-        | Ok id ->
-          c.pending <- c.pending + 1;
-          Hashtbl.replace conns id c
-        | Error msg ->
-          incr rejected;
+        (* A synchronous response: [sub]/[unsub]/[mut] are answered from
+           the reader fibre itself, which may suspend on a full outbox. *)
+        let reply line =
           incr answered;
-          if not c.dropped then Fiber.Stream.add c.outbox (Some ("error " ^ msg))
+          if not c.dropped then Fiber.Stream.add c.outbox (Some line);
+          (* This answer may have met [max_queries]; the pump only
+             re-checks its stop condition when woken. *)
+          S.nudge server
+        in
+        let fail msg =
+          incr rejected;
+          reply ("error " ^ msg)
+        in
+        let word, rest = split_command line in
+        match String.lowercase_ascii word with
+        | "sub" -> (
+          match Mediator.Server.subscribe_sql srv rest with
+          | Ok id ->
+            c.subs <- id :: c.subs;
+            Hashtbl.replace sub_owner id c;
+            let answer =
+              Option.value ~default:Item_set.empty
+                (S.subscription_answer server id)
+            in
+            reply
+              (Printf.sprintf "sub id=%d rows=%d items=%s" id
+                 (Item_set.cardinal answer) (items_text answer))
+          | Error msg -> fail msg)
+        | "unsub" -> (
+          match int_of_string_opt rest with
+          | None -> fail (Printf.sprintf "bad subscription id %S" rest)
+          | Some id ->
+            if Mediator.Server.unsubscribe srv id then begin
+              Hashtbl.remove sub_owner id;
+              c.subs <- List.filter (fun i -> i <> id) c.subs;
+              reply (Printf.sprintf "unsub id=%d" id)
+            end
+            else fail (Printf.sprintf "unknown subscription %d" id))
+        | "mut" -> (
+          let source, payload = split_command rest in
+          if source = "" || payload = "" then
+            fail "usage: mut SOURCE +row;-row;..."
+          else
+            match Mediator.Server.mutate_line srv ~source payload with
+            | Ok a ->
+              reply
+                (Printf.sprintf
+                   "mut source=%s inserted=%d deleted=%d missed=%d version=%d"
+                   source a.Delta.inserted a.Delta.deleted a.Delta.missed
+                   a.Delta.version)
+            | Error msg -> fail msg)
+        | _ -> (
+          match Mediator.Server.submit_sql srv ~at:(Runtime.now rt) line with
+          | Ok id ->
+            c.pending <- c.pending + 1;
+            Hashtbl.replace conns id c
+          | Error msg -> fail msg)
       end
     in
     let handle_conn sw fd =
@@ -318,7 +422,7 @@ let serve ?(config = Mediator.Config.default) ?(policy = S.Fifo) ?max_inflight
       Unix.set_nonblock fd;
       let c =
         { fd; outbox = Fiber.Stream.create ~capacity:256; pending = 0; eof = false;
-          open_ends = 2; dropped = false }
+          open_ends = 2; dropped = false; subs = [] }
       in
       all_conns := c :: !all_conns;
       (* The writer is joined at switch exit so shutdown flushes every
@@ -336,7 +440,15 @@ let serve ?(config = Mediator.Config.default) ?(policy = S.Fifo) ?max_inflight
               loop ()));
       Fiber.Switch.fork_daemon sw (fun () ->
           Fun.protect
-            ~finally:(fun () -> release c)
+            ~finally:(fun () ->
+              (* A gone client must not keep receiving pushes. *)
+              List.iter
+                (fun id ->
+                  Hashtbl.remove sub_owner id;
+                  ignore (Mediator.Server.unsubscribe srv id : bool))
+                c.subs;
+              c.subs <- [];
+              release c)
             (fun () ->
               read_lines fd (handle_line c);
               c.eof <- true;
@@ -457,14 +569,13 @@ let serve ?(config = Mediator.Config.default) ?(policy = S.Fifo) ?max_inflight
           stats; observations })
       result
 
-(* --- a minimal blocking client, for smoke tests -------------------------- *)
+(* --- minimal blocking clients, for smoke tests --------------------------- *)
 
-(* Connects (retrying while the server binds), sends each statement on
-   its own line, then reads response lines until every statement has
-   been answered. Plain blocking sockets: the client needs no fibres. *)
-let client ?(retries = 50) ~connect statements =
+(* Connects with retries while the server binds. Plain blocking
+   sockets: the clients need no fibres. *)
+let dial ~retries connect =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let rec dial attempt =
+  let rec go attempt =
     let fd = Unix.socket (Unix.domain_of_sockaddr connect) Unix.SOCK_STREAM 0 in
     match Unix.connect fd connect with
     | () -> Ok fd
@@ -476,10 +587,15 @@ let client ?(retries = 50) ~connect statements =
              (Unix.error_message e))
       else begin
         Unix.sleepf 0.1;
-        dial (attempt + 1)
+        go (attempt + 1)
       end
   in
-  match dial 0 with
+  go 0
+
+(* Sends each statement on its own line, then reads response lines
+   until every statement has been answered. *)
+let client ?(retries = 50) ~connect statements =
+  match dial ~retries connect with
   | Error _ as e -> e
   | Ok fd ->
     Fun.protect
@@ -504,3 +620,38 @@ let client ?(retries = 50) ~connect statements =
                    (List.length acc) (List.length statements))
         in
         read_responses [] (List.length statements))
+
+(* Subscribes and streams: sends [sub <sql>], hands every received line
+   (the sub acknowledgement, then asynchronous pushes) to [on_line].
+   With [pushes > 0], returns once that many push lines arrived —
+   the termination condition CI smoke tests need. *)
+let watch ?(retries = 50) ?(pushes = 0) ~connect ~on_line sql =
+  match dial ~retries connect with
+  | Error _ as e -> e
+  | Ok fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let out = Unix.out_channel_of_descr fd in
+        output_string out ("sub " ^ sql ^ "\n");
+        flush out;
+        let ic = Unix.in_channel_of_descr fd in
+        let rec loop seen =
+          match input_line ic with
+          | exception End_of_file ->
+            if pushes > 0 then
+              Error
+                (Printf.sprintf "connection closed after %d of %d pushes" seen
+                   pushes)
+            else Ok ()
+          | line ->
+            on_line line;
+            if String.starts_with ~prefix:"error" line then Error line
+            else
+              let seen =
+                if String.starts_with ~prefix:"push " line then seen + 1
+                else seen
+              in
+              if pushes > 0 && seen >= pushes then Ok () else loop seen
+        in
+        loop 0)

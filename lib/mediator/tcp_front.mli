@@ -11,7 +11,30 @@ error [id=<n>] <message> v}
     serving layer's admission control, scheduling policy and shared
     answer cache ({!Fusion_serve.Server}); execution runs on the
     runtime's worker domains and all reported times are wall-clock
-    seconds. *)
+    seconds.
+
+    {b Continuous queries.} Three non-SQL statements drive the standing
+    query machinery (each still answered with exactly one response
+    line):
+
+    {v sub <fusion SQL>      -> sub id=<n> rows=<k> items=<v,...>
+unsub <id>            -> unsub id=<n>
+mut <source> <+row;-row;...>
+                      -> mut source=<s> inserted=<i> deleted=<d> missed=<m> version=<v> v}
+
+    A [sub] registers the statement for incremental maintenance
+    ({!Mediator.Server.subscribe_sql}) and replies with the initial
+    answer; afterwards, every [mut] (from {e any} connection) that
+    changes the subscription's answer pushes an extra, asynchronous
+    line to the subscribing connection:
+
+    {v push id=<n> seq=<k> rows=<r> added=<v,...> removed=<v,...> v}
+
+    Subscriptions are owned by their connection and are removed when it
+    disconnects. A [mut] parses its payload against the named source's
+    schema ({!Fusion_delta.Delta.parse}), applies it to the wrapped
+    relation, patches or invalidates the shared answer cache, and
+    propagates through every subscription. *)
 
 type report = {
   connections : int;  (** connections accepted *)
@@ -33,6 +56,7 @@ val serve :
   ?policy:Fusion_serve.Server.policy ->
   ?max_inflight:int ->
   ?cache_ttl:float ->
+  ?versioned_cache:bool ->
   ?max_queries:int ->
   ?window:float ->
   ?slow_threshold:float ->
@@ -50,7 +74,7 @@ val serve :
     appears (and a test can release a waiting client thread).
     [config.runtime] must be a real-clock backend ([`Domains _]);
     [`Sim] is an error — a socket cannot wait on a simulated clock.
-    [policy], [max_inflight], [cache_ttl] as in
+    [policy], [max_inflight], [cache_ttl], [versioned_cache] as in
     {!Fusion_serve.Server.create}.
 
     {b Observability.} [admin] additionally binds an {!Admin_front}
@@ -76,3 +100,18 @@ val client :
     [retries] times (default 50) at 100 ms intervals, so a client
     raced against a server that is still binding converges. Blocking
     sockets; needs no runtime. *)
+
+val watch :
+  ?retries:int ->
+  ?pushes:int ->
+  connect:Unix.sockaddr ->
+  on_line:(string -> unit) ->
+  string ->
+  (unit, string) result
+(** Subscribes to a standing query: sends [sub <sql>] and hands every
+    line the server emits — the [sub] acknowledgement with the initial
+    answer, then each asynchronous [push] diff — to [on_line] as it
+    arrives. Returns [Ok ()] after [pushes] push lines when
+    [pushes > 0] (a deterministic stop for smoke tests), at connection
+    close otherwise; an [error] response line is returned as [Error].
+    Blocking sockets, like {!client}. *)

@@ -232,7 +232,11 @@ module Engine = struct
       let ready = ready_of t op in
       let sname = Source.name s and ctext = Cond.to_string condition in
       let id, deps = slot node in
-      match Answer_cache.find t.answers ~source:sname ~cond:ctext ~ready with
+      match
+        Answer_cache.find t.answers ~source:sname ~cond:ctext
+          ~version:(Relation.version (Source.relation s))
+          ~ready ()
+      with
       | Answer_cache.Inflight (finish, answer) ->
         (* The same selection is in flight: share its request. *)
         Option.iter
@@ -279,7 +283,9 @@ module Engine = struct
             Option.iter (fun c -> Query_cache.store c s condition answer) t.cache;
             cache_outcome t ctx false;
             Answer_cache.note t.answers ~source:sname ~cond:ctext
-              ~finish:ev.Sim.finish answer;
+              ~finish:ev.Sim.finish
+              ~version:(Relation.version (Source.relation s))
+              answer;
             bind t dst (Items answer) ev.Sim.finish;
             { op; cost = duration; result_size = Item_set.cardinal answer;
               start = ev.Sim.start; finish = ev.Sim.finish; coalesced = false;
@@ -309,7 +315,11 @@ module Engine = struct
           t.cache
       in
       let derived =
-        match Answer_cache.find t.answers ~source:sname ~cond:ctext ~ready with
+        match
+          Answer_cache.find t.answers ~source:sname ~cond:ctext
+            ~version:(Relation.version (Source.relation s))
+            ~ready ()
+        with
         | Answer_cache.Inflight (finish, full) ->
           (* The selection answer being fetched is a superset: join the
              in-flight request and intersect locally on arrival. *)

@@ -38,6 +38,10 @@ module Exec = Fusion_plan.Exec
 module Exec_async = Fusion_plan.Exec_async
 module Engine = Exec_async.Engine
 module Answer_cache = Fusion_plan.Answer_cache
+module Query = Fusion_query.Query
+module Delta = Fusion_delta.Delta
+module Change = Fusion_delta.Change
+module Maintained = Fusion_delta.Maintained
 module Metrics = Fusion_obs.Metrics
 module Summary = Fusion_obs.Summary
 module Window = Fusion_obs.Window
@@ -122,6 +126,40 @@ type tenant = {
   tn_window : Window.t;
 }
 
+type subscription = {
+  sub_id : int;
+  sub_tenant : string;
+  sub_label : string;
+  sub_maintained : Maintained.t;
+  mutable sub_pushes : int;
+}
+
+type subscription_info = {
+  si_id : int;
+  si_tenant : string;
+  si_label : string;
+  si_pushes : int;
+  si_answer_size : int;
+}
+
+type push = {
+  pu_sub : int;
+  pu_tenant : string;
+  pu_label : string;
+  pu_seq : int;
+  pu_change : Change.t;
+  pu_answer : Item_set.t;
+  pu_at : float;
+}
+
+type delta_stats = {
+  ds_batches : int;
+  ds_inserts : int;
+  ds_deletes : int;
+  ds_pushes : int;
+  ds_subscribers : int;
+}
+
 type pending = { p_id : int; p_job : job; p_at : float }
 
 (* [a_busy] is set while a real-clock dispatch fibre is inside the
@@ -155,11 +193,18 @@ type t = {
   tenants : (string, tenant) Hashtbl.t;
   mutable hooks : (completion -> unit) list;
   mutable shed_hooks : (shed -> unit) list;
+  mutable push_hooks : (push -> unit) list;
+  mutable subs : subscription list; (* in subscription order *)
+  mutable sub_seq : int;
+  mutable delta_batches : int;
+  mutable delta_inserts : int;
+  mutable delta_deletes : int;
+  mutable pushes : int;
   mutable now : float; (* latest instant the server acted at *)
   wake : Fiber.Semaphore.t; (* nudged on submit/completion; a real-clock pump waits here *)
 }
 
-let create ?(policy = Fifo) ?(max_inflight = 64) ?cache_ttl
+let create ?(policy = Fifo) ?(max_inflight = 64) ?cache_ttl ?(versioned_cache = false)
     ?(exec_policy = Exec.default_policy) ?shard ?(window = 60.0) ?slow_log ?rt
     sources =
   if max_inflight < 1 then invalid_arg "Server.create: max_inflight must be >= 1";
@@ -174,7 +219,7 @@ let create ?(policy = Fifo) ?(max_inflight = 64) ?cache_ttl
       (match rt with
       | Some rt -> rt
       | None -> Runtime.sim ~servers:(Array.length sources));
-    answers = Answer_cache.create ?ttl:cache_ttl ();
+    answers = Answer_cache.create ?ttl:cache_ttl ~versioned:versioned_cache ();
     exec_policy;
     policy;
     max_inflight;
@@ -187,6 +232,13 @@ let create ?(policy = Fifo) ?(max_inflight = 64) ?cache_ttl
     tenants = Hashtbl.create 8;
     hooks = [];
     shed_hooks = [];
+    push_hooks = [];
+    subs = [];
+    sub_seq = 0;
+    delta_batches = 0;
+    delta_inserts = 0;
+    delta_deletes = 0;
+    pushes = 0;
     now = 0.0;
     wake = Fiber.Semaphore.create 0;
   }
@@ -218,6 +270,7 @@ let cache_stats t = Answer_cache.stats t.answers
 let now t = t.now
 let on_complete t hook = t.hooks <- t.hooks @ [ hook ]
 let on_shed t hook = t.shed_hooks <- t.shed_hooks @ [ hook ]
+let on_push t hook = t.push_hooks <- t.push_hooks @ [ hook ]
 
 let tenant t name =
   match Hashtbl.find_opt t.tenants name with
@@ -273,6 +326,8 @@ let submit t ~at job =
   t.queue <- insert t.queue;
   Fiber.Semaphore.release t.wake;
   id
+
+let nudge t = Fiber.Semaphore.release t.wake
 
 let stats t =
   {
@@ -517,18 +572,156 @@ let shed_counts t =
       | Deadline_unmeetable -> (qf, du + 1))
     (0, 0) t.sheds
 
+(* ---------- standing queries and source deltas ---------- *)
+
+let subscribe t ~tenant ?(label = "") ~conds plan =
+  match Query.create (Array.to_list conds) with
+  | Error e -> Error e
+  | Ok query -> (
+    match Maintained.create ~query ~sources:(Array.to_list t.sources) plan with
+    | Error e -> Error e
+    | Ok m ->
+      let id = t.sub_seq in
+      t.sub_seq <- t.sub_seq + 1;
+      t.subs <-
+        t.subs
+        @ [ { sub_id = id; sub_tenant = tenant; sub_label = label;
+              sub_maintained = m; sub_pushes = 0 } ];
+      Metrics.record (fun r ->
+          Metrics.incr r
+            ~labels:(labels t [ ("tenant", tenant) ])
+            "fusion_delta_subscribe_total");
+      Ok id)
+
+let unsubscribe t id =
+  let before = List.length t.subs in
+  t.subs <- List.filter (fun s -> s.sub_id <> id) t.subs;
+  let removed = List.length t.subs < before in
+  if removed then
+    Metrics.record (fun r ->
+        Metrics.incr r ~labels:(labels t []) "fusion_delta_unsubscribe_total");
+  removed
+
+let subscriptions t =
+  List.map
+    (fun s ->
+      {
+        si_id = s.sub_id;
+        si_tenant = s.sub_tenant;
+        si_label = s.sub_label;
+        si_pushes = s.sub_pushes;
+        si_answer_size = Item_set.cardinal (Maintained.answer s.sub_maintained);
+      })
+    t.subs
+
+let subscription_answer t id =
+  List.find_opt (fun s -> s.sub_id = id) t.subs
+  |> Option.map (fun s -> Maintained.answer s.sub_maintained)
+
+let delta_stats t =
+  {
+    ds_batches = t.delta_batches;
+    ds_inserts = t.delta_inserts;
+    ds_deletes = t.delta_deletes;
+    ds_pushes = t.pushes;
+    ds_subscribers = List.length t.subs;
+  }
+
+let source_index t name =
+  let n = Array.length t.sources in
+  let rec go i =
+    if i >= n then None
+    else if String.equal (Source.name t.sources.(i)) name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* A delta lands: apply it to the wrapped relation, patch or invalidate
+   the shared answer cache (each completed selection entry is repaired
+   by re-probing only the touched items), then propagate through every
+   standing query and push non-empty answer diffs. Everything after
+   [Delta.apply] costs O(|touched| · consumers), never O(base). *)
+let mutate t ~source delta =
+  match source_index t source with
+  | None -> Error (Printf.sprintf "unknown source %s" source)
+  | Some j ->
+    let rel = Source.relation t.sources.(j) in
+    let schema = Relation.schema rel in
+    let applied = Delta.apply rel delta in
+    let touched = applied.Delta.touched in
+    t.delta_batches <- t.delta_batches + 1;
+    t.delta_inserts <- t.delta_inserts + applied.Delta.inserted;
+    t.delta_deletes <- t.delta_deletes + applied.Delta.deleted;
+    Answer_cache.apply_delta t.answers ~source ~now:t.now
+      ~version:applied.Delta.version
+      ~patch:(fun ~cond answer ->
+        match Cond.parse cond with
+        | Error _ -> None
+        | Ok c ->
+          let pred tu = Cond.eval schema c tu in
+          let change =
+            Change.of_parts
+              ~old_on:(Item_set.inter touched answer)
+              ~new_on:(Relation.semijoin_items rel pred touched)
+          in
+          Some (Change.apply answer change));
+    let t0 = Runtime.now t.rt in
+    let pushed = ref 0 in
+    List.iter
+      (fun sub ->
+        let change = Maintained.source_changed sub.sub_maintained ~source:j ~touched in
+        if not (Change.is_empty change) then begin
+          sub.sub_pushes <- sub.sub_pushes + 1;
+          t.pushes <- t.pushes + 1;
+          incr pushed;
+          let push =
+            {
+              pu_sub = sub.sub_id;
+              pu_tenant = sub.sub_tenant;
+              pu_label = sub.sub_label;
+              pu_seq = sub.sub_pushes;
+              pu_change = change;
+              pu_answer = Maintained.answer sub.sub_maintained;
+              pu_at = Runtime.now t.rt;
+            }
+          in
+          List.iter (fun hook -> hook push) t.push_hooks
+        end)
+      t.subs;
+    let elapsed = Runtime.now t.rt -. t0 in
+    Metrics.record (fun r ->
+        let ls = labels t [ ("source", source) ] in
+        Metrics.incr r ~labels:ls "fusion_delta_batches_total";
+        if applied.Delta.inserted > 0 then
+          Metrics.incr r ~labels:ls
+            ~by:(float_of_int applied.Delta.inserted)
+            "fusion_delta_inserts_total";
+        if applied.Delta.deleted > 0 then
+          Metrics.incr r ~labels:ls
+            ~by:(float_of_int applied.Delta.deleted)
+            "fusion_delta_deletes_total";
+        if !pushed > 0 then
+          Metrics.incr r ~labels:(labels t [])
+            ~by:(float_of_int !pushed)
+            "fusion_delta_pushes_total";
+        Metrics.observe r ~labels:(labels t []) "fusion_delta_propagate_us"
+          (int_of_float (elapsed *. 1e6)));
+    Ok applied
+
 (* Publish the server's live state as gauges into the installed
    registry — queue depths plus per-tenant sliding-window percentiles.
    Cumulative counters (submitted/completed/shed) are already recorded
    incrementally at each event; this covers the point-in-time view and
    is meant to run from the admin front's pre-scrape refresh hook. *)
 let publish_metrics t =
+  Answer_cache.publish_metrics t.answers;
   Metrics.record (fun r ->
       let g ?(ls = []) name v = Metrics.gauge r ~labels:(labels t ls) name v in
       let s = stats t in
       g "fusion_serve_queued" (float_of_int s.queued);
       g "fusion_serve_in_flight" (float_of_int s.in_flight);
       g "fusion_serve_dictionary_size" (float_of_int (dictionary_size t));
+      g "fusion_delta_subscribers" (float_of_int (List.length t.subs));
       let qf, du = shed_counts t in
       g ~ls:[ ("reason", shed_reason_name Queue_full) ] "fusion_serve_shed"
         (float_of_int qf);

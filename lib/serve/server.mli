@@ -80,6 +80,32 @@ type completion = {
 
 type shed = { s_id : int; s_job : job; s_at : float; s_reason : shed_reason }
 
+type subscription_info = {
+  si_id : int;
+  si_tenant : string;
+  si_label : string;
+  si_pushes : int;  (** non-empty diffs pushed so far *)
+  si_answer_size : int;  (** current maintained answer cardinality *)
+}
+
+type push = {
+  pu_sub : int;  (** subscription id *)
+  pu_tenant : string;
+  pu_label : string;
+  pu_seq : int;  (** per-subscription push sequence, 1-based *)
+  pu_change : Fusion_delta.Change.t;  (** the answer diff *)
+  pu_answer : Item_set.t;  (** the full post-change answer *)
+  pu_at : float;
+}
+
+type delta_stats = {
+  ds_batches : int;  (** delta batches applied via {!mutate} *)
+  ds_inserts : int;
+  ds_deletes : int;
+  ds_pushes : int;  (** non-empty diffs pushed across all subscriptions *)
+  ds_subscribers : int;  (** currently registered standing queries *)
+}
+
 type stats = {
   submitted : int;
   queued : int;
@@ -106,6 +132,7 @@ val create :
   ?policy:policy ->
   ?max_inflight:int ->
   ?cache_ttl:float ->
+  ?versioned_cache:bool ->
   ?exec_policy:Fusion_plan.Exec.policy ->
   ?shard:string ->
   ?window:float ->
@@ -117,7 +144,11 @@ val create :
     concurrently executing queries; [cache_ttl] enables replay of
     completed answers (omitted: in-flight coalescing only);
     [exec_policy] is the per-source-query retry policy
-    ({!Fusion_plan.Exec.default_policy} if omitted). [shard] names the
+    ({!Fusion_plan.Exec.default_policy} if omitted). [versioned_cache]
+    switches the shared answer cache to source-version staleness
+    accounting (see {!Fusion_plan.Answer_cache}): entries are patched
+    or invalidated by {!mutate} and version-matching replays report an
+    exact staleness of zero. [shard] names the
     shard this server is for in a multi-shard deployment: it is
     prepended as a [("shard", _)] label to every [fusion_serve_*]
     metric the server records (so one process-wide registry keeps the
@@ -155,6 +186,13 @@ val pump : t -> stop:(unit -> bool) -> unit
     front end can keep feeding it. Must run inside the runtime's fibre
     scheduler (see {!Fusion_rt.Runtime.run}). *)
 
+val nudge : t -> unit
+(** Wakes a blocked {!pump} so it re-evaluates its stop condition.
+    {!submit} nudges implicitly; a front end whose stop condition
+    advances outside the serving layer — e.g. a statement answered
+    synchronously from its own reader fibre — must nudge explicitly,
+    or an idle pump sleeps through its own quota. *)
+
 val on_complete : t -> (completion -> unit) -> unit
 (** Hooks run at each completion, in registration order — a
     closed-loop driver submits the next query from here. *)
@@ -162,6 +200,47 @@ val on_complete : t -> (completion -> unit) -> unit
 val on_shed : t -> (shed -> unit) -> unit
 (** Hooks run at each shed, in registration order — a front end
     reports the rejection to the submitting client from here. *)
+
+(** {1 Standing queries and source deltas}
+
+    A subscription registers a plan for {e incremental maintenance}:
+    the server evaluates it once locally, and every {!mutate} batch
+    updates the maintained answer in time proportional to the delta
+    (the {!Fusion_delta} rules), pushing a non-empty answer diff to the
+    {!on_push} hooks. Mutations also patch or invalidate the shared
+    answer cache, so one-shot queries never see pre-delta answers. *)
+
+val subscribe :
+  t ->
+  tenant:string ->
+  ?label:string ->
+  conds:Cond.t array ->
+  Fusion_plan.Plan.t ->
+  (int, string) result
+(** Registers a standing query (plan + conditions, as in {!job});
+    returns the subscription id. Fails when the plan does not validate
+    against the conditions and sources. *)
+
+val unsubscribe : t -> int -> bool
+(** Removes a subscription; [false] when the id is unknown. *)
+
+val subscriptions : t -> subscription_info list
+(** Live subscriptions, in registration order. *)
+
+val subscription_answer : t -> int -> Item_set.t option
+(** The current maintained answer of a subscription. *)
+
+val on_push : t -> (push -> unit) -> unit
+(** Hooks run at each pushed answer diff, in registration order — the
+    TCP front end forwards these to subscribed clients. *)
+
+val mutate : t -> source:string -> Fusion_delta.Delta.t -> (Fusion_delta.Delta.applied, string) result
+(** Applies a source delta (by source name): mutates the wrapped
+    relation, patches or invalidates affected answer-cache entries,
+    propagates through every subscription, and pushes diffs. Records
+    [fusion_delta_*] metrics. Fails on an unknown source name. *)
+
+val delta_stats : t -> delta_stats
 
 val stats : t -> stats
 val conservation_ok : stats -> bool

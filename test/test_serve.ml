@@ -167,7 +167,7 @@ let check_outcome label expected actual =
 
 let test_cache_windows () =
   let c = Answer_cache.create ~ttl:10.0 () in
-  let find ready = Answer_cache.find c ~source:"R1" ~cond:"A1 < 5" ~ready in
+  let find ready = Answer_cache.find c ~source:"R1" ~cond:"A1 < 5" ~ready () in
   let answer = Helpers.items_of_strings [ "a"; "b" ] in
   check_outcome "empty" "miss" (find 0.0);
   Answer_cache.note c ~source:"R1" ~cond:"A1 < 5" ~finish:100.0 answer;
@@ -199,11 +199,11 @@ let test_cache_no_ttl_is_inflight_only () =
   let answer = Helpers.items_of_strings [ "x" ] in
   Answer_cache.note c ~source:"R1" ~cond:"A1 < 5" ~finish:100.0 answer;
   check_outcome "still in flight" "inflight"
-    (Answer_cache.find c ~source:"R1" ~cond:"A1 < 5" ~ready:99.9);
+    (Answer_cache.find c ~source:"R1" ~cond:"A1 < 5" ~ready:99.9 ());
   (* finish = ready is NOT in flight — the historical coalescer's
      boundary, load-bearing for the equivalence invariant. *)
   check_outcome "completed answers never replayed" "miss"
-    (Answer_cache.find c ~source:"R1" ~cond:"A1 < 5" ~ready:100.0);
+    (Answer_cache.find c ~source:"R1" ~cond:"A1 < 5" ~ready:100.0 ());
   Alcotest.check_raises "negative ttl" (Invalid_argument "Answer_cache.create: negative ttl")
     (fun () -> ignore (Answer_cache.create ~ttl:(-1.0) ()))
 
