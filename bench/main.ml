@@ -32,6 +32,7 @@ let experiments =
     ("x19", "runtime backends: domains pool vs simulator oracle", X19_runtime.run);
     ("x20", "observability overhead: metrics on vs off", X20_obs.run);
     ("x21", "incremental maintenance vs full re-execution", X21_delta.run);
+    ("x22", "columnar scans and compiled plans vs interpreted rows", X22_columnar.run);
     ("check", "executable claims (regression gate)", Checks.run);
   ]
 

@@ -177,6 +177,16 @@ let runtime_arg =
   in
   Arg.(value & opt runtime_conv `Sim & info [ "runtime" ] ~docv:"RT" ~doc)
 
+let compiled_arg =
+  let doc =
+    "Execute through the compiled plan engine: the optimized plan is specialized \
+     once (integer slots, pre-rendered cache keys, persistent columnar scans) and \
+     run as a fused closure chain. Answers and costs are identical to the \
+     interpreter; only per-step interpretation overhead disappears. Sequential \
+     simulator runs only."
+  in
+  Arg.(value & flag & info [ "compiled" ] ~doc)
+
 (* Least-squares fit of a wall-clock cost profile from the runtime's
    per-request observations: the measured seconds play the role of
    cost, so the fitted parameters are in seconds. *)
@@ -275,8 +285,8 @@ let run_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
-  let action location sql algo sample hist concurrency runtime plan_file trace shards
-      replicas routing hedge verbose =
+  let action location sql algo sample hist concurrency runtime compiled plan_file trace
+      shards replicas routing hedge verbose =
     setup_logs verbose;
     if shards > 1 || replicas > 1 || hedge <> None then
       report_result
@@ -304,6 +314,13 @@ let run_cmd =
            Error "--plan executes sequentially and is not available with --runtime domains"
          | _ -> Ok ()
        in
+       let* () =
+         if compiled && concurrency = `Par then
+           Error "--compiled is a sequential engine; drop it or use --concurrency seq"
+         else if compiled && plan_file <> None then
+           Error "--plan pins an external plan text; --compiled compiles the optimizer's"
+         else Ok ()
+       in
        with_mediator location (fun mediator ->
            with_tracing trace (fun () ->
            match plan_file with
@@ -315,6 +332,7 @@ let run_cmd =
                  stats = stats_of_sample sample hist;
                  concurrency;
                  runtime;
+                 exec = (if compiled then `Compiled else `Interp);
                  (* Under --concurrency par the report's queue-wait
                     breakdown needs span data; collect it privately
                     unless --trace already installs a collector. The
@@ -391,8 +409,8 @@ let run_cmd =
   let doc = "run a fusion query over CSV sources" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const action $ location_term $ sql_arg $ algo_arg $ sample_arg $ hist_arg
-          $ concurrency_arg $ runtime_arg $ plan_arg $ trace_arg $ shards_arg
-          $ replicas_arg $ routing_arg $ hedge_arg $ verbose_arg)
+          $ concurrency_arg $ runtime_arg $ compiled_arg $ plan_arg $ trace_arg
+          $ shards_arg $ replicas_arg $ routing_arg $ hedge_arg $ verbose_arg)
 
 (* --- explain ------------------------------------------------------------- *)
 

@@ -58,6 +58,51 @@ let rec eval schema t tuple =
   | Or (a, b) -> eval schema a tuple || eval schema b tuple
   | Not a -> not (eval schema a tuple)
 
+(* Same semantics as [eval], with attribute -> offset resolution done
+   once per condition instead of once per tuple (a string hash lookup on
+   the hot path otherwise). *)
+let compile schema t =
+  let rec go = function
+    | True -> fun _ -> true
+    | Cmp (attr, op, lit) ->
+      let i = Schema.pos_exn schema attr in
+      fun tu ->
+        (match Tuple.get tu i with
+        | Value.Null -> false
+        | v -> cmp_holds op (Value.compare v lit))
+    | Between (attr, lo, hi) ->
+      let i = Schema.pos_exn schema attr in
+      fun tu ->
+        (match Tuple.get tu i with
+        | Value.Null -> false
+        | v -> Value.compare lo v <= 0 && Value.compare v hi <= 0)
+    | In_list (attr, lits) ->
+      let i = Schema.pos_exn schema attr in
+      fun tu ->
+        (match Tuple.get tu i with
+        | Value.Null -> false
+        | v -> List.exists (Value.equal v) lits)
+    | Prefix (attr, prefix) ->
+      let i = Schema.pos_exn schema attr in
+      fun tu ->
+        (match Tuple.get tu i with
+        | Value.String s -> string_has_prefix ~prefix s
+        | _ -> false)
+    | Is_null attr ->
+      let i = Schema.pos_exn schema attr in
+      fun tu -> Tuple.get tu i = Value.Null
+    | And (a, b) ->
+      let fa = go a and fb = go b in
+      fun tu -> fa tu && fb tu
+    | Or (a, b) ->
+      let fa = go a and fb = go b in
+      fun tu -> fa tu || fb tu
+    | Not a ->
+      let fa = go a in
+      fun tu -> not (fa tu)
+  in
+  go t
+
 let attrs t =
   let seen = Hashtbl.create 8 in
   let out = ref [] in

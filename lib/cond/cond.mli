@@ -27,6 +27,14 @@ val eval : Schema.t -> t -> Tuple.t -> bool
     @raise Not_found if the condition mentions an unknown attribute;
     use {!validate} first. *)
 
+val compile : Schema.t -> t -> Tuple.t -> bool
+(** [compile schema c] is a predicate with exactly {!eval}'s semantics,
+    but with attribute [->] offset resolution hoisted out of the
+    per-tuple path: apply it to a schema and condition once, then run
+    the returned closure per tuple.
+    @raise Not_found if the condition mentions an unknown attribute;
+    use {!validate} first. *)
+
 val attrs : t -> string list
 (** Attribute names mentioned, without duplicates, in first-mention
     order. *)
@@ -53,6 +61,12 @@ val parse : string -> (t, string) result
     Keywords are case-insensitive. *)
 
 val cmp_to_string : cmp -> string
+
+val cmp_holds : cmp -> int -> bool
+(** Whether a comparator accepts a [Value.compare] result. *)
+
+val string_has_prefix : prefix:string -> string -> bool
+(** The [Prefix] (SQL [LIKE 'p%']) matcher. *)
 
 val parse_in :
   Parser_state.t -> attr_of:(Parser_state.t -> string -> string) -> t

@@ -12,14 +12,14 @@ open Fusion_plan
    condition), so [out = sel ∩ input] is maintainable without
    re-querying the base. *)
 type kind =
-  | Kselect of { source : int; pred : Tuple.t -> bool }
+  | Kselect of { source : int; vec : Cond_vec.t }
   | Ksemijoin of {
       source : int;
-      pred : Tuple.t -> bool;
+      vec : Cond_vec.t;
       input : string;
       mutable sel : Item_set.t;
     }
-  | Klocal of { source : int; pred : Tuple.t -> bool }
+  | Klocal of { source : int; vec : Cond_vec.t }
   | Kunion of string list
   | Kinter of string list
   | Kdiff of string * string
@@ -49,10 +49,11 @@ let create ~query ~sources p =
   | Error e -> Error e
   | Ok () -> (
     let relations = Array.map Source.relation sources in
-    let pred cond source =
-      let c = Query.condition query cond in
-      let schema = Relation.schema relations.(source) in
-      fun tu -> Cond.eval schema c tu
+    (* Compiled column scans stay valid across deltas (ids are stable,
+       column arrays are re-fetched per scan), so each node compiles its
+       condition once for the lifetime of the maintained answer. *)
+    let vec cond source =
+      Cond_vec.compile relations.(source) (Query.condition query cond)
     in
     (* Loaded-relation variables resolve statically: track the latest
        [Load] binding while walking the straight-line ops. *)
@@ -63,10 +64,10 @@ let create ~query ~sources p =
       List.iter
         (fun op ->
           match (op : Op.t) with
-          | Select { dst; cond; source } -> node dst (Kselect { source; pred = pred cond source })
+          | Select { dst; cond; source } -> node dst (Kselect { source; vec = vec cond source })
           | Semijoin { dst; cond; source; input } ->
             node dst
-              (Ksemijoin { source; pred = pred cond source; input; sel = Item_set.empty })
+              (Ksemijoin { source; vec = vec cond source; input; sel = Item_set.empty })
           | Load { dst; source } -> Hashtbl.replace loads dst source
           | Local_select { dst; cond; input } ->
             let source =
@@ -74,7 +75,7 @@ let create ~query ~sources p =
               | Some s -> s
               | None -> raise Exit (* validate guarantees this *)
             in
-            node dst (Klocal { source; pred = pred cond source })
+            node dst (Klocal { source; vec = vec cond source })
           | Union { dst; args } -> node dst (Kunion args)
           | Inter { dst; args } -> node dst (Kinter args)
           | Diff { dst; left; right } -> node dst (Kdiff (left, right)))
@@ -93,10 +94,9 @@ let create ~query ~sources p =
       Array.iter
         (fun nd ->
           (match nd.kind with
-          | Kselect { source; pred } | Klocal { source; pred } ->
-            nd.out <- Relation.select_items t.relations.(source) pred
+          | Kselect { vec; _ } | Klocal { vec; _ } -> nd.out <- Cond_vec.select_items vec
           | Ksemijoin sj ->
-            sj.sel <- Relation.select_items t.relations.(sj.source) sj.pred;
+            sj.sel <- Cond_vec.select_items sj.vec;
             nd.out <- Item_set.inter sj.sel (value t sj.input)
           | Kunion args -> nd.out <- Item_set.union_list (List.map (value t) args)
           | Kinter args -> nd.out <- Item_set.inter_list (List.map (value t) args)
@@ -118,26 +118,24 @@ let source_changed t ~source ~touched =
   let change_of var =
     Option.value ~default:Change.empty (Hashtbl.find_opt changes var)
   in
-  let select_change rel pred ~old ~candidates =
+  let select_change vec ~old ~candidates =
     if Item_set.is_empty candidates then Change.empty
     else
       Change.of_parts
         ~old_on:(Item_set.inter candidates old)
-        ~new_on:(Relation.semijoin_items rel pred candidates)
+        ~new_on:(Cond_vec.semijoin_items vec candidates)
   in
   Array.iter
     (fun nd ->
       let ch =
         match nd.kind with
-        | Kselect { source = s; pred } | Klocal { source = s; pred } ->
+        | Kselect { source = s; vec } | Klocal { source = s; vec } ->
           if s <> source then Change.empty
-          else select_change t.relations.(s) pred ~old:nd.out ~candidates:touched
+          else select_change vec ~old:nd.out ~candidates:touched
         | Ksemijoin sj ->
           let da =
             if sj.source <> source then Change.empty
-            else
-              select_change t.relations.(sj.source) sj.pred ~old:sj.sel
-                ~candidates:touched
+            else select_change sj.vec ~old:sj.sel ~candidates:touched
           in
           sj.sel <- Change.apply sj.sel da;
           let dx = change_of sj.input in

@@ -299,7 +299,7 @@ let exec_fragment ~cluster ~(config : Config.t) ~rt ~next_id ~labels ~cond_of ~c
       Hashtbl.replace env dst (b, avail, prod)
     | Local_select { dst; cond = c; input } ->
       let relation, avail, prod = loaded input in
-      let pred tuple = Cond.eval (Relation.schema relation) (cond c) tuple in
+      let pred = Cond.compile (Relation.schema relation) (cond c) in
       Hashtbl.replace env dst (Items (Relation.select_items relation pred), avail, prod)
     | Union { dst; args } ->
       let parts = List.map items args in

@@ -37,8 +37,9 @@ let slice ~shards ~shard relation =
   in
   (* Same name, same intern scope, tuples in original order: with one
      shard the slice behaves byte-identically to the original. *)
-  Relation.of_tuples ~name:(Relation.name relation) ~intern schema
-    (List.filter keep (Relation.tuples relation))
+  let out = Relation.create ~name:(Relation.name relation) ~intern schema in
+  Relation.iter (fun tuple -> if keep tuple then Relation.insert out tuple) relation;
+  out
 
 let split ~shards sources =
   if shards <= 0 then invalid_arg "Partition.split: shards must be positive";

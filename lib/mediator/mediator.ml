@@ -53,6 +53,7 @@ module Config = struct
     trace : Trace.collector option;
     concurrency : concurrency;
     runtime : Runtime.spec;
+    exec : [ `Interp | `Compiled ];
   }
 
   let default =
@@ -65,6 +66,7 @@ module Config = struct
       trace = None;
       concurrency = `Seq;
       runtime = `Sim;
+      exec = `Interp;
     }
 
   let policy c = { Fusion_plan.Exec.retries = c.retries; on_exhausted = c.on_exhausted }
@@ -163,8 +165,17 @@ let run_body ~(config : Config.t) ~ctx t query =
               with concurrency `Par (--concurrency par)")
       | `Seq, `Sim ->
         let r =
-          Fusion_plan.Exec.run ?cache ~policy ~sources:t.sources
-            ~conds:env.Opt_env.conds optimized.Optimized.plan
+          match config.Config.exec with
+          | `Interp ->
+            Fusion_plan.Exec.run ?cache ~policy ~sources:t.sources
+              ~conds:env.Opt_env.conds optimized.Optimized.plan
+          | `Compiled -> (
+            match
+              Fusion_plan.Plan_compile.compile ~sources:t.sources
+                ~conds:env.Opt_env.conds optimized.Optimized.plan
+            with
+            | Ok cp -> Fusion_plan.Plan_compile.run ?cache ~policy cp
+            | Error msg -> failwith ("plan compilation failed: " ^ msg))
         in
         {
           x_answer = r.Fusion_plan.Exec.answer;
@@ -330,8 +341,7 @@ let single_phase_cost t query =
       let profile = Source.profile source in
       Array.fold_left
         (fun acc cond ->
-          let pred tuple = Cond.eval (Relation.schema relation) cond tuple in
-          let matching = List.length (Relation.select_tuples relation pred) in
+          let matching = Cond_vec.count_rows (Cond_vec.compile relation cond) in
           acc
           +. profile.Fusion_net.Profile.request_overhead
           +. (profile.Fusion_net.Profile.recv_per_tuple *. float_of_int matching))

@@ -49,10 +49,22 @@ module Query_cache = struct
   let stats t = { hits = t.hits; misses = t.misses; saved_cost = t.saved_cost }
 
   (* Cache keys are interned: repeated lookups for the same (source,
-     cond) hash two short strings once and small ints afterwards. *)
+     cond) hash two short strings once and small ints afterwards. The
+     [_keyed] variants take the rendered condition text so compiled
+     plans ({!Plan_compile}) can precompute it instead of re-rendering
+     per lookup. *)
+  let key_of t ~sname ~ctext =
+    ( Intern.intern t.keys (Value.String sname),
+      Intern.intern t.keys (Value.String ctext) )
+
   let key t source cond =
-    ( Intern.intern t.keys (Value.String (Source.name source)),
-      Intern.intern t.keys (Value.String (Cond.to_string cond)) )
+    key_of t ~sname:(Source.name source) ~ctext:(Cond.to_string cond)
+
+  let find_keyed t ~sname ~ctext = Hashtbl.find_opt t.answers (key_of t ~sname ~ctext)
+
+  let store_keyed t ~sname ~ctext answer =
+    t.misses <- t.misses + 1;
+    Hashtbl.replace t.answers (key_of t ~sname ~ctext) answer
 
   let find t source cond = Hashtbl.find_opt t.answers (key t source cond)
 
@@ -65,23 +77,30 @@ module Query_cache = struct
      a comparison. *)
   let digest probe = Item_set.hash probe
 
-  let sjq_key t source cond probe =
-    let sid, cid = key t source cond in
+  let sjq_key_of t ~sname ~ctext probe =
+    let sid, cid = key_of t ~sname ~ctext in
     (sid, cid, digest probe)
 
-  let find_sjq t source cond probe =
-    match Hashtbl.find_opt t.semijoins (sjq_key t source cond probe) with
+  let find_sjq_keyed t ~sname ~ctext probe =
+    match Hashtbl.find_opt t.semijoins (sjq_key_of t ~sname ~ctext probe) with
     | None -> None
     | Some entries ->
       List.find_map
         (fun (p, answer) -> if Item_set.equal p probe then Some answer else None)
         entries
 
-  let store_sjq t source cond probe answer =
+  let store_sjq_keyed t ~sname ~ctext probe answer =
     t.misses <- t.misses + 1;
-    let key = sjq_key t source cond probe in
+    let key = sjq_key_of t ~sname ~ctext probe in
     let existing = Option.value ~default:[] (Hashtbl.find_opt t.semijoins key) in
     Hashtbl.replace t.semijoins key ((probe, answer) :: existing)
+
+  let find_sjq t source cond probe =
+    find_sjq_keyed t ~sname:(Source.name source) ~ctext:(Cond.to_string cond) probe
+
+  let store_sjq t source cond probe answer =
+    store_sjq_keyed t ~sname:(Source.name source) ~ctext:(Cond.to_string cond) probe
+      answer
 
   (* What the operation would have cost at the source, from its profile
      and the actual sizes involved. Mirrors the wrapper's charging. *)
@@ -209,7 +228,9 @@ let run ?cache ?(policy = default_policy) ~sources ~conds plan =
       (cost, Relation.cardinality relation)
     | Local_select { dst; cond = c; input } ->
       let relation = loaded input in
-      let pred tuple = Cond.eval (Relation.schema relation) (cond c) tuple in
+      (* Interpreted row path, with attribute offsets resolved once per
+         condition; [Plan_compile] is the columnar fast path. *)
+      let pred = Cond.compile (Relation.schema relation) (cond c) in
       let answer = Relation.select_items relation pred in
       Hashtbl.replace env dst (Items answer);
       (0.0, Item_set.cardinal answer)

@@ -67,6 +67,18 @@ module Query_cache : sig
   val store : t -> Source.t -> Cond.t -> Item_set.t -> unit
   val find_sjq : t -> Source.t -> Cond.t -> Item_set.t -> Item_set.t option
   val store_sjq : t -> Source.t -> Cond.t -> Item_set.t -> Item_set.t -> unit
+
+  (** Keyed variants for compiled plans ([Plan_compile]): same protocol,
+      but the caller supplies the source name and rendered condition
+      text, precomputed at plan-compile time instead of re-rendered per
+      lookup. *)
+
+  val find_keyed : t -> sname:string -> ctext:string -> Item_set.t option
+  val store_keyed : t -> sname:string -> ctext:string -> Item_set.t -> unit
+  val find_sjq_keyed : t -> sname:string -> ctext:string -> Item_set.t -> Item_set.t option
+
+  val store_sjq_keyed :
+    t -> sname:string -> ctext:string -> Item_set.t -> Item_set.t -> unit
   val record_hit : t -> Source.t -> items_sent:int -> items_received:int -> unit
   val record_hit_emulated : t -> Source.t -> bindings:int -> items_received:int -> unit
 end

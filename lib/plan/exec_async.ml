@@ -94,10 +94,11 @@ module Engine = struct
     mutable failures : int;
     mutable partial : bool;
     output : string;
+    compiled : Plan_compile.t option;
   }
 
   let create ?cache ?(policy = Exec.default_policy) ?(deadline = infinity) ?answers
-      ?(offset = 0) ?(base = 0.0) ~rt ~sources ~conds plan =
+      ?(offset = 0) ?(base = 0.0) ?compiled ~rt ~sources ~conds plan =
     {
       sources;
       conds;
@@ -117,6 +118,7 @@ module Engine = struct
       failures = 0;
       partial = false;
       output = Plan.output plan;
+      compiled;
     }
 
   let items t var =
@@ -385,8 +387,16 @@ module Engine = struct
     | Local_select { dst; cond = c; input } ->
       let relation = loaded t input in
       let ready = ready_of t op in
-      let pred tuple = Cond.eval (Relation.schema relation) (cond t c) tuple in
-      let answer = Relation.select_items relation pred in
+      (* Compiled-plan engines share the steady-state columnar scan;
+         standalone engines compile one per op (still a column scan,
+         just not reused across runs). *)
+      let answer =
+        match
+          Option.bind t.compiled (fun cp -> Plan_compile.local_select cp op relation)
+        with
+        | Some answer -> answer
+        | None -> Cond_vec.select_items (Cond_vec.compile relation (cond t c))
+      in
       bind t dst (Items answer) ready;
       { op; cost = 0.0; result_size = Item_set.cardinal answer; start = ready;
         finish = ready; coalesced = false; sched = None }

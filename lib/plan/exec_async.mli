@@ -97,6 +97,7 @@ module Engine : sig
     ?answers:Answer_cache.t ->
     ?offset:int ->
     ?base:float ->
+    ?compiled:Plan_compile.t ->
     rt:Fusion_rt.Runtime.t ->
     sources:Source.t array ->
     conds:Cond.t array ->
@@ -107,7 +108,10 @@ module Engine : sig
       plain per-run request coalescing). [offset] shifts the engine's
       dataflow task ids so timelines of many engines never collide.
       [base] is the instant the query was admitted: no step starts
-      before it. [cache], [policy], [deadline] as in {!run}. *)
+      before it. [compiled] is the {!Plan_compile} form of the same
+      plan: local selections then reuse its persistent columnar scans
+      (the serving layer passes one per cached plan). [cache],
+      [policy], [deadline] as in {!run}. *)
 
   val pending : t -> request option
   (** Advances through local operations (evaluating them at their ready

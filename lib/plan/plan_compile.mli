@@ -1,0 +1,49 @@
+(** Compiled plans: the mediator's specialized executor.
+
+    [compile] specializes one optimized plan DAG
+    ([Sq]/[Sjq]/[∪]/[∩]/[−]/[Load]/[Local_select]) against its sources
+    and conditions: variables become integer slots in a reusable frame,
+    cache keys and condition texts are rendered once, and every local
+    selection becomes a {!Fusion_cond.Cond_vec} columnar scan whose
+    compiled form persists across runs. Re-running the compiled plan in
+    steady state allocates (almost) only the answer sets — no
+    environment hashing, no per-tuple materialization, no per-run
+    condition work.
+
+    [run] has exactly {!Exec.run}'s observable semantics — answers,
+    step list, costs, retry/partial policy, cache protocol and hit/miss
+    accounting, trace spans — property-tested equal over random plan
+    DAGs. [answer] is the steady-state serving entry: same execution,
+    but skips materializing the step list.
+
+    A compiled plan holds mutable scratch (the slot frame and scan
+    buffers): run each value from one engine at a time. *)
+
+open Fusion_data
+open Fusion_source
+
+type t
+
+val compile :
+  sources:Source.t array -> conds:Fusion_cond.Cond.t array -> Plan.t -> (t, string) result
+(** Validates the plan (so slot resolution cannot fail at run time) and
+    specializes it. *)
+
+val plan : t -> Plan.t
+val sources : t -> Source.t array
+
+val run : ?cache:Exec.Query_cache.t -> ?policy:Exec.policy -> t -> Exec.result
+(** Executes the compiled plan; equivalent to [Exec.run] on the
+    underlying plan, sources and conditions. *)
+
+val answer : ?cache:Exec.Query_cache.t -> ?policy:Exec.policy -> t -> Item_set.t
+(** Like {!run}, returning only the answer and skipping step-list
+    construction — the minimal-allocation serving loop. *)
+
+val local_select : t -> Op.t -> Relation.t -> Item_set.t option
+(** [local_select t op rel] answers a [Local_select] op of the compiled
+    plan (matched by physical identity) with the compiled columnar
+    scan, against the given loaded relation. [None] when [op] is not
+    one of this plan's local selections — callers fall back to their
+    own evaluation. Used by [Exec_async] engines created with a
+    compiled plan. *)

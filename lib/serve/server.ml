@@ -38,6 +38,7 @@ module Exec = Fusion_plan.Exec
 module Exec_async = Fusion_plan.Exec_async
 module Engine = Exec_async.Engine
 module Answer_cache = Fusion_plan.Answer_cache
+module Plan_compile = Fusion_plan.Plan_compile
 module Query = Fusion_query.Query
 module Delta = Fusion_delta.Delta
 module Change = Fusion_delta.Change
@@ -201,6 +202,11 @@ type t = {
   mutable delta_deletes : int;
   mutable pushes : int;
   mutable now : float; (* latest instant the server acted at *)
+  mutable compiled : (Plan.t * Cond.t array * Plan_compile.t) list;
+      (* compiled-plan cache, MRU first, keyed by physical (plan, conds)
+         identity: drivers resubmit the same job value, so steady-state
+         serving reuses one compiled plan (and its columnar scans) per
+         standing query shape *)
   wake : Fiber.Semaphore.t; (* nudged on submit/completion; a real-clock pump waits here *)
 }
 
@@ -240,8 +246,38 @@ let create ?(policy = Fifo) ?(max_inflight = 64) ?cache_ttl ?(versioned_cache = 
     delta_deletes = 0;
     pushes = 0;
     now = 0.0;
+    compiled = [];
     wake = Fiber.Semaphore.create 0;
   }
+
+(* The compiled form of a job's plan: MRU lookup by physical identity,
+   compiling (and remembering) on first sight. A plan that fails to
+   compile (it would also fail to run) just skips the fast path. *)
+let compiled_cap = 64
+
+let compiled_plan t job =
+  let rec find acc = function
+    | [] -> None
+    | ((p, cs, cp) as e) :: rest ->
+      if p == job.plan && cs == job.conds then begin
+        t.compiled <- e :: List.rev_append acc rest;
+        Some cp
+      end
+      else find (e :: acc) rest
+  in
+  match find [] t.compiled with
+  | Some cp -> Some cp
+  | None -> (
+    match Plan_compile.compile ~sources:t.sources ~conds:job.conds job.plan with
+    | Error _ -> None
+    | Ok cp ->
+      let kept =
+        if List.length t.compiled >= compiled_cap then
+          List.filteri (fun i _ -> i < compiled_cap - 1) t.compiled
+        else t.compiled
+      in
+      t.compiled <- (job.plan, job.conds, cp) :: kept;
+      Some cp)
 
 let policy t = t.policy
 let shard t = t.shard
@@ -436,8 +472,8 @@ let admit t p =
     else begin
       let engine =
         Engine.create ~policy:t.exec_policy ~answers:t.answers ~offset:t.task_offset
-          ~base:p.p_at ~rt:t.rt ~sources:t.sources ~conds:p.p_job.conds
-          p.p_job.plan
+          ~base:p.p_at ?compiled:(compiled_plan t p.p_job) ~rt:t.rt
+          ~sources:t.sources ~conds:p.p_job.conds p.p_job.plan
       in
       t.task_offset <- t.task_offset + Engine.task_count engine;
       t.inflight <-
@@ -646,7 +682,6 @@ let mutate t ~source delta =
   | None -> Error (Printf.sprintf "unknown source %s" source)
   | Some j ->
     let rel = Source.relation t.sources.(j) in
-    let schema = Relation.schema rel in
     let applied = Delta.apply rel delta in
     let touched = applied.Delta.touched in
     t.delta_batches <- t.delta_batches + 1;
@@ -658,11 +693,10 @@ let mutate t ~source delta =
         match Cond.parse cond with
         | Error _ -> None
         | Ok c ->
-          let pred tu = Cond.eval schema c tu in
           let change =
             Change.of_parts
               ~old_on:(Item_set.inter touched answer)
-              ~new_on:(Relation.semijoin_items rel pred touched)
+              ~new_on:(Cond_vec.semijoin_items (Cond_vec.compile rel c) touched)
           in
           Some (Change.apply answer change));
     let t0 = Runtime.now t.rt in

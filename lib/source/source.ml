@@ -15,11 +15,23 @@ type t = {
   profile : Fusion_net.Profile.t;
   meter : Fusion_net.Meter.t;
   mutable fault : fault option;
+  vecs : (Cond.t, Cond_vec.t) Hashtbl.t;
+      (* compiled column scans, one per distinct condition seen *)
+  preds : (Cond.t, Tuple.t -> bool) Hashtbl.t;
+      (* hoisted row predicates for the per-item emulated path *)
 }
 
 let create ?(capability = Capability.full) ?(profile = Fusion_net.Profile.default) ?fault
     relation =
-  { relation; capability; profile; meter = Fusion_net.Meter.create (); fault }
+  {
+    relation;
+    capability;
+    profile;
+    meter = Fusion_net.Meter.create ();
+    fault;
+    vecs = Hashtbl.create 8;
+    preds = Hashtbl.create 8;
+  }
 
 let set_fault t fault = t.fault <- fault
 
@@ -41,7 +53,25 @@ let maybe_fail t ~items_sent =
     raise (Timeout (Printf.sprintf "source %s timed out" (Relation.name t.relation)))
   | _ -> ()
 
-let predicate t cond tuple = Cond.eval (schema t) cond tuple
+(* Compiled artifacts are cached per structural condition: wrappers see
+   the same handful of conditions over and over (one per plan node), so
+   steady-state queries never recompile. Like the meter, these caches
+   assume one lane drives a source at a time. *)
+let vec t cond =
+  match Hashtbl.find_opt t.vecs cond with
+  | Some v -> v
+  | None ->
+    let v = Cond_vec.compile t.relation cond in
+    Hashtbl.add t.vecs cond v;
+    v
+
+let predicate t cond =
+  match Hashtbl.find_opt t.preds cond with
+  | Some p -> p
+  | None ->
+    let p = Cond.compile (schema t) cond in
+    Hashtbl.add t.preds cond p;
+    p
 
 (* One [Trace.Request] span per logical source query, whether or not it
    succeeds: the span's cost and request count are meter deltas, so
@@ -80,7 +110,7 @@ let observed t ~op f =
 let select_query t cond =
   observed t ~op:"sq" (fun ctx ->
       maybe_fail t ~items_sent:0;
-      let answer = Relation.select_items t.relation (predicate t cond) in
+      let answer = Cond_vec.select_items (vec t cond) in
       let cost =
         charge t ~items_sent:0 ~items_received:(Item_set.cardinal answer)
           ~tuples_received:0
@@ -96,7 +126,7 @@ let select_query t cond =
 
 let native_semijoin t cond xs =
   maybe_fail t ~items_sent:(Item_set.cardinal xs);
-  let answer = Relation.semijoin_items t.relation (predicate t cond) xs in
+  let answer = Cond_vec.semijoin_items (vec t cond) xs in
   let cost =
     charge t ~items_sent:(Item_set.cardinal xs)
       ~items_received:(Item_set.cardinal answer) ~tuples_received:0

@@ -127,10 +127,8 @@ let histogram_matching tables ~distinct ~fallback cond =
   Float.min distinct (Float.max 0.0 (weight cond))
 
 let compute_matching t cond =
-  let schema = Relation.schema t.relation in
-  let pred tuple = Cond.eval schema cond tuple in
   match t.provider with
-  | Exact -> float_of_int (Relation.count_matching t.relation pred)
+  | Exact -> float_of_int (Cond_vec.count_items (Cond_vec.compile t.relation cond))
   | Histograms tables ->
     let distinct = float_of_int (Relation.distinct_item_count t.relation) in
     let fallback = float_of_int (Relation.cardinality t.relation) in
@@ -143,6 +141,7 @@ let compute_matching t cond =
          distinct-item count. Biased when items have many tuples, but
          that is the realistic price of sampling; the exact provider is
          available as the oracle baseline. *)
+      let pred = Cond.compile (Relation.schema t.relation) cond in
       let hits = Array.fold_left (fun acc tu -> if pred tu then acc + 1 else acc) 0 sample in
       float_of_int (distinct_items t) *. (float_of_int hits /. float_of_int n)
     end

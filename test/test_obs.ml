@@ -203,13 +203,7 @@ let test_metrics_install_race () =
           Metrics.install r
         done)
   in
-  for _ = 1 to 50_000 do
-    Metrics.record (fun reg -> Metrics.incr reg "flippy_total")
-  done;
-  Atomic.set stop true;
-  Domain.join flipper;
-  Metrics.uninstall ();
-  let recorded =
+  let recorded () =
     List.fold_left
       (fun acc s ->
         match s.Metrics.value with
@@ -217,7 +211,20 @@ let test_metrics_install_race () =
         | _ -> acc)
       0.0 (Metrics.snapshot r)
   in
-  Alcotest.(check bool) "no crash, some increments landed" true (recorded > 0.0)
+  (* Hammer until an increment provably lands: with a fixed-length loop
+     the flipper can sit descheduled right after an [uninstall], letting
+     every record run against the empty slot. *)
+  let attempts = ref 0 in
+  while recorded () = 0.0 && !attempts < 200 do
+    incr attempts;
+    for _ = 1 to 50_000 do
+      Metrics.record (fun reg -> Metrics.incr reg "flippy_total")
+    done
+  done;
+  Atomic.set stop true;
+  Domain.join flipper;
+  Metrics.uninstall ();
+  Alcotest.(check bool) "no crash, some increments landed" true (recorded () > 0.0)
 
 (* --- JSON codec ---------------------------------------------------------- *)
 
